@@ -1,0 +1,103 @@
+// Ablation: the choice of default ("safe") policy (paper Section 5 lists
+// "considering ... other default policies" as future work).
+//
+// The paper defaults to Buffer-Based. We swap in the rate-based heuristic
+// and throughput-MPC as alternative fallbacks under the ND safety net
+// (trained on Gamma(2,2)) and report in-distribution QoE plus OOD
+// min/mean normalized scores (still normalized against BB, the paper's
+// scale anchor). MPC is the strongest standalone heuristic, so it should
+// also make the strongest fallback.
+#include <algorithm>
+#include <limits>
+
+#include "bench_common.h"
+#include "policies/buffer_based.h"
+#include "policies/mpc.h"
+#include "policies/rate_based.h"
+
+using namespace osap;
+using core::Scheme;
+
+namespace {
+
+constexpr auto kTrain = traces::DatasetId::kGamma22;
+
+double NormalizedOnTest(core::Workbench& bench, mdp::Policy& policy,
+                        traces::DatasetId test) {
+  auto env = bench.MakeEvalEnvironment();
+  const double qoe =
+      core::EvaluatePolicy(policy, env, bench.DatasetFor(test).test)
+          .MeanQoe();
+  const double random = bench.Evaluate(Scheme::kRandom, test, test).MeanQoe();
+  const double bb =
+      bench.Evaluate(Scheme::kBufferBased, test, test).MeanQoe();
+  return core::NormalizedScore(qoe, random, bb);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: default policy",
+                     "BB vs rate-based vs MPC as the safety fallback");
+  core::Workbench bench(bench::PaperConfig());
+  const core::TrainedBundle& bundle = bench.BundleFor(kTrain);
+  auto eval_env = bench.MakeEvalEnvironment();
+  const auto& validation = bench.DatasetFor(kTrain).validation;
+
+  CsvWriter csv(bench::ResultsDir() / "ablation_default_policy.csv");
+  csv.WriteHeader({"fallback", "in_dist_qoe", "ood_min_norm",
+                   "ood_mean_norm"});
+  TablePrinter table({"fallback", "in-dist QoE", "OOD min (norm)",
+                      "OOD mean (norm)"});
+
+  struct Fallback {
+    std::string name;
+    std::shared_ptr<mdp::Policy> policy;
+  };
+  std::vector<Fallback> fallbacks;
+  fallbacks.push_back(
+      {"buffer_based", std::make_shared<policies::BufferBasedPolicy>(
+                           bench.eval_video(), bench.layout())});
+  fallbacks.push_back(
+      {"rate_based", std::make_shared<policies::RateBasedPolicy>(
+                         bench.eval_video(), bench.layout())});
+  fallbacks.push_back({"mpc", std::make_shared<policies::MpcPolicy>(
+                                  bench.eval_video(), bench.layout())});
+
+  for (const Fallback& fb : fallbacks) {
+    auto estimator =
+        std::make_shared<core::NoveltyDetector>(*bundle.novelty);
+    estimator->Reset();
+    core::SafeAgentConfig cfg;
+    cfg.trigger.mode = core::TriggerMode::kBinary;
+    cfg.trigger.l = bench.config().trigger_l;
+    core::SafeAgent agent(bench.MakePolicy(Scheme::kPensieve, kTrain),
+                          fb.policy, estimator, cfg);
+    const double in_dist =
+        core::EvaluatePolicy(agent, eval_env, validation).MeanQoe();
+    double ood_min = std::numeric_limits<double>::infinity();
+    double ood_sum = 0.0;
+    std::size_t n = 0;
+    for (traces::DatasetId test : traces::AllDatasetIds()) {
+      if (test == kTrain) continue;
+      const double score = NormalizedOnTest(bench, agent, test);
+      ood_min = std::min(ood_min, score);
+      ood_sum += score;
+      ++n;
+    }
+    table.AddRow({fb.name, TablePrinter::Num(in_dist, 1),
+                  TablePrinter::Num(ood_min, 2),
+                  TablePrinter::Num(ood_sum / static_cast<double>(n), 2)});
+    csv.WriteRow({fb.name, std::to_string(in_dist),
+                  std::to_string(ood_min),
+                  std::to_string(ood_sum / static_cast<double>(n))});
+  }
+
+  std::printf("\nND safety net trained on %s with different fallback "
+              "policies (scores still normalized to BB = 1):\n\n",
+              traces::DatasetLabel(kTrain).c_str());
+  table.Print();
+  std::printf("\nCSV written to %s\n",
+              (bench::ResultsDir() / "ablation_default_policy.csv").c_str());
+  return 0;
+}

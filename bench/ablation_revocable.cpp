@@ -1,0 +1,123 @@
+// Ablation: permanent vs revocable defaulting (DESIGN.md section 7).
+//
+// The paper defaults to BB for the remainder of the session once the
+// trigger fires. A natural extension lets the agent return to the learned
+// policy after the uncertainty signal stays quiet for a while. We compare
+// the two modes with the ND scheme trained on Gamma(2,2):
+//  - steady OOD (test = Exponential): permanent and revocable should tie
+//    (the signal never goes quiet);
+//  - a transient glitch (Gamma(2,2) trace with an embedded 80 s
+//    exponential-rate dip): revocable should recover the post-glitch
+//    in-distribution performance that permanent gives up.
+#include <algorithm>
+#include <limits>
+
+#include "bench_common.h"
+
+using namespace osap;
+using core::Scheme;
+
+namespace {
+
+constexpr auto kTrain = traces::DatasetId::kGamma22;
+
+/// A Gamma(2,2)-like trace with a low-rate dip in the middle.
+traces::Trace GlitchTrace(std::uint64_t seed) {
+  Rng rng(seed);
+  GammaDistribution gamma(2.0, 2.0);
+  ExponentialDistribution exponential(0.4);
+  std::vector<double> samples;
+  const std::size_t total = 960;
+  for (std::size_t t = 0; t < total; ++t) {
+    const bool glitch = t >= 300 && t < 380;
+    const double raw =
+        glitch ? exponential.Sample(rng) : gamma.Sample(rng);
+    samples.push_back(std::clamp(raw, 0.05, 50.0));
+  }
+  return traces::Trace("glitch", 1.0, std::move(samples));
+}
+
+std::unique_ptr<core::SafeAgent> MakeNdAgent(core::Workbench& bench,
+                                             core::DefaultingMode mode) {
+  const core::TrainedBundle& bundle = bench.BundleFor(kTrain);
+  auto estimator = std::make_shared<core::NoveltyDetector>(*bundle.novelty);
+  estimator->Reset();
+  core::SafeAgentConfig cfg;
+  cfg.trigger.mode = core::TriggerMode::kBinary;
+  cfg.trigger.l = bench.config().trigger_l;
+  cfg.mode = mode;
+  cfg.revoke_after = 15;
+  return std::make_unique<core::SafeAgent>(
+      bench.MakePolicy(Scheme::kPensieve, kTrain),
+      bench.MakePolicy(Scheme::kBufferBased, kTrain), estimator, cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: revocable defaulting",
+                     "permanent vs revocable safety nets");
+  core::Workbench bench(bench::PaperConfig());
+  auto env = bench.MakeEvalEnvironment();
+
+  CsvWriter csv(bench::ResultsDir() / "ablation_revocable.csv");
+  csv.WriteHeader({"scenario", "mode", "mean_qoe", "defaulted_fraction"});
+  TablePrinter table(
+      {"scenario", "mode", "mean QoE", "defaulted fraction"});
+
+  struct Scenario {
+    std::string name;
+    std::vector<traces::Trace> traces;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(
+      {"steady OOD (exponential)",
+       bench.DatasetFor(traces::DatasetId::kExponential).test});
+  std::vector<traces::Trace> glitch_traces;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    glitch_traces.push_back(GlitchTrace(1000 + s));
+  }
+  scenarios.push_back({"transient glitch", std::move(glitch_traces)});
+  scenarios.push_back({"in-distribution",
+                       bench.DatasetFor(kTrain).test});
+
+  for (const Scenario& scenario : scenarios) {
+    for (core::DefaultingMode mode :
+         {core::DefaultingMode::kPermanent,
+          core::DefaultingMode::kRevocable}) {
+      auto agent = MakeNdAgent(bench, mode);
+      double qoe_sum = 0.0;
+      double frac_sum = 0.0;
+      for (const traces::Trace& trace : scenario.traces) {
+        env.SetFixedTrace(trace);
+        agent->Reset();
+        mdp::State s = env.Reset();
+        bool done = false;
+        while (!done) {
+          mdp::StepResult r = env.Step(agent->SelectAction(s));
+          s = std::move(r.next_state);
+          done = r.done;
+        }
+        qoe_sum += env.Qoe().Total();
+        frac_sum += agent->DefaultedFraction();
+      }
+      const auto n = static_cast<double>(scenario.traces.size());
+      const char* mode_name =
+          mode == core::DefaultingMode::kPermanent ? "permanent"
+                                                   : "revocable";
+      table.AddRow({scenario.name, mode_name,
+                    TablePrinter::Num(qoe_sum / n, 1),
+                    TablePrinter::Num(frac_sum / n, 2)});
+      csv.WriteRow({scenario.name, mode_name,
+                    std::to_string(qoe_sum / n),
+                    std::to_string(frac_sum / n)});
+    }
+  }
+  std::printf("\nND safety net trained on %s (revoke after 15 quiet "
+              "steps):\n\n",
+              traces::DatasetLabel(kTrain).c_str());
+  table.Print();
+  std::printf("\nCSV written to %s\n",
+              (bench::ResultsDir() / "ablation_revocable.csv").c_str());
+  return 0;
+}

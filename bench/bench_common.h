@@ -1,0 +1,47 @@
+// Shared setup for the figure-reproduction benches.
+//
+// All figure benches run the paper-scale configuration (the
+// WorkbenchConfig defaults: six datasets of 40 traces, 240-chunk sessions,
+// ensembles of 5, 2000 A2C episodes per agent) and share one on-disk
+// artifact cache ("./osap_cache"): the first bench to run trains
+// everything, later benches load. Each bench prints the rows/series of its
+// paper figure and writes the same data as CSV under ./results/.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/normalization.h"
+#include "core/workbench.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace osap::bench {
+
+/// The paper-scale configuration: WorkbenchConfig defaults, cache enabled.
+inline core::WorkbenchConfig PaperConfig() {
+  core::WorkbenchConfig cfg;
+  cfg.use_cache = true;
+  cfg.cache_dir = "osap_cache";
+  return cfg;
+}
+
+/// Where benches drop their CSV exports.
+inline std::filesystem::path ResultsDir() {
+  const std::filesystem::path dir = "results";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Banner printed by every figure bench.
+inline void PrintHeader(const std::string& figure,
+                        const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s - %s\n", figure.c_str(), description.c_str());
+  std::printf("(Rotman, Schapira, Tamar - Online Safety Assurance for\n");
+  std::printf(" Learning-Augmented Systems, HotNets '20)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace osap::bench

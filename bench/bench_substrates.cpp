@@ -1,0 +1,128 @@
+// Substrate micro-benchmarks: throughput of the building blocks the
+// reproduction rests on (ABR simulator steps, network forward/backward,
+// OC-SVM decisions as a function of support-vector count, trace
+// generation). These quantify the simulator-vs-testbed substitution cost
+// documented in DESIGN.md section 2 and guard against performance
+// regressions in the hot loops.
+#include <benchmark/benchmark.h>
+
+#include "abr/abr_environment.h"
+#include "nn/losses.h"
+#include "policies/pensieve_net.h"
+#include "svm/ocsvm.h"
+#include "traces/generators.h"
+
+using namespace osap;
+
+namespace {
+
+void BM_SimulatorDownloadChunk(benchmark::State& state) {
+  const abr::VideoSpec video = abr::MakeEnvivioLikeVideo(5);
+  abr::AbrSimulator sim(video, {});
+  const traces::Trace trace("flat", 1.0, std::vector<double>(600, 3.0));
+  sim.StartSession(trace);
+  std::size_t level = 0;
+  for (auto _ : state) {
+    if (sim.ChunksRemaining() == 0) sim.StartSession(trace);
+    benchmark::DoNotOptimize(sim.DownloadChunk(level));
+    level = (level + 1) % video.LevelCount();
+  }
+}
+BENCHMARK(BM_SimulatorDownloadChunk);
+
+void BM_EnvironmentStep(benchmark::State& state) {
+  abr::AbrEnvironment env(abr::MakeEnvivioLikeVideo(5), {});
+  const traces::Trace trace("flat", 1.0, std::vector<double>(600, 3.0));
+  env.SetFixedTrace(trace);
+  env.Reset();
+  int action = 0;
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    if (steps % 240 == 0) env.Reset();
+    benchmark::DoNotOptimize(env.Step(action));
+    action = (action + 1) % 6;
+    ++steps;
+  }
+}
+BENCHMARK(BM_EnvironmentStep);
+
+void BM_PensieveForwardSingle(benchmark::State& state) {
+  Rng rng(1);
+  abr::AbrStateLayout layout;
+  auto net = policies::BuildPensieveNet(layout, 6, {}, rng);
+  const nn::Matrix x(1, layout.Size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Forward(x));
+  }
+}
+BENCHMARK(BM_PensieveForwardSingle)->Unit(benchmark::kMicrosecond);
+
+void BM_PensieveForwardBackwardBatch(benchmark::State& state) {
+  Rng rng(1);
+  abr::AbrStateLayout layout;
+  auto net = policies::BuildPensieveNet(layout, 6, {}, rng);
+  const auto batch_size = static_cast<std::size_t>(state.range(0));
+  nn::Matrix x(batch_size, layout.Size());
+  for (double& v : x.values()) v = rng.Uniform(0.0, 1.0);
+  nn::Matrix target(batch_size, 6);
+  for (auto _ : state) {
+    const nn::Matrix y = net.Forward(x);
+    const nn::LossResult loss = nn::MseLoss(y, target);
+    benchmark::DoNotOptimize(net.Backward(loss.grad));
+    nn::ZeroGrads(net.Params());
+  }
+}
+BENCHMARK(BM_PensieveForwardBackwardBatch)
+    ->Arg(1)
+    ->Arg(48)
+    ->Arg(240)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_OcSvmDecision(benchmark::State& state) {
+  // Fit on n samples (the support-vector count scales with n and nu).
+  Rng rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> train;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> f;
+    for (int d = 0; d < 10; ++d) f.push_back(rng.Normal(3.0, 0.5));
+    train.push_back(std::move(f));
+  }
+  svm::OneClassSvm model;
+  model.Fit(train);
+  state.SetLabel("SVs=" + std::to_string(model.SupportVectorCount()));
+  std::vector<double> probe(10, 3.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.DecisionValue(probe));
+  }
+}
+BENCHMARK(BM_OcSvmDecision)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Arg(3000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_TraceGenerationIid(benchmark::State& state) {
+  traces::IidTraceGenerator gen(
+      std::make_shared<GammaDistribution>(2.0, 2.0));
+  Rng rng(3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Generate(rng, 320.0, i++));
+  }
+}
+BENCHMARK(BM_TraceGenerationIid);
+
+void BM_TraceGenerationMarkov(benchmark::State& state) {
+  const auto gen = traces::MakeNorway3gGenerator();
+  Rng rng(4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen->Generate(rng, 320.0, i++));
+  }
+}
+BENCHMARK(BM_TraceGenerationMarkov);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Figure 1: Pensieve with and without safety assurance vs. BB when the
+// training and test distributions are the same.
+//
+// For each of the six datasets, every scheme streams the dataset's held-out
+// test traces after training on its training split. Expected shape (paper
+// Section 3.2): Pensieve > {ND, A-ensemble, V-ensemble} > BB, with the
+// three safety schemes approximately equal (they are calibrated to match).
+#include "bench_common.h"
+
+using namespace osap;
+using core::Scheme;
+
+int main() {
+  bench::PrintHeader("Figure 1",
+                     "in-distribution QoE of all schemes vs BB");
+  core::Workbench bench(bench::PaperConfig());
+
+  const std::vector<Scheme> schemes = {
+      Scheme::kPensieve, Scheme::kNoveltyDetection, Scheme::kAgentEnsemble,
+      Scheme::kValueEnsemble, Scheme::kBufferBased};
+
+  TablePrinter table({"dataset", "pensieve", "nd", "a_ensemble",
+                      "v_ensemble", "buffer_based"});
+  CsvWriter csv(bench::ResultsDir() / "fig1_in_distribution.csv");
+  csv.WriteHeader({"dataset", "scheme", "mean_qoe"});
+
+  for (traces::DatasetId id : traces::AllDatasetIds()) {
+    std::vector<std::string> row = {traces::DatasetLabel(id)};
+    for (Scheme scheme : schemes) {
+      const double qoe = bench.Evaluate(scheme, id, id).MeanQoe();
+      row.push_back(TablePrinter::Num(qoe, 1));
+      csv.WriteRow({traces::DatasetName(id), core::SchemeName(scheme),
+                    std::to_string(qoe)});
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("\nMean session QoE on the test split (train == test):\n\n");
+  table.Print();
+
+  // The paper's headline checks for this figure.
+  std::printf("\nShape checks (paper Section 3.2):\n");
+  std::size_t pensieve_beats_bb = 0;
+  std::size_t safety_between = 0;
+  for (traces::DatasetId id : traces::AllDatasetIds()) {
+    const double p = bench.Evaluate(Scheme::kPensieve, id, id).MeanQoe();
+    const double b = bench.Evaluate(Scheme::kBufferBased, id, id).MeanQoe();
+    if (p > b) ++pensieve_beats_bb;
+    for (Scheme s : core::SafetySchemes()) {
+      const double q = bench.Evaluate(s, id, id).MeanQoe();
+      if (q <= p && q >= std::min(b, p) - 0.15 * std::abs(b)) {
+        ++safety_between;
+      }
+    }
+  }
+  std::printf("  Pensieve beats BB in-distribution: %zu/6 datasets\n",
+              pensieve_beats_bb);
+  std::printf("  safety variants at/below Pensieve, near-or-above BB: "
+              "%zu/18 scheme-dataset pairs\n",
+              safety_between);
+  std::printf("\nCSV written to %s\n",
+              (bench::ResultsDir() / "fig1_in_distribution.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 2: Illustration of Pensieve's (problematic) generalization to
+// other environments.
+//
+//  (a) Pensieve trained on Belgium, evaluated on all six datasets;
+//  (b) Pensieve trained on Gamma(2,2), evaluated on all six datasets;
+// each against the BB and Random baselines (raw QoE). Expected shape
+// (paper Section 3.3): with at most one exception per training
+// distribution, Pensieve is outperformed by BB out-of-distribution and is
+// sometimes below even Random.
+#include "bench_common.h"
+
+using namespace osap;
+using core::Scheme;
+
+namespace {
+
+void RunPanel(core::Workbench& bench, traces::DatasetId train,
+              const char* panel, CsvWriter& csv) {
+  std::printf("\n(%s) Pensieve trained on %s:\n\n", panel,
+              traces::DatasetLabel(train).c_str());
+  TablePrinter table(
+      {"test dataset", "pensieve", "buffer_based", "random", "winner"});
+  std::size_t bb_wins = 0;
+  std::size_t below_random = 0;
+  for (traces::DatasetId test : traces::AllDatasetIds()) {
+    const double p = bench.Evaluate(Scheme::kPensieve, train, test).MeanQoe();
+    const double b =
+        bench.Evaluate(Scheme::kBufferBased, test, test).MeanQoe();
+    const double r = bench.Evaluate(Scheme::kRandom, test, test).MeanQoe();
+    if (test != train && b > p) ++bb_wins;
+    if (test != train && r > p) ++below_random;
+    table.AddRow({traces::DatasetLabel(test) +
+                      (test == train ? " (in-dist)" : ""),
+                  TablePrinter::Num(p, 1), TablePrinter::Num(b, 1),
+                  TablePrinter::Num(r, 1),
+                  p >= b ? "pensieve" : "buffer_based"});
+    csv.WriteRow({traces::DatasetName(train), traces::DatasetName(test),
+                  std::to_string(p), std::to_string(b), std::to_string(r)});
+  }
+  table.Print();
+  std::printf("  OOD datasets where BB beats Pensieve:      %zu/5\n",
+              bb_wins);
+  std::printf("  OOD datasets where even Random beats it:   %zu/5\n",
+              below_random);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 2",
+                     "Pensieve vs BB and Random when out-of-distribution");
+  core::Workbench bench(bench::PaperConfig());
+  CsvWriter csv(bench::ResultsDir() / "fig2_generalization.csv");
+  csv.WriteHeader({"train", "test", "pensieve_qoe", "bb_qoe", "random_qoe"});
+  RunPanel(bench, traces::DatasetId::kBelgium4g, "a", csv);
+  RunPanel(bench, traces::DatasetId::kGamma22, "b", csv);
+  std::printf("\nCSV written to %s\n",
+              (bench::ResultsDir() / "fig2_generalization.csv").c_str());
+  return 0;
+}

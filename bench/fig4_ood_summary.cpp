@@ -1,0 +1,73 @@
+// Figure 4: Comparison of the safety-enhanced variants of Pensieve when
+// out-of-distribution.
+//
+// Normalized max / min / mean / median over the 30 (train, test) pairs
+// with train != test, for vanilla Pensieve and its three safety-enhanced
+// variants. Expected shape (paper Section 3.4):
+//   - every safety scheme beats vanilla Pensieve on min, mean and median;
+//   - A-ensemble is dominated (worst min, mean below Random);
+//   - ND is safest on min/mean; V-ensemble has the best max.
+#include <map>
+
+#include "bench_common.h"
+
+using namespace osap;
+using core::Scheme;
+
+int main() {
+  bench::PrintHeader("Figure 4",
+                     "normalized OOD summary of the safety schemes");
+  core::Workbench bench(bench::PaperConfig());
+  CsvWriter csv(bench::ResultsDir() / "fig4_ood_summary.csv");
+  csv.WriteHeader({"scheme", "min", "max", "mean", "median"});
+
+  const std::vector<Scheme> schemes = {
+      Scheme::kNoveltyDetection, Scheme::kAgentEnsemble,
+      Scheme::kValueEnsemble, Scheme::kPensieve};
+
+  TablePrinter table({"scheme", "min", "max", "mean", "median"});
+  std::map<Scheme, Summary> summaries;
+  for (Scheme scheme : schemes) {
+    std::vector<double> scores;
+    for (traces::DatasetId train : traces::AllDatasetIds()) {
+      for (traces::DatasetId test : traces::AllDatasetIds()) {
+        if (train == test) continue;
+        scores.push_back(bench.NormalizedMean(scheme, train, test));
+      }
+    }
+    const Summary s = Summarize(scores);
+    summaries[scheme] = s;
+    table.AddRow({core::SchemeName(scheme), TablePrinter::Num(s.min, 2),
+                  TablePrinter::Num(s.max, 2), TablePrinter::Num(s.mean, 2),
+                  TablePrinter::Num(s.median, 2)});
+    csv.WriteRow({core::SchemeName(scheme), std::to_string(s.min),
+                  std::to_string(s.max), std::to_string(s.mean),
+                  std::to_string(s.median)});
+  }
+  std::printf("\nNormalized scores over the 30 OOD train/test pairs "
+              "(0 = Random, 1 = BB):\n\n");
+  table.Print();
+
+  std::printf("\nShape checks (paper Section 3.4):\n");
+  const Summary& vanilla = summaries[Scheme::kPensieve];
+  for (Scheme s : core::SafetySchemes()) {
+    const Summary& sum = summaries[s];
+    std::printf("  %-11s beats vanilla on min/mean/median: %s/%s/%s\n",
+                core::SchemeName(s).c_str(),
+                sum.min > vanilla.min ? "yes" : "NO",
+                sum.mean > vanilla.mean ? "yes" : "NO",
+                sum.median > vanilla.median ? "yes" : "NO");
+  }
+  const Summary& nd = summaries[Scheme::kNoveltyDetection];
+  const Summary& ae = summaries[Scheme::kAgentEnsemble];
+  const Summary& ve = summaries[Scheme::kValueEnsemble];
+  std::printf("  A-ensemble has the worst min of the three:   %s\n",
+              (ae.min <= nd.min && ae.min <= ve.min) ? "yes" : "NO");
+  std::printf("  ND min >= V-ensemble min (ND is safest):     %s\n",
+              nd.min >= ve.min ? "yes" : "NO");
+  std::printf("  V-ensemble max >= ND max (higher upside):    %s\n",
+              ve.max >= nd.max ? "yes" : "NO");
+  std::printf("\nCSV written to %s\n",
+              (bench::ResultsDir() / "fig4_ood_summary.csv").c_str());
+  return 0;
+}

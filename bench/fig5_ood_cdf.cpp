@@ -1,0 +1,68 @@
+// Figure 5: A CDF of performance for the different schemes across all 30
+// training-test combinations where test is OOD.
+//
+// One normalized score per OOD (train, test) pair per scheme; the bench
+// prints the empirical CDF at decile resolution and writes every point to
+// CSV. Expected shape: the safety schemes' CDFs sit to the right of
+// vanilla Pensieve's in the lower tail (fewer catastrophic sessions).
+#include <map>
+
+#include "bench_common.h"
+
+using namespace osap;
+using core::Scheme;
+
+int main() {
+  bench::PrintHeader("Figure 5", "CDF of normalized OOD performance");
+  core::Workbench bench(bench::PaperConfig());
+  CsvWriter csv(bench::ResultsDir() / "fig5_ood_cdf.csv");
+  csv.WriteHeader({"scheme", "normalized_score", "cumulative_probability"});
+
+  const std::vector<Scheme> schemes = {
+      Scheme::kNoveltyDetection, Scheme::kAgentEnsemble,
+      Scheme::kValueEnsemble, Scheme::kPensieve};
+
+  std::map<Scheme, std::vector<double>> scores;
+  for (Scheme scheme : schemes) {
+    for (traces::DatasetId train : traces::AllDatasetIds()) {
+      for (traces::DatasetId test : traces::AllDatasetIds()) {
+        if (train == test) continue;
+        scores[scheme].push_back(bench.NormalizedMean(scheme, train, test));
+      }
+    }
+    for (const auto& [value, prob] : EmpiricalCdf(scores[scheme])) {
+      csv.WriteRow({core::SchemeName(scheme), std::to_string(value),
+                    std::to_string(prob)});
+    }
+  }
+
+  // Decile table: score at each cumulative probability.
+  TablePrinter table({"cum. prob.", "nd", "a_ensemble", "v_ensemble",
+                      "pensieve"});
+  for (int decile = 1; decile <= 10; ++decile) {
+    const double q = decile / 10.0;
+    std::vector<std::string> row = {TablePrinter::Num(q, 1)};
+    for (Scheme scheme : schemes) {
+      row.push_back(
+          TablePrinter::Num(Quantile(scores[scheme], q), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("\nNormalized score at each decile of the 30 OOD pairs "
+              "(0 = Random, 1 = BB):\n\n");
+  table.Print();
+
+  std::printf("\nShape checks (paper Section 3.4):\n");
+  for (Scheme s : core::SafetySchemes()) {
+    const double p10_safe = Quantile(scores[s], 0.1);
+    const double p10_vanilla = Quantile(scores[Scheme::kPensieve], 0.1);
+    std::printf("  %-11s 10th percentile above vanilla's: %s "
+                "(%.2f vs %.2f)\n",
+                core::SchemeName(s).c_str(),
+                p10_safe > p10_vanilla ? "yes" : "NO", p10_safe,
+                p10_vanilla);
+  }
+  std::printf("\nCSV written to %s\n",
+              (bench::ResultsDir() / "fig5_ood_cdf.csv").c_str());
+  return 0;
+}

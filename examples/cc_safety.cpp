@@ -1,0 +1,165 @@
+// Example: online safety assurance for a congestion-control agent
+// (the paper's methodology in its second domain; see
+// bench/ext_congestion_control.cpp for the full evaluation).
+//
+// Trains a small Aurora-style rate controller on Gamma(2,2) x10 links,
+// fits a U_S novelty detector on its delivered-rate statistics, then
+// streams a connection whose capacity collapses mid-flight and narrates
+// the sending rate, the uncertainty signal, and the handover to AIMD.
+#include <algorithm>
+#include <cstdio>
+
+#include "cc/aimd_policy.h"
+#include "cc/cc_net.h"
+#include "core/novelty_detector.h"
+#include "core/safe_agent.h"
+#include "mdp/rollout.h"
+#include "rl/a2c.h"
+#include "traces/dataset.h"
+#include "util/distributions.h"
+
+using namespace osap;
+
+namespace {
+
+class GreedyRlPolicy final : public mdp::Policy {
+ public:
+  explicit GreedyRlPolicy(std::shared_ptr<nn::ActorCriticNet> net)
+      : net_(std::move(net)) {}
+  mdp::Action SelectAction(const mdp::State& s) override {
+    const auto p = net_->ActionProbs(s);
+    return static_cast<mdp::Action>(
+        std::distance(p.begin(), std::max_element(p.begin(), p.end())));
+  }
+  std::string Name() const override { return "aurora"; }
+
+ private:
+  std::shared_ptr<nn::ActorCriticNet> net_;
+};
+
+/// Capacity ~ Gamma(2,2)x10 for the first `shift_at` seconds, then an
+/// Exponential(0.5)x10 collapse.
+traces::Trace ShiftingLink(double duration, double shift_at,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  GammaDistribution before(2.0, 2.0);
+  ExponentialDistribution after(0.5);
+  std::vector<double> samples;
+  for (double t = 0.0; t < duration; t += 1.0) {
+    const double raw =
+        (t < shift_at ? before.Sample(rng) : after.Sample(rng)) * 10.0;
+    samples.push_back(std::clamp(raw, 0.5, 500.0));
+  }
+  return traces::Trace("shifting-link", 1.0, std::move(samples));
+}
+
+}  // namespace
+
+int main() {
+  cc::CcEnvironmentConfig cfg;
+  cfg.initial_rate_mbps = 5.0;
+  cfg.max_rate_mbps = 100.0;
+
+  const auto train_traces = traces::ScaleTraces(
+      traces::BuildDataset(traces::DatasetId::kGamma22).train, 10.0);
+
+  std::printf("training an Aurora-style controller on Gamma(2,2) x10 "
+              "links...\n");
+  cc::CcEnvironment train_env(cfg);
+  train_env.SetTracePool(train_traces, 11);
+  Rng init_rng(1);
+  auto net = std::make_shared<nn::ActorCriticNet>(cc::MakeCcActorCritic(
+      cfg.layout, cfg.rate_multipliers.size(), {}, init_rng));
+  rl::A2cConfig a2c;
+  a2c.episodes = 3500;
+  rl::TrainA2c(*net, train_env, a2c);
+
+  auto rl_policy = std::make_shared<GreedyRlPolicy>(net);
+  auto aimd =
+      std::make_shared<cc::AimdPolicy>(cfg.layout, cfg.rate_multipliers);
+
+  // U_S over the controller's delivered-rate windows.
+  core::NoveltyDetectorConfig nd_cfg;
+  nd_cfg.k = 30;
+  const cc::CcStateLayout layout = cfg.layout;
+  auto detector = std::make_shared<core::NoveltyDetector>(
+      nd_cfg, [layout](const mdp::State& s) {
+        return layout.LatestDeliveredMbps(s);
+      });
+  {
+    cc::CcEnvironment env(cfg);
+    std::vector<std::vector<double>> features;
+    for (const traces::Trace& trace : train_traces) {
+      env.SetFixedTrace(trace);
+      std::vector<double> delivered;
+      mdp::State s = env.Reset();
+      bool done = false;
+      while (!done) {
+        mdp::StepResult r = env.Step(rl_policy->SelectAction(s));
+        delivered.push_back(env.LastReport().delivered_mbps);
+        s = std::move(r.next_state);
+        done = r.done;
+      }
+      for (auto& f :
+           core::NoveltyDetector::ExtractFeatures(delivered, nd_cfg)) {
+        features.push_back(std::move(f));
+      }
+    }
+    detector->Fit(features);
+  }
+
+  core::SafeAgentConfig sa;
+  sa.trigger.mode = core::TriggerMode::kBinary;
+  sa.trigger.l = 3;
+  core::SafeAgent safe(rl_policy, aimd, detector, sa);
+
+  // The drill: capacity collapses at t = 20 s (MI 200 of 400).
+  const traces::Trace link = ShiftingLink(60.0, 20.0, 9);
+  cc::CcEnvironment env(cfg);
+  env.SetFixedTrace(link);
+  safe.Reset();
+  mdp::State s = env.Reset();
+  bool done = false;
+  std::size_t mi = 0;
+  bool announced = false;
+  std::printf("\n%6s %10s %10s %10s  %s\n", "MI", "capacity", "rate",
+              "delivered", "controller");
+  while (!done) {
+    const mdp::StepResult r = env.Step(safe.SelectAction(s));
+    if (mi % 25 == 0 || (safe.Defaulted() && !announced)) {
+      std::printf("%6zu %9.1fM %9.1fM %9.1fM  %s\n", mi,
+                  env.LastReport().capacity_mbps, env.CurrentRateMbps(),
+                  env.LastReport().delivered_mbps,
+                  safe.Defaulted() ? "aimd (defaulted)" : "aurora");
+    }
+    if (safe.Defaulted() && !announced) {
+      announced = true;
+      std::printf("       >>> safety net fired at MI %zu (collapse began "
+                  "at MI 200)\n",
+                  safe.DefaultStep());
+    }
+    s = r.next_state;
+    done = r.done;
+    ++mi;
+  }
+  std::printf("\nepisode reward with the safety net: %10.0f\n",
+              [&] {
+                cc::CcEnvironment e(cfg);
+                e.SetFixedTrace(link);
+                safe.Reset();
+                return mdp::Rollout(e, safe).TotalReward();
+              }());
+  std::printf("episode reward without it:          %10.0f\n",
+              [&] {
+                cc::CcEnvironment e(cfg);
+                e.SetFixedTrace(link);
+                return mdp::Rollout(e, *rl_policy).TotalReward();
+              }());
+  std::printf("AIMD on the same link:              %10.0f\n",
+              [&] {
+                cc::CcEnvironment e(cfg);
+                e.SetFixedTrace(link);
+                return mdp::Rollout(e, *aimd).TotalReward();
+              }());
+  return 0;
+}

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Plot the paper figures from the bench CSV exports.
+
+Run the bench binaries first (they write ./results/*.csv), then:
+
+    python3 results/plot_figures.py [out_dir]
+
+Produces one PNG per available figure. Requires matplotlib; degrades to a
+text summary when it is not installed (the C++ benches already print every
+number, so plotting is a convenience, not a dependency).
+"""
+import csv
+import pathlib
+import sys
+
+
+def read(path):
+    with open(path) as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def main():
+    results = pathlib.Path(__file__).resolve().parent
+    out_dir = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else results
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; bench tables already contain "
+              "all figure data.")
+        return 0
+
+    schemes = ["pensieve", "nd", "a_ensemble", "v_ensemble", "buffer_based"]
+
+    fig1 = results / "fig1_in_distribution.csv"
+    if fig1.exists():
+        rows = read(fig1)
+        datasets = sorted({r["dataset"] for r in rows})
+        fig, ax = plt.subplots(figsize=(9, 4))
+        width = 0.15
+        for i, scheme in enumerate(schemes):
+            ys = [float(next(r["mean_qoe"] for r in rows
+                             if r["dataset"] == d and r["scheme"] == scheme))
+                  for d in datasets]
+            xs = [j + (i - 2) * width for j in range(len(datasets))]
+            ax.bar(xs, ys, width, label=scheme)
+        ax.set_xticks(range(len(datasets)))
+        ax.set_xticklabels(datasets, rotation=20)
+        ax.set_ylabel("mean session QoE")
+        ax.set_title("Figure 1: in-distribution QoE")
+        ax.legend(fontsize=8)
+        fig.tight_layout()
+        fig.savefig(out_dir / "fig1.png", dpi=150)
+        print("wrote fig1.png")
+
+    fig5 = results / "fig5_ood_cdf.csv"
+    if fig5.exists():
+        rows = read(fig5)
+        fig, ax = plt.subplots(figsize=(6, 4))
+        for scheme in ["nd", "a_ensemble", "v_ensemble", "pensieve"]:
+            pts = [(float(r["normalized_score"]),
+                    float(r["cumulative_probability"]))
+                   for r in rows if r["scheme"] == scheme]
+            pts.sort()
+            ax.plot([p[0] for p in pts], [p[1] for p in pts], label=scheme)
+        ax.set_xlabel("normalized score (0 = Random, 1 = BB)")
+        ax.set_ylabel("CDF")
+        ax.set_xlim(-5, 3)
+        ax.set_title("Figure 5: OOD performance CDF")
+        ax.legend(fontsize=8)
+        fig.tight_layout()
+        fig.savefig(out_dir / "fig5.png", dpi=150)
+        print("wrote fig5.png")
+
+    fig3 = results / "fig3_matrix.csv"
+    if fig3.exists():
+        rows = read(fig3)
+        names = sorted({r["train"] for r in rows})
+        grid = [[0.0] * len(names) for _ in names]
+        for r in rows:
+            grid[names.index(r["train"])][names.index(r["test"])] = \
+                float(r["loglinear_axis"])
+        fig, ax = plt.subplots(figsize=(6, 5))
+        im = ax.imshow(grid, cmap="RdYlGn", vmin=-4, vmax=2)
+        ax.set_xticks(range(len(names)))
+        ax.set_xticklabels(names, rotation=45, ha="right")
+        ax.set_yticks(range(len(names)))
+        ax.set_yticklabels(names)
+        ax.set_xlabel("test distribution")
+        ax.set_ylabel("training distribution")
+        ax.set_title("Figure 3: normalized Pensieve score (log-linear axis)")
+        fig.colorbar(im)
+        fig.tight_layout()
+        fig.savefig(out_dir / "fig3.png", dpi=150)
+        print("wrote fig3.png")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

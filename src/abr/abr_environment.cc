@@ -1,0 +1,104 @@
+#include "abr/abr_environment.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace osap::abr {
+
+AbrEnvironment::AbrEnvironment(VideoSpec video, AbrEnvironmentConfig config)
+    : video_(std::move(video)),
+      config_(config),
+      simulator_(video_, config.simulator),
+      qoe_(config.qoe) {
+  OSAP_REQUIRE(config_.layout.levels == video_.LevelCount(),
+               "AbrEnvironment: layout levels must match the video ladder");
+  OSAP_REQUIRE(config_.layout.history > 0,
+               "AbrEnvironment: history must be > 0");
+}
+
+void AbrEnvironment::SetTracePool(std::span<const traces::Trace> pool,
+                                  std::uint64_t seed) {
+  OSAP_REQUIRE(!pool.empty(), "SetTracePool: empty pool");
+  pool_ = pool;
+  pool_rng_ = Rng(seed);
+  fixed_trace_ = nullptr;
+}
+
+void AbrEnvironment::SetFixedTrace(const traces::Trace& trace) {
+  fixed_trace_ = &trace;
+  pool_ = {};
+}
+
+mdp::State AbrEnvironment::Reset() {
+  OSAP_REQUIRE(fixed_trace_ != nullptr || !pool_.empty(),
+               "AbrEnvironment::Reset: no trace configured");
+  current_trace_ =
+      fixed_trace_ != nullptr
+          ? fixed_trace_
+          : &pool_[static_cast<std::size_t>(pool_rng_.UniformInt(pool_.size()))];
+  simulator_.StartSession(*current_trace_);
+  qoe_.Reset();
+  throughput_history_mbps_.assign(config_.layout.history, 0.0);
+  download_time_history_s_.assign(config_.layout.history, 0.0);
+  last_bitrate_mbps_ = 0.0;
+  last_download_ = DownloadResult{};
+  return BuildState();
+}
+
+mdp::StepResult AbrEnvironment::Step(mdp::Action action) {
+  OSAP_REQUIRE(simulator_.SessionActive(),
+               "AbrEnvironment::Step before Reset");
+  OSAP_REQUIRE(action >= 0 &&
+                   static_cast<std::size_t>(action) < video_.LevelCount(),
+               "AbrEnvironment::Step: action out of range");
+  const auto level = static_cast<std::size_t>(action);
+  last_download_ = simulator_.DownloadChunk(level);
+
+  // Shift the oldest-first history taps and append this chunk's
+  // observations.
+  throughput_history_mbps_.erase(throughput_history_mbps_.begin());
+  throughput_history_mbps_.push_back(last_download_.throughput_mbps);
+  download_time_history_s_.erase(download_time_history_s_.begin());
+  download_time_history_s_.push_back(last_download_.download_seconds);
+
+  const double bitrate_mbps = video_.BitrateMbps(level);
+  const double reward =
+      qoe_.AddChunk(bitrate_mbps, last_download_.rebuffer_seconds);
+  last_bitrate_mbps_ = bitrate_mbps;
+
+  mdp::StepResult result;
+  result.reward = reward;
+  result.done = last_download_.video_finished;
+  result.next_state = BuildState();
+  return result;
+}
+
+mdp::State AbrEnvironment::BuildState() const {
+  const AbrStateLayout& layout = config_.layout;
+  mdp::State s(layout.Size(), 0.0);
+  s[layout.LastBitrateIndex()] =
+      last_bitrate_mbps_ / video_.MaxBitrateMbps();
+  s[layout.BufferIndex()] =
+      simulator_.BufferSeconds() / AbrStateLayout::kBufferNormSeconds;
+  for (std::size_t i = 0; i < layout.history; ++i) {
+    s[layout.ThroughputBegin() + i] =
+        throughput_history_mbps_[i] / AbrStateLayout::kThroughputNormMbps;
+    s[layout.DownloadTimeBegin() + i] =
+        download_time_history_s_[i] /
+        AbrStateLayout::kDownloadTimeNormSeconds;
+  }
+  if (simulator_.ChunksRemaining() > 0) {
+    const std::size_t next = simulator_.NextChunkIndex();
+    for (std::size_t l = 0; l < layout.levels; ++l) {
+      s[layout.NextSizesBegin() + l] =
+          video_.ChunkBytes(next, l) / AbrStateLayout::kChunkBytesNorm;
+    }
+  }
+  s[layout.RemainingIndex()] =
+      static_cast<double>(simulator_.ChunksRemaining()) /
+      static_cast<double>(video_.ChunkCount());
+  return s;
+}
+
+}  // namespace osap::abr

@@ -1,0 +1,40 @@
+#include "abr/qoe.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace osap::abr {
+
+QoeAccumulator::QoeAccumulator(QoeConfig config) : config_(config) {
+  OSAP_REQUIRE(config_.rebuffer_penalty >= 0.0,
+               "QoeConfig: rebuffer penalty must be >= 0");
+  OSAP_REQUIRE(config_.smoothness_penalty >= 0.0,
+               "QoeConfig: smoothness penalty must be >= 0");
+}
+
+double QoeAccumulator::AddChunk(double bitrate_mbps,
+                                double rebuffer_seconds) {
+  OSAP_REQUIRE(bitrate_mbps > 0.0, "QoE: bitrate must be > 0");
+  OSAP_REQUIRE(rebuffer_seconds >= 0.0, "QoE: rebuffer must be >= 0");
+  const double smooth =
+      chunks_ == 0 ? 0.0 : std::abs(bitrate_mbps - prev_bitrate_mbps_);
+  const double reward = bitrate_mbps -
+                        config_.rebuffer_penalty * rebuffer_seconds -
+                        config_.smoothness_penalty * smooth;
+  bitrate_sum_ += bitrate_mbps;
+  rebuffer_sum_ += config_.rebuffer_penalty * rebuffer_seconds;
+  smoothness_sum_ += config_.smoothness_penalty * smooth;
+  total_ += reward;
+  prev_bitrate_mbps_ = bitrate_mbps;
+  ++chunks_;
+  return reward;
+}
+
+void QoeAccumulator::Reset() {
+  total_ = bitrate_sum_ = rebuffer_sum_ = smoothness_sum_ = 0.0;
+  prev_bitrate_mbps_ = 0.0;
+  chunks_ = 0;
+}
+
+}  // namespace osap::abr

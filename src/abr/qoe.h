@@ -1,0 +1,54 @@
+// The linear QoE metric of the paper (Section 3.1, following [27, 63]):
+//
+//   QoE = sum_n R_n - mu * sum_n T_n - sum_n |R_{n+1} - R_n|
+//
+// with R_n the bitrate (Mbps) chunk n was downloaded at, T_n the
+// rebuffering time chunk n incurred, and mu the rebuffer penalty
+// (conventionally the top ladder bitrate, 4.3 for the EnvivioDash3 ladder).
+// The per-chunk reward decomposition (bitrate - rebuffer penalty -
+// smoothness penalty) is exactly the reward Pensieve trains on.
+#pragma once
+
+#include <cstddef>
+
+namespace osap::abr {
+
+struct QoeConfig {
+  /// Rebuffer penalty mu (per stalled second). 4.3 = top ladder Mbps.
+  double rebuffer_penalty = 4.3;
+  /// Weight of the |R_{n+1} - R_n| smoothness term (1.0 in the paper).
+  double smoothness_penalty = 1.0;
+};
+
+/// Accumulates per-chunk QoE over a session.
+class QoeAccumulator {
+ public:
+  explicit QoeAccumulator(QoeConfig config = {});
+
+  /// Adds chunk n's contribution and returns it (the per-chunk reward).
+  /// For the first chunk there is no smoothness term.
+  double AddChunk(double bitrate_mbps, double rebuffer_seconds);
+
+  /// Session QoE so far.
+  double Total() const { return total_; }
+
+  /// Decomposed terms (all accumulated): bitrate utility, rebuffer
+  /// penalty (positive number subtracted), smoothness penalty.
+  double BitrateUtility() const { return bitrate_sum_; }
+  double RebufferPenalty() const { return rebuffer_sum_; }
+  double SmoothnessPenalty() const { return smoothness_sum_; }
+  std::size_t ChunkCount() const { return chunks_; }
+
+  void Reset();
+
+ private:
+  QoeConfig config_;
+  double total_ = 0.0;
+  double bitrate_sum_ = 0.0;
+  double rebuffer_sum_ = 0.0;
+  double smoothness_sum_ = 0.0;
+  double prev_bitrate_mbps_ = 0.0;
+  std::size_t chunks_ = 0;
+};
+
+}  // namespace osap::abr

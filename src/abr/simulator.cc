@@ -1,0 +1,91 @@
+#include "abr/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace osap::abr {
+
+AbrSimulator::AbrSimulator(VideoSpec video, SimulatorConfig config)
+    : video_(std::move(video)), config_(config) {
+  OSAP_REQUIRE(config_.rtt_seconds >= 0.0, "SimulatorConfig: rtt must be >= 0");
+  OSAP_REQUIRE(config_.buffer_capacity_seconds > video_.ChunkSeconds(),
+               "SimulatorConfig: buffer capacity must exceed one chunk");
+  OSAP_REQUIRE(config_.drain_quantum_seconds > 0.0,
+               "SimulatorConfig: drain quantum must be > 0");
+}
+
+void AbrSimulator::StartSession(const traces::Trace& trace) {
+  trace_ = &trace;
+  next_chunk_ = 0;
+  buffer_seconds_ = 0.0;
+  trace_time_ = 0.0;
+}
+
+std::size_t AbrSimulator::ChunksRemaining() const {
+  return video_.ChunkCount() - next_chunk_;
+}
+
+double AbrSimulator::TransferTime(double bytes) {
+  // Integrate the piecewise-constant trace: within each trace interval the
+  // link drains at the interval's throughput; cross interval boundaries
+  // until all bytes are delivered.
+  double remaining = bytes;
+  double elapsed = 0.0;
+  while (remaining > 0.0) {
+    const double mbps = trace_->ThroughputAt(trace_time_ + elapsed);
+    const double bytes_per_second = mbps * 1e6 / 8.0;
+    // Time left inside the current trace interval.
+    const double interval = trace_->interval_seconds();
+    const double into_interval =
+        std::fmod(trace_time_ + elapsed, interval);
+    const double interval_left = interval - into_interval;
+    const double deliverable = bytes_per_second * interval_left;
+    if (deliverable >= remaining) {
+      elapsed += remaining / bytes_per_second;
+      remaining = 0.0;
+    } else {
+      elapsed += interval_left;
+      remaining -= deliverable;
+    }
+  }
+  return elapsed;
+}
+
+DownloadResult AbrSimulator::DownloadChunk(std::size_t level) {
+  OSAP_REQUIRE(SessionActive(), "DownloadChunk: no active session");
+  OSAP_REQUIRE(ChunksRemaining() > 0, "DownloadChunk: video already finished");
+  OSAP_REQUIRE(level < video_.LevelCount(), "DownloadChunk: bad level");
+
+  DownloadResult result;
+  result.bytes = video_.ChunkBytes(next_chunk_, level);
+  const double transfer = TransferTime(result.bytes);
+  result.download_seconds = config_.rtt_seconds + transfer;
+  trace_time_ += result.download_seconds;
+
+  // Playback drains the buffer during the download; an empty buffer stalls.
+  result.rebuffer_seconds =
+      std::max(0.0, result.download_seconds - buffer_seconds_);
+  buffer_seconds_ =
+      std::max(0.0, buffer_seconds_ - result.download_seconds) +
+      video_.ChunkSeconds();
+
+  // Full buffer: pause requesting in drain-quantum units (Pensieve's
+  // convention) until there is room for further video.
+  while (buffer_seconds_ > config_.buffer_capacity_seconds) {
+    const double pause = config_.drain_quantum_seconds;
+    buffer_seconds_ -= pause;
+    trace_time_ += pause;
+    result.sleep_seconds += pause;
+  }
+
+  result.buffer_seconds = buffer_seconds_;
+  result.throughput_mbps =
+      result.bytes * 8.0 / 1e6 / std::max(result.download_seconds, 1e-9);
+  ++next_chunk_;
+  result.video_finished = ChunksRemaining() == 0;
+  return result;
+}
+
+}  // namespace osap::abr

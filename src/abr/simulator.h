@@ -1,0 +1,95 @@
+// Chunk-level ABR streaming simulator.
+//
+// This is the substrate substituting for the paper's MahiMahi testbed [30]:
+// it reproduces the dynamics the evaluation depends on at the same fidelity
+// Pensieve's own training simulator uses (Mao et al.'s env.py):
+//
+//  - a chunk download occupies the link for bytes/throughput, integrated
+//    over the piecewise-constant trace (so throughput changes mid-download
+//    are honored), plus one RTT of request latency;
+//  - the playback buffer drains in real time during the download; an empty
+//    buffer stalls playback (rebuffering) until the chunk arrives;
+//  - each finished chunk adds chunk_seconds of playable video;
+//  - when the buffer would exceed its capacity the client pauses requesting
+//    (Pensieve sleeps in 500 ms units) and the trace clock advances.
+#pragma once
+
+#include <cstddef>
+
+#include "abr/video.h"
+#include "traces/trace.h"
+
+namespace osap::abr {
+
+struct SimulatorConfig {
+  /// Client-server round-trip time (the paper emulates 80 ms).
+  double rtt_seconds = 0.08;
+  /// Playback buffer capacity in seconds (Pensieve: 60 s).
+  double buffer_capacity_seconds = 60.0;
+  /// Pause quantum when the buffer is full (Pensieve: 500 ms).
+  double drain_quantum_seconds = 0.5;
+};
+
+/// Result of downloading one chunk.
+struct DownloadResult {
+  /// Wall-clock time the download took (including RTT).
+  double download_seconds = 0.0;
+  /// Playback stall incurred while waiting for this chunk.
+  double rebuffer_seconds = 0.0;
+  /// Time spent paused because the buffer was full (after the download).
+  double sleep_seconds = 0.0;
+  /// Bytes transferred.
+  double bytes = 0.0;
+  /// Buffer level after the chunk was added (seconds of video).
+  double buffer_seconds = 0.0;
+  /// Measured throughput for this chunk: bytes / download time, in Mbps.
+  /// This is the observation the ND (U_S) scheme monitors.
+  double throughput_mbps = 0.0;
+  /// True when this was the final chunk of the video.
+  bool video_finished = false;
+};
+
+/// Simulates one client streaming one video over one trace. Deterministic:
+/// equal (video, trace, decisions) produce equal results.
+class AbrSimulator {
+ public:
+  /// The video spec is copied so the simulator is freely movable.
+  AbrSimulator(VideoSpec video, SimulatorConfig config = {});
+
+  /// Starts a session over the given trace at trace time 0. The trace must
+  /// outlive the simulator's use of it.
+  void StartSession(const traces::Trace& trace);
+
+  /// Downloads the next chunk at the given ladder level. Requires an active
+  /// session with chunks remaining.
+  DownloadResult DownloadChunk(std::size_t level);
+
+  /// Index of the next chunk to download (0-based).
+  std::size_t NextChunkIndex() const { return next_chunk_; }
+
+  /// Chunks left to download.
+  std::size_t ChunksRemaining() const;
+
+  /// Current buffer level (seconds of video ready to play).
+  double BufferSeconds() const { return buffer_seconds_; }
+
+  /// Wall-clock position in the (cyclically repeating) trace.
+  double TraceTimeSeconds() const { return trace_time_; }
+
+  bool SessionActive() const { return trace_ != nullptr; }
+  const VideoSpec& video() const { return video_; }
+  const SimulatorConfig& config() const { return config_; }
+
+ private:
+  VideoSpec video_;
+  SimulatorConfig config_;
+  const traces::Trace* trace_ = nullptr;
+  std::size_t next_chunk_ = 0;
+  double buffer_seconds_ = 0.0;
+  double trace_time_ = 0.0;
+
+  /// Advances trace time while transferring `bytes`; returns elapsed time.
+  double TransferTime(double bytes);
+};
+
+}  // namespace osap::abr

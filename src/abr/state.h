@@ -1,0 +1,67 @@
+// Pensieve state encoding (Mao et al., SIGCOMM '17, Section 5.2).
+//
+// The agent observes, per decision:
+//   [0]                 bitrate of the last downloaded chunk / top bitrate
+//   [1]                 playback buffer (seconds) / 10
+//   [2 .. 2+H)          measured throughput (Mbps/10) of the last H chunks
+//   [2+H .. 2+2H)       download time (seconds/10) of the last H chunks
+//   [2+2H .. 2+2H+L)    sizes (MB) of the next chunk at each ladder level
+//   [2+2H+L]            fraction of chunks remaining
+// with H = 8 history taps and L = 6 ladder levels by default. History
+// vectors are oldest-first; slots before the first download are zero.
+//
+// AbrStateLayout centralizes offsets and normalization constants so the
+// Pensieve network builder, the heuristic policies and the U_S feature
+// extractor all agree on the encoding.
+#pragma once
+
+#include <cstddef>
+
+#include "mdp/types.h"
+
+namespace osap::abr {
+
+struct AbrStateLayout {
+  std::size_t history = 8;  // H: throughput / download-time taps
+  std::size_t levels = 6;   // L: ladder size
+
+  // Normalization constants (Pensieve's conventions).
+  static constexpr double kBufferNormSeconds = 10.0;
+  static constexpr double kThroughputNormMbps = 10.0;
+  static constexpr double kDownloadTimeNormSeconds = 10.0;
+  static constexpr double kChunkBytesNorm = 1e6;  // bytes -> MB
+
+  // Offsets.
+  std::size_t LastBitrateIndex() const { return 0; }
+  std::size_t BufferIndex() const { return 1; }
+  std::size_t ThroughputBegin() const { return 2; }
+  std::size_t DownloadTimeBegin() const { return 2 + history; }
+  std::size_t NextSizesBegin() const { return 2 + 2 * history; }
+  std::size_t RemainingIndex() const { return 2 + 2 * history + levels; }
+  std::size_t Size() const { return 2 + 2 * history + levels + 1; }
+
+  // Decoders (denormalize fields from a state vector).
+  double BufferSeconds(const mdp::State& s) const {
+    return s[BufferIndex()] * kBufferNormSeconds;
+  }
+  double LastBitrateFraction(const mdp::State& s) const {
+    return s[LastBitrateIndex()];
+  }
+  /// Throughput tap i in [0, history), oldest-first, in Mbps.
+  double ThroughputMbps(const mdp::State& s, std::size_t i) const {
+    return s[ThroughputBegin() + i] * kThroughputNormMbps;
+  }
+  /// Most recent measured chunk throughput in Mbps (0 before any download).
+  double LatestThroughputMbps(const mdp::State& s) const {
+    return ThroughputMbps(s, history - 1);
+  }
+  /// Next-chunk size at a ladder level, bytes.
+  double NextChunkBytes(const mdp::State& s, std::size_t level) const {
+    return s[NextSizesBegin() + level] * kChunkBytesNorm;
+  }
+  double RemainingFraction(const mdp::State& s) const {
+    return s[RemainingIndex()];
+  }
+};
+
+}  // namespace osap::abr

@@ -1,0 +1,59 @@
+#include "abr/video.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace osap::abr {
+
+VideoSpec::VideoSpec(std::vector<double> bitrates_kbps,
+                     std::size_t chunk_count, double chunk_seconds,
+                     double vbr_jitter, std::uint64_t seed)
+    : bitrates_kbps_(std::move(bitrates_kbps)),
+      chunk_count_(chunk_count),
+      chunk_seconds_(chunk_seconds) {
+  OSAP_REQUIRE(!bitrates_kbps_.empty(), "VideoSpec: empty bitrate ladder");
+  OSAP_REQUIRE(std::is_sorted(bitrates_kbps_.begin(), bitrates_kbps_.end()),
+               "VideoSpec: ladder must be ascending");
+  OSAP_REQUIRE(bitrates_kbps_.front() > 0.0, "VideoSpec: bitrates must be > 0");
+  OSAP_REQUIRE(chunk_count > 0, "VideoSpec: chunk count must be > 0");
+  OSAP_REQUIRE(chunk_seconds > 0.0, "VideoSpec: chunk duration must be > 0");
+  OSAP_REQUIRE(vbr_jitter >= 0.0 && vbr_jitter < 1.0,
+               "VideoSpec: vbr_jitter must be in [0, 1)");
+  // Deterministic per-(chunk, level) VBR jitter around the nominal size.
+  Rng rng(seed);
+  chunk_bytes_.resize(chunk_count_ * LevelCount());
+  for (std::size_t c = 0; c < chunk_count_; ++c) {
+    for (std::size_t l = 0; l < LevelCount(); ++l) {
+      const double nominal =
+          bitrates_kbps_[l] * 1000.0 / 8.0 * chunk_seconds_;
+      const double factor = 1.0 + rng.Uniform(-vbr_jitter, vbr_jitter);
+      chunk_bytes_[c * LevelCount() + l] = nominal * factor;
+    }
+  }
+}
+
+double VideoSpec::BitrateKbps(std::size_t level) const {
+  OSAP_REQUIRE(level < LevelCount(), "VideoSpec: level out of range");
+  return bitrates_kbps_[level];
+}
+
+double VideoSpec::MaxBitrateMbps() const {
+  return bitrates_kbps_.back() / 1000.0;
+}
+
+double VideoSpec::ChunkBytes(std::size_t chunk, std::size_t level) const {
+  OSAP_REQUIRE(chunk < chunk_count_, "VideoSpec: chunk out of range");
+  OSAP_REQUIRE(level < LevelCount(), "VideoSpec: level out of range");
+  return chunk_bytes_[chunk * LevelCount() + level];
+}
+
+VideoSpec MakeEnvivioLikeVideo(std::size_t repeats) {
+  OSAP_REQUIRE(repeats > 0, "MakeEnvivioLikeVideo: repeats must be > 0");
+  // Pensieve's EnvivioDash3 ladder; 48 chunks of ~4 s per repetition.
+  return VideoSpec({300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0},
+                   48 * repeats, 4.0);
+}
+
+}  // namespace osap::abr

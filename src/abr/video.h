@@ -1,0 +1,57 @@
+// Video description for ABR streaming.
+//
+// The paper streams the "EnvivioDash3" DASH reference video: 48 chunks of
+// ~4 seconds encoded at six bitrates, concatenated five times to prolong
+// the session (Section 3.1). We reproduce that structure synthetically:
+// the same bitrate ladder ({300, 750, 1200, 1850, 2850, 4300} kbps - the
+// ladder of the Pensieve reference implementation), 4-second chunks, and
+// per-chunk VBR size jitter (real encoders do not emit exactly
+// bitrate*duration bytes per chunk) generated deterministically per
+// (chunk, level).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace osap::abr {
+
+class VideoSpec {
+ public:
+  /// Builds a video with the given ladder (kbps, ascending), chunk count
+  /// and duration. vbr_jitter in [0, 1) scales the +/- size deviation per
+  /// chunk; 0 disables jitter. `seed` fixes the jitter pattern.
+  VideoSpec(std::vector<double> bitrates_kbps, std::size_t chunk_count,
+            double chunk_seconds, double vbr_jitter = 0.05,
+            std::uint64_t seed = 7);
+
+  std::size_t LevelCount() const { return bitrates_kbps_.size(); }
+  std::size_t ChunkCount() const { return chunk_count_; }
+  double ChunkSeconds() const { return chunk_seconds_; }
+
+  /// Ladder entry in kbps / Mbps.
+  double BitrateKbps(std::size_t level) const;
+  double BitrateMbps(std::size_t level) const { return BitrateKbps(level) / 1000.0; }
+
+  /// Highest ladder entry in Mbps (the conventional rebuffer penalty).
+  double MaxBitrateMbps() const;
+
+  /// Size in bytes of a chunk at a level, including VBR jitter.
+  double ChunkBytes(std::size_t chunk, std::size_t level) const;
+
+  /// Total video duration in seconds.
+  double Duration() const { return chunk_seconds_ * static_cast<double>(chunk_count_); }
+
+ private:
+  std::vector<double> bitrates_kbps_;
+  std::size_t chunk_count_;
+  double chunk_seconds_;
+  // chunk-major size table [chunk * LevelCount + level]
+  std::vector<double> chunk_bytes_;
+};
+
+/// The paper's video: EnvivioDash3-like, 48 chunks x 4 s, repeated
+/// `repeats` times (the paper uses 5 -> 240 chunks).
+VideoSpec MakeEnvivioLikeVideo(std::size_t repeats = 5);
+
+}  // namespace osap::abr

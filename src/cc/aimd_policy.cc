@@ -1,0 +1,52 @@
+#include "cc/aimd_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace osap::cc {
+
+AimdPolicy::AimdPolicy(const CcStateLayout& layout,
+                       const std::vector<double>& rate_multipliers,
+                       AimdConfig config)
+    : layout_(layout), config_(config) {
+  OSAP_REQUIRE(!rate_multipliers.empty(), "AimdPolicy: no actions");
+  OSAP_REQUIRE(config_.send_ratio_threshold > 1.0,
+               "AimdPolicy: send-ratio threshold must be > 1");
+  OSAP_REQUIRE(config_.latency_ratio_threshold > 1.0,
+               "AimdPolicy: latency-ratio threshold must be > 1");
+  // Multiplicative decrease: the smallest multiplier. Additive-ish
+  // increase: the smallest multiplier strictly above 1.
+  double smallest = std::numeric_limits<double>::infinity();
+  double mildest_up = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < rate_multipliers.size(); ++i) {
+    if (rate_multipliers[i] < smallest) {
+      smallest = rate_multipliers[i];
+      decrease_action_ = static_cast<mdp::Action>(i);
+    }
+    if (rate_multipliers[i] > 1.0 && rate_multipliers[i] < mildest_up) {
+      mildest_up = rate_multipliers[i];
+      increase_action_ = static_cast<mdp::Action>(i);
+    }
+  }
+  OSAP_REQUIRE(smallest < 1.0,
+               "AimdPolicy: the action set needs a decrease multiplier");
+  OSAP_REQUIRE(std::isfinite(mildest_up),
+               "AimdPolicy: the action set needs an increase multiplier");
+}
+
+mdp::Action AimdPolicy::SelectAction(const mdp::State& state) {
+  OSAP_REQUIRE(state.size() == layout_.Size(),
+               "AimdPolicy: state size mismatch");
+  const double send_ratio = layout_.LatestSendRatio(state);
+  const double latency_ratio = layout_.LatestLatencyRatio(state);
+  // Before the first MI (all-zero state), probe upward.
+  if (send_ratio <= 0.0) return increase_action_;
+  const bool congested = send_ratio > config_.send_ratio_threshold ||
+                         latency_ratio > config_.latency_ratio_threshold;
+  return congested ? decrease_action_ : increase_action_;
+}
+
+}  // namespace osap::cc

@@ -1,0 +1,42 @@
+// The battle-tested default policy for the congestion-control domain: a
+// TCP-flavoured AIMD rule at monitor-interval granularity. On congestion
+// evidence (send ratio or latency inflation above thresholds) it picks the
+// strongest decrease action; otherwise the gentlest increase. Plays the
+// role Buffer-Based plays in the ABR case study - simple, throughput-
+// agnostic, and hard to break.
+#pragma once
+
+#include "cc/cc_environment.h"
+#include "mdp/policy.h"
+
+namespace osap::cc {
+
+struct AimdConfig {
+  /// Congestion when sent/delivered exceeds this (loss or queue growth).
+  double send_ratio_threshold = 1.05;
+  /// Congestion when latency exceeds this multiple of the minimum.
+  double latency_ratio_threshold = 1.15;
+};
+
+class AimdPolicy final : public mdp::Policy {
+ public:
+  /// Needs the layout to read the signals and the multipliers to choose
+  /// its decrease/increase actions (smallest and the mildest > 1).
+  AimdPolicy(const CcStateLayout& layout,
+             const std::vector<double>& rate_multipliers,
+             AimdConfig config = {});
+
+  mdp::Action SelectAction(const mdp::State& state) override;
+  std::string Name() const override { return "aimd"; }
+
+  mdp::Action decrease_action() const { return decrease_action_; }
+  mdp::Action increase_action() const { return increase_action_; }
+
+ private:
+  CcStateLayout layout_;
+  AimdConfig config_;
+  mdp::Action decrease_action_ = 0;
+  mdp::Action increase_action_ = 0;
+};
+
+}  // namespace osap::cc

@@ -1,0 +1,106 @@
+#include "cc/cc_environment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace osap::cc {
+
+CcEnvironment::CcEnvironment(CcEnvironmentConfig config)
+    : config_(std::move(config)), link_(config_.link) {
+  OSAP_REQUIRE(config_.rate_multipliers.size() >= 2,
+               "CcEnvironment: need >= 2 actions");
+  for (double m : config_.rate_multipliers) {
+    OSAP_REQUIRE(m > 0.0, "CcEnvironment: multipliers must be > 0");
+  }
+  OSAP_REQUIRE(config_.layout.history >= 2,
+               "CcEnvironment: history must be >= 2");
+  OSAP_REQUIRE(config_.initial_rate_mbps >= config_.min_rate_mbps &&
+                   config_.initial_rate_mbps <= config_.max_rate_mbps,
+               "CcEnvironment: initial rate out of bounds");
+  OSAP_REQUIRE(config_.episode_mis >= 2,
+               "CcEnvironment: episodes need >= 2 monitor intervals");
+}
+
+void CcEnvironment::SetTracePool(std::span<const traces::Trace> pool,
+                                 std::uint64_t seed) {
+  OSAP_REQUIRE(!pool.empty(), "SetTracePool: empty pool");
+  pool_ = pool;
+  pool_rng_ = Rng(seed);
+  fixed_trace_ = nullptr;
+}
+
+void CcEnvironment::SetFixedTrace(const traces::Trace& trace) {
+  fixed_trace_ = &trace;
+  pool_ = {};
+}
+
+mdp::State CcEnvironment::Reset() {
+  OSAP_REQUIRE(fixed_trace_ != nullptr || !pool_.empty(),
+               "CcEnvironment::Reset: no trace configured");
+  const traces::Trace* trace =
+      fixed_trace_ != nullptr
+          ? fixed_trace_
+          : &pool_[static_cast<std::size_t>(
+                pool_rng_.UniformInt(pool_.size()))];
+  link_.Start(*trace);
+  rate_mbps_ = config_.initial_rate_mbps;
+  min_latency_seconds_ = config_.link.base_rtt_seconds;
+  prev_latency_seconds_ = config_.link.base_rtt_seconds;
+  mi_count_ = 0;
+  features_.assign(config_.layout.Size(), 0.0);
+  last_report_ = MiReport{};
+  return BuildState();
+}
+
+mdp::StepResult CcEnvironment::Step(mdp::Action action) {
+  OSAP_REQUIRE(link_.Started(), "CcEnvironment::Step before Reset");
+  OSAP_REQUIRE(
+      action >= 0 &&
+          static_cast<std::size_t>(action) < config_.rate_multipliers.size(),
+      "CcEnvironment::Step: action out of range");
+
+  rate_mbps_ = std::clamp(
+      rate_mbps_ *
+          config_.rate_multipliers[static_cast<std::size_t>(action)],
+      config_.min_rate_mbps, config_.max_rate_mbps);
+  last_report_ = link_.Send(rate_mbps_);
+  ++mi_count_;
+
+  // Aurora's scale-free statistics for this MI.
+  min_latency_seconds_ =
+      std::min(min_latency_seconds_, last_report_.avg_latency_seconds);
+  const double latency_gradient =
+      (last_report_.avg_latency_seconds - prev_latency_seconds_) /
+      config_.link.mi_seconds;
+  prev_latency_seconds_ = last_report_.avg_latency_seconds;
+  const double latency_ratio =
+      last_report_.avg_latency_seconds / min_latency_seconds_;
+  const double send_ratio =
+      last_report_.send_rate_mbps /
+      std::max(last_report_.delivered_mbps, 1e-6);
+
+  // Slide the feature window.
+  features_.erase(features_.begin(),
+                  features_.begin() + CcStateLayout::kFeaturesPerMi);
+  features_.push_back(latency_gradient);
+  features_.push_back(latency_ratio);
+  features_.push_back(send_ratio);
+  features_.push_back(last_report_.delivered_mbps /
+                      CcStateLayout::kDeliveredNormMbps);
+
+  mdp::StepResult result;
+  result.reward = config_.throughput_weight * last_report_.delivered_mbps -
+                  config_.latency_weight *
+                      (last_report_.avg_latency_seconds -
+                       config_.link.base_rtt_seconds) -
+                  config_.loss_weight * last_report_.loss_rate;
+  result.done = mi_count_ >= config_.episode_mis;
+  result.next_state = BuildState();
+  return result;
+}
+
+mdp::State CcEnvironment::BuildState() const { return features_; }
+
+}  // namespace osap::cc

@@ -1,0 +1,37 @@
+#include "cc/cc_net.h"
+
+#include "util/check.h"
+
+namespace osap::cc {
+
+namespace {
+
+nn::CompositeNet Build(const CcStateLayout& layout, std::size_t outputs,
+                       const CcNetConfig& config, Rng& rng) {
+  nn::CompositeNet net;
+  nn::Sequential branch;
+  branch.AddLinearReLU(layout.Size(), config.hidden1, rng);
+  branch.AddLinearReLU(config.hidden1, config.hidden2, rng);
+  net.AddBranch(0, layout.Size(), std::move(branch));
+  nn::Sequential trunk;
+  trunk.Add(std::make_unique<nn::Linear>(config.hidden2, outputs, rng));
+  net.SetTrunk(std::move(trunk));
+  return net;
+}
+
+}  // namespace
+
+nn::CompositeNet BuildCcValueNet(const CcStateLayout& layout,
+                                 const CcNetConfig& config, Rng& rng) {
+  return Build(layout, 1, config, rng);
+}
+
+nn::ActorCriticNet MakeCcActorCritic(const CcStateLayout& layout,
+                                     std::size_t action_count,
+                                     const CcNetConfig& config, Rng& rng) {
+  OSAP_REQUIRE(action_count >= 2, "MakeCcActorCritic: need >= 2 actions");
+  return nn::ActorCriticNet(Build(layout, action_count, config, rng),
+                            Build(layout, 1, config, rng));
+}
+
+}  // namespace osap::cc

@@ -1,0 +1,27 @@
+// Network builders for the congestion-control agent: Aurora uses a small
+// fully-connected actor-critic over the monitor-interval history (two
+// hidden layers, tanh in the original; we use the library's ReLU stack).
+#pragma once
+
+#include "cc/cc_environment.h"
+#include "nn/actor_critic_net.h"
+#include "util/rng.h"
+
+namespace osap::cc {
+
+struct CcNetConfig {
+  std::size_t hidden1 = 32;
+  std::size_t hidden2 = 16;
+};
+
+/// A 1-output value network over the CC state (critic / U_V member).
+nn::CompositeNet BuildCcValueNet(const CcStateLayout& layout,
+                                 const CcNetConfig& config, Rng& rng);
+
+/// A freshly-initialized actor-critic pair for `action_count` rate
+/// multipliers.
+nn::ActorCriticNet MakeCcActorCritic(const CcStateLayout& layout,
+                                     std::size_t action_count,
+                                     const CcNetConfig& config, Rng& rng);
+
+}  // namespace osap::cc

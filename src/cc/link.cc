@@ -1,0 +1,69 @@
+#include "cc/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace osap::cc {
+
+BottleneckLink::BottleneckLink(LinkConfig config) : config_(config) {
+  OSAP_REQUIRE(config_.base_rtt_seconds > 0.0,
+               "LinkConfig: base RTT must be > 0");
+  OSAP_REQUIRE(config_.queue_bdp > 0.0, "LinkConfig: queue must be > 0 BDP");
+  OSAP_REQUIRE(config_.mi_seconds > 0.0,
+               "LinkConfig: monitor interval must be > 0");
+}
+
+void BottleneckLink::Start(const traces::Trace& trace) {
+  trace_ = &trace;
+  queue_bits_ = 0.0;
+  mi_index_ = 0;
+}
+
+MiReport BottleneckLink::Send(double rate_mbps) {
+  OSAP_REQUIRE(Started(), "BottleneckLink::Send before Start");
+  OSAP_REQUIRE(rate_mbps >= 0.0, "BottleneckLink::Send: negative rate");
+
+  const double dt = config_.mi_seconds;
+  const double capacity_mbps = trace_->ThroughputAt(TimeSeconds());
+  const double capacity_bits = capacity_mbps * 1e6 * dt;
+  const double inflow_bits = rate_mbps * 1e6 * dt;
+  // Fixed drop-tail buffer (reference-BDP bytes, independent of the
+  // instantaneous capacity).
+  const double queue_capacity_bits = config_.queue_bdp *
+                                     config_.reference_bandwidth_mbps * 1e6 *
+                                     config_.base_rtt_seconds;
+
+  // Fluid update: the queue absorbs the rate/capacity mismatch; overflow
+  // is dropped. Half the interval's arrivals see the average queue.
+  const double queue_before = queue_bits_;
+  double queue_after = queue_before + inflow_bits - capacity_bits;
+  double lost_bits = 0.0;
+  if (queue_after > queue_capacity_bits) {
+    lost_bits = queue_after - queue_capacity_bits;
+    queue_after = queue_capacity_bits;
+  }
+  queue_after = std::max(0.0, queue_after);
+
+  // Delivered this interval: whatever drained through the link, bounded
+  // by capacity and by what was available (prior queue + arrivals).
+  const double drained =
+      std::min(capacity_bits, queue_before + inflow_bits - lost_bits);
+
+  MiReport report;
+  report.send_rate_mbps = rate_mbps;
+  report.capacity_mbps = capacity_mbps;
+  report.delivered_mbps = std::max(0.0, drained) / 1e6 / dt;
+  report.loss_rate =
+      inflow_bits > 0.0 ? std::min(1.0, lost_bits / inflow_bits) : 0.0;
+  const double avg_queue_bits = 0.5 * (queue_before + queue_after);
+  report.avg_latency_seconds =
+      config_.base_rtt_seconds + avg_queue_bits / (capacity_mbps * 1e6);
+
+  queue_bits_ = queue_after;
+  ++mi_index_;
+  return report;
+}
+
+}  // namespace osap::cc

@@ -1,0 +1,78 @@
+// Bottleneck-link substrate for the congestion-control domain.
+//
+// The paper's conclusion calls for "the exploration of online safety
+// assurance in other application domains"; internet congestion control is
+// the domain its own reference [20] (Jay, Rotman, Godfrey, Schapira,
+// Tamar - "A deep reinforcement learning perspective on internet
+// congestion control", ICML '19, the Aurora system) studies, so we build
+// it as the second OSAP application.
+//
+// The link is the standard single-bottleneck fluid model Aurora trains
+// against: a sender emits at a chosen rate over a link whose capacity
+// follows a throughput trace (the same traces::Trace machinery as the ABR
+// datasets); excess traffic fills a drop-tail queue sized in
+// bandwidth-delay products; queueing adds latency; overflow is loss. Time
+// advances in fixed monitor intervals (MIs), the granularity at which
+// rate-control decisions are made and statistics are observed.
+#pragma once
+
+#include <cstddef>
+
+#include "traces/trace.h"
+
+namespace osap::cc {
+
+struct LinkConfig {
+  /// Two-way propagation delay (no queueing).
+  double base_rtt_seconds = 0.05;
+  /// Drop-tail buffer size in bandwidth-delay products of the reference
+  /// bandwidth - a fixed byte budget, as in real routers, so low-capacity
+  /// episodes exhibit bufferbloat (latency) rather than instant loss.
+  double queue_bdp = 2.0;
+  double reference_bandwidth_mbps = 10.0;
+  /// Monitor-interval duration.
+  double mi_seconds = 0.1;
+};
+
+/// What the sender observes about one monitor interval.
+struct MiReport {
+  double send_rate_mbps = 0.0;       // what the sender attempted
+  double delivered_mbps = 0.0;       // what actually got through
+  double loss_rate = 0.0;            // lost bits / sent bits, in [0, 1]
+  double avg_latency_seconds = 0.0;  // base RTT + mean queueing delay
+  double capacity_mbps = 0.0;        // ground truth (telemetry only)
+};
+
+/// Deterministic fluid simulation of one flow over one bottleneck.
+class BottleneckLink {
+ public:
+  explicit BottleneckLink(LinkConfig config = {});
+
+  /// Starts a connection over the given capacity trace at time 0.
+  /// The trace must outlive its use.
+  void Start(const traces::Trace& trace);
+
+  /// Sends at `rate_mbps` for one monitor interval; returns what happened.
+  MiReport Send(double rate_mbps);
+
+  /// Queued bits awaiting transmission.
+  double QueueBits() const { return queue_bits_; }
+
+  /// Wall-clock position in the (cyclically repeating) trace. Computed
+  /// as interval-count * mi_seconds so it does not drift the way a
+  /// floating-point accumulator would.
+  double TimeSeconds() const {
+    return static_cast<double>(mi_index_) * config_.mi_seconds;
+  }
+
+  bool Started() const { return trace_ != nullptr; }
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  LinkConfig config_;
+  const traces::Trace* trace_ = nullptr;
+  double queue_bits_ = 0.0;
+  std::size_t mi_index_ = 0;
+};
+
+}  // namespace osap::cc

@@ -1,0 +1,47 @@
+#include "core/calibration.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace osap::core {
+
+CalibrationResult CalibrateAlpha(
+    const std::function<double(double)>& in_dist_qoe, double target_qoe,
+    double alpha_lo, double alpha_hi, const CalibrationConfig& config) {
+  OSAP_REQUIRE(alpha_lo >= 0.0 && alpha_hi > alpha_lo,
+               "CalibrateAlpha: need 0 <= alpha_lo < alpha_hi");
+  OSAP_REQUIRE(config.max_iterations >= 1,
+               "CalibrateAlpha: need >= 1 iteration");
+
+  CalibrationResult best;
+  best.target_qoe = target_qoe;
+  double best_gap = std::numeric_limits<double>::infinity();
+  double lo = alpha_lo;
+  double hi = alpha_hi;
+  const double tol = config.tolerance * std::max(std::abs(target_qoe), 1.0);
+
+  for (std::size_t it = 0; it < config.max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double qoe = in_dist_qoe(mid);
+    const double gap = std::abs(qoe - target_qoe);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best.alpha = mid;
+      best.achieved_qoe = qoe;
+    }
+    best.iterations = it + 1;
+    if (gap <= tol) break;
+    // QoE increases with alpha in-distribution: too low means we are
+    // defaulting too eagerly, so raise the threshold.
+    if (qoe < target_qoe) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace osap::core

@@ -1,0 +1,84 @@
+// Threshold calibration (paper Sections 2.5 and 3.1).
+//
+// To compare schemes built on incommensurable uncertainty signals fairly,
+// the paper fixes the U_S (ND) scheme's thresholding strategy and then
+// calibrates the U_pi / U_V variance thresholds alpha so that all three
+// schemes attain the SAME in-distribution QoE. In-distribution QoE is an
+// increasing function of alpha (a higher threshold defaults less and the
+// learned policy dominates the default in-distribution), so a bisection
+// over alpha suffices.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <stdexcept>
+
+#include "core/uncertainty.h"
+#include "mdp/environment.h"
+#include "util/stats.h"
+#include "mdp/policy.h"
+#include "traces/trace.h"
+
+namespace osap::core {
+
+struct CalibrationConfig {
+  /// Stop when |achieved - target| <= tolerance * max(|target|, 1).
+  double tolerance = 0.02;
+  std::size_t max_iterations = 14;
+};
+
+struct CalibrationResult {
+  double alpha = 0.0;
+  double achieved_qoe = 0.0;
+  double target_qoe = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Bisects alpha in [alpha_lo, alpha_hi] so that `in_dist_qoe(alpha)`
+/// matches `target_qoe`. Returns the evaluated alpha whose QoE was closest
+/// to the target. `in_dist_qoe` is typically "mean QoE of the safety-
+/// enhanced agent over the training distribution's validation traces".
+CalibrationResult CalibrateAlpha(
+    const std::function<double(double)>& in_dist_qoe, double target_qoe,
+    double alpha_lo, double alpha_hi, const CalibrationConfig& config = {});
+
+/// Upper bound for the alpha search: the maximum k-step sliding-window
+/// variance of `estimator`'s score observed while `driver` streams the
+/// given traces. Any alpha above this never defaults on these sessions.
+/// Works with any trace-replaying environment (AbrEnvironment,
+/// cc::CcEnvironment, ...): `Env` needs SetFixedTrace / Reset / Step.
+template <typename Env>
+double MaxWindowVariance(UncertaintyEstimator& estimator,
+                         mdp::Policy& driver, Env& env,
+                         std::span<const traces::Trace> traces,
+                         std::size_t k) {
+  if (traces.empty()) {
+    throw std::invalid_argument("MaxWindowVariance: no traces");
+  }
+  if (k < 2) {
+    throw std::invalid_argument("MaxWindowVariance: k must be >= 2");
+  }
+  double max_variance = 0.0;
+  for (const traces::Trace& trace : traces) {
+    env.SetFixedTrace(trace);
+    estimator.Reset();
+    driver.Reset();
+    SlidingWindowStats window(k);
+    mdp::State state = env.Reset();
+    bool done = false;
+    while (!done) {
+      window.Push(estimator.Score(state));
+      if (window.Full()) {
+        max_variance = std::max(max_variance, window.Variance());
+      }
+      mdp::StepResult step = env.Step(driver.SelectAction(state));
+      state = std::move(step.next_state);
+      done = step.done;
+    }
+  }
+  return max_variance;
+}
+
+}  // namespace osap::core

@@ -1,0 +1,105 @@
+#include "core/ensemble_estimators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/matrix.h"
+#include "util/check.h"
+#include "util/kl.h"
+
+namespace osap::core {
+
+std::vector<std::size_t> SurvivingMembers(
+    const std::vector<double>& distances_from_mean, std::size_t keep) {
+  OSAP_REQUIRE(keep > 0 && keep <= distances_from_mean.size(),
+               "SurvivingMembers: keep must be in [1, member count]");
+  std::vector<std::size_t> order(distances_from_mean.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Stable sort so equal distances keep ensemble order (determinism).
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return distances_from_mean[a] < distances_from_mean[b];
+                   });
+  order.resize(keep);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+AgentEnsembleEstimator::AgentEnsembleEstimator(
+    std::vector<std::shared_ptr<nn::ActorCriticNet>> members,
+    std::size_t discard)
+    : members_(std::move(members)) {
+  OSAP_REQUIRE(!members_.empty(), "AgentEnsembleEstimator: empty ensemble");
+  OSAP_REQUIRE(discard < members_.size(),
+               "AgentEnsembleEstimator: discard must leave >= 1 member");
+  for (const auto& m : members_) {
+    OSAP_REQUIRE(m != nullptr, "AgentEnsembleEstimator: null member");
+  }
+  keep_ = members_.size() - discard;
+}
+
+double AgentEnsembleEstimator::Score(const mdp::State& state) {
+  // 1. Per-member action distributions.
+  std::vector<std::vector<double>> dists;
+  dists.reserve(members_.size());
+  for (const auto& m : members_) dists.push_back(m->ActionProbs(state));
+
+  // 2. Distances from the full-ensemble mean; drop the farthest.
+  const std::vector<double> mean = MeanDistribution(dists);
+  std::vector<double> distances;
+  distances.reserve(dists.size());
+  for (const auto& d : dists) distances.push_back(KlDivergence(d, mean));
+  const std::vector<std::size_t> survivors =
+      SurvivingMembers(distances, keep_);
+
+  // 3. Uncertainty: sum of KL distances from the survivors' mean.
+  std::vector<std::vector<double>> kept;
+  kept.reserve(survivors.size());
+  for (std::size_t idx : survivors) kept.push_back(dists[idx]);
+  const std::vector<double> kept_mean = MeanDistribution(kept);
+  double score = 0.0;
+  for (const auto& d : kept) score += KlDivergence(d, kept_mean);
+  return score;
+}
+
+ValueEnsembleEstimator::ValueEnsembleEstimator(
+    std::vector<std::shared_ptr<nn::CompositeNet>> members,
+    std::size_t discard)
+    : members_(std::move(members)) {
+  OSAP_REQUIRE(!members_.empty(), "ValueEnsembleEstimator: empty ensemble");
+  OSAP_REQUIRE(discard < members_.size(),
+               "ValueEnsembleEstimator: discard must leave >= 1 member");
+  for (const auto& m : members_) {
+    OSAP_REQUIRE(m != nullptr, "ValueEnsembleEstimator: null member");
+    OSAP_REQUIRE(m->OutputSize() == 1,
+                 "ValueEnsembleEstimator: members must output one value");
+  }
+  keep_ = members_.size() - discard;
+}
+
+double ValueEnsembleEstimator::Score(const mdp::State& state) {
+  std::vector<double> values;
+  values.reserve(members_.size());
+  for (const auto& m : members_) {
+    values.push_back(m->Forward(nn::Matrix::RowVector(state)).At(0, 0));
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  std::vector<double> distances;
+  distances.reserve(values.size());
+  for (double v : values) distances.push_back(std::abs(v - mean));
+  const std::vector<std::size_t> survivors =
+      SurvivingMembers(distances, keep_);
+  double kept_mean = 0.0;
+  for (std::size_t idx : survivors) kept_mean += values[idx];
+  kept_mean /= static_cast<double>(survivors.size());
+  double score = 0.0;
+  for (std::size_t idx : survivors) {
+    score += std::abs(values[idx] - kept_mean);
+  }
+  return score;
+}
+
+}  // namespace osap::core

@@ -1,0 +1,22 @@
+#include "core/evaluation.h"
+
+#include "mdp/rollout.h"
+#include "util/check.h"
+
+namespace osap::core {
+
+EvalResult EvaluatePolicy(mdp::Policy& policy, abr::AbrEnvironment& env,
+                          std::span<const traces::Trace> traces) {
+  OSAP_REQUIRE(!traces.empty(), "EvaluatePolicy: no traces");
+  EvalResult result;
+  result.per_trace_qoe.reserve(traces.size());
+  for (const traces::Trace& trace : traces) {
+    env.SetFixedTrace(trace);
+    const mdp::Trajectory trajectory = mdp::Rollout(env, policy);
+    OSAP_CHECK_MSG(!trajectory.Empty(), "EvaluatePolicy: empty session");
+    result.per_trace_qoe.push_back(trajectory.TotalReward());
+  }
+  return result;
+}
+
+}  // namespace osap::core

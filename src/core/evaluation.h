@@ -1,0 +1,30 @@
+// Deterministic policy evaluation over a set of test traces: one full
+// video session per trace, QoE per session. All figure benches reduce to
+// this primitive.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "abr/abr_environment.h"
+#include "mdp/policy.h"
+#include "traces/trace.h"
+#include "util/stats.h"
+
+namespace osap::core {
+
+struct EvalResult {
+  /// Session QoE per evaluated trace (order matches the trace span).
+  std::vector<double> per_trace_qoe;
+
+  double MeanQoe() const { return Mean(per_trace_qoe); }
+  Summary Summarize() const { return osap::Summarize(per_trace_qoe); }
+};
+
+/// Streams one full video per trace under `policy` and records session QoE.
+/// The policy (and, for SafeAgent, its estimator/trigger) is Reset before
+/// every session.
+EvalResult EvaluatePolicy(mdp::Policy& policy, abr::AbrEnvironment& env,
+                          std::span<const traces::Trace> traces);
+
+}  // namespace osap::core

@@ -1,0 +1,19 @@
+#include "core/normalization.h"
+
+#include <cmath>
+
+namespace osap::core {
+
+double NormalizedScore(double qoe, double random_qoe, double bb_qoe) {
+  const double denom = bb_qoe - random_qoe;
+  if (std::abs(denom) < 1e-9) return 0.0;
+  return (qoe - random_qoe) / denom;
+}
+
+double LogLinearAxis(double value) {
+  if (value >= -1.0 && value <= 1.0) return value;
+  const double sign = value < 0.0 ? -1.0 : 1.0;
+  return sign * (1.0 + std::log10(std::abs(value)));
+}
+
+}  // namespace osap::core

@@ -1,0 +1,19 @@
+// The paper's normalized performance scale (Section 3.3): a score of 0
+// corresponds to the Random policy's QoE on the dataset under test and a
+// score of 1 to Buffer-Based's QoE; figures 3-5 plot these scores on an
+// axis that is linear inside [-1, 1] and log-scaled outside.
+#pragma once
+
+namespace osap::core {
+
+/// (qoe - random) / (bb - random). When BB and Random tie (degenerate
+/// denominator), returns 0 - the scale carries no information there.
+double NormalizedScore(double qoe, double random_qoe, double bb_qoe);
+
+/// The paper's figure axis transform: identity inside [-1, 1]; outside,
+/// sign(v) * (1 + log10(|v|)) so that, e.g., +10 plots at +2 and -100 at
+/// -3. Used when printing figure series so the dumped numbers match the
+/// visual geometry of the paper's plots.
+double LogLinearAxis(double value);
+
+}  // namespace osap::core

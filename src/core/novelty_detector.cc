@@ -1,0 +1,101 @@
+#include "core/novelty_detector.h"
+
+#include "util/check.h"
+
+namespace osap::core {
+
+NoveltyFeatureExtractor::NoveltyFeatureExtractor(
+    const NoveltyDetectorConfig& config)
+    : config_(config), window_(config.throughput_window) {
+  OSAP_REQUIRE(config.throughput_window >= 2,
+               "NoveltyDetector: throughput window must be >= 2");
+  OSAP_REQUIRE(config.k >= 1, "NoveltyDetector: k must be >= 1");
+}
+
+std::optional<std::vector<double>> NoveltyFeatureExtractor::Push(
+    double throughput_mbps) {
+  window_.Push(throughput_mbps);
+  if (!window_.Full()) return std::nullopt;
+  pairs_.emplace_back(window_.Mean(), window_.StdDev());
+  if (pairs_.size() > config_.k) pairs_.pop_front();
+  if (pairs_.size() < config_.k) return std::nullopt;
+  std::vector<double> feature;
+  feature.reserve(2 * config_.k);
+  for (const auto& [mean, stddev] : pairs_) {
+    feature.push_back(mean);
+    feature.push_back(stddev);
+  }
+  return feature;
+}
+
+void NoveltyFeatureExtractor::Reset() {
+  window_.Reset();
+  pairs_.clear();
+}
+
+NoveltyDetector::NoveltyDetector(NoveltyDetectorConfig config,
+                                 const abr::AbrStateLayout& layout)
+    : NoveltyDetector(config, [layout](const mdp::State& s) {
+        OSAP_REQUIRE(s.size() == layout.Size(),
+                     "NoveltyDetector: state size mismatch");
+        return layout.LatestThroughputMbps(s);
+      }) {}
+
+NoveltyDetector::NoveltyDetector(NoveltyDetectorConfig config, Probe probe)
+    : config_(config),
+      probe_(std::move(probe)),
+      model_(config.svm),
+      extractor_(config) {
+  OSAP_REQUIRE(probe_ != nullptr, "NoveltyDetector: null probe");
+}
+
+std::vector<std::vector<double>> NoveltyDetector::ExtractFeatures(
+    std::span<const double> throughput_sequence,
+    const NoveltyDetectorConfig& config) {
+  NoveltyFeatureExtractor extractor(config);
+  std::vector<std::vector<double>> features;
+  for (double mbps : throughput_sequence) {
+    if (auto feature = extractor.Push(mbps)) {
+      features.push_back(std::move(*feature));
+    }
+  }
+  return features;
+}
+
+void NoveltyDetector::Fit(
+    const std::vector<std::vector<double>>& features) {
+  OSAP_REQUIRE(!features.empty(),
+               "NoveltyDetector::Fit: no features (sessions too short for "
+               "the configured window and k?)");
+  model_.Fit(features);
+}
+
+void NoveltyDetector::Reset() {
+  extractor_.Reset();
+  ready_ = false;
+}
+
+double NoveltyDetector::Score(const mdp::State& state) {
+  OSAP_REQUIRE(Fitted(), "NoveltyDetector::Score before Fit/LoadModel");
+  const double observation = probe_(state);
+  // Warm-up steps (before the first measurement) report non-positive
+  // observations; feeding those would poison the window.
+  if (observation <= 0.0) return 0.0;
+  const auto feature = extractor_.Push(observation);
+  if (!feature.has_value()) {
+    ready_ = false;
+    return 0.0;
+  }
+  ready_ = true;
+  return model_.IsInlier(*feature) ? 0.0 : 1.0;
+}
+
+void NoveltyDetector::Save(const std::filesystem::path& path) const {
+  model_.Save(path);
+}
+
+void NoveltyDetector::LoadModel(const std::filesystem::path& path) {
+  model_ = svm::OneClassSvm::Load(path);
+}
+
+}  // namespace osap::core

@@ -1,0 +1,71 @@
+// SafeAgent: the paper's safety-assurance composition. Wraps a learned
+// policy, a battle-tested default policy, an uncertainty estimator and a
+// defaulting trigger into a single mdp::Policy. While the trigger has not
+// fired, actions come from the learned policy; once it fires, the agent
+// transitions to the default policy - permanently for the remainder of the
+// session in the paper's setup (kPermanent), or until the signal stays
+// quiet for `revoke_after` consecutive steps in the revocable extension we
+// ablate (kRevocable, DESIGN.md section 7).
+#pragma once
+
+#include <memory>
+
+#include "core/trigger.h"
+#include "core/uncertainty.h"
+#include "mdp/policy.h"
+
+namespace osap::core {
+
+enum class DefaultingMode {
+  kPermanent,  // paper behaviour: default for the rest of the session
+  kRevocable,  // ablation: return to the learned policy when safe again
+};
+
+struct SafeAgentConfig {
+  TriggerConfig trigger;
+  DefaultingMode mode = DefaultingMode::kPermanent;
+  /// kRevocable: consecutive non-firing, certain steps needed to revoke.
+  std::size_t revoke_after = 15;
+};
+
+class SafeAgent final : public mdp::Policy {
+ public:
+  SafeAgent(std::shared_ptr<mdp::Policy> learned,
+            std::shared_ptr<mdp::Policy> fallback,
+            std::shared_ptr<UncertaintyEstimator> estimator,
+            SafeAgentConfig config);
+
+  mdp::Action SelectAction(const mdp::State& state) override;
+  void Reset() override;
+  std::string Name() const override;
+
+  /// True while actions come from the default policy.
+  bool Defaulted() const { return defaulted_; }
+
+  /// Steps taken in the current session (decisions made).
+  std::size_t StepCount() const { return steps_; }
+
+  /// Step index at which the agent defaulted (meaningful when Defaulted()
+  /// has ever been true this session; 0 otherwise).
+  std::size_t DefaultStep() const { return default_step_; }
+
+  /// Fraction of this session's decisions made by the default policy.
+  double DefaultedFraction() const;
+
+  const UncertaintyEstimator& estimator() const { return *estimator_; }
+
+ private:
+  std::shared_ptr<mdp::Policy> learned_;
+  std::shared_ptr<mdp::Policy> fallback_;
+  std::shared_ptr<UncertaintyEstimator> estimator_;
+  SafeAgentConfig config_;
+  DefaultTrigger trigger_;
+
+  bool defaulted_ = false;
+  std::size_t steps_ = 0;
+  std::size_t default_step_ = 0;
+  std::size_t defaulted_steps_ = 0;
+  std::size_t certain_streak_ = 0;  // kRevocable bookkeeping
+};
+
+}  // namespace osap::core

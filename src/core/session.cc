@@ -1,0 +1,95 @@
+#include "core/session.h"
+
+#include "core/safe_agent.h"
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace osap::core {
+
+double SessionTrace::TotalQoe() const {
+  double total = 0.0;
+  for (const ChunkRecord& c : chunks) total += c.reward;
+  return total;
+}
+
+double SessionTrace::TotalRebufferSeconds() const {
+  double total = 0.0;
+  for (const ChunkRecord& c : chunks) total += c.rebuffer_seconds;
+  return total;
+}
+
+std::size_t SessionTrace::SwitchCount() const {
+  std::size_t switches = 0;
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    if (chunks[i].action != chunks[i - 1].action) ++switches;
+  }
+  return switches;
+}
+
+std::size_t SessionTrace::FirstDefaultedChunk() const {
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (chunks[i].defaulted) return i;
+  }
+  return chunks.size();
+}
+
+double SessionTrace::DefaultedFraction() const {
+  if (chunks.empty()) return 0.0;
+  std::size_t defaulted = 0;
+  for (const ChunkRecord& c : chunks) {
+    if (c.defaulted) ++defaulted;
+  }
+  return static_cast<double>(defaulted) /
+         static_cast<double>(chunks.size());
+}
+
+SessionTrace StreamSession(abr::AbrEnvironment& env, mdp::Policy& policy,
+                           const traces::Trace& trace) {
+  env.SetFixedTrace(trace);
+  policy.Reset();
+  auto* safe = dynamic_cast<SafeAgent*>(&policy);
+
+  SessionTrace session;
+  mdp::State state = env.Reset();
+  bool done = false;
+  std::size_t chunk = 0;
+  while (!done) {
+    ChunkRecord record;
+    record.chunk = chunk;
+    record.action = policy.SelectAction(state);
+    // SafeAgent updates its defaulted flag inside SelectAction, so this
+    // reflects who actually made the decision above.
+    record.defaulted = safe != nullptr && safe->Defaulted();
+    const mdp::StepResult result = env.Step(record.action);
+    const abr::DownloadResult& d = env.LastDownload();
+    record.bitrate_kbps =
+        env.video().BitrateKbps(static_cast<std::size_t>(record.action));
+    record.download_seconds = d.download_seconds;
+    record.rebuffer_seconds = d.rebuffer_seconds;
+    record.buffer_seconds = d.buffer_seconds;
+    record.throughput_mbps = d.throughput_mbps;
+    record.reward = result.reward;
+    session.chunks.push_back(record);
+    state = result.next_state;
+    done = result.done;
+    ++chunk;
+  }
+  return session;
+}
+
+void WriteSessionCsv(const SessionTrace& session,
+                     const std::filesystem::path& path) {
+  CsvWriter writer(path);
+  writer.WriteHeader({"chunk", "action", "bitrate_kbps", "download_s",
+                      "rebuffer_s", "buffer_s", "throughput_mbps", "reward",
+                      "defaulted"});
+  for (const ChunkRecord& c : session.chunks) {
+    writer.WriteNumericRow({static_cast<double>(c.chunk),
+                            static_cast<double>(c.action), c.bitrate_kbps,
+                            c.download_seconds, c.rebuffer_seconds,
+                            c.buffer_seconds, c.throughput_mbps, c.reward,
+                            c.defaulted ? 1.0 : 0.0});
+  }
+}
+
+}  // namespace osap::core

@@ -1,0 +1,66 @@
+// Per-chunk session tracing: streams one video session and records every
+// decision with its consequences (bitrate, download time, rebuffering,
+// buffer level, measured throughput, reward) plus - when the policy is a
+// SafeAgent - whether the default policy was in control. This is the
+// instrumentation behind the examples' chunk-by-chunk logs and a useful
+// debugging surface for downstream users; WriteSessionCsv exports a trace
+// for external plotting.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <vector>
+
+#include "abr/abr_environment.h"
+#include "mdp/policy.h"
+#include "traces/trace.h"
+
+namespace osap::core {
+
+/// One streamed chunk and everything observable about it.
+struct ChunkRecord {
+  std::size_t chunk = 0;
+  mdp::Action action = 0;
+  double bitrate_kbps = 0.0;
+  double download_seconds = 0.0;
+  double rebuffer_seconds = 0.0;
+  double buffer_seconds = 0.0;
+  double throughput_mbps = 0.0;
+  double reward = 0.0;
+  /// True when a SafeAgent had handed control to its default policy for
+  /// this decision (always false for plain policies).
+  bool defaulted = false;
+};
+
+/// A fully traced session.
+struct SessionTrace {
+  std::vector<ChunkRecord> chunks;
+
+  /// Session QoE (sum of per-chunk rewards).
+  double TotalQoe() const;
+
+  /// Total stall time across the session.
+  double TotalRebufferSeconds() const;
+
+  /// Number of bitrate switches (chunks whose action differs from the
+  /// previous chunk's).
+  std::size_t SwitchCount() const;
+
+  /// Index of the first chunk streamed under the default policy, or
+  /// chunks.size() when the safety net never fired / no SafeAgent.
+  std::size_t FirstDefaultedChunk() const;
+
+  /// Fraction of decisions made by the default policy.
+  double DefaultedFraction() const;
+};
+
+/// Streams one full video over `trace` with `policy` (Reset on both) and
+/// records every chunk.
+SessionTrace StreamSession(abr::AbrEnvironment& env, mdp::Policy& policy,
+                           const traces::Trace& trace);
+
+/// Writes a session trace as CSV (one row per chunk, header included).
+void WriteSessionCsv(const SessionTrace& session,
+                     const std::filesystem::path& path);
+
+}  // namespace osap::core

@@ -1,0 +1,40 @@
+#include "core/trigger.h"
+
+#include "util/check.h"
+
+namespace osap::core {
+
+DefaultTrigger::DefaultTrigger(TriggerConfig config)
+    : config_(config), window_(config.k > 0 ? config.k : 1) {
+  OSAP_REQUIRE(config_.l >= 1, "DefaultTrigger: l must be >= 1");
+  if (config_.mode == TriggerMode::kWindowVariance) {
+    OSAP_REQUIRE(config_.k >= 2,
+                 "DefaultTrigger: variance mode needs k >= 2");
+    OSAP_REQUIRE(config_.alpha >= 0.0,
+                 "DefaultTrigger: alpha must be >= 0");
+  }
+}
+
+bool DefaultTrigger::Update(double score) {
+  bool uncertain = false;
+  switch (config_.mode) {
+    case TriggerMode::kBinary:
+      uncertain = score >= 0.5;
+      break;
+    case TriggerMode::kWindowVariance:
+      window_.Push(score);
+      // Not uncertain until the window is populated: variance over a
+      // partial window would compare incomparable quantities.
+      uncertain = window_.Full() && window_.Variance() > config_.alpha;
+      break;
+  }
+  consecutive_ = uncertain ? consecutive_ + 1 : 0;
+  return consecutive_ >= config_.l;
+}
+
+void DefaultTrigger::Reset() {
+  window_.Reset();
+  consecutive_ = 0;
+}
+
+}  // namespace osap::core

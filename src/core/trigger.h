@@ -1,0 +1,60 @@
+// The defaulting trigger (paper Section 2.5): converts the per-step
+// uncertainty score into the decision to abandon the learned policy.
+//
+// Two thresholding modes cover the paper's schemes:
+//  - kBinary (U_S): a step is uncertain when the score is 1 (the OC-SVM
+//    says out-of-distribution); the trigger fires after l consecutive
+//    uncertain steps (paper: l = 3).
+//  - kWindowVariance (U_pi / U_V): the score is pushed into a sliding
+//    window of the last k steps (paper: k = 5); a step is uncertain when
+//    the window variance exceeds alpha; the trigger fires after l
+//    consecutive uncertain steps. alpha is set by calibration
+//    (calibration.h).
+#pragma once
+
+#include <cstddef>
+
+#include "util/stats.h"
+
+namespace osap::core {
+
+enum class TriggerMode {
+  kBinary,
+  kWindowVariance,
+};
+
+struct TriggerConfig {
+  TriggerMode mode = TriggerMode::kBinary;
+  /// Sliding-window length for kWindowVariance.
+  std::size_t k = 5;
+  /// Consecutive uncertain steps required to fire.
+  std::size_t l = 3;
+  /// Variance threshold for kWindowVariance (ignored by kBinary).
+  double alpha = 0.0;
+};
+
+class DefaultTrigger {
+ public:
+  explicit DefaultTrigger(TriggerConfig config);
+
+  /// Consumes one uncertainty score; returns true when the defaulting
+  /// condition is met at this step (the caller latches the decision).
+  bool Update(double score);
+
+  /// Uncertain-step streak length so far.
+  std::size_t ConsecutiveUncertain() const { return consecutive_; }
+
+  /// Variance of the current score window (kWindowVariance diagnostics).
+  double WindowVariance() const { return window_.Variance(); }
+
+  void Reset();
+
+  const TriggerConfig& config() const { return config_; }
+
+ private:
+  TriggerConfig config_;
+  SlidingWindowStats window_;
+  std::size_t consecutive_ = 0;
+};
+
+}  // namespace osap::core

@@ -1,0 +1,37 @@
+// The uncertainty-estimator interface at the heart of OSAP (paper
+// Section 2): a per-step scalar signal quantifying how unreliable the
+// learned agent's next decision is. Three concrete signals are provided,
+// one per MDP term the paper identifies:
+//   U_S  - state novelty            (NoveltyDetector, novelty_detector.h)
+//   U_pi - policy disagreement      (AgentEnsembleEstimator)
+//   U_V  - value disagreement       (ValueEnsembleEstimator)
+#pragma once
+
+#include <string>
+
+#include "mdp/types.h"
+
+namespace osap::core {
+
+class UncertaintyEstimator {
+ public:
+  virtual ~UncertaintyEstimator() = default;
+
+  /// Clears per-session state (observation windows); call between
+  /// streaming sessions.
+  virtual void Reset() = 0;
+
+  /// Consumes the current observation and returns the uncertainty score.
+  /// Higher = more uncertain. For the binary U_S signal the score is
+  /// 0 (in-distribution) or 1 (out-of-distribution); U_pi / U_V are
+  /// continuous and non-negative.
+  virtual double Score(const mdp::State& state) = 0;
+
+  /// False while the estimator is still warming up (e.g. the ND window is
+  /// not yet full); Score returns 0 in that phase.
+  virtual bool Ready() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace osap::core

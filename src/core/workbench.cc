@@ -1,0 +1,531 @@
+#include "core/workbench.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "core/normalization.h"
+#include "mdp/rollout.h"
+#include "nn/serialize.h"
+#include "policies/buffer_based.h"
+#include "policies/pensieve_policy.h"
+#include "policies/random_policy.h"
+#include "rl/ensemble.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace osap::core {
+
+namespace {
+
+/// FNV-1a over the config's behaviour-affecting fields.
+std::uint64_t Fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t DatasetSeed(std::uint64_t base, traces::DatasetId id) {
+  return base * 0x9E3779B97F4A7C15ULL + 0x243F6A8885A308D3ULL *
+         (static_cast<std::uint64_t>(id) + 1);
+}
+
+}  // namespace
+
+std::string SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kPensieve:
+      return "pensieve";
+    case Scheme::kBufferBased:
+      return "buffer_based";
+    case Scheme::kRandom:
+      return "random";
+    case Scheme::kNoveltyDetection:
+      return "nd";
+    case Scheme::kAgentEnsemble:
+      return "a_ensemble";
+    case Scheme::kValueEnsemble:
+      return "v_ensemble";
+  }
+  OSAP_CHECK_MSG(false, "SchemeName: unknown scheme");
+  return {};
+}
+
+std::vector<Scheme> SafetySchemes() {
+  return {Scheme::kNoveltyDetection, Scheme::kAgentEnsemble,
+          Scheme::kValueEnsemble};
+}
+
+WorkbenchConfig FastWorkbenchConfig() {
+  WorkbenchConfig cfg;
+  cfg.dataset.trace_count = 12;
+  cfg.dataset.trace_duration_seconds = 200.0;
+  cfg.train_video_repeats = 1;
+  cfg.eval_video_repeats = 1;
+  cfg.net.conv_filters = 8;
+  cfg.net.hidden = 16;
+  cfg.a2c.episodes = 30;
+  cfg.value_train.rollout_episodes = 6;
+  cfg.value_train.epochs = 5;
+  cfg.ensemble_size = 3;
+  cfg.ensemble_discard = 1;
+  cfg.nd_window = 5;
+  cfg.nd_k_empirical = 3;
+  cfg.nd_k_synthetic = 5;
+  cfg.calibration.max_iterations = 5;
+  cfg.use_cache = false;
+  return cfg;
+}
+
+Workbench::Workbench(WorkbenchConfig config)
+    : config_(std::move(config)),
+      train_video_(abr::MakeEnvivioLikeVideo(config_.train_video_repeats)),
+      eval_video_(abr::MakeEnvivioLikeVideo(config_.eval_video_repeats)) {
+  OSAP_REQUIRE(config_.ensemble_size > config_.ensemble_discard,
+               "Workbench: ensemble_discard must leave >= 1 member");
+  layout_.levels = eval_video_.LevelCount();
+}
+
+std::string Workbench::CacheKey() const {
+  std::ostringstream os;
+  os << config_.dataset.trace_count << '|'
+     << config_.dataset.trace_duration_seconds << '|'
+     << config_.dataset.seed << '|' << config_.train_video_repeats << '|'
+     << config_.eval_video_repeats << '|' << config_.net.conv_filters << '|'
+     << config_.net.conv_kernel << '|' << config_.net.hidden << '|'
+     << config_.a2c.episodes << '|' << config_.a2c.gamma << '|'
+     << config_.a2c.actor_learning_rate << '|'
+     << config_.a2c.critic_learning_rate << '|'
+     << config_.a2c.entropy_coef_start << '|'
+     << config_.a2c.entropy_coef_end << '|'
+     << config_.value_train.rollout_episodes << '|'
+     << config_.value_train.epochs << '|' << config_.ensemble_size << '|'
+     << config_.ensemble_discard << '|' << config_.nd_window << '|'
+     << config_.nd_k_empirical << '|' << config_.nd_k_synthetic << '|'
+     << config_.nd_nu << '|' << config_.trigger_l << '|'
+     << config_.trigger_k << '|' << config_.seed << "|sel1";
+  std::ostringstream key;
+  key << std::hex << Fnv1a(os.str());
+  return key.str();
+}
+
+const traces::Dataset& Workbench::DatasetFor(traces::DatasetId id) {
+  auto it = datasets_.find(id);
+  if (it == datasets_.end()) {
+    it = datasets_.emplace(id, traces::BuildDataset(id, config_.dataset))
+             .first;
+  }
+  return it->second;
+}
+
+std::filesystem::path Workbench::BundleDir(traces::DatasetId id) const {
+  return config_.cache_dir / CacheKey() / traces::DatasetName(id);
+}
+
+NoveltyDetectorConfig Workbench::NdConfigFor(traces::DatasetId id) const {
+  NoveltyDetectorConfig cfg;
+  cfg.throughput_window = config_.nd_window;
+  cfg.k = traces::IsSyntheticIid(id) ? config_.nd_k_synthetic
+                                     : config_.nd_k_empirical;
+  cfg.svm.nu = config_.nd_nu;
+  return cfg;
+}
+
+abr::AbrEnvironment Workbench::MakeEvalEnvironment() const {
+  abr::AbrEnvironmentConfig cfg;
+  cfg.layout = layout_;
+  return abr::AbrEnvironment(eval_video_, cfg);
+}
+
+abr::AbrEnvironment Workbench::MakeTrainEnvironment(traces::DatasetId id) {
+  abr::AbrEnvironmentConfig cfg;
+  cfg.layout = layout_;
+  abr::AbrEnvironment env(train_video_, cfg);
+  env.SetTracePool(DatasetFor(id).train, DatasetSeed(config_.seed, id) ^ 1);
+  return env;
+}
+
+void Workbench::TrainOrLoadAgents(TrainedBundle& bundle) {
+  const auto dir = BundleDir(bundle.id);
+  const rl::ActorCriticFactory factory = [this](Rng& rng) {
+    return policies::MakePensieveActorCritic(layout_, config_.net, rng);
+  };
+
+  bool all_cached = config_.use_cache;
+  if (all_cached) {
+    for (std::size_t m = 0; m < config_.ensemble_size; ++m) {
+      if (!std::filesystem::exists(dir /
+                                   ("agent_" + std::to_string(m) + ".bin"))) {
+        all_cached = false;
+        break;
+      }
+    }
+  }
+
+  if (all_cached) {
+    // Rebuild the topologies and overwrite the weights from the cache. A
+    // corrupt or stale file falls back to retraining instead of failing.
+    try {
+      Rng dummy(0);
+      for (std::size_t m = 0; m < config_.ensemble_size; ++m) {
+        auto net = std::make_shared<nn::ActorCriticNet>(factory(dummy));
+        nn::LoadParamsFromFile(
+            dir / ("agent_" + std::to_string(m) + ".bin"),
+            net->AllParams());
+        bundle.agents.push_back(std::move(net));
+      }
+      OSAP_LOG(kInfo) << "[" << traces::DatasetName(bundle.id)
+                      << "] loaded agent ensemble from cache";
+      return;
+    } catch (const std::exception& e) {
+      OSAP_LOG(kWarn) << "[" << traces::DatasetName(bundle.id)
+                      << "] agent cache unusable (" << e.what()
+                      << "); retraining";
+      bundle.agents.clear();
+    }
+  }
+
+  OSAP_LOG(kInfo) << "[" << traces::DatasetName(bundle.id) << "] training "
+                  << config_.ensemble_size << " agents ("
+                  << config_.a2c.episodes << " episodes each)";
+  abr::AbrEnvironment env = MakeTrainEnvironment(bundle.id);
+  rl::A2cConfig a2c = config_.a2c;
+  rl::AgentEnsembleResult ensemble = rl::TrainAgentEnsemble(
+      config_.ensemble_size, factory, env, a2c,
+      DatasetSeed(config_.seed, bundle.id));
+  bundle.agents = std::move(ensemble.members);
+
+  // Model selection: deploy the ensemble member with the best greedy
+  // validation QoE (member 0 is "the" agent everywhere downstream - the
+  // U_V ensemble trains on its experience, ND on its sessions, and every
+  // scheme streams with it). The U_pi ensemble still uses all members.
+  {
+    abr::AbrEnvironment eval_env = MakeEvalEnvironment();
+    const auto& validation = DatasetFor(bundle.id).validation;
+    double best_qoe = -std::numeric_limits<double>::infinity();
+    std::size_t best = 0;
+    for (std::size_t m = 0; m < bundle.agents.size(); ++m) {
+      policies::PensievePolicy policy(bundle.agents[m],
+                                      policies::ActionSelection::kGreedy,
+                                      /*seed=*/0);
+      const double qoe =
+          EvaluatePolicy(policy, eval_env, validation).MeanQoe();
+      if (qoe > best_qoe) {
+        best_qoe = qoe;
+        best = m;
+      }
+    }
+    std::swap(bundle.agents[0], bundle.agents[best]);
+    OSAP_LOG(kInfo) << "[" << traces::DatasetName(bundle.id)
+                    << "] deployed member " << best << " (validation QoE "
+                    << best_qoe << ")";
+  }
+
+  if (config_.use_cache) {
+    for (std::size_t m = 0; m < bundle.agents.size(); ++m) {
+      nn::SaveParamsToFile(dir / ("agent_" + std::to_string(m) + ".bin"),
+                           bundle.agents[m]->AllParams());
+    }
+  }
+}
+
+void Workbench::TrainOrLoadValueNets(TrainedBundle& bundle) {
+  const auto dir = BundleDir(bundle.id);
+  const rl::ValueNetFactory factory = [this](Rng& rng) {
+    return policies::BuildPensieveNet(layout_, 1, config_.net, rng);
+  };
+
+  bool all_cached = config_.use_cache;
+  if (all_cached) {
+    for (std::size_t m = 0; m < config_.ensemble_size; ++m) {
+      if (!std::filesystem::exists(dir /
+                                   ("value_" + std::to_string(m) + ".bin"))) {
+        all_cached = false;
+        break;
+      }
+    }
+  }
+
+  if (all_cached) {
+    try {
+      Rng dummy(0);
+      for (std::size_t m = 0; m < config_.ensemble_size; ++m) {
+        auto net = std::make_shared<nn::CompositeNet>(factory(dummy));
+        nn::LoadParamsFromFile(
+            dir / ("value_" + std::to_string(m) + ".bin"), net->Params());
+        bundle.value_nets.push_back(std::move(net));
+      }
+      OSAP_LOG(kInfo) << "[" << traces::DatasetName(bundle.id)
+                      << "] loaded value ensemble from cache";
+      return;
+    } catch (const std::exception& e) {
+      OSAP_LOG(kWarn) << "[" << traces::DatasetName(bundle.id)
+                      << "] value cache unusable (" << e.what()
+                      << "); retraining";
+      bundle.value_nets.clear();
+    }
+  }
+
+  OSAP_LOG(kInfo) << "[" << traces::DatasetName(bundle.id) << "] training "
+                  << config_.ensemble_size << " value functions";
+  abr::AbrEnvironment env = MakeTrainEnvironment(bundle.id);
+  // Experience comes from the deployed agent exploring (sampled actions),
+  // i.e. "the agent-environment interaction while training" (Section 2.4).
+  policies::PensievePolicy driver(bundle.agents.front(),
+                                  policies::ActionSelection::kSample,
+                                  DatasetSeed(config_.seed, bundle.id) ^ 2);
+  bundle.value_nets = rl::TrainValueEnsemble(
+      config_.ensemble_size, factory, env, driver, config_.value_train,
+      DatasetSeed(config_.seed, bundle.id) ^ 3);
+  if (config_.use_cache) {
+    for (std::size_t m = 0; m < bundle.value_nets.size(); ++m) {
+      nn::SaveParamsToFile(dir / ("value_" + std::to_string(m) + ".bin"),
+                           bundle.value_nets[m]->Params());
+    }
+  }
+}
+
+void Workbench::FitOrLoadNoveltyDetector(TrainedBundle& bundle) {
+  const auto dir = BundleDir(bundle.id);
+  const auto path = dir / "ocsvm.bin";
+  bundle.novelty =
+      std::make_shared<NoveltyDetector>(NdConfigFor(bundle.id), layout_);
+  if (config_.use_cache && std::filesystem::exists(path)) {
+    try {
+      bundle.novelty->LoadModel(path);
+      OSAP_LOG(kInfo) << "[" << traces::DatasetName(bundle.id)
+                      << "] loaded OC-SVM from cache";
+      return;
+    } catch (const std::exception& e) {
+      OSAP_LOG(kWarn) << "[" << traces::DatasetName(bundle.id)
+                      << "] OC-SVM cache unusable (" << e.what()
+                      << "); refitting";
+    }
+  }
+
+  // Collect per-session chunk-throughput sequences by streaming the
+  // training traces with the deployed agent.
+  OSAP_LOG(kInfo) << "[" << traces::DatasetName(bundle.id)
+                  << "] fitting OC-SVM novelty detector";
+  abr::AbrEnvironment env = MakeTrainEnvironment(bundle.id);
+  policies::PensievePolicy driver(bundle.agents.front(),
+                                  policies::ActionSelection::kGreedy,
+                                  /*seed=*/0);
+  std::vector<std::vector<double>> features;
+  const NoveltyDetectorConfig nd_cfg = NdConfigFor(bundle.id);
+  for (const traces::Trace& trace : DatasetFor(bundle.id).train) {
+    env.SetFixedTrace(trace);
+    driver.Reset();
+    std::vector<double> throughputs;
+    mdp::State state = env.Reset();
+    bool done = false;
+    while (!done) {
+      mdp::StepResult step = env.Step(driver.SelectAction(state));
+      throughputs.push_back(env.LastDownload().throughput_mbps);
+      state = std::move(step.next_state);
+      done = step.done;
+    }
+    auto session_features =
+        NoveltyDetector::ExtractFeatures(throughputs, nd_cfg);
+    for (auto& f : session_features) features.push_back(std::move(f));
+  }
+  bundle.novelty->Fit(features);
+  if (config_.use_cache) bundle.novelty->Save(path);
+}
+
+SafeAgentConfig Workbench::TriggerFor(Scheme scheme,
+                                      const TrainedBundle& bundle) const {
+  SafeAgentConfig cfg;
+  cfg.trigger.l = config_.trigger_l;
+  cfg.trigger.k = config_.trigger_k;
+  switch (scheme) {
+    case Scheme::kNoveltyDetection:
+      cfg.trigger.mode = TriggerMode::kBinary;
+      break;
+    case Scheme::kAgentEnsemble:
+      cfg.trigger.mode = TriggerMode::kWindowVariance;
+      cfg.trigger.alpha = bundle.alpha_pi;
+      break;
+    case Scheme::kValueEnsemble:
+      cfg.trigger.mode = TriggerMode::kWindowVariance;
+      cfg.trigger.alpha = bundle.alpha_v;
+      break;
+    default:
+      OSAP_CHECK_MSG(false, "TriggerFor: not a safety scheme");
+  }
+  return cfg;
+}
+
+std::shared_ptr<mdp::Policy> Workbench::MakeGreedyPensieve(
+    const TrainedBundle& bundle) const {
+  return std::make_shared<policies::PensievePolicy>(
+      bundle.agents.front(), policies::ActionSelection::kGreedy, /*seed=*/0);
+}
+
+std::shared_ptr<mdp::Policy> Workbench::MakeBufferBased() const {
+  return std::make_shared<policies::BufferBasedPolicy>(eval_video_, layout_);
+}
+
+void Workbench::CalibrateOrLoadThresholds(TrainedBundle& bundle) {
+  const auto path = BundleDir(bundle.id) / "calibration.txt";
+  if (config_.use_cache && std::filesystem::exists(path)) {
+    std::ifstream in(path);
+    if (in >> bundle.nd_in_dist_qoe >> bundle.alpha_pi >> bundle.alpha_v) {
+      OSAP_LOG(kInfo) << "[" << traces::DatasetName(bundle.id)
+                      << "] loaded calibration from cache";
+      return;
+    }
+  }
+  OSAP_LOG(kInfo) << "[" << traces::DatasetName(bundle.id)
+                  << "] calibrating thresholds";
+
+  abr::AbrEnvironment env = MakeEvalEnvironment();
+  const auto& validation = DatasetFor(bundle.id).validation;
+  OSAP_CHECK_MSG(!validation.empty(), "calibration needs validation traces");
+
+  // Target: the ND scheme's in-distribution QoE with the paper's fixed
+  // thresholding (binary OOD flag, l consecutive).
+  {
+    auto estimator = std::make_shared<NoveltyDetector>(*bundle.novelty);
+    SafeAgentConfig nd_cfg = TriggerFor(Scheme::kNoveltyDetection, bundle);
+    SafeAgent agent(MakeGreedyPensieve(bundle), MakeBufferBased(), estimator,
+                    nd_cfg);
+    bundle.nd_in_dist_qoe =
+        EvaluatePolicy(agent, env, validation).MeanQoe();
+  }
+
+  // Calibrate each continuous scheme's alpha to the ND target.
+  const auto calibrate = [&](std::shared_ptr<UncertaintyEstimator> estimator)
+      -> double {
+    auto driver = MakeGreedyPensieve(bundle);
+    const double hi = MaxWindowVariance(*estimator, *driver, env, validation,
+                                        config_.trigger_k);
+    if (hi <= 0.0) return 0.0;  // signal never varies: any alpha works
+    const auto qoe_at = [&](double alpha) {
+      SafeAgentConfig cfg;
+      cfg.trigger.mode = TriggerMode::kWindowVariance;
+      cfg.trigger.k = config_.trigger_k;
+      cfg.trigger.l = config_.trigger_l;
+      cfg.trigger.alpha = alpha;
+      SafeAgent agent(MakeGreedyPensieve(bundle), MakeBufferBased(),
+                      estimator, cfg);
+      return EvaluatePolicy(agent, env, validation).MeanQoe();
+    };
+    const CalibrationResult result = CalibrateAlpha(
+        qoe_at, bundle.nd_in_dist_qoe, 0.0, hi * 1.25, config_.calibration);
+    return result.alpha;
+  };
+
+  bundle.alpha_pi = calibrate(std::make_shared<AgentEnsembleEstimator>(
+      bundle.agents, config_.ensemble_discard));
+  bundle.alpha_v = calibrate(std::make_shared<ValueEnsembleEstimator>(
+      bundle.value_nets, config_.ensemble_discard));
+
+  if (config_.use_cache) {
+    std::filesystem::create_directories(BundleDir(bundle.id));
+    std::ofstream out(path, std::ios::trunc);
+    out.precision(17);
+    out << bundle.nd_in_dist_qoe << ' ' << bundle.alpha_pi << ' '
+        << bundle.alpha_v << '\n';
+  }
+}
+
+const TrainedBundle& Workbench::BundleFor(traces::DatasetId id) {
+  auto it = bundles_.find(id);
+  if (it != bundles_.end()) return it->second;
+  TrainedBundle bundle;
+  bundle.id = id;
+  TrainOrLoadAgents(bundle);
+  TrainOrLoadValueNets(bundle);
+  FitOrLoadNoveltyDetector(bundle);
+  CalibrateOrLoadThresholds(bundle);
+  return bundles_.emplace(id, std::move(bundle)).first->second;
+}
+
+std::shared_ptr<mdp::Policy> Workbench::MakePolicy(Scheme scheme,
+                                                   traces::DatasetId train) {
+  switch (scheme) {
+    case Scheme::kBufferBased:
+      return MakeBufferBased();
+    case Scheme::kRandom:
+      return std::make_shared<policies::RandomPolicy>(
+          eval_video_.LevelCount(), config_.seed ^ 0xABCDEF);
+    case Scheme::kPensieve:
+      return MakeGreedyPensieve(BundleFor(train));
+    case Scheme::kNoveltyDetection: {
+      const TrainedBundle& bundle = BundleFor(train);
+      // Fresh detector per policy (shares the fitted model, owns its own
+      // observation window).
+      auto estimator = std::make_shared<NoveltyDetector>(*bundle.novelty);
+      estimator->Reset();
+      return std::make_shared<SafeAgent>(MakeGreedyPensieve(bundle),
+                                         MakeBufferBased(), estimator,
+                                         TriggerFor(scheme, bundle));
+    }
+    case Scheme::kAgentEnsemble: {
+      const TrainedBundle& bundle = BundleFor(train);
+      auto estimator = std::make_shared<AgentEnsembleEstimator>(
+          bundle.agents, config_.ensemble_discard);
+      return std::make_shared<SafeAgent>(MakeGreedyPensieve(bundle),
+                                         MakeBufferBased(), estimator,
+                                         TriggerFor(scheme, bundle));
+    }
+    case Scheme::kValueEnsemble: {
+      const TrainedBundle& bundle = BundleFor(train);
+      auto estimator = std::make_shared<ValueEnsembleEstimator>(
+          bundle.value_nets, config_.ensemble_discard);
+      return std::make_shared<SafeAgent>(MakeGreedyPensieve(bundle),
+                                         MakeBufferBased(), estimator,
+                                         TriggerFor(scheme, bundle));
+    }
+  }
+  OSAP_CHECK_MSG(false, "MakePolicy: unknown scheme");
+  return nullptr;
+}
+
+const EvalResult& Workbench::Evaluate(Scheme scheme, traces::DatasetId train,
+                                      traces::DatasetId test) {
+  // Baselines do not depend on the training distribution; collapse the key
+  // so they are evaluated once per test set.
+  if (scheme == Scheme::kBufferBased || scheme == Scheme::kRandom) {
+    train = test;
+  }
+  const auto key = std::make_tuple(static_cast<int>(scheme),
+                                   static_cast<int>(train),
+                                   static_cast<int>(test));
+  auto it = eval_cache_.find(key);
+  if (it != eval_cache_.end()) return it->second;
+
+  std::shared_ptr<mdp::Policy> policy = MakePolicy(scheme, train);
+  abr::AbrEnvironment env = MakeEvalEnvironment();
+  EvalResult result =
+      EvaluatePolicy(*policy, env, DatasetFor(test).test);
+  return eval_cache_.emplace(key, std::move(result)).first->second;
+}
+
+double Workbench::NormalizedMean(Scheme scheme, traces::DatasetId train,
+                                 traces::DatasetId test) {
+  const double qoe = Evaluate(scheme, train, test).MeanQoe();
+  const double random_qoe = Evaluate(Scheme::kRandom, test, test).MeanQoe();
+  const double bb_qoe = Evaluate(Scheme::kBufferBased, test, test).MeanQoe();
+  return NormalizedScore(qoe, random_qoe, bb_qoe);
+}
+
+std::vector<double> Workbench::NormalizedPerTrace(Scheme scheme,
+                                                  traces::DatasetId train,
+                                                  traces::DatasetId test) {
+  const EvalResult& result = Evaluate(scheme, train, test);
+  const double random_qoe = Evaluate(Scheme::kRandom, test, test).MeanQoe();
+  const double bb_qoe = Evaluate(Scheme::kBufferBased, test, test).MeanQoe();
+  std::vector<double> scores;
+  scores.reserve(result.per_trace_qoe.size());
+  for (double qoe : result.per_trace_qoe) {
+    scores.push_back(NormalizedScore(qoe, random_qoe, bb_qoe));
+  }
+  return scores;
+}
+
+}  // namespace osap::core

@@ -1,0 +1,173 @@
+// The experiment workbench: one object that owns everything needed to
+// regenerate the paper's evaluation - datasets, trained agents, ensembles,
+// fitted novelty detectors, calibrated thresholds - with an on-disk cache
+// so that the per-figure bench binaries are cheap after the first run.
+//
+// The workbench reproduces the paper's pipeline per training distribution:
+//   1. build the dataset (70/30 split, validation = 30% of train);
+//   2. train an ensemble of 5 Pensieve agents (A2C; member 0 is "the"
+//      deployed agent) on the training traces;
+//   3. train an ensemble of 5 external value functions on experience from
+//      the deployed agent;
+//   4. fit the U_S OC-SVM on [mean, stddev] throughput-window features
+//      from the deployed agent's training sessions (k = 5 empirical /
+//      30 synthetic);
+//   5. evaluate the ND scheme in-distribution (validation traces) and
+//      calibrate the U_pi / U_V variance thresholds alpha to match it.
+// Evaluation then runs any scheme against any test distribution's held-out
+// test traces.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/abr_environment.h"
+#include "core/calibration.h"
+#include "core/ensemble_estimators.h"
+#include "core/evaluation.h"
+#include "core/novelty_detector.h"
+#include "core/safe_agent.h"
+#include "policies/pensieve_net.h"
+#include "rl/a2c.h"
+#include "rl/value_trainer.h"
+#include "traces/dataset.h"
+
+namespace osap::core {
+
+/// Everything Figure 1-5 compares.
+enum class Scheme {
+  kPensieve = 0,          // vanilla learned policy (no safety assurance)
+  kBufferBased = 1,       // the default policy by itself
+  kRandom = 2,            // the naive baseline anchoring the score scale
+  kNoveltyDetection = 3,  // Pensieve + U_S safety net ("ND")
+  kAgentEnsemble = 4,     // Pensieve + U_pi safety net ("A-ensemble")
+  kValueEnsemble = 5,     // Pensieve + U_V safety net ("V-ensemble")
+};
+
+std::string SchemeName(Scheme scheme);
+
+/// The three safety-enhanced variants, in the paper's order.
+std::vector<Scheme> SafetySchemes();
+
+struct WorkbenchConfig {
+  traces::DatasetConfig dataset;
+
+  /// Video length in 48-chunk units for training episodes and evaluation
+  /// sessions. The paper streams the 5x-concatenated (240-chunk) video;
+  /// training on full-length sessions is also what makes the agent learn
+  /// buffer management across multiple drain cycles.
+  std::size_t train_video_repeats = 5;
+  std::size_t eval_video_repeats = 5;
+
+  policies::PensieveNetConfig net;
+  rl::A2cConfig a2c;
+  rl::ValueTrainConfig value_train;
+
+  std::size_t ensemble_size = 5;
+  std::size_t ensemble_discard = 2;
+
+  std::size_t nd_window = 10;
+  std::size_t nd_k_empirical = 5;
+  std::size_t nd_k_synthetic = 30;
+  double nd_nu = 0.05;
+
+  /// Trigger parameters (paper Section 3.1): l consecutive uncertain
+  /// steps; k-step variance window for the continuous signals.
+  std::size_t trigger_l = 3;
+  std::size_t trigger_k = 5;
+
+  CalibrationConfig calibration;
+
+  std::filesystem::path cache_dir = "osap_cache";
+  bool use_cache = true;
+  std::uint64_t seed = 7;
+};
+
+/// A WorkbenchConfig sized for unit/integration tests: tiny nets, few
+/// episodes, few traces. Behavioural shape is preserved; wall-time is not.
+WorkbenchConfig FastWorkbenchConfig();
+
+/// Per-training-distribution artifacts.
+struct TrainedBundle {
+  traces::DatasetId id{};
+  std::vector<std::shared_ptr<nn::ActorCriticNet>> agents;
+  std::vector<std::shared_ptr<nn::CompositeNet>> value_nets;
+  std::shared_ptr<NoveltyDetector> novelty;
+  double alpha_pi = 0.0;
+  double alpha_v = 0.0;
+  /// ND scheme's in-distribution (validation) QoE - the calibration target.
+  double nd_in_dist_qoe = 0.0;
+};
+
+class Workbench {
+ public:
+  explicit Workbench(WorkbenchConfig config = {});
+
+  const WorkbenchConfig& config() const { return config_; }
+
+  /// Digest of every behaviour-affecting config field; names the cache
+  /// directory so stale caches are never reused.
+  std::string CacheKey() const;
+
+  /// Lazily builds and memoizes a dataset / trained bundle.
+  const traces::Dataset& DatasetFor(traces::DatasetId id);
+  const TrainedBundle& BundleFor(traces::DatasetId id);
+
+  /// Evaluates a scheme trained on `train` against `test`'s held-out test
+  /// traces (memoized). Baseline schemes ignore `train`.
+  const EvalResult& Evaluate(Scheme scheme, traces::DatasetId train,
+                             traces::DatasetId test);
+
+  /// Paper-normalized mean score on `test`: 0 = Random, 1 = BB.
+  double NormalizedMean(Scheme scheme, traces::DatasetId train,
+                        traces::DatasetId test);
+
+  /// Per-trace normalized scores (for CDFs); trace-wise normalization
+  /// uses the per-dataset mean Random/BB QoE.
+  std::vector<double> NormalizedPerTrace(Scheme scheme,
+                                         traces::DatasetId train,
+                                         traces::DatasetId test);
+
+  /// Fresh evaluation environment (240-chunk video).
+  abr::AbrEnvironment MakeEvalEnvironment() const;
+
+  /// Fresh training environment (48-chunk video) pooled over the
+  /// dataset's training traces.
+  abr::AbrEnvironment MakeTrainEnvironment(traces::DatasetId id);
+
+  /// Builds the policy a scheme evaluates with: baselines, vanilla
+  /// Pensieve, or a SafeAgent wrapping Pensieve with the scheme's
+  /// estimator and (calibrated) trigger.
+  std::shared_ptr<mdp::Policy> MakePolicy(Scheme scheme,
+                                          traces::DatasetId train);
+
+  const abr::VideoSpec& eval_video() const { return eval_video_; }
+  const abr::AbrStateLayout& layout() const { return layout_; }
+
+ private:
+  WorkbenchConfig config_;
+  abr::VideoSpec train_video_;
+  abr::VideoSpec eval_video_;
+  abr::AbrStateLayout layout_;
+
+  std::map<traces::DatasetId, traces::Dataset> datasets_;
+  std::map<traces::DatasetId, TrainedBundle> bundles_;
+  std::map<std::tuple<int, int, int>, EvalResult> eval_cache_;
+
+  std::filesystem::path BundleDir(traces::DatasetId id) const;
+  NoveltyDetectorConfig NdConfigFor(traces::DatasetId id) const;
+  void TrainOrLoadAgents(TrainedBundle& bundle);
+  void TrainOrLoadValueNets(TrainedBundle& bundle);
+  void FitOrLoadNoveltyDetector(TrainedBundle& bundle);
+  void CalibrateOrLoadThresholds(TrainedBundle& bundle);
+
+  std::shared_ptr<mdp::Policy> MakeGreedyPensieve(
+      const TrainedBundle& bundle) const;
+  std::shared_ptr<mdp::Policy> MakeBufferBased() const;
+  SafeAgentConfig TriggerFor(Scheme scheme, const TrainedBundle& bundle) const;
+};
+
+}  // namespace osap::core

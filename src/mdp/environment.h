@@ -1,0 +1,35 @@
+// Environment interface: the MDP of Section 2.1. At each discrete step the
+// agent picks an action, the environment transitions and emits a reward.
+#pragma once
+
+#include <cstddef>
+
+#include "mdp/types.h"
+
+namespace osap::mdp {
+
+/// Result of one environment step.
+struct StepResult {
+  State next_state;
+  double reward = 0.0;
+  bool done = false;
+};
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Starts a new episode and returns the initial observation.
+  virtual State Reset() = 0;
+
+  /// Applies an action; undefined before Reset or after done.
+  virtual StepResult Step(Action action) = 0;
+
+  /// Size of the discrete action set A.
+  virtual std::size_t ActionCount() const = 0;
+
+  /// Dimension of the observation vector.
+  virtual std::size_t StateSize() const = 0;
+};
+
+}  // namespace osap::mdp

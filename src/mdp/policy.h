@@ -1,0 +1,37 @@
+// Policy interfaces (paper Section 2.1): a mapping from the observation
+// history to (a distribution over) actions. Policies that can report their
+// full action distribution implement StochasticPolicy - the U_pi ensemble
+// estimator needs those distributions to compute KL disagreement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mdp/types.h"
+
+namespace osap::mdp {
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Chooses an action for the current observation. Stateful policies may
+  /// also use their internal history.
+  virtual Action SelectAction(const State& state) = 0;
+
+  /// Clears per-episode internal state (no-op for memoryless policies).
+  virtual void Reset() {}
+
+  /// Stable display name, e.g. "pensieve", "buffer_based".
+  virtual std::string Name() const = 0;
+};
+
+/// A policy that exposes its per-state probability distribution over
+/// actions (e.g. a softmax actor).
+class StochasticPolicy : public Policy {
+ public:
+  /// Probability of each action in the current state; sums to 1.
+  virtual std::vector<double> ActionDistribution(const State& state) = 0;
+};
+
+}  // namespace osap::mdp

@@ -1,0 +1,22 @@
+#include "mdp/rollout.h"
+
+namespace osap::mdp {
+
+Trajectory Rollout(Environment& env, Policy& policy, std::size_t max_steps) {
+  Trajectory trajectory;
+  policy.Reset();
+  State state = env.Reset();
+  std::size_t steps = 0;
+  while (max_steps == 0 || steps < max_steps) {
+    const Action action = policy.SelectAction(state);
+    StepResult result = env.Step(action);
+    trajectory.transitions.push_back(
+        Transition{std::move(state), action, result.reward});
+    state = std::move(result.next_state);
+    ++steps;
+    if (result.done) break;
+  }
+  return trajectory;
+}
+
+}  // namespace osap::mdp

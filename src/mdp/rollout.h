@@ -1,0 +1,18 @@
+// Rollout engine: runs a policy in an environment until termination (or a
+// step cap) and records the trajectory.
+#pragma once
+
+#include <cstddef>
+
+#include "mdp/environment.h"
+#include "mdp/policy.h"
+#include "mdp/trajectory.h"
+
+namespace osap::mdp {
+
+/// Runs one episode. `max_steps` caps runaway episodes (0 = no cap beyond
+/// environment termination). Resets both the environment and the policy.
+Trajectory Rollout(Environment& env, Policy& policy,
+                   std::size_t max_steps = 0);
+
+}  // namespace osap::mdp

@@ -1,0 +1,26 @@
+#include "mdp/trajectory.h"
+
+#include "util/check.h"
+
+namespace osap::mdp {
+
+double Trajectory::TotalReward() const {
+  double total = 0.0;
+  for (const Transition& t : transitions) total += t.reward;
+  return total;
+}
+
+std::vector<double> DiscountedReturns(std::span<const double> rewards,
+                                      double gamma, double bootstrap_value) {
+  OSAP_REQUIRE(gamma >= 0.0 && gamma <= 1.0,
+               "DiscountedReturns: gamma must be in [0, 1]");
+  std::vector<double> returns(rewards.size());
+  double g = bootstrap_value;
+  for (std::size_t i = rewards.size(); i > 0; --i) {
+    g = rewards[i - 1] + gamma * g;
+    returns[i - 1] = g;
+  }
+  return returns;
+}
+
+}  // namespace osap::mdp

@@ -1,0 +1,37 @@
+// Trajectories and return computations shared by the A2C trainer, the
+// external value-function trainer, and the evaluation harness.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mdp/types.h"
+
+namespace osap::mdp {
+
+/// One (s_t, a_t, r_t) transition.
+struct Transition {
+  State state;
+  Action action = 0;
+  double reward = 0.0;
+};
+
+/// A full episode.
+struct Trajectory {
+  std::vector<Transition> transitions;
+
+  /// Undiscounted episode return (e.g. total QoE of a streaming session).
+  double TotalReward() const;
+
+  std::size_t Length() const { return transitions.size(); }
+  bool Empty() const { return transitions.empty(); }
+};
+
+/// Discounted returns-to-go: G_t = r_t + gamma * G_{t+1}, with
+/// G_T = bootstrap_value beyond the last transition (0 for terminated
+/// episodes). gamma must be in [0, 1].
+std::vector<double> DiscountedReturns(std::span<const double> rewards,
+                                      double gamma,
+                                      double bootstrap_value = 0.0);
+
+}  // namespace osap::mdp

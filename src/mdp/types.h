@@ -1,0 +1,17 @@
+// Core types of the sequential decision-making model (paper Section 2.1):
+// discrete time, discrete actions, real-vector observations. The paper's
+// formulation is a general MDP; our State is the agent's observation vector
+// (for ABR, the Pensieve state encoding).
+#pragma once
+
+#include <vector>
+
+namespace osap::mdp {
+
+/// Observation vector handed to policies and value functions.
+using State = std::vector<double>;
+
+/// Discrete action index in [0, ActionCount).
+using Action = int;
+
+}  // namespace osap::mdp

@@ -1,0 +1,18 @@
+// Value-function interface (paper Section 2.1): V maps a state to the
+// predicted discounted return under some policy. The U_V estimator compares
+// an ensemble of these.
+#pragma once
+
+#include "mdp/types.h"
+
+namespace osap::mdp {
+
+class ValueFunction {
+ public:
+  virtual ~ValueFunction() = default;
+
+  /// Predicted discounted return from `state`.
+  virtual double Value(const State& state) = 0;
+};
+
+}  // namespace osap::mdp

@@ -1,0 +1,51 @@
+#include "nn/actor_critic_net.h"
+
+#include "nn/losses.h"
+#include "util/check.h"
+
+namespace osap::nn {
+
+ActorCriticNet::ActorCriticNet(CompositeNet actor, CompositeNet critic)
+    : actor_(std::move(actor)), critic_(std::move(critic)) {
+  OSAP_REQUIRE(critic_.OutputSize() == 1,
+               "ActorCriticNet: critic must output a single value");
+  OSAP_REQUIRE(actor_.InputSize() == critic_.InputSize(),
+               "ActorCriticNet: actor and critic must share the state size");
+}
+
+std::vector<double> ActorCriticNet::ActionProbs(
+    std::span<const double> state) {
+  OSAP_REQUIRE(state.size() == StateSize(),
+               "ActionProbs: state size mismatch");
+  const Matrix logits = actor_.Forward(Matrix::RowVector(state));
+  return Softmax(logits.Row(0));
+}
+
+double ActorCriticNet::Value(std::span<const double> state) {
+  OSAP_REQUIRE(state.size() == StateSize(), "Value: state size mismatch");
+  return critic_.Forward(Matrix::RowVector(state)).At(0, 0);
+}
+
+Matrix ActorCriticNet::ActorLogits(const Matrix& states) {
+  return actor_.Forward(states);
+}
+
+Matrix ActorCriticNet::CriticValues(const Matrix& states) {
+  return critic_.Forward(states);
+}
+
+void ActorCriticNet::ActorBackward(const Matrix& dlogits) {
+  actor_.Backward(dlogits);
+}
+
+void ActorCriticNet::CriticBackward(const Matrix& dvalues) {
+  critic_.Backward(dvalues);
+}
+
+std::vector<Param*> ActorCriticNet::AllParams() {
+  std::vector<Param*> params = actor_.Params();
+  for (Param* p : critic_.Params()) params.push_back(p);
+  return params;
+}
+
+}  // namespace osap::nn

@@ -1,0 +1,54 @@
+// Generic actor-critic network pair.
+//
+// Pensieve (Mao et al., SIGCOMM '17) trains two networks over the same state
+// encoding: an actor mapping the state to a probability distribution over
+// bitrates and a critic estimating the state value. The paper's U_pi / U_V
+// ensembles (Section 2.4) are ensembles of exactly these two network kinds,
+// so the class also exposes the pieces the estimators need: per-state action
+// distributions and scalar values.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace osap::nn {
+
+class ActorCriticNet {
+ public:
+  /// Takes ownership of independently-initialized actor and critic nets.
+  /// The critic must output exactly one value per example.
+  ActorCriticNet(CompositeNet actor, CompositeNet critic);
+
+  /// Softmax action distribution for a single state.
+  std::vector<double> ActionProbs(std::span<const double> state);
+
+  /// State value estimate for a single state.
+  double Value(std::span<const double> state);
+
+  /// Raw actor logits for a batch (training path; caches activations).
+  Matrix ActorLogits(const Matrix& states);
+
+  /// Critic values for a batch as an N x 1 matrix (training path).
+  Matrix CriticValues(const Matrix& states);
+
+  /// Backprop entry points matching the two batch calls above.
+  void ActorBackward(const Matrix& dlogits);
+  void CriticBackward(const Matrix& dvalues);
+
+  std::vector<Param*> ActorParams() { return actor_.Params(); }
+  std::vector<Param*> CriticParams() { return critic_.Params(); }
+
+  /// All parameters, actor first (for whole-model serialization).
+  std::vector<Param*> AllParams();
+
+  std::size_t StateSize() const { return actor_.InputSize(); }
+  std::size_t ActionCount() const { return actor_.OutputSize(); }
+
+ private:
+  CompositeNet actor_;
+  CompositeNet critic_;
+};
+
+}  // namespace osap::nn

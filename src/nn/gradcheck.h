@@ -1,0 +1,32 @@
+// Finite-difference gradient checking.
+//
+// Every layer's Backward is verified against central differences in the
+// test suite; this header provides the harness. It is also handy when adding
+// new layers: wire the layer into a scalar loss and call MaxGradientError.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace osap::nn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;   // max |analytic - numeric|
+  double max_rel_error = 0.0;   // max normalized error
+  std::size_t checked = 0;      // number of scalar weights checked
+};
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `loss_fn` must run a full forward pass and return the scalar loss
+/// WITHOUT touching gradients. `backward_fn` must zero gradients, run
+/// forward + backward once, and leave dLoss/dParam accumulated in each
+/// Param's grad. The relative error is |a-n| / max(1e-8, |a|+|n|).
+GradCheckResult CheckGradients(const std::vector<Param*>& params,
+                               const std::function<double()>& loss_fn,
+                               const std::function<void()>& backward_fn,
+                               double epsilon = 1e-6);
+
+}  // namespace osap::nn

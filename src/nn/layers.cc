@@ -1,0 +1,156 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace osap::nn {
+
+namespace {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Matrix XavierUniform(std::size_t rows, std::size_t cols, std::size_t fan_in,
+                     std::size_t fan_out, Rng& rng) {
+  const double a =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  Matrix m(rows, cols);
+  for (double& v : m.values()) v = rng.Uniform(-a, a);
+  return m;
+}
+
+}  // namespace
+
+Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
+    : weight_(XavierUniform(in, out, in, out, rng)),
+      bias_(Matrix(1, out)) {
+  OSAP_REQUIRE(in > 0 && out > 0, "Linear dimensions must be positive");
+}
+
+Matrix Linear::Forward(const Matrix& x) {
+  OSAP_REQUIRE(x.cols() == InputSize(), "Linear: input width mismatch");
+  cached_input_ = x;
+  Matrix y = x.MatMul(weight_.value);
+  y.AddRowBroadcast(bias_.value);
+  return y;
+}
+
+Matrix Linear::Backward(const Matrix& dy) {
+  OSAP_REQUIRE(dy.cols() == OutputSize(), "Linear: grad width mismatch");
+  OSAP_CHECK_MSG(dy.rows() == cached_input_.rows(),
+                 "Linear: Backward batch must match last Forward batch");
+  weight_.grad.AddInPlace(cached_input_.Transposed().MatMul(dy));
+  bias_.grad.AddInPlace(dy.SumRows());
+  return dy.MatMul(weight_.value.Transposed());
+}
+
+Matrix ReLU::Forward(const Matrix& x) {
+  OSAP_REQUIRE(x.cols() == size_, "ReLU: input width mismatch");
+  cached_input_ = x;
+  Matrix y = x;
+  for (double& v : y.values()) v = v > 0.0 ? v : 0.0;
+  return y;
+}
+
+Matrix ReLU::Backward(const Matrix& dy) {
+  OSAP_CHECK_MSG(dy.rows() == cached_input_.rows() &&
+                     dy.cols() == cached_input_.cols(),
+                 "ReLU: Backward shape must match last Forward");
+  Matrix dx = dy;
+  const auto& x = cached_input_.values();
+  auto& g = dx.values();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (x[i] <= 0.0) g[i] = 0.0;
+  }
+  return dx;
+}
+
+Matrix Tanh::Forward(const Matrix& x) {
+  OSAP_REQUIRE(x.cols() == size_, "Tanh: input width mismatch");
+  Matrix y = x;
+  for (double& v : y.values()) v = std::tanh(v);
+  cached_output_ = y;
+  return y;
+}
+
+Matrix Tanh::Backward(const Matrix& dy) {
+  OSAP_CHECK_MSG(dy.rows() == cached_output_.rows() &&
+                     dy.cols() == cached_output_.cols(),
+                 "Tanh: Backward shape must match last Forward");
+  Matrix dx = dy;
+  const auto& y = cached_output_.values();
+  auto& g = dx.values();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] *= 1.0 - y[i] * y[i];
+  }
+  return dx;
+}
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t input_length, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      input_length_(input_length),
+      weight_(XavierUniform(in_channels * kernel, out_channels,
+                            in_channels * kernel, out_channels, rng)),
+      bias_(Matrix(1, out_channels)) {
+  OSAP_REQUIRE(in_channels > 0 && out_channels > 0, "Conv1D channels > 0");
+  OSAP_REQUIRE(kernel > 0 && kernel <= input_length,
+               "Conv1D kernel must be in [1, input_length]");
+}
+
+Matrix Conv1D::Forward(const Matrix& x) {
+  OSAP_REQUIRE(x.cols() == InputSize(), "Conv1D: input width mismatch");
+  cached_input_ = x;
+  const std::size_t out_len = OutputLength();
+  Matrix y(x.rows(), OutputSize());
+  for (std::size_t n = 0; n < x.rows(); ++n) {
+    const double* xin = x.data() + n * x.cols();
+    double* yout = y.data() + n * y.cols();
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const double b = bias_.value.At(0, oc);
+      for (std::size_t t = 0; t < out_len; ++t) {
+        double acc = b;
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          const double* xc = xin + ic * input_length_ + t;
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            acc += xc[k] * weight_.value.At(ic * kernel_ + k, oc);
+          }
+        }
+        yout[oc * out_len + t] = acc;
+      }
+    }
+  }
+  return y;
+}
+
+Matrix Conv1D::Backward(const Matrix& dy) {
+  OSAP_REQUIRE(dy.cols() == OutputSize(), "Conv1D: grad width mismatch");
+  OSAP_CHECK_MSG(dy.rows() == cached_input_.rows(),
+                 "Conv1D: Backward batch must match last Forward batch");
+  const std::size_t out_len = OutputLength();
+  Matrix dx(cached_input_.rows(), cached_input_.cols());
+  for (std::size_t n = 0; n < dy.rows(); ++n) {
+    const double* xin = cached_input_.data() + n * cached_input_.cols();
+    const double* dout = dy.data() + n * dy.cols();
+    double* din = dx.data() + n * dx.cols();
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      for (std::size_t t = 0; t < out_len; ++t) {
+        const double g = dout[oc * out_len + t];
+        if (g == 0.0) continue;
+        bias_.grad.At(0, oc) += g;
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          const double* xc = xin + ic * input_length_ + t;
+          double* dc = din + ic * input_length_ + t;
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            weight_.grad.At(ic * kernel_ + k, oc) += g * xc[k];
+            dc[k] += g * weight_.value.At(ic * kernel_ + k, oc);
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace osap::nn

@@ -1,0 +1,137 @@
+// Neural-network layers with manual backpropagation.
+//
+// The contract mirrors classic layer-wise autodiff: Forward(x) caches
+// whatever the layer needs, Backward(dLoss/dOutput) accumulates parameter
+// gradients (so multi-step episodes can sum gradients before one optimizer
+// step) and returns dLoss/dInput. All layers operate on batches: each Matrix
+// row is one example.
+//
+// Layers provided: Linear (fully connected), ReLU, Tanh, and Conv1D (valid
+// 1-D convolution over channel-major rows) - the building blocks of the
+// Pensieve actor/critic architecture (Mao et al., SIGCOMM '17).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace osap::nn {
+
+/// A trainable parameter: value plus accumulated gradient of equal shape.
+struct Param {
+  Matrix value;
+  Matrix grad;
+
+  explicit Param(Matrix v) : value(std::move(v)), grad(value.rows(), value.cols()) {}
+};
+
+/// Base class for all layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes outputs for a batch and caches activations for Backward.
+  virtual Matrix Forward(const Matrix& x) = 0;
+
+  /// Given dLoss/dOutput for the batch passed to the most recent Forward,
+  /// accumulates parameter gradients and returns dLoss/dInput.
+  virtual Matrix Backward(const Matrix& dy) = 0;
+
+  /// Trainable parameters (empty for activations).
+  virtual std::vector<Param*> Params() { return {}; }
+
+  /// Layer type tag for serialization / debugging.
+  virtual std::string Name() const = 0;
+
+  /// Number of input / output features per example.
+  virtual std::size_t InputSize() const = 0;
+  virtual std::size_t OutputSize() const = 0;
+};
+
+/// Fully-connected layer: y = x W + b, W is in x out.
+class Linear final : public Layer {
+ public:
+  /// Xavier-uniform initialization from the given RNG.
+  Linear(std::size_t in, std::size_t out, Rng& rng);
+
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& dy) override;
+  std::vector<Param*> Params() override { return {&weight_, &bias_}; }
+  std::string Name() const override { return "Linear"; }
+  std::size_t InputSize() const override { return weight_.value.rows(); }
+  std::size_t OutputSize() const override { return weight_.value.cols(); }
+
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  Param weight_;
+  Param bias_;
+  Matrix cached_input_;
+};
+
+/// Rectified linear activation.
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::size_t size) : size_(size) {}
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& dy) override;
+  std::string Name() const override { return "ReLU"; }
+  std::size_t InputSize() const override { return size_; }
+  std::size_t OutputSize() const override { return size_; }
+
+ private:
+  std::size_t size_;
+  Matrix cached_input_;
+};
+
+/// Hyperbolic tangent activation.
+class Tanh final : public Layer {
+ public:
+  explicit Tanh(std::size_t size) : size_(size) {}
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& dy) override;
+  std::string Name() const override { return "Tanh"; }
+  std::size_t InputSize() const override { return size_; }
+  std::size_t OutputSize() const override { return size_; }
+
+ private:
+  std::size_t size_;
+  Matrix cached_output_;
+};
+
+/// Valid 1-D convolution over rows laid out channel-major:
+/// [c0: t0..t(L-1)][c1: t0..t(L-1)]... Output layout is the same with
+/// out_channels and length L - kernel + 1. This is the layer Pensieve uses
+/// over its throughput/download-time/chunk-size history vectors.
+class Conv1D final : public Layer {
+ public:
+  Conv1D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t input_length, Rng& rng);
+
+  Matrix Forward(const Matrix& x) override;
+  Matrix Backward(const Matrix& dy) override;
+  std::vector<Param*> Params() override { return {&weight_, &bias_}; }
+  std::string Name() const override { return "Conv1D"; }
+  std::size_t InputSize() const override { return in_channels_ * input_length_; }
+  std::size_t OutputSize() const override { return out_channels_ * OutputLength(); }
+
+  std::size_t OutputLength() const { return input_length_ - kernel_ + 1; }
+  std::size_t out_channels() const { return out_channels_; }
+
+ private:
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t input_length_;
+  // weight_ is stored as a (in_channels*kernel) x out_channels matrix so the
+  // convolution reduces to a matmul over unrolled patches.
+  Param weight_;
+  Param bias_;  // 1 x out_channels
+  Matrix cached_input_;
+};
+
+}  // namespace osap::nn

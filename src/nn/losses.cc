@@ -1,0 +1,85 @@
+#include "nn/losses.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace osap::nn {
+
+std::vector<double> Softmax(std::span<const double> logits) {
+  OSAP_REQUIRE(!logits.empty(), "Softmax: empty logits");
+  const double zmax = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> p(logits.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - zmax);
+    sum += p[i];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+Matrix SoftmaxRows(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto p = Softmax(logits.Row(r));
+    std::copy(p.begin(), p.end(), out.Row(r).begin());
+  }
+  return out;
+}
+
+LossResult PolicyGradientLoss(const Matrix& logits,
+                              std::span<const int> actions,
+                              std::span<const double> advantages,
+                              double entropy_coef) {
+  const std::size_t n = logits.rows();
+  OSAP_REQUIRE(actions.size() == n && advantages.size() == n,
+               "PolicyGradientLoss: batch size mismatch");
+  OSAP_REQUIRE(n > 0, "PolicyGradientLoss: empty batch");
+  LossResult result;
+  result.grad = Matrix(logits.rows(), logits.cols());
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const int a = actions[r];
+    OSAP_REQUIRE(a >= 0 && static_cast<std::size_t>(a) < logits.cols(),
+                 "PolicyGradientLoss: action index out of range");
+    const std::vector<double> p = Softmax(logits.Row(r));
+    // Entropy H(p) and log-prob of the chosen action.
+    double entropy = 0.0;
+    for (double pi : p) {
+      if (pi > 0.0) entropy -= pi * std::log(pi);
+    }
+    const double logp_a =
+        std::log(std::max(p[static_cast<std::size_t>(a)], 1e-300));
+    result.loss +=
+        inv_n * (-advantages[r] * logp_a - entropy_coef * entropy);
+    // dL/dz_j = A*(p_j - 1{j=a})/n + entropy_coef * p_j*(log p_j + H)/n.
+    auto g = result.grad.Row(r);
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const double indicator = (static_cast<int>(j) == a) ? 1.0 : 0.0;
+      const double d_pg = advantages[r] * (p[j] - indicator);
+      const double logp_j = std::log(std::max(p[j], 1e-300));
+      const double d_ent = entropy_coef * p[j] * (logp_j + entropy);
+      g[j] = inv_n * (d_pg + d_ent);
+    }
+  }
+  return result;
+}
+
+LossResult MseLoss(const Matrix& pred, const Matrix& target) {
+  OSAP_REQUIRE(pred.rows() == target.rows() && pred.cols() == target.cols(),
+               "MseLoss: shape mismatch");
+  OSAP_REQUIRE(pred.size() > 0, "MseLoss: empty batch");
+  LossResult result;
+  result.grad = Matrix(pred.rows(), pred.cols());
+  const double inv_n = 1.0 / static_cast<double>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double diff = pred.values()[i] - target.values()[i];
+    result.loss += 0.5 * diff * diff * inv_n;
+    result.grad.values()[i] = diff * inv_n;
+  }
+  return result;
+}
+
+}  // namespace osap::nn

@@ -1,0 +1,43 @@
+// Loss functions and the softmax used by the actor head.
+//
+// PolicyGradientLoss implements the A2C objective the paper's Pensieve
+// agents are trained with: -advantage * log pi(a|s) - entropy_coef * H(pi),
+// averaged over the batch; MseLoss trains the critic / external value
+// functions used by the U_V ensemble.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace osap::nn {
+
+/// Numerically stable softmax of one logit vector.
+std::vector<double> Softmax(std::span<const double> logits);
+
+/// Row-wise softmax of a batch of logits.
+Matrix SoftmaxRows(const Matrix& logits);
+
+/// Result of a loss evaluation: scalar loss plus gradient w.r.t. the input.
+struct LossResult {
+  double loss = 0.0;
+  Matrix grad;
+};
+
+/// A2C policy-gradient loss with entropy regularization.
+///
+/// For each batch row i with chosen action a_i and advantage A_i:
+///   L_i = -A_i * log p_i[a_i] - entropy_coef * H(p_i),  p_i = softmax(z_i).
+/// Returns mean over rows and dL/dz (same shape as logits). Advantages are
+/// treated as constants (no gradient flows into them), matching standard
+/// actor-critic practice.
+LossResult PolicyGradientLoss(const Matrix& logits,
+                              std::span<const int> actions,
+                              std::span<const double> advantages,
+                              double entropy_coef);
+
+/// Mean-squared-error loss: mean over elements of 0.5*(pred-target)^2.
+LossResult MseLoss(const Matrix& pred, const Matrix& target);
+
+}  // namespace osap::nn

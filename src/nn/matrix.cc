@@ -1,0 +1,156 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace osap::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  OSAP_REQUIRE(data_.size() == rows * cols,
+               "Matrix data size must equal rows*cols");
+}
+
+Matrix Matrix::RowVector(std::span<const double> values) {
+  return Matrix(1, values.size(),
+                std::vector<double>(values.begin(), values.end()));
+}
+
+double& Matrix::At(std::size_t r, std::size_t c) {
+  OSAP_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(std::size_t r, std::size_t c) const {
+  OSAP_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<const double> Matrix::Row(std::size_t r) const {
+  OSAP_CHECK(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<double> Matrix::Row(std::size_t r) {
+  OSAP_CHECK(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  OSAP_REQUIRE(cols_ == other.rows_, "MatMul: inner dimensions must agree");
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order: streams through both operands row-major.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a_row = data_.data() + i * cols_;
+    double* o_row = out.data_.data() + i * other.cols_;
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.data_.data() + k * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        o_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.data_[j * rows_ + i] = data_[i * cols_ + j];
+    }
+  }
+  return out;
+}
+
+Matrix& Matrix::AddInPlace(const Matrix& other) {
+  OSAP_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "AddInPlace: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::SubInPlace(const Matrix& other) {
+  OSAP_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "SubInPlace: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::MulInPlace(const Matrix& other) {
+  OSAP_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+               "MulInPlace: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::Scale(double factor) {
+  for (double& v : data_) v *= factor;
+  return *this;
+}
+
+Matrix& Matrix::AddRowBroadcast(const Matrix& row) {
+  OSAP_REQUIRE(row.rows_ == 1 && row.cols_ == cols_,
+               "AddRowBroadcast: expected a 1 x cols row vector");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* r = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) r[j] += row.data_[j];
+  }
+  return *this;
+}
+
+Matrix Matrix::SumRows() const {
+  Matrix out(1, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) out.data_[j] += r[j];
+  }
+  return out;
+}
+
+void Matrix::SetZero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+double Matrix::SquaredNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+Matrix Matrix::ConcatCols(std::span<const Matrix> parts) {
+  OSAP_REQUIRE(!parts.empty(), "ConcatCols requires >= 1 part");
+  const std::size_t rows = parts.front().rows_;
+  std::size_t cols = 0;
+  for (const Matrix& p : parts) {
+    OSAP_REQUIRE(p.rows_ == rows, "ConcatCols: row counts must match");
+    cols += p.cols_;
+  }
+  Matrix out(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::size_t offset = 0;
+    for (const Matrix& p : parts) {
+      const double* src = p.data_.data() + i * p.cols_;
+      double* dst = out.data_.data() + i * cols + offset;
+      std::copy(src, src + p.cols_, dst);
+      offset += p.cols_;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SliceCols(std::size_t begin, std::size_t count) const {
+  OSAP_REQUIRE(begin + count <= cols_, "SliceCols: out of range");
+  Matrix out(rows_, count);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* src = data_.data() + i * cols_ + begin;
+    std::copy(src, src + count, out.data_.data() + i * count);
+  }
+  return out;
+}
+
+}  // namespace osap::nn

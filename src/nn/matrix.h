@@ -1,0 +1,87 @@
+// Dense row-major 2-D matrix of doubles: the single tensor type underlying
+// the from-scratch neural-network substrate (the paper's Pensieve agents are
+// TensorFlow models; we re-implement the needed subset in C++, see
+// DESIGN.md section 2).
+//
+// A Matrix with R rows is interpreted as a batch of R examples; a single
+// example is a 1xN matrix. Shapes are validated on every operation - shape
+// bugs throw instead of silently corrupting training.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace osap::nn {
+
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols matrix initialized from row-major data (size must match).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  /// 1 x values.size() row vector.
+  static Matrix RowVector(std::span<const double> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Element access with bounds checks in debug; hot loops use data().
+  double& At(std::size_t r, std::size_t c);
+  double At(std::size_t r, std::size_t c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Raw row-major storage (for serialization and tests).
+  const std::vector<double>& values() const { return data_; }
+  std::vector<double>& values() { return data_; }
+
+  /// One row as a span (no copy).
+  std::span<const double> Row(std::size_t r) const;
+  std::span<double> Row(std::size_t r);
+
+  /// this * other; inner dimensions must agree.
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Element-wise operations; shapes must match exactly.
+  Matrix& AddInPlace(const Matrix& other);
+  Matrix& SubInPlace(const Matrix& other);
+  Matrix& MulInPlace(const Matrix& other);  // Hadamard
+  Matrix& Scale(double factor);
+
+  /// Adds a 1 x cols row vector to every row (bias broadcast).
+  Matrix& AddRowBroadcast(const Matrix& row);
+
+  /// Sum over rows -> 1 x cols (bias gradient reduction).
+  Matrix SumRows() const;
+
+  /// Sets every element to zero.
+  void SetZero();
+
+  /// Sum of squares of all elements (for gradient-norm clipping).
+  double SquaredNorm() const;
+
+  /// Horizontal concatenation of equally-tall matrices.
+  static Matrix ConcatCols(std::span<const Matrix> parts);
+
+  /// Columns [begin, begin+count) as a copy.
+  Matrix SliceCols(std::size_t begin, std::size_t count) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace osap::nn

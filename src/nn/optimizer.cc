@@ -1,0 +1,69 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace osap::nn {
+
+Adam::Adam(std::vector<Param*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  OSAP_REQUIRE(!params_.empty(), "Adam: no parameters");
+  OSAP_REQUIRE(config_.learning_rate > 0.0, "Adam: learning rate must be > 0");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  // Optional global-norm clipping across all parameters.
+  double scale = 1.0;
+  if (config_.clip_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (const Param* p : params_) norm_sq += p->grad.SquaredNorm();
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.clip_norm) scale = config_.clip_norm / norm;
+  }
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    auto& m = m_[i].values();
+    auto& v = v_[i].values();
+    auto& w = p.value.values();
+    auto& g = p.grad.values();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      const double grad = g[j] * scale;
+      m[j] = config_.beta1 * m[j] + (1.0 - config_.beta1) * grad;
+      v[j] = config_.beta2 * v[j] + (1.0 - config_.beta2) * grad * grad;
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      w[j] -= config_.learning_rate * m_hat /
+              (std::sqrt(v_hat) + config_.epsilon);
+    }
+    p.grad.SetZero();
+  }
+}
+
+Sgd::Sgd(std::vector<Param*> params, double learning_rate)
+    : params_(std::move(params)), learning_rate_(learning_rate) {
+  OSAP_REQUIRE(!params_.empty(), "Sgd: no parameters");
+  OSAP_REQUIRE(learning_rate > 0.0, "Sgd: learning rate must be > 0");
+}
+
+void Sgd::Step() {
+  for (Param* p : params_) {
+    auto& w = p->value.values();
+    auto& g = p->grad.values();
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      w[j] -= learning_rate_ * g[j];
+    }
+    p->grad.SetZero();
+  }
+}
+
+}  // namespace osap::nn

@@ -1,0 +1,59 @@
+// First-order optimizers over Param sets: Adam (used for all agent and
+// value-function training, as in the Pensieve reference implementation) and
+// plain SGD (used by tests and the gradient-checking harness).
+//
+// Both optimizers consume the gradients accumulated in each Param and zero
+// them after stepping, so callers can accumulate gradients over a whole
+// episode before a single update.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace osap::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Global gradient-norm clip; <= 0 disables clipping.
+  double clip_norm = 5.0;
+};
+
+/// Adam (Kingma & Ba, 2015) with optional global-norm gradient clipping.
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, AdamConfig config = {});
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+  double learning_rate() const { return config_.learning_rate; }
+  std::size_t steps_taken() const { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamConfig config_;
+  std::vector<Matrix> m_;  // first moments, aligned with params_
+  std::vector<Matrix> v_;  // second moments
+  std::size_t t_ = 0;
+};
+
+/// Plain gradient descent; used by unit tests where Adam's adaptivity would
+/// obscure the quantity under test.
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, double learning_rate);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+ private:
+  std::vector<Param*> params_;
+  double learning_rate_;
+};
+
+}  // namespace osap::nn

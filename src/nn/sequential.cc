@@ -1,0 +1,154 @@
+#include "nn/sequential.h"
+
+#include "util/check.h"
+
+namespace osap::nn {
+
+void Sequential::Add(std::unique_ptr<Layer> layer) {
+  OSAP_REQUIRE(layer != nullptr, "Sequential::Add: null layer");
+  if (!layers_.empty()) {
+    OSAP_REQUIRE(layers_.back()->OutputSize() == layer->InputSize(),
+                 "Sequential::Add: layer input width must match previous "
+                 "layer output width");
+  }
+  layers_.push_back(std::move(layer));
+}
+
+void Sequential::AddLinearReLU(std::size_t in, std::size_t out, Rng& rng) {
+  Add(std::make_unique<Linear>(in, out, rng));
+  Add(std::make_unique<ReLU>(out));
+}
+
+Matrix Sequential::Forward(const Matrix& x) {
+  OSAP_REQUIRE(!layers_.empty(), "Sequential::Forward: empty network");
+  Matrix h = x;
+  for (auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+Matrix Sequential::Backward(const Matrix& dy) {
+  OSAP_REQUIRE(!layers_.empty(), "Sequential::Backward: empty network");
+  Matrix g = dy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::Params() {
+  std::vector<Param*> params;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::size_t Sequential::InputSize() const {
+  OSAP_REQUIRE(!layers_.empty(), "Sequential::InputSize: empty network");
+  return layers_.front()->InputSize();
+}
+
+std::size_t Sequential::OutputSize() const {
+  OSAP_REQUIRE(!layers_.empty(), "Sequential::OutputSize: empty network");
+  return layers_.back()->OutputSize();
+}
+
+Sequential MakeMlp(std::size_t in, const std::vector<std::size_t>& hidden,
+                   std::size_t out, Rng& rng) {
+  Sequential net;
+  std::size_t prev = in;
+  for (std::size_t h : hidden) {
+    net.AddLinearReLU(prev, h, rng);
+    prev = h;
+  }
+  net.Add(std::make_unique<Linear>(prev, out, rng));
+  return net;
+}
+
+void CompositeNet::AddBranch(std::size_t begin, std::size_t width,
+                             Sequential branch) {
+  OSAP_REQUIRE(width > 0, "CompositeNet branch width must be > 0");
+  OSAP_REQUIRE(branch.InputSize() == width,
+               "CompositeNet branch InputSize must equal its column width");
+  branches_.push_back(Branch{begin, width, std::move(branch)});
+}
+
+void CompositeNet::SetTrunk(Sequential trunk) {
+  std::size_t total = 0;
+  for (const auto& b : branches_) total += b.seq.OutputSize();
+  OSAP_REQUIRE(trunk.InputSize() == total,
+               "CompositeNet trunk InputSize must equal total branch output");
+  trunk_ = std::move(trunk);
+}
+
+Matrix CompositeNet::Forward(const Matrix& x) {
+  OSAP_REQUIRE(!branches_.empty(), "CompositeNet: no branches");
+  OSAP_REQUIRE(x.cols() >= InputSize(), "CompositeNet: input too narrow");
+  cached_batch_rows_ = x.rows();
+  cached_input_cols_ = x.cols();
+  std::vector<Matrix> outs;
+  outs.reserve(branches_.size());
+  for (auto& b : branches_) {
+    outs.push_back(b.seq.Forward(x.SliceCols(b.begin, b.width)));
+  }
+  return trunk_.Forward(Matrix::ConcatCols(outs));
+}
+
+Matrix CompositeNet::Backward(const Matrix& dy) {
+  Matrix dconcat = trunk_.Backward(dy);
+  Matrix dx(cached_batch_rows_, cached_input_cols_);
+  std::size_t offset = 0;
+  for (auto& b : branches_) {
+    const std::size_t w = b.seq.OutputSize();
+    Matrix dbranch = b.seq.Backward(dconcat.SliceCols(offset, w));
+    offset += w;
+    // Scatter-add the branch's input gradient back into its column range;
+    // overlapping branches (unused in practice) accumulate correctly.
+    for (std::size_t r = 0; r < dx.rows(); ++r) {
+      for (std::size_t c = 0; c < b.width; ++c) {
+        dx.At(r, b.begin + c) += dbranch.At(r, c);
+      }
+    }
+  }
+  return dx;
+}
+
+std::vector<Param*> CompositeNet::Params() {
+  std::vector<Param*> params;
+  for (auto& b : branches_) {
+    for (Param* p : b.seq.Params()) params.push_back(p);
+  }
+  for (Param* p : trunk_.Params()) params.push_back(p);
+  return params;
+}
+
+std::size_t CompositeNet::InputSize() const {
+  std::size_t width = 0;
+  for (const auto& b : branches_) width = std::max(width, b.begin + b.width);
+  return width;
+}
+
+std::size_t CompositeNet::OutputSize() const { return trunk_.OutputSize(); }
+
+void ZeroGrads(std::vector<Param*> params) {
+  for (Param* p : params) p->grad.SetZero();
+}
+
+void CopyParams(const std::vector<Param*>& src,
+                const std::vector<Param*>& dst) {
+  OSAP_REQUIRE(src.size() == dst.size(), "CopyParams: count mismatch");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    OSAP_REQUIRE(src[i]->value.rows() == dst[i]->value.rows() &&
+                     src[i]->value.cols() == dst[i]->value.cols(),
+                 "CopyParams: shape mismatch");
+    dst[i]->value = src[i]->value;
+  }
+}
+
+std::size_t ParamCount(const std::vector<Param*>& params) {
+  std::size_t n = 0;
+  for (const Param* p : params) n += p->value.size();
+  return n;
+}
+
+}  // namespace osap::nn

@@ -1,0 +1,40 @@
+#include "policies/buffer_based.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace osap::policies {
+
+BufferBasedPolicy::BufferBasedPolicy(const abr::VideoSpec& video,
+                                     const abr::AbrStateLayout& layout,
+                                     BufferBasedConfig config)
+    : level_count_(video.LevelCount()), layout_(layout), config_(config) {
+  OSAP_REQUIRE(config_.reservoir_seconds > 0.0,
+               "BufferBased: reservoir must be > 0");
+  OSAP_REQUIRE(config_.cushion_seconds > 0.0,
+               "BufferBased: cushion must be > 0");
+}
+
+std::size_t BufferBasedPolicy::LevelForBuffer(double buffer_seconds) const {
+  if (buffer_seconds < config_.reservoir_seconds) return 0;
+  if (buffer_seconds >=
+      config_.reservoir_seconds + config_.cushion_seconds) {
+    return level_count_ - 1;
+  }
+  // Linear interpolation across the cushion region.
+  const double fraction =
+      (buffer_seconds - config_.reservoir_seconds) / config_.cushion_seconds;
+  const auto level = static_cast<std::size_t>(
+      fraction * static_cast<double>(level_count_ - 1));
+  return std::min(level, level_count_ - 1);
+}
+
+mdp::Action BufferBasedPolicy::SelectAction(const mdp::State& state) {
+  OSAP_REQUIRE(state.size() == layout_.Size(),
+               "BufferBased: state size mismatch");
+  return static_cast<mdp::Action>(
+      LevelForBuffer(layout_.BufferSeconds(state)));
+}
+
+}  // namespace osap::policies

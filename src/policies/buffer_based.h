@@ -1,0 +1,40 @@
+// Buffer-Based (BB) rate adaptation (Huang et al., SIGCOMM '14) - the
+// paper's default ("safe") policy. BB ignores throughput entirely and maps
+// the current buffer occupancy to a bitrate: lowest rung below a reservoir,
+// highest above reservoir+cushion, linear in between. The reservoir/cushion
+// values (5 s / 10 s) follow the Pensieve reference implementation the
+// paper reuses.
+#pragma once
+
+#include "abr/state.h"
+#include "abr/video.h"
+#include "mdp/policy.h"
+
+namespace osap::policies {
+
+struct BufferBasedConfig {
+  double reservoir_seconds = 5.0;
+  double cushion_seconds = 10.0;
+};
+
+class BufferBasedPolicy final : public mdp::Policy {
+ public:
+  /// Needs the video ladder (to map the rate region to levels) and the
+  /// state layout (to read the buffer level from observations).
+  BufferBasedPolicy(const abr::VideoSpec& video,
+                    const abr::AbrStateLayout& layout,
+                    BufferBasedConfig config = {});
+
+  mdp::Action SelectAction(const mdp::State& state) override;
+  std::string Name() const override { return "buffer_based"; }
+
+  /// The pure mapping, exposed for tests: buffer seconds -> ladder level.
+  std::size_t LevelForBuffer(double buffer_seconds) const;
+
+ private:
+  std::size_t level_count_;
+  abr::AbrStateLayout layout_;
+  BufferBasedConfig config_;
+};
+
+}  // namespace osap::policies

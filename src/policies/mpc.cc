@@ -1,0 +1,96 @@
+#include "policies/mpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace osap::policies {
+
+MpcPolicy::MpcPolicy(const abr::VideoSpec& video,
+                     const abr::AbrStateLayout& layout, abr::QoeConfig qoe,
+                     MpcConfig config, ThroughputEstimator estimator)
+    : estimator_(std::move(estimator)),
+      video_(&video),
+      layout_(layout),
+      qoe_(qoe),
+      config_(config) {
+  OSAP_REQUIRE(config_.horizon > 0, "Mpc: horizon must be > 0");
+  OSAP_REQUIRE(config_.window > 0, "Mpc: window must be > 0");
+  OSAP_REQUIRE(config_.prediction_discount > 0.0 &&
+                   config_.prediction_discount <= 1.0,
+               "Mpc: prediction discount must be in (0, 1]");
+}
+
+double MpcPolicy::BestQoe(double buffer_seconds, double prev_bitrate_mbps,
+                          std::size_t chunk, std::size_t depth,
+                          double predicted_mbps,
+                          std::size_t* best_first_level) const {
+  if (depth == config_.horizon || chunk >= video_->ChunkCount()) {
+    return 0.0;
+  }
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t best_level = 0;
+  for (std::size_t level = 0; level < video_->LevelCount(); ++level) {
+    const double bytes = video_->ChunkBytes(chunk, level);
+    const double download =
+        config_.rtt_seconds + bytes * 8.0 / 1e6 / predicted_mbps;
+    const double rebuffer = std::max(0.0, download - buffer_seconds);
+    const double next_buffer =
+        std::max(0.0, buffer_seconds - download) + video_->ChunkSeconds();
+    const double bitrate = video_->BitrateMbps(level);
+    const double smooth =
+        prev_bitrate_mbps > 0.0 ? std::abs(bitrate - prev_bitrate_mbps) : 0.0;
+    const double reward = bitrate - qoe_.rebuffer_penalty * rebuffer -
+                          qoe_.smoothness_penalty * smooth;
+    const double future = BestQoe(next_buffer, bitrate, chunk + 1, depth + 1,
+                                  predicted_mbps, nullptr);
+    if (reward + future > best) {
+      best = reward + future;
+      best_level = level;
+    }
+  }
+  if (best_first_level != nullptr) *best_first_level = best_level;
+  return best;
+}
+
+mdp::Action MpcPolicy::SelectAction(const mdp::State& state) {
+  OSAP_REQUIRE(state.size() == layout_.Size(), "Mpc: state size mismatch");
+  double forecast = 0.0;
+  if (estimator_ != nullptr) {
+    forecast = estimator_(state);
+  } else {
+    // Harmonic-mean throughput estimate over the newest taps with data.
+    const std::size_t taps = std::min(config_.window, layout_.history);
+    double inv_sum = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < taps; ++i) {
+      const double mbps =
+          layout_.ThroughputMbps(state, layout_.history - 1 - i);
+      if (mbps > 0.0) {
+        inv_sum += 1.0 / mbps;
+        ++count;
+      }
+    }
+    if (count == 0) return 0;  // no measurements yet: safest rung
+    forecast = static_cast<double>(count) / inv_sum;
+  }
+  if (forecast <= 0.0) return 0;
+  const double predicted = config_.prediction_discount * forecast;
+
+  const double buffer = layout_.BufferSeconds(state);
+  const double prev_bitrate =
+      layout_.LastBitrateFraction(state) * video_->MaxBitrateMbps();
+  // Next chunk index from the remaining-fraction field.
+  const double remaining = layout_.RemainingFraction(state);
+  const auto chunk = static_cast<std::size_t>(std::llround(
+      static_cast<double>(video_->ChunkCount()) * (1.0 - remaining)));
+
+  std::size_t best_level = 0;
+  BestQoe(buffer, prev_bitrate, std::min(chunk, video_->ChunkCount() - 1),
+          0, std::max(predicted, 1e-3), &best_level);
+  return static_cast<mdp::Action>(best_level);
+}
+
+}  // namespace osap::policies

@@ -1,0 +1,60 @@
+// Model-predictive-control ABR (following Yin et al., SIGCOMM '15 -
+// reference [63], the paper QoE metric's origin): at each step, predict
+// throughput with a harmonic mean of recent measurements, then exhaustively
+// search all bitrate sequences over a short horizon for the one maximizing
+// predicted QoE. Included as an additional strong baseline / alternative
+// default policy (paper Section 5 future work).
+#pragma once
+
+#include <functional>
+
+#include "abr/qoe.h"
+#include "abr/state.h"
+#include "abr/video.h"
+#include "mdp/policy.h"
+
+namespace osap::policies {
+
+struct MpcConfig {
+  /// Lookahead horizon in chunks. Cost grows as levels^horizon; 5 with a
+  /// 6-level ladder = 7776 sequences per decision.
+  std::size_t horizon = 5;
+  /// Throughput taps for the harmonic-mean predictor.
+  std::size_t window = 5;
+  /// RobustMPC-style discount on the throughput prediction (1.0 = plain
+  /// MPC; < 1.0 = conservative).
+  double prediction_discount = 1.0;
+  /// RTT added per chunk when predicting download times.
+  double rtt_seconds = 0.08;
+};
+
+class MpcPolicy final : public mdp::Policy {
+ public:
+  /// Produces the throughput forecast (Mbps) the lookahead plans against.
+  /// The default is the harmonic mean of recent measurements; a learned
+  /// predictor can be plugged in instead (Fugu-style control, see
+  /// policies/predictive.h).
+  using ThroughputEstimator = std::function<double(const mdp::State&)>;
+
+  MpcPolicy(const abr::VideoSpec& video, const abr::AbrStateLayout& layout,
+            abr::QoeConfig qoe = {}, MpcConfig config = {},
+            ThroughputEstimator estimator = nullptr);
+
+  mdp::Action SelectAction(const mdp::State& state) override;
+  std::string Name() const override { return "mpc"; }
+
+ private:
+  ThroughputEstimator estimator_;
+  const abr::VideoSpec* video_;
+  abr::AbrStateLayout layout_;
+  abr::QoeConfig qoe_;
+  MpcConfig config_;
+
+  /// Predicted QoE of the best sequence starting with each first-chunk
+  /// level; used recursively.
+  double BestQoe(double buffer_seconds, double prev_bitrate_mbps,
+                 std::size_t chunk, std::size_t depth,
+                 double predicted_mbps, std::size_t* best_first_level) const;
+};
+
+}  // namespace osap::policies

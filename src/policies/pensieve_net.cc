@@ -1,0 +1,81 @@
+#include "policies/pensieve_net.h"
+
+#include "util/check.h"
+
+namespace osap::policies {
+
+namespace {
+
+/// Dense branch for a single scalar input column.
+nn::Sequential ScalarBranch(std::size_t width, std::size_t filters,
+                            Rng& rng) {
+  nn::Sequential seq;
+  seq.AddLinearReLU(width, filters, rng);
+  return seq;
+}
+
+/// Conv1D branch over a history/size vector (single input channel).
+nn::Sequential ConvBranch(std::size_t length, std::size_t filters,
+                          std::size_t kernel, Rng& rng) {
+  nn::Sequential seq;
+  auto conv = std::make_unique<nn::Conv1D>(/*in_channels=*/1, filters,
+                                           kernel, length, rng);
+  const std::size_t out = conv->OutputSize();
+  seq.Add(std::move(conv));
+  seq.Add(std::make_unique<nn::ReLU>(out));
+  return seq;
+}
+
+}  // namespace
+
+nn::CompositeNet BuildPensieveNet(const abr::AbrStateLayout& layout,
+                                  std::size_t output_size,
+                                  const PensieveNetConfig& config, Rng& rng) {
+  OSAP_REQUIRE(output_size > 0, "BuildPensieveNet: output size must be > 0");
+  OSAP_REQUIRE(config.conv_kernel <= layout.levels &&
+                   config.conv_kernel <= layout.history,
+               "BuildPensieveNet: conv kernel must fit the shortest vector");
+  const std::size_t f = config.conv_filters;
+  nn::CompositeNet net;
+  net.AddBranch(layout.LastBitrateIndex(), 1, ScalarBranch(1, f, rng));
+  net.AddBranch(layout.BufferIndex(), 1, ScalarBranch(1, f, rng));
+  net.AddBranch(layout.ThroughputBegin(), layout.history,
+                ConvBranch(layout.history, f, config.conv_kernel, rng));
+  net.AddBranch(layout.DownloadTimeBegin(), layout.history,
+                ConvBranch(layout.history, f, config.conv_kernel, rng));
+  net.AddBranch(layout.NextSizesBegin(), layout.levels,
+                ConvBranch(layout.levels, f, config.conv_kernel, rng));
+  net.AddBranch(layout.RemainingIndex(), 1, ScalarBranch(1, f, rng));
+
+  const std::size_t concat =
+      f * (3 + (layout.history - config.conv_kernel + 1) * 2 +
+           (layout.levels - config.conv_kernel + 1));
+  nn::Sequential trunk;
+  trunk.AddLinearReLU(concat, config.hidden, rng);
+  trunk.Add(std::make_unique<nn::Linear>(config.hidden, output_size, rng));
+  net.SetTrunk(std::move(trunk));
+  return net;
+}
+
+nn::ActorCriticNet MakePensieveActorCritic(const abr::AbrStateLayout& layout,
+                                           const PensieveNetConfig& config,
+                                           Rng& rng) {
+  nn::CompositeNet actor =
+      BuildPensieveNet(layout, layout.levels, config, rng);
+  nn::CompositeNet critic = BuildPensieveNet(layout, 1, config, rng);
+  return nn::ActorCriticNet(std::move(actor), std::move(critic));
+}
+
+NetValueFunction::NetValueFunction(nn::CompositeNet net)
+    : net_(std::move(net)) {
+  OSAP_REQUIRE(net_.OutputSize() == 1,
+               "NetValueFunction: network must output one value");
+}
+
+double NetValueFunction::Value(const mdp::State& state) {
+  OSAP_REQUIRE(state.size() == net_.InputSize(),
+               "NetValueFunction: state size mismatch");
+  return net_.Forward(nn::Matrix::RowVector(state)).At(0, 0);
+}
+
+}  // namespace osap::policies

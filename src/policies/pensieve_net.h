@@ -1,0 +1,59 @@
+// Pensieve network construction (Mao et al., SIGCOMM '17, Section 5.2).
+//
+// Actor and critic share the same topology over the Pensieve state
+// encoding, differing only in the head (softmax over ladder levels vs a
+// single value):
+//   - last-bitrate, buffer and chunks-remaining scalars each pass through
+//     a small dense branch;
+//   - the throughput history, download-time history and next-chunk-size
+//     vectors each pass through a 1-D convolution branch;
+//   - branch outputs are concatenated into a dense trunk.
+// The reference implementation uses 128 conv filters / 128 hidden units;
+// we default to 32/64, which trains in seconds on one CPU core while
+// preserving the in-distribution-win / out-of-distribution-loss behaviour
+// the paper studies (see DESIGN.md section 2).
+#pragma once
+
+#include <memory>
+
+#include "abr/state.h"
+#include "mdp/value_function.h"
+#include "nn/actor_critic_net.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace osap::policies {
+
+struct PensieveNetConfig {
+  std::size_t conv_filters = 16;
+  std::size_t conv_kernel = 4;
+  std::size_t hidden = 32;
+};
+
+/// Builds the Pensieve topology with `output_size` head units (ladder-size
+/// logits for the actor, 1 for critic/value networks).
+nn::CompositeNet BuildPensieveNet(const abr::AbrStateLayout& layout,
+                                  std::size_t output_size,
+                                  const PensieveNetConfig& config, Rng& rng);
+
+/// A freshly-initialized actor-critic pair (independent weights).
+nn::ActorCriticNet MakePensieveActorCritic(const abr::AbrStateLayout& layout,
+                                           const PensieveNetConfig& config,
+                                           Rng& rng);
+
+/// mdp::ValueFunction adapter over a value network (used both for critics
+/// and for the external U_V ensemble members).
+class NetValueFunction final : public mdp::ValueFunction {
+ public:
+  explicit NetValueFunction(nn::CompositeNet net);
+
+  double Value(const mdp::State& state) override;
+
+  nn::CompositeNet& net() { return net_; }
+  std::vector<nn::Param*> Params() { return net_.Params(); }
+
+ private:
+  nn::CompositeNet net_;
+};
+
+}  // namespace osap::policies

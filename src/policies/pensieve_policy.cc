@@ -1,0 +1,36 @@
+#include "policies/pensieve_policy.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace osap::policies {
+
+PensievePolicy::PensievePolicy(std::shared_ptr<nn::ActorCriticNet> net,
+                               ActionSelection selection, std::uint64_t seed)
+    : net_(std::move(net)), selection_(selection), rng_(seed) {
+  OSAP_REQUIRE(net_ != nullptr, "PensievePolicy: null network");
+}
+
+std::vector<double> PensievePolicy::ActionDistribution(
+    const mdp::State& state) {
+  return net_->ActionProbs(state);
+}
+
+mdp::Action PensievePolicy::SelectAction(const mdp::State& state) {
+  const std::vector<double> probs = net_->ActionProbs(state);
+  if (selection_ == ActionSelection::kGreedy) {
+    return static_cast<mdp::Action>(std::distance(
+        probs.begin(), std::max_element(probs.begin(), probs.end())));
+  }
+  // Inverse-CDF sampling; the final bucket absorbs rounding slack.
+  const double u = rng_.Uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    acc += probs[i];
+    if (u < acc) return static_cast<mdp::Action>(i);
+  }
+  return static_cast<mdp::Action>(probs.size() - 1);
+}
+
+}  // namespace osap::policies

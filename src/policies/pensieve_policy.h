@@ -1,0 +1,42 @@
+// The learned ABR policy: a Pensieve actor-critic network exposed as an
+// mdp::StochasticPolicy. During training rollouts the policy samples from
+// the actor's softmax (exploration); during evaluation it picks the argmax
+// action, matching how Pensieve is deployed.
+#pragma once
+
+#include <memory>
+
+#include "mdp/policy.h"
+#include "nn/actor_critic_net.h"
+#include "util/rng.h"
+
+namespace osap::policies {
+
+enum class ActionSelection {
+  kSample,  // draw from the softmax (training-time exploration)
+  kGreedy,  // argmax (deployment / evaluation)
+};
+
+class PensievePolicy final : public mdp::StochasticPolicy {
+ public:
+  /// Shares the network (ensembles hold several policies over several
+  /// nets; trainers mutate the net the policy observes).
+  PensievePolicy(std::shared_ptr<nn::ActorCriticNet> net,
+                 ActionSelection selection, std::uint64_t seed);
+
+  mdp::Action SelectAction(const mdp::State& state) override;
+  std::vector<double> ActionDistribution(const mdp::State& state) override;
+  std::string Name() const override { return "pensieve"; }
+
+  nn::ActorCriticNet& net() { return *net_; }
+  const std::shared_ptr<nn::ActorCriticNet>& shared_net() const { return net_; }
+  void set_selection(ActionSelection selection) { selection_ = selection; }
+  ActionSelection selection() const { return selection_; }
+
+ private:
+  std::shared_ptr<nn::ActorCriticNet> net_;
+  ActionSelection selection_;
+  Rng rng_;
+};
+
+}  // namespace osap::policies

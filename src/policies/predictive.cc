@@ -1,0 +1,85 @@
+#include "policies/predictive.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace osap::policies {
+
+namespace {
+
+nn::CompositeNet BuildRegressor(const abr::AbrStateLayout& layout,
+                                std::size_t hidden, Rng& rng) {
+  nn::CompositeNet net;
+  nn::Sequential branch;
+  branch.AddLinearReLU(layout.Size(), hidden, rng);
+  branch.AddLinearReLU(hidden, hidden / 2, rng);
+  net.AddBranch(0, layout.Size(), std::move(branch));
+  nn::Sequential trunk;
+  trunk.Add(std::make_unique<nn::Linear>(hidden / 2, 1, rng));
+  net.SetTrunk(std::move(trunk));
+  return net;
+}
+
+}  // namespace
+
+ThroughputPredictor::ThroughputPredictor(const abr::AbrStateLayout& layout,
+                                         const PredictiveAbrConfig& config,
+                                         Rng& rng)
+    : config_(config), net_(BuildRegressor(layout, config.hidden, rng)) {
+  OSAP_REQUIRE(config.hidden >= 2, "ThroughputPredictor: hidden >= 2");
+}
+
+rl::ValueDataset ThroughputPredictor::CollectDataset(
+    abr::AbrEnvironment& env, mdp::Policy& driver,
+    std::span<const traces::Trace> traces_) {
+  OSAP_REQUIRE(!traces_.empty(),
+               "ThroughputPredictor::CollectDataset: no traces");
+  rl::ValueDataset dataset;
+  for (const traces::Trace& trace : traces_) {
+    env.SetFixedTrace(trace);
+    driver.Reset();
+    mdp::State state = env.Reset();
+    bool done = false;
+    while (!done) {
+      const mdp::StepResult result = env.Step(driver.SelectAction(state));
+      // Label: the throughput the *next* download experienced, i.e. what
+      // a deployed predictor would be asked for in `state`.
+      dataset.states.push_back(state);
+      dataset.returns.push_back(env.LastDownload().throughput_mbps);
+      state = result.next_state;
+      done = result.done;
+    }
+  }
+  return dataset;
+}
+
+double ThroughputPredictor::Train(const rl::ValueDataset& dataset) {
+  return rl::TrainValueNet(net_, dataset, config_.training);
+}
+
+double ThroughputPredictor::Predict(const mdp::State& state) {
+  const double predicted =
+      net_.Forward(nn::Matrix::RowVector(state)).At(0, 0);
+  return std::max(predicted, 0.05);
+}
+
+PredictiveAbrPolicy::PredictiveAbrPolicy(
+    std::shared_ptr<ThroughputPredictor> predictor,
+    const abr::VideoSpec& video, const abr::AbrStateLayout& layout,
+    PredictiveAbrConfig config)
+    : predictor_(std::move(predictor)),
+      control_(video, layout, abr::QoeConfig{}, config.control,
+               // The learned forecast, discounted by the safety factor.
+               [p = predictor_, f = config.safety_factor](
+                   const mdp::State& s) { return f * p->Predict(s); }) {
+  OSAP_REQUIRE(predictor_ != nullptr, "PredictiveAbrPolicy: null predictor");
+  OSAP_REQUIRE(config.safety_factor > 0.0,
+               "PredictiveAbrPolicy: safety factor must be > 0");
+}
+
+mdp::Action PredictiveAbrPolicy::SelectAction(const mdp::State& state) {
+  return control_.SelectAction(state);
+}
+
+}  // namespace osap::policies

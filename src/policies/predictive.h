@@ -1,0 +1,82 @@
+// Throughput-predictor ABR: the other deep-learning ABR family the paper
+// discusses (CS2P [49], Fugu/"learning in situ" [61]). Instead of learning
+// a control policy end-to-end, a neural regressor predicts the next
+// chunk's throughput from the observation history and a simple controller
+// picks the highest sustainable bitrate.
+//
+// The predictor inherits the same deployment hazard as Pensieve: trained
+// on one throughput distribution, its regressions revert toward the
+// training range when the deployment distribution shifts, and the
+// controller overshoots. Because the U_S safety net watches the *input*
+// (observed throughput), the very same fitted NoveltyDetector that guards
+// Pensieve also guards this policy - OSAP is agent-agnostic on the input
+// side (paper Section 2.4).
+#pragma once
+
+#include <memory>
+
+#include "abr/abr_environment.h"
+#include "mdp/policy.h"
+#include "nn/sequential.h"
+#include "policies/mpc.h"
+#include "rl/value_trainer.h"
+#include "util/rng.h"
+
+namespace osap::policies {
+
+struct PredictiveAbrConfig {
+  std::size_t hidden = 32;
+  /// Discount applied to the prediction before planning (the controller's
+  /// conservatism; Fugu uses prediction uncertainty instead).
+  double safety_factor = 0.9;
+  /// The MPC lookahead the predictions feed (Fugu couples its predictor
+  /// with model-predictive control).
+  MpcConfig control;
+  rl::ValueTrainConfig training;
+};
+
+/// Supervised next-chunk-throughput regressor over the Pensieve state.
+class ThroughputPredictor {
+ public:
+  ThroughputPredictor(const abr::AbrStateLayout& layout,
+                      const PredictiveAbrConfig& config, Rng& rng);
+
+  /// Collects (state, next measured chunk throughput) pairs by streaming
+  /// every trace once with `driver` (typically BufferBased - the labels
+  /// must not depend on the policy being trained).
+  static rl::ValueDataset CollectDataset(
+      abr::AbrEnvironment& env, mdp::Policy& driver,
+      std::span<const traces::Trace> traces_);
+
+  /// Fits the regressor; returns the final epoch's mean MSE loss.
+  double Train(const rl::ValueDataset& dataset);
+
+  /// Predicted next-chunk throughput (Mbps), floored at a small positive.
+  double Predict(const mdp::State& state);
+
+  nn::CompositeNet& net() { return net_; }
+
+ private:
+  PredictiveAbrConfig config_;
+  nn::CompositeNet net_;
+};
+
+/// The controller: MPC lookahead planning against the learned forecast
+/// (Fugu's control structure). The video reference must outlive the
+/// policy.
+class PredictiveAbrPolicy final : public mdp::Policy {
+ public:
+  PredictiveAbrPolicy(std::shared_ptr<ThroughputPredictor> predictor,
+                      const abr::VideoSpec& video,
+                      const abr::AbrStateLayout& layout,
+                      PredictiveAbrConfig config = {});
+
+  mdp::Action SelectAction(const mdp::State& state) override;
+  std::string Name() const override { return "predictive_abr"; }
+
+ private:
+  std::shared_ptr<ThroughputPredictor> predictor_;
+  MpcPolicy control_;
+};
+
+}  // namespace osap::policies

@@ -1,0 +1,22 @@
+#include "policies/random_policy.h"
+
+#include "util/check.h"
+
+namespace osap::policies {
+
+RandomPolicy::RandomPolicy(std::size_t action_count, std::uint64_t seed)
+    : action_count_(action_count), rng_(seed) {
+  OSAP_REQUIRE(action_count > 0, "RandomPolicy: need >= 1 action");
+}
+
+mdp::Action RandomPolicy::SelectAction(const mdp::State& /*state*/) {
+  return static_cast<mdp::Action>(rng_.UniformInt(action_count_));
+}
+
+std::vector<double> RandomPolicy::ActionDistribution(
+    const mdp::State& /*state*/) {
+  return std::vector<double>(action_count_,
+                             1.0 / static_cast<double>(action_count_));
+}
+
+}  // namespace osap::policies

@@ -1,0 +1,24 @@
+// The "Random" baseline of Section 3.3: selects the next bitrate uniformly
+// at random. Its score anchors the paper's normalized performance scale
+// (Random = 0, BB = 1).
+#pragma once
+
+#include "mdp/policy.h"
+#include "util/rng.h"
+
+namespace osap::policies {
+
+class RandomPolicy final : public mdp::StochasticPolicy {
+ public:
+  RandomPolicy(std::size_t action_count, std::uint64_t seed);
+
+  mdp::Action SelectAction(const mdp::State& state) override;
+  std::vector<double> ActionDistribution(const mdp::State& state) override;
+  std::string Name() const override { return "random"; }
+
+ private:
+  std::size_t action_count_;
+  Rng rng_;
+};
+
+}  // namespace osap::policies

@@ -1,0 +1,50 @@
+#include "policies/rate_based.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace osap::policies {
+
+RateBasedPolicy::RateBasedPolicy(const abr::VideoSpec& video,
+                                 const abr::AbrStateLayout& layout,
+                                 RateBasedConfig config)
+    : video_(&video), layout_(layout), config_(config) {
+  OSAP_REQUIRE(config_.window > 0, "RateBased: window must be > 0");
+  OSAP_REQUIRE(config_.safety_factor > 0.0,
+               "RateBased: safety factor must be > 0");
+}
+
+double RateBasedPolicy::EstimateThroughputMbps(
+    const mdp::State& state) const {
+  const std::size_t taps = std::min(config_.window, layout_.history);
+  double inv_sum = 0.0;
+  std::size_t count = 0;
+  // Newest taps are at the end of the history range.
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double mbps =
+        layout_.ThroughputMbps(state, layout_.history - 1 - i);
+    if (mbps > 0.0) {
+      inv_sum += 1.0 / mbps;
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  return static_cast<double>(count) / inv_sum;
+}
+
+mdp::Action RateBasedPolicy::SelectAction(const mdp::State& state) {
+  OSAP_REQUIRE(state.size() == layout_.Size(),
+               "RateBased: state size mismatch");
+  const double estimate =
+      EstimateThroughputMbps(state) * config_.safety_factor;
+  // Highest rung sustainable at the estimate; lowest rung when nothing
+  // fits (or before any measurement).
+  std::size_t level = 0;
+  for (std::size_t l = 0; l < video_->LevelCount(); ++l) {
+    if (video_->BitrateMbps(l) <= estimate) level = l;
+  }
+  return static_cast<mdp::Action>(level);
+}
+
+}  // namespace osap::policies

@@ -1,0 +1,41 @@
+// Rate-based heuristic: picks the highest ladder rung below a conservative
+// throughput estimate (harmonic mean of the recent measured chunk
+// throughputs). Not used by the paper's headline comparison but a standard
+// ABR baseline; included as an additional default-policy option (the paper's
+// future-work section calls for studying other default policies).
+#pragma once
+
+#include "abr/state.h"
+#include "abr/video.h"
+#include "mdp/policy.h"
+
+namespace osap::policies {
+
+struct RateBasedConfig {
+  /// Number of recent throughput taps considered (capped by the layout's
+  /// history length).
+  std::size_t window = 5;
+  /// Safety factor applied to the throughput estimate.
+  double safety_factor = 1.0;
+};
+
+class RateBasedPolicy final : public mdp::Policy {
+ public:
+  RateBasedPolicy(const abr::VideoSpec& video,
+                  const abr::AbrStateLayout& layout,
+                  RateBasedConfig config = {});
+
+  mdp::Action SelectAction(const mdp::State& state) override;
+  std::string Name() const override { return "rate_based"; }
+
+  /// Harmonic-mean throughput estimate over the last `window` taps with
+  /// non-zero samples; 0 when no tap has data yet.
+  double EstimateThroughputMbps(const mdp::State& state) const;
+
+ private:
+  const abr::VideoSpec* video_;
+  abr::AbrStateLayout layout_;
+  RateBasedConfig config_;
+};
+
+}  // namespace osap::policies

@@ -1,0 +1,141 @@
+#include "rl/a2c.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mdp/trajectory.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace osap::rl {
+
+double TrainingHistory::RecentMeanReward(std::size_t n) const {
+  if (episode_rewards.empty()) return 0.0;
+  const std::size_t count = std::min(n, episode_rewards.size());
+  double sum = 0.0;
+  for (std::size_t i = episode_rewards.size() - count;
+       i < episode_rewards.size(); ++i) {
+    sum += episode_rewards[i];
+  }
+  return sum / static_cast<double>(count);
+}
+
+namespace {
+
+int SampleAction(std::span<const double> probs, Rng& rng) {
+  const double u = rng.Uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    acc += probs[i];
+    if (u < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(probs.size()) - 1;
+}
+
+}  // namespace
+
+TrainingHistory TrainA2c(nn::ActorCriticNet& net, mdp::Environment& env,
+                         const A2cConfig& config) {
+  OSAP_REQUIRE(config.episodes > 0, "TrainA2c: episodes must be > 0");
+  OSAP_REQUIRE(config.gamma >= 0.0 && config.gamma <= 1.0,
+               "TrainA2c: gamma must be in [0, 1]");
+  OSAP_REQUIRE(net.StateSize() == env.StateSize(),
+               "TrainA2c: network/environment state size mismatch");
+  OSAP_REQUIRE(net.ActionCount() == env.ActionCount(),
+               "TrainA2c: network/environment action count mismatch");
+
+  nn::AdamConfig actor_cfg;
+  actor_cfg.learning_rate = config.actor_learning_rate;
+  actor_cfg.clip_norm = config.clip_norm;
+  nn::Adam actor_opt(net.ActorParams(), actor_cfg);
+  nn::AdamConfig critic_cfg;
+  critic_cfg.learning_rate = config.critic_learning_rate;
+  critic_cfg.clip_norm = config.clip_norm;
+  nn::Adam critic_opt(net.CriticParams(), critic_cfg);
+
+  Rng rng(config.seed);
+  TrainingHistory history;
+  history.episode_rewards.reserve(config.episodes);
+
+  for (std::size_t episode = 0; episode < config.episodes; ++episode) {
+    // Roll out the current policy with softmax sampling.
+    std::vector<mdp::State> states;
+    std::vector<int> actions;
+    std::vector<double> rewards;
+    mdp::State state = env.Reset();
+    bool done = false;
+    while (!done) {
+      const std::vector<double> probs = net.ActionProbs(state);
+      const int action = SampleAction(probs, rng);
+      mdp::StepResult step = env.Step(action);
+      states.push_back(std::move(state));
+      actions.push_back(action);
+      rewards.push_back(step.reward);
+      state = std::move(step.next_state);
+      done = step.done;
+    }
+    const std::size_t n = states.size();
+    OSAP_CHECK_MSG(n > 0, "TrainA2c: empty episode");
+
+    // Batch the episode.
+    nn::Matrix batch(n, env.StateSize());
+    for (std::size_t i = 0; i < n; ++i) {
+      std::copy(states[i].begin(), states[i].end(), batch.Row(i).begin());
+    }
+    const std::vector<double> returns =
+        mdp::DiscountedReturns(rewards, config.gamma);
+    nn::Matrix target(n, 1);
+    for (std::size_t i = 0; i < n; ++i) target.At(i, 0) = returns[i];
+
+    // Critic forward (also yields the advantage baseline).
+    const nn::Matrix values = net.CriticValues(batch);
+    std::vector<double> advantages(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      advantages[i] = returns[i] - values.At(i, 0);
+    }
+    if (config.normalize_advantages && n > 1) {
+      // Zero-mean / unit-std advantages stabilize the policy gradient when
+      // rare, large rebuffer penalties dominate the reward scale.
+      double mean = 0.0;
+      for (double a : advantages) mean += a;
+      mean /= static_cast<double>(n);
+      double var = 0.0;
+      for (double a : advantages) var += (a - mean) * (a - mean);
+      var /= static_cast<double>(n);
+      const double stddev = std::sqrt(std::max(var, 1e-12));
+      for (double& a : advantages) a = (a - mean) / stddev;
+    }
+
+    // Entropy annealing across episodes.
+    const double progress = config.episodes <= 1
+                                ? 1.0
+                                : static_cast<double>(episode) /
+                                      static_cast<double>(config.episodes - 1);
+    const double entropy_coef =
+        config.entropy_coef_start +
+        progress * (config.entropy_coef_end - config.entropy_coef_start);
+
+    // Actor step.
+    const nn::Matrix logits = net.ActorLogits(batch);
+    const nn::LossResult actor_loss =
+        nn::PolicyGradientLoss(logits, actions, advantages, entropy_coef);
+    net.ActorBackward(actor_loss.grad);
+    actor_opt.Step();
+
+    // Critic step (values were computed above from the same forward pass,
+    // so Backward matches the cached activations).
+    const nn::LossResult critic_loss = nn::MseLoss(values, target);
+    net.CriticBackward(critic_loss.grad);
+    critic_opt.Step();
+
+    double total = 0.0;
+    for (double r : rewards) total += r;
+    history.episode_rewards.push_back(total);
+    history.episode_lengths.push_back(n);
+  }
+  return history;
+}
+
+}  // namespace osap::rl

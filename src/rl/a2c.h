@@ -1,0 +1,51 @@
+// Advantage actor-critic (A2C) training.
+//
+// Pensieve is trained with A3C (Mnih et al. 2016, reference [29] of the
+// paper); A2C is its synchronous form - identical update rule, no
+// asynchronous workers - which suits a deterministic single-core
+// reproduction. Per episode: roll out the current softmax policy, compute
+// discounted returns, advantage = return - V(s), then one Adam step on
+//   actor:  -advantage * log pi(a|s) - beta * H(pi)
+//   critic: MSE(V(s), return)
+// with the entropy weight beta annealed from `entropy_coef_start` to
+// `entropy_coef_end` (Pensieve's exploration schedule).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mdp/environment.h"
+#include "nn/actor_critic_net.h"
+
+namespace osap::rl {
+
+struct A2cConfig {
+  double gamma = 0.99;
+  double actor_learning_rate = 1e-3;
+  double critic_learning_rate = 3e-3;
+  double entropy_coef_start = 1.0;
+  double entropy_coef_end = 0.01;
+  std::size_t episodes = 2000;
+  /// Standardize advantages per episode batch (stabilizes updates when
+  /// rare rebuffer penalties dominate the reward scale).
+  bool normalize_advantages = false;
+  /// Gradient clip (global norm) for both networks.
+  double clip_norm = 5.0;
+  /// Seed for action sampling during rollouts.
+  std::uint64_t seed = 1;
+};
+
+/// Per-episode training record (undiscounted return and episode length).
+struct TrainingHistory {
+  std::vector<double> episode_rewards;
+  std::vector<std::size_t> episode_lengths;
+
+  /// Mean return of the last `n` episodes (or fewer if unavailable).
+  double RecentMeanReward(std::size_t n = 50) const;
+};
+
+/// Trains the network in-place; returns the training history.
+TrainingHistory TrainA2c(nn::ActorCriticNet& net, mdp::Environment& env,
+                         const A2cConfig& config);
+
+}  // namespace osap::rl

@@ -1,0 +1,64 @@
+#include "rl/ensemble.h"
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace osap::rl {
+
+namespace {
+
+/// Decorrelates member seeds from the base seed.
+std::uint64_t MemberSeed(std::uint64_t base, std::size_t member) {
+  return base * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL * (member + 1);
+}
+
+}  // namespace
+
+AgentEnsembleResult TrainAgentEnsemble(std::size_t size,
+                                       const ActorCriticFactory& factory,
+                                       mdp::Environment& env,
+                                       const A2cConfig& config,
+                                       std::uint64_t base_seed) {
+  OSAP_REQUIRE(size > 0, "TrainAgentEnsemble: size must be > 0");
+  AgentEnsembleResult result;
+  result.members.reserve(size);
+  result.histories.reserve(size);
+  for (std::size_t m = 0; m < size; ++m) {
+    Rng init_rng(MemberSeed(base_seed, m));
+    auto net = std::make_shared<nn::ActorCriticNet>(factory(init_rng));
+    A2cConfig member_config = config;
+    // Each member also explores with its own action-sampling stream; the
+    // environment and hyperparameters are identical (paper Section 2.4).
+    member_config.seed = MemberSeed(base_seed ^ 0xA5A5A5A5ULL, m);
+    result.histories.push_back(TrainA2c(*net, env, member_config));
+    OSAP_LOG(kDebug) << "agent ensemble member " << m << " final reward "
+                     << result.histories.back().RecentMeanReward(20);
+    result.members.push_back(std::move(net));
+  }
+  return result;
+}
+
+std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsemble(
+    std::size_t size, const ValueNetFactory& factory, mdp::Environment& env,
+    mdp::Policy& policy, const ValueTrainConfig& config,
+    std::uint64_t base_seed) {
+  OSAP_REQUIRE(size > 0, "TrainValueEnsemble: size must be > 0");
+  // Experience is collected once and shared: members differ only in their
+  // weight initialization (and minibatch order).
+  const ValueDataset dataset = CollectValueDataset(env, policy, config);
+  std::vector<std::shared_ptr<nn::CompositeNet>> members;
+  members.reserve(size);
+  for (std::size_t m = 0; m < size; ++m) {
+    Rng init_rng(MemberSeed(base_seed, m));
+    auto net = std::make_shared<nn::CompositeNet>(factory(init_rng));
+    ValueTrainConfig member_config = config;
+    member_config.seed = MemberSeed(base_seed ^ 0x5A5A5A5AULL, m);
+    const double loss = TrainValueNet(*net, dataset, member_config);
+    OSAP_LOG(kDebug) << "value ensemble member " << m << " final loss "
+                     << loss;
+    members.push_back(std::move(net));
+  }
+  return members;
+}
+
+}  // namespace osap::rl

@@ -1,0 +1,49 @@
+// Ensemble training for the U_pi and U_V uncertainty signals.
+//
+// Paper Section 2.4: ensembles of i agents (or value functions) are trained
+// "in the same training environment, where the only difference in the
+// training process is the initialization of the neural network variables."
+// The factories below take a net builder so the caller controls topology;
+// member m is built and trained from a seed derived deterministically from
+// (base_seed, m).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mdp/environment.h"
+#include "nn/actor_critic_net.h"
+#include "rl/a2c.h"
+#include "rl/value_trainer.h"
+
+namespace osap::rl {
+
+/// Builds a fresh actor-critic network from an initialization RNG.
+using ActorCriticFactory = std::function<nn::ActorCriticNet(Rng&)>;
+
+/// Builds a fresh 1-output value network from an initialization RNG.
+using ValueNetFactory = std::function<nn::CompositeNet(Rng&)>;
+
+struct AgentEnsembleResult {
+  std::vector<std::shared_ptr<nn::ActorCriticNet>> members;
+  std::vector<TrainingHistory> histories;
+};
+
+/// Trains `size` independently-initialized agents with identical A2C
+/// configuration on the same environment.
+AgentEnsembleResult TrainAgentEnsemble(std::size_t size,
+                                       const ActorCriticFactory& factory,
+                                       mdp::Environment& env,
+                                       const A2cConfig& config,
+                                       std::uint64_t base_seed);
+
+/// Trains `size` independently-initialized value networks on experience
+/// collected once from `policy` (shared across members, per the paper).
+std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsemble(
+    std::size_t size, const ValueNetFactory& factory, mdp::Environment& env,
+    mdp::Policy& policy, const ValueTrainConfig& config,
+    std::uint64_t base_seed);
+
+}  // namespace osap::rl

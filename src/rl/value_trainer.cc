@@ -1,0 +1,80 @@
+#include "rl/value_trainer.h"
+
+#include <algorithm>
+
+#include "mdp/rollout.h"
+#include "mdp/trajectory.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace osap::rl {
+
+ValueDataset CollectValueDataset(mdp::Environment& env, mdp::Policy& policy,
+                                 const ValueTrainConfig& config) {
+  OSAP_REQUIRE(config.rollout_episodes > 0,
+               "CollectValueDataset: need >= 1 episode");
+  ValueDataset dataset;
+  for (std::size_t e = 0; e < config.rollout_episodes; ++e) {
+    const mdp::Trajectory trajectory = mdp::Rollout(env, policy);
+    std::vector<double> rewards;
+    rewards.reserve(trajectory.Length());
+    for (const auto& t : trajectory.transitions) rewards.push_back(t.reward);
+    const std::vector<double> returns =
+        mdp::DiscountedReturns(rewards, config.gamma);
+    for (std::size_t i = 0; i < trajectory.Length(); ++i) {
+      dataset.states.push_back(trajectory.transitions[i].state);
+      dataset.returns.push_back(returns[i]);
+    }
+  }
+  return dataset;
+}
+
+double TrainValueNet(nn::CompositeNet& net, const ValueDataset& dataset,
+                     const ValueTrainConfig& config) {
+  OSAP_REQUIRE(net.OutputSize() == 1,
+               "TrainValueNet: network must output one value");
+  OSAP_REQUIRE(dataset.Size() > 0, "TrainValueNet: empty dataset");
+  OSAP_REQUIRE(config.batch_size > 0, "TrainValueNet: batch size must be > 0");
+
+  nn::AdamConfig adam_cfg;
+  adam_cfg.learning_rate = config.learning_rate;
+  adam_cfg.clip_norm = config.clip_norm;
+  nn::Adam optimizer(net.Params(), adam_cfg);
+
+  Rng rng(config.seed);
+  std::vector<std::size_t> order(dataset.Size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const std::size_t state_size = dataset.states.front().size();
+  double last_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t count =
+          std::min(config.batch_size, order.size() - start);
+      nn::Matrix batch(count, state_size);
+      nn::Matrix target(count, 1);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t idx = order[start + i];
+        std::copy(dataset.states[idx].begin(), dataset.states[idx].end(),
+                  batch.Row(i).begin());
+        target.At(i, 0) = dataset.returns[idx];
+      }
+      const nn::Matrix pred = net.Forward(batch);
+      const nn::LossResult loss = nn::MseLoss(pred, target);
+      net.Backward(loss.grad);
+      optimizer.Step();
+      epoch_loss += loss.loss;
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(batches);
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace osap::rl

@@ -1,0 +1,54 @@
+// External value-function training for the U_V ensemble.
+//
+// Paper Section 2.4: "even if an agent does not explicitly estimate state
+// values, a value function for that agent can still be trained externally
+// by observing the history of states, actions, and rewards resulting from
+// the agent-environment interaction while training." This trainer does
+// exactly that: it rolls out a fixed policy on the training environment,
+// computes discounted returns, and regresses V(s) -> return with Adam.
+// Ensemble members differ only in network initialization (they share the
+// collected experience), matching the paper's setup.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mdp/environment.h"
+#include "mdp/policy.h"
+#include "nn/sequential.h"
+
+namespace osap::rl {
+
+struct ValueTrainConfig {
+  double gamma = 0.99;
+  /// Episodes of experience collected from the policy.
+  std::size_t rollout_episodes = 20;
+  /// Supervised epochs over the collected (state, return) pairs.
+  std::size_t epochs = 10;
+  std::size_t batch_size = 128;
+  double learning_rate = 1e-3;
+  double clip_norm = 5.0;
+  /// Seed for minibatch shuffling.
+  std::uint64_t seed = 1;
+};
+
+/// A collected supervised value-regression dataset.
+struct ValueDataset {
+  std::vector<mdp::State> states;
+  std::vector<double> returns;
+
+  std::size_t Size() const { return states.size(); }
+};
+
+/// Rolls out `policy` for `rollout_episodes` and records discounted
+/// returns-to-go for every visited state.
+ValueDataset CollectValueDataset(mdp::Environment& env, mdp::Policy& policy,
+                                 const ValueTrainConfig& config);
+
+/// Fits a value network (1 output) to the dataset; returns the final
+/// epoch's mean training loss.
+double TrainValueNet(nn::CompositeNet& net, const ValueDataset& dataset,
+                     const ValueTrainConfig& config);
+
+}  // namespace osap::rl

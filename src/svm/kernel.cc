@@ -1,0 +1,47 @@
+#include "svm/kernel.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace osap::svm {
+
+RbfKernel::RbfKernel(double gamma) : gamma_(gamma) {
+  OSAP_REQUIRE(gamma > 0.0, "RbfKernel: gamma must be > 0");
+}
+
+double RbfKernel::Evaluate(std::span<const double> x,
+                           std::span<const double> y) const {
+  OSAP_REQUIRE(x.size() == y.size(), "RbfKernel: dimension mismatch");
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    d2 += d * d;
+  }
+  return std::exp(-gamma_ * d2);
+}
+
+double LinearKernel::Evaluate(std::span<const double> x,
+                              std::span<const double> y) const {
+  OSAP_REQUIRE(x.size() == y.size(), "LinearKernel: dimension mismatch");
+  double dot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) dot += x[i] * y[i];
+  return dot;
+}
+
+double ScaleGamma(const std::vector<std::vector<double>>& data) {
+  OSAP_REQUIRE(!data.empty(), "ScaleGamma: empty data");
+  const std::size_t dim = data.front().size();
+  OSAP_REQUIRE(dim > 0, "ScaleGamma: zero-dimensional data");
+  RunningStats rs;
+  for (const auto& row : data) {
+    OSAP_REQUIRE(row.size() == dim, "ScaleGamma: ragged data");
+    for (double v : row) rs.Add(v);
+  }
+  const double var = rs.Variance();
+  const double denom = static_cast<double>(dim) * (var > 0.0 ? var : 1.0);
+  return 1.0 / denom;
+}
+
+}  // namespace osap::svm

@@ -1,0 +1,52 @@
+// Kernel functions for the one-class SVM (Scholkopf et al. 2001), the
+// novelty detector behind the paper's U_S uncertainty signal. The paper uses
+// SciPy's (libsvm's) OC-SVM with the default RBF kernel; we provide RBF and
+// linear kernels behind a small interface.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace osap::svm {
+
+/// A positive-semidefinite kernel over equal-length real vectors.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// k(x, y); x and y must have equal length.
+  virtual double Evaluate(std::span<const double> x,
+                          std::span<const double> y) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// RBF kernel: k(x,y) = exp(-gamma * ||x - y||^2).
+class RbfKernel final : public Kernel {
+ public:
+  explicit RbfKernel(double gamma);
+  double Evaluate(std::span<const double> x,
+                  std::span<const double> y) const override;
+  std::string Name() const override { return "rbf"; }
+  double gamma() const { return gamma_; }
+
+ private:
+  double gamma_;
+};
+
+/// Linear kernel: k(x,y) = <x, y>.
+class LinearKernel final : public Kernel {
+ public:
+  double Evaluate(std::span<const double> x,
+                  std::span<const double> y) const override;
+  std::string Name() const override { return "linear"; }
+};
+
+/// The "scale" heuristic for gamma (sklearn's default):
+/// gamma = 1 / (n_features * var(all feature values)). Falls back to
+/// 1 / n_features when the data has zero variance.
+double ScaleGamma(const std::vector<std::vector<double>>& data);
+
+}  // namespace osap::svm

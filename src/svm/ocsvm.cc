@@ -1,0 +1,283 @@
+#include "svm/ocsvm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace osap::svm {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'S', 'A', 'P', 'S', 'V', 'M', '1'};
+
+void WriteU64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t ReadU64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("OneClassSvm::Load: truncated stream");
+  return v;
+}
+
+double ReadF64(std::istream& in) {
+  double v = 0.0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("OneClassSvm::Load: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+OneClassSvm::OneClassSvm(OcSvmConfig config) : config_(config) {}
+
+double OneClassSvm::KernelValue(std::span<const double> a,
+                                std::span<const double> b) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return std::exp(-gamma_ * d2);
+}
+
+void OneClassSvm::Fit(const std::vector<std::vector<double>>& data) {
+  OSAP_REQUIRE(config_.nu > 0.0 && config_.nu < 1.0,
+               "OneClassSvm: nu must be in (0, 1)");
+  OSAP_REQUIRE(!data.empty(), "OneClassSvm::Fit: empty data");
+  const std::size_t dim = data.front().size();
+  OSAP_REQUIRE(dim > 0, "OneClassSvm::Fit: zero-dimensional data");
+  for (const auto& row : data) {
+    OSAP_REQUIRE(row.size() == dim, "OneClassSvm::Fit: ragged data");
+  }
+
+  // Deterministic subsample when the training set exceeds the cap.
+  std::vector<std::vector<double>> samples;
+  if (config_.max_samples > 0 && data.size() > config_.max_samples) {
+    std::vector<std::size_t> idx(data.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    Rng rng(0xF17E5EED);
+    rng.Shuffle(idx);
+    idx.resize(config_.max_samples);
+    std::sort(idx.begin(), idx.end());
+    samples.reserve(idx.size());
+    for (std::size_t i : idx) samples.push_back(data[i]);
+  } else {
+    samples = data;
+  }
+  const std::size_t n = samples.size();
+
+  if (config_.standardize) {
+    scaler_.Fit(samples);
+    samples = scaler_.TransformAll(samples);
+  } else {
+    // Identity scaler so Transform is a no-op with the right dimension.
+    scaler_.SetState(std::vector<double>(dim, 0.0),
+                     std::vector<double>(dim, 1.0));
+  }
+
+  gamma_ = config_.gamma > 0.0 ? config_.gamma : ScaleGamma(samples);
+
+  // Precompute the kernel matrix (n is capped by max_samples).
+  std::vector<double> q(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double k = KernelValue(samples[i], samples[j]);
+      q[i * n + j] = k;
+      q[j * n + i] = k;
+    }
+  }
+
+  // libsvm-style initialization: sum alpha = nu*n with the first
+  // floor(nu*n) coordinates at the upper bound 1 and one fractional entry.
+  std::vector<double> alpha(n, 0.0);
+  const double total = config_.nu * static_cast<double>(n);
+  {
+    double remaining = total;
+    for (std::size_t i = 0; i < n && remaining > 0.0; ++i) {
+      alpha[i] = std::min(1.0, remaining);
+      remaining -= alpha[i];
+    }
+  }
+
+  // Gradient of the objective: G = Q alpha.
+  std::vector<double> grad(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double g = 0.0;
+    const double* qrow = q.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) g += qrow[j] * alpha[j];
+    grad[i] = g;
+  }
+
+  // SMO with maximal-violating-pair selection. We can move mass from a
+  // coordinate j (alpha_j > 0) to a coordinate i (alpha_i < 1); optimality
+  // when max_j G_j - min_i G_i <= tolerance over the movable sets.
+  iterations_ = 0;
+  const double kUpper = 1.0;
+  while (iterations_ < config_.max_iterations) {
+    int best_i = -1;  // receiver: alpha_i < 1, minimal gradient
+    int best_j = -1;  // donor: alpha_j > 0, maximal gradient
+    double min_gi = std::numeric_limits<double>::infinity();
+    double max_gj = -std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < n; ++t) {
+      if (alpha[t] < kUpper && grad[t] < min_gi) {
+        min_gi = grad[t];
+        best_i = static_cast<int>(t);
+      }
+      if (alpha[t] > 0.0 && grad[t] > max_gj) {
+        max_gj = grad[t];
+        best_j = static_cast<int>(t);
+      }
+    }
+    if (best_i < 0 || best_j < 0 || best_i == best_j ||
+        max_gj - min_gi <= config_.tolerance) {
+      break;
+    }
+    const auto i = static_cast<std::size_t>(best_i);
+    const auto j = static_cast<std::size_t>(best_j);
+    // Unconstrained optimal step along (e_i - e_j).
+    const double denom =
+        std::max(q[i * n + i] + q[j * n + j] - 2.0 * q[i * n + j], 1e-12);
+    double delta = (grad[j] - grad[i]) / denom;
+    // Box constraints: alpha_i + delta <= 1, alpha_j - delta >= 0.
+    delta = std::min(delta, kUpper - alpha[i]);
+    delta = std::min(delta, alpha[j]);
+    if (delta <= 0.0) break;
+    alpha[i] += delta;
+    alpha[j] -= delta;
+    const double* qi = q.data() + i * n;
+    const double* qj = q.data() + j * n;
+    for (std::size_t t = 0; t < n; ++t) {
+      grad[t] += delta * (qi[t] - qj[t]);
+    }
+    ++iterations_;
+  }
+
+  // rho: average gradient over free support vectors (0 < alpha < 1);
+  // fall back to the midpoint of the boundary gradients if none are free.
+  double rho_sum = 0.0;
+  std::size_t rho_count = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > 1e-9 && alpha[t] < kUpper - 1e-9) {
+      rho_sum += grad[t];
+      ++rho_count;
+    }
+  }
+  if (rho_count > 0) {
+    rho_ = rho_sum / static_cast<double>(rho_count);
+  } else {
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < n; ++t) {
+      if (alpha[t] >= kUpper - 1e-9) lo = std::max(lo, grad[t]);
+      if (alpha[t] <= 1e-9) hi = std::min(hi, grad[t]);
+    }
+    if (!std::isfinite(lo)) lo = hi;
+    if (!std::isfinite(hi)) hi = lo;
+    rho_ = 0.5 * (lo + hi);
+  }
+
+  // Keep only support vectors.
+  support_vectors_.clear();
+  alphas_.clear();
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > 1e-9) {
+      support_vectors_.push_back(samples[t]);
+      alphas_.push_back(alpha[t]);
+    }
+  }
+  OSAP_CHECK_MSG(!support_vectors_.empty(),
+                 "OneClassSvm::Fit produced no support vectors");
+}
+
+double OneClassSvm::DecisionValue(std::span<const double> x) const {
+  OSAP_REQUIRE(Fitted(), "OneClassSvm::DecisionValue before Fit");
+  const std::vector<double> xs = scaler_.Transform(x);
+  double f = -rho_;
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
+    f += alphas_[i] * KernelValue(support_vectors_[i], xs);
+  }
+  return f;
+}
+
+double OneClassSvm::InlierFraction(
+    const std::vector<std::vector<double>>& data) const {
+  OSAP_REQUIRE(!data.empty(), "InlierFraction: empty data");
+  std::size_t inliers = 0;
+  for (const auto& row : data) {
+    if (IsInlier(row)) ++inliers;
+  }
+  return static_cast<double>(inliers) / static_cast<double>(data.size());
+}
+
+void OneClassSvm::Save(const std::filesystem::path& path) const {
+  OSAP_REQUIRE(Fitted(), "OneClassSvm::Save before Fit");
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("OneClassSvm::Save: cannot open " +
+                             path.string());
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const std::size_t dim = support_vectors_.front().size();
+  WriteU64(out, support_vectors_.size());
+  WriteU64(out, dim);
+  WriteF64(out, rho_);
+  WriteF64(out, gamma_);
+  WriteF64(out, config_.nu);
+  for (double m : scaler_.mean()) WriteF64(out, m);
+  for (double s : scaler_.stddev()) WriteF64(out, s);
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
+    WriteF64(out, alphas_[i]);
+    for (double v : support_vectors_[i]) WriteF64(out, v);
+  }
+  if (!out) throw std::runtime_error("OneClassSvm::Save: write failed");
+}
+
+OneClassSvm OneClassSvm::Load(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("OneClassSvm::Load: cannot open " +
+                             path.string());
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("OneClassSvm::Load: bad magic");
+  }
+  const std::uint64_t count = ReadU64(in);
+  const std::uint64_t dim = ReadU64(in);
+  OneClassSvm model;
+  model.rho_ = ReadF64(in);
+  model.gamma_ = ReadF64(in);
+  model.config_.gamma = model.gamma_;
+  model.config_.nu = ReadF64(in);
+  std::vector<double> mean(dim);
+  std::vector<double> stddev(dim);
+  for (auto& m : mean) m = ReadF64(in);
+  for (auto& s : stddev) s = ReadF64(in);
+  model.scaler_.SetState(std::move(mean), std::move(stddev));
+  model.support_vectors_.resize(count, std::vector<double>(dim));
+  model.alphas_.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    model.alphas_[i] = ReadF64(in);
+    for (auto& v : model.support_vectors_[i]) v = ReadF64(in);
+  }
+  return model;
+}
+
+}  // namespace osap::svm

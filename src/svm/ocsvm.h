@@ -1,0 +1,86 @@
+// One-class support vector machine (Scholkopf, Platt, Shawe-Taylor, Smola,
+// Williamson, "Estimating the support of a high-dimensional distribution",
+// Neural Computation 2001) - the novelty-detection method the paper adopts
+// for the U_S uncertainty signal (Sections 2.4 and 3.1).
+//
+// We solve the libsvm-style dual
+//     min_alpha 1/2 alpha^T Q alpha
+//     s.t. 0 <= alpha_i <= 1,  sum_i alpha_i = nu * n,
+// with Q_ij = k(x_i, x_j), by SMO with maximal-violating-pair working-set
+// selection. The decision function is
+//     f(x) = sum_i alpha_i k(x_i, x) - rho,
+// with f(x) >= 0 classifying x as in-distribution (+1) and f(x) < 0 as
+// out-of-distribution (-1). nu upper-bounds the fraction of training
+// outliers and lower-bounds the fraction of support vectors (the
+// "nu-property", verified in tests).
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "svm/kernel.h"
+#include "svm/scaler.h"
+
+namespace osap::svm {
+
+struct OcSvmConfig {
+  /// Outlier-fraction parameter in (0, 1).
+  double nu = 0.05;
+  /// RBF gamma; <= 0 selects the "scale" heuristic from the training data.
+  double gamma = 0.0;
+  /// KKT violation tolerance for SMO termination.
+  double tolerance = 1e-4;
+  /// Hard cap on SMO iterations (safety net; reported via iterations()).
+  std::size_t max_iterations = 200000;
+  /// If > 0 and the training set is larger, a deterministic uniform
+  /// subsample of this size is used (keeps the n^2 kernel matrix bounded).
+  std::size_t max_samples = 3000;
+  /// Standardize features before the kernel (recommended; the paper's
+  /// features mix throughput means and standard deviations).
+  bool standardize = true;
+};
+
+/// Trained one-class SVM model.
+class OneClassSvm {
+ public:
+  explicit OneClassSvm(OcSvmConfig config = {});
+
+  /// Fits the model on in-distribution training rows (all same length).
+  /// Throws std::invalid_argument on empty/ragged data or invalid config.
+  void Fit(const std::vector<std::vector<double>>& data);
+
+  /// Signed decision value f(x); >= 0 means in-distribution.
+  double DecisionValue(std::span<const double> x) const;
+
+  /// True when x is classified as in-distribution (+1).
+  bool IsInlier(std::span<const double> x) const { return DecisionValue(x) >= 0.0; }
+
+  /// Fraction of the given rows classified as inliers.
+  double InlierFraction(const std::vector<std::vector<double>>& data) const;
+
+  bool Fitted() const { return !support_vectors_.empty(); }
+  std::size_t SupportVectorCount() const { return support_vectors_.size(); }
+  double rho() const { return rho_; }
+  double gamma() const { return gamma_; }
+  std::size_t iterations() const { return iterations_; }
+  const OcSvmConfig& config() const { return config_; }
+
+  /// Model (de)serialization: support vectors, alphas, rho, gamma, scaler.
+  void Save(const std::filesystem::path& path) const;
+  static OneClassSvm Load(const std::filesystem::path& path);
+
+ private:
+  OcSvmConfig config_;
+  double gamma_ = 0.0;  // resolved gamma actually used
+  StandardScaler scaler_;
+  std::vector<std::vector<double>> support_vectors_;  // scaled space
+  std::vector<double> alphas_;                        // aligned with SVs
+  double rho_ = 0.0;
+  std::size_t iterations_ = 0;
+
+  double KernelValue(std::span<const double> a, std::span<const double> b) const;
+};
+
+}  // namespace osap::svm

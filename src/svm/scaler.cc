@@ -1,0 +1,59 @@
+#include "svm/scaler.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace osap::svm {
+
+void StandardScaler::Fit(const std::vector<std::vector<double>>& data) {
+  OSAP_REQUIRE(!data.empty(), "StandardScaler::Fit: empty data");
+  const std::size_t dim = data.front().size();
+  OSAP_REQUIRE(dim > 0, "StandardScaler::Fit: zero-dimensional data");
+  std::vector<RunningStats> stats(dim);
+  for (const auto& row : data) {
+    OSAP_REQUIRE(row.size() == dim, "StandardScaler::Fit: ragged data");
+    for (std::size_t i = 0; i < dim; ++i) stats[i].Add(row[i]);
+  }
+  mean_.resize(dim);
+  stddev_.resize(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    mean_[i] = stats[i].Mean();
+    const double sd = stats[i].StdDev();
+    stddev_[i] = sd > 0.0 ? sd : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::Transform(
+    std::span<const double> x) const {
+  OSAP_REQUIRE(Fitted(), "StandardScaler::Transform before Fit");
+  OSAP_REQUIRE(x.size() == mean_.size(),
+               "StandardScaler::Transform: dimension mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = (x[i] - mean_[i]) / stddev_[i];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> StandardScaler::TransformAll(
+    const std::vector<std::vector<double>>& data) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(data.size());
+  for (const auto& row : data) out.push_back(Transform(row));
+  return out;
+}
+
+void StandardScaler::SetState(std::vector<double> mean,
+                              std::vector<double> stddev) {
+  OSAP_REQUIRE(mean.size() == stddev.size(),
+               "StandardScaler::SetState: size mismatch");
+  for (double s : stddev) {
+    OSAP_REQUIRE(s > 0.0, "StandardScaler::SetState: stddev must be > 0");
+  }
+  mean_ = std::move(mean);
+  stddev_ = std::move(stddev);
+}
+
+}  // namespace osap::svm

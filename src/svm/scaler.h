@@ -1,0 +1,40 @@
+// Per-feature standardization (zero mean, unit variance), fit on training
+// data and applied to every sample before it reaches the OC-SVM. Without
+// scaling, the throughput-mean feature would dominate the throughput-stddev
+// feature in the RBF distance.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace osap::svm {
+
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Fits per-dimension mean and standard deviation. Dimensions with zero
+  /// variance get scale 1 (pass-through after centering).
+  void Fit(const std::vector<std::vector<double>>& data);
+
+  /// (x - mean) / std, element-wise. Requires Fit first.
+  std::vector<double> Transform(std::span<const double> x) const;
+
+  /// Transform applied to every row.
+  std::vector<std::vector<double>> TransformAll(
+      const std::vector<std::vector<double>>& data) const;
+
+  bool Fitted() const { return !mean_.empty(); }
+  std::size_t Dim() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+  /// Direct state injection, used by model deserialization.
+  void SetState(std::vector<double> mean, std::vector<double> stddev);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace osap::svm

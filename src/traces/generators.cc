@@ -1,0 +1,153 @@
+#include "traces/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace osap::traces {
+
+namespace {
+
+std::string TraceName(const std::string& generator, std::size_t index) {
+  std::ostringstream os;
+  os << generator << "/trace-" << index;
+  return os.str();
+}
+
+}  // namespace
+
+IidTraceGenerator::IidTraceGenerator(
+    std::shared_ptr<const Distribution> distribution, double floor_mbps,
+    double cap_mbps)
+    : distribution_(std::move(distribution)),
+      floor_mbps_(floor_mbps),
+      cap_mbps_(cap_mbps) {
+  OSAP_REQUIRE(distribution_ != nullptr, "IidTraceGenerator: null distribution");
+  OSAP_REQUIRE(floor_mbps > 0.0, "IidTraceGenerator: floor must be > 0");
+  OSAP_REQUIRE(cap_mbps > floor_mbps, "IidTraceGenerator: cap must be > floor");
+}
+
+Trace IidTraceGenerator::Generate(Rng& rng, double duration_seconds,
+                                  std::size_t index) const {
+  OSAP_REQUIRE(duration_seconds >= 1.0,
+               "IidTraceGenerator: duration must be >= 1s");
+  const auto count = static_cast<std::size_t>(duration_seconds);
+  std::vector<double> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    samples.push_back(
+        std::clamp(distribution_->Sample(rng), floor_mbps_, cap_mbps_));
+  }
+  return Trace(TraceName(Name(), index), 1.0, std::move(samples));
+}
+
+std::string IidTraceGenerator::Name() const { return distribution_->Name(); }
+
+MarkovModulatedGenerator::MarkovModulatedGenerator(
+    std::string name, std::vector<Regime> regimes,
+    std::vector<std::vector<double>> transition, double floor_mbps,
+    double cap_mbps)
+    : name_(std::move(name)),
+      regimes_(std::move(regimes)),
+      transition_(std::move(transition)),
+      floor_mbps_(floor_mbps),
+      cap_mbps_(cap_mbps) {
+  OSAP_REQUIRE(!regimes_.empty(), "MarkovModulatedGenerator: no regimes");
+  OSAP_REQUIRE(transition_.size() == regimes_.size(),
+               "MarkovModulatedGenerator: transition rows != regimes");
+  for (const auto& row : transition_) {
+    OSAP_REQUIRE(row.size() == regimes_.size(),
+                 "MarkovModulatedGenerator: transition must be square");
+    double sum = 0.0;
+    for (double p : row) {
+      OSAP_REQUIRE(p >= 0.0, "MarkovModulatedGenerator: negative probability");
+      sum += p;
+    }
+    OSAP_REQUIRE(std::abs(sum - 1.0) < 1e-9,
+                 "MarkovModulatedGenerator: transition rows must sum to 1");
+  }
+  for (const Regime& r : regimes_) {
+    OSAP_REQUIRE(r.median_mbps > 0.0,
+                 "MarkovModulatedGenerator: regime median must be > 0");
+    OSAP_REQUIRE(r.log_sigma >= 0.0,
+                 "MarkovModulatedGenerator: log_sigma must be >= 0");
+  }
+  OSAP_REQUIRE(floor_mbps > 0.0 && cap_mbps > floor_mbps,
+               "MarkovModulatedGenerator: bad clamp range");
+}
+
+Trace MarkovModulatedGenerator::Generate(Rng& rng, double duration_seconds,
+                                         std::size_t index) const {
+  OSAP_REQUIRE(duration_seconds >= 1.0,
+               "MarkovModulatedGenerator: duration must be >= 1s");
+  const auto count = static_cast<std::size_t>(duration_seconds);
+  std::vector<double> samples;
+  samples.reserve(count);
+  // Start in a uniformly random regime so traces differ in their opening
+  // conditions, as real commute traces do.
+  std::size_t regime = rng.UniformInt(regimes_.size());
+  for (std::size_t t = 0; t < count; ++t) {
+    const Regime& r = regimes_[regime];
+    const double mu = std::log(r.median_mbps);
+    const double value = std::exp(rng.Normal(mu, r.log_sigma));
+    samples.push_back(std::clamp(value, floor_mbps_, cap_mbps_));
+    // Advance the regime chain.
+    const double u = rng.Uniform();
+    double acc = 0.0;
+    for (std::size_t j = 0; j < transition_[regime].size(); ++j) {
+      acc += transition_[regime][j];
+      if (u < acc) {
+        regime = j;
+        break;
+      }
+    }
+  }
+  return Trace(TraceName(name_, index), 1.0, std::move(samples));
+}
+
+std::unique_ptr<TraceGenerator> MakeNorway3gGenerator() {
+  // Four regimes: deep fade (tunnels/underpasses), low, medium, high -
+  // sticky chains with mostly-adjacent transitions, matching the structure
+  // of the HSDPA commute traces (bus/ferry/train/car).
+  std::vector<Regime> regimes = {
+      {0.12, 0.45},  // deep fade
+      {0.70, 0.40},  // low
+      {2.00, 0.35},  // medium
+      {4.50, 0.30},  // high
+  };
+  std::vector<std::vector<double>> transition = {
+      {0.85, 0.13, 0.02, 0.00},
+      {0.06, 0.84, 0.09, 0.01},
+      {0.01, 0.08, 0.84, 0.07},
+      {0.00, 0.02, 0.10, 0.88},
+  };
+  return std::make_unique<MarkovModulatedGenerator>(
+      "Norway3G", std::move(regimes), std::move(transition),
+      /*floor_mbps=*/0.05, /*cap_mbps=*/8.0);
+}
+
+std::unique_ptr<TraceGenerator> MakeBelgium4gGenerator() {
+  // 4G/LTE: higher levels and larger within-regime variance; throughput is
+  // rescaled into the bitrate-ladder range as in the Pensieve evaluation
+  // (the raw dataset peaks near 90 Mbps, which would make every ABR policy
+  // trivially pick the top rung).
+  std::vector<Regime> regimes = {
+      {0.90, 0.55},  // congested / indoor
+      {3.20, 0.45},  // urban driving
+      {6.00, 0.40},  // good coverage
+      {8.50, 0.35},  // near-cell peak
+  };
+  std::vector<std::vector<double>> transition = {
+      {0.80, 0.16, 0.03, 0.01},
+      {0.08, 0.78, 0.12, 0.02},
+      {0.02, 0.10, 0.78, 0.10},
+      {0.01, 0.04, 0.15, 0.80},
+  };
+  return std::make_unique<MarkovModulatedGenerator>(
+      "Belgium4G", std::move(regimes), std::move(transition),
+      /*floor_mbps=*/0.05, /*cap_mbps=*/12.0);
+}
+
+}  // namespace osap::traces

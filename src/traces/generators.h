@@ -1,0 +1,92 @@
+// Trace generators for the paper's six datasets.
+//
+// The four synthetic datasets are i.i.d. per-second throughput draws from
+// Gamma(1,2), Gamma(2,2), Logistic(4,0.5) and Exponential(1) (paper
+// Section 3.1). The two empirical datasets (Norway 3G/HSDPA [40] and
+// Belgium 4G/LTE [58]) are not redistributable here, so we substitute
+// seeded Markov-modulated generators that preserve the characteristics the
+// paper relies on: temporal correlation, regime switching (fades/bursts)
+// and dataset-specific throughput ranges (see DESIGN.md section 2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "traces/trace.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace osap::traces {
+
+/// Interface: produces one trace of the requested duration per call.
+class TraceGenerator {
+ public:
+  virtual ~TraceGenerator() = default;
+
+  /// Generates a trace with ~duration_seconds of samples. The trace name
+  /// embeds `index` so datasets get stable, distinct member names.
+  virtual Trace Generate(Rng& rng, double duration_seconds,
+                         std::size_t index) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// I.i.d. per-second draws from a distribution, clamped to
+/// [floor_mbps, cap_mbps] so the simulator never divides by zero and
+/// pathological tail draws cannot dwarf the video bitrate ladder.
+class IidTraceGenerator final : public TraceGenerator {
+ public:
+  IidTraceGenerator(std::shared_ptr<const Distribution> distribution,
+                    double floor_mbps = 0.05, double cap_mbps = 50.0);
+
+  Trace Generate(Rng& rng, double duration_seconds,
+                 std::size_t index) const override;
+  std::string Name() const override;
+
+ private:
+  std::shared_ptr<const Distribution> distribution_;
+  double floor_mbps_;
+  double cap_mbps_;
+};
+
+/// A throughput regime of a Markov-modulated generator: per-second samples
+/// are lognormal around the regime level while the chain stays in it.
+struct Regime {
+  double median_mbps;  // lognormal median (exp(mu))
+  double log_sigma;    // lognormal sigma (per-second jitter inside regime)
+};
+
+/// Markov-modulated lognormal generator: a hidden regime chain with a
+/// row-stochastic transition matrix; models the fade/burst structure of
+/// real cellular traces.
+class MarkovModulatedGenerator final : public TraceGenerator {
+ public:
+  /// transition[i][j] = P(next regime = j | current = i); each row must sum
+  /// to ~1 and the sizes must match regimes.size().
+  MarkovModulatedGenerator(std::string name, std::vector<Regime> regimes,
+                           std::vector<std::vector<double>> transition,
+                           double floor_mbps = 0.05, double cap_mbps = 50.0);
+
+  Trace Generate(Rng& rng, double duration_seconds,
+                 std::size_t index) const override;
+  std::string Name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<Regime> regimes_;
+  std::vector<std::vector<double>> transition_;
+  double floor_mbps_;
+  double cap_mbps_;
+};
+
+/// 3G/HSDPA commute-path profile (Riiser et al. [40] stand-in): low mean,
+/// deep fades, sticky regimes.
+std::unique_ptr<TraceGenerator> MakeNorway3gGenerator();
+
+/// 4G/LTE profile (van der Hooft et al. [58] stand-in), rescaled to the
+/// bitrate-ladder range as in the Pensieve evaluation: higher mean, high
+/// variance, mobility-driven regime switching.
+std::unique_ptr<TraceGenerator> MakeBelgium4gGenerator();
+
+}  // namespace osap::traces

@@ -1,0 +1,54 @@
+#include "traces/trace.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace osap::traces {
+
+Trace::Trace(std::string name, double interval_seconds,
+             std::vector<double> throughput_mbps)
+    : name_(std::move(name)),
+      interval_seconds_(interval_seconds),
+      throughput_mbps_(std::move(throughput_mbps)) {
+  OSAP_REQUIRE(interval_seconds_ > 0.0, "Trace: interval must be > 0");
+  OSAP_REQUIRE(!throughput_mbps_.empty(), "Trace: needs >= 1 sample");
+  for (double v : throughput_mbps_) {
+    OSAP_REQUIRE(v > 0.0, "Trace: throughput samples must be > 0 Mbps");
+  }
+}
+
+double Trace::Duration() const {
+  return interval_seconds_ * static_cast<double>(throughput_mbps_.size());
+}
+
+double Trace::ThroughputAt(double time_seconds) const {
+  OSAP_REQUIRE(time_seconds >= 0.0, "ThroughputAt: time must be >= 0");
+  const double wrapped = std::fmod(time_seconds, Duration());
+  auto idx = static_cast<std::size_t>(wrapped / interval_seconds_);
+  if (idx >= throughput_mbps_.size()) idx = throughput_mbps_.size() - 1;
+  return throughput_mbps_[idx];
+}
+
+double Trace::MeanThroughput() const {
+  return Mean(throughput_mbps_);
+}
+
+Trace ScaleTrace(const Trace& trace, double factor) {
+  OSAP_REQUIRE(factor > 0.0, "ScaleTrace: factor must be > 0");
+  std::vector<double> scaled;
+  scaled.reserve(trace.SampleCount());
+  for (double v : trace.samples()) scaled.push_back(v * factor);
+  return Trace(trace.name(), trace.interval_seconds(), std::move(scaled));
+}
+
+std::vector<Trace> ScaleTraces(const std::vector<Trace>& traces,
+                               double factor) {
+  std::vector<Trace> out;
+  out.reserve(traces.size());
+  for (const Trace& t : traces) out.push_back(ScaleTrace(t, factor));
+  return out;
+}
+
+}  // namespace osap::traces

@@ -1,0 +1,56 @@
+// Network throughput traces.
+//
+// A Trace is a piecewise-constant throughput series (Mbps) sampled on a
+// fixed interval, the representation used by the paper's datasets (Norway
+// 3G/HSDPA commute traces, Belgium 4G/LTE traces, and the four synthetic
+// i.i.d. distributions of Section 3.1). The ABR simulator integrates over a
+// trace to determine chunk download times; traces wrap around when a video
+// outlasts them, following Pensieve's simulator convention.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace osap::traces {
+
+class Trace {
+ public:
+  Trace() = default;
+
+  /// A named trace with per-interval throughput samples (Mbps).
+  /// interval_seconds must be > 0 and every sample must be > 0.
+  Trace(std::string name, double interval_seconds,
+        std::vector<double> throughput_mbps);
+
+  const std::string& name() const { return name_; }
+  double interval_seconds() const { return interval_seconds_; }
+  const std::vector<double>& samples() const { return throughput_mbps_; }
+  std::size_t SampleCount() const { return throughput_mbps_.size(); }
+
+  /// Total covered duration in seconds.
+  double Duration() const;
+
+  /// Throughput (Mbps) at an absolute time; the trace repeats cyclically,
+  /// so any non-negative time is valid.
+  double ThroughputAt(double time_seconds) const;
+
+  /// Mean throughput over one cycle.
+  double MeanThroughput() const;
+
+ private:
+  std::string name_;
+  double interval_seconds_ = 1.0;
+  std::vector<double> throughput_mbps_;
+};
+
+/// A copy of `trace` with every sample multiplied by `factor` (> 0). Used
+/// to retarget the ABR-scale datasets (~0.05-50 Mbps) to other domains,
+/// e.g. x10 for congestion-control bottleneck links.
+Trace ScaleTrace(const Trace& trace, double factor);
+
+/// ScaleTrace applied to a whole set.
+std::vector<Trace> ScaleTraces(const std::vector<Trace>& traces,
+                               double factor);
+
+}  // namespace osap::traces

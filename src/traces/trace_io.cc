@@ -1,0 +1,129 @@
+#include "traces/trace_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/csv.h"
+
+namespace osap::traces {
+
+namespace {
+
+constexpr double kPacketBytes = 1500.0;
+constexpr double kMinMbps = 0.01;
+
+}  // namespace
+
+void WriteCsvTrace(const Trace& trace, const std::filesystem::path& path) {
+  CsvWriter writer(path);
+  writer.WriteHeader({"seconds", "mbps"});
+  double t = 0.0;
+  for (double mbps : trace.samples()) {
+    writer.WriteNumericRow({t, mbps});
+    t += trace.interval_seconds();
+  }
+}
+
+Trace ReadCsvTrace(const std::filesystem::path& path) {
+  const auto rows = ReadCsv(path);
+  OSAP_REQUIRE(rows.size() >= 2, "ReadCsvTrace: no data rows in " +
+                                     path.string());
+  std::vector<double> samples;
+  samples.reserve(rows.size() - 1);
+  double interval = 1.0;
+  double prev_time = 0.0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    OSAP_REQUIRE(rows[i].size() == 2,
+                 "ReadCsvTrace: expected `seconds,mbps` rows");
+    const double t = ParseDouble(rows[i][0]);
+    if (i == 2) interval = t - prev_time;
+    prev_time = t;
+    samples.push_back(ParseDouble(rows[i][1]));
+  }
+  return Trace(path.stem().string(), interval > 0.0 ? interval : 1.0,
+               std::move(samples));
+}
+
+void WriteMahimahiTrace(const Trace& trace,
+                        const std::filesystem::path& path) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("WriteMahimahiTrace: cannot open " +
+                             path.string());
+  }
+  // Emit one line per packet opportunity. Within each sample interval,
+  // opportunities are spaced evenly; fractional packets carry over so the
+  // long-run rate matches the trace exactly.
+  double carry_packets = 0.0;
+  double t_ms = 0.0;
+  for (double mbps : trace.samples()) {
+    const double interval_ms = trace.interval_seconds() * 1000.0;
+    // Mbps -> bytes/ms -> packets in this interval.
+    const double bytes_per_ms = mbps * 1e6 / 8.0 / 1000.0;
+    double packets = bytes_per_ms * interval_ms / kPacketBytes + carry_packets;
+    const auto whole = static_cast<std::size_t>(packets);
+    carry_packets = packets - static_cast<double>(whole);
+    for (std::size_t p = 0; p < whole; ++p) {
+      const double ts =
+          t_ms + interval_ms * (static_cast<double>(p) + 0.5) /
+                     static_cast<double>(whole);
+      out << static_cast<long long>(std::llround(ts)) << '\n';
+    }
+    t_ms += interval_ms;
+  }
+  if (!out) throw std::runtime_error("WriteMahimahiTrace: write failed");
+}
+
+Trace ReadMahimahiTrace(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ReadMahimahiTrace: cannot open " +
+                             path.string());
+  }
+  std::vector<long long> timestamps;
+  long long ts = 0;
+  while (in >> ts) {
+    OSAP_REQUIRE(ts >= 0, "ReadMahimahiTrace: negative timestamp");
+    timestamps.push_back(ts);
+  }
+  OSAP_REQUIRE(!timestamps.empty(), "ReadMahimahiTrace: empty trace file");
+  std::sort(timestamps.begin(), timestamps.end());
+  const auto seconds =
+      static_cast<std::size_t>(timestamps.back() / 1000) + 1;
+  std::vector<double> samples(seconds, 0.0);
+  for (long long t : timestamps) {
+    samples[static_cast<std::size_t>(t / 1000)] += kPacketBytes * 8.0 / 1e6;
+  }
+  for (double& s : samples) s = std::max(s, kMinMbps);
+  return Trace(path.stem().string(), 1.0, std::move(samples));
+}
+
+void WriteTraceDirectory(const std::vector<Trace>& traces,
+                         const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    WriteCsvTrace(traces[i], dir / (std::to_string(i) + ".csv"));
+  }
+}
+
+std::vector<Trace> ReadTraceDirectory(const std::filesystem::path& dir) {
+  OSAP_REQUIRE(std::filesystem::is_directory(dir),
+               "ReadTraceDirectory: not a directory: " + dir.string());
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".csv") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Trace> traces;
+  traces.reserve(files.size());
+  for (const auto& f : files) traces.push_back(ReadCsvTrace(f));
+  return traces;
+}
+
+}  // namespace osap::traces

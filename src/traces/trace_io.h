@@ -1,0 +1,43 @@
+// Trace file I/O.
+//
+// Two formats are supported:
+//  - "csv": one `seconds,mbps` row per sample - the library's native
+//    round-trippable format.
+//  - "mahimahi": the packet-delivery-opportunity format used by the
+//    MahiMahi link emulator the paper's testbed runs on [30]: each line is
+//    a millisecond timestamp at which one 1500-byte MTU packet can leave
+//    the link. Writing quantizes the trace to packet opportunities;
+//    reading bins opportunities per second back into Mbps.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "traces/trace.h"
+
+namespace osap::traces {
+
+/// Writes a trace as CSV (`seconds,mbps` rows, header included).
+void WriteCsvTrace(const Trace& trace, const std::filesystem::path& path);
+
+/// Reads a CSV trace written by WriteCsvTrace.
+Trace ReadCsvTrace(const std::filesystem::path& path);
+
+/// Writes a Mahimahi packet-opportunity file covering one cycle of the
+/// trace (1500-byte packets, millisecond timestamps).
+void WriteMahimahiTrace(const Trace& trace,
+                        const std::filesystem::path& path);
+
+/// Reads a Mahimahi packet-opportunity file, binning into 1-second Mbps
+/// samples. Seconds with no packet opportunity are floored at a small
+/// positive throughput (traces must stay positive).
+Trace ReadMahimahiTrace(const std::filesystem::path& path);
+
+/// Writes every trace of a set into `dir/<index>.csv`; creates `dir`.
+void WriteTraceDirectory(const std::vector<Trace>& traces,
+                         const std::filesystem::path& dir);
+
+/// Reads all `*.csv` traces in a directory (sorted by filename).
+std::vector<Trace> ReadTraceDirectory(const std::filesystem::path& dir);
+
+}  // namespace osap::traces

@@ -1,0 +1,51 @@
+// Invariant-checking macros used throughout the library.
+//
+// OSAP_CHECK enforces preconditions and invariants that indicate programmer
+// error; violations throw std::logic_error with file/line context so tests
+// can assert on them and applications fail loudly rather than silently.
+// OSAP_REQUIRE is for user-facing argument validation and throws
+// std::invalid_argument.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace osap {
+
+namespace detail {
+
+[[noreturn]] inline void CheckFailed(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " - " << msg;
+  if (std::string(kind) == "OSAP_REQUIRE") throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+#define OSAP_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::osap::detail::CheckFailed("OSAP_CHECK", #expr, __FILE__, __LINE__,   \
+                                  "");                                       \
+  } while (false)
+
+#define OSAP_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::osap::detail::CheckFailed("OSAP_CHECK", #expr, __FILE__, __LINE__,   \
+                                  (msg));                                    \
+  } while (false)
+
+#define OSAP_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::osap::detail::CheckFailed("OSAP_REQUIRE", #expr, __FILE__, __LINE__, \
+                                  (msg));                                    \
+  } while (false)
+
+}  // namespace osap

@@ -1,0 +1,113 @@
+#include "util/csv.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace osap {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      parts.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts, char delim) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.push_back(delim);
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+double ParseDouble(std::string_view s) {
+  const std::string t = Trim(s);
+  OSAP_REQUIRE(!t.empty(), "ParseDouble: empty field");
+  // std::from_chars for double is available in libstdc++ 11+.
+  double value = 0.0;
+  const char* begin = t.data();
+  const char* end = begin + t.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  OSAP_REQUIRE(ec == std::errc() && ptr == end,
+               "ParseDouble: not a number: '" + t + "'");
+  return value;
+}
+
+CsvWriter::CsvWriter(const std::filesystem::path& path) : path_(path) {
+  if (path_.has_parent_path()) {
+    std::filesystem::create_directories(path_.parent_path());
+  }
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("CsvWriter: cannot open " + path_.string());
+  }
+}
+
+void CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
+  buffer_ += Join(columns, ',');
+  buffer_ += '\n';
+  Flush();
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  buffer_ += Join(fields, ',');
+  buffer_ += '\n';
+  Flush();
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& values) {
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ',';
+    os << values[i];
+  }
+  os << '\n';
+  buffer_ += os.str();
+  Flush();
+}
+
+void CsvWriter::Flush() {
+  std::ofstream out(path_, std::ios::app);
+  if (!out) {
+    throw std::runtime_error("CsvWriter: cannot append to " + path_.string());
+  }
+  out << buffer_;
+  buffer_.clear();
+}
+
+std::vector<std::vector<std::string>> ReadCsv(
+    const std::filesystem::path& path, char delim) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ReadCsv: cannot open " + path.string());
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    rows.push_back(Split(line, delim));
+  }
+  return rows;
+}
+
+}  // namespace osap

@@ -1,0 +1,55 @@
+// Minimal CSV and string helpers: benches export every figure's data as CSV
+// next to the printed table so results can be re-plotted, and the trace
+// module uses the parsing helpers for Mahimahi-style trace files.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osap {
+
+/// Splits on a delimiter; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins with a delimiter.
+std::string Join(const std::vector<std::string>& parts, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// Parses a double; throws std::invalid_argument with context on failure.
+double ParseDouble(std::string_view s);
+
+/// Row-oriented CSV writer. Values are written with full double precision;
+/// fields containing the delimiter are not escaped (callers only write
+/// numeric and identifier fields).
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::filesystem::path& path);
+
+  /// Writes a header row.
+  void WriteHeader(const std::vector<std::string>& columns);
+
+  /// Writes one row of string fields.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Writes one row of numeric fields.
+  void WriteNumericRow(const std::vector<double>& values);
+
+  /// Path the writer targets.
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  std::string buffer_;
+  void Flush();
+};
+
+/// Reads a whole CSV file into rows of fields. Skips blank lines.
+std::vector<std::vector<std::string>> ReadCsv(
+    const std::filesystem::path& path, char delim = ',');
+
+}  // namespace osap

@@ -1,0 +1,138 @@
+#include "util/distributions.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace osap {
+
+namespace {
+
+std::string FormatParams(const char* name, double a, double b) {
+  std::ostringstream os;
+  os << name << "(" << a << "," << b << ")";
+  return os.str();
+}
+
+}  // namespace
+
+GammaDistribution::GammaDistribution(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  OSAP_REQUIRE(shape > 0.0, "Gamma shape must be > 0");
+  OSAP_REQUIRE(scale > 0.0, "Gamma scale must be > 0");
+}
+
+double GammaDistribution::Sample(Rng& rng) const {
+  // Marsaglia & Tsang (2000). For shape < 1, sample Gamma(shape + 1) and
+  // multiply by U^(1/shape).
+  double k = shape_;
+  double boost = 1.0;
+  if (k < 1.0) {
+    double u;
+    do {
+      u = rng.Uniform();
+    } while (u <= 0.0);
+    boost = std::pow(u, 1.0 / k);
+    k += 1.0;
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = rng.Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return boost * d * v * scale_;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return boost * d * v * scale_;
+    }
+  }
+}
+
+std::string GammaDistribution::Name() const {
+  return FormatParams("Gamma", shape_, scale_);
+}
+
+LogisticDistribution::LogisticDistribution(double mu, double scale)
+    : mu_(mu), scale_(scale) {
+  OSAP_REQUIRE(scale > 0.0, "Logistic scale must be > 0");
+}
+
+double LogisticDistribution::Sample(Rng& rng) const {
+  double u;
+  do {
+    u = rng.Uniform();
+  } while (u <= 0.0 || u >= 1.0);
+  return mu_ + scale_ * std::log(u / (1.0 - u));
+}
+
+double LogisticDistribution::Variance() const {
+  const double pi = 3.14159265358979323846;
+  return scale_ * scale_ * pi * pi / 3.0;
+}
+
+std::string LogisticDistribution::Name() const {
+  return FormatParams("Logistic", mu_, scale_);
+}
+
+ExponentialDistribution::ExponentialDistribution(double scale)
+    : scale_(scale) {
+  OSAP_REQUIRE(scale > 0.0, "Exponential scale must be > 0");
+}
+
+double ExponentialDistribution::Sample(Rng& rng) const {
+  double u;
+  do {
+    u = rng.Uniform();
+  } while (u <= 0.0);
+  return -scale_ * std::log(u);
+}
+
+std::string ExponentialDistribution::Name() const {
+  std::ostringstream os;
+  os << "Exponential(" << scale_ << ")";
+  return os.str();
+}
+
+NormalDistribution::NormalDistribution(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  OSAP_REQUIRE(stddev >= 0.0, "Normal stddev must be >= 0");
+}
+
+double NormalDistribution::Sample(Rng& rng) const {
+  return rng.Normal(mean_, stddev_);
+}
+
+std::string NormalDistribution::Name() const {
+  return FormatParams("Normal", mean_, stddev_);
+}
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {
+  OSAP_REQUIRE(sigma >= 0.0, "LogNormal sigma must be >= 0");
+}
+
+double LogNormalDistribution::Sample(Rng& rng) const {
+  return std::exp(rng.Normal(mu_, sigma_));
+}
+
+double LogNormalDistribution::Mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormalDistribution::Variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+std::string LogNormalDistribution::Name() const {
+  return FormatParams("LogNormal", mu_, sigma_);
+}
+
+}  // namespace osap

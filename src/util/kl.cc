@@ -1,0 +1,64 @@
+#include "util/kl.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace osap {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+double KlDivergence(std::span<const double> p, std::span<const double> q) {
+  OSAP_REQUIRE(p.size() == q.size(),
+               "KL divergence requires equal-length distributions");
+  OSAP_REQUIRE(!p.empty(), "KL divergence requires non-empty distributions");
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    OSAP_REQUIRE(p[i] >= 0.0 && q[i] >= 0.0,
+                 "KL divergence requires non-negative probabilities");
+    if (p[i] > 0.0) {
+      kl += p[i] * std::log(p[i] / std::max(q[i], kEps));
+    }
+  }
+  // Floating-point noise can produce tiny negatives when p == q.
+  return std::max(0.0, kl);
+}
+
+double Entropy(std::span<const double> p) {
+  double h = 0.0;
+  for (double pi : p) {
+    OSAP_REQUIRE(pi >= 0.0, "Entropy requires non-negative probabilities");
+    if (pi > 0.0) h -= pi * std::log(pi);
+  }
+  return std::max(0.0, h);
+}
+
+std::vector<double> MeanDistribution(
+    std::span<const std::vector<double>> dists) {
+  OSAP_REQUIRE(!dists.empty(), "MeanDistribution requires >= 1 distribution");
+  const std::size_t dim = dists.front().size();
+  std::vector<double> mean(dim, 0.0);
+  for (const auto& d : dists) {
+    OSAP_REQUIRE(d.size() == dim,
+                 "MeanDistribution requires equal-length distributions");
+    for (std::size_t i = 0; i < dim; ++i) mean[i] += d[i];
+  }
+  for (double& m : mean) m /= static_cast<double>(dists.size());
+  return mean;
+}
+
+std::vector<double> Normalize(std::span<const double> weights) {
+  double sum = 0.0;
+  for (double w : weights) {
+    OSAP_REQUIRE(w >= 0.0, "Normalize requires non-negative weights");
+    sum += w;
+  }
+  OSAP_REQUIRE(sum > 0.0, "Normalize requires a positive total weight");
+  std::vector<double> out(weights.begin(), weights.end());
+  for (double& w : out) w /= sum;
+  return out;
+}
+
+}  // namespace osap

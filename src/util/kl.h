@@ -1,0 +1,30 @@
+// Information-theoretic helpers for the U_pi (agent-ensemble) uncertainty
+// signal: Kullback-Leibler divergence between discrete action distributions,
+// entropy (also used as the A2C exploration bonus), and normalization.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace osap {
+
+/// KL(p || q) for discrete distributions over the same support.
+///
+/// Both inputs must be the same length, non-negative, and (approximately)
+/// sum to 1. Terms with p[i] == 0 contribute 0; q is floored at a small
+/// epsilon so that KL stays finite when q has zero mass where p does not
+/// (the convention used when comparing softmax outputs, which are never
+/// exactly zero anyway).
+double KlDivergence(std::span<const double> p, std::span<const double> q);
+
+/// Shannon entropy (nats) of a discrete distribution.
+double Entropy(std::span<const double> p);
+
+/// Element-wise average of a set of equal-length distributions.
+std::vector<double> MeanDistribution(
+    std::span<const std::vector<double>> dists);
+
+/// Rescales a non-negative vector to sum to 1. Requires a positive sum.
+std::vector<double> Normalize(std::span<const double> weights);
+
+}  // namespace osap

@@ -1,0 +1,43 @@
+// Tiny leveled logger. Benches and the experiment workbench use it to
+// narrate long-running phases (training, calibration); the level can be
+// raised to silence everything in unit tests.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace osap {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// Emits a line to stderr when level >= the global minimum.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+#define OSAP_LOG(level) ::osap::detail::LogLine(::osap::LogLevel::level)
+
+}  // namespace osap

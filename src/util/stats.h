@@ -1,0 +1,121 @@
+// Descriptive statistics used across the library: Welford running moments
+// (for the U_pi/U_V sliding-variance trigger and for feature scaling), batch
+// summaries (for the Figure 4 min/max/mean/median rows), quantiles and
+// empirical CDFs (Figure 5), and simple vector helpers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace osap {
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations so far.
+  std::size_t Count() const { return n_; }
+
+  /// Mean of observations; 0 when empty.
+  double Mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (divides by n); 0 when fewer than 2 observations.
+  double Variance() const;
+
+  /// Sample variance (divides by n-1); 0 when fewer than 2 observations.
+  double SampleVariance() const;
+
+  /// Population standard deviation.
+  double StdDev() const;
+
+  /// Smallest / largest observation; 0 when empty.
+  double Min() const { return n_ == 0 ? 0.0 : min_; }
+  double Max() const { return n_ == 0 ? 0.0 : max_; }
+
+  /// Resets to the empty state.
+  void Reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-capacity sliding window with O(1) mean/variance queries, used by
+/// the defaulting trigger ("variance of the uncertainty signal across the
+/// last k time steps", paper Section 2.5) and by the ND feature extractor
+/// ("mean and standard deviation of the 10 most recent network
+/// throughputs", Section 3.1).
+class SlidingWindowStats {
+ public:
+  /// Window of the given capacity; capacity must be > 0.
+  explicit SlidingWindowStats(std::size_t capacity);
+
+  /// Pushes an observation, evicting the oldest when full.
+  void Push(double x);
+
+  /// True once capacity observations have been pushed.
+  bool Full() const { return buffer_.size() == capacity_; }
+
+  std::size_t Size() const { return buffer_.size(); }
+  std::size_t Capacity() const { return capacity_; }
+
+  /// Mean over current contents; 0 when empty.
+  double Mean() const;
+
+  /// Population variance over current contents; 0 when fewer than 2.
+  double Variance() const;
+
+  /// Population standard deviation.
+  double StdDev() const;
+
+  /// Contents oldest-first (copies; window is small by construction).
+  std::vector<double> Values() const;
+
+  void Reset();
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> buffer_;  // ring buffer
+  std::size_t head_ = 0;        // index of oldest element
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Batch summary of a sample: the exact statistics Figure 4 reports.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+};
+
+/// Computes a Summary; tolerates empty input (all-zero summary).
+Summary Summarize(std::span<const double> xs);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(std::span<const double> xs);
+
+/// Population standard deviation; 0 for fewer than 2 elements.
+double StdDev(std::span<const double> xs);
+
+/// Median via partial sort of a copy; 0 for empty input.
+double Median(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0,1]. Requires non-empty input.
+double Quantile(std::span<const double> xs, double q);
+
+/// One (value, cumulative-probability) point per sorted sample, i.e. the
+/// empirical CDF Figure 5 plots. Probability of the i-th smallest value is
+/// (i+1)/n.
+std::vector<std::pair<double, double>> EmpiricalCdf(
+    std::span<const double> xs);
+
+}  // namespace osap

@@ -1,0 +1,34 @@
+// ASCII table rendering for the figure-reproduction benches: every bench
+// prints the same rows/series the corresponding paper figure reports, and
+// TablePrinter keeps those dumps aligned and readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace osap {
+
+/// Accumulates rows and renders a column-aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many fields as there are headers.
+  void AddRow(std::vector<std::string> fields);
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string Num(double v, int precision = 2);
+
+  /// Renders the table, including a separator under the header.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace osap

@@ -1,0 +1,83 @@
+#include "abr/qoe.h"
+
+#include <gtest/gtest.h>
+
+namespace osap::abr {
+namespace {
+
+TEST(Qoe, FirstChunkHasNoSmoothnessTerm) {
+  QoeAccumulator qoe;
+  const double r = qoe.AddChunk(4.3, 0.0);
+  EXPECT_DOUBLE_EQ(r, 4.3);
+  EXPECT_DOUBLE_EQ(qoe.Total(), 4.3);
+}
+
+TEST(Qoe, RebufferPenaltyIsMuTimesStall) {
+  QoeConfig cfg;
+  cfg.rebuffer_penalty = 4.3;
+  QoeAccumulator qoe(cfg);
+  const double r = qoe.AddChunk(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(r, 1.0 - 4.3 * 2.0);
+}
+
+TEST(Qoe, SmoothnessPenalizesBothDirections) {
+  QoeAccumulator qoe;
+  qoe.AddChunk(1.0, 0.0);
+  const double up = qoe.AddChunk(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(up, 3.0 - 2.0);
+  const double down = qoe.AddChunk(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(down, 1.0 - 2.0);
+}
+
+TEST(Qoe, MatchesPaperFormulaOverASession) {
+  // QoE = sum R_n - mu sum T_n - sum |R_{n+1} - R_n|.
+  QoeAccumulator qoe;
+  const std::vector<double> bitrates = {0.3, 0.75, 0.75, 4.3, 2.85};
+  const std::vector<double> stalls = {0.5, 0.0, 0.0, 1.25, 0.0};
+  for (std::size_t i = 0; i < bitrates.size(); ++i) {
+    qoe.AddChunk(bitrates[i], stalls[i]);
+  }
+  double expected_bitrate = 0.0;
+  for (double b : bitrates) expected_bitrate += b;
+  double expected_stall = 4.3 * (0.5 + 1.25);
+  double expected_smooth = 0.45 + 0.0 + 3.55 + 1.45;
+  EXPECT_NEAR(qoe.Total(),
+              expected_bitrate - expected_stall - expected_smooth, 1e-12);
+  EXPECT_NEAR(qoe.BitrateUtility(), expected_bitrate, 1e-12);
+  EXPECT_NEAR(qoe.RebufferPenalty(), expected_stall, 1e-12);
+  EXPECT_NEAR(qoe.SmoothnessPenalty(), expected_smooth, 1e-12);
+  EXPECT_EQ(qoe.ChunkCount(), 5u);
+}
+
+TEST(Qoe, CustomPenaltyWeights) {
+  QoeConfig cfg;
+  cfg.rebuffer_penalty = 10.0;
+  cfg.smoothness_penalty = 2.0;
+  QoeAccumulator qoe(cfg);
+  qoe.AddChunk(1.0, 0.1);
+  const double r = qoe.AddChunk(2.0, 0.0);
+  EXPECT_DOUBLE_EQ(r, 2.0 - 2.0 * 1.0);
+  EXPECT_DOUBLE_EQ(qoe.Total(), (1.0 - 1.0) + 0.0);
+}
+
+TEST(Qoe, ResetClearsEverything) {
+  QoeAccumulator qoe;
+  qoe.AddChunk(4.3, 1.0);
+  qoe.Reset();
+  EXPECT_DOUBLE_EQ(qoe.Total(), 0.0);
+  EXPECT_EQ(qoe.ChunkCount(), 0u);
+  // After reset the next chunk is "first" again: no smoothness term.
+  const double r = qoe.AddChunk(2.85, 0.0);
+  EXPECT_DOUBLE_EQ(r, 2.85);
+}
+
+TEST(Qoe, ValidatesInputs) {
+  QoeAccumulator qoe;
+  EXPECT_THROW(qoe.AddChunk(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(qoe.AddChunk(1.0, -0.5), std::invalid_argument);
+  EXPECT_THROW(QoeAccumulator(QoeConfig{-1.0, 1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace osap::abr

@@ -1,0 +1,172 @@
+#include "abr/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "traces/trace.h"
+
+namespace osap::abr {
+namespace {
+
+/// A video with no VBR jitter so download times are exactly predictable.
+VideoSpec FlatVideo() {
+  return VideoSpec({1000.0, 2000.0}, 10, 4.0, /*vbr_jitter=*/0.0);
+}
+
+SimulatorConfig NoRttConfig() {
+  SimulatorConfig cfg;
+  cfg.rtt_seconds = 0.0;
+  return cfg;
+}
+
+TEST(AbrSimulator, DownloadTimeMatchesBytesOverThroughput) {
+  const VideoSpec video = FlatVideo();
+  AbrSimulator sim(video, NoRttConfig());
+  const traces::Trace trace("flat", 1.0, std::vector<double>(100, 8.0));
+  sim.StartSession(trace);
+  // Chunk at level 0: 1000 kbps * 4 s = 500000 bytes = 4 Mb; at 8 Mbps
+  // that is 0.5 s.
+  const DownloadResult r = sim.DownloadChunk(0);
+  EXPECT_NEAR(r.download_seconds, 0.5, 1e-9);
+  EXPECT_NEAR(r.throughput_mbps, 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.bytes, 500000.0);
+}
+
+TEST(AbrSimulator, RttAddsLatency) {
+  const VideoSpec video = FlatVideo();
+  SimulatorConfig cfg;
+  cfg.rtt_seconds = 0.08;
+  AbrSimulator sim(video, cfg);
+  const traces::Trace trace("flat", 1.0, std::vector<double>(100, 8.0));
+  sim.StartSession(trace);
+  EXPECT_NEAR(sim.DownloadChunk(0).download_seconds, 0.58, 1e-9);
+}
+
+TEST(AbrSimulator, FirstChunkStallsForItsFullDownload) {
+  const VideoSpec video = FlatVideo();
+  AbrSimulator sim(video, NoRttConfig());
+  const traces::Trace trace("flat", 1.0, std::vector<double>(100, 8.0));
+  sim.StartSession(trace);
+  const DownloadResult r = sim.DownloadChunk(0);
+  // Empty buffer: the whole download is a stall (startup delay).
+  EXPECT_NEAR(r.rebuffer_seconds, 0.5, 1e-9);
+  EXPECT_NEAR(r.buffer_seconds, 4.0, 1e-9);
+}
+
+TEST(AbrSimulator, BufferDrainsDuringDownload) {
+  const VideoSpec video = FlatVideo();
+  AbrSimulator sim(video, NoRttConfig());
+  const traces::Trace trace("flat", 1.0, std::vector<double>(100, 8.0));
+  sim.StartSession(trace);
+  sim.DownloadChunk(0);  // buffer: 4 s
+  const DownloadResult r = sim.DownloadChunk(0);
+  EXPECT_NEAR(r.rebuffer_seconds, 0.0, 1e-9);
+  EXPECT_NEAR(r.buffer_seconds, 4.0 - 0.5 + 4.0, 1e-9);
+}
+
+TEST(AbrSimulator, SlowLinkCausesRebuffering) {
+  const VideoSpec video = FlatVideo();
+  AbrSimulator sim(video, NoRttConfig());
+  // 0.5 Mbps: a 4 Mb chunk takes 8 s > 4 s of buffer per chunk.
+  const traces::Trace trace("slow", 1.0, std::vector<double>(1000, 0.5));
+  sim.StartSession(trace);
+  sim.DownloadChunk(0);  // startup
+  const DownloadResult r = sim.DownloadChunk(0);
+  EXPECT_NEAR(r.rebuffer_seconds, 8.0 - 4.0, 1e-9);
+}
+
+TEST(AbrSimulator, IntegratesAcrossThroughputChanges) {
+  const VideoSpec video = FlatVideo();
+  AbrSimulator sim(video, NoRttConfig());
+  // 4 Mb chunk: first second at 2 Mbps delivers 2 Mb, second second at
+  // 4 Mbps delivers the remaining 2 Mb in 0.5 s -> 1.5 s total.
+  std::vector<double> samples = {2.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0};
+  const traces::Trace trace("step", 1.0, samples);
+  sim.StartSession(trace);
+  EXPECT_NEAR(sim.DownloadChunk(0).download_seconds, 1.5, 1e-9);
+}
+
+TEST(AbrSimulator, TraceWrapsAround) {
+  const VideoSpec video = FlatVideo();
+  AbrSimulator sim(video, NoRttConfig());
+  const traces::Trace trace("short", 1.0, {8.0, 8.0});  // 2 s cycle
+  sim.StartSession(trace);
+  for (int i = 0; i < 10; ++i) {
+    const DownloadResult r = sim.DownloadChunk(0);
+    EXPECT_NEAR(r.download_seconds, 0.5, 1e-9);
+  }
+}
+
+TEST(AbrSimulator, SleepsWhenBufferFull) {
+  const VideoSpec video = FlatVideo();
+  SimulatorConfig cfg = NoRttConfig();
+  cfg.buffer_capacity_seconds = 10.0;
+  AbrSimulator sim(video, cfg);
+  // Very fast link: buffer grows ~4 s per chunk with negligible drain.
+  const traces::Trace trace("fast", 1.0, std::vector<double>(100, 1000.0));
+  sim.StartSession(trace);
+  double total_sleep = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    total_sleep += sim.DownloadChunk(0).sleep_seconds;
+    EXPECT_LE(sim.BufferSeconds(), 10.0 + 1e-9);
+  }
+  EXPECT_GT(total_sleep, 0.0);
+}
+
+TEST(AbrSimulator, ChunkAccountingReachesVideoEnd) {
+  const VideoSpec video = FlatVideo();
+  AbrSimulator sim(video, NoRttConfig());
+  const traces::Trace trace("flat", 1.0, std::vector<double>(100, 8.0));
+  sim.StartSession(trace);
+  for (std::size_t i = 0; i < video.ChunkCount(); ++i) {
+    EXPECT_EQ(sim.NextChunkIndex(), i);
+    const DownloadResult r = sim.DownloadChunk(1);
+    EXPECT_EQ(r.video_finished, i + 1 == video.ChunkCount());
+  }
+  EXPECT_EQ(sim.ChunksRemaining(), 0u);
+  EXPECT_THROW(sim.DownloadChunk(0), std::invalid_argument);
+}
+
+TEST(AbrSimulator, StartSessionResetsState) {
+  const VideoSpec video = FlatVideo();
+  AbrSimulator sim(video, NoRttConfig());
+  const traces::Trace trace("flat", 1.0, std::vector<double>(100, 8.0));
+  sim.StartSession(trace);
+  sim.DownloadChunk(0);
+  sim.DownloadChunk(0);
+  sim.StartSession(trace);
+  EXPECT_EQ(sim.NextChunkIndex(), 0u);
+  EXPECT_DOUBLE_EQ(sim.BufferSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(sim.TraceTimeSeconds(), 0.0);
+}
+
+TEST(AbrSimulator, RequiresActiveSession) {
+  const VideoSpec video = FlatVideo();
+  AbrSimulator sim(video, NoRttConfig());
+  EXPECT_THROW(sim.DownloadChunk(0), std::invalid_argument);
+}
+
+TEST(AbrSimulator, RejectsBadLevel) {
+  const VideoSpec video = FlatVideo();
+  AbrSimulator sim(video, NoRttConfig());
+  const traces::Trace trace("flat", 1.0, std::vector<double>(10, 8.0));
+  sim.StartSession(trace);
+  EXPECT_THROW(sim.DownloadChunk(2), std::invalid_argument);
+}
+
+TEST(AbrSimulator, DeterministicReplay) {
+  const VideoSpec video = MakeEnvivioLikeVideo(1);
+  const traces::Trace trace("flat", 1.0, std::vector<double>(300, 3.0));
+  AbrSimulator a(video, {});
+  AbrSimulator b(video, {});
+  a.StartSession(trace);
+  b.StartSession(trace);
+  for (std::size_t i = 0; i < video.ChunkCount(); ++i) {
+    const DownloadResult ra = a.DownloadChunk(i % video.LevelCount());
+    const DownloadResult rb = b.DownloadChunk(i % video.LevelCount());
+    ASSERT_DOUBLE_EQ(ra.download_seconds, rb.download_seconds);
+    ASSERT_DOUBLE_EQ(ra.buffer_seconds, rb.buffer_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace osap::abr

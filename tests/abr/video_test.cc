@@ -1,0 +1,79 @@
+#include "abr/video.h"
+
+#include <gtest/gtest.h>
+
+namespace osap::abr {
+namespace {
+
+TEST(VideoSpec, EnvivioLikeMatchesPaperParameters) {
+  const VideoSpec v = MakeEnvivioLikeVideo(5);
+  EXPECT_EQ(v.LevelCount(), 6u);
+  EXPECT_EQ(v.ChunkCount(), 240u);  // 48 x 5
+  EXPECT_DOUBLE_EQ(v.ChunkSeconds(), 4.0);
+  EXPECT_DOUBLE_EQ(v.BitrateKbps(0), 300.0);
+  EXPECT_DOUBLE_EQ(v.BitrateKbps(5), 4300.0);
+  EXPECT_DOUBLE_EQ(v.MaxBitrateMbps(), 4.3);
+  EXPECT_DOUBLE_EQ(v.Duration(), 960.0);
+}
+
+TEST(VideoSpec, ChunkBytesNearNominalSize) {
+  const VideoSpec v = MakeEnvivioLikeVideo(1);
+  for (std::size_t c = 0; c < v.ChunkCount(); ++c) {
+    for (std::size_t l = 0; l < v.LevelCount(); ++l) {
+      const double nominal = v.BitrateKbps(l) * 1000.0 / 8.0 * 4.0;
+      EXPECT_NEAR(v.ChunkBytes(c, l), nominal, nominal * 0.05 + 1e-9);
+    }
+  }
+}
+
+TEST(VideoSpec, HigherLevelsAreLarger) {
+  const VideoSpec v = MakeEnvivioLikeVideo(1);
+  for (std::size_t c = 0; c < v.ChunkCount(); ++c) {
+    for (std::size_t l = 0; l + 1 < v.LevelCount(); ++l) {
+      EXPECT_LT(v.ChunkBytes(c, l), v.ChunkBytes(c, l + 1));
+    }
+  }
+}
+
+TEST(VideoSpec, VbrJitterVariesAcrossChunks) {
+  const VideoSpec v = MakeEnvivioLikeVideo(1);
+  // Not all chunks at a level have identical size (VBR).
+  bool varied = false;
+  for (std::size_t c = 1; c < v.ChunkCount() && !varied; ++c) {
+    varied = v.ChunkBytes(c, 0) != v.ChunkBytes(0, 0);
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(VideoSpec, ZeroJitterGivesExactNominalSizes) {
+  const VideoSpec v({1000.0}, 4, 2.0, /*vbr_jitter=*/0.0);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(v.ChunkBytes(c, 0), 1000.0 * 1000.0 / 8.0 * 2.0);
+  }
+}
+
+TEST(VideoSpec, DeterministicPerSeed) {
+  const VideoSpec a({300.0, 750.0}, 10, 4.0, 0.05, 42);
+  const VideoSpec b({300.0, 750.0}, 10, 4.0, 0.05, 42);
+  for (std::size_t c = 0; c < 10; ++c) {
+    EXPECT_DOUBLE_EQ(a.ChunkBytes(c, 1), b.ChunkBytes(c, 1));
+  }
+}
+
+TEST(VideoSpec, ValidatesArguments) {
+  EXPECT_THROW(VideoSpec({}, 10, 4.0), std::invalid_argument);
+  EXPECT_THROW(VideoSpec({750.0, 300.0}, 10, 4.0), std::invalid_argument);
+  EXPECT_THROW(VideoSpec({300.0}, 0, 4.0), std::invalid_argument);
+  EXPECT_THROW(VideoSpec({300.0}, 10, 0.0), std::invalid_argument);
+  EXPECT_THROW(VideoSpec({300.0}, 10, 4.0, 1.0), std::invalid_argument);
+}
+
+TEST(VideoSpec, IndexBoundsChecked) {
+  const VideoSpec v = MakeEnvivioLikeVideo(1);
+  EXPECT_THROW(v.BitrateKbps(6), std::invalid_argument);
+  EXPECT_THROW(v.ChunkBytes(48, 0), std::invalid_argument);
+  EXPECT_THROW(v.ChunkBytes(0, 6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace osap::abr

@@ -1,0 +1,117 @@
+#include "cc/aimd_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "mdp/rollout.h"
+
+namespace osap::cc {
+namespace {
+
+CcEnvironmentConfig SmallConfig() {
+  CcEnvironmentConfig cfg;
+  cfg.episode_mis = 100;
+  return cfg;
+}
+
+traces::Trace FlatTrace(double mbps) {
+  return traces::Trace("flat", 1.0, std::vector<double>(1000, mbps));
+}
+
+TEST(AimdPolicy, PicksDecreaseAndIncreaseActionsFromTheSet) {
+  const CcEnvironmentConfig cfg = SmallConfig();
+  AimdPolicy aimd(cfg.layout, cfg.rate_multipliers);
+  // Multipliers {0.7, 0.93, 1.0, 1.07, 1.4}: decrease = index 0 (0.7),
+  // increase = index 3 (1.07, the mildest > 1).
+  EXPECT_EQ(aimd.decrease_action(), 0);
+  EXPECT_EQ(aimd.increase_action(), 3);
+}
+
+TEST(AimdPolicy, RequiresDecreaseAndIncreaseMultipliers) {
+  const CcStateLayout layout;
+  EXPECT_THROW(AimdPolicy(layout, {1.0, 1.1}), std::invalid_argument);
+  EXPECT_THROW(AimdPolicy(layout, {0.5, 0.9}), std::invalid_argument);
+}
+
+TEST(AimdPolicy, IncreasesWhenUncongested) {
+  const CcEnvironmentConfig cfg = SmallConfig();
+  AimdPolicy aimd(cfg.layout, cfg.rate_multipliers);
+  mdp::State s(cfg.layout.Size(), 0.0);
+  const std::size_t newest = cfg.layout.history - 1;
+  s[cfg.layout.SendRatioIndex(newest)] = 1.0;
+  s[cfg.layout.LatencyRatioIndex(newest)] = 1.0;
+  EXPECT_EQ(aimd.SelectAction(s), aimd.increase_action());
+}
+
+TEST(AimdPolicy, DecreasesOnCongestionSignals) {
+  const CcEnvironmentConfig cfg = SmallConfig();
+  AimdPolicy aimd(cfg.layout, cfg.rate_multipliers);
+  const std::size_t newest = cfg.layout.history - 1;
+  // High send ratio alone.
+  mdp::State s1(cfg.layout.Size(), 0.0);
+  s1[cfg.layout.SendRatioIndex(newest)] = 2.0;
+  s1[cfg.layout.LatencyRatioIndex(newest)] = 1.0;
+  EXPECT_EQ(aimd.SelectAction(s1), aimd.decrease_action());
+  // High latency ratio alone.
+  mdp::State s2(cfg.layout.Size(), 0.0);
+  s2[cfg.layout.SendRatioIndex(newest)] = 1.0;
+  s2[cfg.layout.LatencyRatioIndex(newest)] = 2.0;
+  EXPECT_EQ(aimd.SelectAction(s2), aimd.decrease_action());
+}
+
+TEST(AimdPolicy, ProbesUpwardFromTheInitialState) {
+  const CcEnvironmentConfig cfg = SmallConfig();
+  AimdPolicy aimd(cfg.layout, cfg.rate_multipliers);
+  EXPECT_EQ(aimd.SelectAction(mdp::State(cfg.layout.Size(), 0.0)),
+            aimd.increase_action());
+}
+
+TEST(AimdPolicy, ConvergesNearCapacityOnAFlatLink) {
+  const CcEnvironmentConfig cfg = SmallConfig();
+  CcEnvironment env(cfg);
+  const traces::Trace trace = FlatTrace(4.0);
+  env.SetFixedTrace(trace);
+  AimdPolicy aimd(cfg.layout, cfg.rate_multipliers);
+  mdp::Rollout(env, aimd);
+  // Sawtooth around capacity: within the one-multiplier band.
+  EXPECT_GT(env.CurrentRateMbps(), 4.0 * 0.65);
+  EXPECT_LT(env.CurrentRateMbps(), 4.0 * 1.5);
+}
+
+TEST(AimdPolicy, KeepsLatencyAndLossLowOnAFlatLink) {
+  const CcEnvironmentConfig cfg = SmallConfig();
+  CcEnvironment env(cfg);
+  const traces::Trace trace = FlatTrace(4.0);
+  env.SetFixedTrace(trace);
+  AimdPolicy aimd(cfg.layout, cfg.rate_multipliers);
+  mdp::State s = env.Reset();
+  bool done = false;
+  double max_latency = 0.0;
+  double total_loss = 0.0;
+  while (!done) {
+    const mdp::StepResult r = env.Step(aimd.SelectAction(s));
+    max_latency =
+        std::max(max_latency, env.LastReport().avg_latency_seconds);
+    total_loss += env.LastReport().loss_rate;
+    s = r.next_state;
+    done = r.done;
+  }
+  EXPECT_LT(max_latency, 0.10);  // base RTT 0.05 + bounded queueing
+  EXPECT_LT(total_loss, 0.5);
+}
+
+TEST(AimdPolicy, BacksOffDuringACapacityCollapse) {
+  const CcEnvironmentConfig cfg = SmallConfig();
+  CcEnvironment env(cfg);
+  // 8 Mbps for 5 s, then 0.5 Mbps.
+  std::vector<double> samples(5, 8.0);
+  samples.resize(100, 0.5);
+  const traces::Trace trace("collapse", 1.0, samples);
+  env.SetFixedTrace(trace);
+  AimdPolicy aimd(cfg.layout, cfg.rate_multipliers);
+  mdp::Rollout(env, aimd);
+  // After the collapse AIMD must operate near the new capacity.
+  EXPECT_LT(env.CurrentRateMbps(), 1.0);
+}
+
+}  // namespace
+}  // namespace osap::cc

@@ -1,0 +1,170 @@
+// Integration: the OSAP layer over the congestion-control domain - the
+// domain-agnostic pieces (NoveltyDetector with a custom probe, SafeAgent,
+// triggers) must compose with cc::CcEnvironment exactly as they do with
+// the ABR environment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cc/aimd_policy.h"
+#include "cc/cc_net.h"
+#include "core/novelty_detector.h"
+#include "core/safe_agent.h"
+#include "mdp/rollout.h"
+#include "rl/a2c.h"
+#include "traces/dataset.h"
+
+namespace osap::cc {
+namespace {
+
+CcEnvironmentConfig SmallConfig() {
+  CcEnvironmentConfig cfg;
+  cfg.episode_mis = 150;
+  cfg.initial_rate_mbps = 5.0;
+  cfg.max_rate_mbps = 100.0;
+  return cfg;
+}
+
+class GreedyRlPolicy final : public mdp::Policy {
+ public:
+  explicit GreedyRlPolicy(std::shared_ptr<nn::ActorCriticNet> net)
+      : net_(std::move(net)) {}
+  mdp::Action SelectAction(const mdp::State& s) override {
+    const auto p = net_->ActionProbs(s);
+    return static_cast<mdp::Action>(
+        std::distance(p.begin(), std::max_element(p.begin(), p.end())));
+  }
+  std::string Name() const override { return "rl"; }
+
+ private:
+  std::shared_ptr<nn::ActorCriticNet> net_;
+};
+
+/// Shared tiny setup: agent trained briefly on fast links, ND fitted on
+/// its delivered-rate windows.
+struct Fixture {
+  CcEnvironmentConfig cfg = SmallConfig();
+  std::vector<traces::Trace> train;
+  std::vector<traces::Trace> ood;
+  std::shared_ptr<nn::ActorCriticNet> net;
+  std::shared_ptr<GreedyRlPolicy> rl;
+  std::shared_ptr<AimdPolicy> aimd;
+  std::shared_ptr<core::NoveltyDetector> nd;
+
+  Fixture() {
+    traces::DatasetConfig dcfg;
+    dcfg.trace_count = 8;
+    dcfg.trace_duration_seconds = 60.0;
+    train = traces::ScaleTraces(
+        traces::BuildDataset(traces::DatasetId::kGamma22, dcfg).train,
+        10.0);
+    ood = traces::ScaleTraces(
+        traces::BuildDataset(traces::DatasetId::kExponential, dcfg).test,
+        10.0);
+
+    CcEnvironment env(cfg);
+    env.SetTracePool(train, 3);
+    Rng rng(1);
+    net = std::make_shared<nn::ActorCriticNet>(MakeCcActorCritic(
+        cfg.layout, cfg.rate_multipliers.size(), {}, rng));
+    rl::A2cConfig a2c;
+    a2c.episodes = 200;
+    rl::TrainA2c(*net, env, a2c);
+    rl = std::make_shared<GreedyRlPolicy>(net);
+    aimd = std::make_shared<AimdPolicy>(cfg.layout, cfg.rate_multipliers);
+
+    core::NoveltyDetectorConfig nd_cfg;
+    nd_cfg.throughput_window = 5;
+    nd_cfg.k = 5;
+    const CcStateLayout layout = cfg.layout;
+    nd = std::make_shared<core::NoveltyDetector>(
+        nd_cfg, [layout](const mdp::State& s) {
+          return layout.LatestDeliveredMbps(s);
+        });
+    std::vector<std::vector<double>> features;
+    for (const traces::Trace& trace : train) {
+      env.SetFixedTrace(trace);
+      std::vector<double> delivered;
+      mdp::State s = env.Reset();
+      bool done = false;
+      while (!done) {
+        mdp::StepResult r = env.Step(rl->SelectAction(s));
+        delivered.push_back(env.LastReport().delivered_mbps);
+        s = std::move(r.next_state);
+        done = r.done;
+      }
+      for (auto& f :
+           core::NoveltyDetector::ExtractFeatures(delivered, nd_cfg)) {
+        features.push_back(std::move(f));
+      }
+    }
+    nd->Fit(features);
+  }
+
+  std::shared_ptr<core::SafeAgent> MakeSafeAgent() {
+    auto estimator = std::make_shared<core::NoveltyDetector>(*nd);
+    estimator->Reset();
+    core::SafeAgentConfig sa;
+    sa.trigger.mode = core::TriggerMode::kBinary;
+    sa.trigger.l = 3;
+    return std::make_shared<core::SafeAgent>(rl, aimd, estimator, sa);
+  }
+
+  double Eval(mdp::Policy& policy,
+              const std::vector<traces::Trace>& traces_) {
+    CcEnvironment env(cfg);
+    double total = 0.0;
+    for (const traces::Trace& trace : traces_) {
+      env.SetFixedTrace(trace);
+      total += mdp::Rollout(env, policy).TotalReward();
+    }
+    return total / static_cast<double>(traces_.size());
+  }
+};
+
+Fixture& SharedFixture() {
+  static auto* fixture = new Fixture();
+  return *fixture;
+}
+
+TEST(CcSafety, NoveltyProbeReadsDeliveredRate) {
+  Fixture& f = SharedFixture();
+  // In-distribution sessions mostly stay certain.
+  auto agent = f.MakeSafeAgent();
+  CcEnvironment env(f.cfg);
+  env.SetFixedTrace(f.train.front());
+  mdp::Rollout(env, *agent);
+  EXPECT_LT(agent->DefaultedFraction(), 0.9);
+}
+
+TEST(CcSafety, SafetyNetFiresOnCapacityCollapse) {
+  Fixture& f = SharedFixture();
+  auto agent = f.MakeSafeAgent();
+  CcEnvironment env(f.cfg);
+  env.SetFixedTrace(f.ood.front());  // exponential x10: mean 10x lower
+  mdp::Rollout(env, *agent);
+  EXPECT_TRUE(agent->Defaulted());
+}
+
+TEST(CcSafety, SafeAgentBoundsTheOodDamage) {
+  Fixture& f = SharedFixture();
+  auto agent = f.MakeSafeAgent();
+  const double rl_reward = f.Eval(*f.rl, f.ood);
+  const double safe_reward = f.Eval(*agent, f.ood);
+  const double aimd_reward = f.Eval(*f.aimd, f.ood);
+  // The safety net must recover most of the RL-to-AIMD gap.
+  EXPECT_GT(safe_reward, rl_reward);
+  EXPECT_GT(safe_reward, rl_reward + 0.5 * (aimd_reward - rl_reward));
+}
+
+TEST(CcSafety, SafeAgentStaysNearTheAgentInDistribution) {
+  Fixture& f = SharedFixture();
+  auto agent = f.MakeSafeAgent();
+  const double rl_reward = f.Eval(*f.rl, f.train);
+  const double safe_reward = f.Eval(*agent, f.train);
+  // Occasional false alarms are allowed; wholesale defaulting is not.
+  EXPECT_GT(safe_reward, 0.5 * rl_reward);
+}
+
+}  // namespace
+}  // namespace osap::cc

@@ -1,0 +1,96 @@
+// Property sweep over the bottleneck link: conservation and boundedness
+// invariants that must hold for every (sending rate, capacity) pair.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cc/link.h"
+#include "util/rng.h"
+
+namespace osap::cc {
+namespace {
+
+using Params = std::tuple<double /*rate*/, double /*capacity*/>;
+
+class LinkInvariants : public ::testing::TestWithParam<Params> {};
+
+TEST_P(LinkInvariants, ConservationAndBounds) {
+  const auto [rate, capacity] = GetParam();
+  LinkConfig cfg;
+  BottleneckLink link(cfg);
+  const traces::Trace trace("flat", 1.0,
+                            std::vector<double>(1000, capacity));
+  link.Start(trace);
+  const double queue_capacity_bits =
+      cfg.queue_bdp * cfg.reference_bandwidth_mbps * 1e6 *
+      cfg.base_rtt_seconds;
+
+  double sent_bits = 0.0;
+  double delivered_bits = 0.0;
+  double lost_bits = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const double queue_before = link.QueueBits();
+    const MiReport r = link.Send(rate);
+
+    // Boundedness.
+    ASSERT_GE(r.delivered_mbps, 0.0);
+    ASSERT_LE(r.delivered_mbps, capacity + 1e-9);
+    ASSERT_GE(r.loss_rate, 0.0);
+    ASSERT_LE(r.loss_rate, 1.0);
+    ASSERT_GE(r.avg_latency_seconds, cfg.base_rtt_seconds - 1e-12);
+    ASSERT_LE(link.QueueBits(), queue_capacity_bits + 1e-6);
+
+    // Per-interval conservation: arrivals go to delivery, loss, or queue.
+    const double dt = cfg.mi_seconds;
+    const double in_bits = rate * 1e6 * dt;
+    const double out_bits = r.delivered_mbps * 1e6 * dt;
+    const double loss_bits_mi = r.loss_rate * in_bits;
+    const double queue_delta = link.QueueBits() - queue_before;
+    ASSERT_NEAR(in_bits, out_bits + loss_bits_mi + queue_delta,
+                1e-3 * std::max(1.0, in_bits))
+        << "rate=" << rate << " capacity=" << capacity << " step=" << i;
+
+    sent_bits += in_bits;
+    delivered_bits += out_bits;
+    lost_bits += loss_bits_mi;
+  }
+  // Whole-connection conservation.
+  ASSERT_NEAR(sent_bits, delivered_bits + lost_bits + link.QueueBits(),
+              1e-3 * sent_bits + 1.0);
+  // Long-run delivery cannot exceed either the offered load or capacity.
+  EXPECT_LE(delivered_bits, sent_bits + 1e-6);
+}
+
+TEST_P(LinkInvariants, SteadyStateLossOnlyWhenOverloaded) {
+  const auto [rate, capacity] = GetParam();
+  LinkConfig cfg;
+  BottleneckLink link(cfg);
+  const traces::Trace trace("flat", 1.0,
+                            std::vector<double>(1000, capacity));
+  link.Start(trace);
+  MiReport r{};
+  for (int i = 0; i < 300; ++i) r = link.Send(rate);
+  if (rate <= capacity) {
+    EXPECT_DOUBLE_EQ(r.loss_rate, 0.0);
+  } else {
+    // Once the queue saturates, the steady-state loss fraction is the
+    // capacity deficit.
+    EXPECT_NEAR(r.loss_rate, (rate - capacity) / rate, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RateCapacityGrid, LinkInvariants,
+    ::testing::Combine(::testing::Values(0.1, 1.0, 4.0, 20.0, 80.0),
+                       ::testing::Values(0.5, 4.0, 30.0)),
+    [](const auto& info) {
+      return "rate_" +
+             std::to_string(
+                 static_cast<int>(std::get<0>(info.param) * 10)) +
+             "_cap_" +
+             std::to_string(
+                 static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+}  // namespace
+}  // namespace osap::cc

@@ -1,0 +1,146 @@
+#include "cc/link.h"
+
+#include <gtest/gtest.h>
+
+namespace osap::cc {
+namespace {
+
+traces::Trace FlatTrace(double mbps, std::size_t seconds = 1000) {
+  return traces::Trace("flat", 1.0, std::vector<double>(seconds, mbps));
+}
+
+LinkConfig DefaultConfig() { return LinkConfig{}; }
+
+TEST(BottleneckLink, SendBeforeStartThrows) {
+  BottleneckLink link(DefaultConfig());
+  EXPECT_THROW(link.Send(1.0), std::invalid_argument);
+}
+
+TEST(BottleneckLink, UnderloadedLinkDeliversEverything) {
+  BottleneckLink link(DefaultConfig());
+  const traces::Trace trace = FlatTrace(10.0);
+  link.Start(trace);
+  const MiReport r = link.Send(4.0);
+  EXPECT_NEAR(r.delivered_mbps, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.loss_rate, 0.0);
+  EXPECT_NEAR(r.avg_latency_seconds, 0.05, 1e-9);  // base RTT only
+  EXPECT_DOUBLE_EQ(link.QueueBits(), 0.0);
+}
+
+TEST(BottleneckLink, OverloadBuildsQueueAndLatency) {
+  BottleneckLink link(DefaultConfig());
+  const traces::Trace trace = FlatTrace(4.0);
+  link.Start(trace);
+  const MiReport r = link.Send(8.0);
+  // 0.4 Mb excess in 0.1 s.
+  EXPECT_NEAR(link.QueueBits(), 0.4e6, 1.0);
+  EXPECT_GT(r.avg_latency_seconds, 0.05);
+  EXPECT_DOUBLE_EQ(r.loss_rate, 0.0);  // queue has room (1 Mb budget)
+  EXPECT_NEAR(r.delivered_mbps, 4.0, 1e-9);
+}
+
+TEST(BottleneckLink, FullQueueDropsOverflow) {
+  LinkConfig cfg;
+  cfg.queue_bdp = 1.0;  // 10 Mbps * 0.05 s = 0.5 Mb buffer
+  BottleneckLink link(cfg);
+  const traces::Trace trace = FlatTrace(1.0);
+  link.Start(trace);
+  // 20 Mbps into a 1 Mbps link: 1.9 Mb excess vs 0.5 Mb buffer.
+  MiReport r{};
+  for (int i = 0; i < 3; ++i) r = link.Send(20.0);
+  EXPECT_GT(r.loss_rate, 0.5);
+  EXPECT_NEAR(link.QueueBits(), 0.5e6, 1.0);
+}
+
+TEST(BottleneckLink, QueueDrainsWhenSenderBacksOff) {
+  BottleneckLink link(DefaultConfig());
+  const traces::Trace trace = FlatTrace(4.0);
+  link.Start(trace);
+  link.Send(8.0);  // builds 0.4 Mb
+  const double q1 = link.QueueBits();
+  link.Send(0.0);  // drains 0.4 Mb at 4 Mbps in 0.1 s
+  EXPECT_LT(link.QueueBits(), q1);
+  EXPECT_NEAR(link.QueueBits(), 0.0, 1.0);
+}
+
+TEST(BottleneckLink, DrainingQueueStillDelivers) {
+  BottleneckLink link(DefaultConfig());
+  const traces::Trace trace = FlatTrace(4.0);
+  link.Start(trace);
+  link.Send(8.0);
+  const MiReport r = link.Send(0.0);
+  // Queue (0.4 Mb) drains through the 4 Mbps link in the 0.1 s interval.
+  EXPECT_NEAR(r.delivered_mbps, 4.0, 1e-6);
+}
+
+TEST(BottleneckLink, LatencyTracksQueueOverCapacity) {
+  BottleneckLink link(DefaultConfig());
+  const traces::Trace trace = FlatTrace(4.0);
+  link.Start(trace);
+  link.Send(8.0);  // queue 0.4 Mb after, 0.2 Mb average
+  const MiReport r = link.Send(4.0);  // queue steady at 0.4 Mb
+  EXPECT_NEAR(r.avg_latency_seconds, 0.05 + 0.4e6 / 4e6, 1e-9);
+}
+
+TEST(BottleneckLink, TimeAdvancesOneMiPerSend) {
+  BottleneckLink link(DefaultConfig());
+  const traces::Trace trace = FlatTrace(4.0);
+  link.Start(trace);
+  for (int i = 1; i <= 10; ++i) {
+    link.Send(1.0);
+    EXPECT_NEAR(link.TimeSeconds(), 0.1 * i, 1e-12);
+  }
+}
+
+TEST(BottleneckLink, CapacityFollowsTheTrace) {
+  BottleneckLink link(DefaultConfig());
+  const traces::Trace trace("step", 1.0, {2.0, 8.0});
+  link.Start(trace);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(link.Send(0.1).capacity_mbps, 2.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(link.Send(0.1).capacity_mbps, 8.0);
+  }
+  // Wraps around.
+  EXPECT_DOUBLE_EQ(link.Send(0.1).capacity_mbps, 2.0);
+}
+
+TEST(BottleneckLink, StartResetsState) {
+  BottleneckLink link(DefaultConfig());
+  const traces::Trace trace = FlatTrace(1.0);
+  link.Start(trace);
+  link.Send(20.0);
+  EXPECT_GT(link.QueueBits(), 0.0);
+  link.Start(trace);
+  EXPECT_DOUBLE_EQ(link.QueueBits(), 0.0);
+  EXPECT_DOUBLE_EQ(link.TimeSeconds(), 0.0);
+}
+
+TEST(BottleneckLink, ValidatesConfigAndInput) {
+  LinkConfig bad;
+  bad.base_rtt_seconds = 0.0;
+  EXPECT_THROW(BottleneckLink{bad}, std::invalid_argument);
+  BottleneckLink link(DefaultConfig());
+  const traces::Trace trace = FlatTrace(1.0);
+  link.Start(trace);
+  EXPECT_THROW(link.Send(-1.0), std::invalid_argument);
+}
+
+TEST(BottleneckLink, DeterministicReplay) {
+  const traces::Trace trace("var", 1.0, {1.0, 5.0, 2.0, 8.0});
+  BottleneckLink a(DefaultConfig());
+  BottleneckLink b(DefaultConfig());
+  a.Start(trace);
+  b.Start(trace);
+  for (int i = 0; i < 100; ++i) {
+    const double rate = 1.0 + (i % 7);
+    const MiReport ra = a.Send(rate);
+    const MiReport rb = b.Send(rate);
+    ASSERT_DOUBLE_EQ(ra.delivered_mbps, rb.delivered_mbps);
+    ASSERT_DOUBLE_EQ(ra.avg_latency_seconds, rb.avg_latency_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace osap::cc

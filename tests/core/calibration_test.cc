@@ -1,0 +1,84 @@
+#include "core/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace osap::core {
+namespace {
+
+TEST(CalibrateAlpha, FindsThresholdOnAMonotoneCurve) {
+  // QoE rises smoothly with alpha: qoe(alpha) = 100 * alpha / (1+alpha).
+  auto qoe = [](double alpha) { return 100.0 * alpha / (1.0 + alpha); };
+  const double target = 50.0;  // attained at alpha = 1
+  const CalibrationResult result = CalibrateAlpha(qoe, target, 0.0, 16.0);
+  EXPECT_NEAR(result.alpha, 1.0, 0.05);
+  EXPECT_NEAR(result.achieved_qoe, 50.0, 2.0);
+  EXPECT_DOUBLE_EQ(result.target_qoe, 50.0);
+}
+
+TEST(CalibrateAlpha, StepFunctionPicksClosestEvaluatedPoint) {
+  // Defaulting is discrete in practice: QoE jumps at thresholds.
+  auto qoe = [](double alpha) { return alpha < 2.0 ? 10.0 : 90.0; };
+  const CalibrationResult low = CalibrateAlpha(qoe, 15.0, 0.0, 8.0);
+  EXPECT_NEAR(low.achieved_qoe, 10.0, 1e-9);
+  EXPECT_LT(low.alpha, 2.0);
+  const CalibrationResult high = CalibrateAlpha(qoe, 85.0, 0.0, 8.0);
+  EXPECT_NEAR(high.achieved_qoe, 90.0, 1e-9);
+  EXPECT_GE(high.alpha, 2.0);
+}
+
+TEST(CalibrateAlpha, StopsEarlyWithinTolerance) {
+  int evaluations = 0;
+  auto qoe = [&](double alpha) {
+    ++evaluations;
+    return alpha;  // identity: target found quickly
+  };
+  CalibrationConfig cfg;
+  cfg.tolerance = 0.5;
+  const CalibrationResult result =
+      CalibrateAlpha(qoe, 5.0, 0.0, 10.0, cfg);
+  EXPECT_LE(result.iterations, 3u);
+  EXPECT_EQ(evaluations, static_cast<int>(result.iterations));
+  EXPECT_NEAR(result.achieved_qoe, 5.0, 0.5);
+}
+
+TEST(CalibrateAlpha, RespectsIterationBudget) {
+  int evaluations = 0;
+  auto qoe = [&](double) {
+    ++evaluations;
+    return 0.0;  // never reaches target
+  };
+  CalibrationConfig cfg;
+  cfg.max_iterations = 6;
+  const CalibrationResult result =
+      CalibrateAlpha(qoe, 100.0, 0.0, 1.0, cfg);
+  EXPECT_EQ(result.iterations, 6u);
+  EXPECT_EQ(evaluations, 6);
+}
+
+TEST(CalibrateAlpha, ReturnsBestEverSeenNotLast) {
+  // Non-monotone spike AT the first bisection midpoint (alpha = 4): the
+  // first evaluation is the best ever seen; every later iterate is worse.
+  // The result must report the spike, not the final midpoint.
+  auto qoe = [](double alpha) {
+    return std::abs(alpha - 4.0) < 0.1 ? 40.0 : 0.0;
+  };
+  const CalibrationResult result = CalibrateAlpha(qoe, 35.0, 0.0, 8.0);
+  EXPECT_NEAR(result.achieved_qoe, 40.0, 1e-9);
+  EXPECT_NEAR(result.alpha, 4.0, 1e-9);
+}
+
+TEST(CalibrateAlpha, ValidatesArguments) {
+  auto qoe = [](double) { return 0.0; };
+  EXPECT_THROW(CalibrateAlpha(qoe, 0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(CalibrateAlpha(qoe, 0.0, -1.0, 1.0),
+               std::invalid_argument);
+  CalibrationConfig cfg;
+  cfg.max_iterations = 0;
+  EXPECT_THROW(CalibrateAlpha(qoe, 0.0, 0.0, 1.0, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace osap::core

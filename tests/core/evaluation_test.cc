@@ -1,0 +1,79 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "policies/buffer_based.h"
+#include "policies/random_policy.h"
+
+namespace osap::core {
+namespace {
+
+std::vector<traces::Trace> FlatTraces(std::initializer_list<double> rates) {
+  std::vector<traces::Trace> traces;
+  int i = 0;
+  for (double r : rates) {
+    traces.emplace_back("t" + std::to_string(i++), 1.0,
+                        std::vector<double>(2000, r));
+  }
+  return traces;
+}
+
+TEST(EvaluatePolicy, OneQoePerTrace) {
+  abr::AbrEnvironment env(abr::MakeEnvivioLikeVideo(1), {});
+  policies::BufferBasedPolicy bb(env.video(), env.layout());
+  const auto traces = FlatTraces({1.0, 3.0, 8.0});
+  const EvalResult result = EvaluatePolicy(bb, env, traces);
+  ASSERT_EQ(result.per_trace_qoe.size(), 3u);
+  // More throughput, better QoE for BB.
+  EXPECT_LT(result.per_trace_qoe[0], result.per_trace_qoe[1]);
+  EXPECT_LT(result.per_trace_qoe[1], result.per_trace_qoe[2]);
+}
+
+TEST(EvaluatePolicy, MeanAndSummaryAgree) {
+  abr::AbrEnvironment env(abr::MakeEnvivioLikeVideo(1), {});
+  policies::BufferBasedPolicy bb(env.video(), env.layout());
+  const auto traces = FlatTraces({2.0, 4.0});
+  const EvalResult result = EvaluatePolicy(bb, env, traces);
+  const Summary s = result.Summarize();
+  EXPECT_DOUBLE_EQ(result.MeanQoe(), s.mean);
+  EXPECT_EQ(s.count, 2u);
+}
+
+TEST(EvaluatePolicy, DeterministicForDeterministicPolicy) {
+  abr::AbrEnvironment env(abr::MakeEnvivioLikeVideo(1), {});
+  policies::BufferBasedPolicy bb(env.video(), env.layout());
+  const auto traces = FlatTraces({2.5});
+  const EvalResult a = EvaluatePolicy(bb, env, traces);
+  const EvalResult b = EvaluatePolicy(bb, env, traces);
+  EXPECT_EQ(a.per_trace_qoe, b.per_trace_qoe);
+}
+
+TEST(EvaluatePolicy, ResetsStochasticPolicyPerSession) {
+  // A random policy is Reset per trace but its RNG stream continues; the
+  // harness itself must remain usable for stochastic baselines.
+  abr::AbrEnvironment env(abr::MakeEnvivioLikeVideo(1), {});
+  policies::RandomPolicy random(env.ActionCount(), 3);
+  const auto traces = FlatTraces({3.0, 3.0, 3.0});
+  const EvalResult result = EvaluatePolicy(random, env, traces);
+  EXPECT_EQ(result.per_trace_qoe.size(), 3u);
+}
+
+TEST(EvaluatePolicy, RejectsEmptyTraceSet) {
+  abr::AbrEnvironment env(abr::MakeEnvivioLikeVideo(1), {});
+  policies::BufferBasedPolicy bb(env.video(), env.layout());
+  EXPECT_THROW(EvaluatePolicy(bb, env, {}), std::invalid_argument);
+}
+
+TEST(EvaluatePolicy, BufferBasedBeatsRandomOnModerateLinks) {
+  // The anchor property of the paper's normalized scale.
+  abr::AbrEnvironment env(abr::MakeEnvivioLikeVideo(1), {});
+  policies::BufferBasedPolicy bb(env.video(), env.layout());
+  policies::RandomPolicy random(env.ActionCount(), 5);
+  const auto traces = FlatTraces({1.5, 3.0});
+  const double bb_qoe = EvaluatePolicy(bb, env, traces).MeanQoe();
+  const double random_qoe = EvaluatePolicy(random, env, traces).MeanQoe();
+  EXPECT_GT(bb_qoe, random_qoe);
+}
+
+}  // namespace
+}  // namespace osap::core

@@ -1,0 +1,60 @@
+#include "core/normalization.h"
+
+#include <gtest/gtest.h>
+
+namespace osap::core {
+namespace {
+
+TEST(NormalizedScore, AnchorsMatchPaperConvention) {
+  // 0 = Random, 1 = BB (Section 3.3).
+  EXPECT_DOUBLE_EQ(NormalizedScore(10.0, 10.0, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedScore(50.0, 10.0, 50.0), 1.0);
+}
+
+TEST(NormalizedScore, LinearInBetweenAndBeyond) {
+  EXPECT_DOUBLE_EQ(NormalizedScore(30.0, 10.0, 50.0), 0.5);
+  EXPECT_DOUBLE_EQ(NormalizedScore(90.0, 10.0, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(NormalizedScore(-30.0, 10.0, 50.0), -1.0);
+}
+
+TEST(NormalizedScore, WorksWithNegativeQoes) {
+  // Random can be deeply negative (Figure 2).
+  EXPECT_DOUBLE_EQ(NormalizedScore(-658.0, -658.0, 47.0), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedScore(47.0, -658.0, 47.0), 1.0);
+  EXPECT_LT(NormalizedScore(-2000.0, -658.0, 47.0), 0.0);
+}
+
+TEST(NormalizedScore, DegenerateDenominatorReturnsZero) {
+  EXPECT_DOUBLE_EQ(NormalizedScore(5.0, 10.0, 10.0), 0.0);
+}
+
+TEST(LogLinearAxis, IdentityInsideUnitInterval) {
+  EXPECT_DOUBLE_EQ(LogLinearAxis(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(LogLinearAxis(0.7), 0.7);
+  EXPECT_DOUBLE_EQ(LogLinearAxis(-1.0), -1.0);
+  EXPECT_DOUBLE_EQ(LogLinearAxis(1.0), 1.0);
+}
+
+TEST(LogLinearAxis, LogOutside) {
+  EXPECT_DOUBLE_EQ(LogLinearAxis(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(LogLinearAxis(100.0), 3.0);
+  EXPECT_DOUBLE_EQ(LogLinearAxis(-10.0), -2.0);
+  EXPECT_DOUBLE_EQ(LogLinearAxis(-100.0), -3.0);
+}
+
+TEST(LogLinearAxis, ContinuousAtTheBoundary) {
+  EXPECT_NEAR(LogLinearAxis(1.0 + 1e-9), 1.0, 1e-6);
+  EXPECT_NEAR(LogLinearAxis(-(1.0 + 1e-9)), -1.0, 1e-6);
+}
+
+TEST(LogLinearAxis, MonotoneAcrossTheWholeRange) {
+  double prev = LogLinearAxis(-1000.0);
+  for (double v : {-100.0, -5.0, -1.0, -0.5, 0.0, 0.5, 1.0, 5.0, 100.0}) {
+    const double cur = LogLinearAxis(v);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace osap::core

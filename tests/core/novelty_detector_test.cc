@@ -1,0 +1,219 @@
+#include "core/novelty_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "util/rng.h"
+
+namespace osap::core {
+namespace {
+
+NoveltyDetectorConfig SmallConfig() {
+  NoveltyDetectorConfig cfg;
+  cfg.throughput_window = 4;
+  cfg.k = 3;
+  return cfg;
+}
+
+/// Synthetic per-chunk throughput sequence ~ N(mean, sd), clamped > 0.
+std::vector<double> ThroughputSequence(double mean, double sd,
+                                       std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> seq;
+  seq.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seq.push_back(std::max(0.05, rng.Normal(mean, sd)));
+  }
+  return seq;
+}
+
+TEST(NoveltyFeatureExtractor, WarmupProducesNoFeatures) {
+  NoveltyFeatureExtractor extractor(SmallConfig());
+  // window 4, k 3: first feature after 4 + 3 - 1 = 6 pushes.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(extractor.Push(2.0).has_value()) << "push " << i;
+  }
+  EXPECT_TRUE(extractor.Push(2.0).has_value());
+}
+
+TEST(NoveltyFeatureExtractor, FeatureLayoutIsKMeanStdPairs) {
+  NoveltyFeatureExtractor extractor(SmallConfig());
+  std::optional<std::vector<double>> feature;
+  // Constant input: every mean = 3, every std = 0.
+  for (int i = 0; i < 10; ++i) feature = extractor.Push(3.0);
+  ASSERT_TRUE(feature.has_value());
+  ASSERT_EQ(feature->size(), 6u);  // 3 pairs
+  for (std::size_t i = 0; i < 6; i += 2) {
+    EXPECT_NEAR((*feature)[i], 3.0, 1e-12);      // mean
+    EXPECT_NEAR((*feature)[i + 1], 0.0, 1e-12);  // std
+  }
+}
+
+TEST(NoveltyFeatureExtractor, ResetRestartsWarmup) {
+  NoveltyFeatureExtractor extractor(SmallConfig());
+  for (int i = 0; i < 10; ++i) extractor.Push(1.0);
+  extractor.Reset();
+  EXPECT_FALSE(extractor.Push(1.0).has_value());
+}
+
+TEST(NoveltyDetector, ExtractFeaturesCountsMatchWindowAndK) {
+  const auto cfg = SmallConfig();
+  const auto seq = ThroughputSequence(3.0, 0.5, 20, 1);
+  const auto features = NoveltyDetector::ExtractFeatures(seq, cfg);
+  // First feature at index window+k-2 = 5 -> 20 - 6 + 1 = 15 features.
+  EXPECT_EQ(features.size(), 15u);
+  for (const auto& f : features) EXPECT_EQ(f.size(), 2u * cfg.k);
+}
+
+TEST(NoveltyDetector, FlagsShiftedDistributionAsOod) {
+  const auto cfg = SmallConfig();
+  abr::AbrStateLayout layout;
+  NoveltyDetector detector(cfg, layout);
+  // Train on ~3 Mbps sessions.
+  std::vector<std::vector<double>> train_features;
+  for (int s = 0; s < 20; ++s) {
+    const auto session = ThroughputSequence(3.0, 0.4, 60, 100 + s);
+    for (auto& f : NoveltyDetector::ExtractFeatures(session, cfg)) {
+      train_features.push_back(std::move(f));
+    }
+  }
+  detector.Fit(train_features);
+
+  // In-distribution test features are mostly inliers.
+  const auto in_features = NoveltyDetector::ExtractFeatures(
+      ThroughputSequence(3.0, 0.4, 200, 999), cfg);
+  std::size_t in_flagged = 0;
+  for (const auto& f : in_features) {
+    if (!detector.model().IsInlier(f)) ++in_flagged;
+  }
+  EXPECT_LT(static_cast<double>(in_flagged) / in_features.size(), 0.25);
+
+  // A throughput collapse is flagged.
+  const auto ood_features = NoveltyDetector::ExtractFeatures(
+      ThroughputSequence(0.3, 0.05, 200, 998), cfg);
+  std::size_t ood_flagged = 0;
+  for (const auto& f : ood_features) {
+    if (!detector.model().IsInlier(f)) ++ood_flagged;
+  }
+  EXPECT_GT(static_cast<double>(ood_flagged) / ood_features.size(), 0.9);
+}
+
+TEST(NoveltyDetector, ScoreReadsThroughputFromState) {
+  const auto cfg = SmallConfig();
+  abr::AbrStateLayout layout;
+  NoveltyDetector detector(cfg, layout);
+  std::vector<std::vector<double>> train_features;
+  for (int s = 0; s < 10; ++s) {
+    for (auto& f : NoveltyDetector::ExtractFeatures(
+             ThroughputSequence(3.0, 0.3, 60, 200 + s), cfg)) {
+      train_features.push_back(std::move(f));
+    }
+  }
+  detector.Fit(train_features);
+
+  auto state_with_throughput = [&](double mbps) {
+    mdp::State s(layout.Size(), 0.0);
+    s[layout.ThroughputBegin() + layout.history - 1] =
+        mbps / abr::AbrStateLayout::kThroughputNormMbps;
+    return s;
+  };
+  // In-distribution observations must be noisy like the training data:
+  // a perfectly constant feed has zero window-stddev, which itself is an
+  // outlier with respect to N(3, 0.3) windows.
+  Rng rng(7);
+  auto in_dist = [&] { return std::max(0.05, rng.Normal(3.0, 0.3)); };
+
+  // Warm-up: scores 0 and not ready.
+  detector.Reset();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(detector.Score(state_with_throughput(in_dist())), 0.0);
+  }
+  EXPECT_FALSE(detector.Ready());
+  // Feed enough in-distribution samples: ready, score 0.
+  for (int i = 0; i < 10; ++i) {
+    detector.Score(state_with_throughput(in_dist()));
+  }
+  EXPECT_TRUE(detector.Ready());
+  EXPECT_DOUBLE_EQ(detector.Score(state_with_throughput(in_dist())), 0.0);
+  // Sustained collapse flips the score to 1.
+  double last = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    last = detector.Score(state_with_throughput(0.1));
+  }
+  EXPECT_DOUBLE_EQ(last, 1.0);
+}
+
+TEST(NoveltyDetector, ZeroThroughputWarmupIsIgnored) {
+  const auto cfg = SmallConfig();
+  abr::AbrStateLayout layout;
+  NoveltyDetector detector(cfg, layout);
+  std::vector<std::vector<double>> features;
+  for (auto& f : NoveltyDetector::ExtractFeatures(
+           ThroughputSequence(3.0, 0.3, 100, 1), cfg)) {
+    features.push_back(std::move(f));
+  }
+  detector.Fit(features);
+  // Initial states (no download yet) must not poison the window.
+  const mdp::State zero_state(layout.Size(), 0.0);
+  EXPECT_DOUBLE_EQ(detector.Score(zero_state), 0.0);
+  EXPECT_FALSE(detector.Ready());
+}
+
+TEST(NoveltyDetector, ScoreBeforeFitThrows) {
+  NoveltyDetector detector(SmallConfig(), abr::AbrStateLayout{});
+  EXPECT_THROW(detector.Score(mdp::State(abr::AbrStateLayout{}.Size(), 0.0)),
+               std::invalid_argument);
+}
+
+TEST(NoveltyDetector, FitRejectsEmptyFeatures) {
+  NoveltyDetector detector(SmallConfig(), abr::AbrStateLayout{});
+  EXPECT_THROW(detector.Fit({}), std::invalid_argument);
+}
+
+TEST(NoveltyDetector, SaveLoadRoundTrip) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "osap_nd_test";
+  std::filesystem::create_directories(dir);
+  const auto cfg = SmallConfig();
+  abr::AbrStateLayout layout;
+  NoveltyDetector detector(cfg, layout);
+  std::vector<std::vector<double>> features;
+  for (auto& f : NoveltyDetector::ExtractFeatures(
+           ThroughputSequence(2.0, 0.3, 120, 7), cfg)) {
+    features.push_back(std::move(f));
+  }
+  detector.Fit(features);
+  detector.Save(dir / "nd.bin");
+
+  NoveltyDetector loaded(cfg, layout);
+  loaded.LoadModel(dir / "nd.bin");
+  for (const auto& f : features) {
+    EXPECT_EQ(detector.model().IsInlier(f), loaded.model().IsInlier(f));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NoveltyDetector, CopyIsIndependentButSharesModel) {
+  const auto cfg = SmallConfig();
+  abr::AbrStateLayout layout;
+  NoveltyDetector original(cfg, layout);
+  std::vector<std::vector<double>> features;
+  for (auto& f : NoveltyDetector::ExtractFeatures(
+           ThroughputSequence(2.0, 0.3, 120, 8), cfg)) {
+    features.push_back(std::move(f));
+  }
+  original.Fit(features);
+
+  NoveltyDetector copy = original;  // fresh window, same fitted model
+  copy.Reset();
+  mdp::State s(layout.Size(), 0.0);
+  s[layout.ThroughputBegin() + layout.history - 1] = 0.2;
+  // Feeding the copy must not advance the original's window.
+  for (int i = 0; i < 3; ++i) copy.Score(s);
+  EXPECT_FALSE(original.Ready());
+}
+
+}  // namespace
+}  // namespace osap::core

@@ -1,0 +1,120 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/safe_agent.h"
+#include "policies/buffer_based.h"
+#include "util/csv.h"
+
+namespace osap::core {
+namespace {
+
+traces::Trace FlatTrace(double mbps) {
+  return traces::Trace("flat", 1.0, std::vector<double>(2000, mbps));
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest()
+      : env_(abr::MakeEnvivioLikeVideo(1), {}),
+        bb_(std::make_shared<policies::BufferBasedPolicy>(env_.video(),
+                                                          env_.layout())) {}
+  abr::AbrEnvironment env_;
+  std::shared_ptr<policies::BufferBasedPolicy> bb_;
+};
+
+TEST_F(SessionTest, RecordsEveryChunk) {
+  const traces::Trace trace = FlatTrace(3.0);
+  const SessionTrace session = StreamSession(env_, *bb_, trace);
+  EXPECT_EQ(session.chunks.size(), env_.video().ChunkCount());
+  for (std::size_t i = 0; i < session.chunks.size(); ++i) {
+    EXPECT_EQ(session.chunks[i].chunk, i);
+    EXPECT_GT(session.chunks[i].bitrate_kbps, 0.0);
+    EXPECT_GT(session.chunks[i].download_seconds, 0.0);
+    EXPECT_GT(session.chunks[i].throughput_mbps, 0.0);
+  }
+}
+
+TEST_F(SessionTest, TotalQoeMatchesEnvironmentAccumulator) {
+  const traces::Trace trace = FlatTrace(2.0);
+  const SessionTrace session = StreamSession(env_, *bb_, trace);
+  EXPECT_NEAR(session.TotalQoe(), env_.Qoe().Total(), 1e-9);
+}
+
+TEST_F(SessionTest, AggregatesMatchChunkRecords) {
+  const traces::Trace trace = FlatTrace(1.5);
+  const SessionTrace session = StreamSession(env_, *bb_, trace);
+  double rebuffer = 0.0;
+  std::size_t switches = 0;
+  for (std::size_t i = 0; i < session.chunks.size(); ++i) {
+    rebuffer += session.chunks[i].rebuffer_seconds;
+    if (i > 0 &&
+        session.chunks[i].action != session.chunks[i - 1].action) {
+      ++switches;
+    }
+  }
+  EXPECT_NEAR(session.TotalRebufferSeconds(), rebuffer, 1e-12);
+  EXPECT_EQ(session.SwitchCount(), switches);
+}
+
+TEST_F(SessionTest, PlainPolicyNeverDefaults) {
+  const traces::Trace trace = FlatTrace(3.0);
+  const SessionTrace session = StreamSession(env_, *bb_, trace);
+  EXPECT_EQ(session.FirstDefaultedChunk(), session.chunks.size());
+  EXPECT_DOUBLE_EQ(session.DefaultedFraction(), 0.0);
+}
+
+/// Estimator firing from a fixed step onward.
+class StepEstimator final : public UncertaintyEstimator {
+ public:
+  explicit StepEstimator(std::size_t fire_at) : fire_at_(fire_at) {}
+  void Reset() override { step_ = 0; }
+  double Score(const mdp::State&) override {
+    return step_++ >= fire_at_ ? 1.0 : 0.0;
+  }
+  bool Ready() const override { return true; }
+  std::string Name() const override { return "step"; }
+
+ private:
+  std::size_t fire_at_;
+  std::size_t step_ = 0;
+};
+
+TEST_F(SessionTest, SafeAgentDefaultingIsVisibleInTheTrace) {
+  SafeAgentConfig cfg;
+  cfg.trigger.mode = TriggerMode::kBinary;
+  cfg.trigger.l = 2;
+  SafeAgent agent(bb_, bb_, std::make_shared<StepEstimator>(10), cfg);
+  const traces::Trace trace = FlatTrace(3.0);
+  const SessionTrace session = StreamSession(env_, agent, trace);
+  // Fires after scores at steps 10,11 -> defaulted from chunk 11 onward.
+  EXPECT_EQ(session.FirstDefaultedChunk(), 11u);
+  EXPECT_GT(session.DefaultedFraction(), 0.5);
+}
+
+TEST_F(SessionTest, CsvExportRoundTripsRowCount) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "osap_session_test";
+  std::filesystem::create_directories(dir);
+  const traces::Trace trace = FlatTrace(3.0);
+  const SessionTrace session = StreamSession(env_, *bb_, trace);
+  const auto path = dir / "session.csv";
+  WriteSessionCsv(session, path);
+  const auto rows = ReadCsv(path);
+  EXPECT_EQ(rows.size(), session.chunks.size() + 1);  // header + chunks
+  EXPECT_EQ(rows[0].size(), 9u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SessionTest, EmptySessionTraceIsWellDefined) {
+  SessionTrace empty;
+  EXPECT_DOUBLE_EQ(empty.TotalQoe(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.DefaultedFraction(), 0.0);
+  EXPECT_EQ(empty.SwitchCount(), 0u);
+  EXPECT_EQ(empty.FirstDefaultedChunk(), 0u);
+}
+
+}  // namespace
+}  // namespace osap::core

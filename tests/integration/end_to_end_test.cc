@@ -1,0 +1,134 @@
+// End-to-end behavioural tests: the paper's qualitative claims on a
+// fast-config workbench. These use more training than the unit tests so
+// the learned policy is meaningful, but far less than the full benches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/workbench.h"
+
+namespace osap::core {
+namespace {
+
+using traces::DatasetId;
+
+/// Shared across tests in this file (training is the expensive part).
+Workbench& SharedBench() {
+  static Workbench* bench = [] {
+    WorkbenchConfig cfg = FastWorkbenchConfig();
+    // Enough training for a meaningful in-distribution policy.
+    cfg.a2c.episodes = 250;
+    cfg.dataset.trace_count = 16;
+    return new Workbench(cfg);
+  }();
+  return *bench;
+}
+
+TEST(EndToEnd, SafeAgentStreamsWholeSessions) {
+  Workbench& bench = SharedBench();
+  const EvalResult& result = bench.Evaluate(
+      Scheme::kNoveltyDetection, DatasetId::kGamma22, DatasetId::kGamma22);
+  EXPECT_EQ(result.per_trace_qoe.size(),
+            bench.DatasetFor(DatasetId::kGamma22).test.size());
+}
+
+TEST(EndToEnd, SafetySchemesBoundTheOodCatastrophe) {
+  // Trained on Gamma(2,2), tested on Exponential(1) - the distribution
+  // pair where vanilla Pensieve collapses hardest in the pilot runs. All
+  // three safety-enhanced variants must beat vanilla Pensieve.
+  Workbench& bench = SharedBench();
+  const double vanilla =
+      bench.Evaluate(Scheme::kPensieve, DatasetId::kGamma22,
+                     DatasetId::kExponential)
+          .MeanQoe();
+  for (Scheme scheme : SafetySchemes()) {
+    const double safe =
+        bench.Evaluate(scheme, DatasetId::kGamma22, DatasetId::kExponential)
+            .MeanQoe();
+    EXPECT_GT(safe, vanilla) << SchemeName(scheme);
+  }
+}
+
+TEST(EndToEnd, NdSchemeTracksBbWhenOod) {
+  // When ND correctly detects the shift it defaults to BB; its OOD QoE
+  // must land in BB's neighbourhood, far above vanilla Pensieve's.
+  Workbench& bench = SharedBench();
+  const double nd =
+      bench.Evaluate(Scheme::kNoveltyDetection, DatasetId::kGamma22,
+                     DatasetId::kExponential)
+          .MeanQoe();
+  const double bb = bench.Evaluate(Scheme::kBufferBased,
+                                   DatasetId::kExponential,
+                                   DatasetId::kExponential)
+                        .MeanQoe();
+  const double vanilla =
+      bench.Evaluate(Scheme::kPensieve, DatasetId::kGamma22,
+                     DatasetId::kExponential)
+          .MeanQoe();
+  EXPECT_GT(nd, vanilla);
+  // Within the BB-vanilla gap, ND must recover most of the distance. The
+  // fast config streams only 48 chunks, so the detector warm-up
+  // (window + k + l ~ 13 chunks of crashing Pensieve) caps the recovery
+  // well below the paper's 240-chunk setting - 70% is the conservative
+  // bound here.
+  EXPECT_GT(nd, vanilla + 0.7 * (bb - vanilla));
+}
+
+TEST(EndToEnd, InDistributionSafetyStaysInTheHealthyBand) {
+  // In-distribution, the safety-enhanced variants must remain clearly
+  // above Random, in BB's neighbourhood. (The paper's full ordering
+  // Pensieve > safety > BB requires the fully-trained agent; the fast
+  // config's 250-episode Pensieve is weaker than BB in-distribution, so
+  // here we assert the safety floor rather than the ceiling.)
+  Workbench& bench = SharedBench();
+  const double bb = bench.Evaluate(Scheme::kBufferBased,
+                                   DatasetId::kGamma22, DatasetId::kGamma22)
+                        .MeanQoe();
+  const double random =
+      bench.Evaluate(Scheme::kRandom, DatasetId::kGamma22,
+                     DatasetId::kGamma22)
+          .MeanQoe();
+  ASSERT_GT(bb, random);
+  for (Scheme scheme : SafetySchemes()) {
+    const double safe =
+        bench.Evaluate(scheme, DatasetId::kGamma22, DatasetId::kGamma22)
+            .MeanQoe();
+    EXPECT_GT(safe, random + 0.4 * (bb - random)) << SchemeName(scheme);
+  }
+}
+
+TEST(EndToEnd, CalibrationEqualizesInDistributionPerformance) {
+  // The calibrated ensemble schemes' in-distribution QoE must be close
+  // to the ND scheme's (the calibration target, Section 2.5).
+  Workbench& bench = SharedBench();
+  const TrainedBundle& bundle = bench.BundleFor(DatasetId::kGamma22);
+  const double nd_target = bundle.nd_in_dist_qoe;
+  abr::AbrEnvironment env = bench.MakeEvalEnvironment();
+  const auto& validation =
+      bench.DatasetFor(DatasetId::kGamma22).validation;
+
+  for (Scheme scheme : {Scheme::kAgentEnsemble, Scheme::kValueEnsemble}) {
+    auto policy = bench.MakePolicy(scheme, DatasetId::kGamma22);
+    const double qoe = EvaluatePolicy(*policy, env, validation).MeanQoe();
+    // Calibration tolerance plus evaluation noise.
+    EXPECT_NEAR(qoe, nd_target, 0.25 * std::abs(nd_target) + 20.0)
+        << SchemeName(scheme);
+  }
+}
+
+TEST(EndToEnd, NormalizedScoresAreFiniteEverywhere) {
+  Workbench& bench = SharedBench();
+  for (DatasetId test : {DatasetId::kGamma22, DatasetId::kExponential}) {
+    for (Scheme scheme :
+         {Scheme::kPensieve, Scheme::kNoveltyDetection,
+          Scheme::kAgentEnsemble, Scheme::kValueEnsemble}) {
+      const double score =
+          bench.NormalizedMean(scheme, DatasetId::kGamma22, test);
+      EXPECT_TRUE(std::isfinite(score))
+          << SchemeName(scheme) << " on " << traces::DatasetName(test);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace osap::core

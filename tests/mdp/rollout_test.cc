@@ -1,0 +1,56 @@
+#include "mdp/rollout.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/toy_env.h"
+
+namespace osap::mdp {
+namespace {
+
+TEST(Rollout, RunsUntilEnvironmentTerminates) {
+  testing::FlagBandit env(10);
+  testing::OraclePolicy policy;
+  const Trajectory t = Rollout(env, policy);
+  EXPECT_EQ(t.Length(), 10u);
+  EXPECT_DOUBLE_EQ(t.TotalReward(), 10.0);
+}
+
+TEST(Rollout, ConstantPolicyGetsHalfTheReward) {
+  testing::FlagBandit env(10);
+  testing::ConstantPolicy policy(0);
+  const Trajectory t = Rollout(env, policy);
+  EXPECT_DOUBLE_EQ(t.TotalReward(), 5.0);  // flag==0 on even steps
+}
+
+TEST(Rollout, MaxStepsCapsEpisode) {
+  testing::FlagBandit env(100);
+  testing::OraclePolicy policy;
+  const Trajectory t = Rollout(env, policy, 7);
+  EXPECT_EQ(t.Length(), 7u);
+}
+
+TEST(Rollout, RecordsStatesAndActionsInOrder) {
+  testing::FlagBandit env(4);
+  testing::OraclePolicy policy;
+  const Trajectory t = Rollout(env, policy);
+  ASSERT_EQ(t.Length(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    // State flag alternates 0,1,0,1; the oracle mirrors it.
+    EXPECT_EQ(t.transitions[i].action, static_cast<int>(i % 2));
+    EXPECT_DOUBLE_EQ(t.transitions[i].state[1],
+                     static_cast<double>(i % 2));
+    EXPECT_DOUBLE_EQ(t.transitions[i].reward, 1.0);
+  }
+}
+
+TEST(Rollout, ResetsEnvironmentEachCall) {
+  testing::FlagBandit env(5);
+  testing::OraclePolicy policy;
+  const Trajectory t1 = Rollout(env, policy);
+  const Trajectory t2 = Rollout(env, policy);
+  EXPECT_EQ(t1.Length(), t2.Length());
+  EXPECT_DOUBLE_EQ(t1.TotalReward(), t2.TotalReward());
+}
+
+}  // namespace
+}  // namespace osap::mdp

@@ -1,0 +1,77 @@
+#include "mdp/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace osap::mdp {
+namespace {
+
+TEST(Trajectory, TotalRewardSumsTransitions) {
+  Trajectory t;
+  t.transitions.push_back({{0.0}, 0, 1.0});
+  t.transitions.push_back({{0.0}, 1, -2.5});
+  t.transitions.push_back({{0.0}, 0, 4.0});
+  EXPECT_DOUBLE_EQ(t.TotalReward(), 2.5);
+  EXPECT_EQ(t.Length(), 3u);
+  EXPECT_FALSE(t.Empty());
+}
+
+TEST(Trajectory, EmptyTrajectory) {
+  Trajectory t;
+  EXPECT_DOUBLE_EQ(t.TotalReward(), 0.0);
+  EXPECT_TRUE(t.Empty());
+}
+
+TEST(DiscountedReturns, UndiscountedIsSuffixSum) {
+  const std::vector<double> rewards = {1.0, 2.0, 3.0};
+  const auto returns = DiscountedReturns(rewards, 1.0);
+  EXPECT_DOUBLE_EQ(returns[0], 6.0);
+  EXPECT_DOUBLE_EQ(returns[1], 5.0);
+  EXPECT_DOUBLE_EQ(returns[2], 3.0);
+}
+
+TEST(DiscountedReturns, GammaZeroIsImmediateReward) {
+  const std::vector<double> rewards = {1.0, 2.0, 3.0};
+  const auto returns = DiscountedReturns(rewards, 0.0);
+  EXPECT_DOUBLE_EQ(returns[0], 1.0);
+  EXPECT_DOUBLE_EQ(returns[1], 2.0);
+  EXPECT_DOUBLE_EQ(returns[2], 3.0);
+}
+
+TEST(DiscountedReturns, MatchesClosedFormGeometricSeries) {
+  // Constant reward 1 with gamma: G_0 = (1 - gamma^T) / (1 - gamma).
+  const double gamma = 0.9;
+  const std::vector<double> rewards(10, 1.0);
+  const auto returns = DiscountedReturns(rewards, gamma);
+  const double expected = (1.0 - std::pow(gamma, 10)) / (1.0 - gamma);
+  EXPECT_NEAR(returns[0], expected, 1e-12);
+}
+
+TEST(DiscountedReturns, BootstrapExtendsTheHorizon) {
+  const std::vector<double> rewards = {1.0};
+  const auto returns = DiscountedReturns(rewards, 0.5, 10.0);
+  EXPECT_DOUBLE_EQ(returns[0], 1.0 + 0.5 * 10.0);
+}
+
+TEST(DiscountedReturns, RecursiveConsistency) {
+  const std::vector<double> rewards = {0.3, -1.2, 2.0, 0.7};
+  const double gamma = 0.97;
+  const auto returns = DiscountedReturns(rewards, gamma);
+  for (std::size_t t = 0; t + 1 < rewards.size(); ++t) {
+    EXPECT_NEAR(returns[t], rewards[t] + gamma * returns[t + 1], 1e-12);
+  }
+}
+
+TEST(DiscountedReturns, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(DiscountedReturns(std::vector<double>{}, 0.9).empty());
+}
+
+TEST(DiscountedReturns, RejectsGammaOutOfRange) {
+  const std::vector<double> rewards = {1.0};
+  EXPECT_THROW(DiscountedReturns(rewards, 1.5), std::invalid_argument);
+  EXPECT_THROW(DiscountedReturns(rewards, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace osap::mdp

@@ -1,0 +1,155 @@
+#include "nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace osap::nn {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(2, 3);
+  for (double v : m.values()) EXPECT_EQ(v, 0.0);
+  EXPECT_EQ(m.size(), 6u);
+}
+
+TEST(Matrix, ConstructFromDataValidatesSize) {
+  EXPECT_NO_THROW(Matrix(2, 2, {1.0, 2.0, 3.0, 4.0}));
+  EXPECT_THROW(Matrix(2, 2, {1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, RowVectorHasOneRow) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  const Matrix m = Matrix::RowVector(v);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 3.0);
+}
+
+TEST(Matrix, AtIsRowMajor) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 6.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.At(2, 0), std::logic_error);
+  EXPECT_THROW(m.At(0, 2), std::logic_error);
+}
+
+TEST(Matrix, MatMulKnownProduct) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = a.MatMul(b);
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(Matrix, MatMulIdentity) {
+  const Matrix a(2, 2, {1, 2, 3, 4});
+  const Matrix eye(2, 2, {1, 0, 0, 1});
+  const Matrix c = a.MatMul(eye);
+  EXPECT_EQ(c.values(), a.values());
+}
+
+TEST(Matrix, MatMulRejectsDimensionMismatch) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a.MatMul(b), std::invalid_argument);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 3.0);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a(1, 3, {1, 2, 3});
+  const Matrix b(1, 3, {4, 5, 6});
+  a.AddInPlace(b);
+  EXPECT_EQ(a.values(), (std::vector<double>{5, 7, 9}));
+  a.SubInPlace(b);
+  EXPECT_EQ(a.values(), (std::vector<double>{1, 2, 3}));
+  a.MulInPlace(b);
+  EXPECT_EQ(a.values(), (std::vector<double>{4, 10, 18}));
+  a.Scale(0.5);
+  EXPECT_EQ(a.values(), (std::vector<double>{2, 5, 9}));
+}
+
+TEST(Matrix, ElementwiseOpsRejectShapeMismatch) {
+  Matrix a(1, 3);
+  const Matrix b(3, 1);
+  EXPECT_THROW(a.AddInPlace(b), std::invalid_argument);
+}
+
+TEST(Matrix, AddRowBroadcast) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  const Matrix bias(1, 2, {10, 20});
+  a.AddRowBroadcast(bias);
+  EXPECT_EQ(a.values(), (std::vector<double>{11, 22, 13, 24}));
+}
+
+TEST(Matrix, AddRowBroadcastRejectsNonRow) {
+  Matrix a(2, 2);
+  EXPECT_THROW(a.AddRowBroadcast(Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Matrix, SumRows) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix s = a.SumRows();
+  EXPECT_EQ(s.rows(), 1u);
+  EXPECT_EQ(s.values(), (std::vector<double>{5, 7, 9}));
+}
+
+TEST(Matrix, SquaredNorm) {
+  const Matrix a(1, 3, {1, 2, 2});
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 9.0);
+}
+
+TEST(Matrix, ConcatCols) {
+  const std::vector<Matrix> parts = {Matrix(2, 1, {1, 3}),
+                                     Matrix(2, 2, {4, 5, 6, 7})};
+  const Matrix c = Matrix::ConcatCols(parts);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_EQ(c.values(), (std::vector<double>{1, 4, 5, 3, 6, 7}));
+}
+
+TEST(Matrix, ConcatColsRejectsRowMismatch) {
+  const std::vector<Matrix> parts = {Matrix(2, 1), Matrix(3, 1)};
+  EXPECT_THROW(Matrix::ConcatCols(parts), std::invalid_argument);
+}
+
+TEST(Matrix, SliceCols) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix s = a.SliceCols(1, 2);
+  EXPECT_EQ(s.values(), (std::vector<double>{2, 3, 5, 6}));
+  EXPECT_THROW(a.SliceCols(2, 2), std::invalid_argument);
+}
+
+TEST(Matrix, SliceThenConcatRoundTrips) {
+  const Matrix a(3, 4, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12});
+  const std::vector<Matrix> parts = {a.SliceCols(0, 2), a.SliceCols(2, 2)};
+  EXPECT_EQ(Matrix::ConcatCols(parts).values(), a.values());
+}
+
+}  // namespace
+}  // namespace osap::nn

@@ -1,0 +1,118 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/losses.h"
+#include "nn/sequential.h"
+
+namespace osap::nn {
+namespace {
+
+TEST(Adam, MinimizesAQuadratic) {
+  // f(w) = 0.5 * (w - 3)^2; gradient w - 3.
+  Param w(Matrix(1, 1, {0.0}));
+  AdamConfig cfg;
+  cfg.learning_rate = 0.1;
+  cfg.clip_norm = 0.0;
+  Adam adam({&w}, cfg);
+  for (int i = 0; i < 500; ++i) {
+    w.grad.At(0, 0) = w.value.At(0, 0) - 3.0;
+    adam.Step();
+  }
+  EXPECT_NEAR(w.value.At(0, 0), 3.0, 1e-3);
+}
+
+TEST(Adam, StepZeroesGradients) {
+  Param w(Matrix(1, 1, {0.0}));
+  Adam adam({&w});
+  w.grad.At(0, 0) = 1.0;
+  adam.Step();
+  EXPECT_EQ(w.grad.At(0, 0), 0.0);
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // Adam's bias-corrected first step has magnitude ~lr regardless of
+  // gradient scale.
+  Param w(Matrix(1, 1, {0.0}));
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;
+  cfg.clip_norm = 0.0;
+  Adam adam({&w}, cfg);
+  w.grad.At(0, 0) = 1234.5;
+  adam.Step();
+  EXPECT_NEAR(w.value.At(0, 0), -0.01, 1e-6);
+}
+
+TEST(Adam, ClippingPreservesDirectionAndStepScale) {
+  // Adam is per-coordinate scale invariant, so global-norm clipping must
+  // not change the first-step magnitude (~lr) or flip any signs - it only
+  // protects the moment estimates from overflow on pathological gradients.
+  Param a(Matrix(1, 1, {0.0}));
+  Param b(Matrix(1, 1, {0.0}));
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;
+  cfg.clip_norm = 1.0;
+  Adam adam({&a, &b}, cfg);
+  a.grad.At(0, 0) = 3e8;
+  b.grad.At(0, 0) = -4e8;
+  adam.Step();
+  EXPECT_NEAR(a.value.At(0, 0), -0.01, 1e-4);
+  EXPECT_NEAR(b.value.At(0, 0), 0.01, 1e-4);
+}
+
+TEST(Adam, FitsLinearRegression) {
+  Rng rng(21);
+  Sequential mlp = MakeMlp(2, {}, 1, rng);  // pure linear model
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;  // Adam steps are ~lr; 2000 steps must span ~2
+  Adam adam(mlp.Params(), cfg);
+  // Ground truth: y = 2 x0 - x1 + 0.5.
+  for (int step = 0; step < 2000; ++step) {
+    Matrix x(16, 2);
+    Matrix y(16, 1);
+    for (std::size_t i = 0; i < 16; ++i) {
+      x.At(i, 0) = rng.Uniform(-1, 1);
+      x.At(i, 1) = rng.Uniform(-1, 1);
+      y.At(i, 0) = 2.0 * x.At(i, 0) - x.At(i, 1) + 0.5;
+    }
+    const auto loss = MseLoss(mlp.Forward(x), y);
+    mlp.Backward(loss.grad);
+    adam.Step();
+  }
+  // Verify learned function on fresh points.
+  Matrix xt(1, 2, {0.3, -0.7});
+  EXPECT_NEAR(mlp.Forward(xt).At(0, 0), 2.0 * 0.3 + 0.7 + 0.5, 0.02);
+}
+
+TEST(Adam, RejectsEmptyParamsAndBadLr) {
+  EXPECT_THROW(Adam({}, {}), std::invalid_argument);
+  Param w(Matrix(1, 1));
+  AdamConfig cfg;
+  cfg.learning_rate = 0.0;
+  EXPECT_THROW(Adam({&w}, cfg), std::invalid_argument);
+}
+
+TEST(Sgd, DescendsAQuadratic) {
+  Param w(Matrix(1, 1, {10.0}));
+  Sgd sgd({&w}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    w.grad.At(0, 0) = w.value.At(0, 0) - 3.0;
+    sgd.Step();
+  }
+  EXPECT_NEAR(w.value.At(0, 0), 3.0, 1e-6);
+}
+
+TEST(Sgd, StepIsExactlyLrTimesGrad) {
+  Param w(Matrix(1, 2, {1.0, 2.0}));
+  Sgd sgd({&w}, 0.5);
+  w.grad = Matrix(1, 2, {2.0, -4.0});
+  sgd.Step();
+  EXPECT_DOUBLE_EQ(w.value.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value.At(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(w.grad.At(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace osap::nn

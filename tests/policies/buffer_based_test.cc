@@ -1,0 +1,114 @@
+#include "policies/buffer_based.h"
+
+#include <gtest/gtest.h>
+
+#include "abr/abr_environment.h"
+
+namespace osap::policies {
+namespace {
+
+class BufferBasedTest : public ::testing::Test {
+ protected:
+  BufferBasedTest()
+      : video_(abr::MakeEnvivioLikeVideo(1)),
+        policy_(video_, layout_, {}) {}
+
+  abr::AbrStateLayout layout_;
+  abr::VideoSpec video_;
+  BufferBasedPolicy policy_;
+
+  mdp::State StateWithBuffer(double buffer_seconds) const {
+    mdp::State s(layout_.Size(), 0.0);
+    s[layout_.BufferIndex()] =
+        buffer_seconds / abr::AbrStateLayout::kBufferNormSeconds;
+    return s;
+  }
+};
+
+TEST_F(BufferBasedTest, BelowReservoirPicksLowest) {
+  EXPECT_EQ(policy_.LevelForBuffer(0.0), 0u);
+  EXPECT_EQ(policy_.LevelForBuffer(4.99), 0u);
+}
+
+TEST_F(BufferBasedTest, AboveCushionPicksHighest) {
+  EXPECT_EQ(policy_.LevelForBuffer(15.0), 5u);
+  EXPECT_EQ(policy_.LevelForBuffer(60.0), 5u);
+}
+
+TEST_F(BufferBasedTest, LinearInterpolationInsideCushion) {
+  // reservoir 5, cushion 10: fraction = (b-5)/10 mapped over 5 levels.
+  EXPECT_EQ(policy_.LevelForBuffer(5.0), 0u);
+  EXPECT_EQ(policy_.LevelForBuffer(7.0), 1u);
+  EXPECT_EQ(policy_.LevelForBuffer(9.0), 2u);
+  EXPECT_EQ(policy_.LevelForBuffer(11.0), 3u);
+  EXPECT_EQ(policy_.LevelForBuffer(13.0), 4u);
+  EXPECT_EQ(policy_.LevelForBuffer(14.99), 4u);
+}
+
+TEST_F(BufferBasedTest, MonotoneInBuffer) {
+  std::size_t prev = 0;
+  for (double b = 0.0; b <= 20.0; b += 0.25) {
+    const std::size_t level = policy_.LevelForBuffer(b);
+    EXPECT_GE(level, prev);
+    prev = level;
+  }
+}
+
+TEST_F(BufferBasedTest, ReadsBufferFromState) {
+  EXPECT_EQ(policy_.SelectAction(StateWithBuffer(2.0)), 0);
+  EXPECT_EQ(policy_.SelectAction(StateWithBuffer(16.0)), 5);
+  EXPECT_EQ(policy_.SelectAction(StateWithBuffer(9.0)), 2);
+}
+
+TEST_F(BufferBasedTest, IgnoresThroughputFields) {
+  mdp::State s = StateWithBuffer(9.0);
+  s[layout_.ThroughputBegin()] = 5.0;  // garbage in other fields
+  s[layout_.LastBitrateIndex()] = 1.0;
+  EXPECT_EQ(policy_.SelectAction(s), 2);
+}
+
+TEST_F(BufferBasedTest, CustomReservoirCushion) {
+  BufferBasedConfig cfg;
+  cfg.reservoir_seconds = 10.0;
+  cfg.cushion_seconds = 20.0;
+  BufferBasedPolicy policy(video_, layout_, cfg);
+  EXPECT_EQ(policy.LevelForBuffer(9.0), 0u);
+  EXPECT_EQ(policy.LevelForBuffer(30.0), 5u);
+  EXPECT_EQ(policy.LevelForBuffer(20.0), 2u);
+}
+
+TEST_F(BufferBasedTest, ValidatesConfig) {
+  BufferBasedConfig bad;
+  bad.reservoir_seconds = 0.0;
+  EXPECT_THROW(BufferBasedPolicy(video_, layout_, bad),
+               std::invalid_argument);
+}
+
+TEST_F(BufferBasedTest, RejectsWrongStateSize) {
+  mdp::State s(3, 0.0);
+  EXPECT_THROW(policy_.SelectAction(s), std::invalid_argument);
+}
+
+TEST_F(BufferBasedTest, NeverRebuffersBadlyOnAStableLink) {
+  // End-to-end sanity: BB on a link that can sustain mid bitrates keeps
+  // rebuffering minimal after startup - the property that makes it the
+  // paper's safe default.
+  abr::AbrEnvironment env(video_, {});
+  const traces::Trace trace("flat", 1.0, std::vector<double>(2000, 2.0));
+  env.SetFixedTrace(trace);
+  mdp::State s = env.Reset();
+  bool done = false;
+  double rebuffer = 0.0;
+  bool first = true;
+  while (!done) {
+    const mdp::StepResult r = env.Step(policy_.SelectAction(s));
+    if (!first) rebuffer += env.LastDownload().rebuffer_seconds;
+    first = false;
+    s = r.next_state;
+    done = r.done;
+  }
+  EXPECT_LT(rebuffer, 1.0);
+}
+
+}  // namespace
+}  // namespace osap::policies

@@ -1,0 +1,132 @@
+#include "policies/pensieve_net.h"
+#include "policies/pensieve_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace osap::policies {
+namespace {
+
+abr::AbrStateLayout Layout() { return abr::AbrStateLayout{}; }
+
+TEST(PensieveNet, TopologyMatchesStateLayout) {
+  Rng rng(1);
+  const abr::AbrStateLayout layout = Layout();
+  nn::CompositeNet actor = BuildPensieveNet(layout, 6, {}, rng);
+  EXPECT_EQ(actor.InputSize(), layout.Size());
+  EXPECT_EQ(actor.OutputSize(), 6u);
+  nn::CompositeNet value = BuildPensieveNet(layout, 1, {}, rng);
+  EXPECT_EQ(value.OutputSize(), 1u);
+}
+
+TEST(PensieveNet, ActorCriticShareStateSize) {
+  Rng rng(2);
+  nn::ActorCriticNet net = MakePensieveActorCritic(Layout(), {}, rng);
+  EXPECT_EQ(net.StateSize(), Layout().Size());
+  EXPECT_EQ(net.ActionCount(), 6u);
+}
+
+TEST(PensieveNet, DifferentInitProducesDifferentOutputs) {
+  Rng rng1(1);
+  Rng rng2(2);
+  nn::ActorCriticNet a = MakePensieveActorCritic(Layout(), {}, rng1);
+  nn::ActorCriticNet b = MakePensieveActorCritic(Layout(), {}, rng2);
+  const mdp::State state(Layout().Size(), 0.2);
+  EXPECT_NE(a.ActionProbs(state), b.ActionProbs(state));
+}
+
+TEST(PensieveNet, SameSeedSameNetwork) {
+  Rng rng1(7);
+  Rng rng2(7);
+  nn::ActorCriticNet a = MakePensieveActorCritic(Layout(), {}, rng1);
+  nn::ActorCriticNet b = MakePensieveActorCritic(Layout(), {}, rng2);
+  const mdp::State state(Layout().Size(), 0.4);
+  EXPECT_EQ(a.ActionProbs(state), b.ActionProbs(state));
+  EXPECT_DOUBLE_EQ(a.Value(state), b.Value(state));
+}
+
+TEST(PensieveNet, KernelMustFitVectors) {
+  Rng rng(3);
+  PensieveNetConfig cfg;
+  cfg.conv_kernel = 7;  // > levels (6)
+  EXPECT_THROW(BuildPensieveNet(Layout(), 6, cfg, rng),
+               std::invalid_argument);
+}
+
+TEST(NetValueFunction, WrapsValueNetwork) {
+  Rng rng(4);
+  NetValueFunction vf(BuildPensieveNet(Layout(), 1, {}, rng));
+  const mdp::State state(Layout().Size(), 0.1);
+  EXPECT_TRUE(std::isfinite(vf.Value(state)));
+  EXPECT_THROW(vf.Value(mdp::State(3, 0.0)), std::invalid_argument);
+}
+
+TEST(NetValueFunction, RejectsMultiOutputNet) {
+  Rng rng(5);
+  EXPECT_THROW(NetValueFunction(BuildPensieveNet(Layout(), 2, {}, rng)),
+               std::invalid_argument);
+}
+
+TEST(PensievePolicy, GreedyPicksArgmax) {
+  Rng rng(6);
+  auto net = std::make_shared<nn::ActorCriticNet>(
+      MakePensieveActorCritic(Layout(), {}, rng));
+  PensievePolicy policy(net, ActionSelection::kGreedy, 0);
+  const mdp::State state(Layout().Size(), 0.3);
+  const auto probs = policy.ActionDistribution(state);
+  const auto argmax = static_cast<int>(std::distance(
+      probs.begin(), std::max_element(probs.begin(), probs.end())));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy.SelectAction(state), argmax);
+  }
+}
+
+TEST(PensievePolicy, SampleFollowsDistribution) {
+  Rng rng(8);
+  auto net = std::make_shared<nn::ActorCriticNet>(
+      MakePensieveActorCritic(Layout(), {}, rng));
+  PensievePolicy policy(net, ActionSelection::kSample, 1);
+  const mdp::State state(Layout().Size(), 0.3);
+  const auto probs = policy.ActionDistribution(state);
+  std::vector<int> counts(probs.size(), 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[static_cast<std::size_t>(policy.SelectAction(state))];
+  }
+  for (std::size_t a = 0; a < probs.size(); ++a) {
+    EXPECT_NEAR(static_cast<double>(counts[a]) / draws, probs[a], 0.02);
+  }
+}
+
+TEST(PensievePolicy, DistributionSumsToOne) {
+  Rng rng(9);
+  auto net = std::make_shared<nn::ActorCriticNet>(
+      MakePensieveActorCritic(Layout(), {}, rng));
+  PensievePolicy policy(net, ActionSelection::kGreedy, 0);
+  const auto probs =
+      policy.ActionDistribution(mdp::State(Layout().Size(), 0.9));
+  double sum = 0.0;
+  for (double p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(PensievePolicy, RejectsNullNet) {
+  EXPECT_THROW(PensievePolicy(nullptr, ActionSelection::kGreedy, 0),
+               std::invalid_argument);
+}
+
+TEST(PensievePolicy, SharedNetReflectsUpdates) {
+  // Two policies over one network see the same weights.
+  Rng rng(10);
+  auto net = std::make_shared<nn::ActorCriticNet>(
+      MakePensieveActorCritic(Layout(), {}, rng));
+  PensievePolicy p1(net, ActionSelection::kGreedy, 0);
+  PensievePolicy p2(net, ActionSelection::kGreedy, 0);
+  const mdp::State state(Layout().Size(), 0.5);
+  EXPECT_EQ(p1.SelectAction(state), p2.SelectAction(state));
+}
+
+}  // namespace
+}  // namespace osap::policies

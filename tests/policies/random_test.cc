@@ -1,0 +1,57 @@
+#include "policies/random_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace osap::policies {
+namespace {
+
+TEST(RandomPolicy, ActionsCoverSupportUniformly) {
+  RandomPolicy policy(6, 1);
+  std::vector<int> counts(6, 0);
+  const int draws = 60000;
+  const mdp::State state(25, 0.0);
+  for (int i = 0; i < draws; ++i) {
+    const int a = policy.SelectAction(state);
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, 6);
+    ++counts[static_cast<std::size_t>(a)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 1.0 / 6.0, 0.01);
+  }
+}
+
+TEST(RandomPolicy, DistributionIsUniform) {
+  RandomPolicy policy(4, 2);
+  const auto dist = policy.ActionDistribution(mdp::State{});
+  ASSERT_EQ(dist.size(), 4u);
+  for (double p : dist) EXPECT_DOUBLE_EQ(p, 0.25);
+}
+
+TEST(RandomPolicy, DeterministicPerSeed) {
+  RandomPolicy a(6, 42);
+  RandomPolicy b(6, 42);
+  const mdp::State state;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.SelectAction(state), b.SelectAction(state));
+  }
+}
+
+TEST(RandomPolicy, IgnoresState) {
+  RandomPolicy a(6, 9);
+  RandomPolicy b(6, 9);
+  const mdp::State s1(25, 0.0);
+  const mdp::State s2(25, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.SelectAction(s1), b.SelectAction(s2));
+  }
+}
+
+TEST(RandomPolicy, RejectsZeroActions) {
+  EXPECT_THROW(RandomPolicy(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace osap::policies

@@ -1,0 +1,79 @@
+#include "policies/rate_based.h"
+
+#include <gtest/gtest.h>
+
+namespace osap::policies {
+namespace {
+
+class RateBasedTest : public ::testing::Test {
+ protected:
+  RateBasedTest()
+      : video_(abr::MakeEnvivioLikeVideo(1)),
+        policy_(video_, layout_, {}) {}
+
+  abr::AbrStateLayout layout_;
+  abr::VideoSpec video_;
+  RateBasedPolicy policy_;
+
+  /// State whose newest `values.size()` throughput taps are `values`
+  /// (oldest first).
+  mdp::State StateWithThroughputs(const std::vector<double>& values) const {
+    mdp::State s(layout_.Size(), 0.0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const std::size_t tap = layout_.history - values.size() + i;
+      s[layout_.ThroughputBegin() + tap] =
+          values[i] / abr::AbrStateLayout::kThroughputNormMbps;
+    }
+    return s;
+  }
+};
+
+TEST_F(RateBasedTest, NoMeasurementsPicksLowest) {
+  EXPECT_EQ(policy_.SelectAction(mdp::State(layout_.Size(), 0.0)), 0);
+}
+
+TEST_F(RateBasedTest, PicksHighestSustainableRung) {
+  // Estimate 3.0 Mbps: ladder 0.3/0.75/1.2/1.85/2.85/4.3 -> level 4.
+  EXPECT_EQ(policy_.SelectAction(StateWithThroughputs({3.0, 3.0, 3.0})), 4);
+  // Estimate 1.0 -> level 1 (0.75).
+  EXPECT_EQ(policy_.SelectAction(StateWithThroughputs({1.0})), 1);
+  // Estimate 10 -> top.
+  EXPECT_EQ(policy_.SelectAction(StateWithThroughputs({10.0, 10.0})), 5);
+  // Estimate below lowest rung -> 0.
+  EXPECT_EQ(policy_.SelectAction(StateWithThroughputs({0.2})), 0);
+}
+
+TEST_F(RateBasedTest, HarmonicMeanIsConservative) {
+  // Harmonic mean of {1, 9} is 1.8 < arithmetic mean 5: one slow sample
+  // dominates the estimate.
+  const double est =
+      policy_.EstimateThroughputMbps(StateWithThroughputs({1.0, 9.0}));
+  EXPECT_NEAR(est, 1.8, 1e-9);
+}
+
+TEST_F(RateBasedTest, WindowLimitsHistoryUse) {
+  RateBasedConfig cfg;
+  cfg.window = 2;
+  RateBasedPolicy policy(video_, layout_, cfg);
+  // Old slow sample outside the window must be ignored.
+  const auto s = StateWithThroughputs({0.1, 8.0, 8.0});
+  EXPECT_NEAR(policy.EstimateThroughputMbps(s), 8.0, 1e-9);
+}
+
+TEST_F(RateBasedTest, SafetyFactorDiscountsEstimate) {
+  RateBasedConfig cfg;
+  cfg.safety_factor = 0.5;
+  RateBasedPolicy policy(video_, layout_, cfg);
+  // 3.0 * 0.5 = 1.5 -> level 2 (1.2).
+  EXPECT_EQ(policy.SelectAction(StateWithThroughputs({3.0, 3.0})), 2);
+}
+
+TEST_F(RateBasedTest, ValidatesConfig) {
+  RateBasedConfig bad;
+  bad.window = 0;
+  EXPECT_THROW(RateBasedPolicy(video_, layout_, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace osap::policies

@@ -1,0 +1,137 @@
+#include "rl/a2c.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/sequential.h"
+#include "testing/toy_env.h"
+
+namespace osap::rl {
+namespace {
+
+/// Small actor-critic over the FlagBandit's 2-feature state.
+nn::ActorCriticNet MakeToyNet(Rng& rng) {
+  auto make = [&rng](std::size_t out) {
+    nn::CompositeNet net;
+    nn::Sequential branch;
+    branch.AddLinearReLU(2, 16, rng);
+    net.AddBranch(0, 2, std::move(branch));
+    nn::Sequential trunk;
+    trunk.Add(std::make_unique<nn::Linear>(16, out, rng));
+    net.SetTrunk(std::move(trunk));
+    return net;
+  };
+  return nn::ActorCriticNet(make(2), make(1));
+}
+
+TEST(TrainA2c, LearnsTheFlagBandit) {
+  osap::testing::FlagBandit env(20);
+  Rng rng(1);
+  nn::ActorCriticNet net = MakeToyNet(rng);
+  A2cConfig cfg;
+  cfg.episodes = 300;
+  cfg.actor_learning_rate = 0.01;
+  cfg.critic_learning_rate = 0.02;
+  cfg.entropy_coef_start = 0.3;
+  cfg.entropy_coef_end = 0.01;
+  const TrainingHistory history = TrainA2c(net, env, cfg);
+  // Optimal return is 20; random is 10. The agent must get close to
+  // optimal by the end.
+  EXPECT_GT(history.RecentMeanReward(30), 17.0);
+  // And it must have improved over its own start.
+  double early = 0.0;
+  for (int i = 0; i < 30; ++i) early += history.episode_rewards[i];
+  early /= 30.0;
+  EXPECT_GT(history.RecentMeanReward(30), early + 3.0);
+}
+
+TEST(TrainA2c, GreedyPolicyIsOptimalAfterTraining) {
+  osap::testing::FlagBandit env(20);
+  Rng rng(2);
+  nn::ActorCriticNet net = MakeToyNet(rng);
+  A2cConfig cfg;
+  cfg.episodes = 300;
+  cfg.actor_learning_rate = 0.01;
+  cfg.critic_learning_rate = 0.02;
+  TrainA2c(net, env, cfg);
+  // Greedy evaluation.
+  mdp::State s = env.Reset();
+  double total = 0.0;
+  bool done = false;
+  while (!done) {
+    const auto probs = net.ActionProbs(s);
+    const int a = static_cast<int>(std::distance(
+        probs.begin(), std::max_element(probs.begin(), probs.end())));
+    const mdp::StepResult r = env.Step(a);
+    total += r.reward;
+    s = r.next_state;
+    done = r.done;
+  }
+  EXPECT_DOUBLE_EQ(total, 20.0);
+}
+
+TEST(TrainA2c, CriticLearnsReturnScale) {
+  osap::testing::FlagBandit env(10);
+  Rng rng(3);
+  nn::ActorCriticNet net = MakeToyNet(rng);
+  A2cConfig cfg;
+  cfg.episodes = 400;
+  cfg.actor_learning_rate = 0.01;
+  cfg.critic_learning_rate = 0.05;
+  cfg.gamma = 1.0;
+  TrainA2c(net, env, cfg);
+  // At the initial state, the undiscounted value of the near-optimal
+  // policy is close to 10.
+  const double v = net.Value(env.Reset());
+  EXPECT_GT(v, 6.0);
+  EXPECT_LT(v, 12.0);
+}
+
+TEST(TrainA2c, DeterministicForFixedSeed) {
+  A2cConfig cfg;
+  cfg.episodes = 50;
+  osap::testing::FlagBandit env1(10);
+  Rng rng1(4);
+  nn::ActorCriticNet net1 = MakeToyNet(rng1);
+  const TrainingHistory h1 = TrainA2c(net1, env1, cfg);
+
+  osap::testing::FlagBandit env2(10);
+  Rng rng2(4);
+  nn::ActorCriticNet net2 = MakeToyNet(rng2);
+  const TrainingHistory h2 = TrainA2c(net2, env2, cfg);
+
+  EXPECT_EQ(h1.episode_rewards, h2.episode_rewards);
+}
+
+TEST(TrainA2c, RecordsEpisodeLengths) {
+  osap::testing::FlagBandit env(13);
+  Rng rng(5);
+  nn::ActorCriticNet net = MakeToyNet(rng);
+  A2cConfig cfg;
+  cfg.episodes = 5;
+  const TrainingHistory h = TrainA2c(net, env, cfg);
+  ASSERT_EQ(h.episode_lengths.size(), 5u);
+  for (std::size_t len : h.episode_lengths) EXPECT_EQ(len, 13u);
+}
+
+TEST(TrainA2c, ValidatesConfig) {
+  osap::testing::FlagBandit env(5);
+  Rng rng(6);
+  nn::ActorCriticNet net = MakeToyNet(rng);
+  A2cConfig bad;
+  bad.episodes = 0;
+  EXPECT_THROW(TrainA2c(net, env, bad), std::invalid_argument);
+  A2cConfig bad_gamma;
+  bad_gamma.gamma = 1.5;
+  EXPECT_THROW(TrainA2c(net, env, bad_gamma), std::invalid_argument);
+}
+
+TEST(TrainingHistory, RecentMeanRewardHandlesShortHistories) {
+  TrainingHistory h;
+  EXPECT_DOUBLE_EQ(h.RecentMeanReward(), 0.0);
+  h.episode_rewards = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(h.RecentMeanReward(2), 2.5);
+  EXPECT_DOUBLE_EQ(h.RecentMeanReward(100), 2.0);
+}
+
+}  // namespace
+}  // namespace osap::rl

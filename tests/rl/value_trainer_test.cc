@@ -1,0 +1,105 @@
+#include "rl/value_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/toy_env.h"
+
+namespace osap::rl {
+namespace {
+
+nn::CompositeNet MakeValueNet(Rng& rng) {
+  nn::CompositeNet net;
+  nn::Sequential branch;
+  branch.AddLinearReLU(2, 16, rng);
+  net.AddBranch(0, 2, std::move(branch));
+  nn::Sequential trunk;
+  trunk.Add(std::make_unique<nn::Linear>(16, 1, rng));
+  net.SetTrunk(std::move(trunk));
+  return net;
+}
+
+TEST(CollectValueDataset, RecordsEveryVisitedState) {
+  osap::testing::FlagBandit env(15);
+  osap::testing::OraclePolicy policy;
+  ValueTrainConfig cfg;
+  cfg.rollout_episodes = 4;
+  const ValueDataset ds = CollectValueDataset(env, policy, cfg);
+  EXPECT_EQ(ds.Size(), 4u * 15u);
+  EXPECT_EQ(ds.states.size(), ds.returns.size());
+}
+
+TEST(CollectValueDataset, ReturnsAreDiscountedReturnsToGo) {
+  osap::testing::FlagBandit env(5);
+  osap::testing::OraclePolicy policy;  // reward 1 every step
+  ValueTrainConfig cfg;
+  cfg.rollout_episodes = 1;
+  cfg.gamma = 0.5;
+  const ValueDataset ds = CollectValueDataset(env, policy, cfg);
+  ASSERT_EQ(ds.Size(), 5u);
+  // G_t for constant reward 1, gamma .5, T=5: {1.9375,1.875,1.75,1.5,1}.
+  EXPECT_NEAR(ds.returns[4], 1.0, 1e-12);
+  EXPECT_NEAR(ds.returns[3], 1.5, 1e-12);
+  EXPECT_NEAR(ds.returns[0], 1.9375, 1e-12);
+}
+
+TEST(TrainValueNet, FitsReturnsOfAFixedPolicy) {
+  osap::testing::FlagBandit env(10);
+  osap::testing::OraclePolicy policy;
+  ValueTrainConfig cfg;
+  cfg.rollout_episodes = 20;
+  cfg.epochs = 60;
+  cfg.learning_rate = 0.02;
+  cfg.gamma = 1.0;
+  const ValueDataset ds = CollectValueDataset(env, policy, cfg);
+  Rng rng(1);
+  nn::CompositeNet net = MakeValueNet(rng);
+  const double final_loss = TrainValueNet(net, ds, cfg);
+  EXPECT_LT(final_loss, 0.05);
+  // Value at the start state (undiscounted, optimal policy) ~ 10.
+  const double v0 =
+      net.Forward(nn::Matrix::RowVector(ds.states.front())).At(0, 0);
+  EXPECT_NEAR(v0, 10.0, 1.0);
+}
+
+TEST(TrainValueNet, LossDecreasesWithTraining) {
+  osap::testing::FlagBandit env(10);
+  osap::testing::OraclePolicy policy;
+  ValueTrainConfig cfg;
+  cfg.rollout_episodes = 10;
+  const ValueDataset ds = CollectValueDataset(env, policy, cfg);
+  Rng rng1(2);
+  nn::CompositeNet brief_net = MakeValueNet(rng1);
+  ValueTrainConfig brief = cfg;
+  brief.epochs = 1;
+  const double loss_brief = TrainValueNet(brief_net, ds, brief);
+  Rng rng2(2);
+  nn::CompositeNet long_net = MakeValueNet(rng2);
+  ValueTrainConfig longer = cfg;
+  longer.epochs = 50;
+  const double loss_long = TrainValueNet(long_net, ds, longer);
+  EXPECT_LT(loss_long, loss_brief);
+}
+
+TEST(TrainValueNet, ValidatesInputs) {
+  Rng rng(3);
+  nn::CompositeNet net = MakeValueNet(rng);
+  ValueDataset empty;
+  EXPECT_THROW(TrainValueNet(net, empty, {}), std::invalid_argument);
+}
+
+TEST(TrainValueNet, DeterministicForFixedSeed) {
+  osap::testing::FlagBandit env(8);
+  osap::testing::OraclePolicy policy;
+  ValueTrainConfig cfg;
+  cfg.rollout_episodes = 5;
+  cfg.epochs = 5;
+  const ValueDataset ds = CollectValueDataset(env, policy, cfg);
+  Rng rng1(4);
+  nn::CompositeNet a = MakeValueNet(rng1);
+  Rng rng2(4);
+  nn::CompositeNet b = MakeValueNet(rng2);
+  EXPECT_DOUBLE_EQ(TrainValueNet(a, ds, cfg), TrainValueNet(b, ds, cfg));
+}
+
+}  // namespace
+}  // namespace osap::rl

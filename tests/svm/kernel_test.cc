@@ -1,0 +1,73 @@
+#include "svm/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace osap::svm {
+namespace {
+
+TEST(RbfKernel, SelfSimilarityIsOne) {
+  RbfKernel k(0.5);
+  const std::vector<double> x = {1.0, -2.0, 3.0};
+  EXPECT_DOUBLE_EQ(k.Evaluate(x, x), 1.0);
+}
+
+TEST(RbfKernel, SymmetricAndBounded) {
+  RbfKernel k(1.0);
+  const std::vector<double> x = {0.0, 1.0};
+  const std::vector<double> y = {2.0, -1.0};
+  EXPECT_DOUBLE_EQ(k.Evaluate(x, y), k.Evaluate(y, x));
+  EXPECT_GT(k.Evaluate(x, y), 0.0);
+  EXPECT_LT(k.Evaluate(x, y), 1.0);
+}
+
+TEST(RbfKernel, MatchesClosedForm) {
+  RbfKernel k(0.25);
+  const std::vector<double> x = {0.0};
+  const std::vector<double> y = {2.0};
+  EXPECT_NEAR(k.Evaluate(x, y), std::exp(-0.25 * 4.0), 1e-12);
+}
+
+TEST(RbfKernel, DecreasesWithDistance) {
+  RbfKernel k(1.0);
+  const std::vector<double> o = {0.0};
+  EXPECT_GT(k.Evaluate(o, std::vector<double>{1.0}),
+            k.Evaluate(o, std::vector<double>{2.0}));
+}
+
+TEST(RbfKernel, RejectsNonPositiveGamma) {
+  EXPECT_THROW(RbfKernel(0.0), std::invalid_argument);
+  EXPECT_THROW(RbfKernel(-1.0), std::invalid_argument);
+}
+
+TEST(RbfKernel, RejectsDimensionMismatch) {
+  RbfKernel k(1.0);
+  const std::vector<double> x = {1.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(k.Evaluate(x, y), std::invalid_argument);
+}
+
+TEST(LinearKernel, IsDotProduct) {
+  LinearKernel k;
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(k.Evaluate(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(ScaleGamma, MatchesSklearnFormula) {
+  // Data with feature variance var over all entries:
+  // gamma = 1 / (n_features * var).
+  const std::vector<std::vector<double>> data = {{0.0, 0.0}, {2.0, 2.0}};
+  // All values: {0,0,2,2}; mean 1, var 1. dim=2 -> gamma = 0.5.
+  EXPECT_NEAR(ScaleGamma(data), 0.5, 1e-12);
+}
+
+TEST(ScaleGamma, ZeroVarianceFallsBack) {
+  const std::vector<std::vector<double>> data = {{3.0, 3.0}, {3.0, 3.0}};
+  EXPECT_NEAR(ScaleGamma(data), 0.5, 1e-12);  // 1/(2*1)
+}
+
+}  // namespace
+}  // namespace osap::svm

@@ -1,0 +1,71 @@
+#include "svm/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace osap::svm {
+namespace {
+
+TEST(StandardScaler, TransformBeforeFitThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.Transform(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(StandardScaler, CentersAndScalesTrainingData) {
+  Rng rng(1);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back({rng.Normal(5.0, 2.0), rng.Normal(-3.0, 0.5)});
+  }
+  StandardScaler scaler;
+  scaler.Fit(data);
+  RunningStats s0;
+  RunningStats s1;
+  for (const auto& row : data) {
+    const auto t = scaler.Transform(row);
+    s0.Add(t[0]);
+    s1.Add(t[1]);
+  }
+  EXPECT_NEAR(s0.Mean(), 0.0, 1e-9);
+  EXPECT_NEAR(s0.StdDev(), 1.0, 1e-9);
+  EXPECT_NEAR(s1.Mean(), 0.0, 1e-9);
+  EXPECT_NEAR(s1.StdDev(), 1.0, 1e-9);
+}
+
+TEST(StandardScaler, ConstantFeaturePassesThroughCentered) {
+  const std::vector<std::vector<double>> data = {{7.0}, {7.0}, {7.0}};
+  StandardScaler scaler;
+  scaler.Fit(data);
+  const auto t = scaler.Transform(std::vector<double>{9.0});
+  EXPECT_DOUBLE_EQ(t[0], 2.0);  // centered, scale 1
+}
+
+TEST(StandardScaler, RejectsRaggedData) {
+  const std::vector<std::vector<double>> data = {{1.0, 2.0}, {3.0}};
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.Fit(data), std::invalid_argument);
+}
+
+TEST(StandardScaler, TransformAllMatchesElementwise) {
+  const std::vector<std::vector<double>> data = {{0.0}, {10.0}};
+  StandardScaler scaler;
+  scaler.Fit(data);
+  const auto all = scaler.TransformAll(data);
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0][0], scaler.Transform(data[0])[0]);
+}
+
+TEST(StandardScaler, SetStateValidatesInputs) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.SetState({0.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(scaler.SetState({0.0, 1.0}, {1.0}), std::invalid_argument);
+  scaler.SetState({1.0}, {2.0});
+  const auto t = scaler.Transform(std::vector<double>{5.0});
+  EXPECT_DOUBLE_EQ(t[0], 2.0);
+}
+
+}  // namespace
+}  // namespace osap::svm

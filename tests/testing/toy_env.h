@@ -1,0 +1,67 @@
+// Tiny deterministic MDPs used by the mdp / rl unit tests, where optimal
+// behaviour is known in closed form.
+#pragma once
+
+#include <string>
+
+#include "mdp/environment.h"
+#include "mdp/policy.h"
+#include "util/rng.h"
+
+namespace osap::testing {
+
+/// A contextual bandit chain: the state is (step / length, flag), the flag
+/// alternates 0/1 per step, and action == flag yields reward 1 (else 0).
+/// Episode length is fixed. Optimal return == length.
+class FlagBandit final : public mdp::Environment {
+ public:
+  explicit FlagBandit(std::size_t length) : length_(length) {}
+
+  mdp::State Reset() override {
+    step_ = 0;
+    return MakeState();
+  }
+
+  mdp::StepResult Step(mdp::Action action) override {
+    const int flag = static_cast<int>(step_ % 2);
+    mdp::StepResult result;
+    result.reward = action == flag ? 1.0 : 0.0;
+    ++step_;
+    result.done = step_ >= length_;
+    result.next_state = MakeState();
+    return result;
+  }
+
+  std::size_t ActionCount() const override { return 2; }
+  std::size_t StateSize() const override { return 2; }
+
+ private:
+  mdp::State MakeState() const {
+    return {static_cast<double>(step_) / static_cast<double>(length_),
+            static_cast<double>(step_ % 2)};
+  }
+  std::size_t length_;
+  std::size_t step_ = 0;
+};
+
+/// Always picks a fixed action.
+class ConstantPolicy final : public mdp::Policy {
+ public:
+  explicit ConstantPolicy(mdp::Action action) : action_(action) {}
+  mdp::Action SelectAction(const mdp::State&) override { return action_; }
+  std::string Name() const override { return "constant"; }
+
+ private:
+  mdp::Action action_;
+};
+
+/// Picks the optimal FlagBandit action (matches the flag).
+class OraclePolicy final : public mdp::Policy {
+ public:
+  mdp::Action SelectAction(const mdp::State& state) override {
+    return static_cast<mdp::Action>(state[1]);
+  }
+  std::string Name() const override { return "oracle"; }
+};
+
+}  // namespace osap::testing

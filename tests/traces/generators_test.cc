@@ -1,0 +1,123 @@
+#include "traces/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace osap::traces {
+namespace {
+
+TEST(IidTraceGenerator, ProducesRequestedDuration) {
+  IidTraceGenerator gen(std::make_shared<GammaDistribution>(2.0, 2.0));
+  Rng rng(1);
+  const Trace t = gen.Generate(rng, 120.0, 0);
+  EXPECT_EQ(t.SampleCount(), 120u);
+  EXPECT_DOUBLE_EQ(t.interval_seconds(), 1.0);
+}
+
+TEST(IidTraceGenerator, SamplesAreClamped) {
+  IidTraceGenerator gen(std::make_shared<ExponentialDistribution>(1.0),
+                        /*floor_mbps=*/0.5, /*cap_mbps=*/2.0);
+  Rng rng(2);
+  const Trace t = gen.Generate(rng, 500.0, 0);
+  for (double v : t.samples()) {
+    EXPECT_GE(v, 0.5);
+    EXPECT_LE(v, 2.0);
+  }
+}
+
+TEST(IidTraceGenerator, MeanTracksDistribution) {
+  IidTraceGenerator gen(std::make_shared<GammaDistribution>(2.0, 2.0));
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 20; ++i) {
+    const Trace t = gen.Generate(rng, 300.0, i);
+    for (double v : t.samples()) stats.Add(v);
+  }
+  EXPECT_NEAR(stats.Mean(), 4.0, 0.15);
+}
+
+TEST(IidTraceGenerator, NameEmbedsDistribution) {
+  IidTraceGenerator gen(std::make_shared<GammaDistribution>(1.0, 2.0));
+  EXPECT_EQ(gen.Name(), "Gamma(1,2)");
+  Rng rng(4);
+  EXPECT_NE(gen.Generate(rng, 10.0, 3).name().find("trace-3"),
+            std::string::npos);
+}
+
+TEST(IidTraceGenerator, DeterministicPerRngSeed) {
+  IidTraceGenerator gen(std::make_shared<LogisticDistribution>(4.0, 0.5));
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(gen.Generate(a, 50.0, 0).samples(),
+            gen.Generate(b, 50.0, 0).samples());
+}
+
+TEST(MarkovModulatedGenerator, ValidatesTransitionMatrix) {
+  std::vector<Regime> regimes = {{1.0, 0.1}, {2.0, 0.1}};
+  // Rows don't sum to 1.
+  EXPECT_THROW(MarkovModulatedGenerator("bad", regimes,
+                                        {{0.5, 0.4}, {0.5, 0.5}}),
+               std::invalid_argument);
+  // Not square.
+  EXPECT_THROW(MarkovModulatedGenerator("bad", regimes, {{1.0}, {1.0}}),
+               std::invalid_argument);
+}
+
+TEST(MarkovModulatedGenerator, SamplesStayWithinClamp) {
+  const auto gen = MakeNorway3gGenerator();
+  Rng rng(6);
+  const Trace t = gen->Generate(rng, 600.0, 0);
+  for (double v : t.samples()) {
+    EXPECT_GE(v, 0.05);
+    EXPECT_LE(v, 8.0);
+  }
+}
+
+TEST(MarkovModulatedGenerator, IsTemporallyCorrelated) {
+  // Lag-1 autocorrelation of a sticky-regime chain must clearly exceed the
+  // i.i.d. generators' (~0).
+  const auto gen = MakeNorway3gGenerator();
+  Rng rng(7);
+  const Trace t = gen->Generate(rng, 2000.0, 0);
+  const auto& s = t.samples();
+  double mean = t.MeanThroughput();
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+    num += (s[i] - mean) * (s[i + 1] - mean);
+    den += (s[i] - mean) * (s[i] - mean);
+  }
+  EXPECT_GT(num / den, 0.4);
+}
+
+TEST(MarkovModulatedGenerator, BelgiumIsFasterThanNorway) {
+  // The LTE profile's long-run mean throughput must exceed the 3G
+  // profile's - the property that makes them distinct distributions.
+  const auto norway = MakeNorway3gGenerator();
+  const auto belgium = MakeBelgium4gGenerator();
+  Rng rng1(8);
+  Rng rng2(8);
+  RunningStats n_stats;
+  RunningStats b_stats;
+  for (int i = 0; i < 10; ++i) {
+    // Bind the traces: samples() returns a reference into the Trace, so
+    // iterating over a temporary's member would dangle.
+    const Trace n_trace = norway->Generate(rng1, 500.0, i);
+    for (double v : n_trace.samples()) n_stats.Add(v);
+    const Trace b_trace = belgium->Generate(rng2, 500.0, i);
+    for (double v : b_trace.samples()) b_stats.Add(v);
+  }
+  EXPECT_GT(b_stats.Mean(), 1.5 * n_stats.Mean());
+}
+
+TEST(MarkovModulatedGenerator, DifferentIndicesDifferentTraces) {
+  const auto gen = MakeNorway3gGenerator();
+  Rng rng(9);
+  const Trace a = gen->Generate(rng, 100.0, 0);
+  const Trace b = gen->Generate(rng, 100.0, 1);
+  EXPECT_NE(a.samples(), b.samples());
+}
+
+}  // namespace
+}  // namespace osap::traces

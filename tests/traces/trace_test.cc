@@ -1,0 +1,54 @@
+#include "traces/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace osap::traces {
+namespace {
+
+TEST(Trace, ValidatesConstruction) {
+  EXPECT_THROW(Trace("t", 0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Trace("t", 1.0, {}), std::invalid_argument);
+  EXPECT_THROW(Trace("t", 1.0, {1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Trace("t", 1.0, {1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(Trace, DurationIsSamplesTimesInterval) {
+  const Trace t("t", 2.0, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.Duration(), 6.0);
+  EXPECT_EQ(t.SampleCount(), 3u);
+}
+
+TEST(Trace, ThroughputAtIsPiecewiseConstant) {
+  const Trace t("t", 1.0, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(0.99), 1.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(2.5), 3.0);
+}
+
+TEST(Trace, WrapsAroundCyclically) {
+  const Trace t("t", 1.0, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(3.5), 2.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(100.0), 1.0);
+}
+
+TEST(Trace, NegativeTimeRejected) {
+  const Trace t("t", 1.0, {1.0});
+  EXPECT_THROW(t.ThroughputAt(-0.1), std::invalid_argument);
+}
+
+TEST(Trace, MeanThroughput) {
+  const Trace t("t", 1.0, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.MeanThroughput(), 2.0);
+}
+
+TEST(Trace, NonUnitInterval) {
+  const Trace t("t", 0.5, {4.0, 8.0});
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(0.4), 4.0);
+  EXPECT_DOUBLE_EQ(t.ThroughputAt(0.6), 8.0);
+  EXPECT_DOUBLE_EQ(t.Duration(), 1.0);
+}
+
+}  // namespace
+}  // namespace osap::traces

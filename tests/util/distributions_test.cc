@@ -1,0 +1,106 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/stats.h"
+
+namespace osap {
+namespace {
+
+// Every sampler's empirical moments must match its analytic moments: this
+// is the property the paper's synthetic datasets rely on (Section 3.1).
+struct DistCase {
+  const char* label;
+  std::shared_ptr<Distribution> dist;
+};
+
+class DistributionMoments : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionMoments, EmpiricalMomentsMatchAnalytic) {
+  const auto& dist = *GetParam().dist;
+  Rng rng(1234);
+  RunningStats stats;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) stats.Add(dist.Sample(rng));
+  const double mean_tol = 0.02 * std::max(1.0, std::abs(dist.Mean()));
+  const double var_tol = 0.05 * std::max(1.0, dist.Variance());
+  EXPECT_NEAR(stats.Mean(), dist.Mean(), mean_tol) << dist.Name();
+  EXPECT_NEAR(stats.Variance(), dist.Variance(), var_tol) << dist.Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDistributions, DistributionMoments,
+    ::testing::Values(
+        DistCase{"gamma_1_2", std::make_shared<GammaDistribution>(1.0, 2.0)},
+        DistCase{"gamma_2_2", std::make_shared<GammaDistribution>(2.0, 2.0)},
+        DistCase{"gamma_half",
+                 std::make_shared<GammaDistribution>(0.5, 1.0)},
+        DistCase{"logistic",
+                 std::make_shared<LogisticDistribution>(4.0, 0.5)},
+        DistCase{"exponential",
+                 std::make_shared<ExponentialDistribution>(1.0)},
+        DistCase{"normal", std::make_shared<NormalDistribution>(2.0, 3.0)},
+        DistCase{"lognormal",
+                 std::make_shared<LogNormalDistribution>(0.5, 0.4)}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(Gamma, SamplesArePositive) {
+  GammaDistribution dist(1.0, 2.0);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(dist.Sample(rng), 0.0);
+  }
+}
+
+TEST(Exponential, SamplesArePositive) {
+  ExponentialDistribution dist(1.0);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(dist.Sample(rng), 0.0);
+  }
+}
+
+TEST(Gamma, RejectsNonPositiveParameters) {
+  EXPECT_THROW(GammaDistribution(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GammaDistribution(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(GammaDistribution(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Logistic, RejectsNonPositiveScale) {
+  EXPECT_THROW(LogisticDistribution(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(Exponential, RejectsNonPositiveScale) {
+  EXPECT_THROW(ExponentialDistribution(-2.0), std::invalid_argument);
+}
+
+TEST(Distributions, NamesIdentifyParameters) {
+  EXPECT_EQ(GammaDistribution(2.0, 2.0).Name(), "Gamma(2,2)");
+  EXPECT_EQ(LogisticDistribution(4.0, 0.5).Name(), "Logistic(4,0.5)");
+  EXPECT_EQ(ExponentialDistribution(1.0).Name(), "Exponential(1)");
+}
+
+TEST(Distributions, SamplingIsDeterministicPerSeed) {
+  GammaDistribution dist(2.0, 2.0);
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(dist.Sample(a), dist.Sample(b));
+  }
+}
+
+TEST(Logistic, MedianEqualsMu) {
+  LogisticDistribution dist(4.0, 0.5);
+  Rng rng(31);
+  int above = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (dist.Sample(rng) > 4.0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace osap

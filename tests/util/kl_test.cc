@@ -1,0 +1,99 @@
+#include "util/kl.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace osap {
+namespace {
+
+TEST(KlDivergence, ZeroForIdenticalDistributions) {
+  const std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_DOUBLE_EQ(KlDivergence(p, p), 0.0);
+}
+
+TEST(KlDivergence, PositiveForDifferentDistributions) {
+  const std::vector<double> p = {0.9, 0.1};
+  const std::vector<double> q = {0.1, 0.9};
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+}
+
+TEST(KlDivergence, MatchesClosedForm) {
+  const std::vector<double> p = {0.5, 0.5};
+  const std::vector<double> q = {0.25, 0.75};
+  const double expected =
+      0.5 * std::log(0.5 / 0.25) + 0.5 * std::log(0.5 / 0.75);
+  EXPECT_NEAR(KlDivergence(p, q), expected, 1e-12);
+}
+
+TEST(KlDivergence, IsAsymmetric) {
+  const std::vector<double> p = {0.8, 0.2};
+  const std::vector<double> q = {0.3, 0.7};
+  EXPECT_NE(KlDivergence(p, q), KlDivergence(q, p));
+}
+
+TEST(KlDivergence, ZeroMassInPContributesNothing) {
+  const std::vector<double> p = {0.0, 1.0};
+  const std::vector<double> q = {0.5, 0.5};
+  EXPECT_NEAR(KlDivergence(p, q), std::log(1.0 / 0.5), 1e-12);
+}
+
+TEST(KlDivergence, ZeroMassInQStaysFinite) {
+  const std::vector<double> p = {0.5, 0.5};
+  const std::vector<double> q = {1.0, 0.0};
+  const double kl = KlDivergence(p, q);
+  EXPECT_TRUE(std::isfinite(kl));
+  EXPECT_GT(kl, 0.0);
+}
+
+TEST(KlDivergence, RejectsMismatchedLengths) {
+  const std::vector<double> p = {1.0};
+  const std::vector<double> q = {0.5, 0.5};
+  EXPECT_THROW(KlDivergence(p, q), std::invalid_argument);
+}
+
+TEST(KlDivergence, RejectsNegativeProbabilities) {
+  const std::vector<double> p = {1.2, -0.2};
+  const std::vector<double> q = {0.5, 0.5};
+  EXPECT_THROW(KlDivergence(p, q), std::invalid_argument);
+}
+
+TEST(Entropy, UniformIsMaximal) {
+  const std::vector<double> uniform = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(Entropy(uniform), std::log(4.0), 1e-12);
+  const std::vector<double> skewed = {0.97, 0.01, 0.01, 0.01};
+  EXPECT_LT(Entropy(skewed), Entropy(uniform));
+}
+
+TEST(Entropy, DegenerateIsZero) {
+  const std::vector<double> p = {0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(Entropy(p), 0.0);
+}
+
+TEST(MeanDistribution, AveragesElementwise) {
+  const std::vector<std::vector<double>> dists = {{1.0, 0.0}, {0.0, 1.0}};
+  const auto mean = MeanDistribution(dists);
+  EXPECT_DOUBLE_EQ(mean[0], 0.5);
+  EXPECT_DOUBLE_EQ(mean[1], 0.5);
+}
+
+TEST(MeanDistribution, RejectsRaggedInput) {
+  const std::vector<std::vector<double>> dists = {{1.0, 0.0}, {1.0}};
+  EXPECT_THROW(MeanDistribution(dists), std::invalid_argument);
+}
+
+TEST(Normalize, ScalesToUnitSum) {
+  const std::vector<double> w = {1.0, 3.0};
+  const auto p = Normalize(w);
+  EXPECT_DOUBLE_EQ(p[0], 0.25);
+  EXPECT_DOUBLE_EQ(p[1], 0.75);
+}
+
+TEST(Normalize, RejectsZeroTotal) {
+  const std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(Normalize(w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,51 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace osap {
+namespace {
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"long-name", "22"});
+  const std::string out = t.Render();
+  // Header, separator, two rows.
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| long-name"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, AllRowsHaveEqualWidth) {
+  TablePrinter t({"a", "bb", "ccc"});
+  t.AddRow({"1", "2", "3"});
+  t.AddRow({"wide-field", "2", "3"});
+  const std::string out = t.Render();
+  std::size_t expected = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    const std::size_t len = next - pos;
+    if (expected == std::string::npos) expected = len;
+    EXPECT_EQ(len, expected);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinter, RejectsMismatchedRowWidth) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NumFormatsWithPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(-1.0, 1), "-1.0");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,119 @@
+// osap_traces: generate and export the paper's datasets.
+//
+// Usage:
+//   osap_traces list
+//   osap_traces stats   <dataset> [count] [duration_s] [seed]
+//   osap_traces export  <dataset> <out_dir> [count] [duration_s] [seed]
+//   osap_traces mahimahi <dataset> <out_dir> [count] [duration_s] [seed]
+//
+// `export` writes the train/validation/test splits as CSV trace files
+// (readable back with traces::ReadTraceDirectory); `mahimahi` writes
+// MahiMahi packet-opportunity files usable with the real link emulator.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "traces/dataset.h"
+#include "traces/trace_io.h"
+#include "util/stats.h"
+
+using namespace osap;
+
+namespace {
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  osap_traces list\n"
+               "  osap_traces stats    <dataset> [count] [duration] [seed]\n"
+               "  osap_traces export   <dataset> <dir> [count] [duration] "
+               "[seed]\n"
+               "  osap_traces mahimahi <dataset> <dir> [count] [duration] "
+               "[seed]\n");
+  std::exit(2);
+}
+
+traces::DatasetId ParseDataset(const std::string& name) {
+  for (traces::DatasetId id : traces::AllDatasetIds()) {
+    if (traces::DatasetName(id) == name) return id;
+  }
+  std::fprintf(stderr, "unknown dataset '%s'; try `osap_traces list`\n",
+               name.c_str());
+  std::exit(2);
+}
+
+traces::DatasetConfig ParseConfig(int argc, char** argv, int first) {
+  traces::DatasetConfig cfg;
+  if (argc > first) cfg.trace_count = static_cast<std::size_t>(std::atoi(argv[first]));
+  if (argc > first + 1) cfg.trace_duration_seconds = std::atof(argv[first + 1]);
+  if (argc > first + 2) cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[first + 2]));
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const std::string command = argv[1];
+
+  if (command == "list") {
+    std::printf("%-12s %-18s %s\n", "name", "label", "kind");
+    for (traces::DatasetId id : traces::AllDatasetIds()) {
+      std::printf("%-12s %-18s %s\n", traces::DatasetName(id).c_str(),
+                  traces::DatasetLabel(id).c_str(),
+                  traces::IsSyntheticIid(id) ? "synthetic i.i.d."
+                                             : "empirical-like");
+    }
+    return 0;
+  }
+
+  if (argc < 3) Usage();
+  const traces::DatasetId id = ParseDataset(argv[2]);
+
+  if (command == "stats") {
+    const traces::Dataset ds =
+        traces::BuildDataset(id, ParseConfig(argc, argv, 3));
+    RunningStats all;
+    for (const auto* split : {&ds.train, &ds.validation, &ds.test}) {
+      for (const auto& t : *split) {
+        for (double v : t.samples()) all.Add(v);
+      }
+    }
+    std::printf("dataset:    %s\n", traces::DatasetLabel(id).c_str());
+    std::printf("traces:     %zu (train %zu / validation %zu / test %zu)\n",
+                ds.TotalTraces(), ds.train.size(), ds.validation.size(),
+                ds.test.size());
+    std::printf("throughput: mean %.2f Mbps, std %.2f, min %.2f, max %.2f\n",
+                all.Mean(), all.StdDev(), all.Min(), all.Max());
+    return 0;
+  }
+
+  if (command == "export" || command == "mahimahi") {
+    if (argc < 4) Usage();
+    const std::filesystem::path dir = argv[3];
+    const traces::Dataset ds =
+        traces::BuildDataset(id, ParseConfig(argc, argv, 4));
+    std::size_t written = 0;
+    for (const auto& [split, traces_ptr] :
+         {std::pair{"train", &ds.train},
+          std::pair{"validation", &ds.validation},
+          std::pair{"test", &ds.test}}) {
+      const auto split_dir = dir / split;
+      if (command == "export") {
+        traces::WriteTraceDirectory(*traces_ptr, split_dir);
+      } else {
+        std::filesystem::create_directories(split_dir);
+        for (std::size_t i = 0; i < traces_ptr->size(); ++i) {
+          traces::WriteMahimahiTrace(
+              (*traces_ptr)[i],
+              split_dir / (std::to_string(i) + ".mahi"));
+        }
+      }
+      written += traces_ptr->size();
+    }
+    std::printf("wrote %zu traces under %s\n", written, dir.c_str());
+    return 0;
+  }
+
+  Usage();
+}

@@ -1,0 +1,94 @@
+// osap_train: train a Pensieve actor-critic from the command line and save
+// the weights for later evaluation with osap_eval.
+//
+// Usage:
+//   osap_train <dataset> <out.bin> [episodes] [seed]
+//
+// Trains on the dataset's training split (full-length 240-chunk sessions)
+// and reports progress every 10% of episodes. The weight file is the
+// library's OSAPNN01 format (nn/serialize.h).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/evaluation.h"
+#include "nn/serialize.h"
+#include "policies/buffer_based.h"
+#include "policies/pensieve_net.h"
+#include "policies/pensieve_policy.h"
+#include "rl/a2c.h"
+#include "traces/dataset.h"
+
+using namespace osap;
+
+namespace {
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: osap_train <dataset> <out.bin> [episodes] [seed]\n");
+  std::exit(2);
+}
+
+traces::DatasetId ParseDataset(const std::string& name) {
+  for (traces::DatasetId id : traces::AllDatasetIds()) {
+    if (traces::DatasetName(id) == name) return id;
+  }
+  std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) Usage();
+  const traces::DatasetId id = ParseDataset(argv[1]);
+  const std::filesystem::path out = argv[2];
+  const std::size_t episodes =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 2000;
+  const std::uint64_t seed =
+      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+
+  const traces::Dataset ds = traces::BuildDataset(id);
+  abr::AbrEnvironmentConfig env_cfg;
+  abr::AbrEnvironment env(abr::MakeEnvivioLikeVideo(5), env_cfg);
+  env.SetTracePool(ds.train, seed ^ 0x5EED);
+
+  Rng init_rng(seed);
+  auto net = std::make_shared<nn::ActorCriticNet>(
+      policies::MakePensieveActorCritic(env_cfg.layout, {}, init_rng));
+
+  std::printf("training on %s: %zu episodes, seed %llu\n",
+              traces::DatasetLabel(id).c_str(), episodes,
+              static_cast<unsigned long long>(seed));
+  // Train in 10 slices so we can narrate progress without a callback API.
+  rl::A2cConfig cfg;
+  cfg.seed = seed ^ 0xAC70;
+  const std::size_t slices = 10;
+  for (std::size_t s = 0; s < slices; ++s) {
+    cfg.episodes = std::max<std::size_t>(1, episodes / slices);
+    // Anneal entropy across the whole run, not per slice.
+    const double t0 = static_cast<double>(s) / slices;
+    const double t1 = static_cast<double>(s + 1) / slices;
+    rl::A2cConfig slice = cfg;
+    slice.entropy_coef_start = 1.0 + t0 * (0.01 - 1.0);
+    slice.entropy_coef_end = 1.0 + t1 * (0.01 - 1.0);
+    slice.seed = cfg.seed + s;
+    const rl::TrainingHistory h = rl::TrainA2c(*net, env, slice);
+    std::printf("  %3zu%%  recent mean reward %8.2f\n", (s + 1) * 10,
+                h.RecentMeanReward(20));
+  }
+
+  nn::SaveParamsToFile(out, net->AllParams());
+  std::printf("saved weights to %s\n", out.c_str());
+
+  // Quick in-distribution sanity check against BB on the test split.
+  policies::PensievePolicy greedy(net, policies::ActionSelection::kGreedy,
+                                  0);
+  policies::BufferBasedPolicy bb(env.video(), env_cfg.layout);
+  abr::AbrEnvironment eval_env(abr::MakeEnvivioLikeVideo(5), env_cfg);
+  const double p = core::EvaluatePolicy(greedy, eval_env, ds.test).MeanQoe();
+  const double b = core::EvaluatePolicy(bb, eval_env, ds.test).MeanQoe();
+  std::printf("test-split QoE: pensieve %.1f vs buffer_based %.1f (%s)\n",
+              p, b, p >= b ? "pensieve wins" : "BB wins");
+  return 0;
+}
