@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/ensemble_estimators.h"
 #include "core/novelty_detector.h"
 #include "mdp/rollout.h"
@@ -130,6 +131,22 @@ void BM_DecisionMpc(benchmark::State& state) {
 }
 BENCHMARK(BM_DecisionMpc)->Unit(benchmark::kMicrosecond);
 
+/// The raw U_S kernel by itself: one DecisionValue over the fitted
+/// model's support vectors (the contiguous linear-scan hot path).
+void BM_DecisionOcSvmKernel(benchmark::State& state) {
+  const auto& bundle = SharedBench().BundleFor(kTrain);
+  const svm::OneClassSvm& model = bundle.novelty->model();
+  // k interleaved [mean, stddev] pairs, in-distribution-ish values.
+  std::vector<double> x(model.Dimension());
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    x[d] = d % 2 == 0 ? 3.0 : 0.5;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.DecisionValue(x));
+  }
+}
+BENCHMARK(BM_DecisionOcSvmKernel)->Unit(benchmark::kNanosecond);
+
 /// Offline cost: fitting the OC-SVM on the cached training features'
 /// scale (paper: < 8 seconds).
 void BM_OfflineOcSvmFit(benchmark::State& state) {
@@ -167,4 +184,4 @@ BENCHMARK(BM_OfflineA2cEpisode)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+OSAP_BENCHMARK_MAIN_WITH_JSON("BENCH_decision_latency.json")

@@ -1,0 +1,171 @@
+// Hot-path micro-benchmarks for the optimized kernels: blocked MatMul,
+// tiled Transposed, batched ensemble inference vs the old per-member
+// loop, the contiguous OC-SVM decision scan, and multi-trace evaluation
+// under the thread pool (serial vs ParallelFor rollouts).
+//
+// Standalone: builds untrained nets and generated traces, so it needs no
+// osap_cache and runs in seconds. Writes BENCH_hot_paths.json.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_json.h"
+
+#include "abr/abr_environment.h"
+#include "core/evaluation.h"
+#include "nn/actor_critic_net.h"
+#include "nn/ensemble_forward.h"
+#include "nn/matrix.h"
+#include "policies/buffer_based.h"
+#include "policies/pensieve_net.h"
+#include "svm/ocsvm.h"
+#include "traces/generators.h"
+#include "util/thread_pool.h"
+
+using namespace osap;
+
+namespace {
+
+nn::Matrix RandomMatrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  nn::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m.At(i, j) = rng.Normal(0.0, 1.0);
+  return m;
+}
+
+/// MatMul over the shapes the inference and training paths actually hit:
+/// 1xN row-vector chains (online decisions), mid-size square (training
+/// batches), and the 5-row batched-ensemble shape.
+void BM_MatMul(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  Rng rng(1);
+  const nn::Matrix a = RandomMatrix(m, k, rng);
+  const nn::Matrix b = RandomMatrix(k, n, rng);
+  nn::Matrix out;
+  for (auto _ : state) {
+    a.MatMulInto(b, out);
+    benchmark::DoNotOptimize(out.At(0, 0));
+  }
+}
+BENCHMARK(BM_MatMul)
+    ->Args({1, 25, 128})
+    ->Args({5, 25, 128})
+    ->Args({64, 64, 64})
+    ->Args({128, 128, 128})
+    ->Args({240, 128, 6});
+
+void BM_Transposed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const nn::Matrix a = RandomMatrix(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Transposed());
+  }
+}
+BENCHMARK(BM_Transposed)->Arg(64)->Arg(256);
+
+/// The old U_pi inner loop: five sequential per-member forwards.
+void BM_EnsembleForwardSequential(benchmark::State& state) {
+  Rng rng(1);
+  abr::AbrStateLayout layout;
+  std::vector<std::unique_ptr<nn::ActorCriticNet>> members;
+  for (int m = 0; m < 5; ++m)
+    members.push_back(std::make_unique<nn::ActorCriticNet>(
+        policies::MakePensieveActorCritic(layout, {}, rng)));
+  const std::vector<double> s(layout.Size(), 0.25);
+  for (auto _ : state) {
+    for (const auto& member : members)
+      benchmark::DoNotOptimize(member->ActionProbs(s));
+  }
+}
+BENCHMARK(BM_EnsembleForwardSequential)->Unit(benchmark::kMicrosecond);
+
+/// The new U_pi inner loop: one fused pass over the packed five-member
+/// weights (what AgentEnsembleEstimator::Score runs per decision).
+void BM_EnsembleForwardBatched(benchmark::State& state) {
+  Rng rng(1);
+  abr::AbrStateLayout layout;
+  std::vector<std::unique_ptr<nn::ActorCriticNet>> members;
+  std::vector<const nn::CompositeNet*> actors;
+  for (int m = 0; m < 5; ++m) {
+    members.push_back(std::make_unique<nn::ActorCriticNet>(
+        policies::MakePensieveActorCritic(layout, {}, rng)));
+    actors.push_back(&members.back()->actor());
+  }
+  const nn::BatchedEnsemble batched(actors);
+  nn::InferScratch scratch;
+  const std::vector<double> s(layout.Size(), 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batched.Infer(s, scratch).At(0, 0));
+  }
+}
+BENCHMARK(BM_EnsembleForwardBatched)->Unit(benchmark::kMicrosecond);
+
+/// The contiguous U_S decision scan as a function of support-vector count.
+void BM_OcSvmDecision(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<std::vector<double>> features;
+  for (std::size_t i = 0; i < n; ++i)
+    features.push_back({rng.Normal(3.0, 0.5), rng.Normal(0.5, 0.1)});
+  svm::OneClassSvm model;
+  model.Fit(features);
+  const std::vector<double> x = {3.0, 0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.DecisionValue(x));
+  }
+}
+BENCHMARK(BM_OcSvmDecision)->Arg(200)->Arg(1000)->Arg(4000);
+
+/// Multi-trace evaluation: BufferBased rollouts over 16 generated traces
+/// (no training needed), serial EvaluatePolicy vs EvaluatePolicyParallel
+/// with a worker budget of `range(0)` threads.
+std::vector<traces::Trace> BenchTraces() {
+  Rng rng(11);
+  const auto gen = traces::MakeNorway3gGenerator();
+  std::vector<traces::Trace> out;
+  for (std::size_t i = 0; i < 16; ++i)
+    out.push_back(gen->Generate(rng, 600.0, i));
+  return out;
+}
+
+void BM_EvaluateMultiTraceSerial(benchmark::State& state) {
+  const abr::VideoSpec video = abr::MakeEnvivioLikeVideo(5);
+  abr::AbrEnvironment env(video, {});
+  abr::AbrStateLayout layout;
+  policies::BufferBasedPolicy policy(video, layout);
+  const std::vector<traces::Trace> traces = BenchTraces();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EvaluatePolicy(policy, env, traces));
+  }
+}
+BENCHMARK(BM_EvaluateMultiTraceSerial)->Unit(benchmark::kMillisecond);
+
+void BM_EvaluateMultiTraceParallel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const abr::VideoSpec video = abr::MakeEnvivioLikeVideo(5);
+  abr::AbrEnvironment env(video, {});
+  abr::AbrStateLayout layout;
+  const std::vector<traces::Trace> traces = BenchTraces();
+  util::ThreadPool pool(threads - 1);
+  const auto make_policy = [&] {
+    return std::make_shared<policies::BufferBasedPolicy>(video, layout);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::EvaluatePolicyParallel(make_policy, env, traces, pool));
+  }
+}
+BENCHMARK(BM_EvaluateMultiTraceParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OSAP_BENCHMARK_MAIN_WITH_JSON("BENCH_hot_paths.json")

@@ -1,0 +1,88 @@
+// JSON sidecar output for the google-benchmark micro-benches.
+//
+// Each micro-bench binary prints the usual console table AND drops a
+// machine-readable `BENCH_<name>.json` next to its working directory: a
+// flat {"benchmark name": nanoseconds_per_op} map that scripts can diff
+// across commits without parsing console output.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace osap::bench {
+
+/// Console reporter that also accumulates per-iteration timings and, on
+/// Finalize, writes them as a flat JSON object (name -> ns/op). Aggregate
+/// rows (mean/median/stddev from --benchmark_repetitions) are excluded so
+/// the map stays one-entry-per-benchmark.
+class JsonSidecarReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonSidecarReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double ns_per_op =
+          run.iterations == 0
+              ? 0.0
+              : run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+      entries_.emplace_back(run.benchmark_name(), ns_per_op);
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    OSAP_CHECK_MSG(f != nullptr, "JsonSidecarReporter: cannot open output");
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.3f%s\n", Escaped(entries_[i].first).c_str(),
+                   entries_[i].second, i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries, ns/op)\n", path_.c_str(),
+                entries_.size());
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// Shared main() body: run all registered benchmarks through the sidecar
+/// reporter. Use instead of BENCHMARK_MAIN().
+inline int RunWithJsonSidecar(int argc, char** argv,
+                              const std::string& json_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonSidecarReporter reporter(json_path);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace osap::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also writes `json_path`.
+#define OSAP_BENCHMARK_MAIN_WITH_JSON(json_path)                        \
+  int main(int argc, char** argv) {                                     \
+    return osap::bench::RunWithJsonSidecar(argc, argv, (json_path));    \
+  }

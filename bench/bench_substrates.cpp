@@ -6,6 +6,8 @@
 // regressions in the hot loops.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include "abr/abr_environment.h"
 #include "nn/losses.h"
 #include "policies/pensieve_net.h"
@@ -125,4 +127,4 @@ BENCHMARK(BM_TraceGenerationMarkov);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+OSAP_BENCHMARK_MAIN_WITH_JSON("BENCH_substrates.json")

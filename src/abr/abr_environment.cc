@@ -30,6 +30,13 @@ void AbrEnvironment::SetFixedTrace(const traces::Trace& trace) {
   pool_ = {};
 }
 
+void AbrEnvironment::SkipPoolEpisodes(std::size_t episodes) {
+  OSAP_REQUIRE(!pool_.empty(), "SkipPoolEpisodes: no trace pool");
+  for (std::size_t i = 0; i < episodes; ++i) {
+    (void)pool_rng_.UniformInt(pool_.size());
+  }
+}
+
 mdp::State AbrEnvironment::Reset() {
   OSAP_REQUIRE(fixed_trace_ != nullptr || !pool_.empty(),
                "AbrEnvironment::Reset: no trace configured");

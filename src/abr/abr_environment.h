@@ -38,6 +38,13 @@ class AbrEnvironment final : public mdp::Environment {
   /// Evaluation mode: Reset() always replays this trace.
   void SetFixedTrace(const traces::Trace& trace);
 
+  /// Advances the trace-pool RNG as if `episodes` episodes had been Reset
+  /// (one pool draw each) without running them. Lets per-member environment
+  /// copies in parallel ensemble training reproduce the serial episode
+  /// stream bit-exactly: member m trains on a copy fast-forwarded past the
+  /// first m members' episodes.
+  void SkipPoolEpisodes(std::size_t episodes);
+
   // mdp::Environment
   mdp::State Reset() override;
   mdp::StepResult Step(mdp::Action action) override;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "nn/losses.h"
 #include "nn/matrix.h"
 #include "util/check.h"
 #include "util/kl.h"
@@ -26,24 +27,50 @@ std::vector<std::size_t> SurvivingMembers(
   return order;
 }
 
+namespace {
+
+// Null members become null pointers here so BatchedEnsemble's own
+// validation (throwing std::invalid_argument) runs before any dereference.
+std::vector<const nn::CompositeNet*> ActorViews(
+    const std::vector<std::shared_ptr<nn::ActorCriticNet>>& members) {
+  std::vector<const nn::CompositeNet*> views;
+  views.reserve(members.size());
+  for (const auto& m : members) views.push_back(m ? &m->actor() : nullptr);
+  return views;
+}
+
+std::vector<const nn::CompositeNet*> NetViews(
+    const std::vector<std::shared_ptr<nn::CompositeNet>>& members) {
+  std::vector<const nn::CompositeNet*> views;
+  views.reserve(members.size());
+  for (const auto& m : members) views.push_back(m.get());
+  return views;
+}
+
+nn::InferScratch& EstimatorScratch() {
+  thread_local nn::InferScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 AgentEnsembleEstimator::AgentEnsembleEstimator(
     std::vector<std::shared_ptr<nn::ActorCriticNet>> members,
     std::size_t discard)
-    : members_(std::move(members)) {
-  OSAP_REQUIRE(!members_.empty(), "AgentEnsembleEstimator: empty ensemble");
+    : members_(std::move(members)), batched_actors_(ActorViews(members_)) {
   OSAP_REQUIRE(discard < members_.size(),
                "AgentEnsembleEstimator: discard must leave >= 1 member");
-  for (const auto& m : members_) {
-    OSAP_REQUIRE(m != nullptr, "AgentEnsembleEstimator: null member");
-  }
   keep_ = members_.size() - discard;
 }
 
 double AgentEnsembleEstimator::Score(const mdp::State& state) {
-  // 1. Per-member action distributions.
+  // 1. Per-member action distributions via one fused batched pass.
+  const nn::Matrix& logits = batched_actors_.Infer(state, EstimatorScratch());
   std::vector<std::vector<double>> dists;
   dists.reserve(members_.size());
-  for (const auto& m : members_) dists.push_back(m->ActionProbs(state));
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    dists.push_back(nn::Softmax(logits.Row(m)));
+  }
 
   // 2. Distances from the full-ensemble mean; drop the farthest.
   const std::vector<double> mean = MeanDistribution(dists);
@@ -66,12 +93,10 @@ double AgentEnsembleEstimator::Score(const mdp::State& state) {
 ValueEnsembleEstimator::ValueEnsembleEstimator(
     std::vector<std::shared_ptr<nn::CompositeNet>> members,
     std::size_t discard)
-    : members_(std::move(members)) {
-  OSAP_REQUIRE(!members_.empty(), "ValueEnsembleEstimator: empty ensemble");
+    : members_(std::move(members)), batched_values_(NetViews(members_)) {
   OSAP_REQUIRE(discard < members_.size(),
                "ValueEnsembleEstimator: discard must leave >= 1 member");
   for (const auto& m : members_) {
-    OSAP_REQUIRE(m != nullptr, "ValueEnsembleEstimator: null member");
     OSAP_REQUIRE(m->OutputSize() == 1,
                  "ValueEnsembleEstimator: members must output one value");
   }
@@ -79,10 +104,11 @@ ValueEnsembleEstimator::ValueEnsembleEstimator(
 }
 
 double ValueEnsembleEstimator::Score(const mdp::State& state) {
+  const nn::Matrix& out = batched_values_.Infer(state, EstimatorScratch());
   std::vector<double> values;
   values.reserve(members_.size());
-  for (const auto& m : members_) {
-    values.push_back(m->Forward(nn::Matrix::RowVector(state)).At(0, 0));
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    values.push_back(out.At(m, 0));
   }
   double mean = 0.0;
   for (double v : values) mean += v;

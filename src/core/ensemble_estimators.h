@@ -17,6 +17,7 @@
 
 #include "core/uncertainty.h"
 #include "nn/actor_critic_net.h"
+#include "nn/ensemble_forward.h"
 #include "nn/sequential.h"
 
 namespace osap::core {
@@ -44,6 +45,9 @@ class AgentEnsembleEstimator final : public UncertaintyEstimator {
 
  private:
   std::vector<std::shared_ptr<nn::ActorCriticNet>> members_;
+  // Snapshot of the members' actor weights, packed for one fused forward
+  // pass per decision instead of five sequential 1xN chains.
+  nn::BatchedEnsemble batched_actors_;
   std::size_t keep_;
 };
 
@@ -64,6 +68,7 @@ class ValueEnsembleEstimator final : public UncertaintyEstimator {
 
  private:
   std::vector<std::shared_ptr<nn::CompositeNet>> members_;
+  nn::BatchedEnsemble batched_values_;
   std::size_t keep_;
 };
 

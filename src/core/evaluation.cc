@@ -19,4 +19,23 @@ EvalResult EvaluatePolicy(mdp::Policy& policy, abr::AbrEnvironment& env,
   return result;
 }
 
+EvalResult EvaluatePolicyParallel(
+    const std::function<std::shared_ptr<mdp::Policy>()>& make_policy,
+    const abr::AbrEnvironment& env, std::span<const traces::Trace> traces,
+    util::ThreadPool& pool) {
+  OSAP_REQUIRE(!traces.empty(), "EvaluatePolicy: no traces");
+  EvalResult result;
+  result.per_trace_qoe.assign(traces.size(), 0.0);
+  pool.ParallelFor(0, traces.size(), [&](std::size_t i) {
+    std::shared_ptr<mdp::Policy> policy = make_policy();
+    OSAP_CHECK_MSG(policy != nullptr, "EvaluatePolicyParallel: null policy");
+    abr::AbrEnvironment local_env = env;
+    local_env.SetFixedTrace(traces[i]);
+    const mdp::Trajectory trajectory = mdp::Rollout(local_env, *policy);
+    OSAP_CHECK_MSG(!trajectory.Empty(), "EvaluatePolicy: empty session");
+    result.per_trace_qoe[i] = trajectory.TotalReward();
+  });
+  return result;
+}
+
 }  // namespace osap::core

@@ -3,6 +3,8 @@
 // this primitive.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "mdp/policy.h"
 #include "traces/trace.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace osap::core {
 
@@ -26,5 +29,17 @@ struct EvalResult {
 /// every session.
 EvalResult EvaluatePolicy(mdp::Policy& policy, abr::AbrEnvironment& env,
                           std::span<const traces::Trace> traces);
+
+/// Parallel variant: per-trace rollouts are distributed over the pool,
+/// each on its own copy of `env` with its own policy from `make_policy`
+/// (called once per trace, possibly concurrently - it must be
+/// thread-safe). Results are written by trace index, so the output is
+/// bit-identical to EvaluatePolicy whenever a fresh policy behaves like a
+/// Reset one - true for every scheme here except RandomPolicy, whose RNG
+/// deliberately carries across sessions (evaluate it serially).
+EvalResult EvaluatePolicyParallel(
+    const std::function<std::shared_ptr<mdp::Policy>()>& make_policy,
+    const abr::AbrEnvironment& env, std::span<const traces::Trace> traces,
+    util::ThreadPool& pool);
 
 }  // namespace osap::core

@@ -89,6 +89,21 @@ Workbench::Workbench(WorkbenchConfig config)
   layout_.levels = eval_video_.LevelCount();
 }
 
+std::size_t Workbench::ResolvedThreads() const {
+  return config_.threads == 0 ? util::ThreadPool::HardwareConcurrency()
+                              : config_.threads;
+}
+
+util::ThreadPool& Workbench::Pool() {
+  if (!pool_) {
+    // The calling thread participates in ParallelFor, so a budget of T
+    // threads means T - 1 pool workers; T = 1 yields a worker-less pool
+    // whose ParallelFor degrades to the plain serial loop.
+    pool_ = std::make_unique<util::ThreadPool>(ResolvedThreads() - 1);
+  }
+  return *pool_;
+}
+
 std::string Workbench::CacheKey() const {
   std::ostringstream os;
   os << config_.dataset.trace_count << '|'
@@ -190,12 +205,22 @@ void Workbench::TrainOrLoadAgents(TrainedBundle& bundle) {
 
   OSAP_LOG(kInfo) << "[" << traces::DatasetName(bundle.id) << "] training "
                   << config_.ensemble_size << " agents ("
-                  << config_.a2c.episodes << " episodes each)";
+                  << config_.a2c.episodes << " episodes each, "
+                  << ResolvedThreads() << " threads)";
   abr::AbrEnvironment env = MakeTrainEnvironment(bundle.id);
   rl::A2cConfig a2c = config_.a2c;
-  rl::AgentEnsembleResult ensemble = rl::TrainAgentEnsemble(
-      config_.ensemble_size, factory, env, a2c,
-      DatasetSeed(config_.seed, bundle.id));
+  // Member m trains on a copy of the shared environment fast-forwarded
+  // past the first m members' episodes, reproducing the serial episode
+  // stream bit-exactly (TrainA2c resets exactly `episodes` times).
+  const rl::MemberEnvFactory env_for_member =
+      [&env, episodes = config_.a2c.episodes](std::size_t m) {
+        auto copy = std::make_unique<abr::AbrEnvironment>(env);
+        copy->SkipPoolEpisodes(m * episodes);
+        return std::unique_ptr<mdp::Environment>(std::move(copy));
+      };
+  rl::AgentEnsembleResult ensemble = rl::TrainAgentEnsembleParallel(
+      config_.ensemble_size, factory, env_for_member, a2c,
+      DatasetSeed(config_.seed, bundle.id), Pool());
   bundle.agents = std::move(ensemble.members);
 
   // Model selection: deploy the ensemble member with the best greedy
@@ -203,18 +228,21 @@ void Workbench::TrainOrLoadAgents(TrainedBundle& bundle) {
   // U_V ensemble trains on its experience, ND on its sessions, and every
   // scheme streams with it). The U_pi ensemble still uses all members.
   {
-    abr::AbrEnvironment eval_env = MakeEvalEnvironment();
+    const abr::AbrEnvironment eval_env = MakeEvalEnvironment();
     const auto& validation = DatasetFor(bundle.id).validation;
-    double best_qoe = -std::numeric_limits<double>::infinity();
-    std::size_t best = 0;
-    for (std::size_t m = 0; m < bundle.agents.size(); ++m) {
+    std::vector<double> qoes(bundle.agents.size());
+    Pool().ParallelFor(0, bundle.agents.size(), [&](std::size_t m) {
       policies::PensievePolicy policy(bundle.agents[m],
                                       policies::ActionSelection::kGreedy,
                                       /*seed=*/0);
-      const double qoe =
-          EvaluatePolicy(policy, eval_env, validation).MeanQoe();
-      if (qoe > best_qoe) {
-        best_qoe = qoe;
+      abr::AbrEnvironment member_env = eval_env;
+      qoes[m] = EvaluatePolicy(policy, member_env, validation).MeanQoe();
+    });
+    double best_qoe = -std::numeric_limits<double>::infinity();
+    std::size_t best = 0;
+    for (std::size_t m = 0; m < qoes.size(); ++m) {
+      if (qoes[m] > best_qoe) {
+        best_qoe = qoes[m];
         best = m;
       }
     }
@@ -277,9 +305,9 @@ void Workbench::TrainOrLoadValueNets(TrainedBundle& bundle) {
   policies::PensievePolicy driver(bundle.agents.front(),
                                   policies::ActionSelection::kSample,
                                   DatasetSeed(config_.seed, bundle.id) ^ 2);
-  bundle.value_nets = rl::TrainValueEnsemble(
+  bundle.value_nets = rl::TrainValueEnsembleParallel(
       config_.ensemble_size, factory, env, driver, config_.value_train,
-      DatasetSeed(config_.seed, bundle.id) ^ 3);
+      DatasetSeed(config_.seed, bundle.id) ^ 3, Pool());
   if (config_.use_cache) {
     for (std::size_t m = 0; m < bundle.value_nets.size(); ++m) {
       nn::SaveParamsToFile(dir / ("value_" + std::to_string(m) + ".bin"),
@@ -310,27 +338,36 @@ void Workbench::FitOrLoadNoveltyDetector(TrainedBundle& bundle) {
   // training traces with the deployed agent.
   OSAP_LOG(kInfo) << "[" << traces::DatasetName(bundle.id)
                   << "] fitting OC-SVM novelty detector";
-  abr::AbrEnvironment env = MakeTrainEnvironment(bundle.id);
-  policies::PensievePolicy driver(bundle.agents.front(),
-                                  policies::ActionSelection::kGreedy,
-                                  /*seed=*/0);
-  std::vector<std::vector<double>> features;
+  const abr::AbrEnvironment env = MakeTrainEnvironment(bundle.id);
+  const auto& train_traces = DatasetFor(bundle.id).train;
   const NoveltyDetectorConfig nd_cfg = NdConfigFor(bundle.id);
-  for (const traces::Trace& trace : DatasetFor(bundle.id).train) {
-    env.SetFixedTrace(trace);
+  // Per-trace sessions are independent (fixed-trace resets consume no pool
+  // randomness and the greedy driver is deterministic), so they run on the
+  // pool; per-trace feature lists are flattened in trace order afterwards
+  // to match the serial collection exactly.
+  std::vector<std::vector<std::vector<double>>> per_trace(
+      train_traces.size());
+  Pool().ParallelFor(0, train_traces.size(), [&](std::size_t i) {
+    abr::AbrEnvironment local_env = env;
+    policies::PensievePolicy driver(bundle.agents.front(),
+                                    policies::ActionSelection::kGreedy,
+                                    /*seed=*/0);
+    local_env.SetFixedTrace(train_traces[i]);
     driver.Reset();
     std::vector<double> throughputs;
-    mdp::State state = env.Reset();
+    mdp::State state = local_env.Reset();
     bool done = false;
     while (!done) {
-      mdp::StepResult step = env.Step(driver.SelectAction(state));
-      throughputs.push_back(env.LastDownload().throughput_mbps);
+      mdp::StepResult step = local_env.Step(driver.SelectAction(state));
+      throughputs.push_back(local_env.LastDownload().throughput_mbps);
       state = std::move(step.next_state);
       done = step.done;
     }
-    auto session_features =
-        NoveltyDetector::ExtractFeatures(throughputs, nd_cfg);
-    for (auto& f : session_features) features.push_back(std::move(f));
+    per_trace[i] = NoveltyDetector::ExtractFeatures(throughputs, nd_cfg);
+  });
+  std::vector<std::vector<double>> features;
+  for (auto& session : per_trace) {
+    for (auto& f : session) features.push_back(std::move(f));
   }
   bundle.novelty->Fit(features);
   if (config_.use_cache) bundle.novelty->Save(path);
@@ -445,8 +482,12 @@ const TrainedBundle& Workbench::BundleFor(traces::DatasetId id) {
   return bundles_.emplace(id, std::move(bundle)).first->second;
 }
 
-std::shared_ptr<mdp::Policy> Workbench::MakePolicy(Scheme scheme,
-                                                   traces::DatasetId train) {
+std::shared_ptr<mdp::Policy> Workbench::MakePolicyFromBundle(
+    Scheme scheme, const TrainedBundle* bundle) const {
+  if (scheme != Scheme::kBufferBased && scheme != Scheme::kRandom) {
+    OSAP_CHECK_MSG(bundle != nullptr,
+                   "MakePolicyFromBundle: scheme needs a trained bundle");
+  }
   switch (scheme) {
     case Scheme::kBufferBased:
       return MakeBufferBased();
@@ -454,36 +495,42 @@ std::shared_ptr<mdp::Policy> Workbench::MakePolicy(Scheme scheme,
       return std::make_shared<policies::RandomPolicy>(
           eval_video_.LevelCount(), config_.seed ^ 0xABCDEF);
     case Scheme::kPensieve:
-      return MakeGreedyPensieve(BundleFor(train));
+      return MakeGreedyPensieve(*bundle);
     case Scheme::kNoveltyDetection: {
-      const TrainedBundle& bundle = BundleFor(train);
       // Fresh detector per policy (shares the fitted model, owns its own
       // observation window).
-      auto estimator = std::make_shared<NoveltyDetector>(*bundle.novelty);
+      auto estimator = std::make_shared<NoveltyDetector>(*bundle->novelty);
       estimator->Reset();
-      return std::make_shared<SafeAgent>(MakeGreedyPensieve(bundle),
+      return std::make_shared<SafeAgent>(MakeGreedyPensieve(*bundle),
                                          MakeBufferBased(), estimator,
-                                         TriggerFor(scheme, bundle));
+                                         TriggerFor(scheme, *bundle));
     }
     case Scheme::kAgentEnsemble: {
-      const TrainedBundle& bundle = BundleFor(train);
       auto estimator = std::make_shared<AgentEnsembleEstimator>(
-          bundle.agents, config_.ensemble_discard);
-      return std::make_shared<SafeAgent>(MakeGreedyPensieve(bundle),
+          bundle->agents, config_.ensemble_discard);
+      return std::make_shared<SafeAgent>(MakeGreedyPensieve(*bundle),
                                          MakeBufferBased(), estimator,
-                                         TriggerFor(scheme, bundle));
+                                         TriggerFor(scheme, *bundle));
     }
     case Scheme::kValueEnsemble: {
-      const TrainedBundle& bundle = BundleFor(train);
       auto estimator = std::make_shared<ValueEnsembleEstimator>(
-          bundle.value_nets, config_.ensemble_discard);
-      return std::make_shared<SafeAgent>(MakeGreedyPensieve(bundle),
+          bundle->value_nets, config_.ensemble_discard);
+      return std::make_shared<SafeAgent>(MakeGreedyPensieve(*bundle),
                                          MakeBufferBased(), estimator,
-                                         TriggerFor(scheme, bundle));
+                                         TriggerFor(scheme, *bundle));
     }
   }
   OSAP_CHECK_MSG(false, "MakePolicy: unknown scheme");
   return nullptr;
+}
+
+std::shared_ptr<mdp::Policy> Workbench::MakePolicy(Scheme scheme,
+                                                   traces::DatasetId train) {
+  const TrainedBundle* bundle = nullptr;
+  if (scheme != Scheme::kBufferBased && scheme != Scheme::kRandom) {
+    bundle = &BundleFor(train);
+  }
+  return MakePolicyFromBundle(scheme, bundle);
 }
 
 const EvalResult& Workbench::Evaluate(Scheme scheme, traces::DatasetId train,
@@ -499,10 +546,26 @@ const EvalResult& Workbench::Evaluate(Scheme scheme, traces::DatasetId train,
   auto it = eval_cache_.find(key);
   if (it != eval_cache_.end()) return it->second;
 
-  std::shared_ptr<mdp::Policy> policy = MakePolicy(scheme, train);
-  abr::AbrEnvironment env = MakeEvalEnvironment();
-  EvalResult result =
-      EvaluatePolicy(*policy, env, DatasetFor(test).test);
+  // Materialize the bundle and datasets on this thread before fanning out.
+  const TrainedBundle* bundle = nullptr;
+  if (scheme != Scheme::kBufferBased && scheme != Scheme::kRandom) {
+    bundle = &BundleFor(train);
+  }
+  const auto& test_traces = DatasetFor(test).test;
+  EvalResult result;
+  if (scheme == Scheme::kRandom || ResolvedThreads() <= 1 ||
+      test_traces.size() <= 1) {
+    // Random stays serial on purpose: its action RNG carries across
+    // sessions, so per-trace results depend on evaluation order.
+    std::shared_ptr<mdp::Policy> policy = MakePolicyFromBundle(scheme, bundle);
+    abr::AbrEnvironment env = MakeEvalEnvironment();
+    result = EvaluatePolicy(*policy, env, test_traces);
+  } else {
+    const abr::AbrEnvironment env = MakeEvalEnvironment();
+    result = EvaluatePolicyParallel(
+        [this, scheme, bundle] { return MakePolicyFromBundle(scheme, bundle); },
+        env, test_traces, Pool());
+  }
   return eval_cache_.emplace(key, std::move(result)).first->second;
 }
 

@@ -34,6 +34,7 @@
 #include "rl/a2c.h"
 #include "rl/value_trainer.h"
 #include "traces/dataset.h"
+#include "util/thread_pool.h"
 
 namespace osap::core {
 
@@ -84,6 +85,13 @@ struct WorkbenchConfig {
   std::filesystem::path cache_dir = "osap_cache";
   bool use_cache = true;
   std::uint64_t seed = 7;
+
+  /// Worker-thread budget for per-trace evaluation rollouts, per-member
+  /// ensemble training, and ND feature collection. 0 = hardware
+  /// concurrency; 1 reproduces today's serial path. Results are
+  /// bit-identical at every setting (see DESIGN.md "Threading model"), so
+  /// this deliberately does NOT enter CacheKey().
+  std::size_t threads = 0;
 };
 
 /// A WorkbenchConfig sized for unit/integration tests: tiny nets, few
@@ -156,6 +164,18 @@ class Workbench {
   std::map<traces::DatasetId, traces::Dataset> datasets_;
   std::map<traces::DatasetId, TrainedBundle> bundles_;
   std::map<std::tuple<int, int, int>, EvalResult> eval_cache_;
+  std::unique_ptr<util::ThreadPool> pool_;  // lazily built on first use
+
+  /// Total threads applied to parallel sections (>= 1).
+  std::size_t ResolvedThreads() const;
+  /// The shared pool (ResolvedThreads() - 1 workers + the caller).
+  util::ThreadPool& Pool();
+
+  /// Thread-safe MakePolicy core: builds a policy for `scheme` from an
+  /// already-materialized bundle without touching workbench caches.
+  /// `bundle` may be null only for bundle-free schemes (BB, Random).
+  std::shared_ptr<mdp::Policy> MakePolicyFromBundle(
+      Scheme scheme, const TrainedBundle* bundle) const;
 
   std::filesystem::path BundleDir(traces::DatasetId id) const;
   NoveltyDetectorConfig NdConfigFor(traces::DatasetId id) const;

@@ -1,5 +1,7 @@
 #include "nn/actor_critic_net.h"
 
+#include <algorithm>
+
 #include "nn/losses.h"
 #include "util/check.h"
 
@@ -13,17 +15,37 @@ ActorCriticNet::ActorCriticNet(CompositeNet actor, CompositeNet critic)
                "ActorCriticNet: actor and critic must share the state size");
 }
 
+namespace {
+
+// Per-thread inference buffers: single-state ActionProbs/Value calls are
+// allocation-free after warm-up and never share mutable state across
+// threads. The input row is a separate buffer because Infer's scratch must
+// not alias its input.
+InferScratch& LocalScratch() {
+  thread_local InferScratch scratch;
+  return scratch;
+}
+
+Matrix& LocalInputRow(std::span<const double> state) {
+  thread_local Matrix row;
+  row.ReshapeUninitialized(1, state.size());
+  std::copy(state.begin(), state.end(), row.data());
+  return row;
+}
+
+}  // namespace
+
 std::vector<double> ActorCriticNet::ActionProbs(
-    std::span<const double> state) {
+    std::span<const double> state) const {
   OSAP_REQUIRE(state.size() == StateSize(),
                "ActionProbs: state size mismatch");
-  const Matrix logits = actor_.Forward(Matrix::RowVector(state));
+  const Matrix& logits = actor_.Infer(LocalInputRow(state), LocalScratch());
   return Softmax(logits.Row(0));
 }
 
-double ActorCriticNet::Value(std::span<const double> state) {
+double ActorCriticNet::Value(std::span<const double> state) const {
   OSAP_REQUIRE(state.size() == StateSize(), "Value: state size mismatch");
-  return critic_.Forward(Matrix::RowVector(state)).At(0, 0);
+  return critic_.Infer(LocalInputRow(state), LocalScratch()).At(0, 0);
 }
 
 Matrix ActorCriticNet::ActorLogits(const Matrix& states) {

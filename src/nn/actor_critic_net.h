@@ -21,11 +21,14 @@ class ActorCriticNet {
   /// The critic must output exactly one value per example.
   ActorCriticNet(CompositeNet actor, CompositeNet critic);
 
-  /// Softmax action distribution for a single state.
-  std::vector<double> ActionProbs(std::span<const double> state);
+  /// Softmax action distribution for a single state. Runs on the
+  /// cache-free inference path (thread-local scratch), so it is const and
+  /// safe to call concurrently on a net shared across threads.
+  std::vector<double> ActionProbs(std::span<const double> state) const;
 
-  /// State value estimate for a single state.
-  double Value(std::span<const double> state);
+  /// State value estimate for a single state. Const and thread-safe like
+  /// ActionProbs.
+  double Value(std::span<const double> state) const;
 
   /// Raw actor logits for a batch (training path; caches activations).
   Matrix ActorLogits(const Matrix& states);
@@ -45,6 +48,10 @@ class ActorCriticNet {
 
   std::size_t StateSize() const { return actor_.InputSize(); }
   std::size_t ActionCount() const { return actor_.OutputSize(); }
+
+  /// Read-only access to the underlying nets (for batched ensemble packing).
+  const CompositeNet& actor() const { return actor_; }
+  const CompositeNet& critic() const { return critic_; }
 
  private:
   CompositeNet actor_;

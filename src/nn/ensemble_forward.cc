@@ -1,0 +1,262 @@
+#include "nn/ensemble_forward.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace osap::nn {
+
+BatchedEnsemble::BatchedEnsemble(std::vector<const CompositeNet*> members) {
+  OSAP_REQUIRE(!members.empty(), "BatchedEnsemble: empty ensemble");
+  for (const CompositeNet* m : members) {
+    OSAP_REQUIRE(m != nullptr, "BatchedEnsemble: null member");
+  }
+  member_count_ = members.size();
+  const CompositeNet& first = *members.front();
+  for (const CompositeNet* m : members) {
+    OSAP_REQUIRE(m->BranchCount() == first.BranchCount() &&
+                     m->InputSize() == first.InputSize() &&
+                     m->OutputSize() == first.OutputSize(),
+                 "BatchedEnsemble: members must share one topology");
+  }
+  input_size_ = first.InputSize();
+  output_size_ = first.OutputSize();
+
+  for (std::size_t b = 0; b < first.BranchCount(); ++b) {
+    PackedBranch branch;
+    branch.begin = first.BranchBegin(b);
+    branch.width = first.BranchWidth(b);
+    branch.out_width = first.BranchSeq(b).OutputSize();
+    std::vector<const Sequential*> seqs;
+    seqs.reserve(members.size());
+    for (const CompositeNet* m : members) {
+      OSAP_REQUIRE(m->BranchBegin(b) == branch.begin &&
+                       m->BranchWidth(b) == branch.width,
+                   "BatchedEnsemble: branch column ranges must match");
+      seqs.push_back(&m->BranchSeq(b));
+    }
+    branch.ops = Pack(seqs);
+    concat_width_ += branch.out_width;
+    branches_.push_back(std::move(branch));
+  }
+
+  std::vector<const Sequential*> trunks;
+  trunks.reserve(members.size());
+  for (const CompositeNet* m : members) trunks.push_back(&m->trunk());
+  trunk_ = Pack(trunks);
+}
+
+std::vector<BatchedEnsemble::PackedOp> BatchedEnsemble::Pack(
+    const std::vector<const Sequential*>& seqs) {
+  const Sequential& first = *seqs.front();
+  for (const Sequential* s : seqs) {
+    OSAP_REQUIRE(s->LayerCount() == first.LayerCount(),
+                 "BatchedEnsemble: members must share layer counts");
+  }
+  const std::size_t k_members = seqs.size();
+  std::vector<PackedOp> ops;
+  ops.reserve(first.LayerCount());
+  for (std::size_t li = 0; li < first.LayerCount(); ++li) {
+    const Layer& proto = first.LayerAt(li);
+    PackedOp op;
+    op.in = proto.InputSize();
+    op.out = proto.OutputSize();
+    if (dynamic_cast<const Linear*>(&proto) != nullptr) {
+      op.kind = PackedOp::Kind::kLinear;
+      op.weights.ReshapeUninitialized(k_members * op.in, op.out);
+      op.bias.ReshapeUninitialized(k_members, op.out);
+      for (std::size_t m = 0; m < k_members; ++m) {
+        const auto* member = dynamic_cast<const Linear*>(&seqs[m]->LayerAt(li));
+        OSAP_REQUIRE(member != nullptr &&
+                         member->InputSize() == op.in &&
+                         member->OutputSize() == op.out,
+                     "BatchedEnsemble: layer shape mismatch across members");
+        std::copy(member->weight().value.values().begin(),
+                  member->weight().value.values().end(),
+                  op.weights.data() + m * op.in * op.out);
+        std::copy(member->bias().value.values().begin(),
+                  member->bias().value.values().end(),
+                  op.bias.data() + m * op.out);
+      }
+    } else if (const auto* conv = dynamic_cast<const Conv1D*>(&proto)) {
+      op.kind = PackedOp::Kind::kConv1d;
+      op.in_channels = conv->in_channels();
+      op.out_channels = conv->out_channels();
+      op.kernel = conv->kernel();
+      op.input_length = conv->input_length();
+      const std::size_t w_rows = op.in_channels * op.kernel;
+      op.weights.ReshapeUninitialized(k_members * w_rows, op.out_channels);
+      op.bias.ReshapeUninitialized(k_members, op.out_channels);
+      for (std::size_t m = 0; m < k_members; ++m) {
+        const auto* member = dynamic_cast<const Conv1D*>(&seqs[m]->LayerAt(li));
+        OSAP_REQUIRE(member != nullptr &&
+                         member->in_channels() == op.in_channels &&
+                         member->out_channels() == op.out_channels &&
+                         member->kernel() == op.kernel &&
+                         member->input_length() == op.input_length,
+                     "BatchedEnsemble: conv shape mismatch across members");
+        std::copy(member->weight().value.values().begin(),
+                  member->weight().value.values().end(),
+                  op.weights.data() + m * w_rows * op.out_channels);
+        std::copy(member->bias().value.values().begin(),
+                  member->bias().value.values().end(),
+                  op.bias.data() + m * op.out_channels);
+      }
+    } else if (dynamic_cast<const ReLU*>(&proto) != nullptr) {
+      op.kind = PackedOp::Kind::kRelu;
+    } else if (dynamic_cast<const Tanh*>(&proto) != nullptr) {
+      op.kind = PackedOp::Kind::kTanh;
+    } else {
+      OSAP_REQUIRE(false, "BatchedEnsemble: unsupported layer kind");
+    }
+    if (op.kind == PackedOp::Kind::kRelu ||
+        op.kind == PackedOp::Kind::kTanh) {
+      for (const Sequential* s : seqs) {
+        OSAP_REQUIRE(s->LayerAt(li).Name() == proto.Name() &&
+                         s->LayerAt(li).InputSize() == op.in,
+                     "BatchedEnsemble: layer kind mismatch across members");
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+void BatchedEnsemble::ApplyOp(const PackedOp& op, const double* x,
+                              std::size_t x_stride, Matrix& y) const {
+  const std::size_t k_members = member_count_;
+  y.ReshapeUninitialized(k_members, op.out);
+  switch (op.kind) {
+    case PackedOp::Kind::kLinear: {
+      // Mirrors Linear::Forward: k-ascending accumulation from zero, bias
+      // added as one final rounded addition per output. The k loop is
+      // unrolled by 4 exactly like Matrix::MatMulInto - four separate
+      // ascending-k additions per output element - so the rounding order
+      // (and result) is unchanged while each y element stays in a register
+      // across four updates.
+      const std::size_t in = op.in;
+      const std::size_t out = op.out;
+      for (std::size_t m = 0; m < k_members; ++m) {
+        const double* xr = x + m * x_stride;
+        const double* w = op.weights.data() + m * in * out;
+        const double* bias = op.bias.data() + m * out;
+        double* yr = y.data() + m * out;
+        std::fill(yr, yr + out, 0.0);
+        std::size_t k = 0;
+        for (; k + 4 <= in; k += 4) {
+          const double a0 = xr[k];
+          const double a1 = xr[k + 1];
+          const double a2 = xr[k + 2];
+          const double a3 = xr[k + 3];
+          const double* w0 = w + k * out;
+          const double* w1 = w0 + out;
+          const double* w2 = w1 + out;
+          const double* w3 = w2 + out;
+          for (std::size_t j = 0; j < out; ++j) {
+            double acc = yr[j];
+            acc += a0 * w0[j];
+            acc += a1 * w1[j];
+            acc += a2 * w2[j];
+            acc += a3 * w3[j];
+            yr[j] = acc;
+          }
+        }
+        for (; k < in; ++k) {
+          const double a = xr[k];
+          const double* wr = w + k * out;
+          for (std::size_t j = 0; j < out; ++j) yr[j] += a * wr[j];
+        }
+        for (std::size_t j = 0; j < out; ++j) yr[j] += bias[j];
+      }
+      break;
+    }
+    case PackedOp::Kind::kConv1d: {
+      // Mirrors Conv1D::Forward: acc starts at the bias, then ic- and
+      // k-ascending multiply-adds per (oc, t) output element.
+      const std::size_t out_len = op.input_length - op.kernel + 1;
+      const std::size_t w_rows = op.in_channels * op.kernel;
+      for (std::size_t m = 0; m < k_members; ++m) {
+        const double* xr = x + m * x_stride;
+        const double* w = op.weights.data() + m * w_rows * op.out_channels;
+        const double* bias = op.bias.data() + m * op.out_channels;
+        double* yr = y.data() + m * op.out;
+        for (std::size_t oc = 0; oc < op.out_channels; ++oc) {
+          const double b = bias[oc];
+          for (std::size_t t = 0; t < out_len; ++t) {
+            double acc = b;
+            for (std::size_t ic = 0; ic < op.in_channels; ++ic) {
+              const double* xc = xr + ic * op.input_length + t;
+              for (std::size_t k = 0; k < op.kernel; ++k) {
+                acc += xc[k] * w[(ic * op.kernel + k) * op.out_channels + oc];
+              }
+            }
+            yr[oc * out_len + t] = acc;
+          }
+        }
+      }
+      break;
+    }
+    case PackedOp::Kind::kRelu: {
+      for (std::size_t m = 0; m < k_members; ++m) {
+        const double* xr = x + m * x_stride;
+        double* yr = y.data() + m * op.out;
+        for (std::size_t j = 0; j < op.out; ++j) {
+          yr[j] = xr[j] > 0.0 ? xr[j] : 0.0;
+        }
+      }
+      break;
+    }
+    case PackedOp::Kind::kTanh: {
+      for (std::size_t m = 0; m < k_members; ++m) {
+        const double* xr = x + m * x_stride;
+        double* yr = y.data() + m * op.out;
+        for (std::size_t j = 0; j < op.out; ++j) yr[j] = std::tanh(xr[j]);
+      }
+      break;
+    }
+  }
+}
+
+const Matrix& BatchedEnsemble::RunOps(const std::vector<PackedOp>& ops,
+                                      const double* x, std::size_t x_stride,
+                                      Matrix& buf_a, Matrix& buf_b) const {
+  OSAP_CHECK(!ops.empty());
+  const double* in = x;
+  std::size_t stride = x_stride;
+  Matrix* out = &buf_a;
+  const Matrix* result = nullptr;
+  for (const PackedOp& op : ops) {
+    ApplyOp(op, in, stride, *out);
+    result = out;
+    in = out->data();
+    stride = op.out;
+    out = (out == &buf_a) ? &buf_b : &buf_a;
+  }
+  return *result;
+}
+
+const Matrix& BatchedEnsemble::Infer(std::span<const double> state,
+                                     InferScratch& scratch) const {
+  OSAP_REQUIRE(state.size() >= input_size_,
+               "BatchedEnsemble: state too narrow");
+  scratch.concat.ReshapeUninitialized(member_count_, concat_width_);
+  std::size_t offset = 0;
+  for (const PackedBranch& branch : branches_) {
+    // All members read the same state columns, so the branch input is the
+    // shared row with member-stride zero; members diverge after the first
+    // weighted layer.
+    const Matrix& out = RunOps(branch.ops, state.data() + branch.begin,
+                               /*x_stride=*/0, scratch.a, scratch.b);
+    for (std::size_t m = 0; m < member_count_; ++m) {
+      const double* src = out.data() + m * branch.out_width;
+      std::copy(src, src + branch.out_width,
+                scratch.concat.data() + m * concat_width_ + offset);
+    }
+    offset += branch.out_width;
+  }
+  return RunOps(trunk_, scratch.concat.data(), concat_width_, scratch.a,
+                scratch.b);
+}
+
+}  // namespace osap::nn

@@ -1,0 +1,88 @@
+// Fused batched forward for ensembles of identically-shaped CompositeNets.
+//
+// The paper's U_pi / U_V estimators query all 5 ensemble members on the
+// same state every decision. Running 5 separate 1xN forward chains touches
+// each member's weights through separate allocations with virtual dispatch
+// per layer. BatchedEnsemble instead packs the members' weights per layer
+// into one contiguous buffer at construction and evaluates the whole
+// ensemble with one fused pass per layer shape: member m's activation is
+// row m of a K-row matrix, and each packed layer streams once through the
+// stacked weight blocks. The first layer of every branch reads the shared
+// input row with member-stride zero, since all members see the same state.
+//
+// Numerics are bit-identical to calling each member's Forward/Infer
+// individually: every kernel accumulates in the same order as the layer it
+// replaces. Weights are snapshotted at construction - members must not be
+// retrained afterwards (rebuild the BatchedEnsemble if they are).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace osap::nn {
+
+class BatchedEnsemble {
+ public:
+  /// Packs the K members' weights. All members must share one topology
+  /// (same branches, layer kinds, and shapes); duplicates are allowed.
+  explicit BatchedEnsemble(std::vector<const CompositeNet*> members);
+
+  /// Evaluates every member on one state. Returns a K x OutputSize matrix
+  /// (member m's output in row m) referencing `scratch`; valid until the
+  /// next Infer call with the same scratch.
+  const Matrix& Infer(std::span<const double> state,
+                      InferScratch& scratch) const;
+
+  std::size_t MemberCount() const { return member_count_; }
+  std::size_t InputSize() const { return input_size_; }
+  std::size_t OutputSize() const { return output_size_; }
+
+ private:
+  struct PackedOp {
+    enum class Kind { kLinear, kConv1d, kRelu, kTanh };
+    Kind kind;
+    std::size_t in = 0;   // features per member consumed
+    std::size_t out = 0;  // features per member produced
+    // Linear: weights = K stacked (in x out) blocks, bias = K x out.
+    // Conv1D: weights = K stacked ((in_channels*kernel) x out_channels)
+    // blocks, bias = K x out_channels.
+    Matrix weights;
+    Matrix bias;
+    std::size_t in_channels = 0;
+    std::size_t out_channels = 0;
+    std::size_t kernel = 0;
+    std::size_t input_length = 0;
+  };
+
+  struct PackedBranch {
+    std::size_t begin = 0;
+    std::size_t width = 0;
+    std::size_t out_width = 0;
+    std::vector<PackedOp> ops;
+  };
+
+  // Packs the same Sequential (a branch or the trunk) from every member.
+  static std::vector<PackedOp> Pack(const std::vector<const Sequential*>& seqs);
+
+  // Applies one op to activations at `x` (row stride `x_stride`; zero for
+  // the shared input row) writing member rows into `y`.
+  void ApplyOp(const PackedOp& op, const double* x, std::size_t x_stride,
+               Matrix& y) const;
+
+  // Runs a packed op chain; `x` has `x_stride` between member rows.
+  const Matrix& RunOps(const std::vector<PackedOp>& ops, const double* x,
+                       std::size_t x_stride, Matrix& buf_a,
+                       Matrix& buf_b) const;
+
+  std::size_t member_count_ = 0;
+  std::size_t input_size_ = 0;
+  std::size_t output_size_ = 0;
+  std::size_t concat_width_ = 0;
+  std::vector<PackedBranch> branches_;
+  std::vector<PackedOp> trunk_;
+};
+
+}  // namespace osap::nn

@@ -34,6 +34,12 @@ Matrix Linear::Forward(const Matrix& x) {
   return y;
 }
 
+void Linear::InferBatch(const Matrix& x, Matrix& y) const {
+  OSAP_REQUIRE(x.cols() == InputSize(), "Linear: input width mismatch");
+  x.MatMulInto(weight_.value, y);
+  y.AddRowBroadcast(bias_.value);
+}
+
 Matrix Linear::Backward(const Matrix& dy) {
   OSAP_REQUIRE(dy.cols() == OutputSize(), "Linear: grad width mismatch");
   OSAP_CHECK_MSG(dy.rows() == cached_input_.rows(),
@@ -49,6 +55,16 @@ Matrix ReLU::Forward(const Matrix& x) {
   Matrix y = x;
   for (double& v : y.values()) v = v > 0.0 ? v : 0.0;
   return y;
+}
+
+void ReLU::InferBatch(const Matrix& x, Matrix& y) const {
+  OSAP_REQUIRE(x.cols() == size_, "ReLU: input width mismatch");
+  y.ReshapeUninitialized(x.rows(), x.cols());
+  const double* in = x.data();
+  double* out = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = in[i] > 0.0 ? in[i] : 0.0;
+  }
 }
 
 Matrix ReLU::Backward(const Matrix& dy) {
@@ -70,6 +86,16 @@ Matrix Tanh::Forward(const Matrix& x) {
   for (double& v : y.values()) v = std::tanh(v);
   cached_output_ = y;
   return y;
+}
+
+void Tanh::InferBatch(const Matrix& x, Matrix& y) const {
+  OSAP_REQUIRE(x.cols() == size_, "Tanh: input width mismatch");
+  y.ReshapeUninitialized(x.rows(), x.cols());
+  const double* in = x.data();
+  double* out = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::tanh(in[i]);
+  }
 }
 
 Matrix Tanh::Backward(const Matrix& dy) {
@@ -122,6 +148,31 @@ Matrix Conv1D::Forward(const Matrix& x) {
     }
   }
   return y;
+}
+
+void Conv1D::InferBatch(const Matrix& x, Matrix& y) const {
+  OSAP_REQUIRE(x.cols() == InputSize(), "Conv1D: input width mismatch");
+  const std::size_t out_len = OutputLength();
+  y.ReshapeUninitialized(x.rows(), OutputSize());
+  const double* w = weight_.value.data();
+  const std::size_t w_cols = weight_.value.cols();
+  for (std::size_t n = 0; n < x.rows(); ++n) {
+    const double* xin = x.data() + n * x.cols();
+    double* yout = y.data() + n * y.cols();
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const double b = bias_.value.At(0, oc);
+      for (std::size_t t = 0; t < out_len; ++t) {
+        double acc = b;
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          const double* xc = xin + ic * input_length_ + t;
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            acc += xc[k] * w[(ic * kernel_ + k) * w_cols + oc];
+          }
+        }
+        yout[oc * out_len + t] = acc;
+      }
+    }
+  }
 }
 
 Matrix Conv1D::Backward(const Matrix& dy) {

@@ -40,6 +40,13 @@ class Layer {
   /// accumulates parameter gradients and returns dLoss/dInput.
   virtual Matrix Backward(const Matrix& dy) = 0;
 
+  /// Cache-free forward for the inference hot path: writes the batch
+  /// outputs into `y` (pre-shaped to x.rows() x OutputSize()) without
+  /// caching activations, so it is const and safe to call concurrently on
+  /// a net shared across threads. Numerics match Forward bit for bit.
+  /// `y` must not alias `x`.
+  virtual void InferBatch(const Matrix& x, Matrix& y) const = 0;
+
   /// Trainable parameters (empty for activations).
   virtual std::vector<Param*> Params() { return {}; }
 
@@ -59,6 +66,7 @@ class Linear final : public Layer {
 
   Matrix Forward(const Matrix& x) override;
   Matrix Backward(const Matrix& dy) override;
+  void InferBatch(const Matrix& x, Matrix& y) const override;
   std::vector<Param*> Params() override { return {&weight_, &bias_}; }
   std::string Name() const override { return "Linear"; }
   std::size_t InputSize() const override { return weight_.value.rows(); }
@@ -66,6 +74,8 @@ class Linear final : public Layer {
 
   Param& weight() { return weight_; }
   Param& bias() { return bias_; }
+  const Param& weight() const { return weight_; }
+  const Param& bias() const { return bias_; }
 
  private:
   Param weight_;
@@ -79,6 +89,7 @@ class ReLU final : public Layer {
   explicit ReLU(std::size_t size) : size_(size) {}
   Matrix Forward(const Matrix& x) override;
   Matrix Backward(const Matrix& dy) override;
+  void InferBatch(const Matrix& x, Matrix& y) const override;
   std::string Name() const override { return "ReLU"; }
   std::size_t InputSize() const override { return size_; }
   std::size_t OutputSize() const override { return size_; }
@@ -94,6 +105,7 @@ class Tanh final : public Layer {
   explicit Tanh(std::size_t size) : size_(size) {}
   Matrix Forward(const Matrix& x) override;
   Matrix Backward(const Matrix& dy) override;
+  void InferBatch(const Matrix& x, Matrix& y) const override;
   std::string Name() const override { return "Tanh"; }
   std::size_t InputSize() const override { return size_; }
   std::size_t OutputSize() const override { return size_; }
@@ -114,13 +126,19 @@ class Conv1D final : public Layer {
 
   Matrix Forward(const Matrix& x) override;
   Matrix Backward(const Matrix& dy) override;
+  void InferBatch(const Matrix& x, Matrix& y) const override;
   std::vector<Param*> Params() override { return {&weight_, &bias_}; }
   std::string Name() const override { return "Conv1D"; }
   std::size_t InputSize() const override { return in_channels_ * input_length_; }
   std::size_t OutputSize() const override { return out_channels_ * OutputLength(); }
 
   std::size_t OutputLength() const { return input_length_ - kernel_ + 1; }
+  std::size_t in_channels() const { return in_channels_; }
   std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t input_length() const { return input_length_; }
+  const Param& weight() const { return weight_; }
+  const Param& bias() const { return bias_; }
 
  private:
   std::size_t in_channels_;

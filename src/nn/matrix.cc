@@ -40,30 +40,84 @@ std::span<double> Matrix::Row(std::size_t r) {
   return {data_.data() + r * cols_, cols_};
 }
 
+void Matrix::ReshapeUninitialized(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Matrix Matrix::MatMul(const Matrix& other) const {
+  Matrix out;
+  MatMulInto(other, out);
+  return out;
+}
+
+void Matrix::MatMulInto(const Matrix& other, Matrix& out) const {
   OSAP_REQUIRE(cols_ == other.rows_, "MatMul: inner dimensions must agree");
-  Matrix out(rows_, other.cols_);
-  // i-k-j loop order: streams through both operands row-major.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* a_row = data_.data() + i * cols_;
-    double* o_row = out.data_.data() + i * other.cols_;
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = other.data_.data() + k * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        o_row[j] += a * b_row[j];
+  OSAP_CHECK_MSG(&out != this && &out != &other,
+                 "MatMulInto: out must not alias an operand");
+  out.ReshapeUninitialized(rows_, other.cols_);
+  out.SetZero();
+  const std::size_t n = other.cols_;
+  // Panel-blocked i-k-j kernel. The k loop is unrolled by 4 with the output
+  // element kept in a register across the four updates; the updates stay in
+  // ascending-k order as four separate additions, so the accumulation order
+  // (and therefore every rounded result) is identical to the naive triple
+  // loop. Dense weights make a zero-skip branch pure pipeline poison, so
+  // there is none. Blocking over k keeps a panel of `other` rows hot in
+  // cache while it is reused across the rows of `this`.
+  constexpr std::size_t kPanel = 64;
+  for (std::size_t kb = 0; kb < cols_; kb += kPanel) {
+    const std::size_t k_end = std::min(cols_, kb + kPanel);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const double* a_row = data_.data() + i * cols_;
+      double* o_row = out.data() + i * n;
+      std::size_t k = kb;
+      for (; k + 4 <= k_end; k += 4) {
+        const double a0 = a_row[k];
+        const double a1 = a_row[k + 1];
+        const double a2 = a_row[k + 2];
+        const double a3 = a_row[k + 3];
+        const double* b0 = other.data_.data() + k * n;
+        const double* b1 = b0 + n;
+        const double* b2 = b1 + n;
+        const double* b3 = b2 + n;
+        for (std::size_t j = 0; j < n; ++j) {
+          double acc = o_row[j];
+          acc += a0 * b0[j];
+          acc += a1 * b1[j];
+          acc += a2 * b2[j];
+          acc += a3 * b3[j];
+          o_row[j] = acc;
+        }
+      }
+      for (; k < k_end; ++k) {
+        const double a = a_row[k];
+        const double* b_row = other.data_.data() + k * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          o_row[j] += a * b_row[j];
+        }
       }
     }
   }
-  return out;
 }
 
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t j = 0; j < cols_; ++j) {
-      out.data_[j * rows_ + i] = data_[i * cols_ + j];
+  // Tiled transpose: both the read and the write pattern stay within a
+  // kTile x kTile block, so neither side strides through a whole matrix
+  // column per element on large batched matrices.
+  constexpr std::size_t kTile = 32;
+  for (std::size_t ib = 0; ib < rows_; ib += kTile) {
+    const std::size_t i_end = std::min(rows_, ib + kTile);
+    for (std::size_t jb = 0; jb < cols_; jb += kTile) {
+      const std::size_t j_end = std::min(cols_, jb + kTile);
+      for (std::size_t i = ib; i < i_end; ++i) {
+        const double* src = data_.data() + i * cols_;
+        for (std::size_t j = jb; j < j_end; ++j) {
+          out.data_[j * rows_ + i] = src[j];
+        }
+      }
     }
   }
   return out;

@@ -48,8 +48,18 @@ class Matrix {
   std::span<const double> Row(std::size_t r) const;
   std::span<double> Row(std::size_t r);
 
+  /// Reshapes in place to rows x cols, reusing the existing storage
+  /// capacity; element values are unspecified afterwards. For scratch
+  /// buffers on the inference hot path, where reallocation-free reuse
+  /// matters.
+  void ReshapeUninitialized(std::size_t rows, std::size_t cols);
+
   /// this * other; inner dimensions must agree.
   Matrix MatMul(const Matrix& other) const;
+
+  /// this * other written into `out` (resized; no allocation when its
+  /// capacity suffices). `out` must not alias either operand.
+  void MatMulInto(const Matrix& other, Matrix& out) const;
 
   /// Transposed copy.
   Matrix Transposed() const;

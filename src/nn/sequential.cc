@@ -1,5 +1,7 @@
 #include "nn/sequential.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace osap::nn {
@@ -33,6 +35,21 @@ Matrix Sequential::Backward(const Matrix& dy) {
     g = (*it)->Backward(g);
   }
   return g;
+}
+
+const Matrix& Sequential::Infer(const Matrix& x, Matrix& buf_a,
+                                Matrix& buf_b) const {
+  OSAP_REQUIRE(!layers_.empty(), "Sequential::Infer: empty network");
+  OSAP_CHECK_MSG(&x != &buf_a && &x != &buf_b,
+                 "Sequential::Infer: x must not alias a scratch buffer");
+  const Matrix* in = &x;
+  Matrix* out = &buf_a;
+  for (const auto& layer : layers_) {
+    layer->InferBatch(*in, *out);
+    in = out;
+    out = (out == &buf_a) ? &buf_b : &buf_a;
+  }
+  return *in;
 }
 
 std::vector<Param*> Sequential::Params() {
@@ -111,6 +128,32 @@ Matrix CompositeNet::Backward(const Matrix& dy) {
     }
   }
   return dx;
+}
+
+const Matrix& CompositeNet::Infer(const Matrix& x,
+                                  InferScratch& scratch) const {
+  OSAP_REQUIRE(!branches_.empty(), "CompositeNet: no branches");
+  OSAP_REQUIRE(x.cols() >= InputSize(), "CompositeNet: input too narrow");
+  const std::size_t rows = x.rows();
+  std::size_t total = 0;
+  for (const auto& b : branches_) total += b.seq.OutputSize();
+  scratch.concat.ReshapeUninitialized(rows, total);
+  std::size_t offset = 0;
+  for (const auto& b : branches_) {
+    scratch.slice.ReshapeUninitialized(rows, b.width);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* src = x.data() + r * x.cols() + b.begin;
+      std::copy(src, src + b.width, scratch.slice.data() + r * b.width);
+    }
+    const Matrix& out = b.seq.Infer(scratch.slice, scratch.a, scratch.b);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* src = out.data() + r * out.cols();
+      std::copy(src, src + out.cols(),
+                scratch.concat.data() + r * total + offset);
+    }
+    offset += out.cols();
+  }
+  return trunk_.Infer(scratch.concat, scratch.a, scratch.b);
 }
 
 std::vector<Param*> CompositeNet::Params() {

@@ -10,6 +10,16 @@
 
 namespace osap::nn {
 
+/// Reusable buffers for the cache-free inference path. Keeping one of these
+/// per call site (typically thread_local) makes repeated single-row
+/// inference allocation-free after warm-up.
+struct InferScratch {
+  Matrix a;       // ping-pong activation buffer
+  Matrix b;       // ping-pong activation buffer
+  Matrix slice;   // branch input column slice
+  Matrix concat;  // concatenated branch outputs feeding the trunk
+};
+
 /// A stack of layers applied in order. Owns its layers.
 class Sequential {
  public:
@@ -24,6 +34,13 @@ class Sequential {
   Matrix Forward(const Matrix& x);
   Matrix Backward(const Matrix& dy);
 
+  /// Cache-free forward: runs every layer's InferBatch, ping-ponging
+  /// between the two scratch buffers, and returns a reference to whichever
+  /// holds the final output. Const and thread-safe on a shared net (each
+  /// caller supplies its own buffers); numerics match Forward bit for bit.
+  /// `x` must not alias either buffer.
+  const Matrix& Infer(const Matrix& x, Matrix& buf_a, Matrix& buf_b) const;
+
   /// All trainable parameters in layer order.
   std::vector<Param*> Params();
 
@@ -31,6 +48,7 @@ class Sequential {
   std::size_t OutputSize() const;
   bool empty() const { return layers_.empty(); }
   std::size_t LayerCount() const { return layers_.size(); }
+  const Layer& LayerAt(std::size_t i) const { return *layers_[i]; }
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
@@ -57,11 +75,23 @@ class CompositeNet {
   Matrix Forward(const Matrix& x);
   Matrix Backward(const Matrix& dy);
 
+  /// Cache-free forward over branches + trunk using the caller's scratch
+  /// buffers; const and thread-safe on a shared net. Returns a reference
+  /// into `scratch`. Numerics match Forward bit for bit.
+  const Matrix& Infer(const Matrix& x, InferScratch& scratch) const;
+
   std::vector<Param*> Params();
 
   /// Expected input width (max over branches of begin+width).
   std::size_t InputSize() const;
   std::size_t OutputSize() const;
+
+  /// Read-only topology introspection (for batched ensemble packing).
+  std::size_t BranchCount() const { return branches_.size(); }
+  std::size_t BranchBegin(std::size_t i) const { return branches_[i].begin; }
+  std::size_t BranchWidth(std::size_t i) const { return branches_[i].width; }
+  const Sequential& BranchSeq(std::size_t i) const { return branches_[i].seq; }
+  const Sequential& trunk() const { return trunk_; }
 
  private:
   struct Branch {

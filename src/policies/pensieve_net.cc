@@ -1,5 +1,7 @@
 #include "policies/pensieve_net.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace osap::policies {
@@ -75,7 +77,13 @@ NetValueFunction::NetValueFunction(nn::CompositeNet net)
 double NetValueFunction::Value(const mdp::State& state) {
   OSAP_REQUIRE(state.size() == net_.InputSize(),
                "NetValueFunction: state size mismatch");
-  return net_.Forward(nn::Matrix::RowVector(state)).At(0, 0);
+  // Cache-free inference path: no mutable net state is touched, so a value
+  // net shared across worker threads can be queried concurrently.
+  thread_local nn::InferScratch scratch;
+  thread_local nn::Matrix row;
+  row.ReshapeUninitialized(1, state.size());
+  std::copy(state.begin(), state.end(), row.data());
+  return net_.Infer(row, scratch).At(0, 0);
 }
 
 }  // namespace osap::policies

@@ -38,6 +38,29 @@ AgentEnsembleResult TrainAgentEnsemble(std::size_t size,
   return result;
 }
 
+AgentEnsembleResult TrainAgentEnsembleParallel(
+    std::size_t size, const ActorCriticFactory& factory,
+    const MemberEnvFactory& env_for_member, const A2cConfig& config,
+    std::uint64_t base_seed, util::ThreadPool& pool) {
+  OSAP_REQUIRE(size > 0, "TrainAgentEnsemble: size must be > 0");
+  AgentEnsembleResult result;
+  result.members.resize(size);
+  result.histories.resize(size);
+  pool.ParallelFor(0, size, [&](std::size_t m) {
+    Rng init_rng(MemberSeed(base_seed, m));
+    auto net = std::make_shared<nn::ActorCriticNet>(factory(init_rng));
+    A2cConfig member_config = config;
+    member_config.seed = MemberSeed(base_seed ^ 0xA5A5A5A5ULL, m);
+    std::unique_ptr<mdp::Environment> env = env_for_member(m);
+    OSAP_REQUIRE(env != nullptr, "TrainAgentEnsembleParallel: null env");
+    result.histories[m] = TrainA2c(*net, *env, member_config);
+    OSAP_LOG(kDebug) << "agent ensemble member " << m << " final reward "
+                     << result.histories[m].RecentMeanReward(20);
+    result.members[m] = std::move(net);
+  });
+  return result;
+}
+
 std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsemble(
     std::size_t size, const ValueNetFactory& factory, mdp::Environment& env,
     mdp::Policy& policy, const ValueTrainConfig& config,
@@ -58,6 +81,26 @@ std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsemble(
                      << loss;
     members.push_back(std::move(net));
   }
+  return members;
+}
+
+std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsembleParallel(
+    std::size_t size, const ValueNetFactory& factory, mdp::Environment& env,
+    mdp::Policy& policy, const ValueTrainConfig& config,
+    std::uint64_t base_seed, util::ThreadPool& pool) {
+  OSAP_REQUIRE(size > 0, "TrainValueEnsemble: size must be > 0");
+  const ValueDataset dataset = CollectValueDataset(env, policy, config);
+  std::vector<std::shared_ptr<nn::CompositeNet>> members(size);
+  pool.ParallelFor(0, size, [&](std::size_t m) {
+    Rng init_rng(MemberSeed(base_seed, m));
+    auto net = std::make_shared<nn::CompositeNet>(factory(init_rng));
+    ValueTrainConfig member_config = config;
+    member_config.seed = MemberSeed(base_seed ^ 0x5A5A5A5AULL, m);
+    const double loss = TrainValueNet(*net, dataset, member_config);
+    OSAP_LOG(kDebug) << "value ensemble member " << m << " final loss "
+                     << loss;
+    members[m] = std::move(net);
+  });
   return members;
 }
 

@@ -17,6 +17,7 @@
 #include "nn/actor_critic_net.h"
 #include "rl/a2c.h"
 #include "rl/value_trainer.h"
+#include "util/thread_pool.h"
 
 namespace osap::rl {
 
@@ -45,5 +46,30 @@ std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsemble(
     std::size_t size, const ValueNetFactory& factory, mdp::Environment& env,
     mdp::Policy& policy, const ValueTrainConfig& config,
     std::uint64_t base_seed);
+
+/// Builds the environment member m trains on in the parallel variants. To
+/// reproduce TrainAgentEnsemble's results bit-exactly, env_for_member(m)
+/// must return the shared environment advanced past the episodes members
+/// 0..m-1 would already have consumed (AbrEnvironment::SkipPoolEpisodes).
+using MemberEnvFactory =
+    std::function<std::unique_ptr<mdp::Environment>(std::size_t member)>;
+
+/// Parallel TrainAgentEnsemble: members train concurrently on the pool,
+/// each on its own environment from `env_for_member`. Member results are
+/// stored by index, so output is bit-identical to the serial variant when
+/// the factory satisfies the contract above.
+AgentEnsembleResult TrainAgentEnsembleParallel(
+    std::size_t size, const ActorCriticFactory& factory,
+    const MemberEnvFactory& env_for_member, const A2cConfig& config,
+    std::uint64_t base_seed, util::ThreadPool& pool);
+
+/// Parallel TrainValueEnsemble: the dataset is still collected once on the
+/// calling thread (it consumes the shared env/policy RNG streams exactly
+/// like the serial variant); only the per-member training runs on the
+/// pool. Bit-identical to TrainValueEnsemble.
+std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsembleParallel(
+    std::size_t size, const ValueNetFactory& factory, mdp::Environment& env,
+    mdp::Policy& policy, const ValueTrainConfig& config,
+    std::uint64_t base_seed, util::ThreadPool& pool);
 
 }  // namespace osap::rl

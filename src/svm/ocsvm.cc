@@ -43,16 +43,6 @@ double ReadF64(std::istream& in) {
 
 OneClassSvm::OneClassSvm(OcSvmConfig config) : config_(config) {}
 
-double OneClassSvm::KernelValue(std::span<const double> a,
-                                std::span<const double> b) const {
-  double d2 = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    d2 += d * d;
-  }
-  return std::exp(-gamma_ * d2);
-}
-
 void OneClassSvm::Fit(const std::vector<std::vector<double>>& data) {
   OSAP_REQUIRE(config_.nu > 0.0 && config_.nu < 1.0,
                "OneClassSvm: nu must be in (0, 1)");
@@ -90,11 +80,31 @@ void OneClassSvm::Fit(const std::vector<std::vector<double>>& data) {
 
   gamma_ = config_.gamma > 0.0 ? config_.gamma : ScaleGamma(samples);
 
-  // Precompute the kernel matrix (n is capped by max_samples).
+  // Flatten the (scaled) samples into one contiguous row-major buffer with
+  // precomputed squared norms - the same representation DecisionValue scans
+  // - so each kernel row below is dot products against a linear buffer via
+  // the norm expansion |a - b|^2 = |a|^2 - 2 a.b + |b|^2.
+  std::vector<double> flat(n * dim);
+  std::vector<double> sq_norms(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* dst = flat.data() + i * dim;
+    std::copy(samples[i].begin(), samples[i].end(), dst);
+    double s = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) s += dst[d] * dst[d];
+    sq_norms[i] = s;
+  }
+
+  // Precompute the kernel matrix row by row (n is capped by max_samples);
+  // symmetry fills the lower triangle.
   std::vector<double> q(n * n);
   for (std::size_t i = 0; i < n; ++i) {
+    const double* xi = flat.data() + i * dim;
     for (std::size_t j = i; j < n; ++j) {
-      const double k = KernelValue(samples[i], samples[j]);
+      const double* xj = flat.data() + j * dim;
+      double dot = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) dot += xi[d] * xj[d];
+      const double k =
+          std::exp(-gamma_ * (sq_norms[i] - 2.0 * dot + sq_norms[j]));
       q[i * n + j] = k;
       q[j * n + i] = k;
     }
@@ -189,25 +199,38 @@ void OneClassSvm::Fit(const std::vector<std::vector<double>>& data) {
     rho_ = 0.5 * (lo + hi);
   }
 
-  // Keep only support vectors.
-  support_vectors_.clear();
+  // Keep only support vectors, compacted into the flat decision buffer.
+  sv_data_.clear();
+  sv_sq_norms_.clear();
   alphas_.clear();
+  sv_dim_ = dim;
   for (std::size_t t = 0; t < n; ++t) {
     if (alpha[t] > 1e-9) {
-      support_vectors_.push_back(samples[t]);
+      const double* src = flat.data() + t * dim;
+      sv_data_.insert(sv_data_.end(), src, src + dim);
+      sv_sq_norms_.push_back(sq_norms[t]);
       alphas_.push_back(alpha[t]);
     }
   }
-  OSAP_CHECK_MSG(!support_vectors_.empty(),
+  sv_count_ = alphas_.size();
+  OSAP_CHECK_MSG(sv_count_ > 0,
                  "OneClassSvm::Fit produced no support vectors");
 }
 
 double OneClassSvm::DecisionValue(std::span<const double> x) const {
   OSAP_REQUIRE(Fitted(), "OneClassSvm::DecisionValue before Fit");
   const std::vector<double> xs = scaler_.Transform(x);
+  double x_norm = 0.0;
+  for (double v : xs) x_norm += v * v;
+  // Single linear scan over the contiguous SV buffer:
+  //   f(x) = sum_i alpha_i exp(-gamma (|x|^2 - 2 x.sv_i + |sv_i|^2)) - rho.
   double f = -rho_;
-  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
-    f += alphas_[i] * KernelValue(support_vectors_[i], xs);
+  const double* sv = sv_data_.data();
+  for (std::size_t i = 0; i < sv_count_; ++i, sv += sv_dim_) {
+    double dot = 0.0;
+    for (std::size_t d = 0; d < sv_dim_; ++d) dot += xs[d] * sv[d];
+    f += alphas_[i] *
+         std::exp(-gamma_ * (x_norm - 2.0 * dot + sv_sq_norms_[i]));
   }
   return f;
 }
@@ -233,17 +256,17 @@ void OneClassSvm::Save(const std::filesystem::path& path) const {
                              path.string());
   }
   out.write(kMagic, sizeof(kMagic));
-  const std::size_t dim = support_vectors_.front().size();
-  WriteU64(out, support_vectors_.size());
-  WriteU64(out, dim);
+  WriteU64(out, sv_count_);
+  WriteU64(out, sv_dim_);
   WriteF64(out, rho_);
   WriteF64(out, gamma_);
   WriteF64(out, config_.nu);
   for (double m : scaler_.mean()) WriteF64(out, m);
   for (double s : scaler_.stddev()) WriteF64(out, s);
-  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
+  for (std::size_t i = 0; i < sv_count_; ++i) {
     WriteF64(out, alphas_[i]);
-    for (double v : support_vectors_[i]) WriteF64(out, v);
+    const double* sv = sv_data_.data() + i * sv_dim_;
+    for (std::size_t d = 0; d < sv_dim_; ++d) WriteF64(out, sv[d]);
   }
   if (!out) throw std::runtime_error("OneClassSvm::Save: write failed");
 }
@@ -271,11 +294,20 @@ OneClassSvm OneClassSvm::Load(const std::filesystem::path& path) {
   for (auto& m : mean) m = ReadF64(in);
   for (auto& s : stddev) s = ReadF64(in);
   model.scaler_.SetState(std::move(mean), std::move(stddev));
-  model.support_vectors_.resize(count, std::vector<double>(dim));
+  model.sv_count_ = count;
+  model.sv_dim_ = dim;
+  model.sv_data_.resize(count * dim);
+  model.sv_sq_norms_.resize(count);
   model.alphas_.resize(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     model.alphas_[i] = ReadF64(in);
-    for (auto& v : model.support_vectors_[i]) v = ReadF64(in);
+    double* sv = model.sv_data_.data() + i * dim;
+    double s = 0.0;
+    for (std::uint64_t d = 0; d < dim; ++d) {
+      sv[d] = ReadF64(in);
+      s += sv[d] * sv[d];
+    }
+    model.sv_sq_norms_[i] = s;
   }
   return model;
 }

@@ -60,8 +60,10 @@ class OneClassSvm {
   /// Fraction of the given rows classified as inliers.
   double InlierFraction(const std::vector<std::vector<double>>& data) const;
 
-  bool Fitted() const { return !support_vectors_.empty(); }
-  std::size_t SupportVectorCount() const { return support_vectors_.size(); }
+  bool Fitted() const { return sv_count_ > 0; }
+  std::size_t SupportVectorCount() const { return sv_count_; }
+  /// Input dimensionality of the fitted model.
+  std::size_t Dimension() const { return sv_dim_; }
   double rho() const { return rho_; }
   double gamma() const { return gamma_; }
   std::size_t iterations() const { return iterations_; }
@@ -75,12 +77,17 @@ class OneClassSvm {
   OcSvmConfig config_;
   double gamma_ = 0.0;  // resolved gamma actually used
   StandardScaler scaler_;
-  std::vector<std::vector<double>> support_vectors_;  // scaled space
-  std::vector<double> alphas_;                        // aligned with SVs
+  // Support vectors flattened into one contiguous row-major buffer
+  // (sv_count_ x sv_dim_, scaled space) with precomputed squared norms, so
+  // DecisionValue is one linear scan using the norm expansion
+  //   k(x, sv_i) = exp(-gamma (|x|^2 - 2 x.sv_i + |sv_i|^2)).
+  std::vector<double> sv_data_;
+  std::vector<double> sv_sq_norms_;
+  std::vector<double> alphas_;  // aligned with SV rows
+  std::size_t sv_count_ = 0;
+  std::size_t sv_dim_ = 0;
   double rho_ = 0.0;
   std::size_t iterations_ = 0;
-
-  double KernelValue(std::span<const double> a, std::span<const double> b) const;
 };
 
 }  // namespace osap::svm

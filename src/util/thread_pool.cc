@@ -1,0 +1,107 @@
+#include "util/thread_pool.h"
+
+#include "util/check.h"
+
+namespace osap::util {
+
+namespace {
+
+/// True on threads currently executing a ParallelFor body; nested calls
+/// from such threads run inline instead of re-entering the pool.
+thread_local bool t_in_parallel_for = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::DrainJob(std::unique_lock<std::mutex>& lock) {
+  while (job_.next < job_.end) {
+    const std::size_t i = job_.next++;
+    ++job_.in_flight;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      t_in_parallel_for = true;
+      (*job_.fn)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    t_in_parallel_for = false;
+    lock.lock();
+    --job_.in_flight;
+    if (error && !job_.error) {
+      job_.error = error;
+      job_.next = job_.end;  // abandon unclaimed indices
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || (has_job_ && job_.next < job_.end);
+    });
+    if (stop_) return;
+    DrainJob(lock);
+    if (job_.in_flight == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& fn) {
+  OSAP_REQUIRE(begin <= end, "ParallelFor: begin must be <= end");
+  if (begin == end) return;
+  if (workers_.empty() || end - begin == 1 || t_in_parallel_for) {
+    // Serial fallback: no workers, a single item, or a nested call from
+    // inside a worker (claiming pool capacity here could deadlock).
+    const bool was_nested = t_in_parallel_for;
+    t_in_parallel_for = true;
+    try {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    } catch (...) {
+      t_in_parallel_for = was_nested;
+      throw;
+    }
+    t_in_parallel_for = was_nested;
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  OSAP_CHECK_MSG(!has_job_, "ParallelFor: pool already running a job");
+  job_ = Job{};
+  job_.next = begin;
+  job_.end = end;
+  job_.fn = &fn;
+  has_job_ = true;
+  work_cv_.notify_all();
+
+  DrainJob(lock);  // the caller works too
+  done_cv_.wait(lock, [this] { return job_.in_flight == 0; });
+  has_job_ = false;
+  const std::exception_ptr error = job_.error;
+  job_ = Job{};
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace osap::util

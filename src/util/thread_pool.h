@@ -1,0 +1,75 @@
+// Fixed-size worker thread pool with a ParallelFor helper.
+//
+// The pool exists for the embarrassingly-parallel outer loops of the
+// workbench (per-trace evaluation rollouts, per-member ensemble training):
+// work items are indexed, workers claim indices from a shared counter, and
+// every result is written to a caller-owned slot addressed by the item's
+// index - so the *scheduling* order is nondeterministic but the *results*
+// are positionally deterministic and bit-identical to a serial loop over
+// the same items.
+//
+// ParallelFor blocks until every index has been processed. The calling
+// thread participates in the work, so a pool of T threads applies T + 1
+// workers to the loop and ParallelFor(…) on a 0-thread pool degrades to a
+// plain serial loop. Exceptions thrown by the body are captured and the
+// first one is rethrown on the calling thread after the loop drains.
+// Nested ParallelFor calls from inside a worker run the inner loop inline
+// (serially) instead of deadlocking on the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace osap::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. 0 is allowed (ParallelFor runs serially on
+  /// the caller); `FromConfig` below maps user-facing thread counts.
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Number of pool workers (excluding the calling thread).
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [begin, end), distributing indices across
+  /// the workers and the calling thread. Blocks until done; rethrows the
+  /// first exception any invocation threw.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 when undetectable).
+  static std::size_t HardwareConcurrency();
+
+ private:
+  struct Job {
+    std::size_t end = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t next = 0;       // next unclaimed index
+    std::size_t in_flight = 0;  // indices claimed but not finished
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop();
+  /// Claims and runs indices of the current job until none remain.
+  void DrainJob(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // signals workers: job posted / stop
+  std::condition_variable done_cv_;  // signals caller: job drained
+  Job job_;
+  bool has_job_ = false;
+  bool stop_ = false;
+};
+
+}  // namespace osap::util

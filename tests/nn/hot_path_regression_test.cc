@@ -1,0 +1,172 @@
+// Regression tests for the optimized inference kernels: the blocked MatMul
+// and tiled Transposed must match a naive triple-loop reference bit for
+// bit (the blocking is required to preserve the accumulation order), and
+// the batched ensemble forward must match per-member Forward exactly.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "nn/ensemble_forward.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "nn/sequential.h"
+#include "util/rng.h"
+
+namespace osap::nn {
+namespace {
+
+Matrix Random(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m.At(i, j) = rng.Normal(0.0, 1.0);
+  return m;
+}
+
+/// The pre-optimization reference: i-k-j triple loop, ascending k,
+/// individually rounded accumulations.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k)
+      for (std::size_t j = 0; j < b.cols(); ++j)
+        out.At(i, j) += a.At(i, k) * b.At(k, j);
+  return out;
+}
+
+void ExpectBitIdentical(const Matrix& got, const Matrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t i = 0; i < got.rows(); ++i)
+    for (std::size_t j = 0; j < got.cols(); ++j)
+      EXPECT_EQ(got.At(i, j), want.At(i, j)) << "at (" << i << "," << j << ")";
+}
+
+TEST(MatMulRegression, MatchesNaiveOnOddAndDegenerateShapes) {
+  // 1xN row chains (the online decision path), Nx1 columns, shapes that are
+  // not multiples of the unroll factor (4) or the panel size (64), and
+  // shapes spanning multiple panels.
+  const std::vector<std::array<std::size_t, 3>> shapes = {
+      {1, 1, 1},   {1, 5, 1},    {1, 64, 128},  {7, 1, 9},
+      {3, 5, 9},   {5, 25, 128}, {65, 130, 67}, {2, 63, 3},
+      {4, 65, 4},  {1, 127, 6},
+  };
+  Rng rng(42);
+  for (const auto& [m, k, n] : shapes) {
+    const Matrix a = Random(m, k, rng);
+    const Matrix b = Random(k, n, rng);
+    ExpectBitIdentical(a.MatMul(b), NaiveMatMul(a, b));
+  }
+}
+
+TEST(MatMulRegression, MatMulIntoReusesOutputBuffer) {
+  Rng rng(7);
+  const Matrix a = Random(3, 70, rng);
+  const Matrix b = Random(70, 5, rng);
+  Matrix out = Random(11, 13, rng);  // wrong shape, stale contents
+  a.MatMulInto(b, out);
+  ExpectBitIdentical(out, NaiveMatMul(a, b));
+}
+
+TEST(TransposedRegression, MatchesNaiveOnOddShapes) {
+  Rng rng(3);
+  for (const auto& [r, c] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {1, 17}, {17, 1}, {33, 65}, {64, 64}, {100, 3}}) {
+    const Matrix a = Random(r, c, rng);
+    const Matrix t = a.Transposed();
+    ASSERT_EQ(t.rows(), c);
+    ASSERT_EQ(t.cols(), r);
+    for (std::size_t i = 0; i < r; ++i)
+      for (std::size_t j = 0; j < c; ++j) EXPECT_EQ(t.At(j, i), a.At(i, j));
+  }
+}
+
+/// A small branched net covering every packed op kind: a dense branch, a
+/// Conv1D branch, a Tanh branch, and a dense trunk.
+CompositeNet MakeBranchedNet(Rng& rng) {
+  CompositeNet net;
+  Sequential dense;
+  dense.Add(std::make_unique<Linear>(1, 4, rng));
+  dense.Add(std::make_unique<ReLU>(4));
+  net.AddBranch(0, 1, std::move(dense));
+  Sequential conv;
+  conv.Add(std::make_unique<Conv1D>(1, 2, 3, 8, rng));
+  conv.Add(std::make_unique<ReLU>(12));
+  net.AddBranch(1, 8, std::move(conv));
+  Sequential tanh_branch;
+  tanh_branch.Add(std::make_unique<Linear>(2, 3, rng));
+  tanh_branch.Add(std::make_unique<Tanh>(3));
+  net.AddBranch(9, 2, std::move(tanh_branch));
+  Sequential trunk;
+  trunk.Add(std::make_unique<Linear>(19, 5, rng));
+  trunk.Add(std::make_unique<Tanh>(5));
+  net.SetTrunk(std::move(trunk));
+  return net;
+}
+
+TEST(BatchedEnsembleRegression, MatchesPerMemberForwardBitForBit) {
+  Rng rng(11);
+  std::vector<CompositeNet> members;
+  for (int m = 0; m < 3; ++m) members.push_back(MakeBranchedNet(rng));
+  std::vector<const CompositeNet*> views;
+  for (const auto& m : members) views.push_back(&m);
+  const BatchedEnsemble batched(views);
+  EXPECT_EQ(batched.MemberCount(), 3u);
+  EXPECT_EQ(batched.InputSize(), 11u);
+  EXPECT_EQ(batched.OutputSize(), 5u);
+
+  InferScratch scratch;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> state(11);
+    for (double& v : state) v = rng.Normal(0.0, 1.0);
+    const Matrix& out = batched.Infer(state, scratch);
+    ASSERT_EQ(out.rows(), 3u);
+    ASSERT_EQ(out.cols(), 5u);
+    Matrix x(1, state.size());
+    for (std::size_t j = 0; j < state.size(); ++j) x.At(0, j) = state[j];
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const Matrix ref = members[m].Forward(x);
+      for (std::size_t j = 0; j < 5; ++j) {
+        EXPECT_EQ(out.At(m, j), ref.At(0, j))
+            << "member " << m << " output " << j;
+      }
+    }
+  }
+}
+
+TEST(BatchedEnsembleRegression, CompositeInferMatchesForward) {
+  Rng rng(5);
+  CompositeNet net = MakeBranchedNet(rng);
+  InferScratch scratch;
+  for (int trial = 0; trial < 5; ++trial) {
+    Matrix x = Random(1, 11, rng);
+    const Matrix& inferred = net.Infer(x, scratch);
+    ExpectBitIdentical(inferred, net.Forward(x));
+  }
+}
+
+TEST(BatchedEnsembleRegression, RejectsEmptyAndNullMembers) {
+  EXPECT_THROW(BatchedEnsemble({}), std::invalid_argument);
+  EXPECT_THROW(BatchedEnsemble(std::vector<const CompositeNet*>{nullptr}),
+               std::invalid_argument);
+}
+
+TEST(BatchedEnsembleRegression, RejectsMismatchedTopology) {
+  Rng rng(9);
+  CompositeNet a = MakeBranchedNet(rng);
+  CompositeNet b;  // different topology: single dense branch
+  Sequential dense;
+  dense.Add(std::make_unique<Linear>(11, 5, rng));
+  b.AddBranch(0, 11, std::move(dense));
+  Sequential trunk;
+  trunk.Add(std::make_unique<Linear>(5, 5, rng));
+  b.SetTrunk(std::move(trunk));
+  EXPECT_THROW(BatchedEnsemble(std::vector<const CompositeNet*>{&a, &b}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace osap::nn

@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace osap::util {
+namespace {
+
+TEST(ThreadPool, ExecutesEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(0, hits.size(),
+                   [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RespectsBeginOffset) {
+  ThreadPool pool(2);
+  std::vector<int> hits(10, 0);
+  pool.ParallelFor(4, 10, [&](std::size_t i) { hits[i] = 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i >= 4 ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ResultsArePositionallyDeterministic) {
+  // Results written by index match a serial loop regardless of the
+  // nondeterministic scheduling order.
+  ThreadPool pool(4);
+  std::vector<double> parallel_out(257, 0.0);
+  std::vector<double> serial_out(257, 0.0);
+  const auto body = [](std::size_t i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= i % 17; ++k) acc += static_cast<double>(i * k);
+    return acc;
+  };
+  pool.ParallelFor(0, parallel_out.size(),
+                   [&](std::size_t i) { parallel_out[i] = body(i); });
+  for (std::size_t i = 0; i < serial_out.size(); ++i) serial_out[i] = body(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsSerially) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<std::size_t> order;
+  pool.ParallelFor(0, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(3, 3, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, RethrowsFirstBodyException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(0, 50,
+                                [&](std::size_t i) {
+                                  if (i == 13) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool must remain usable after a failed job.
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 20, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(8 * 8);
+  pool.ParallelFor(0, 8, [&](std::size_t i) {
+    // A nested call on the same pool must not deadlock; it runs the inner
+    // loop serially on the current thread.
+    pool.ParallelFor(0, 8,
+                     [&](std::size_t j) { hits[i * 8 + j].fetch_add(1); });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HardwareConcurrencyHasFloorOfOne) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPool, ManyMoreItemsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(0, 10000,
+                   [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 10000L * 9999L / 2);
+}
+
+}  // namespace
+}  // namespace osap::util
