@@ -150,13 +150,16 @@ void BM_EvaluateMultiTraceParallel(benchmark::State& state) {
   abr::AbrEnvironment env(video, {});
   abr::AbrStateLayout layout;
   const std::vector<traces::Trace> traces = BenchTraces();
-  util::ThreadPool pool(threads - 1);
+  // The process-wide shared pool, capped per call - what the workbench
+  // does in production. One whole session per claim.
+  util::ThreadPool& pool = util::ThreadPool::Shared();
+  const util::ParallelOptions options{.max_workers = threads - 1, .chunk = 1};
   const auto make_policy = [&] {
     return std::make_shared<policies::BufferBasedPolicy>(video, layout);
   };
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        core::EvaluatePolicyParallel(make_policy, env, traces, pool));
+        core::EvaluatePolicyParallel(make_policy, env, traces, pool, options));
   }
 }
 BENCHMARK(BM_EvaluateMultiTraceParallel)

@@ -81,6 +81,32 @@ mdp::StepResult AbrEnvironment::Step(mdp::Action action) {
   return result;
 }
 
+AbrEnvironment::ResumePoint AbrEnvironment::SaveResumePoint() const {
+  ResumePoint rp;
+  rp.simulator = simulator_.SaveCheckpoint();
+  rp.qoe = qoe_;
+  rp.fixed_trace = fixed_trace_;
+  rp.current_trace = current_trace_;
+  rp.throughput_history_mbps = throughput_history_mbps_;
+  rp.download_time_history_s = download_time_history_s_;
+  rp.last_bitrate_mbps = last_bitrate_mbps_;
+  rp.last_download = last_download_;
+  return rp;
+}
+
+void AbrEnvironment::RestoreResumePoint(const ResumePoint& rp) {
+  // The trace-pool members are deliberately untouched: a resume point
+  // captures one session in flight, not the episode-sampling stream.
+  simulator_.RestoreCheckpoint(rp.simulator);
+  qoe_ = rp.qoe;
+  fixed_trace_ = rp.fixed_trace;
+  current_trace_ = rp.current_trace;
+  throughput_history_mbps_ = rp.throughput_history_mbps;
+  download_time_history_s_ = rp.download_time_history_s;
+  last_bitrate_mbps_ = rp.last_bitrate_mbps;
+  last_download_ = rp.last_download;
+}
+
 mdp::State AbrEnvironment::BuildState() const {
   const AbrStateLayout& layout = config_.layout;
   mdp::State s(layout.Size(), 0.0);

@@ -51,6 +51,26 @@ class AbrEnvironment final : public mdp::Environment {
   std::size_t ActionCount() const override { return video_.LevelCount(); }
   std::size_t StateSize() const override { return config_.layout.Size(); }
 
+  /// A mid-session resume point: the environment's full dynamic state
+  /// minus the immutable video/config/trace storage. Restoring one
+  /// continues the session bit-identically from that step, at a fraction
+  /// of the cost of copying the whole environment (which drags two
+  /// VideoSpec copies along). Trace pointers are non-owning; the traces
+  /// must outlive every restore. Used by record-and-replay calibration to
+  /// checkpoint every step of a rollout.
+  struct ResumePoint {
+    AbrSimulator::Checkpoint simulator;
+    QoeAccumulator qoe;
+    const traces::Trace* fixed_trace = nullptr;
+    const traces::Trace* current_trace = nullptr;
+    std::vector<double> throughput_history_mbps;
+    std::vector<double> download_time_history_s;
+    double last_bitrate_mbps = 0.0;
+    DownloadResult last_download;
+  };
+  ResumePoint SaveResumePoint() const;
+  void RestoreResumePoint(const ResumePoint& rp);
+
   /// Observation side channels used by logging and the safety layer.
   const DownloadResult& LastDownload() const { return last_download_; }
   const QoeAccumulator& Qoe() const { return qoe_; }

@@ -64,6 +64,27 @@ class AbrSimulator {
   /// session with chunks remaining.
   DownloadResult DownloadChunk(std::size_t level);
 
+  /// The simulator's full dynamic state: restoring it resumes the session
+  /// mid-stream as if the prefix had just been simulated. The trace pointer
+  /// is non-owning; the trace must still be alive at Restore time. Tiny
+  /// (four words) - checkpointing per step costs nothing next to a chunk
+  /// download, unlike copying the simulator with its embedded VideoSpec.
+  struct Checkpoint {
+    const traces::Trace* trace = nullptr;
+    std::size_t next_chunk = 0;
+    double buffer_seconds = 0.0;
+    double trace_time = 0.0;
+  };
+  Checkpoint SaveCheckpoint() const {
+    return {trace_, next_chunk_, buffer_seconds_, trace_time_};
+  }
+  void RestoreCheckpoint(const Checkpoint& c) {
+    trace_ = c.trace;
+    next_chunk_ = c.next_chunk;
+    buffer_seconds_ = c.buffer_seconds;
+    trace_time_ = c.trace_time;
+  }
+
   /// Index of the next chunk to download (0-based).
   std::size_t NextChunkIndex() const { return next_chunk_; }
 

@@ -1,6 +1,7 @@
 #include "core/calibration.h"
 
 #include <cmath>
+#include <limits>
 
 #include "util/check.h"
 #include "util/stats.h"

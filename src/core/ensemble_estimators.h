@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/uncertainty.h"
@@ -38,6 +39,8 @@ class AgentEnsembleEstimator final : public UncertaintyEstimator {
 
   void Reset() override {}
   double Score(const mdp::State& state) override;
+  void ScoreBatch(std::span<const mdp::State> states,
+                  std::span<double> out) override;
   bool Ready() const override { return true; }
   std::string Name() const override { return "agent_ensemble"; }
 
@@ -61,6 +64,8 @@ class ValueEnsembleEstimator final : public UncertaintyEstimator {
 
   void Reset() override {}
   double Score(const mdp::State& state) override;
+  void ScoreBatch(std::span<const mdp::State> states,
+                  std::span<double> out) override;
   bool Ready() const override { return true; }
   std::string Name() const override { return "value_ensemble"; }
 

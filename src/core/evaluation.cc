@@ -1,5 +1,7 @@
 #include "core/evaluation.h"
 
+#include <optional>
+
 #include "mdp/rollout.h"
 #include "util/check.h"
 
@@ -22,19 +24,36 @@ EvalResult EvaluatePolicy(mdp::Policy& policy, abr::AbrEnvironment& env,
 EvalResult EvaluatePolicyParallel(
     const std::function<std::shared_ptr<mdp::Policy>()>& make_policy,
     const abr::AbrEnvironment& env, std::span<const traces::Trace> traces,
-    util::ThreadPool& pool) {
+    util::ThreadPool& pool, util::ParallelOptions options) {
   OSAP_REQUIRE(!traces.empty(), "EvaluatePolicy: no traces");
   EvalResult result;
   result.per_trace_qoe.assign(traces.size(), 0.0);
-  pool.ParallelFor(0, traces.size(), [&](std::size_t i) {
-    std::shared_ptr<mdp::Policy> policy = make_policy();
-    OSAP_CHECK_MSG(policy != nullptr, "EvaluatePolicyParallel: null policy");
-    abr::AbrEnvironment local_env = env;
-    local_env.SetFixedTrace(traces[i]);
-    const mdp::Trajectory trajectory = mdp::Rollout(local_env, *policy);
-    OSAP_CHECK_MSG(!trajectory.Empty(), "EvaluatePolicy: empty session");
-    result.per_trace_qoe[i] = trajectory.TotalReward();
-  });
+  // One policy + environment per participating thread, built on that
+  // thread's first claimed trace and reused for the rest of its items.
+  // Cache-line alignment keeps neighboring threads' scratch (notably the
+  // environment's mutable buffer/chunk state) off shared lines.
+  struct alignas(64) WorkerScratch {
+    std::shared_ptr<mdp::Policy> policy;
+    std::optional<abr::AbrEnvironment> env;
+  };
+  std::vector<WorkerScratch> scratch(pool.SlotCount());
+  if (options.chunk == 0) options.chunk = 1;  // items are whole sessions
+  pool.ParallelFor(
+      0, traces.size(),
+      [&](std::size_t i) {
+        WorkerScratch& ws = scratch[util::ThreadPool::CurrentSlot()];
+        if (ws.policy == nullptr) {
+          ws.policy = make_policy();
+          OSAP_CHECK_MSG(ws.policy != nullptr,
+                         "EvaluatePolicyParallel: null policy");
+          ws.env.emplace(env);
+        }
+        ws.env->SetFixedTrace(traces[i]);
+        const mdp::Trajectory trajectory = mdp::Rollout(*ws.env, *ws.policy);
+        OSAP_CHECK_MSG(!trajectory.Empty(), "EvaluatePolicy: empty session");
+        result.per_trace_qoe[i] = trajectory.TotalReward();
+      },
+      options);
   return result;
 }
 

@@ -31,15 +31,22 @@ EvalResult EvaluatePolicy(mdp::Policy& policy, abr::AbrEnvironment& env,
                           std::span<const traces::Trace> traces);
 
 /// Parallel variant: per-trace rollouts are distributed over the pool,
-/// each on its own copy of `env` with its own policy from `make_policy`
-/// (called once per trace, possibly concurrently - it must be
-/// thread-safe). Results are written by trace index, so the output is
-/// bit-identical to EvaluatePolicy whenever a fresh policy behaves like a
-/// Reset one - true for every scheme here except RandomPolicy, whose RNG
-/// deliberately carries across sessions (evaluate it serially).
+/// each participating thread working on its own copy of `env` with its
+/// own policy from `make_policy` (called at most once per thread, possibly
+/// concurrently - it must be thread-safe; the policy and environment are
+/// then reused across every trace that thread claims). Results are
+/// written by trace index, so the output is bit-identical to
+/// EvaluatePolicy whenever a fresh policy behaves like a Reset one -
+/// Rollout Resets the policy before each session - which is true for
+/// every scheme here except RandomPolicy, whose RNG deliberately carries
+/// across sessions (evaluate it serially).
+///
+/// `options.max_workers` caps how many pool workers join (the threads
+/// knob for a shared pool); `options.chunk` defaults to 1 because each
+/// item is a whole video session.
 EvalResult EvaluatePolicyParallel(
     const std::function<std::shared_ptr<mdp::Policy>()>& make_policy,
     const abr::AbrEnvironment& env, std::span<const traces::Trace> traces,
-    util::ThreadPool& pool);
+    util::ThreadPool& pool, util::ParallelOptions options = {});
 
 }  // namespace osap::core

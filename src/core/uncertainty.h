@@ -7,6 +7,8 @@
 //   U_V  - value disagreement       (ValueEnsembleEstimator)
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <string>
 
 #include "mdp/types.h"
@@ -26,6 +28,21 @@ class UncertaintyEstimator {
   /// 0 (in-distribution) or 1 (out-of-distribution); U_pi / U_V are
   /// continuous and non-negative.
   virtual double Score(const mdp::State& state) = 0;
+
+  /// Scores `states` in order: out[i] is bit-identical to what Score
+  /// would have returned for states[i] in the same sequence (stateful
+  /// estimators consume the batch exactly as repeated Score calls
+  /// would). `out` must have `states.size()` slots. The default loops
+  /// Score; the ensemble estimators override it with a fused pass that
+  /// streams the packed member weights once per batch instead of once
+  /// per state - the win offline scoring passes (replay calibration)
+  /// are built on.
+  virtual void ScoreBatch(std::span<const mdp::State> states,
+                          std::span<double> out) {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      out[i] = Score(states[i]);
+    }
+  }
 
   /// False while the estimator is still warming up (e.g. the ND window is
   /// not yet full); Score returns 0 in that phase.

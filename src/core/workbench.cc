@@ -2,9 +2,11 @@
 
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <sstream>
 
 #include "core/normalization.h"
+#include "core/replay_calibration.h"
 #include "mdp/rollout.h"
 #include "nn/serialize.h"
 #include "policies/buffer_based.h"
@@ -94,14 +96,18 @@ std::size_t Workbench::ResolvedThreads() const {
                               : config_.threads;
 }
 
-util::ThreadPool& Workbench::Pool() {
-  if (!pool_) {
-    // The calling thread participates in ParallelFor, so a budget of T
-    // threads means T - 1 pool workers; T = 1 yields a worker-less pool
-    // whose ParallelFor degrades to the plain serial loop.
-    pool_ = std::make_unique<util::ThreadPool>(ResolvedThreads() - 1);
-  }
-  return *pool_;
+util::ThreadPool& Workbench::Pool() const { return util::ThreadPool::Shared(); }
+
+util::ParallelOptions Workbench::EvalOptions() const {
+  // The calling thread participates in ParallelFor, so a budget of T
+  // threads means at most T - 1 pool workers; T = 1 caps the pool out
+  // entirely and ParallelFor degrades to the plain serial loop. Chunk 1
+  // because every workbench item is coarse (a whole session or a whole
+  // ensemble member).
+  util::ParallelOptions options;
+  options.max_workers = ResolvedThreads() - 1;
+  options.chunk = 1;
+  return options;
 }
 
 std::string Workbench::CacheKey() const {
@@ -220,7 +226,7 @@ void Workbench::TrainOrLoadAgents(TrainedBundle& bundle) {
       };
   rl::AgentEnsembleResult ensemble = rl::TrainAgentEnsembleParallel(
       config_.ensemble_size, factory, env_for_member, a2c,
-      DatasetSeed(config_.seed, bundle.id), Pool());
+      DatasetSeed(config_.seed, bundle.id), Pool(), EvalOptions());
   bundle.agents = std::move(ensemble.members);
 
   // Model selection: deploy the ensemble member with the best greedy
@@ -231,13 +237,16 @@ void Workbench::TrainOrLoadAgents(TrainedBundle& bundle) {
     const abr::AbrEnvironment eval_env = MakeEvalEnvironment();
     const auto& validation = DatasetFor(bundle.id).validation;
     std::vector<double> qoes(bundle.agents.size());
-    Pool().ParallelFor(0, bundle.agents.size(), [&](std::size_t m) {
-      policies::PensievePolicy policy(bundle.agents[m],
-                                      policies::ActionSelection::kGreedy,
-                                      /*seed=*/0);
-      abr::AbrEnvironment member_env = eval_env;
-      qoes[m] = EvaluatePolicy(policy, member_env, validation).MeanQoe();
-    });
+    Pool().ParallelFor(
+        0, bundle.agents.size(),
+        [&](std::size_t m) {
+          policies::PensievePolicy policy(bundle.agents[m],
+                                          policies::ActionSelection::kGreedy,
+                                          /*seed=*/0);
+          abr::AbrEnvironment member_env = eval_env;
+          qoes[m] = EvaluatePolicy(policy, member_env, validation).MeanQoe();
+        },
+        EvalOptions());
     double best_qoe = -std::numeric_limits<double>::infinity();
     std::size_t best = 0;
     for (std::size_t m = 0; m < qoes.size(); ++m) {
@@ -307,7 +316,7 @@ void Workbench::TrainOrLoadValueNets(TrainedBundle& bundle) {
                                   DatasetSeed(config_.seed, bundle.id) ^ 2);
   bundle.value_nets = rl::TrainValueEnsembleParallel(
       config_.ensemble_size, factory, env, driver, config_.value_train,
-      DatasetSeed(config_.seed, bundle.id) ^ 3, Pool());
+      DatasetSeed(config_.seed, bundle.id) ^ 3, Pool(), EvalOptions());
   if (config_.use_cache) {
     for (std::size_t m = 0; m < bundle.value_nets.size(); ++m) {
       nn::SaveParamsToFile(dir / ("value_" + std::to_string(m) + ".bin"),
@@ -347,24 +356,27 @@ void Workbench::FitOrLoadNoveltyDetector(TrainedBundle& bundle) {
   // to match the serial collection exactly.
   std::vector<std::vector<std::vector<double>>> per_trace(
       train_traces.size());
-  Pool().ParallelFor(0, train_traces.size(), [&](std::size_t i) {
-    abr::AbrEnvironment local_env = env;
-    policies::PensievePolicy driver(bundle.agents.front(),
-                                    policies::ActionSelection::kGreedy,
-                                    /*seed=*/0);
-    local_env.SetFixedTrace(train_traces[i]);
-    driver.Reset();
-    std::vector<double> throughputs;
-    mdp::State state = local_env.Reset();
-    bool done = false;
-    while (!done) {
-      mdp::StepResult step = local_env.Step(driver.SelectAction(state));
-      throughputs.push_back(local_env.LastDownload().throughput_mbps);
-      state = std::move(step.next_state);
-      done = step.done;
-    }
-    per_trace[i] = NoveltyDetector::ExtractFeatures(throughputs, nd_cfg);
-  });
+  Pool().ParallelFor(
+      0, train_traces.size(),
+      [&](std::size_t i) {
+        abr::AbrEnvironment local_env = env;
+        policies::PensievePolicy driver(bundle.agents.front(),
+                                        policies::ActionSelection::kGreedy,
+                                        /*seed=*/0);
+        local_env.SetFixedTrace(train_traces[i]);
+        driver.Reset();
+        std::vector<double> throughputs;
+        mdp::State state = local_env.Reset();
+        bool done = false;
+        while (!done) {
+          mdp::StepResult step = local_env.Step(driver.SelectAction(state));
+          throughputs.push_back(local_env.LastDownload().throughput_mbps);
+          state = std::move(step.next_state);
+          done = step.done;
+        }
+        per_trace[i] = NoveltyDetector::ExtractFeatures(throughputs, nd_cfg);
+      },
+      EvalOptions());
   std::vector<std::vector<double>> features;
   for (auto& session : per_trace) {
     for (auto& f : session) features.push_back(std::move(f));
@@ -423,20 +435,63 @@ void Workbench::CalibrateOrLoadThresholds(TrainedBundle& bundle) {
   const auto& validation = DatasetFor(bundle.id).validation;
   OSAP_CHECK_MSG(!validation.empty(), "calibration needs validation traces");
 
+  // The replay path records each validation trace's no-default rollout
+  // ONCE (the greedy trajectory is estimator-independent), scores it per
+  // estimator, and replays triggers against the recorded series (see
+  // replay_calibration.h). The ND target AND the bisection candidates
+  // all come from that single recording; the full re-evaluation path is
+  // kept behind the flag because the equivalence test compares the two.
+  std::optional<CalibrationReplay<abr::AbrEnvironment>> replay;
+  if (config_.calibration_replay) {
+    replay.emplace([&] { return MakeGreedyPensieve(bundle); },
+                   [&] { return MakeBufferBased(); }, env, validation,
+                   config_.trigger_k, config_.trigger_l, Pool(),
+                   EvalOptions());
+  }
+
   // Target: the ND scheme's in-distribution QoE with the paper's fixed
-  // thresholding (binary OOD flag, l consecutive).
-  {
-    auto estimator = std::make_shared<NoveltyDetector>(*bundle.novelty);
-    SafeAgentConfig nd_cfg = TriggerFor(Scheme::kNoveltyDetection, bundle);
-    SafeAgent agent(MakeGreedyPensieve(bundle), MakeBufferBased(), estimator,
-                    nd_cfg);
+  // thresholding (binary OOD flag, l consecutive). Sessions fan out over
+  // the shared pool; results are positionally deterministic, so the
+  // target matches the serial evaluation bit-exactly.
+  if (replay.has_value()) {
+    replay->ScoreWith([&]() -> std::shared_ptr<UncertaintyEstimator> {
+      return std::make_shared<NoveltyDetector>(*bundle.novelty);
+    });
+    bundle.nd_in_dist_qoe = replay->MeanQoeAtBinaryTrigger();
+  } else {
+    const SafeAgentConfig nd_cfg =
+        TriggerFor(Scheme::kNoveltyDetection, bundle);
+    const auto make_nd = [&]() -> std::shared_ptr<mdp::Policy> {
+      auto estimator = std::make_shared<NoveltyDetector>(*bundle.novelty);
+      estimator->Reset();
+      return std::make_shared<SafeAgent>(MakeGreedyPensieve(bundle),
+                                         MakeBufferBased(), estimator,
+                                         nd_cfg);
+    };
     bundle.nd_in_dist_qoe =
-        EvaluatePolicy(agent, env, validation).MeanQoe();
+        EvaluatePolicyParallel(make_nd, env, validation, Pool(),
+                               EvalOptions())
+            .MeanQoe();
   }
 
   // Calibrate each continuous scheme's alpha to the ND target.
-  const auto calibrate = [&](std::shared_ptr<UncertaintyEstimator> estimator)
+  using EstimatorFactory =
+      CalibrationReplay<abr::AbrEnvironment>::EstimatorFactory;
+  const auto calibrate = [&](const EstimatorFactory& make_estimator)
       -> double {
+    if (replay.has_value()) {
+      replay->ScoreWith(make_estimator);
+      const double hi = replay->MaxFullWindowVariance();
+      if (hi <= 0.0) return 0.0;  // signal never varies: any alpha works
+      const auto qoe_at = [&](double alpha) {
+        return replay->MeanQoeAt(alpha);
+      };
+      const CalibrationResult result = CalibrateAlpha(
+          qoe_at, bundle.nd_in_dist_qoe, 0.0, hi * 1.25,
+          config_.calibration);
+      return result.alpha;
+    }
+    auto estimator = make_estimator();
     auto driver = MakeGreedyPensieve(bundle);
     const double hi = MaxWindowVariance(*estimator, *driver, env, validation,
                                         config_.trigger_k);
@@ -456,10 +511,14 @@ void Workbench::CalibrateOrLoadThresholds(TrainedBundle& bundle) {
     return result.alpha;
   };
 
-  bundle.alpha_pi = calibrate(std::make_shared<AgentEnsembleEstimator>(
-      bundle.agents, config_.ensemble_discard));
-  bundle.alpha_v = calibrate(std::make_shared<ValueEnsembleEstimator>(
-      bundle.value_nets, config_.ensemble_discard));
+  bundle.alpha_pi = calibrate([&]() -> std::shared_ptr<UncertaintyEstimator> {
+    return std::make_shared<AgentEnsembleEstimator>(bundle.agents,
+                                                    config_.ensemble_discard);
+  });
+  bundle.alpha_v = calibrate([&]() -> std::shared_ptr<UncertaintyEstimator> {
+    return std::make_shared<ValueEnsembleEstimator>(bundle.value_nets,
+                                                    config_.ensemble_discard);
+  });
 
   if (config_.use_cache) {
     std::filesystem::create_directories(BundleDir(bundle.id));
@@ -564,7 +623,7 @@ const EvalResult& Workbench::Evaluate(Scheme scheme, traces::DatasetId train,
     const abr::AbrEnvironment env = MakeEvalEnvironment();
     result = EvaluatePolicyParallel(
         [this, scheme, bundle] { return MakePolicyFromBundle(scheme, bundle); },
-        env, test_traces, Pool());
+        env, test_traces, Pool(), EvalOptions());
   }
   return eval_cache_.emplace(key, std::move(result)).first->second;
 }

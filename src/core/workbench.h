@@ -87,11 +87,21 @@ struct WorkbenchConfig {
   std::uint64_t seed = 7;
 
   /// Worker-thread budget for per-trace evaluation rollouts, per-member
-  /// ensemble training, and ND feature collection. 0 = hardware
-  /// concurrency; 1 reproduces today's serial path. Results are
-  /// bit-identical at every setting (see DESIGN.md "Threading model"), so
-  /// this deliberately does NOT enter CacheKey().
+  /// ensemble training, ND feature collection, and calibration. 0 =
+  /// hardware concurrency; 1 reproduces the serial path. The budget caps
+  /// the process-wide shared pool (util::ThreadPool::Shared()) per call
+  /// rather than sizing a private pool. Results are bit-identical at
+  /// every setting (see DESIGN.md "Threading model"), so this
+  /// deliberately does NOT enter CacheKey().
   std::size_t threads = 0;
+
+  /// Calibrate alpha by record-and-replay (one recorded no-default
+  /// rollout per validation trace; candidates scan the recorded variance
+  /// series and replay only the post-default suffix) instead of a full
+  /// SafeAgent re-evaluation per bisection iteration. Bit-identical
+  /// results either way (the equivalence is pinned by tests), so this
+  /// also stays out of CacheKey(); the flag exists for those tests.
+  bool calibration_replay = true;
 };
 
 /// A WorkbenchConfig sized for unit/integration tests: tiny nets, few
@@ -164,12 +174,16 @@ class Workbench {
   std::map<traces::DatasetId, traces::Dataset> datasets_;
   std::map<traces::DatasetId, TrainedBundle> bundles_;
   std::map<std::tuple<int, int, int>, EvalResult> eval_cache_;
-  std::unique_ptr<util::ThreadPool> pool_;  // lazily built on first use
 
   /// Total threads applied to parallel sections (>= 1).
   std::size_t ResolvedThreads() const;
-  /// The shared pool (ResolvedThreads() - 1 workers + the caller).
-  util::ThreadPool& Pool();
+  /// The process-wide shared pool; the thread budget is applied per call
+  /// through EvalOptions(), not by sizing the pool.
+  util::ThreadPool& Pool() const;
+  /// ParallelFor options implementing the `threads` budget: at most
+  /// ResolvedThreads() - 1 pool workers join the caller, one whole
+  /// item (session / member) per claim.
+  util::ParallelOptions EvalOptions() const;
 
   /// Thread-safe MakePolicy core: builds a policy for `scheme` from an
   /// already-materialized bundle without touching workbench caches.

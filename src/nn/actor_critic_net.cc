@@ -43,6 +43,14 @@ std::vector<double> ActorCriticNet::ActionProbs(
   return Softmax(logits.Row(0));
 }
 
+void ActorCriticNet::ActionProbsInto(std::span<const double> state,
+                                     std::span<double> out) const {
+  OSAP_REQUIRE(state.size() == StateSize(),
+               "ActionProbs: state size mismatch");
+  const Matrix& logits = actor_.Infer(LocalInputRow(state), LocalScratch());
+  SoftmaxInto(logits.Row(0), out);
+}
+
 double ActorCriticNet::Value(std::span<const double> state) const {
   OSAP_REQUIRE(state.size() == StateSize(), "Value: state size mismatch");
   return critic_.Infer(LocalInputRow(state), LocalScratch()).At(0, 0);

@@ -26,6 +26,12 @@ class ActorCriticNet {
   /// safe to call concurrently on a net shared across threads.
   std::vector<double> ActionProbs(std::span<const double> state) const;
 
+  /// Allocation-free ActionProbs: writes the distribution into `out`
+  /// (length ActionCount()). Bit-identical to ActionProbs; this is the
+  /// per-decision hot-path entry used by greedy policy evaluation.
+  void ActionProbsInto(std::span<const double> state,
+                       std::span<double> out) const;
+
   /// State value estimate for a single state. Const and thread-safe like
   /// ActionProbs.
   double Value(std::span<const double> state) const;

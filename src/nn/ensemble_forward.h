@@ -36,6 +36,18 @@ class BatchedEnsemble {
   const Matrix& Infer(std::span<const double> state,
                       InferScratch& scratch) const;
 
+  /// Evaluates every member on each of the B states in `states` (a
+  /// B x InputSize row-major matrix; wider rows use the leading InputSize
+  /// columns). Returns a (B*K) x OutputSize matrix - state b / member m's
+  /// output in row b*K + m - referencing `scratch`. Each row is
+  /// bit-identical to Infer on that state alone: batching only hoists the
+  /// per-member weight blocks across states (every output element keeps
+  /// its own accumulation chain), which is the point - single-state
+  /// inference re-streams every member's weights per call and is
+  /// bandwidth-bound, so amortizing the weight traffic over B states is
+  /// where offline scoring passes (replay calibration) win big.
+  const Matrix& InferBatch(const Matrix& states, InferScratch& scratch) const;
+
   std::size_t MemberCount() const { return member_count_; }
   std::size_t InputSize() const { return input_size_; }
   std::size_t OutputSize() const { return output_size_; }
@@ -47,14 +59,21 @@ class BatchedEnsemble {
     std::size_t in = 0;   // features per member consumed
     std::size_t out = 0;  // features per member produced
     // Linear: weights = K stacked (in x out) blocks, bias = K x out.
-    // Conv1D: weights = K stacked ((in_channels*kernel) x out_channels)
-    // blocks, bias = K x out_channels.
+    // Conv1D: weights transposed at pack time to K stacked
+    // (out_channels x (in_channels*kernel)) blocks so the inner MAC loop
+    // reads them contiguously (the member layers store
+    // (in_channels*kernel) x out_channels, which strides by out_channels
+    // between taps); bias = K x out_channels. The accumulation order is
+    // unchanged, so results stay bit-identical.
     Matrix weights;
     Matrix bias;
     std::size_t in_channels = 0;
     std::size_t out_channels = 0;
     std::size_t kernel = 0;
     std::size_t input_length = 0;
+    // A ReLU layer directly after a Linear/Conv1D is folded into that op
+    // (clamp applied as each output is stored): one pass instead of two.
+    bool fused_relu = false;
   };
 
   struct PackedBranch {
@@ -67,15 +86,27 @@ class BatchedEnsemble {
   // Packs the same Sequential (a branch or the trunk) from every member.
   static std::vector<PackedOp> Pack(const std::vector<const Sequential*>& seqs);
 
-  // Applies one op to activations at `x` (row stride `x_stride`; zero for
-  // the shared input row) writing member rows into `y`.
+  // Applies one op to activations at `x`, writing member m of state b's
+  // outputs at y + m * y_stride + b * y_batch. Member stride zero on x
+  // means all members share the state's input row. The member loop is
+  // outermost and the batch loop inside it, so member m's weight block
+  // stays hot across all B states; the per-(state, member) kernel is the
+  // single-state one verbatim, keeping every output element's
+  // accumulation chain (and thus the rounding) unchanged.
   void ApplyOp(const PackedOp& op, const double* x, std::size_t x_stride,
-               Matrix& y) const;
+               std::size_t x_batch, double* y, std::size_t y_stride,
+               std::size_t y_batch, std::size_t batch) const;
 
-  // Runs a packed op chain; `x` has `x_stride` between member rows.
-  const Matrix& RunOps(const std::vector<PackedOp>& ops, const double* x,
-                       std::size_t x_stride, Matrix& buf_a,
-                       Matrix& buf_b) const;
+  // Runs a packed op chain over a batch; `x` has `x_stride` between
+  // member rows and `x_batch` between states. Intermediate ops ping-pong
+  // through buf_a/buf_b ((batch*K)-row matrices, state b / member m at
+  // row b*K + m); the final op writes straight to `out` with `out_stride`
+  // between member rows and `out_batch` between states, which lets branch
+  // outputs land in their concat columns without a copy.
+  void RunOps(const std::vector<PackedOp>& ops, const double* x,
+              std::size_t x_stride, std::size_t x_batch, Matrix& buf_a,
+              Matrix& buf_b, double* out, std::size_t out_stride,
+              std::size_t out_batch, std::size_t batch) const;
 
   std::size_t member_count_ = 0;
   std::size_t input_size_ = 0;

@@ -20,6 +20,18 @@ std::vector<double> Softmax(std::span<const double> logits) {
   return p;
 }
 
+void SoftmaxInto(std::span<const double> logits, std::span<double> out) {
+  OSAP_REQUIRE(!logits.empty(), "Softmax: empty logits");
+  OSAP_REQUIRE(out.size() == logits.size(), "SoftmaxInto: size mismatch");
+  const double zmax = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - zmax);
+    sum += out[i];
+  }
+  for (double& v : out) v /= sum;
+}
+
 Matrix SoftmaxRows(const Matrix& logits) {
   Matrix out(logits.rows(), logits.cols());
   for (std::size_t r = 0; r < logits.rows(); ++r) {

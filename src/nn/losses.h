@@ -16,6 +16,10 @@ namespace osap::nn {
 /// Numerically stable softmax of one logit vector.
 std::vector<double> Softmax(std::span<const double> logits);
 
+/// Allocation-free Softmax: writes into `out` (same length as `logits`,
+/// which must not alias it). Bit-identical to Softmax.
+void SoftmaxInto(std::span<const double> logits, std::span<double> out);
+
 /// Row-wise softmax of a batch of logits.
 Matrix SoftmaxRows(const Matrix& logits);
 

@@ -55,6 +55,74 @@ double MpcPolicy::BestQoe(double buffer_seconds, double prev_bitrate_mbps,
   return best;
 }
 
+void MpcPolicy::FillLookaheadTables(std::size_t chunk, double predicted_mbps) {
+  const std::size_t levels = video_->LevelCount();
+  if (bitrate_.size() != levels) {
+    bitrate_.resize(levels);
+    for (std::size_t level = 0; level < levels; ++level) {
+      bitrate_[level] = video_->BitrateMbps(level);
+    }
+    smooth_.resize(levels * levels);
+    for (std::size_t prev = 0; prev < levels; ++prev) {
+      for (std::size_t level = 0; level < levels; ++level) {
+        smooth_[prev * levels + level] =
+            bitrate_[prev] > 0.0 ? std::abs(bitrate_[level] - bitrate_[prev])
+                                 : 0.0;
+      }
+    }
+  }
+  download_.resize(config_.horizon * levels);
+  for (std::size_t depth = 0; depth < config_.horizon; ++depth) {
+    const std::size_t c = chunk + depth;
+    // The recursion stops at ChunkCount(), so rows past the end of the
+    // video are never read.
+    if (c >= video_->ChunkCount()) break;
+    for (std::size_t level = 0; level < levels; ++level) {
+      const double bytes = video_->ChunkBytes(c, level);
+      download_[depth * levels + level] =
+          config_.rtt_seconds + bytes * 8.0 / 1e6 / predicted_mbps;
+    }
+  }
+}
+
+double MpcPolicy::BestQoeMemoized(double buffer_seconds, std::size_t prev_level,
+                                  double prev_bitrate_mbps, std::size_t chunk,
+                                  std::size_t depth,
+                                  std::size_t* best_first_level) const {
+  if (depth == config_.horizon || chunk >= video_->ChunkCount()) {
+    return 0.0;
+  }
+  const std::size_t levels = video_->LevelCount();
+  const double* download = download_.data() + depth * levels;
+  const double* smooth_row = prev_level == kNoPrevLevel
+                                 ? nullptr
+                                 : smooth_.data() + prev_level * levels;
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t best_level = 0;
+  for (std::size_t level = 0; level < levels; ++level) {
+    const double download_s = download[level];
+    const double rebuffer = std::max(0.0, download_s - buffer_seconds);
+    const double next_buffer =
+        std::max(0.0, buffer_seconds - download_s) + video_->ChunkSeconds();
+    const double bitrate = bitrate_[level];
+    const double smooth =
+        smooth_row != nullptr
+            ? smooth_row[level]
+            : (prev_bitrate_mbps > 0.0 ? std::abs(bitrate - prev_bitrate_mbps)
+                                       : 0.0);
+    const double reward = bitrate - qoe_.rebuffer_penalty * rebuffer -
+                          qoe_.smoothness_penalty * smooth;
+    const double future = BestQoeMemoized(next_buffer, level, bitrate,
+                                          chunk + 1, depth + 1, nullptr);
+    if (reward + future > best) {
+      best = reward + future;
+      best_level = level;
+    }
+  }
+  if (best_first_level != nullptr) *best_first_level = best_level;
+  return best;
+}
+
 mdp::Action MpcPolicy::SelectAction(const mdp::State& state) {
   OSAP_REQUIRE(state.size() == layout_.Size(), "Mpc: state size mismatch");
   double forecast = 0.0;
@@ -88,8 +156,15 @@ mdp::Action MpcPolicy::SelectAction(const mdp::State& state) {
       static_cast<double>(video_->ChunkCount()) * (1.0 - remaining)));
 
   std::size_t best_level = 0;
-  BestQoe(buffer, prev_bitrate, std::min(chunk, video_->ChunkCount() - 1),
-          0, std::max(predicted, 1e-3), &best_level);
+  const std::size_t chunk0 = std::min(chunk, video_->ChunkCount() - 1);
+  const double floored = std::max(predicted, 1e-3);
+  if (config_.memoize) {
+    FillLookaheadTables(chunk0, floored);
+    BestQoeMemoized(buffer, kNoPrevLevel, prev_bitrate, chunk0, 0,
+                    &best_level);
+  } else {
+    BestQoe(buffer, prev_bitrate, chunk0, 0, floored, &best_level);
+  }
   return static_cast<mdp::Action>(best_level);
 }
 

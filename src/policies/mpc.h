@@ -15,6 +15,10 @@
 
 namespace osap::policies {
 
+/// Sentinel "previous level" for the lookahead root, where the previous
+/// bitrate comes from the session state rather than the bitrate ladder.
+inline constexpr std::size_t kNoPrevLevel = static_cast<std::size_t>(-1);
+
 struct MpcConfig {
   /// Lookahead horizon in chunks. Cost grows as levels^horizon; 5 with a
   /// 6-level ladder = 7776 sequences per decision.
@@ -26,6 +30,12 @@ struct MpcConfig {
   double prediction_discount = 1.0;
   /// RTT added per chunk when predicting download times.
   double rtt_seconds = 0.08;
+  /// Memoize per-chunk download times, bitrates, and smoothness deltas
+  /// once per decision instead of recomputing them in every node of the
+  /// levels^horizon enumeration. Bit-identical either way (the tables
+  /// hold the same expressions the recursion evaluated inline); the flag
+  /// exists so tests can pin the equivalence.
+  bool memoize = true;
 };
 
 class MpcPolicy final : public mdp::Policy {
@@ -50,11 +60,28 @@ class MpcPolicy final : public mdp::Policy {
   abr::QoeConfig qoe_;
   MpcConfig config_;
 
+  // Per-decision lookahead tables (policies are per-thread):
+  // download_[d * levels + l] = predicted download seconds of chunk0 + d
+  // at level l, bitrate_[l] = BitrateMbps(l), smooth_[p * levels + l] =
+  // the smoothness term when switching p -> l.
+  std::vector<double> download_;
+  std::vector<double> bitrate_;
+  std::vector<double> smooth_;
+
   /// Predicted QoE of the best sequence starting with each first-chunk
   /// level; used recursively.
   double BestQoe(double buffer_seconds, double prev_bitrate_mbps,
                  std::size_t chunk, std::size_t depth,
                  double predicted_mbps, std::size_t* best_first_level) const;
+
+  /// Memoized variant reading the per-decision tables. `prev_level` is
+  /// the previous chunk's level, or kNoPrevLevel at depth 0 (where the
+  /// previous bitrate comes from the state, not the ladder).
+  double BestQoeMemoized(double buffer_seconds, std::size_t prev_level,
+                         double prev_bitrate_mbps, std::size_t chunk,
+                         std::size_t depth,
+                         std::size_t* best_first_level) const;
+  void FillLookaheadTables(std::size_t chunk, double predicted_mbps);
 };
 
 }  // namespace osap::policies

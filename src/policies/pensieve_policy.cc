@@ -18,19 +18,20 @@ std::vector<double> PensievePolicy::ActionDistribution(
 }
 
 mdp::Action PensievePolicy::SelectAction(const mdp::State& state) {
-  const std::vector<double> probs = net_->ActionProbs(state);
+  probs_.resize(net_->ActionCount());
+  net_->ActionProbsInto(state, probs_);
   if (selection_ == ActionSelection::kGreedy) {
     return static_cast<mdp::Action>(std::distance(
-        probs.begin(), std::max_element(probs.begin(), probs.end())));
+        probs_.begin(), std::max_element(probs_.begin(), probs_.end())));
   }
   // Inverse-CDF sampling; the final bucket absorbs rounding slack.
   const double u = rng_.Uniform();
   double acc = 0.0;
-  for (std::size_t i = 0; i < probs.size(); ++i) {
-    acc += probs[i];
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    acc += probs_[i];
     if (u < acc) return static_cast<mdp::Action>(i);
   }
-  return static_cast<mdp::Action>(probs.size() - 1);
+  return static_cast<mdp::Action>(probs_.size() - 1);
 }
 
 }  // namespace osap::policies

@@ -37,6 +37,9 @@ class PensievePolicy final : public mdp::StochasticPolicy {
   std::shared_ptr<nn::ActorCriticNet> net_;
   ActionSelection selection_;
   Rng rng_;
+  // Per-decision distribution scratch: SelectAction is allocation-free
+  // after the first call (policies are per-thread, so no sharing).
+  std::vector<double> probs_;
 };
 
 }  // namespace osap::policies

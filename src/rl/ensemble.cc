@@ -41,11 +41,13 @@ AgentEnsembleResult TrainAgentEnsemble(std::size_t size,
 AgentEnsembleResult TrainAgentEnsembleParallel(
     std::size_t size, const ActorCriticFactory& factory,
     const MemberEnvFactory& env_for_member, const A2cConfig& config,
-    std::uint64_t base_seed, util::ThreadPool& pool) {
+    std::uint64_t base_seed, util::ThreadPool& pool,
+    util::ParallelOptions options) {
   OSAP_REQUIRE(size > 0, "TrainAgentEnsemble: size must be > 0");
   AgentEnsembleResult result;
   result.members.resize(size);
   result.histories.resize(size);
+  if (options.chunk == 0) options.chunk = 1;  // members are coarse items
   pool.ParallelFor(0, size, [&](std::size_t m) {
     Rng init_rng(MemberSeed(base_seed, m));
     auto net = std::make_shared<nn::ActorCriticNet>(factory(init_rng));
@@ -57,7 +59,7 @@ AgentEnsembleResult TrainAgentEnsembleParallel(
     OSAP_LOG(kDebug) << "agent ensemble member " << m << " final reward "
                      << result.histories[m].RecentMeanReward(20);
     result.members[m] = std::move(net);
-  });
+  }, options);
   return result;
 }
 
@@ -87,10 +89,12 @@ std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsemble(
 std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsembleParallel(
     std::size_t size, const ValueNetFactory& factory, mdp::Environment& env,
     mdp::Policy& policy, const ValueTrainConfig& config,
-    std::uint64_t base_seed, util::ThreadPool& pool) {
+    std::uint64_t base_seed, util::ThreadPool& pool,
+    util::ParallelOptions options) {
   OSAP_REQUIRE(size > 0, "TrainValueEnsemble: size must be > 0");
   const ValueDataset dataset = CollectValueDataset(env, policy, config);
   std::vector<std::shared_ptr<nn::CompositeNet>> members(size);
+  if (options.chunk == 0) options.chunk = 1;  // members are coarse items
   pool.ParallelFor(0, size, [&](std::size_t m) {
     Rng init_rng(MemberSeed(base_seed, m));
     auto net = std::make_shared<nn::CompositeNet>(factory(init_rng));
@@ -100,7 +104,7 @@ std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsembleParallel(
     OSAP_LOG(kDebug) << "value ensemble member " << m << " final loss "
                      << loss;
     members[m] = std::move(net);
-  });
+  }, options);
   return members;
 }
 

@@ -61,7 +61,8 @@ using MemberEnvFactory =
 AgentEnsembleResult TrainAgentEnsembleParallel(
     std::size_t size, const ActorCriticFactory& factory,
     const MemberEnvFactory& env_for_member, const A2cConfig& config,
-    std::uint64_t base_seed, util::ThreadPool& pool);
+    std::uint64_t base_seed, util::ThreadPool& pool,
+    util::ParallelOptions options = {});
 
 /// Parallel TrainValueEnsemble: the dataset is still collected once on the
 /// calling thread (it consumes the shared env/policy RNG streams exactly
@@ -70,6 +71,7 @@ AgentEnsembleResult TrainAgentEnsembleParallel(
 std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsembleParallel(
     std::size_t size, const ValueNetFactory& factory, mdp::Environment& env,
     mdp::Policy& policy, const ValueTrainConfig& config,
-    std::uint64_t base_seed, util::ThreadPool& pool);
+    std::uint64_t base_seed, util::ThreadPool& pool,
+    util::ParallelOptions options = {});
 
 }  // namespace osap::rl

@@ -158,5 +158,72 @@ TEST(AbrEnvironment, StateNormalizationsAreBounded) {
   }
 }
 
+TEST(AbrEnvironment, ResumePointRestoresMidSessionStateExactly) {
+  // Save a resume point mid-session, finish the session recording every
+  // step, then restore the point into a DIFFERENT environment instance
+  // and replay the same actions: rewards and states must match bit for
+  // bit (this is what record-and-replay calibration stands on).
+  std::vector<double> mbps;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    mbps.push_back(1.0 + 0.5 * static_cast<double>(i % 7));
+  }
+  const traces::Trace trace("varying", 1.0, mbps);
+  AbrEnvironment env = MakeEnv();
+  env.SetFixedTrace(trace);
+  env.Reset();
+  const std::vector<int> prefix = {0, 3, 5, 1, 4, 2, 5, 0};
+  for (const int a : prefix) env.Step(a);
+
+  const AbrEnvironment::ResumePoint resume = env.SaveResumePoint();
+  std::vector<mdp::Action> actions;
+  std::vector<double> rewards;
+  std::vector<mdp::State> states;
+  bool done = false;
+  int a = 1;
+  while (!done) {
+    const mdp::StepResult r = env.Step(a);
+    actions.push_back(a);
+    rewards.push_back(r.reward);
+    states.push_back(r.next_state);
+    done = r.done;
+    a = (a + 2) % 6;
+  }
+
+  AbrEnvironment other = MakeEnv();  // same video/config, fresh instance
+  other.RestoreResumePoint(resume);
+  for (std::size_t t = 0; t < actions.size(); ++t) {
+    const mdp::StepResult r = other.Step(actions[t]);
+    EXPECT_EQ(r.reward, rewards[t]) << "step " << t;
+    EXPECT_EQ(r.next_state, states[t]) << "step " << t;
+    EXPECT_EQ(r.done, t + 1 == actions.size()) << "step " << t;
+  }
+}
+
+TEST(AbrEnvironment, ResumePointSurvivesInterleavedUse) {
+  // Restoring after the source env has moved on (or been reset onto
+  // another trace) still reproduces the saved step: the resume point
+  // owns all dynamic state except the trace, which the caller keeps
+  // alive.
+  const traces::Trace trace = FlatTrace(3.0);
+  const traces::Trace other_trace = FlatTrace(9.0);
+  AbrEnvironment env = MakeEnv();
+  env.SetFixedTrace(trace);
+  env.Reset();
+  env.Step(2);
+  env.Step(4);
+  const AbrEnvironment::ResumePoint resume = env.SaveResumePoint();
+  const mdp::StepResult expected = env.Step(3);
+
+  env.SetFixedTrace(other_trace);  // clobber the source env's state
+  env.Reset();
+  env.Step(1);
+
+  env.RestoreResumePoint(resume);
+  const mdp::StepResult replayed = env.Step(3);
+  EXPECT_EQ(replayed.reward, expected.reward);
+  EXPECT_EQ(replayed.next_state, expected.next_state);
+  EXPECT_EQ(replayed.done, expected.done);
+}
+
 }  // namespace
 }  // namespace osap::abr

@@ -142,6 +142,39 @@ TEST(ValueEnsembleEstimator, TrimmingDropsFarthestValues) {
   EXPECT_LT(trimmed.Score(state), untrimmed.Score(state));
 }
 
+/// A spread of pseudo-random states covering more than one ScoreBatch
+/// chunk (kScoreBatch = 32 internally).
+std::vector<mdp::State> MakeStates(std::size_t count) {
+  Rng rng(77);
+  std::vector<mdp::State> states;
+  for (std::size_t i = 0; i < count; ++i) {
+    mdp::State s(Layout().Size());
+    for (double& v : s) v = rng.Normal(0.0, 1.0);
+    states.push_back(std::move(s));
+  }
+  return states;
+}
+
+TEST(AgentEnsembleEstimator, ScoreBatchMatchesSequentialScoreBitForBit) {
+  AgentEnsembleEstimator estimator(MakeAgents(5, 500), 2);
+  const auto states = MakeStates(71);  // 2 full chunks + a partial one
+  std::vector<double> batched(states.size());
+  estimator.ScoreBatch(states, batched);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    EXPECT_EQ(batched[i], estimator.Score(states[i])) << "state " << i;
+  }
+}
+
+TEST(ValueEnsembleEstimator, ScoreBatchMatchesSequentialScoreBitForBit) {
+  ValueEnsembleEstimator estimator(MakeValueNets(5, 600), 2);
+  const auto states = MakeStates(71);
+  std::vector<double> batched(states.size());
+  estimator.ScoreBatch(states, batched);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    EXPECT_EQ(batched[i], estimator.Score(states[i])) << "state " << i;
+  }
+}
+
 TEST(ValueEnsembleEstimator, RejectsMultiOutputMembers) {
   Rng rng(5);
   auto bad = std::make_shared<nn::CompositeNet>(

@@ -49,6 +49,30 @@ TEST(WorkbenchDeterminism, ParallelEvaluationBitIdenticalToSerial) {
   }
 }
 
+TEST(WorkbenchDeterminism, ReplayCalibrationBitIdenticalToFullReEvaluation) {
+  // Record-and-replay calibration is a pure speedup: the calibrated
+  // thresholds (and the ND target they chase) must match the legacy
+  // full-SafeAgent-per-bisection-iteration path exactly.
+  WorkbenchConfig full_cfg = FastWorkbenchConfig();
+  full_cfg.calibration_replay = false;
+  Workbench replay(FastWorkbenchConfig());
+  Workbench full(full_cfg);
+  constexpr auto kTrain = DatasetId::kGamma22;
+
+  const TrainedBundle& rb = replay.BundleFor(kTrain);
+  const TrainedBundle& fb = full.BundleFor(kTrain);
+  EXPECT_EQ(rb.nd_in_dist_qoe, fb.nd_in_dist_qoe);
+  EXPECT_EQ(rb.alpha_pi, fb.alpha_pi);
+  EXPECT_EQ(rb.alpha_v, fb.alpha_v);
+}
+
+TEST(WorkbenchDeterminism, ReplayFlagDoesNotChangeCacheKey) {
+  WorkbenchConfig full_cfg = FastWorkbenchConfig();
+  full_cfg.calibration_replay = false;
+  EXPECT_EQ(Workbench(FastWorkbenchConfig()).CacheKey(),
+            Workbench(full_cfg).CacheKey());
+}
+
 TEST(WorkbenchDeterminism, ThreadCountDoesNotChangeCacheKey) {
   // `threads` is a performance knob, not a behaviour knob: cached artifacts
   // must be shared across thread settings.

@@ -137,6 +137,37 @@ TEST(BatchedEnsembleRegression, MatchesPerMemberForwardBitForBit) {
   }
 }
 
+TEST(BatchedEnsembleRegression, InferBatchMatchesPerStateInferBitForBit) {
+  Rng rng(23);
+  std::vector<CompositeNet> members;
+  for (int m = 0; m < 3; ++m) members.push_back(MakeBranchedNet(rng));
+  std::vector<const CompositeNet*> views;
+  for (const auto& m : members) views.push_back(&m);
+  const BatchedEnsemble batched(views);
+
+  // Batch sizes around the edge cases: one state, odd counts, and rows
+  // wider than InputSize (extra columns must be ignored).
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{7}, std::size_t{33}}) {
+    Matrix states = Random(batch, 13, rng);  // 13 > InputSize() == 11
+    InferScratch scratch;
+    const Matrix& out = batched.InferBatch(states, scratch);
+    ASSERT_EQ(out.rows(), batch * 3u);
+    ASSERT_EQ(out.cols(), 5u);
+    InferScratch single;
+    for (std::size_t b = 0; b < batch; ++b) {
+      const Matrix& ref =
+          batched.Infer(states.Row(b).first(batched.InputSize()), single);
+      for (std::size_t m = 0; m < 3; ++m) {
+        for (std::size_t j = 0; j < 5; ++j) {
+          EXPECT_EQ(out.At(b * 3 + m, j), ref.At(m, j))
+              << "state " << b << " member " << m << " output " << j;
+        }
+      }
+    }
+  }
+}
+
 TEST(BatchedEnsembleRegression, CompositeInferMatchesForward) {
   Rng rng(5);
   CompositeNet net = MakeBranchedNet(rng);

@@ -5,6 +5,8 @@
 #include "abr/abr_environment.h"
 #include "mdp/rollout.h"
 #include "policies/buffer_based.h"
+#include "traces/generators.h"
+#include "util/rng.h"
 
 namespace osap::policies {
 namespace {
@@ -88,6 +90,46 @@ TEST_F(MpcTest, OutperformsBufferBasedOnAStableLink) {
   const double mpc_qoe = mdp::Rollout(env, mpc).TotalReward();
   const double bb_qoe = mdp::Rollout(env, bb).TotalReward();
   EXPECT_GE(mpc_qoe, bb_qoe);
+}
+
+TEST_F(MpcTest, MemoizedLookaheadBitIdenticalToDirectRecursion) {
+  // The per-decision download/bitrate/smoothness tables hold the exact
+  // expressions the recursion evaluated inline, so every decision must
+  // match the unmemoized enumeration bit-for-bit.
+  MpcConfig direct_cfg;
+  direct_cfg.memoize = false;
+  MpcPolicy memoized(video_, layout_);
+  MpcPolicy direct(video_, layout_, {}, direct_cfg);
+
+  // A grid of synthetic states covering empty/full buffers, slow/fast
+  // links, every previous level, and the end-of-video chunk clamp.
+  for (const double buffer : {0.0, 1.5, 8.0, 40.0}) {
+    for (const double mbps : {0.2, 0.7, 1.3, 3.0, 20.0}) {
+      for (const double remaining : {1.0, 0.6, 0.1, 0.0}) {
+        for (std::size_t prev = 0; prev < video_.LevelCount(); ++prev) {
+          mdp::State s = StateWith(buffer, mbps, remaining);
+          s[layout_.LastBitrateIndex()] =
+              video_.BitrateMbps(prev) / video_.MaxBitrateMbps();
+          EXPECT_EQ(memoized.SelectAction(s), direct.SelectAction(s))
+              << "buffer=" << buffer << " mbps=" << mbps
+              << " remaining=" << remaining << " prev=" << prev;
+        }
+      }
+    }
+  }
+
+  // And over real sessions, where states come from the simulator.
+  abr::AbrEnvironment env(video_, {});
+  Rng rng(5);
+  const auto gen = traces::MakeNorway3gGenerator();
+  for (std::size_t t = 0; t < 3; ++t) {
+    const traces::Trace trace = gen->Generate(rng, 200.0, t);
+    env.SetFixedTrace(trace);
+    const double memo_qoe = mdp::Rollout(env, memoized).TotalReward();
+    env.SetFixedTrace(trace);
+    const double direct_qoe = mdp::Rollout(env, direct).TotalReward();
+    EXPECT_EQ(memo_qoe, direct_qoe) << "trace " << t;
+  }
 }
 
 TEST_F(MpcTest, ValidatesConfig) {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace osap::util {
@@ -88,6 +89,104 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
 
 TEST(ThreadPool, HardwareConcurrencyHasFloorOfOne) {
   EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPool, MaxWorkersZeroRunsSeriallyInOrder) {
+  // A shared pool capped to zero workers must degrade to the plain serial
+  // loop - same thread, ascending order.
+  ThreadPool pool(3);
+  ParallelOptions options;
+  options.max_workers = 0;
+  std::vector<std::size_t> order;
+  const auto caller = std::this_thread::get_id();
+  pool.ParallelFor(
+      0, 6,
+      [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+      },
+      options);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ThreadPool, ChunkOptionStillCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  for (const std::size_t chunk : {1u, 3u, 7u, 100u}) {
+    ParallelOptions options;
+    options.chunk = chunk;
+    std::vector<std::atomic<int>> hits(50);
+    pool.ParallelFor(
+        0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); }, options);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "chunk " << chunk;
+  }
+}
+
+TEST(ThreadPool, CurrentSlotStaysWithinSlotCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.SlotCount(), 4u);
+  // Outside any pool job, the calling thread is slot 0.
+  EXPECT_EQ(ThreadPool::CurrentSlot(), 0u);
+  std::vector<std::atomic<int>> slot_hits(pool.SlotCount());
+  pool.ParallelFor(0, 200, [&](std::size_t) {
+    const std::size_t slot = ThreadPool::CurrentSlot();
+    ASSERT_LT(slot, slot_hits.size());
+    slot_hits[slot].fetch_add(1);
+  });
+  int total = 0;
+  for (auto& h : slot_hits) total += h.load();
+  EXPECT_EQ(total, 200);
+}
+
+TEST(ThreadPool, SlotIsStablePerThreadWithinAJob) {
+  // Per-worker scratch indexed by CurrentSlot() relies on a thread keeping
+  // its slot for the whole job and no two threads sharing one.
+  ThreadPool pool(3);
+  std::vector<std::atomic<std::size_t>> owner(pool.SlotCount());
+  for (auto& o : owner) o.store(0);
+  pool.ParallelFor(0, 500, [&](std::size_t) {
+    const std::size_t slot = ThreadPool::CurrentSlot();
+    const auto me =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+    std::size_t expected = 0;
+    if (!owner[slot].compare_exchange_strong(expected, me)) {
+      EXPECT_EQ(expected, me) << "slot " << slot << " changed threads";
+    }
+  });
+}
+
+TEST(ThreadPool, SharedPoolIsASingletonAndUsable) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.thread_count(), ThreadPool::HardwareConcurrency() - 1);
+  std::atomic<int> count{0};
+  a.ParallelFor(0, 64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, ConcurrentCallersSerializeWithoutCrosstalk) {
+  // Several threads submitting to the same pool at once: each caller's
+  // job must run exactly its own indices (callers queue; jobs never mix).
+  ThreadPool pool(2);
+  constexpr std::size_t kCallers = 4;
+  constexpr std::size_t kItems = 300;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kItems);
+  }
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(0, kItems,
+                       [&](std::size_t i) { hits[c][i].fetch_add(1); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    for (std::size_t i = 0; i < kItems; ++i) {
+      ASSERT_EQ(hits[c][i].load(), 1) << "caller " << c << " index " << i;
+    }
+  }
 }
 
 TEST(ThreadPool, ManyMoreItemsThanThreads) {

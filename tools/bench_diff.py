@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_*.json sidecar against the committed
+baseline and fail on regressions.
+
+The micro-bench binaries (bench_hot_paths, bench_decision_latency,
+bench_substrates) drop flat {"benchmark name": ns_per_op} maps into
+their working directory; the repo commits blessed copies under
+bench/baselines/. This script diffs the two so CI (or a human before
+committing) can catch a hot-path regression without eyeballing console
+tables:
+
+    ./build/bench/bench_hot_paths      # writes ./BENCH_hot_paths.json
+    tools/bench_diff.py BENCH_hot_paths.json bench/baselines/BENCH_hot_paths.json
+
+Exit status is nonzero when any benchmark present in BOTH files slowed
+down by more than --threshold (default 25%). Added / removed benchmarks
+are reported but never fail the diff - micro-bench sets are allowed to
+evolve; their timings are not allowed to rot silently. Timings jitter
+with machine load, so the default threshold is deliberately loose.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if not isinstance(data, dict) or not all(
+        isinstance(v, (int, float)) for v in data.values()
+    ):
+        sys.exit(f"bench_diff: {path} is not a flat name->ns_per_op map")
+    return data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two benchmark JSON sidecars; fail on regressions."
+    )
+    parser.add_argument("fresh", help="newly generated BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fail when fresh > baseline * (1 + threshold); default 0.25",
+    )
+    args = parser.parse_args()
+    if args.threshold < 0:
+        sys.exit("bench_diff: --threshold must be >= 0")
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+
+    common = sorted(fresh.keys() & baseline.keys())
+    added = sorted(fresh.keys() - baseline.keys())
+    removed = sorted(baseline.keys() - fresh.keys())
+
+    regressions = []
+    width = max((len(n) for n in common), default=0)
+    for name in common:
+        old, new = baseline[name], fresh[name]
+        ratio = new / old if old > 0 else float("inf") if new > 0 else 1.0
+        flag = ""
+        if ratio > 1.0 + args.threshold:
+            flag = "  REGRESSION"
+            regressions.append((name, old, new, ratio))
+        print(f"{name:<{width}}  {old:>14.1f} -> {new:>14.1f} ns/op "
+              f"({ratio:>6.2f}x){flag}")
+
+    for name in added:
+        print(f"{name}: added ({fresh[name]:.1f} ns/op)")
+    for name in removed:
+        print(f"{name}: removed (was {baseline[name]:.1f} ns/op)")
+
+    if not common:
+        sys.exit("bench_diff: no benchmarks in common - wrong file pair?")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, old, new, ratio in regressions:
+            print(f"  {name}: {old:.1f} -> {new:.1f} ns/op ({ratio:.2f}x)",
+                  file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(common)} benchmarks within {args.threshold:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
