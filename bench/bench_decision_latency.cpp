@@ -12,6 +12,8 @@
 // Uses the shared ./osap_cache artifacts (trains them on first run).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "bench_json.h"
 #include "core/ensemble_estimators.h"
@@ -158,13 +160,21 @@ void BM_OfflineOcSvmFit(benchmark::State& state) {
     for (int d = 0; d < 10; ++d) f.push_back(rng.Normal(3.0, 0.5));
     features.push_back(std::move(f));
   }
+  svm::OcSvmConfig cfg;
+  // The 8000-point arg probes the working-set solver past the default
+  // 3000-sample subsampling cap (the smaller args are unaffected).
+  cfg.max_samples = std::max<std::size_t>(cfg.max_samples, n);
   for (auto _ : state) {
-    svm::OneClassSvm model;
+    svm::OneClassSvm model(cfg);
     model.Fit(features);
     benchmark::DoNotOptimize(model.rho());
   }
 }
-BENCHMARK(BM_OfflineOcSvmFit)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OfflineOcSvmFit)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
 
 /// Offline cost: one A2C training episode (paper: hours end-to-end).
 void BM_OfflineA2cEpisode(benchmark::State& state) {

@@ -104,6 +104,34 @@ void BM_EnsembleForwardBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_EnsembleForwardBatched)->Unit(benchmark::kMicrosecond);
 
+/// The backward-pass kernels at the Pensieve trunk's training shapes:
+/// dW = x^T dy (TN, accumulating into the existing grad) and dx = dy W^T
+/// (NT), for the 240-row episode batch through the 256->32 trunk and the
+/// 32->6 actor head. These are the products Linear::Backward issues; the
+/// benchmark pins the win from never materializing Transposed() copies.
+void BM_PensieveBackwardKernels(benchmark::State& state) {
+  Rng rng(3);
+  const nn::Matrix x = RandomMatrix(240, 256, rng);   // trunk input
+  const nn::Matrix dy = RandomMatrix(240, 32, rng);   // trunk output grad
+  const nn::Matrix w = RandomMatrix(256, 32, rng);    // trunk weight
+  const nn::Matrix xh = RandomMatrix(240, 32, rng);   // head input
+  const nn::Matrix dyh = RandomMatrix(240, 6, rng);   // head output grad
+  const nn::Matrix wh = RandomMatrix(32, 6, rng);     // head weight
+  nn::Matrix dw(256, 32);
+  nn::Matrix dwh(32, 6);
+  nn::Matrix dx;
+  nn::Matrix dxh;
+  for (auto _ : state) {
+    x.MatMulTNInto(dy, dw, /*accumulate=*/true);
+    dy.MatMulNTInto(w, dx);
+    xh.MatMulTNInto(dyh, dwh, /*accumulate=*/true);
+    dyh.MatMulNTInto(wh, dxh);
+    benchmark::DoNotOptimize(dw.At(0, 0));
+    benchmark::DoNotOptimize(dx.At(0, 0));
+  }
+}
+BENCHMARK(BM_PensieveBackwardKernels)->Unit(benchmark::kMicrosecond);
+
 /// The contiguous U_S decision scan as a function of support-vector count.
 void BM_OcSvmDecision(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -150,9 +178,12 @@ void BM_EvaluateMultiTraceParallel(benchmark::State& state) {
   abr::AbrEnvironment env(video, {});
   abr::AbrStateLayout layout;
   const std::vector<traces::Trace> traces = BenchTraces();
-  // The process-wide shared pool, capped per call - what the workbench
-  // does in production. One whole session per claim.
-  util::ThreadPool& pool = util::ThreadPool::Shared();
+  // A private pool of exactly the requested width. The shared pool sizes
+  // itself to HardwareConcurrency() - 1, which is 0 workers on a
+  // single-core runner - every Arg() then silently measured the same
+  // serial fallback. Constructing the pool makes the benchmark measure
+  // real contention/speedup at each width regardless of the host.
+  util::ThreadPool pool(threads - 1);
   const util::ParallelOptions options{.max_workers = threads - 1, .chunk = 1};
   const auto make_policy = [&] {
     return std::make_shared<policies::BufferBasedPolicy>(video, layout);

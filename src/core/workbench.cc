@@ -128,6 +128,12 @@ std::string Workbench::CacheKey() const {
      << config_.nd_k_empirical << '|' << config_.nd_k_synthetic << '|'
      << config_.nd_nu << '|' << config_.trigger_l << '|'
      << config_.trigger_k << '|' << config_.seed << "|sel1";
+  // Training-schedule switches append only when enabled, so every
+  // previously-cached bundle keeps its key.
+  if (config_.a2c.rollouts_per_update > 1) {
+    os << "|rpu" << config_.a2c.rollouts_per_update;
+  }
+  if (config_.value_train.parallel_collection) os << "|pvc1";
   std::ostringstream key;
   key << std::hex << Fnv1a(os.str());
   return key.str();
@@ -215,18 +221,37 @@ void Workbench::TrainOrLoadAgents(TrainedBundle& bundle) {
                   << ResolvedThreads() << " threads)";
   abr::AbrEnvironment env = MakeTrainEnvironment(bundle.id);
   rl::A2cConfig a2c = config_.a2c;
-  // Member m trains on a copy of the shared environment fast-forwarded
-  // past the first m members' episodes, reproducing the serial episode
-  // stream bit-exactly (TrainA2c resets exactly `episodes` times).
-  const rl::MemberEnvFactory env_for_member =
-      [&env, episodes = config_.a2c.episodes](std::size_t m) {
-        auto copy = std::make_unique<abr::AbrEnvironment>(env);
-        copy->SkipPoolEpisodes(m * episodes);
-        return std::unique_ptr<mdp::Environment>(std::move(copy));
-      };
-  rl::AgentEnsembleResult ensemble = rl::TrainAgentEnsembleParallel(
-      config_.ensemble_size, factory, env_for_member, a2c,
-      DatasetSeed(config_.seed, bundle.id), Pool(), EvalOptions());
+  rl::AgentEnsembleResult ensemble;
+  if (a2c.rollouts_per_update > 1) {
+    // Batched-update schedule: episodes within an update are collected
+    // concurrently. Every (member, episode) rolls out on its own copy of
+    // the shared environment fast-forwarded to that episode's position in
+    // the global stream, so the trace sequence is a function of the
+    // indices alone and results are bit-identical at every thread count.
+    const rl::MemberEpisodeEnvFactory env_for_episode =
+        [&env, episodes = config_.a2c.episodes](std::size_t m,
+                                                std::size_t e) {
+          auto copy = std::make_unique<abr::AbrEnvironment>(env);
+          copy->SkipPoolEpisodes(m * episodes + e);
+          return std::unique_ptr<mdp::Environment>(std::move(copy));
+        };
+    ensemble = rl::TrainAgentEnsembleParallel(
+        config_.ensemble_size, factory, env_for_episode, a2c,
+        DatasetSeed(config_.seed, bundle.id), Pool(), EvalOptions());
+  } else {
+    // Member m trains on a copy of the shared environment fast-forwarded
+    // past the first m members' episodes, reproducing the serial episode
+    // stream bit-exactly (TrainA2c resets exactly `episodes` times).
+    const rl::MemberEnvFactory env_for_member =
+        [&env, episodes = config_.a2c.episodes](std::size_t m) {
+          auto copy = std::make_unique<abr::AbrEnvironment>(env);
+          copy->SkipPoolEpisodes(m * episodes);
+          return std::unique_ptr<mdp::Environment>(std::move(copy));
+        };
+    ensemble = rl::TrainAgentEnsembleParallel(
+        config_.ensemble_size, factory, env_for_member, a2c,
+        DatasetSeed(config_.seed, bundle.id), Pool(), EvalOptions());
+  }
   bundle.agents = std::move(ensemble.members);
 
   // Model selection: deploy the ensemble member with the best greedy
@@ -311,12 +336,38 @@ void Workbench::TrainOrLoadValueNets(TrainedBundle& bundle) {
   abr::AbrEnvironment env = MakeTrainEnvironment(bundle.id);
   // Experience comes from the deployed agent exploring (sampled actions),
   // i.e. "the agent-environment interaction while training" (Section 2.4).
-  policies::PensievePolicy driver(bundle.agents.front(),
-                                  policies::ActionSelection::kSample,
-                                  DatasetSeed(config_.seed, bundle.id) ^ 2);
-  bundle.value_nets = rl::TrainValueEnsembleParallel(
-      config_.ensemble_size, factory, env, driver, config_.value_train,
-      DatasetSeed(config_.seed, bundle.id) ^ 3, Pool(), EvalOptions());
+  const std::uint64_t driver_seed = DatasetSeed(config_.seed, bundle.id) ^ 2;
+  if (config_.value_train.parallel_collection) {
+    // Parallel collection: each episode rolls out on its own copy of the
+    // training environment advanced to the episode's pool position, driven
+    // by a fresh sampling policy seeded from the episode index.
+    const rl::RolloutEnvFactory env_for_episode = [&env](std::size_t e) {
+      auto copy = std::make_unique<abr::AbrEnvironment>(env);
+      copy->SkipPoolEpisodes(e);
+      return std::unique_ptr<mdp::Environment>(std::move(copy));
+    };
+    const rl::RolloutPolicyFactory policy_for_episode =
+        [&bundle, driver_seed](std::size_t e) {
+          const std::uint64_t seed =
+              driver_seed * 0x9E3779B97F4A7C15ULL +
+              0xD1B54A32D192ED03ULL * (e + 1);
+          return std::unique_ptr<mdp::Policy>(
+              std::make_unique<policies::PensievePolicy>(
+                  bundle.agents.front(),
+                  policies::ActionSelection::kSample, seed));
+        };
+    bundle.value_nets = rl::TrainValueEnsembleParallel(
+        config_.ensemble_size, factory, env_for_episode, policy_for_episode,
+        config_.value_train, DatasetSeed(config_.seed, bundle.id) ^ 3, Pool(),
+        EvalOptions());
+  } else {
+    policies::PensievePolicy driver(bundle.agents.front(),
+                                    policies::ActionSelection::kSample,
+                                    driver_seed);
+    bundle.value_nets = rl::TrainValueEnsembleParallel(
+        config_.ensemble_size, factory, env, driver, config_.value_train,
+        DatasetSeed(config_.seed, bundle.id) ^ 3, Pool(), EvalOptions());
+  }
   if (config_.use_cache) {
     for (std::size_t m = 0; m < bundle.value_nets.size(); ++m) {
       nn::SaveParamsToFile(dir / ("value_" + std::to_string(m) + ".bin"),

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/simd.h"
 #include "util/check.h"
 
 // Batch-axis SIMD for the packed Linear op. Offline scoring passes hand
@@ -26,11 +27,6 @@ namespace osap::nn {
 namespace {
 
 using V4 = double __attribute__((vector_size(32)));
-
-bool HasAvx2() {
-  static const bool has = __builtin_cpu_supports("avx2");
-  return has;
-}
 
 /// One member's Linear layer over four states (x0..x3 -> y0..y3), output
 /// columns tiled 8 wide so the 4x2 vector accumulators stay in registers
@@ -248,7 +244,7 @@ void BatchedEnsemble::ApplyOp(const PackedOp& op, const double* x,
       const std::size_t in = op.in;
       const std::size_t out = op.out;
 #ifdef OSAP_ENSEMBLE_BATCH_SIMD
-      const bool simd = batch >= 4 && HasAvx2();
+      const bool simd = batch >= 4 && UseAvx2();
 #endif
       for (std::size_t m = 0; m < k_members; ++m) {
         const double* w = op.weights.data() + m * in * out;

@@ -1,6 +1,7 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <utility>
 
 #include "util/check.h"
 
@@ -29,7 +30,15 @@ Linear::Linear(std::size_t in, std::size_t out, Rng& rng)
 Matrix Linear::Forward(const Matrix& x) {
   OSAP_REQUIRE(x.cols() == InputSize(), "Linear: input width mismatch");
   cached_input_ = x;
-  Matrix y = x.MatMul(weight_.value);
+  Matrix y = cached_input_.MatMul(weight_.value);
+  y.AddRowBroadcast(bias_.value);
+  return y;
+}
+
+Matrix Linear::Forward(Matrix&& x) {
+  OSAP_REQUIRE(x.cols() == InputSize(), "Linear: input width mismatch");
+  cached_input_ = std::move(x);
+  Matrix y = cached_input_.MatMul(weight_.value);
   y.AddRowBroadcast(bias_.value);
   return y;
 }
@@ -44,16 +53,45 @@ Matrix Linear::Backward(const Matrix& dy) {
   OSAP_REQUIRE(dy.cols() == OutputSize(), "Linear: grad width mismatch");
   OSAP_CHECK_MSG(dy.rows() == cached_input_.rows(),
                  "Linear: Backward batch must match last Forward batch");
-  weight_.grad.AddInPlace(cached_input_.Transposed().MatMul(dy));
+  // Transposed-operand kernels: dW = x^T dy accumulated straight into the
+  // gradient and dx = dy W^T, with no materialized Transposed() copies.
+  // Bit-identical to the AddInPlace(Transposed().MatMul(...)) formulation
+  // (pinned by nn_tests kernel-equivalence and gradcheck suites).
+  cached_input_.MatMulTNInto(dy, weight_.grad, /*accumulate=*/true);
   bias_.grad.AddInPlace(dy.SumRows());
-  return dy.MatMul(weight_.value.Transposed());
+  Matrix dx;
+  dy.MatMulNTInto(weight_.value, dx);
+  return dx;
+}
+
+void ReLU::MaskAndClamp(std::vector<double>& v) {
+  zeroed_.resize(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double x = v[i];
+    // zeroed_ records the exact Backward predicate (x <= 0.0); the clamp
+    // below is the exact Forward expression. Both match the previous
+    // cached-input formulation bit for bit (including -0.0 and NaN inputs,
+    // which the predicates classify independently, as before).
+    zeroed_[i] = x <= 0.0 ? 1 : 0;
+    v[i] = x > 0.0 ? x : 0.0;
+  }
 }
 
 Matrix ReLU::Forward(const Matrix& x) {
   OSAP_REQUIRE(x.cols() == size_, "ReLU: input width mismatch");
-  cached_input_ = x;
+  cached_rows_ = x.rows();
+  cached_cols_ = x.cols();
   Matrix y = x;
-  for (double& v : y.values()) v = v > 0.0 ? v : 0.0;
+  MaskAndClamp(y.values());
+  return y;
+}
+
+Matrix ReLU::Forward(Matrix&& x) {
+  OSAP_REQUIRE(x.cols() == size_, "ReLU: input width mismatch");
+  cached_rows_ = x.rows();
+  cached_cols_ = x.cols();
+  Matrix y = std::move(x);
+  MaskAndClamp(y.values());
   return y;
 }
 
@@ -68,14 +106,17 @@ void ReLU::InferBatch(const Matrix& x, Matrix& y) const {
 }
 
 Matrix ReLU::Backward(const Matrix& dy) {
-  OSAP_CHECK_MSG(dy.rows() == cached_input_.rows() &&
-                     dy.cols() == cached_input_.cols(),
-                 "ReLU: Backward shape must match last Forward");
   Matrix dx = dy;
-  const auto& x = cached_input_.values();
+  return Backward(std::move(dx));
+}
+
+Matrix ReLU::Backward(Matrix&& dy) {
+  OSAP_CHECK_MSG(dy.rows() == cached_rows_ && dy.cols() == cached_cols_,
+                 "ReLU: Backward shape must match last Forward");
+  Matrix dx = std::move(dy);
   auto& g = dx.values();
   for (std::size_t i = 0; i < g.size(); ++i) {
-    if (x[i] <= 0.0) g[i] = 0.0;
+    if (zeroed_[i]) g[i] = 0.0;
   }
   return dx;
 }
@@ -83,6 +124,14 @@ Matrix ReLU::Backward(const Matrix& dy) {
 Matrix Tanh::Forward(const Matrix& x) {
   OSAP_REQUIRE(x.cols() == size_, "Tanh: input width mismatch");
   Matrix y = x;
+  for (double& v : y.values()) v = std::tanh(v);
+  cached_output_ = y;
+  return y;
+}
+
+Matrix Tanh::Forward(Matrix&& x) {
+  OSAP_REQUIRE(x.cols() == size_, "Tanh: input width mismatch");
+  Matrix y = std::move(x);
   for (double& v : y.values()) v = std::tanh(v);
   cached_output_ = y;
   return y;
@@ -99,10 +148,15 @@ void Tanh::InferBatch(const Matrix& x, Matrix& y) const {
 }
 
 Matrix Tanh::Backward(const Matrix& dy) {
+  Matrix dx = dy;
+  return Backward(std::move(dx));
+}
+
+Matrix Tanh::Backward(Matrix&& dy) {
   OSAP_CHECK_MSG(dy.rows() == cached_output_.rows() &&
                      dy.cols() == cached_output_.cols(),
                  "Tanh: Backward shape must match last Forward");
-  Matrix dx = dy;
+  Matrix dx = std::move(dy);
   const auto& y = cached_output_.values();
   auto& g = dx.values();
   for (std::size_t i = 0; i < g.size(); ++i) {
@@ -126,27 +180,19 @@ Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels,
 }
 
 Matrix Conv1D::Forward(const Matrix& x) {
-  OSAP_REQUIRE(x.cols() == InputSize(), "Conv1D: input width mismatch");
   cached_input_ = x;
-  const std::size_t out_len = OutputLength();
-  Matrix y(x.rows(), OutputSize());
-  for (std::size_t n = 0; n < x.rows(); ++n) {
-    const double* xin = x.data() + n * x.cols();
-    double* yout = y.data() + n * y.cols();
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const double b = bias_.value.At(0, oc);
-      for (std::size_t t = 0; t < out_len; ++t) {
-        double acc = b;
-        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
-          const double* xc = xin + ic * input_length_ + t;
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            acc += xc[k] * weight_.value.At(ic * kernel_ + k, oc);
-          }
-        }
-        yout[oc * out_len + t] = acc;
-      }
-    }
-  }
+  // InferBatch writes every output element with the identical accumulation
+  // chain, so delegating keeps Forward/InferBatch bit-identical by
+  // construction.
+  Matrix y;
+  InferBatch(cached_input_, y);
+  return y;
+}
+
+Matrix Conv1D::Forward(Matrix&& x) {
+  cached_input_ = std::move(x);
+  Matrix y;
+  InferBatch(cached_input_, y);
   return y;
 }
 
@@ -155,12 +201,13 @@ void Conv1D::InferBatch(const Matrix& x, Matrix& y) const {
   const std::size_t out_len = OutputLength();
   y.ReshapeUninitialized(x.rows(), OutputSize());
   const double* w = weight_.value.data();
+  const double* bias = bias_.value.data();
   const std::size_t w_cols = weight_.value.cols();
   for (std::size_t n = 0; n < x.rows(); ++n) {
     const double* xin = x.data() + n * x.cols();
     double* yout = y.data() + n * y.cols();
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const double b = bias_.value.At(0, oc);
+      const double b = bias[oc];
       for (std::size_t t = 0; t < out_len; ++t) {
         double acc = b;
         for (std::size_t ic = 0; ic < in_channels_; ++ic) {
@@ -181,6 +228,13 @@ Matrix Conv1D::Backward(const Matrix& dy) {
                  "Conv1D: Backward batch must match last Forward batch");
   const std::size_t out_len = OutputLength();
   Matrix dx(cached_input_.rows(), cached_input_.cols());
+  // Same (n, oc, t, ic, k) loop nest and zero-gradient skip as before,
+  // with the bounds-checked At() accessors hoisted to raw pointers (the
+  // checks cost more than the MACs in this inner loop).
+  const double* w = weight_.value.data();
+  double* wg = weight_.grad.data();
+  double* bg = bias_.grad.data();
+  const std::size_t w_cols = weight_.value.cols();
   for (std::size_t n = 0; n < dy.rows(); ++n) {
     const double* xin = cached_input_.data() + n * cached_input_.cols();
     const double* dout = dy.data() + n * dy.cols();
@@ -189,13 +243,13 @@ Matrix Conv1D::Backward(const Matrix& dy) {
       for (std::size_t t = 0; t < out_len; ++t) {
         const double g = dout[oc * out_len + t];
         if (g == 0.0) continue;
-        bias_.grad.At(0, oc) += g;
+        bg[oc] += g;
         for (std::size_t ic = 0; ic < in_channels_; ++ic) {
           const double* xc = xin + ic * input_length_ + t;
           double* dc = din + ic * input_length_ + t;
           for (std::size_t k = 0; k < kernel_; ++k) {
-            weight_.grad.At(ic * kernel_ + k, oc) += g * xc[k];
-            dc[k] += g * weight_.value.At(ic * kernel_ + k, oc);
+            wg[(ic * kernel_ + k) * w_cols + oc] += g * xc[k];
+            dc[k] += g * w[(ic * kernel_ + k) * w_cols + oc];
           }
         }
       }

@@ -36,9 +36,19 @@ class Layer {
   /// Computes outputs for a batch and caches activations for Backward.
   virtual Matrix Forward(const Matrix& x) = 0;
 
+  /// Move-aware forward: layers that cache their input (or can operate in
+  /// place) take ownership of `x` instead of copying it, which removes the
+  /// per-layer activation copies on the training hot path. Numerics are
+  /// bit-identical to Forward(const Matrix&); the default falls back to it.
+  virtual Matrix Forward(Matrix&& x) { return Forward(x); }
+
   /// Given dLoss/dOutput for the batch passed to the most recent Forward,
   /// accumulates parameter gradients and returns dLoss/dInput.
   virtual Matrix Backward(const Matrix& dy) = 0;
+
+  /// Move-aware backward (same contract as Forward(Matrix&&)): activations
+  /// may rewrite `dy` in place rather than copying it.
+  virtual Matrix Backward(Matrix&& dy) { return Backward(dy); }
 
   /// Cache-free forward for the inference hot path: writes the batch
   /// outputs into `y` (pre-shaped to x.rows() x OutputSize()) without
@@ -65,6 +75,7 @@ class Linear final : public Layer {
   Linear(std::size_t in, std::size_t out, Rng& rng);
 
   Matrix Forward(const Matrix& x) override;
+  Matrix Forward(Matrix&& x) override;
   Matrix Backward(const Matrix& dy) override;
   void InferBatch(const Matrix& x, Matrix& y) const override;
   std::vector<Param*> Params() override { return {&weight_, &bias_}; }
@@ -88,15 +99,24 @@ class ReLU final : public Layer {
  public:
   explicit ReLU(std::size_t size) : size_(size) {}
   Matrix Forward(const Matrix& x) override;
+  Matrix Forward(Matrix&& x) override;
   Matrix Backward(const Matrix& dy) override;
+  Matrix Backward(Matrix&& dy) override;
   void InferBatch(const Matrix& x, Matrix& y) const override;
   std::string Name() const override { return "ReLU"; }
   std::size_t InputSize() const override { return size_; }
   std::size_t OutputSize() const override { return size_; }
 
  private:
+  /// Records the zero mask (x <= 0, the exact Backward predicate) and
+  /// clamps `v` in place. Caching the 1-byte mask instead of a full input
+  /// copy halves the layer's memory traffic on the training path.
+  void MaskAndClamp(std::vector<double>& v);
+
   std::size_t size_;
-  Matrix cached_input_;
+  std::vector<unsigned char> zeroed_;  // per-element "x <= 0" mask
+  std::size_t cached_rows_ = 0;
+  std::size_t cached_cols_ = 0;
 };
 
 /// Hyperbolic tangent activation.
@@ -104,7 +124,9 @@ class Tanh final : public Layer {
  public:
   explicit Tanh(std::size_t size) : size_(size) {}
   Matrix Forward(const Matrix& x) override;
+  Matrix Forward(Matrix&& x) override;
   Matrix Backward(const Matrix& dy) override;
+  Matrix Backward(Matrix&& dy) override;
   void InferBatch(const Matrix& x, Matrix& y) const override;
   std::string Name() const override { return "Tanh"; }
   std::size_t InputSize() const override { return size_; }
@@ -125,6 +147,7 @@ class Conv1D final : public Layer {
          std::size_t kernel, std::size_t input_length, Rng& rng);
 
   Matrix Forward(const Matrix& x) override;
+  Matrix Forward(Matrix&& x) override;
   Matrix Backward(const Matrix& dy) override;
   void InferBatch(const Matrix& x, Matrix& y) const override;
   std::vector<Param*> Params() override { return {&weight_, &bias_}; }

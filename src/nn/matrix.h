@@ -61,6 +61,22 @@ class Matrix {
   /// capacity suffices). `out` must not alias either operand.
   void MatMulInto(const Matrix& other, Matrix& out) const;
 
+  /// thisT * other - the backward pass's dW = x^T dy - without
+  /// materializing the transpose. Row counts must agree. With
+  /// `accumulate`, `out` must already be cols() x other.cols() and each
+  /// completed product element is added to it in one addition:
+  /// bit-identical to out.AddInPlace(Transposed().MatMul(other)).
+  /// Runtime-dispatched AVX2 kernel (no FMA; every output element keeps
+  /// the reference scalar accumulation chain).
+  void MatMulTNInto(const Matrix& other, Matrix& out,
+                    bool accumulate = false) const;
+
+  /// this * otherT - the backward pass's dx = dy W^T - without
+  /// materializing the transpose. Column counts must agree (the shared
+  /// reduction axis). Bit-identical to MatMul(other.Transposed());
+  /// runtime-dispatched AVX2 like MatMulTNInto.
+  void MatMulNTInto(const Matrix& other, Matrix& out) const;
+
   /// Transposed copy.
   Matrix Transposed() const;
 

@@ -1,6 +1,7 @@
 #include "nn/sequential.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
@@ -23,16 +24,36 @@ void Sequential::AddLinearReLU(std::size_t in, std::size_t out, Rng& rng) {
 
 Matrix Sequential::Forward(const Matrix& x) {
   OSAP_REQUIRE(!layers_.empty(), "Sequential::Forward: empty network");
-  Matrix h = x;
-  for (auto& layer : layers_) h = layer->Forward(h);
+  // The first layer reads the caller's matrix; every interior activation is
+  // handed down by move so caching layers take ownership instead of copying.
+  Matrix h = layers_.front()->Forward(x);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(std::move(h));
+  }
+  return h;
+}
+
+Matrix Sequential::Forward(Matrix&& x) {
+  OSAP_REQUIRE(!layers_.empty(), "Sequential::Forward: empty network");
+  Matrix h = std::move(x);
+  for (auto& layer : layers_) h = layer->Forward(std::move(h));
   return h;
 }
 
 Matrix Sequential::Backward(const Matrix& dy) {
   OSAP_REQUIRE(!layers_.empty(), "Sequential::Backward: empty network");
-  Matrix g = dy;
+  Matrix g = layers_.back()->Backward(dy);
+  for (std::size_t i = layers_.size() - 1; i-- > 0;) {
+    g = layers_[i]->Backward(std::move(g));
+  }
+  return g;
+}
+
+Matrix Sequential::Backward(Matrix&& dy) {
+  OSAP_REQUIRE(!layers_.empty(), "Sequential::Backward: empty network");
+  Matrix g = std::move(dy);
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->Backward(g);
+    g = (*it)->Backward(std::move(g));
   }
   return g;
 }
@@ -122,9 +143,9 @@ Matrix CompositeNet::Backward(const Matrix& dy) {
     // Scatter-add the branch's input gradient back into its column range;
     // overlapping branches (unused in practice) accumulate correctly.
     for (std::size_t r = 0; r < dx.rows(); ++r) {
-      for (std::size_t c = 0; c < b.width; ++c) {
-        dx.At(r, b.begin + c) += dbranch.At(r, c);
-      }
+      const double* src = dbranch.data() + r * dbranch.cols();
+      double* dst = dx.data() + r * dx.cols() + b.begin;
+      for (std::size_t c = 0; c < b.width; ++c) dst[c] += src[c];
     }
   }
   return dx;

@@ -34,6 +34,12 @@ class Sequential {
   Matrix Forward(const Matrix& x);
   Matrix Backward(const Matrix& dy);
 
+  /// Move-aware variants: interior activations are handed layer to layer by
+  /// move, so layers that cache or rewrite their input avoid a copy each.
+  /// Numerics are bit-identical to the const& overloads.
+  Matrix Forward(Matrix&& x);
+  Matrix Backward(Matrix&& dy);
+
   /// Cache-free forward: runs every layer's InferBatch, ping-ponging
   /// between the two scratch buffers, and returns a reference to whichever
   /// holds the final output. Const and thread-safe on a shared net (each

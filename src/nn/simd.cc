@@ -1,0 +1,47 @@
+#include "nn/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace osap::nn {
+
+namespace {
+
+// -1: follow environment/CPU; 0: force scalar; 1: force AVX2.
+std::atomic<int> g_force{-1};
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool DispatchDefault() {
+  if (!CpuHasAvx2()) return false;
+  const char* env = std::getenv("OSAP_NO_AVX2");
+  if (env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0') {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool UseAvx2() {
+  const int force = g_force.load(std::memory_order_relaxed);
+  if (force == 0) return false;
+  if (force == 1) return CpuHasAvx2();
+  static const bool use = DispatchDefault();
+  return use;
+}
+
+void ForceSimdForTest(bool use_avx2) {
+  g_force.store(use_avx2 ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ResetSimdForTest() { g_force.store(-1, std::memory_order_relaxed); }
+
+}  // namespace osap::nn

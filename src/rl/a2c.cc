@@ -34,6 +34,101 @@ int SampleAction(std::span<const double> probs, Rng& rng) {
   return static_cast<int>(probs.size()) - 1;
 }
 
+/// Entropy annealing schedule shared by both trainers: linear from start to
+/// end across the episode index.
+double EntropyCoef(const A2cConfig& config, std::size_t episode) {
+  const double progress = config.episodes <= 1
+                              ? 1.0
+                              : static_cast<double>(episode) /
+                                    static_cast<double>(config.episodes - 1);
+  return config.entropy_coef_start +
+         progress * (config.entropy_coef_end - config.entropy_coef_start);
+}
+
+/// Decorrelates per-episode sampling seeds from the config seed (same
+/// mixing constants as the ensemble's MemberSeed).
+std::uint64_t EpisodeSeed(std::uint64_t base, std::size_t episode) {
+  return base * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL * (episode + 1);
+}
+
+/// Rolls out one episode with softmax sampling and ACCUMULATES the actor
+/// and critic gradients into `net`'s params - no optimizer step. Both
+/// trainers run episodes through this one body, so their per-episode
+/// accumulation chains are identical by construction.
+void AccumulateEpisodeGradients(nn::ActorCriticNet& net, mdp::Environment& env,
+                                const A2cConfig& config, double entropy_coef,
+                                Rng& rng, double* total_reward,
+                                std::size_t* length) {
+  OSAP_REQUIRE(net.StateSize() == env.StateSize(),
+               "TrainA2c: network/environment state size mismatch");
+  OSAP_REQUIRE(net.ActionCount() == env.ActionCount(),
+               "TrainA2c: network/environment action count mismatch");
+  // Roll out the current policy with softmax sampling.
+  std::vector<mdp::State> states;
+  std::vector<int> actions;
+  std::vector<double> rewards;
+  mdp::State state = env.Reset();
+  bool done = false;
+  std::vector<double> probs(net.ActionCount());
+  while (!done) {
+    net.ActionProbsInto(state, probs);
+    const int action = SampleAction(probs, rng);
+    mdp::StepResult step = env.Step(action);
+    states.push_back(std::move(state));
+    actions.push_back(action);
+    rewards.push_back(step.reward);
+    state = std::move(step.next_state);
+    done = step.done;
+  }
+  const std::size_t n = states.size();
+  OSAP_CHECK_MSG(n > 0, "TrainA2c: empty episode");
+
+  // Batch the episode.
+  nn::Matrix batch(n, env.StateSize());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(states[i].begin(), states[i].end(), batch.Row(i).begin());
+  }
+  const std::vector<double> returns =
+      mdp::DiscountedReturns(rewards, config.gamma);
+  nn::Matrix target(n, 1);
+  for (std::size_t i = 0; i < n; ++i) target.At(i, 0) = returns[i];
+
+  // Critic forward (also yields the advantage baseline).
+  const nn::Matrix values = net.CriticValues(batch);
+  std::vector<double> advantages(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    advantages[i] = returns[i] - values.At(i, 0);
+  }
+  if (config.normalize_advantages && n > 1) {
+    // Zero-mean / unit-std advantages stabilize the policy gradient when
+    // rare, large rebuffer penalties dominate the reward scale.
+    double mean = 0.0;
+    for (double a : advantages) mean += a;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (double a : advantages) var += (a - mean) * (a - mean);
+    var /= static_cast<double>(n);
+    const double stddev = std::sqrt(std::max(var, 1e-12));
+    for (double& a : advantages) a = (a - mean) / stddev;
+  }
+
+  // Actor gradients.
+  const nn::Matrix logits = net.ActorLogits(batch);
+  const nn::LossResult actor_loss =
+      nn::PolicyGradientLoss(logits, actions, advantages, entropy_coef);
+  net.ActorBackward(actor_loss.grad);
+
+  // Critic gradients (values were computed above from the same forward
+  // pass, so Backward matches the cached activations).
+  const nn::LossResult critic_loss = nn::MseLoss(values, target);
+  net.CriticBackward(critic_loss.grad);
+
+  double total = 0.0;
+  for (double r : rewards) total += r;
+  *total_reward = total;
+  *length = n;
+}
+
 }  // namespace
 
 TrainingHistory TrainA2c(nn::ActorCriticNet& net, mdp::Environment& env,
@@ -60,80 +155,102 @@ TrainingHistory TrainA2c(nn::ActorCriticNet& net, mdp::Environment& env,
   history.episode_rewards.reserve(config.episodes);
 
   for (std::size_t episode = 0; episode < config.episodes; ++episode) {
-    // Roll out the current policy with softmax sampling.
-    std::vector<mdp::State> states;
-    std::vector<int> actions;
-    std::vector<double> rewards;
-    mdp::State state = env.Reset();
-    bool done = false;
-    while (!done) {
-      const std::vector<double> probs = net.ActionProbs(state);
-      const int action = SampleAction(probs, rng);
-      mdp::StepResult step = env.Step(action);
-      states.push_back(std::move(state));
-      actions.push_back(action);
-      rewards.push_back(step.reward);
-      state = std::move(step.next_state);
-      done = step.done;
-    }
-    const std::size_t n = states.size();
-    OSAP_CHECK_MSG(n > 0, "TrainA2c: empty episode");
-
-    // Batch the episode.
-    nn::Matrix batch(n, env.StateSize());
-    for (std::size_t i = 0; i < n; ++i) {
-      std::copy(states[i].begin(), states[i].end(), batch.Row(i).begin());
-    }
-    const std::vector<double> returns =
-        mdp::DiscountedReturns(rewards, config.gamma);
-    nn::Matrix target(n, 1);
-    for (std::size_t i = 0; i < n; ++i) target.At(i, 0) = returns[i];
-
-    // Critic forward (also yields the advantage baseline).
-    const nn::Matrix values = net.CriticValues(batch);
-    std::vector<double> advantages(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      advantages[i] = returns[i] - values.At(i, 0);
-    }
-    if (config.normalize_advantages && n > 1) {
-      // Zero-mean / unit-std advantages stabilize the policy gradient when
-      // rare, large rebuffer penalties dominate the reward scale.
-      double mean = 0.0;
-      for (double a : advantages) mean += a;
-      mean /= static_cast<double>(n);
-      double var = 0.0;
-      for (double a : advantages) var += (a - mean) * (a - mean);
-      var /= static_cast<double>(n);
-      const double stddev = std::sqrt(std::max(var, 1e-12));
-      for (double& a : advantages) a = (a - mean) / stddev;
-    }
-
-    // Entropy annealing across episodes.
-    const double progress = config.episodes <= 1
-                                ? 1.0
-                                : static_cast<double>(episode) /
-                                      static_cast<double>(config.episodes - 1);
-    const double entropy_coef =
-        config.entropy_coef_start +
-        progress * (config.entropy_coef_end - config.entropy_coef_start);
-
-    // Actor step.
-    const nn::Matrix logits = net.ActorLogits(batch);
-    const nn::LossResult actor_loss =
-        nn::PolicyGradientLoss(logits, actions, advantages, entropy_coef);
-    net.ActorBackward(actor_loss.grad);
-    actor_opt.Step();
-
-    // Critic step (values were computed above from the same forward pass,
-    // so Backward matches the cached activations).
-    const nn::LossResult critic_loss = nn::MseLoss(values, target);
-    net.CriticBackward(critic_loss.grad);
-    critic_opt.Step();
-
     double total = 0.0;
-    for (double r : rewards) total += r;
+    std::size_t n = 0;
+    AccumulateEpisodeGradients(net, env, config, EntropyCoef(config, episode),
+                               rng, &total, &n);
+    // One optimizer step per episode (the classic schedule). Adam zeroes
+    // the gradients after stepping, so the next episode accumulates into
+    // clean buffers.
+    actor_opt.Step();
+    critic_opt.Step();
     history.episode_rewards.push_back(total);
     history.episode_lengths.push_back(n);
+  }
+  return history;
+}
+
+TrainingHistory TrainA2cParallel(nn::ActorCriticNet& net,
+                                 const ActorCriticCloneFactory& clone_net,
+                                 const EpisodeEnvFactory& env_for_episode,
+                                 const A2cConfig& config,
+                                 util::ThreadPool& pool,
+                                 util::ParallelOptions options) {
+  OSAP_REQUIRE(config.episodes > 0, "TrainA2cParallel: episodes must be > 0");
+  OSAP_REQUIRE(config.gamma >= 0.0 && config.gamma <= 1.0,
+               "TrainA2cParallel: gamma must be in [0, 1]");
+  const std::size_t rollouts =
+      std::max<std::size_t>(1, config.rollouts_per_update);
+
+  nn::AdamConfig actor_cfg;
+  actor_cfg.learning_rate = config.actor_learning_rate;
+  actor_cfg.clip_norm = config.clip_norm;
+  nn::Adam actor_opt(net.ActorParams(), actor_cfg);
+  nn::AdamConfig critic_cfg;
+  critic_cfg.learning_rate = config.critic_learning_rate;
+  critic_cfg.clip_norm = config.clip_norm;
+  nn::Adam critic_opt(net.CriticParams(), critic_cfg);
+
+  const std::vector<nn::Param*> main_params = net.AllParams();
+
+  // One clone per scratch slot; each participating thread rolls out on the
+  // clone addressed by its CurrentSlot(), and the clones are resynced to
+  // the main weights before every update.
+  std::vector<std::unique_ptr<nn::ActorCriticNet>> clones;
+  clones.reserve(pool.SlotCount());
+  for (std::size_t s = 0; s < pool.SlotCount(); ++s) {
+    clones.push_back(std::make_unique<nn::ActorCriticNet>(clone_net()));
+  }
+
+  if (options.chunk == 0) options.chunk = 1;  // episodes are coarse items
+
+  TrainingHistory history;
+  history.episode_rewards.resize(config.episodes);
+  history.episode_lengths.resize(config.episodes);
+
+  for (std::size_t start = 0; start < config.episodes; start += rollouts) {
+    const std::size_t count = std::min(rollouts, config.episodes - start);
+    for (const auto& clone : clones) {
+      nn::CopyParams(main_params, clone->AllParams());
+    }
+    // Gradients are buffered per EPISODE, not per slot: which slot serves
+    // an episode depends on scheduling, so reducing per-slot partials
+    // would tie the floating-point sum order to the thread count. The
+    // per-episode copies let the reduction below run in ascending episode
+    // order no matter which thread collected what.
+    std::vector<std::vector<nn::Matrix>> episode_grads(count);
+    pool.ParallelFor(
+        0, count,
+        [&](std::size_t e) {
+          const std::size_t episode = start + e;
+          nn::ActorCriticNet& clone = *clones[util::ThreadPool::CurrentSlot()];
+          const std::vector<nn::Param*> params = clone.AllParams();
+          nn::ZeroGrads(params);
+          std::unique_ptr<mdp::Environment> env = env_for_episode(episode);
+          OSAP_REQUIRE(env != nullptr, "TrainA2cParallel: null episode env");
+          Rng rng(EpisodeSeed(config.seed, episode));
+          double total = 0.0;
+          std::size_t n = 0;
+          AccumulateEpisodeGradients(clone, *env, config,
+                                     EntropyCoef(config, episode), rng,
+                                     &total, &n);
+          std::vector<nn::Matrix>& grads = episode_grads[e];
+          grads.reserve(params.size());
+          for (const nn::Param* p : params) grads.push_back(p->grad);
+          history.episode_rewards[episode] = total;
+          history.episode_lengths[episode] = n;
+        },
+        options);
+    // Fixed-order reduction: episode gradients join the sum in ascending
+    // episode order, so the accumulation chain (and thus every bit of the
+    // update) is independent of the pool size.
+    for (std::size_t e = 0; e < count; ++e) {
+      for (std::size_t k = 0; k < main_params.size(); ++k) {
+        main_params[k]->grad.AddInPlace(episode_grads[e][k]);
+      }
+    }
+    actor_opt.Step();
+    critic_opt.Step();
   }
   return history;
 }

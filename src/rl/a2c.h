@@ -12,10 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "mdp/environment.h"
 #include "nn/actor_critic_net.h"
+#include "util/thread_pool.h"
 
 namespace osap::rl {
 
@@ -33,6 +36,13 @@ struct A2cConfig {
   double clip_norm = 5.0;
   /// Seed for action sampling during rollouts.
   std::uint64_t seed = 1;
+  /// Episodes collected per synchronous update in TrainA2cParallel: every
+  /// update rolls out this many episodes from the same frozen weights
+  /// (concurrently when a pool is available), reduces their gradients in
+  /// episode order, and applies ONE Adam step. 1 keeps the classic
+  /// one-step-per-episode schedule. TrainA2c ignores this field; the
+  /// workbench uses > 1 as the switch onto the parallel trainer.
+  std::size_t rollouts_per_update = 1;
 };
 
 /// Per-episode training record (undiscounted return and episode length).
@@ -47,5 +57,38 @@ struct TrainingHistory {
 /// Trains the network in-place; returns the training history.
 TrainingHistory TrainA2c(nn::ActorCriticNet& net, mdp::Environment& env,
                          const A2cConfig& config);
+
+/// Builds the environment the episode with the given global index rolls out
+/// on in TrainA2cParallel. Episodes run concurrently, so each needs its own
+/// instance; to reproduce a serial single-environment episode stream,
+/// return the shared environment advanced past episodes 0..episode-1
+/// (AbrEnvironment::SkipPoolEpisodes), mirroring rl::MemberEnvFactory.
+using EpisodeEnvFactory =
+    std::function<std::unique_ptr<mdp::Environment>(std::size_t episode)>;
+
+/// Builds a throwaway net with the same topology as the net under training
+/// (one per pool slot). The weights do not matter - they are overwritten by
+/// a CopyParams sync before every update.
+using ActorCriticCloneFactory = std::function<nn::ActorCriticNet()>;
+
+/// Parallel A2C with synchronous batched updates. Each update freezes the
+/// weights, collects config.rollouts_per_update episodes on the pool (one
+/// per-slot clone serves each worker; every episode samples from its own
+/// seed derived from (config.seed, episode index)), reduces the per-episode
+/// gradients in ascending episode order, and applies one Adam step per
+/// network. Because an episode's rollout and gradients depend only on its
+/// global index and the update's frozen weights, results are bit-identical
+/// for every pool size (threads=N == threads=1).
+///
+/// Note this is a different training schedule from TrainA2c whenever
+/// rollouts_per_update > 1 (fewer, batched optimizer steps), so trained
+/// weights are NOT expected to match the serial trainer - the determinism
+/// guarantee is across thread counts, not across schedules.
+TrainingHistory TrainA2cParallel(nn::ActorCriticNet& net,
+                                 const ActorCriticCloneFactory& clone_net,
+                                 const EpisodeEnvFactory& env_for_episode,
+                                 const A2cConfig& config,
+                                 util::ThreadPool& pool,
+                                 util::ParallelOptions options = {});
 
 }  // namespace osap::rl

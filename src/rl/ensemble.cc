@@ -12,6 +12,28 @@ std::uint64_t MemberSeed(std::uint64_t base, std::size_t member) {
   return base * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL * (member + 1);
 }
 
+/// Shared back half of the TrainValueEnsembleParallel variants: members
+/// train concurrently on the pool against one shared dataset.
+std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueMembersParallel(
+    std::size_t size, const ValueNetFactory& factory,
+    const ValueDataset& dataset, const ValueTrainConfig& config,
+    std::uint64_t base_seed, util::ThreadPool& pool,
+    util::ParallelOptions options) {
+  std::vector<std::shared_ptr<nn::CompositeNet>> members(size);
+  if (options.chunk == 0) options.chunk = 1;  // members are coarse items
+  pool.ParallelFor(0, size, [&](std::size_t m) {
+    Rng init_rng(MemberSeed(base_seed, m));
+    auto net = std::make_shared<nn::CompositeNet>(factory(init_rng));
+    ValueTrainConfig member_config = config;
+    member_config.seed = MemberSeed(base_seed ^ 0x5A5A5A5AULL, m);
+    const double loss = TrainValueNet(*net, dataset, member_config);
+    OSAP_LOG(kDebug) << "value ensemble member " << m << " final loss "
+                     << loss;
+    members[m] = std::move(net);
+  }, options);
+  return members;
+}
+
 }  // namespace
 
 AgentEnsembleResult TrainAgentEnsemble(std::size_t size,
@@ -63,6 +85,39 @@ AgentEnsembleResult TrainAgentEnsembleParallel(
   return result;
 }
 
+AgentEnsembleResult TrainAgentEnsembleParallel(
+    std::size_t size, const ActorCriticFactory& factory,
+    const MemberEpisodeEnvFactory& env_for_episode, const A2cConfig& config,
+    std::uint64_t base_seed, util::ThreadPool& pool,
+    util::ParallelOptions options) {
+  OSAP_REQUIRE(size > 0, "TrainAgentEnsemble: size must be > 0");
+  AgentEnsembleResult result;
+  result.members.reserve(size);
+  result.histories.reserve(size);
+  // Clone weights are overwritten by TrainA2cParallel's per-update sync;
+  // only the topology matters, so a fixed scratch seed is fine.
+  const ActorCriticCloneFactory clone_net = [&factory]() {
+    Rng scratch(0);
+    return factory(scratch);
+  };
+  for (std::size_t m = 0; m < size; ++m) {
+    Rng init_rng(MemberSeed(base_seed, m));
+    auto net = std::make_shared<nn::ActorCriticNet>(factory(init_rng));
+    A2cConfig member_config = config;
+    member_config.seed = MemberSeed(base_seed ^ 0xA5A5A5A5ULL, m);
+    const EpisodeEnvFactory member_env =
+        [&env_for_episode, m](std::size_t episode) {
+          return env_for_episode(m, episode);
+        };
+    result.histories.push_back(TrainA2cParallel(*net, clone_net, member_env,
+                                                member_config, pool, options));
+    OSAP_LOG(kDebug) << "agent ensemble member " << m << " final reward "
+                     << result.histories.back().RecentMeanReward(20);
+    result.members.push_back(std::move(net));
+  }
+  return result;
+}
+
 std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsemble(
     std::size_t size, const ValueNetFactory& factory, mdp::Environment& env,
     mdp::Policy& policy, const ValueTrainConfig& config,
@@ -93,19 +148,21 @@ std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsembleParallel(
     util::ParallelOptions options) {
   OSAP_REQUIRE(size > 0, "TrainValueEnsemble: size must be > 0");
   const ValueDataset dataset = CollectValueDataset(env, policy, config);
-  std::vector<std::shared_ptr<nn::CompositeNet>> members(size);
-  if (options.chunk == 0) options.chunk = 1;  // members are coarse items
-  pool.ParallelFor(0, size, [&](std::size_t m) {
-    Rng init_rng(MemberSeed(base_seed, m));
-    auto net = std::make_shared<nn::CompositeNet>(factory(init_rng));
-    ValueTrainConfig member_config = config;
-    member_config.seed = MemberSeed(base_seed ^ 0x5A5A5A5AULL, m);
-    const double loss = TrainValueNet(*net, dataset, member_config);
-    OSAP_LOG(kDebug) << "value ensemble member " << m << " final loss "
-                     << loss;
-    members[m] = std::move(net);
-  }, options);
-  return members;
+  return TrainValueMembersParallel(size, factory, dataset, config, base_seed,
+                                   pool, options);
+}
+
+std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsembleParallel(
+    std::size_t size, const ValueNetFactory& factory,
+    const RolloutEnvFactory& env_for_episode,
+    const RolloutPolicyFactory& policy_for_episode,
+    const ValueTrainConfig& config, std::uint64_t base_seed,
+    util::ThreadPool& pool, util::ParallelOptions options) {
+  OSAP_REQUIRE(size > 0, "TrainValueEnsemble: size must be > 0");
+  const ValueDataset dataset = CollectValueDatasetParallel(
+      env_for_episode, policy_for_episode, config, pool, options);
+  return TrainValueMembersParallel(size, factory, dataset, config, base_seed,
+                                   pool, options);
 }
 
 }  // namespace osap::rl

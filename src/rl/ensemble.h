@@ -64,6 +64,25 @@ AgentEnsembleResult TrainAgentEnsembleParallel(
     std::uint64_t base_seed, util::ThreadPool& pool,
     util::ParallelOptions options = {});
 
+/// Builds the environment for (member, episode) in the episode-parallel
+/// ensemble trainer below. Same contract as EpisodeEnvFactory, per member.
+using MemberEpisodeEnvFactory = std::function<std::unique_ptr<mdp::Environment>(
+    std::size_t member, std::size_t episode)>;
+
+/// Episode-parallel TrainAgentEnsemble for config.rollouts_per_update > 1:
+/// members train one after another, and within each member the pool
+/// collects that update's rollouts concurrently via TrainA2cParallel (the
+/// pool is busiest where the work is - episodes outnumber members by orders
+/// of magnitude). Member seeds match the other variants; results are
+/// bit-identical at every pool size, but NOT to the serial-schedule
+/// variants (batched updates are a different schedule; see
+/// TrainA2cParallel).
+AgentEnsembleResult TrainAgentEnsembleParallel(
+    std::size_t size, const ActorCriticFactory& factory,
+    const MemberEpisodeEnvFactory& env_for_episode, const A2cConfig& config,
+    std::uint64_t base_seed, util::ThreadPool& pool,
+    util::ParallelOptions options = {});
+
 /// Parallel TrainValueEnsemble: the dataset is still collected once on the
 /// calling thread (it consumes the shared env/policy RNG streams exactly
 /// like the serial variant); only the per-member training runs on the
@@ -73,5 +92,17 @@ std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsembleParallel(
     mdp::Policy& policy, const ValueTrainConfig& config,
     std::uint64_t base_seed, util::ThreadPool& pool,
     util::ParallelOptions options = {});
+
+/// Fully parallel TrainValueEnsemble: the dataset itself is collected on
+/// the pool (CollectValueDatasetParallel, per-episode env/policy
+/// instances), then the members train on the pool as above. Bit-identical
+/// at every pool size, but the dataset differs from the serial collector's
+/// shared-stream sampling - cache keys must record which collector ran.
+std::vector<std::shared_ptr<nn::CompositeNet>> TrainValueEnsembleParallel(
+    std::size_t size, const ValueNetFactory& factory,
+    const RolloutEnvFactory& env_for_episode,
+    const RolloutPolicyFactory& policy_for_episode,
+    const ValueTrainConfig& config, std::uint64_t base_seed,
+    util::ThreadPool& pool, util::ParallelOptions options = {});
 
 }  // namespace osap::rl

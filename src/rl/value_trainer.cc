@@ -11,22 +11,67 @@
 
 namespace osap::rl {
 
+namespace {
+
+/// Rolls out one episode and appends its (state, return) pairs to `out`.
+/// Shared by the serial and parallel collectors so the per-episode math is
+/// identical.
+void CollectEpisode(mdp::Environment& env, mdp::Policy& policy, double gamma,
+                    ValueDataset& out) {
+  const mdp::Trajectory trajectory = mdp::Rollout(env, policy);
+  std::vector<double> rewards;
+  rewards.reserve(trajectory.Length());
+  for (const auto& t : trajectory.transitions) rewards.push_back(t.reward);
+  const std::vector<double> returns =
+      mdp::DiscountedReturns(rewards, gamma);
+  for (std::size_t i = 0; i < trajectory.Length(); ++i) {
+    out.states.push_back(trajectory.transitions[i].state);
+    out.returns.push_back(returns[i]);
+  }
+}
+
+}  // namespace
+
 ValueDataset CollectValueDataset(mdp::Environment& env, mdp::Policy& policy,
                                  const ValueTrainConfig& config) {
   OSAP_REQUIRE(config.rollout_episodes > 0,
                "CollectValueDataset: need >= 1 episode");
   ValueDataset dataset;
   for (std::size_t e = 0; e < config.rollout_episodes; ++e) {
-    const mdp::Trajectory trajectory = mdp::Rollout(env, policy);
-    std::vector<double> rewards;
-    rewards.reserve(trajectory.Length());
-    for (const auto& t : trajectory.transitions) rewards.push_back(t.reward);
-    const std::vector<double> returns =
-        mdp::DiscountedReturns(rewards, config.gamma);
-    for (std::size_t i = 0; i < trajectory.Length(); ++i) {
-      dataset.states.push_back(trajectory.transitions[i].state);
-      dataset.returns.push_back(returns[i]);
+    CollectEpisode(env, policy, config.gamma, dataset);
+  }
+  return dataset;
+}
+
+ValueDataset CollectValueDatasetParallel(
+    const RolloutEnvFactory& env_for_episode,
+    const RolloutPolicyFactory& policy_for_episode,
+    const ValueTrainConfig& config, util::ThreadPool& pool,
+    util::ParallelOptions options) {
+  OSAP_REQUIRE(config.rollout_episodes > 0,
+               "CollectValueDataset: need >= 1 episode");
+  // Episodes land in per-episode buffers and are concatenated in episode
+  // order below, so the dataset layout never depends on which thread ran
+  // which episode.
+  std::vector<ValueDataset> per_episode(config.rollout_episodes);
+  if (options.chunk == 0) options.chunk = 1;  // episodes are coarse items
+  pool.ParallelFor(
+      0, config.rollout_episodes,
+      [&](std::size_t e) {
+        std::unique_ptr<mdp::Environment> env = env_for_episode(e);
+        std::unique_ptr<mdp::Policy> policy = policy_for_episode(e);
+        OSAP_REQUIRE(env != nullptr && policy != nullptr,
+                     "CollectValueDatasetParallel: null episode env/policy");
+        CollectEpisode(*env, *policy, config.gamma, per_episode[e]);
+      },
+      options);
+  ValueDataset dataset;
+  for (ValueDataset& episode : per_episode) {
+    for (mdp::State& s : episode.states) {
+      dataset.states.push_back(std::move(s));
     }
+    dataset.returns.insert(dataset.returns.end(), episode.returns.begin(),
+                           episode.returns.end());
   }
   return dataset;
 }

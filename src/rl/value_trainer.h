@@ -12,11 +12,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "mdp/environment.h"
 #include "mdp/policy.h"
 #include "nn/sequential.h"
+#include "util/thread_pool.h"
 
 namespace osap::rl {
 
@@ -31,6 +33,11 @@ struct ValueTrainConfig {
   double clip_norm = 5.0;
   /// Seed for minibatch shuffling.
   std::uint64_t seed = 1;
+  /// Collect rollout episodes concurrently (CollectValueDatasetParallel)
+  /// in the workbench / ensemble paths. Per-episode driver seeding makes
+  /// the dataset differ from the serial shared-stream collection, so this
+  /// enters the workbench cache key.
+  bool parallel_collection = false;
 };
 
 /// A collected supervised value-regression dataset.
@@ -45,6 +52,32 @@ struct ValueDataset {
 /// returns-to-go for every visited state.
 ValueDataset CollectValueDataset(mdp::Environment& env, mdp::Policy& policy,
                                  const ValueTrainConfig& config);
+
+/// Builds the environment the given episode rolls out on in the parallel
+/// collector (contract mirrors rl::EpisodeEnvFactory: each episode needs
+/// its own instance, advanced to that episode's position in the stream).
+using RolloutEnvFactory =
+    std::function<std::unique_ptr<mdp::Environment>(std::size_t episode)>;
+
+/// Builds the policy driving the given episode. A fresh per-episode
+/// instance is required because policies may carry per-episode state and
+/// sampling RNGs; derive any sampling seed from the episode index so the
+/// episode's trajectory is a function of its index alone.
+using RolloutPolicyFactory =
+    std::function<std::unique_ptr<mdp::Policy>(std::size_t episode)>;
+
+/// Parallel CollectValueDataset: episodes roll out concurrently on the
+/// pool, each on its own environment/policy pair, and the per-episode
+/// (state, return) pairs are concatenated in ascending episode order - so
+/// the dataset is bit-identical at every pool size. Note a stochastic
+/// policy's per-episode seeding makes the sampled trajectories differ from
+/// the serial collector's single shared stream; cache keys must reflect
+/// which collector produced a dataset.
+ValueDataset CollectValueDatasetParallel(
+    const RolloutEnvFactory& env_for_episode,
+    const RolloutPolicyFactory& policy_for_episode,
+    const ValueTrainConfig& config, util::ThreadPool& pool,
+    util::ParallelOptions options = {});
 
 /// Fits a value network (1 output) to the dataset; returns the final
 /// epoch's mean training loss.

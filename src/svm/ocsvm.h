@@ -40,6 +40,19 @@ struct OcSvmConfig {
   /// Standardize features before the kernel (recommended; the paper's
   /// features mix throughput means and standard deviations).
   bool standardize = true;
+  /// Budget for the working-set solver's LRU kernel-row cache, in MiB.
+  /// Rows are computed lazily on demand, so fit cost tracks the rows the
+  /// SMO loop actually touches instead of the full n^2 kernel matrix.
+  std::size_t kernel_cache_mb = 16;
+  /// Shrink the working set every this many SMO iterations (0 disables
+  /// shrinking). Shrinking is bit-exact: a drift-bound guard unshrinks
+  /// (and replays the skipped gradient updates in order) before a shrunk
+  /// point could ever alter pair selection.
+  std::size_t shrink_interval = 64;
+  /// Force the original dense solver (full n^2 kernel precompute). The
+  /// working-set solver is bit-identical to it - this switch exists for the
+  /// equivalence tests and as an escape hatch.
+  bool dense_solver = false;
 };
 
 /// Trained one-class SVM model.

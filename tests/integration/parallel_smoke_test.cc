@@ -14,6 +14,7 @@
 #include "nn/ensemble_forward.h"
 #include "policies/buffer_based.h"
 #include "policies/pensieve_net.h"
+#include "rl/a2c.h"
 #include "traces/generators.h"
 #include "util/thread_pool.h"
 
@@ -71,6 +72,57 @@ TEST(ParallelSmoke, SharedNetConcurrentInference) {
     if (probs != reference) mismatches.fetch_add(1);
   });
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ParallelSmoke, ParallelA2cTrainingOnAbrEnvironment) {
+  // A small end-to-end run of the batched-update A2C trainer on the real
+  // ABR environment: per-slot clones, concurrent episode collection, and
+  // the fixed-order gradient reduction all under the sanitizer, with the
+  // thread-count bit-identity asserted at the end.
+  Rng trace_rng(9);
+  const auto gen = traces::MakeNorway3gGenerator();
+  std::vector<traces::Trace> traces;
+  for (std::size_t i = 0; i < 4; ++i) {
+    traces.push_back(gen->Generate(trace_rng, 120.0, i));
+  }
+  const abr::VideoSpec video = abr::MakeEnvivioLikeVideo(1);
+  abr::AbrEnvironmentConfig env_cfg;
+  abr::AbrEnvironment env(video, env_cfg);
+  env.SetTracePool(traces, 77);
+
+  rl::A2cConfig cfg;
+  cfg.episodes = 4;
+  cfg.rollouts_per_update = 2;
+  cfg.seed = 21;
+  const rl::ActorCriticCloneFactory clone_net = [&env_cfg]() {
+    Rng scratch(0);
+    return policies::MakePensieveActorCritic(env_cfg.layout, {}, scratch);
+  };
+  const rl::EpisodeEnvFactory env_for_episode = [&env](std::size_t e) {
+    auto copy = std::make_unique<abr::AbrEnvironment>(env);
+    copy->SkipPoolEpisodes(e);
+    return std::unique_ptr<mdp::Environment>(std::move(copy));
+  };
+
+  auto train = [&](std::size_t workers) {
+    Rng init(55);
+    auto net = std::make_unique<nn::ActorCriticNet>(
+        policies::MakePensieveActorCritic(env_cfg.layout, {}, init));
+    util::ThreadPool pool(workers);
+    rl::TrainA2cParallel(*net, clone_net, env_for_episode, cfg, pool);
+    return net;
+  };
+  const auto serial_net = train(0);
+  const auto parallel_net = train(3);
+
+  auto serial_params = serial_net->AllParams();
+  auto parallel_params = parallel_net->AllParams();
+  ASSERT_EQ(serial_params.size(), parallel_params.size());
+  for (std::size_t i = 0; i < serial_params.size(); ++i) {
+    EXPECT_EQ(serial_params[i]->value.values(),
+              parallel_params[i]->value.values())
+        << "param " << i;
+  }
 }
 
 }  // namespace

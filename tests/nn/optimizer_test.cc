@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "nn/losses.h"
 #include "nn/sequential.h"
@@ -84,6 +86,81 @@ TEST(Adam, FitsLinearRegression) {
   // Verify learned function on fresh points.
   Matrix xt(1, 2, {0.3, -0.7});
   EXPECT_NEAR(mlp.Forward(xt).At(0, 0), 2.0 * 0.3 + 0.7 + 0.5, 0.02);
+}
+
+// The parallel A2C trainer buffers per-episode gradients and reduces them
+// into the main params with AddInPlace before one Step() per update. The
+// next three tests pin the optimizer contracts that schedule relies on.
+
+/// Runs two fixed-clip Adam steps over two scalar params, feeding the
+/// given (a, b) gradient per step, and returns the final weights.
+std::pair<double, double> TwoStepAdam(
+    const std::vector<std::pair<double, double>>& accumulations) {
+  Param a(Matrix(1, 1, {0.0}));
+  Param b(Matrix(1, 1, {0.0}));
+  AdamConfig cfg;
+  cfg.learning_rate = 0.01;
+  cfg.clip_norm = 2.5;
+  Adam adam({&a, &b}, cfg);
+  // Each outer element is one optimizer step; pairs accumulate first.
+  for (std::size_t step = 0; step + 1 < accumulations.size(); step += 2) {
+    a.grad.At(0, 0) += accumulations[step].first;
+    b.grad.At(0, 0) += accumulations[step].second;
+    a.grad.At(0, 0) += accumulations[step + 1].first;
+    b.grad.At(0, 0) += accumulations[step + 1].second;
+    adam.Step();
+  }
+  return {a.value.At(0, 0), b.value.At(0, 0)};
+}
+
+TEST(Adam, AccumulatedPartialsMatchPreReducedGradient) {
+  // Two per-episode partials summed into the grad buffers must yield the
+  // bitwise-identical update to handing Adam the reduced gradient
+  // directly, including when the reduced norm (5) exceeds the clip (2.5).
+  const auto accumulated =
+      TwoStepAdam({{3.0, 0.0}, {0.0, 4.0},     // step 1: partials
+                   {0.2, -0.1}, {0.0, 0.0}});  // step 2
+  const auto reduced =
+      TwoStepAdam({{3.0, 4.0}, {0.0, 0.0},     // step 1: pre-summed
+                   {0.2, -0.1}, {0.0, 0.0}});
+  EXPECT_EQ(accumulated.first, reduced.first);
+  EXPECT_EQ(accumulated.second, reduced.second);
+}
+
+TEST(Adam, ClipsTheReducedGradientNotThePartials) {
+  // Wrong scheme for contrast: clipping each partial to the 2.5 budget
+  // BEFORE summing turns ((3,0), (0,4)) into (2.5, 2.5) - a different
+  // direction than the correctly clipped sum (3,4) * 0.5 = (1.5, 2). The
+  // deviation must be observable in the trained weights (the second step
+  // breaks Adam's per-coordinate scale invariance), proving the
+  // equivalence test above can actually detect a mis-placed clip.
+  const auto correct =
+      TwoStepAdam({{3.0, 0.0}, {0.0, 4.0}, {0.2, -0.1}, {0.0, 0.0}});
+  const auto clipped_partials =
+      TwoStepAdam({{2.5, 0.0}, {0.0, 2.5}, {0.2, -0.1}, {0.0, 0.0}});
+  EXPECT_NE(correct.second, clipped_partials.second);
+}
+
+TEST(Adam, StepZeroesEveryGradientUnderAccumulation) {
+  // After the per-update Step(), every gradient element must be exactly
+  // zero so the next update's episode buffers reduce into clean storage.
+  Param w(Matrix(3, 4));
+  Param b(Matrix(1, 4));
+  for (double& v : w.value.values()) v = 0.5;
+  Adam adam({&w, &b});
+  for (int episode = 0; episode < 3; ++episode) {
+    Matrix pw(3, 4);
+    Matrix pb(1, 4);
+    for (std::size_t i = 0; i < pw.size(); ++i) {
+      pw.values()[i] = 0.1 * static_cast<double>(i + episode);
+    }
+    for (std::size_t i = 0; i < pb.size(); ++i) pb.values()[i] = -1.0;
+    w.grad.AddInPlace(pw);
+    b.grad.AddInPlace(pb);
+  }
+  adam.Step();
+  for (double g : w.grad.values()) EXPECT_EQ(g, 0.0);
+  for (double g : b.grad.values()) EXPECT_EQ(g, 0.0);
 }
 
 TEST(Adam, RejectsEmptyParamsAndBadLr) {

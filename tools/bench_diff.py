@@ -17,6 +17,12 @@ down by more than --threshold (default 25%). Added / removed benchmarks
 are reported but never fail the diff - micro-bench sets are allowed to
 evolve; their timings are not allowed to rot silently. Timings jitter
 with machine load, so the default threshold is deliberately loose.
+
+Benchmarks that got FASTER than the mirrored threshold are flagged as
+improvements and summarized at the end: a large speedup either deserves a
+refreshed baseline (so later regressions are judged against the new
+normal) or indicates the benchmark no longer measures what it used to.
+Improvements never affect the exit status.
 """
 
 import argparse
@@ -61,6 +67,7 @@ def main() -> int:
     removed = sorted(baseline.keys() - fresh.keys())
 
     regressions = []
+    improvements = []
     width = max((len(n) for n in common), default=0)
     for name in common:
         old, new = baseline[name], fresh[name]
@@ -69,6 +76,9 @@ def main() -> int:
         if ratio > 1.0 + args.threshold:
             flag = "  REGRESSION"
             regressions.append((name, old, new, ratio))
+        elif ratio < 1.0 / (1.0 + args.threshold):
+            flag = "  improved"
+            improvements.append((name, old, new, ratio))
         print(f"{name:<{width}}  {old:>14.1f} -> {new:>14.1f} ns/op "
               f"({ratio:>6.2f}x){flag}")
 
@@ -79,6 +89,13 @@ def main() -> int:
 
     if not common:
         sys.exit("bench_diff: no benchmarks in common - wrong file pair?")
+
+    if improvements:
+        print(f"\n{len(improvements)} improvement(s) beyond "
+              f"{args.threshold:.0%} (consider refreshing the baseline):")
+        for name, old, new, ratio in improvements:
+            print(f"  {name}: {old:.1f} -> {new:.1f} ns/op "
+                  f"({old / new:.2f}x faster)")
 
     if regressions:
         print(

@@ -2,11 +2,12 @@
 // the weights for later evaluation with osap_eval.
 //
 // Usage:
-//   osap_train <dataset> <out.bin> [episodes] [seed]
+//   osap_train <dataset> <out.bin> [episodes] [seed] [rollouts_per_update]
 //
 // Trains on the dataset's training split (full-length 240-chunk sessions)
 // and reports progress every 10% of episodes. The weight file is the
 // library's OSAPNN01 format (nn/serialize.h).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -25,7 +26,8 @@ namespace {
 
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
-               "usage: osap_train <dataset> <out.bin> [episodes] [seed]\n");
+               "usage: osap_train <dataset> <out.bin> [episodes] [seed] "
+               "[rollouts_per_update]\n");
   std::exit(2);
 }
 
@@ -47,6 +49,10 @@ int main(int argc, char** argv) {
       argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 2000;
   const std::uint64_t seed =
       argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+  // > 1 switches onto the batched-update parallel trainer (episodes within
+  // an update are collected concurrently on the shared pool).
+  const std::size_t rollouts_per_update =
+      argc > 5 ? std::max(1, std::atoi(argv[5])) : 1;
 
   const traces::Dataset ds = traces::BuildDataset(id);
   abr::AbrEnvironmentConfig env_cfg;
@@ -73,7 +79,28 @@ int main(int argc, char** argv) {
     slice.entropy_coef_start = 1.0 + t0 * (0.01 - 1.0);
     slice.entropy_coef_end = 1.0 + t1 * (0.01 - 1.0);
     slice.seed = cfg.seed + s;
-    const rl::TrainingHistory h = rl::TrainA2c(*net, env, slice);
+    rl::TrainingHistory h;
+    if (rollouts_per_update > 1) {
+      slice.rollouts_per_update = rollouts_per_update;
+      // Each episode rolls out on its own environment copy advanced to its
+      // global position in the trace-pool stream (the serial trainer
+      // consumes the pool one Reset per episode).
+      const std::size_t slice_base = s * slice.episodes;
+      const rl::EpisodeEnvFactory env_for_episode =
+          [&env, slice_base](std::size_t e) {
+            auto copy = std::make_unique<abr::AbrEnvironment>(env);
+            copy->SkipPoolEpisodes(slice_base + e);
+            return std::unique_ptr<mdp::Environment>(std::move(copy));
+          };
+      const rl::ActorCriticCloneFactory clone_net = [&env_cfg]() {
+        Rng scratch(0);
+        return policies::MakePensieveActorCritic(env_cfg.layout, {}, scratch);
+      };
+      h = rl::TrainA2cParallel(*net, clone_net, env_for_episode, slice,
+                               util::ThreadPool::Shared());
+    } else {
+      h = rl::TrainA2c(*net, env, slice);
+    }
     std::printf("  %3zu%%  recent mean reward %8.2f\n", (s + 1) * 10,
                 h.RecentMeanReward(20));
   }
