@@ -1,0 +1,250 @@
+// Serving-path throughput: sharded cross-session micro-batching vs the
+// one-session-at-a-time loop.
+//
+// The workload is a fixed population of N concurrent viewers, each
+// presenting one decision request per round (open-loop replay of recorded
+// session states, so both arms do identical per-session work and the
+// numbers isolate decision cost):
+//   - BM_ServeSequential*: the naive deployment - N independent SafeAgent
+//     instances, each owning a private estimator with its own packed
+//     weight copy, polled one session at a time. Every round streams N
+//     copies of identical weights through the cache hierarchy.
+//   - BM_ServeService*: one shared ServingModel behind a sharded
+//     DecisionService; a round is a single DecideBatch over all N
+//     sessions (per shard: one fused ensemble pass / one OC-SVM scan over
+//     the whole batch + one batched deployed-actor pass).
+// Args are {sessions} for the sequential arm and {sessions, shards} for
+// the service. items_per_second reports decisions/sec; the service arm
+// additionally reports per-round latency percentiles (p50_us / p99_us).
+//
+// Uses the shared ./osap_cache artifacts (trains them on first run).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "core/ensemble_estimators.h"
+#include "core/novelty_detector.h"
+#include "core/safe_agent.h"
+#include "policies/buffer_based.h"
+#include "policies/pensieve_policy.h"
+#include "serve/decision_service.h"
+#include "serve/serving_model.h"
+
+using namespace osap;
+
+namespace {
+
+core::Workbench& SharedBench() {
+  static auto* bench = new core::Workbench(bench::PaperConfig());
+  return *bench;
+}
+
+constexpr auto kTrain = traces::DatasetId::kGamma22;
+
+/// Recorded decision states: greedy-agent sessions over in-distribution
+/// (gamma) and out-of-distribution (exponential) test traces. Viewer i
+/// replays the pool from offset i * 17, so concurrent sessions are spread
+/// across session phases and distributions.
+const std::vector<mdp::State>& StatePool() {
+  static const std::vector<mdp::State>* pool = [] {
+    auto* out = new std::vector<mdp::State>();
+    core::Workbench& bench = SharedBench();
+    auto policy = bench.MakePolicy(core::Scheme::kPensieve, kTrain);
+    for (const auto test :
+         {traces::DatasetId::kGamma22, traces::DatasetId::kExponential}) {
+      const auto& traces = bench.DatasetFor(test).test;
+      for (std::size_t t = 0; t < 2 && t < traces.size(); ++t) {
+        auto env = bench.MakeEvalEnvironment();
+        env.SetFixedTrace(traces[t]);
+        mdp::State s = env.Reset();
+        bool done = false;
+        while (!done) {
+          out->push_back(s);
+          mdp::StepResult r = env.Step(policy->SelectAction(s));
+          s = std::move(r.next_state);
+          done = r.done;
+        }
+      }
+    }
+    return out;
+  }();
+  return *pool;
+}
+
+const mdp::State& PooledState(std::size_t session, std::size_t round) {
+  const auto& pool = StatePool();
+  return pool[(session * 17 + round) % pool.size()];
+}
+
+/// The deployed trigger configuration for a safety scheme (the mapping
+/// Workbench::TriggerFor applies, with the bundle's calibrated alphas).
+core::SafeAgentConfig TriggerFor(core::Scheme scheme) {
+  const auto& bundle = SharedBench().BundleFor(kTrain);
+  core::SafeAgentConfig cfg;
+  cfg.trigger.l = SharedBench().config().trigger_l;
+  cfg.trigger.k = SharedBench().config().trigger_k;
+  switch (scheme) {
+    case core::Scheme::kNoveltyDetection:
+      cfg.trigger.mode = core::TriggerMode::kBinary;
+      break;
+    case core::Scheme::kAgentEnsemble:
+      cfg.trigger.mode = core::TriggerMode::kWindowVariance;
+      cfg.trigger.alpha = bundle.alpha_pi;
+      break;
+    default:
+      cfg.trigger.mode = core::TriggerMode::kWindowVariance;
+      cfg.trigger.alpha = bundle.alpha_v;
+      break;
+  }
+  return cfg;
+}
+
+/// A private estimator instance - its own packed weight / support-vector
+/// copy, exactly what each per-session SafeAgent owns in the naive
+/// deployment.
+std::shared_ptr<core::UncertaintyEstimator> PrivateEstimator(
+    core::Scheme scheme) {
+  const auto& bundle = SharedBench().BundleFor(kTrain);
+  const std::size_t discard = SharedBench().config().ensemble_discard;
+  switch (scheme) {
+    case core::Scheme::kNoveltyDetection: {
+      auto detector = std::make_shared<core::NoveltyDetector>(*bundle.novelty);
+      detector->Reset();
+      return detector;
+    }
+    case core::Scheme::kAgentEnsemble:
+      return std::make_shared<core::AgentEnsembleEstimator>(bundle.agents,
+                                                            discard);
+    default:
+      return std::make_shared<core::ValueEnsembleEstimator>(bundle.value_nets,
+                                                            discard);
+  }
+}
+
+std::shared_ptr<const serve::ServingModel> SharedModel(core::Scheme scheme) {
+  core::Workbench& bench = SharedBench();
+  const auto& bundle = bench.BundleFor(kTrain);
+  const std::size_t discard = bench.config().ensemble_discard;
+  const core::SafeAgentConfig safety = TriggerFor(scheme);
+  switch (scheme) {
+    case core::Scheme::kNoveltyDetection:
+      return serve::ServingModel::Novelty(bundle.agents, bundle.novelty,
+                                          bench.eval_video(), bench.layout(),
+                                          safety);
+    case core::Scheme::kAgentEnsemble:
+      return serve::ServingModel::AgentEnsemble(bundle.agents, discard,
+                                                bench.eval_video(),
+                                                bench.layout(), safety);
+    default:
+      return serve::ServingModel::ValueEnsemble(
+          bundle.agents, bundle.value_nets, discard, bench.eval_video(),
+          bench.layout(), safety);
+  }
+}
+
+/// One-session-at-a-time baseline: N private SafeAgents polled in a loop.
+void RunSequential(benchmark::State& state, core::Scheme scheme) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::Workbench& bench = SharedBench();
+  const auto& bundle = bench.BundleFor(kTrain);
+  const core::SafeAgentConfig cfg = TriggerFor(scheme);
+  std::vector<std::unique_ptr<core::SafeAgent>> agents;
+  agents.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    agents.push_back(std::make_unique<core::SafeAgent>(
+        std::make_shared<policies::PensievePolicy>(
+            bundle.agents.front(), policies::ActionSelection::kGreedy, 0),
+        std::make_shared<policies::BufferBasedPolicy>(bench.eval_video(),
+                                                      bench.layout()),
+        PrivateEstimator(scheme), cfg));
+  }
+  StatePool();  // materialize outside the timed region
+  std::size_t round = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(agents[i]->SelectAction(PooledState(i, round)));
+    }
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+/// Sharded service: one DecideBatch over all N sessions per round.
+void RunService(benchmark::State& state, core::Scheme scheme) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  serve::DecisionServiceConfig cfg;
+  cfg.shard_count = shards;
+  serve::DecisionService service(SharedModel(scheme), cfg);
+  std::vector<serve::DecisionService::SessionId> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = service.OpenSession();
+  std::vector<serve::DecisionService::Request> requests(n);
+  std::vector<mdp::Action> actions(n);
+  StatePool();  // materialize outside the timed region
+  std::vector<double> round_us;
+  std::size_t round = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      requests[i] = {ids[i], &PooledState(i, round)};
+    }
+    const auto start = std::chrono::steady_clock::now();
+    service.DecideBatch(requests, actions);
+    const auto stop = std::chrono::steady_clock::now();
+    round_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+    benchmark::DoNotOptimize(actions.data());
+    ++round;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  std::sort(round_us.begin(), round_us.end());
+  if (!round_us.empty()) {
+    state.counters["p50_us"] = round_us[round_us.size() / 2];
+    state.counters["p99_us"] = round_us[round_us.size() * 99 / 100];
+  }
+}
+
+void BM_ServeSequentialUs(benchmark::State& state) {
+  RunSequential(state, core::Scheme::kNoveltyDetection);
+}
+void BM_ServeSequentialUpi(benchmark::State& state) {
+  RunSequential(state, core::Scheme::kAgentEnsemble);
+}
+void BM_ServeSequentialUv(benchmark::State& state) {
+  RunSequential(state, core::Scheme::kValueEnsemble);
+}
+void BM_ServeServiceUs(benchmark::State& state) {
+  RunService(state, core::Scheme::kNoveltyDetection);
+}
+void BM_ServeServiceUpi(benchmark::State& state) {
+  RunService(state, core::Scheme::kAgentEnsemble);
+}
+void BM_ServeServiceUv(benchmark::State& state) {
+  RunService(state, core::Scheme::kValueEnsemble);
+}
+
+BENCHMARK(BM_ServeSequentialUs)
+    ->Arg(64)->Arg(256)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeSequentialUpi)
+    ->Arg(64)->Arg(256)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeSequentialUv)
+    ->Arg(64)->Arg(256)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeServiceUs)
+    ->Args({64, 1})->Args({256, 1})->Args({1000, 1})->Args({1000, 4})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeServiceUpi)
+    ->Args({64, 1})->Args({256, 1})->Args({1000, 1})->Args({1000, 4})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeServiceUv)
+    ->Args({64, 1})->Args({256, 1})->Args({1000, 1})->Args({1000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OSAP_BENCHMARK_MAIN_WITH_JSON("BENCH_serving.json")

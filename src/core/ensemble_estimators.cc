@@ -1,14 +1,9 @@
 #include "core/ensemble_estimators.h"
 
 #include <algorithm>
-#include <cmath>
 #include <numeric>
 
-#include "nn/losses.h"
-#include "nn/matrix.h"
-#include "util/arena.h"
 #include "util/check.h"
-#include "util/kl.h"
 
 namespace osap::core {
 
@@ -48,213 +43,39 @@ std::vector<const nn::CompositeNet*> NetViews(
   return views;
 }
 
-/// Per-thread per-decision scratch: the whole Score call is allocation-
-/// free once these are warm (ensembles are queried once per ABR decision,
-/// so this is the hot path the paper's online-cost claim rests on).
-struct DecisionScratch {
-  nn::InferScratch infer;
-  nn::Matrix probs;         // K x ActionCount softmax rows (U_pi only)
-  nn::Matrix batch_states;  // B x InputSize state rows (ScoreBatch only)
-  util::Arena arena;
-};
-
-DecisionScratch& LocalDecisionScratch() {
-  thread_local DecisionScratch scratch;
-  return scratch;
-}
-
-/// Allocation-free SurvivingMembers over caller-provided index storage:
-/// stable insertion sort by distance (same permutation as the stable_sort
-/// in SurvivingMembers), then the kept indices ascending.
-std::span<std::size_t> SurviveInto(std::span<const double> distances,
-                                   std::size_t keep,
-                                   std::span<std::size_t> order) {
-  const std::size_t n = distances.size();
-  for (std::size_t i = 0; i < n; ++i) order[i] = i;
-  for (std::size_t i = 1; i < n; ++i) {
-    const std::size_t idx = order[i];
-    const double d = distances[idx];
-    std::size_t j = i;
-    while (j > 0 && distances[order[j - 1]] > d) {
-      order[j] = order[j - 1];
-      --j;
-    }
-    order[j] = idx;
-  }
-  std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep));
-  return order.first(keep);
-}
-
-/// States scored per fused InferBatch pass. Bounds the scratch
-/// activations while still amortizing each member's weight streaming
-/// over 32 states (single-state inference is weight-bandwidth bound).
-constexpr std::size_t kScoreBatch = 32;
-
-/// U_pi steps 2-3 over the n softmaxed member rows sitting in s.probs:
-/// distances from the full-ensemble mean, drop the farthest, sum KL from
-/// the survivors' mean. Shared verbatim by Score and ScoreBatch so both
-/// produce identical bits for a given probs block.
-double TrimmedKlScore(DecisionScratch& s, std::size_t n, std::size_t keep) {
-  const std::size_t dim = s.probs.cols();
-  s.arena.Reset();
-  const std::span<double> mean = s.arena.Alloc<double>(dim);
-  std::fill(mean.begin(), mean.end(), 0.0);
-  for (std::size_t m = 0; m < n; ++m) {
-    const double* d = s.probs.data() + m * dim;
-    for (std::size_t i = 0; i < dim; ++i) mean[i] += d[i];
-  }
-  for (std::size_t i = 0; i < dim; ++i) {
-    mean[i] /= static_cast<double>(n);
-  }
-  const std::span<double> distances = s.arena.Alloc<double>(n);
-  for (std::size_t m = 0; m < n; ++m) {
-    distances[m] = KlDivergence(s.probs.Row(m), mean);
-  }
-  const std::span<std::size_t> survivors =
-      SurviveInto(distances, keep, s.arena.Alloc<std::size_t>(n));
-
-  const std::span<double> kept_mean = s.arena.Alloc<double>(dim);
-  std::fill(kept_mean.begin(), kept_mean.end(), 0.0);
-  for (const std::size_t idx : survivors) {
-    const double* d = s.probs.data() + idx * dim;
-    for (std::size_t i = 0; i < dim; ++i) kept_mean[i] += d[i];
-  }
-  for (std::size_t i = 0; i < dim; ++i) {
-    kept_mean[i] /= static_cast<double>(survivors.size());
-  }
-  double score = 0.0;
-  for (const std::size_t idx : survivors) {
-    score += KlDivergence(s.probs.Row(idx), kept_mean);
-  }
-  return score;
-}
-
-/// U_V trimming over member values in rows [first_row, first_row + n) of
-/// an inference result: mean, drop the farthest, sum absolute deviations
-/// from the survivors' mean. Shared verbatim by Score and ScoreBatch.
-double TrimmedValueScore(DecisionScratch& s, const nn::Matrix& out,
-                         std::size_t first_row, std::size_t n,
-                         std::size_t keep) {
-  s.arena.Reset();
-  const std::span<double> values = s.arena.Alloc<double>(n);
-  for (std::size_t m = 0; m < n; ++m) values[m] = out.At(first_row + m, 0);
-  double mean = 0.0;
-  for (const double v : values) mean += v;
-  mean /= static_cast<double>(n);
-  const std::span<double> distances = s.arena.Alloc<double>(n);
-  for (std::size_t m = 0; m < n; ++m) {
-    distances[m] = std::abs(values[m] - mean);
-  }
-  const std::span<std::size_t> survivors =
-      SurviveInto(distances, keep, s.arena.Alloc<std::size_t>(n));
-  double kept_mean = 0.0;
-  for (const std::size_t idx : survivors) kept_mean += values[idx];
-  kept_mean /= static_cast<double>(survivors.size());
-  double score = 0.0;
-  for (const std::size_t idx : survivors) {
-    score += std::abs(values[idx] - kept_mean);
-  }
-  return score;
-}
-
-/// Packs states[done .. done+batch) into s.batch_states rows (the
-/// leading `input` columns of each state, as Infer would read them).
-void PackStates(std::span<const mdp::State> states, std::size_t done,
-                std::size_t batch, std::size_t input, DecisionScratch& s) {
-  s.batch_states.ReshapeUninitialized(batch, input);
-  for (std::size_t b = 0; b < batch; ++b) {
-    const mdp::State& st = states[done + b];
-    OSAP_REQUIRE(st.size() >= input, "ScoreBatch: state too narrow");
-    std::copy(st.data(), st.data() + input, s.batch_states.Row(b).data());
-  }
-}
-
 }  // namespace
 
 AgentEnsembleEstimator::AgentEnsembleEstimator(
     std::vector<std::shared_ptr<nn::ActorCriticNet>> members,
     std::size_t discard)
-    : members_(std::move(members)), batched_actors_(ActorViews(members_)) {
-  OSAP_REQUIRE(discard < members_.size(),
-               "AgentEnsembleEstimator: discard must leave >= 1 member");
-  keep_ = members_.size() - discard;
-}
+    : members_(std::move(members)),
+      model_(std::make_shared<const EnsembleModel>(
+          EnsembleModel::Kind::kPolicyKl, ActorViews(members_), discard)) {}
 
 double AgentEnsembleEstimator::Score(const mdp::State& state) {
-  DecisionScratch& s = LocalDecisionScratch();
-  const std::size_t n = members_.size();
-
-  // 1. Per-member action distributions via one fused batched pass.
-  const nn::Matrix& logits = batched_actors_.Infer(state, s.infer);
-  s.probs.ReshapeUninitialized(n, logits.cols());
-  for (std::size_t m = 0; m < n; ++m) {
-    nn::SoftmaxInto(logits.Row(m), s.probs.Row(m));
-  }
-
-  // 2-3. Trim the farthest members and sum KL from the survivors' mean.
-  // All short-lived arrays come from the arena (pointer bumps after
-  // warm-up); the accumulation order matches MeanDistribution
-  // (member-major sums, then one divide) so scores are unchanged.
-  return TrimmedKlScore(s, n, keep_);
+  return model_->ScoreOne(state);
 }
 
 void AgentEnsembleEstimator::ScoreBatch(std::span<const mdp::State> states,
                                         std::span<double> out) {
-  OSAP_REQUIRE(out.size() >= states.size(),
-               "ScoreBatch: output span too short");
-  DecisionScratch& s = LocalDecisionScratch();
-  const std::size_t n = members_.size();
-  const std::size_t input = batched_actors_.InputSize();
-  for (std::size_t done = 0; done < states.size(); done += kScoreBatch) {
-    const std::size_t batch = std::min(kScoreBatch, states.size() - done);
-    PackStates(states, done, batch, input, s);
-    const nn::Matrix& logits = batched_actors_.InferBatch(s.batch_states,
-                                                          s.infer);
-    for (std::size_t b = 0; b < batch; ++b) {
-      s.probs.ReshapeUninitialized(n, logits.cols());
-      for (std::size_t m = 0; m < n; ++m) {
-        nn::SoftmaxInto(logits.Row(b * n + m), s.probs.Row(m));
-      }
-      out[done + b] = TrimmedKlScore(s, n, keep_);
-    }
-  }
+  model_->ScoreStates(states, out);
 }
 
 ValueEnsembleEstimator::ValueEnsembleEstimator(
     std::vector<std::shared_ptr<nn::CompositeNet>> members,
     std::size_t discard)
-    : members_(std::move(members)), batched_values_(NetViews(members_)) {
-  OSAP_REQUIRE(discard < members_.size(),
-               "ValueEnsembleEstimator: discard must leave >= 1 member");
-  for (const auto& m : members_) {
-    OSAP_REQUIRE(m->OutputSize() == 1,
-                 "ValueEnsembleEstimator: members must output one value");
-  }
-  keep_ = members_.size() - discard;
-}
+    : members_(std::move(members)),
+      model_(std::make_shared<const EnsembleModel>(
+          EnsembleModel::Kind::kValueDeviation, NetViews(members_),
+          discard)) {}
 
 double ValueEnsembleEstimator::Score(const mdp::State& state) {
-  DecisionScratch& s = LocalDecisionScratch();
-  const nn::Matrix& out = batched_values_.Infer(state, s.infer);
-  return TrimmedValueScore(s, out, 0, members_.size(), keep_);
+  return model_->ScoreOne(state);
 }
 
 void ValueEnsembleEstimator::ScoreBatch(std::span<const mdp::State> states,
                                         std::span<double> out) {
-  OSAP_REQUIRE(out.size() >= states.size(),
-               "ScoreBatch: output span too short");
-  DecisionScratch& s = LocalDecisionScratch();
-  const std::size_t n = members_.size();
-  const std::size_t input = batched_values_.InputSize();
-  for (std::size_t done = 0; done < states.size(); done += kScoreBatch) {
-    const std::size_t batch = std::min(kScoreBatch, states.size() - done);
-    PackStates(states, done, batch, input, s);
-    const nn::Matrix& vals = batched_values_.InferBatch(s.batch_states,
-                                                        s.infer);
-    for (std::size_t b = 0; b < batch; ++b) {
-      out[done + b] = TrimmedValueScore(s, vals, b * n, n, keep_);
-    }
-  }
+  model_->ScoreStates(states, out);
 }
 
 }  // namespace osap::core

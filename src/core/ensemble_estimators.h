@@ -10,15 +10,21 @@
 //   3. the uncertainty is the sum of distances of the surviving outputs
 //      from the survivors' average - KL divergence for distributions,
 //      absolute deviation for values.
+//
+// The scoring math and packed member weights live in the shared, immutable
+// core::EnsembleModel (one per ensemble per process); these classes are
+// thin stateless adapters onto the UncertaintyEstimator interface. The
+// serving path skips the adapter and batches states from many sessions
+// straight through the model (see src/serve/).
 #pragma once
 
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "core/ensemble_model.h"
 #include "core/uncertainty.h"
 #include "nn/actor_critic_net.h"
-#include "nn/ensemble_forward.h"
 #include "nn/sequential.h"
 
 namespace osap::core {
@@ -46,12 +52,12 @@ class AgentEnsembleEstimator final : public UncertaintyEstimator {
 
   std::size_t MemberCount() const { return members_.size(); }
 
+  /// The shared immutable scoring model (weight snapshot + trim math).
+  std::shared_ptr<const EnsembleModel> model() const { return model_; }
+
  private:
   std::vector<std::shared_ptr<nn::ActorCriticNet>> members_;
-  // Snapshot of the members' actor weights, packed for one fused forward
-  // pass per decision instead of five sequential 1xN chains.
-  nn::BatchedEnsemble batched_actors_;
-  std::size_t keep_;
+  std::shared_ptr<const EnsembleModel> model_;
 };
 
 /// U_V: sum of absolute deviations of surviving members' values from the
@@ -71,10 +77,12 @@ class ValueEnsembleEstimator final : public UncertaintyEstimator {
 
   std::size_t MemberCount() const { return members_.size(); }
 
+  /// The shared immutable scoring model (weight snapshot + trim math).
+  std::shared_ptr<const EnsembleModel> model() const { return model_; }
+
  private:
   std::vector<std::shared_ptr<nn::CompositeNet>> members_;
-  nn::BatchedEnsemble batched_values_;
-  std::size_t keep_;
+  std::shared_ptr<const EnsembleModel> model_;
 };
 
 }  // namespace osap::core

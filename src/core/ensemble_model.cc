@@ -1,0 +1,235 @@
+#include "core/ensemble_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/losses.h"
+#include "nn/matrix.h"
+#include "util/arena.h"
+#include "util/check.h"
+#include "util/kl.h"
+
+namespace osap::core {
+
+namespace {
+
+/// Per-thread per-decision scratch: the whole scoring call is allocation-
+/// free once these are warm (ensembles are queried once per ABR decision,
+/// so this is the hot path the paper's online-cost claim rests on).
+struct DecisionScratch {
+  nn::InferScratch infer;
+  nn::Matrix probs;         // K x ActionCount softmax rows (U_pi only)
+  nn::Matrix batch_states;  // B x InputSize state rows (ScoreStates only)
+  util::Arena arena;
+};
+
+DecisionScratch& LocalDecisionScratch() {
+  thread_local DecisionScratch scratch;
+  return scratch;
+}
+
+/// Allocation-free SurvivingMembers over caller-provided index storage:
+/// stable insertion sort by distance (same permutation as the stable_sort
+/// in SurvivingMembers), then the kept indices ascending.
+std::span<std::size_t> SurviveInto(std::span<const double> distances,
+                                   std::size_t keep,
+                                   std::span<std::size_t> order) {
+  const std::size_t n = distances.size();
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t idx = order[i];
+    const double d = distances[idx];
+    std::size_t j = i;
+    while (j > 0 && distances[order[j - 1]] > d) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = idx;
+  }
+  std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep));
+  return order.first(keep);
+}
+
+/// States scored per fused InferBatch pass in ScoreStates. Bounds the
+/// scratch activations while still amortizing each member's weight
+/// streaming over 32 states (single-state inference is weight-bandwidth
+/// bound).
+constexpr std::size_t kScoreBatch = 32;
+
+/// U_pi steps 2-3 over the n softmaxed member rows sitting in s.probs:
+/// distances from the full-ensemble mean, drop the farthest, sum KL from
+/// the survivors' mean. Shared verbatim by every scoring entry so all
+/// produce identical bits for a given probs block.
+double TrimmedKlScore(DecisionScratch& s, std::size_t n, std::size_t keep) {
+  const std::size_t dim = s.probs.cols();
+  s.arena.Reset();
+  const std::span<double> mean = s.arena.Alloc<double>(dim);
+  std::fill(mean.begin(), mean.end(), 0.0);
+  for (std::size_t m = 0; m < n; ++m) {
+    const double* d = s.probs.data() + m * dim;
+    for (std::size_t i = 0; i < dim; ++i) mean[i] += d[i];
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    mean[i] /= static_cast<double>(n);
+  }
+  const std::span<double> distances = s.arena.Alloc<double>(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    distances[m] = KlDivergence(s.probs.Row(m), mean);
+  }
+  const std::span<std::size_t> survivors =
+      SurviveInto(distances, keep, s.arena.Alloc<std::size_t>(n));
+
+  const std::span<double> kept_mean = s.arena.Alloc<double>(dim);
+  std::fill(kept_mean.begin(), kept_mean.end(), 0.0);
+  for (const std::size_t idx : survivors) {
+    const double* d = s.probs.data() + idx * dim;
+    for (std::size_t i = 0; i < dim; ++i) kept_mean[i] += d[i];
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    kept_mean[i] /= static_cast<double>(survivors.size());
+  }
+  double score = 0.0;
+  for (const std::size_t idx : survivors) {
+    score += KlDivergence(s.probs.Row(idx), kept_mean);
+  }
+  return score;
+}
+
+/// U_V trimming over member values in rows [first_row, first_row + n) of
+/// an inference result: mean, drop the farthest, sum absolute deviations
+/// from the survivors' mean. Shared verbatim by every scoring entry.
+double TrimmedValueScore(DecisionScratch& s, const nn::Matrix& out,
+                         std::size_t first_row, std::size_t n,
+                         std::size_t keep) {
+  s.arena.Reset();
+  const std::span<double> values = s.arena.Alloc<double>(n);
+  for (std::size_t m = 0; m < n; ++m) values[m] = out.At(first_row + m, 0);
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(n);
+  const std::span<double> distances = s.arena.Alloc<double>(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    distances[m] = std::abs(values[m] - mean);
+  }
+  const std::span<std::size_t> survivors =
+      SurviveInto(distances, keep, s.arena.Alloc<std::size_t>(n));
+  double kept_mean = 0.0;
+  for (const std::size_t idx : survivors) kept_mean += values[idx];
+  kept_mean /= static_cast<double>(survivors.size());
+  double score = 0.0;
+  for (const std::size_t idx : survivors) {
+    score += std::abs(values[idx] - kept_mean);
+  }
+  return score;
+}
+
+/// Packs states[done .. done+batch) into s.batch_states rows (the
+/// leading `input` columns of each state, as Infer would read them).
+void PackStates(std::span<const mdp::State> states, std::size_t done,
+                std::size_t batch, std::size_t input, DecisionScratch& s) {
+  s.batch_states.ReshapeUninitialized(batch, input);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const mdp::State& st = states[done + b];
+    OSAP_REQUIRE(st.size() >= input, "ScoreStates: state too narrow");
+    std::copy(st.data(), st.data() + input, s.batch_states.Row(b).data());
+  }
+}
+
+}  // namespace
+
+EnsembleModel::EnsembleModel(Kind kind,
+                             std::vector<const nn::CompositeNet*> members,
+                             std::size_t discard)
+    : batched_(std::move(members)), kind_(kind) {
+  OSAP_REQUIRE(discard < batched_.MemberCount(),
+               "EnsembleModel: discard must leave >= 1 member");
+  if (kind_ == Kind::kValueDeviation) {
+    OSAP_REQUIRE(batched_.OutputSize() == 1,
+                 "EnsembleModel: value members must output one value");
+  }
+  keep_ = batched_.MemberCount() - discard;
+}
+
+double EnsembleModel::ScoreOne(std::span<const double> state) const {
+  DecisionScratch& s = LocalDecisionScratch();
+  const std::size_t n = MemberCount();
+  const nn::Matrix& out = batched_.Infer(state, s.infer);
+  if (kind_ == Kind::kValueDeviation) {
+    return TrimmedValueScore(s, out, 0, n, keep_);
+  }
+  // U_pi: per-member action distributions from the fused logits, then
+  // trim the farthest members and sum KL from the survivors' mean. All
+  // short-lived arrays come from the arena (pointer bumps after warm-up);
+  // the accumulation order matches MeanDistribution (member-major sums,
+  // then one divide) so scores are unchanged.
+  s.probs.ReshapeUninitialized(n, out.cols());
+  for (std::size_t m = 0; m < n; ++m) {
+    nn::SoftmaxInto(out.Row(m), s.probs.Row(m));
+  }
+  return TrimmedKlScore(s, n, keep_);
+}
+
+void EnsembleModel::ScoreStates(std::span<const mdp::State> states,
+                                std::span<double> out) const {
+  OSAP_REQUIRE(out.size() >= states.size(),
+               "ScoreStates: output span too short");
+  DecisionScratch& s = LocalDecisionScratch();
+  const std::size_t n = MemberCount();
+  const std::size_t input = InputSize();
+  for (std::size_t done = 0; done < states.size(); done += kScoreBatch) {
+    const std::size_t batch = std::min(kScoreBatch, states.size() - done);
+    PackStates(states, done, batch, input, s);
+    const nn::Matrix& result = batched_.InferBatch(s.batch_states, s.infer);
+    for (std::size_t b = 0; b < batch; ++b) {
+      if (kind_ == Kind::kValueDeviation) {
+        out[done + b] = TrimmedValueScore(s, result, b * n, n, keep_);
+      } else {
+        s.probs.ReshapeUninitialized(n, result.cols());
+        for (std::size_t m = 0; m < n; ++m) {
+          nn::SoftmaxInto(result.Row(b * n + m), s.probs.Row(m));
+        }
+        out[done + b] = TrimmedKlScore(s, n, keep_);
+      }
+    }
+  }
+}
+
+void EnsembleModel::ScorePacked(const nn::Matrix& states,
+                                std::span<double> out,
+                                std::span<mdp::Action> greedy_first) const {
+  const std::size_t batch = states.rows();
+  if (batch == 0) return;
+  OSAP_REQUIRE(out.size() >= batch, "ScorePacked: output span too short");
+  OSAP_REQUIRE(greedy_first.empty() || (kind_ == Kind::kPolicyKl &&
+                                        greedy_first.size() >= batch),
+               "ScorePacked: greedy_first needs kPolicyKl and >= B slots");
+  DecisionScratch& s = LocalDecisionScratch();
+  const std::size_t n = MemberCount();
+  // One fused pass over the whole pack: member weights stream exactly once
+  // per op for the entire shard batch. Per-row numerics are unchanged
+  // (InferBatch rows are bit-identical to Infer), so batch grouping is
+  // invisible in the scores.
+  const nn::Matrix& result = batched_.InferBatch(states, s.infer);
+  for (std::size_t b = 0; b < batch; ++b) {
+    if (kind_ == Kind::kValueDeviation) {
+      out[b] = TrimmedValueScore(s, result, b * n, n, keep_);
+    } else {
+      s.probs.ReshapeUninitialized(n, result.cols());
+      for (std::size_t m = 0; m < n; ++m) {
+        nn::SoftmaxInto(result.Row(b * n + m), s.probs.Row(m));
+      }
+      if (!greedy_first.empty()) {
+        // First maximal probability of member 0's freshly softmaxed row -
+        // the exact greedy selection the deployed policy runs on the same
+        // bits (see ServingModel::GreedyActions for why the softmax is not
+        // skipped).
+        const std::span<const double> p0 = s.probs.Row(0);
+        greedy_first[b] = static_cast<mdp::Action>(
+            std::distance(p0.begin(), std::max_element(p0.begin(), p0.end())));
+      }
+      out[b] = TrimmedKlScore(s, n, keep_);
+    }
+  }
+}
+
+}  // namespace osap::core

@@ -1,0 +1,73 @@
+// The shared-model half of the U_pi / U_V estimator split: packed ensemble
+// weights plus the paper's trim-and-disagree scoring math, with no mutable
+// state at all. One EnsembleModel is built per process and serves any
+// number of concurrent sessions - the ensemble signals are memoryless, so
+// the per-session "context" of these estimators is empty and a serving
+// shard can pack every pending session's state into one contiguous batch
+// (ScorePacked) and make a single fused pass over the member weights
+// instead of one weight-streaming pass per session.
+//
+// Every entry point is const and thread-safe (scratch is thread-local);
+// scores are bit-identical across ScoreOne / ScoreStates / ScorePacked for
+// a given state, which is what lets the sharded decision service reproduce
+// the sequential SafeAgent loop exactly (pinned by equivalence tests).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mdp/types.h"
+#include "nn/ensemble_forward.h"
+
+namespace osap::core {
+
+class EnsembleModel {
+ public:
+  enum class Kind {
+    kPolicyKl,        // U_pi: trimmed KL disagreement over action softmaxes
+    kValueDeviation,  // U_V: trimmed absolute deviation over scalar values
+  };
+
+  /// Packs the members' weights (snapshot; rebuild after retraining). All
+  /// members must share one topology; `discard` must leave >= 1 member.
+  EnsembleModel(Kind kind, std::vector<const nn::CompositeNet*> members,
+                std::size_t discard);
+
+  /// Scores a single state via the fused single-state inference path
+  /// (what the streaming estimators run per decision).
+  double ScoreOne(std::span<const double> state) const;
+
+  /// Scores `states` in kScoreBatch-sized blocks; out[i] is bit-identical
+  /// to ScoreOne(states[i]). This is the offline-scoring entry (replay
+  /// calibration) - blocking bounds the scratch activations.
+  void ScoreStates(std::span<const mdp::State> states,
+                   std::span<double> out) const;
+
+  /// Scores B pre-packed state rows (B x InputSize; wider rows use the
+  /// leading InputSize columns) with ONE fused InferBatch pass over the
+  /// whole pack - the serving hot path, where B is a shard's entire
+  /// pending-session batch. out[b] is bit-identical to ScoreOne(row b).
+  ///
+  /// kPolicyKl only: a non-empty `greedy_first` (>= B) additionally
+  /// receives member 0's greedy action per row - softmax the logits, take
+  /// the first maximal probability, exactly the deployed-policy selection.
+  /// The member-0 distributions are already computed for the KL score, so
+  /// a U_pi serving shard gets its deployed-actor actions for free instead
+  /// of paying a second inference pass over the same weights.
+  void ScorePacked(const nn::Matrix& states, std::span<double> out,
+                   std::span<mdp::Action> greedy_first = {}) const;
+
+  Kind kind() const { return kind_; }
+  std::size_t MemberCount() const { return batched_.MemberCount(); }
+  std::size_t InputSize() const { return batched_.InputSize(); }
+  std::size_t OutputSize() const { return batched_.OutputSize(); }
+  std::size_t Keep() const { return keep_; }
+
+ private:
+  nn::BatchedEnsemble batched_;
+  Kind kind_;
+  std::size_t keep_;
+};
+
+}  // namespace osap::core

@@ -14,18 +14,26 @@ NoveltyFeatureExtractor::NoveltyFeatureExtractor(
 
 std::optional<std::vector<double>> NoveltyFeatureExtractor::Push(
     double throughput_mbps) {
+  std::vector<double> feature(2 * config_.k);
+  if (!Push(throughput_mbps, feature)) return std::nullopt;
+  return feature;
+}
+
+bool NoveltyFeatureExtractor::Push(double throughput_mbps,
+                                   std::span<double> out) {
+  OSAP_REQUIRE(out.size() >= 2 * config_.k,
+               "NoveltyFeatureExtractor::Push: output span too short");
   window_.Push(throughput_mbps);
-  if (!window_.Full()) return std::nullopt;
+  if (!window_.Full()) return false;
   pairs_.emplace_back(window_.Mean(), window_.StdDev());
   if (pairs_.size() > config_.k) pairs_.pop_front();
-  if (pairs_.size() < config_.k) return std::nullopt;
-  std::vector<double> feature;
-  feature.reserve(2 * config_.k);
+  if (pairs_.size() < config_.k) return false;
+  std::size_t i = 0;
   for (const auto& [mean, stddev] : pairs_) {
-    feature.push_back(mean);
-    feature.push_back(stddev);
+    out[i++] = mean;
+    out[i++] = stddev;
   }
-  return feature;
+  return true;
 }
 
 void NoveltyFeatureExtractor::Reset() {

@@ -45,6 +45,15 @@ class NoveltyFeatureExtractor {
   /// has accumulated, std::nullopt during warm-up.
   std::optional<std::vector<double>> Push(double throughput_mbps);
 
+  /// Allocation-free overload: writes the feature into `out` (>= 2k dims)
+  /// and returns true, or returns false during warm-up with `out`
+  /// untouched. Same streaming state and values as the optional overload;
+  /// this is what the serving path stages shard batches through.
+  bool Push(double throughput_mbps, std::span<double> out);
+
+  /// Feature dimensionality (2k).
+  std::size_t FeatureSize() const { return 2 * config_.k; }
+
   void Reset();
 
  private:
@@ -87,6 +96,10 @@ class NoveltyDetector final : public UncertaintyEstimator {
 
   bool Fitted() const { return model_.Fitted(); }
   const svm::OneClassSvm& model() const { return model_; }
+  /// The observation probe (shared by the serving path's per-session
+  /// extractors so they see exactly the scalar Score would monitor).
+  const Probe& probe() const { return probe_; }
+  const NoveltyDetectorConfig& config() const { return config_; }
 
   /// Model persistence (the workbench caches fitted detectors).
   void Save(const std::filesystem::path& path) const;

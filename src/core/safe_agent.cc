@@ -11,46 +11,17 @@ SafeAgent::SafeAgent(std::shared_ptr<mdp::Policy> learned,
     : learned_(std::move(learned)),
       fallback_(std::move(fallback)),
       estimator_(std::move(estimator)),
-      config_(config),
-      trigger_(config.trigger) {
+      core_(config) {
   OSAP_REQUIRE(learned_ != nullptr, "SafeAgent: null learned policy");
   OSAP_REQUIRE(fallback_ != nullptr, "SafeAgent: null default policy");
   OSAP_REQUIRE(estimator_ != nullptr, "SafeAgent: null estimator");
-  if (config_.mode == DefaultingMode::kRevocable) {
-    OSAP_REQUIRE(config_.revoke_after >= 1,
-                 "SafeAgent: revoke_after must be >= 1");
-  }
 }
 
 mdp::Action SafeAgent::SelectAction(const mdp::State& state) {
   // The estimator observes every step (it maintains sliding windows even
   // while defaulted, which is what makes revocation meaningful).
   const double score = estimator_->Score(state);
-  const bool fired = trigger_.Update(score);
-
-  if (!defaulted_) {
-    if (fired) {
-      defaulted_ = true;
-      default_step_ = steps_;
-      certain_streak_ = 0;
-    }
-  } else if (config_.mode == DefaultingMode::kRevocable) {
-    // Revoke after a sustained quiet period: the trigger must not fire and
-    // the uncertain-streak must be clear.
-    if (!fired && trigger_.ConsecutiveUncertain() == 0) {
-      ++certain_streak_;
-      if (certain_streak_ >= config_.revoke_after) {
-        defaulted_ = false;
-        certain_streak_ = 0;
-      }
-    } else {
-      certain_streak_ = 0;
-    }
-  }
-
-  ++steps_;
-  if (defaulted_) {
-    ++defaulted_steps_;
+  if (core_.Observe(score)) {
     return fallback_->SelectAction(state);
   }
   return learned_->SelectAction(state);
@@ -60,23 +31,12 @@ void SafeAgent::Reset() {
   learned_->Reset();
   fallback_->Reset();
   estimator_->Reset();
-  trigger_.Reset();
-  defaulted_ = false;
-  steps_ = 0;
-  default_step_ = 0;
-  defaulted_steps_ = 0;
-  certain_streak_ = 0;
+  core_.Reset();
 }
 
 std::string SafeAgent::Name() const {
   return "safe(" + learned_->Name() + "->" + fallback_->Name() + "," +
          estimator_->Name() + ")";
-}
-
-double SafeAgent::DefaultedFraction() const {
-  if (steps_ == 0) return 0.0;
-  return static_cast<double>(defaulted_steps_) /
-         static_cast<double>(steps_);
 }
 
 }  // namespace osap::core

@@ -6,27 +6,19 @@
 // session in the paper's setup (kPermanent), or until the signal stays
 // quiet for `revoke_after` consecutive steps in the revocable extension we
 // ablate (kRevocable, DESIGN.md section 7).
+//
+// The defaulting state machine itself lives in SafetyCore (which also
+// defines DefaultingMode and SafeAgentConfig); this class binds it to
+// concrete policies and an estimator for the one-session sequential loop.
 #pragma once
 
 #include <memory>
 
-#include "core/trigger.h"
+#include "core/safety_core.h"
 #include "core/uncertainty.h"
 #include "mdp/policy.h"
 
 namespace osap::core {
-
-enum class DefaultingMode {
-  kPermanent,  // paper behaviour: default for the rest of the session
-  kRevocable,  // ablation: return to the learned policy when safe again
-};
-
-struct SafeAgentConfig {
-  TriggerConfig trigger;
-  DefaultingMode mode = DefaultingMode::kPermanent;
-  /// kRevocable: consecutive non-firing, certain steps needed to revoke.
-  std::size_t revoke_after = 15;
-};
 
 class SafeAgent final : public mdp::Policy {
  public:
@@ -40,17 +32,17 @@ class SafeAgent final : public mdp::Policy {
   std::string Name() const override;
 
   /// True while actions come from the default policy.
-  bool Defaulted() const { return defaulted_; }
+  bool Defaulted() const { return core_.Defaulted(); }
 
   /// Steps taken in the current session (decisions made).
-  std::size_t StepCount() const { return steps_; }
+  std::size_t StepCount() const { return core_.StepCount(); }
 
   /// Step index at which the agent defaulted (meaningful when Defaulted()
   /// has ever been true this session; 0 otherwise).
-  std::size_t DefaultStep() const { return default_step_; }
+  std::size_t DefaultStep() const { return core_.DefaultStep(); }
 
   /// Fraction of this session's decisions made by the default policy.
-  double DefaultedFraction() const;
+  double DefaultedFraction() const { return core_.DefaultedFraction(); }
 
   const UncertaintyEstimator& estimator() const { return *estimator_; }
 
@@ -58,14 +50,7 @@ class SafeAgent final : public mdp::Policy {
   std::shared_ptr<mdp::Policy> learned_;
   std::shared_ptr<mdp::Policy> fallback_;
   std::shared_ptr<UncertaintyEstimator> estimator_;
-  SafeAgentConfig config_;
-  DefaultTrigger trigger_;
-
-  bool defaulted_ = false;
-  std::size_t steps_ = 0;
-  std::size_t default_step_ = 0;
-  std::size_t defaulted_steps_ = 0;
-  std::size_t certain_streak_ = 0;  // kRevocable bookkeeping
+  SafetyCore core_;
 };
 
 }  // namespace osap::core

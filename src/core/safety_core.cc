@@ -1,0 +1,61 @@
+#include "core/safety_core.h"
+
+#include "util/check.h"
+
+namespace osap::core {
+
+SafetyCore::SafetyCore(const SafeAgentConfig& config)
+    : config_(config), trigger_(config.trigger) {
+  if (config_.mode == DefaultingMode::kRevocable) {
+    OSAP_REQUIRE(config_.revoke_after >= 1,
+                 "SafetyCore: revoke_after must be >= 1");
+  }
+}
+
+bool SafetyCore::Observe(double score) {
+  const bool fired = trigger_.Update(score);
+
+  if (!defaulted_) {
+    if (fired) {
+      defaulted_ = true;
+      default_step_ = steps_;
+      certain_streak_ = 0;
+    }
+  } else if (config_.mode == DefaultingMode::kRevocable) {
+    // Revoke after a sustained quiet period: the trigger must not fire and
+    // the uncertain-streak must be clear.
+    if (!fired && trigger_.ConsecutiveUncertain() == 0) {
+      ++certain_streak_;
+      if (certain_streak_ >= config_.revoke_after) {
+        defaulted_ = false;
+        certain_streak_ = 0;
+      }
+    } else {
+      certain_streak_ = 0;
+    }
+  }
+
+  ++steps_;
+  if (defaulted_) {
+    ++defaulted_steps_;
+    return true;
+  }
+  return false;
+}
+
+void SafetyCore::Reset() {
+  trigger_.Reset();
+  defaulted_ = false;
+  steps_ = 0;
+  default_step_ = 0;
+  defaulted_steps_ = 0;
+  certain_streak_ = 0;
+}
+
+double SafetyCore::DefaultedFraction() const {
+  if (steps_ == 0) return 0.0;
+  return static_cast<double>(defaulted_steps_) /
+         static_cast<double>(steps_);
+}
+
+}  // namespace osap::core

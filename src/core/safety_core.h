@@ -1,0 +1,65 @@
+// SafetyCore: the per-session half of the SafeAgent split - the defaulting
+// state machine (trigger, defaulted flag, revocation streak, step counters)
+// with no policies or estimators attached. One SafetyCore is a few dozen
+// bytes of mutable state, so a serving shard keeps one per session and
+// feeds it scores computed by the shared immutable models (EnsembleModel /
+// OneClassSvm); SafeAgent composes the same class behind mdp::Policy for
+// the sequential loop. Both paths therefore run literally the same state
+// machine, which is how the service's batched decisions stay bit-identical
+// to the sequential agent (pinned by equivalence tests).
+#pragma once
+
+#include <cstddef>
+
+#include "core/trigger.h"
+
+namespace osap::core {
+
+enum class DefaultingMode {
+  kPermanent,  // paper behaviour: default for the rest of the session
+  kRevocable,  // ablation: return to the learned policy when safe again
+};
+
+struct SafeAgentConfig {
+  TriggerConfig trigger;
+  DefaultingMode mode = DefaultingMode::kPermanent;
+  /// kRevocable: consecutive non-firing, certain steps needed to revoke.
+  std::size_t revoke_after = 15;
+};
+
+class SafetyCore {
+ public:
+  explicit SafetyCore(const SafeAgentConfig& config);
+
+  /// One decision step: feeds this step's uncertainty score through the
+  /// trigger and the defaulting/revocation state machine. Returns true
+  /// when this step's action must come from the default policy.
+  bool Observe(double score);
+
+  void Reset();
+
+  /// True while actions come from the default policy.
+  bool Defaulted() const { return defaulted_; }
+
+  /// Steps observed in the current session (decisions made).
+  std::size_t StepCount() const { return steps_; }
+
+  /// Step index at which the session defaulted (meaningful when
+  /// Defaulted() has ever been true this session; 0 otherwise).
+  std::size_t DefaultStep() const { return default_step_; }
+
+  /// Fraction of this session's decisions made by the default policy.
+  double DefaultedFraction() const;
+
+ private:
+  SafeAgentConfig config_;
+  DefaultTrigger trigger_;
+
+  bool defaulted_ = false;
+  std::size_t steps_ = 0;
+  std::size_t default_step_ = 0;
+  std::size_t defaulted_steps_ = 0;
+  std::size_t certain_streak_ = 0;  // kRevocable bookkeeping
+};
+
+}  // namespace osap::core

@@ -1,0 +1,211 @@
+#include "serve/decision_service.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace osap::serve {
+
+DecisionService::SessionContext::SessionContext(const ServingModel& model)
+    : safety(model.safety()) {
+  if (model.signal() == Signal::kNovelty) {
+    extractor.emplace(model.NoveltyConfig());
+  }
+}
+
+DecisionService::DecisionService(std::shared_ptr<const ServingModel> model,
+                                 DecisionServiceConfig config)
+    : model_(std::move(model)), config_(config) {
+  OSAP_REQUIRE(model_ != nullptr, "DecisionService: null model");
+  OSAP_REQUIRE(config_.shard_count >= 1,
+               "DecisionService: shard_count must be >= 1");
+  shards_.reserve(config_.shard_count);
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    shards_.push_back(std::make_unique<ShardScratch>());
+  }
+}
+
+DecisionService::SessionId DecisionService::OpenSession() {
+  SessionId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    sessions_[id] = std::make_unique<SessionContext>(*model_);
+  } else {
+    id = sessions_.size();
+    sessions_.push_back(std::make_unique<SessionContext>(*model_));
+  }
+  ++active_count_;
+  return id;
+}
+
+void DecisionService::CloseSession(SessionId id) {
+  OSAP_REQUIRE(id < sessions_.size() && sessions_[id] != nullptr,
+               "CloseSession: unknown session");
+  sessions_[id].reset();
+  free_slots_.push_back(id);
+  --active_count_;
+}
+
+const DecisionService::SessionContext& DecisionService::Context(
+    SessionId id) const {
+  OSAP_REQUIRE(id < sessions_.size() && sessions_[id] != nullptr,
+               "DecisionService: unknown session");
+  return *sessions_[id];
+}
+
+bool DecisionService::Defaulted(SessionId id) const {
+  return Context(id).safety.Defaulted();
+}
+
+std::size_t DecisionService::StepCount(SessionId id) const {
+  return Context(id).safety.StepCount();
+}
+
+double DecisionService::DefaultedFraction(SessionId id) const {
+  return Context(id).safety.DefaultedFraction();
+}
+
+mdp::Action DecisionService::Decide(SessionId id, const mdp::State& state) {
+  const Request request{id, &state};
+  mdp::Action action = 0;
+  DecideBatch({&request, 1}, {&action, 1});
+  return action;
+}
+
+void DecisionService::DecideBatch(std::span<const Request> requests,
+                                  std::span<mdp::Action> out) {
+  OSAP_REQUIRE(out.size() >= requests.size(),
+               "DecideBatch: output span too short");
+  if (requests.empty()) return;
+  ++round_;
+  const std::size_t input = model_->InputSize();
+  for (const Request& r : requests) {
+    OSAP_REQUIRE(r.session < sessions_.size() &&
+                     sessions_[r.session] != nullptr,
+                 "DecideBatch: unknown session");
+    OSAP_REQUIRE(r.state != nullptr && r.state->size() == input,
+                 "DecideBatch: null or mis-sized state");
+    SessionContext& ctx = *sessions_[r.session];
+    OSAP_REQUIRE(ctx.last_round != round_,
+                 "DecideBatch: a session may appear once per batch");
+    ctx.last_round = round_;
+  }
+
+  util::ThreadPool& pool =
+      config_.pool != nullptr ? *config_.pool : util::ThreadPool::Shared();
+  util::ParallelOptions options;
+  options.max_workers = config_.max_workers;
+  options.chunk = 1;  // one shard per claim: shards are coarse items
+  pool.ParallelFor(
+      0, shards_.size(),
+      [&](std::size_t shard) { RunShard(shard, requests, out); }, options);
+}
+
+void DecisionService::RunShard(std::size_t shard,
+                               std::span<const Request> requests,
+                               std::span<mdp::Action> out) {
+  ShardScratch& s = *shards_[shard];
+  s.arena.Reset();
+
+  // Collect this shard's requests in caller order. Shards own disjoint
+  // session sets (slot % shard_count) and therefore disjoint `out`
+  // entries, which is what makes the fan-out race-free.
+  std::size_t count = 0;
+  for (const Request& r : requests) {
+    if (ShardOf(r.session) == shard) ++count;
+  }
+  if (count == 0) return;
+  const std::span<std::size_t> idx = s.arena.Alloc<std::size_t>(count);
+  {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (ShardOf(requests[i].session) == shard) idx[n++] = i;
+    }
+  }
+
+  const std::size_t input = model_->InputSize();
+  const std::span<double> scores = s.arena.Alloc<double>(count);
+  // U_pi only: per-request deployed-actor actions emitted by the scoring
+  // pass itself (empty for the other signals).
+  std::span<mdp::Action> scored_actions;
+
+  if (model_->signal() == Signal::kNovelty) {
+    // U_S: stream each session's observation through ITS OWN extractor
+    // (per-session context), staging completed feature vectors as rows of
+    // one contiguous matrix; a single batched OC-SVM scan then replaces
+    // per-session DecisionValue calls. Warm-up semantics replicate
+    // NoveltyDetector::Score exactly: non-positive observations skip the
+    // extractor entirely, incomplete windows score 0.
+    const core::NoveltyDetector::Probe& probe = model_->NoveltyProbe();
+    const std::size_t fdim = 2 * model_->NoveltyConfig().k;
+    s.features.ReshapeUninitialized(count, fdim);
+    const std::span<std::size_t> staged_of = s.arena.Alloc<std::size_t>(count);
+    std::size_t staged = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      const Request& r = requests[idx[j]];
+      SessionContext& ctx = *sessions_[r.session];
+      scores[j] = 0.0;
+      const double observation = probe(*r.state);
+      if (observation <= 0.0) continue;
+      if (ctx.extractor->Push(observation, s.features.Row(staged))) {
+        staged_of[staged] = j;
+        ++staged;
+      }
+    }
+    if (staged > 0) {
+      const std::span<double> values = s.arena.Alloc<double>(staged);
+      model_->NoveltyDecisionValues(s.features.data(), staged, values);
+      for (std::size_t t = 0; t < staged; ++t) {
+        scores[staged_of[t]] = values[t] >= 0.0 ? 0.0 : 1.0;
+      }
+    }
+  } else {
+    // U_pi / U_V: pack every pending state and score the whole shard with
+    // one fused pass over the shared ensemble weights. For U_pi the same
+    // pass also yields every session's deployed-actor action (the actor is
+    // ensemble member 0), eliminating the separate actor pass below.
+    s.states.ReshapeUninitialized(count, input);
+    for (std::size_t j = 0; j < count; ++j) {
+      const mdp::State& st = *requests[idx[j]].state;
+      std::copy(st.data(), st.data() + input, s.states.Row(j).data());
+    }
+    if (model_->ScoresYieldActions()) {
+      scored_actions = s.arena.Alloc<mdp::Action>(count);
+    }
+    model_->UncertaintyScores(s.states, scores, scored_actions);
+  }
+
+  // Advance each session's defaulting state machine, answering fallback
+  // sessions immediately and collecting the rest for one batched
+  // deployed-actor pass (unless the scoring pass already produced their
+  // actions).
+  const std::span<std::size_t> learned_of = s.arena.Alloc<std::size_t>(count);
+  std::size_t learned = 0;
+  for (std::size_t j = 0; j < count; ++j) {
+    const Request& r = requests[idx[j]];
+    SessionContext& ctx = *sessions_[r.session];
+    if (ctx.safety.Observe(scores[j])) {
+      out[idx[j]] = model_->FallbackAction(*r.state);
+    } else if (!scored_actions.empty()) {
+      out[idx[j]] = scored_actions[j];
+    } else {
+      learned_of[learned++] = j;
+    }
+  }
+  if (learned > 0) {
+    s.learned_states.ReshapeUninitialized(learned, input);
+    for (std::size_t t = 0; t < learned; ++t) {
+      const mdp::State& st = *requests[idx[learned_of[t]]].state;
+      std::copy(st.data(), st.data() + input,
+                s.learned_states.Row(t).data());
+    }
+    s.learned_actions.resize(learned);
+    model_->GreedyActions(s.learned_states, s.learned_actions);
+    for (std::size_t t = 0; t < learned; ++t) {
+      out[idx[learned_of[t]]] = s.learned_actions[t];
+    }
+  }
+}
+
+}  // namespace osap::serve

@@ -1,0 +1,141 @@
+// DecisionService: a sharded multi-session decision front-end.
+//
+// The service owns N concurrent ABR sessions and answers "next bitrate?"
+// requests by micro-batching across sessions. Sessions are assigned to
+// shards round-robin (slot % shard_count); one DecideBatch call fans the
+// shards out over a thread pool, and each shard
+//   1. packs its pending sessions' states into one contiguous matrix,
+//   2. computes every session's uncertainty score with a single fused
+//      pass over the SHARED model weights (EnsembleModel::ScorePacked for
+//      U_pi / U_V; staged feature rows + one OneClassSvm::DecisionValues
+//      scan for U_S),
+//   3. advances each session's SafetyCore state machine on its score, and
+//   4. emits actions: one batched deployed-actor pass for the
+//      non-defaulted sessions, the Buffer-Based mapping for the rest.
+// Per-shard scratch (request lists, packed matrices, a util::Arena for
+// the short-lived arrays) persists across calls, so the steady state is
+// allocation-free.
+//
+// Sessions are mutually independent, so reordering work across sessions
+// cannot change any session's outcome: each action the service returns is
+// bit-identical to what a sequential SafeAgent running that session alone
+// would pick (equivalence tests pin this for U_S / U_pi / U_V in both
+// kPermanent and kRevocable modes). The throughput win over the
+// one-session-at-a-time loop comes from weight de-duplication - N
+// sequential sessions stream N private ~100 KB weight packs through the
+// cache hierarchy per round, the service streams ONE shared pack per
+// shard batch - plus shard parallelism on multi-core hosts.
+//
+// Thread-safety: DecideBatch is internally parallel but the service
+// object itself is externally synchronized - do not call Open/Close/
+// DecideBatch concurrently from multiple threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/novelty_detector.h"
+#include "core/safety_core.h"
+#include "mdp/types.h"
+#include "nn/matrix.h"
+#include "nn/sequential.h"
+#include "serve/serving_model.h"
+#include "util/arena.h"
+#include "util/thread_pool.h"
+
+namespace osap::serve {
+
+struct DecisionServiceConfig {
+  /// Shards sessions are distributed over; each shard is one batched unit
+  /// of work per DecideBatch call. Must be >= 1.
+  std::size_t shard_count = 1;
+  /// Pool the shards fan out on; nullptr uses util::ThreadPool::Shared().
+  /// (Tests inject a private pool; the TSan smoke needs workers even on a
+  /// 1-core host.)
+  util::ThreadPool* pool = nullptr;
+  /// Cap on pool workers joining one DecideBatch (the calling thread
+  /// always participates). 0 runs the shards serially on the caller.
+  std::size_t max_workers = std::numeric_limits<std::size_t>::max();
+};
+
+class DecisionService {
+ public:
+  using SessionId = std::size_t;
+
+  /// One session's pending decision request. The state must stay valid
+  /// until DecideBatch returns.
+  struct Request {
+    SessionId session = 0;
+    const mdp::State* state = nullptr;
+  };
+
+  DecisionService(std::shared_ptr<const ServingModel> model,
+                  DecisionServiceConfig config = {});
+
+  /// Registers a new session (fresh SafetyCore / novelty window) and
+  /// returns its id. Ids of closed sessions are recycled.
+  SessionId OpenSession();
+
+  /// Tears a session down; its id becomes invalid until recycled.
+  void CloseSession(SessionId id);
+
+  /// Answers one decision per request. Each session may appear at most
+  /// once per call (a session's next state depends on its previous
+  /// action, so two requests for one session in one batch would be
+  /// ill-defined). out[i] answers requests[i].
+  void DecideBatch(std::span<const Request> requests,
+                   std::span<mdp::Action> out);
+
+  /// Single-session convenience wrapper around DecideBatch.
+  mdp::Action Decide(SessionId id, const mdp::State& state);
+
+  const ServingModel& model() const { return *model_; }
+  std::size_t ShardCount() const { return shards_.size(); }
+  std::size_t ActiveSessionCount() const { return active_count_; }
+
+  /// Per-session introspection (id must be open).
+  bool Defaulted(SessionId id) const;
+  std::size_t StepCount(SessionId id) const;
+  double DefaultedFraction(SessionId id) const;
+
+ private:
+  /// Per-session mutable context: the defaulting state machine plus (for
+  /// U_S deployments) the streaming feature extractor. A few dozen bytes
+  /// - the whole point of the shared-model split.
+  struct SessionContext {
+    explicit SessionContext(const ServingModel& model);
+    core::SafetyCore safety;
+    std::optional<core::NoveltyFeatureExtractor> extractor;  // U_S only
+    std::uint64_t last_round = 0;  // duplicate-request guard
+  };
+
+  /// Per-shard scratch; persists across DecideBatch calls.
+  struct ShardScratch {
+    util::Arena arena;        // per-call index/score arrays
+    nn::Matrix states;        // packed request states
+    nn::Matrix features;      // U_S staged feature rows
+    nn::Matrix learned_states;
+    std::vector<mdp::Action> learned_actions;
+  };
+
+  void RunShard(std::size_t shard, std::span<const Request> requests,
+                std::span<mdp::Action> out);
+  std::size_t ShardOf(SessionId id) const { return id % shards_.size(); }
+  const SessionContext& Context(SessionId id) const;
+
+  std::shared_ptr<const ServingModel> model_;
+  DecisionServiceConfig config_;
+  std::vector<std::unique_ptr<SessionContext>> sessions_;  // slot-indexed
+  std::vector<SessionId> free_slots_;
+  std::size_t active_count_ = 0;
+  // unique_ptr because util::Arena is pinned in place (non-movable).
+  std::vector<std::unique_ptr<ShardScratch>> shards_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace osap::serve

@@ -492,6 +492,48 @@ double OneClassSvm::DecisionValue(std::span<const double> x) const {
   return f;
 }
 
+void OneClassSvm::DecisionValues(const double* rows, std::size_t count,
+                                 std::span<double> out) const {
+  OSAP_REQUIRE(Fitted(), "OneClassSvm::DecisionValues before Fit");
+  OSAP_REQUIRE(out.size() >= count, "DecisionValues: output span too short");
+  if (count == 0) return;
+  // Scale all samples up front (same per-element (x - mean) / stddev as
+  // StandardScaler::Transform), with squared norms alongside. Thread-local
+  // so the serving steady state is allocation-free.
+  thread_local std::vector<double> scaled;
+  thread_local std::vector<double> norms;
+  scaled.resize(count * sv_dim_);
+  norms.resize(count);
+  const std::vector<double>& mean = scaler_.mean();
+  const std::vector<double>& stddev = scaler_.stddev();
+  for (std::size_t s = 0; s < count; ++s) {
+    const double* x = rows + s * sv_dim_;
+    double* xs = scaled.data() + s * sv_dim_;
+    double x_norm = 0.0;
+    for (std::size_t d = 0; d < sv_dim_; ++d) {
+      xs[d] = (x[d] - mean[d]) / stddev[d];
+      x_norm += xs[d] * xs[d];
+    }
+    norms[s] = x_norm;
+    out[s] = -rho_;
+  }
+  // SV-outer / sample-inner: each support-vector row streams once for the
+  // whole batch, while every sample's accumulator still sums its kernel
+  // terms in ascending SV order - the exact chain DecisionValue runs - so
+  // the results are bit-identical to the one-sample path.
+  const double* sv = sv_data_.data();
+  for (std::size_t i = 0; i < sv_count_; ++i, sv += sv_dim_) {
+    const double a = alphas_[i];
+    const double sv_sq = sv_sq_norms_[i];
+    for (std::size_t s = 0; s < count; ++s) {
+      const double* xs = scaled.data() + s * sv_dim_;
+      double dot = 0.0;
+      for (std::size_t d = 0; d < sv_dim_; ++d) dot += xs[d] * sv[d];
+      out[s] += a * std::exp(-gamma_ * (norms[s] - 2.0 * dot + sv_sq));
+    }
+  }
+}
+
 double OneClassSvm::InlierFraction(
     const std::vector<std::vector<double>>& data) const {
   OSAP_REQUIRE(!data.empty(), "InlierFraction: empty data");

@@ -67,6 +67,14 @@ class OneClassSvm {
   /// Signed decision value f(x); >= 0 means in-distribution.
   double DecisionValue(std::span<const double> x) const;
 
+  /// Batched decision values over `count` contiguous row-major samples
+  /// (count x Dimension()). out[i] is bit-identical to DecisionValue on
+  /// row i: the SV-outer/sample-inner pass accumulates each sample's sum
+  /// in the same support-vector order, but streams every SV row once for
+  /// the whole batch instead of once per sample.
+  void DecisionValues(const double* rows, std::size_t count,
+                      std::span<double> out) const;
+
   /// True when x is classified as in-distribution (+1).
   bool IsInlier(std::span<const double> x) const { return DecisionValue(x) >= 0.0; }
 

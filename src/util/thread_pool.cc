@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/check.h"
 
@@ -41,8 +42,29 @@ std::size_t ThreadPool::HardwareConcurrency() {
 
 std::size_t ThreadPool::CurrentSlot() { return t_slot; }
 
+std::size_t ThreadPool::ParseSharedConcurrency(const char* value) {
+  if (value == nullptr) return HardwareConcurrency();
+  const char* p = value;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p < '0' || *p > '9') return HardwareConcurrency();
+  std::size_t parsed = 0;
+  for (; *p >= '0' && *p <= '9'; ++p) {
+    if (parsed > (std::numeric_limits<std::size_t>::max() - 9) / 10) {
+      return HardwareConcurrency();  // overflow: treat as malformed
+    }
+    parsed = parsed * 10 + static_cast<std::size_t>(*p - '0');
+  }
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p != '\0' || parsed == 0) return HardwareConcurrency();
+  return parsed;
+}
+
+std::size_t ThreadPool::SharedConcurrency() {
+  return ParseSharedConcurrency(std::getenv("OSAP_THREADS"));
+}
+
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool pool(HardwareConcurrency() - 1);
+  static ThreadPool pool(SharedConcurrency() - 1);
   return pool;
 }
 

@@ -84,7 +84,7 @@ class ThreadPool {
   /// allocation-free parallel loops.
   static std::size_t CurrentSlot();
 
-  /// Lazily-initialized process-wide pool with HardwareConcurrency() - 1
+  /// Lazily-initialized process-wide pool sized to SharedConcurrency() - 1
   /// workers. Subsystems share it (ParallelFor calls serialize) instead
   /// of constructing per-call pools; per-call ParallelOptions::max_workers
   /// caps effective parallelism below the pool size.
@@ -93,6 +93,20 @@ class ThreadPool {
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// allows it to return 0 when undetectable).
   static std::size_t HardwareConcurrency();
+
+  /// Total concurrency (workers + caller) the Shared() pool is sized for:
+  /// the OSAP_THREADS environment variable when it parses to a positive
+  /// integer, HardwareConcurrency() otherwise. The override gives benches
+  /// and CI a deterministic pool width on 1-core hosts. Read once, at the
+  /// Shared() pool's first use.
+  static std::size_t SharedConcurrency();
+
+  /// SharedConcurrency's parsing rule, exposed for tests: `value` is the
+  /// raw environment string (nullptr when unset). Positive integers (with
+  /// optional surrounding whitespace) win; anything else - unset, empty,
+  /// zero, negative, non-numeric, trailing junk - falls back to
+  /// HardwareConcurrency().
+  static std::size_t ParseSharedConcurrency(const char* value);
 
  private:
   struct Job {

@@ -188,5 +188,54 @@ TEST(SafeAgent, ValidatesConstruction) {
                std::invalid_argument);
 }
 
+// SafetyCore holds the defaulting state machine SafeAgent and the serving
+// path's DecisionService both run; these tests pin the extracted core to
+// the agent's observable behavior on the same score scripts.
+
+TEST(SafetyCore, ObserveMatchesSafeAgentStepForStep) {
+  const std::vector<double> scores = {0.0, 1.0, 1.0, 0.0, 1.0, 1.0,
+                                      1.0, 0.0, 0.0, 0.0, 0.0, 1.0};
+  for (const DefaultingMode mode :
+       {DefaultingMode::kPermanent, DefaultingMode::kRevocable}) {
+    SafeAgentConfig cfg = BinaryConfig(2);
+    cfg.mode = mode;
+    cfg.revoke_after = 3;
+    auto learned = std::make_shared<FixedPolicy>(5);
+    auto fallback = std::make_shared<FixedPolicy>(0);
+    SafeAgent agent(learned, fallback,
+                    std::make_shared<ScriptedEstimator>(scores), cfg);
+    SafetyCore core(cfg);
+    const mdp::State s;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      const bool use_fallback = core.Observe(scores[i]);
+      EXPECT_EQ(agent.SelectAction(s), use_fallback ? 0 : 5)
+          << "step " << i;
+      EXPECT_EQ(core.Defaulted(), agent.Defaulted()) << "step " << i;
+    }
+    EXPECT_EQ(core.StepCount(), agent.StepCount());
+    EXPECT_EQ(core.DefaultStep(), agent.DefaultStep());
+    EXPECT_DOUBLE_EQ(core.DefaultedFraction(), agent.DefaultedFraction());
+  }
+}
+
+TEST(SafetyCore, ResetClearsTheStateMachine) {
+  SafeAgentConfig cfg = BinaryConfig(1);
+  SafetyCore core(cfg);
+  EXPECT_TRUE(core.Observe(1.0));
+  EXPECT_TRUE(core.Defaulted());
+  core.Reset();
+  EXPECT_FALSE(core.Defaulted());
+  EXPECT_EQ(core.StepCount(), 0u);
+  EXPECT_DOUBLE_EQ(core.DefaultedFraction(), 0.0);
+  EXPECT_FALSE(core.Observe(0.0));
+}
+
+TEST(SafetyCore, RevocableRequiresPositiveRevokeAfter) {
+  SafeAgentConfig cfg = BinaryConfig(1);
+  cfg.mode = DefaultingMode::kRevocable;
+  cfg.revoke_after = 0;
+  EXPECT_THROW(SafetyCore core(cfg), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace osap::core

@@ -116,5 +116,37 @@ TEST_F(SessionTest, EmptySessionTraceIsWellDefined) {
   EXPECT_EQ(empty.FirstDefaultedChunk(), 0u);
 }
 
+TEST_F(SessionTest, SingleChunkTraceAccessors) {
+  // One chunk: no previous action to switch from, and the defaulted flag
+  // alone decides FirstDefaultedChunk / DefaultedFraction.
+  SessionTrace session;
+  ChunkRecord chunk;
+  chunk.action = 3;
+  chunk.reward = 1.5;
+  chunk.defaulted = false;
+  session.chunks.push_back(chunk);
+  EXPECT_EQ(session.SwitchCount(), 0u);
+  EXPECT_EQ(session.FirstDefaultedChunk(), 1u);  // == chunks.size()
+  EXPECT_DOUBLE_EQ(session.DefaultedFraction(), 0.0);
+
+  session.chunks.front().defaulted = true;
+  EXPECT_EQ(session.FirstDefaultedChunk(), 0u);
+  EXPECT_DOUBLE_EQ(session.DefaultedFraction(), 1.0);
+}
+
+TEST_F(SessionTest, SwitchCountCountsActionChangesOnly) {
+  SessionTrace session;
+  for (const mdp::Action a : {2, 2, 4, 4, 1, 1, 1, 5}) {
+    ChunkRecord chunk;
+    chunk.action = a;
+    session.chunks.push_back(chunk);
+  }
+  EXPECT_EQ(session.SwitchCount(), 3u);
+  // A defaulted chunk in the middle does not affect switch accounting.
+  session.chunks[3].defaulted = true;
+  EXPECT_EQ(session.SwitchCount(), 3u);
+  EXPECT_EQ(session.FirstDefaultedChunk(), 3u);
+}
+
 }  // namespace
 }  // namespace osap::core

@@ -1,0 +1,445 @@
+// DecisionService equivalence and API tests.
+//
+// The load-bearing property of the serving path is bit-identity: for every
+// uncertainty signal (U_S / U_pi / U_V) and both defaulting modes
+// (kPermanent / kRevocable), the sharded micro-batched service must pick
+// exactly the action sequence a sequential SafeAgent running each session
+// alone would pick. The tests here drive full closed-loop sessions over a
+// mix of in-distribution (Norway 3G) and out-of-distribution (Belgium 4G)
+// traces and compare the two stacks step by step.
+#include "serve/decision_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "abr/abr_environment.h"
+#include "abr/video.h"
+#include "core/ensemble_estimators.h"
+#include "core/novelty_detector.h"
+#include "core/safe_agent.h"
+#include "policies/buffer_based.h"
+#include "policies/pensieve_net.h"
+#include "policies/pensieve_policy.h"
+#include "serve/serving_model.h"
+#include "traces/generators.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace osap::serve {
+namespace {
+
+constexpr std::size_t kSessions = 6;
+constexpr std::size_t kEnsemble = 4;
+constexpr std::size_t kDiscard = 1;
+constexpr std::size_t kTriggerL = 2;
+constexpr std::size_t kTriggerK = 4;
+constexpr std::size_t kRevokeAfter = 3;
+
+/// Trained-world fixture shared by every test in this file: a small agent
+/// ensemble, a value-net ensemble, a novelty detector fitted on
+/// in-distribution throughput, and a half-ID / half-OOD trace set.
+struct World {
+  abr::AbrStateLayout layout;
+  abr::VideoSpec video = abr::MakeEnvivioLikeVideo(1);
+  std::vector<std::shared_ptr<nn::ActorCriticNet>> agents;
+  std::vector<std::shared_ptr<nn::CompositeNet>> value_nets;
+  std::shared_ptr<core::NoveltyDetector> novelty;
+  std::vector<traces::Trace> traces;
+  double alpha_pi = 0.0;
+  double alpha_v = 0.0;
+};
+
+std::shared_ptr<core::UncertaintyEstimator> MakeEstimator(const World& w,
+                                                          Signal signal) {
+  switch (signal) {
+    case Signal::kNovelty: {
+      // Fresh streaming state over the shared fitted OC-SVM.
+      auto detector = std::make_shared<core::NoveltyDetector>(*w.novelty);
+      detector->Reset();
+      return detector;
+    }
+    case Signal::kAgentEnsemble:
+      return std::make_shared<core::AgentEnsembleEstimator>(w.agents,
+                                                            kDiscard);
+    case Signal::kValueEnsemble:
+      return std::make_shared<core::ValueEnsembleEstimator>(w.value_nets,
+                                                            kDiscard);
+  }
+  throw std::logic_error("unreachable");
+}
+
+/// Calibrates a variance-trigger threshold from a probe run: drives every
+/// trace with the deployed greedy policy, collects the k-window variances
+/// of the estimator's scores and returns their 40th percentile, so the
+/// trigger fires on some sessions and stays quiet on others.
+double CalibratedAlpha(const World& w, Signal signal) {
+  auto estimator = MakeEstimator(w, signal);
+  policies::PensievePolicy deployed(w.agents.front(),
+                                    policies::ActionSelection::kGreedy, 0);
+  std::vector<double> variances;
+  for (const traces::Trace& trace : w.traces) {
+    abr::AbrEnvironment env(w.video, {});
+    env.SetFixedTrace(trace);
+    SlidingWindowStats window(kTriggerK);
+    mdp::State state = env.Reset();
+    bool done = false;
+    while (!done) {
+      window.Push(estimator->Score(state));
+      if (window.Full()) variances.push_back(window.Variance());
+      mdp::StepResult result = env.Step(deployed.SelectAction(state));
+      state = std::move(result.next_state);
+      done = result.done;
+    }
+  }
+  std::sort(variances.begin(), variances.end());
+  return variances[variances.size() * 2 / 5];
+}
+
+const World& SharedWorld() {
+  static const World* world = [] {
+    auto* w = new World();
+    policies::PensieveNetConfig net;
+    net.conv_filters = 3;
+    net.hidden = 8;
+    Rng rng(17);
+    for (std::size_t m = 0; m < kEnsemble; ++m) {
+      w->agents.push_back(std::make_shared<nn::ActorCriticNet>(
+          policies::MakePensieveActorCritic(w->layout, net, rng)));
+      w->value_nets.push_back(std::make_shared<nn::CompositeNet>(
+          policies::BuildPensieveNet(w->layout, 1, net, rng)));
+    }
+
+    // Viewers alternate between the distribution the detector is fitted
+    // to (Norway 3G) and an out-of-distribution network (Belgium 4G).
+    const auto id_gen = traces::MakeNorway3gGenerator();
+    const auto ood_gen = traces::MakeBelgium4gGenerator();
+    Rng trace_rng(29);
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      const auto& gen = i % 2 == 0 ? id_gen : ood_gen;
+      w->traces.push_back(gen->Generate(trace_rng, 200.0, i));
+    }
+
+    core::NoveltyDetectorConfig nd;
+    nd.throughput_window = 3;
+    nd.k = 2;
+    std::vector<std::vector<double>> features;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const traces::Trace t = id_gen->Generate(trace_rng, 400.0, 100 + i);
+      const auto session_features =
+          core::NoveltyDetector::ExtractFeatures(t.samples(), nd);
+      features.insert(features.end(), session_features.begin(),
+                      session_features.end());
+    }
+    w->novelty = std::make_shared<core::NoveltyDetector>(nd, w->layout);
+    w->novelty->Fit(features);
+
+    w->alpha_pi = CalibratedAlpha(*w, Signal::kAgentEnsemble);
+    w->alpha_v = CalibratedAlpha(*w, Signal::kValueEnsemble);
+    return w;
+  }();
+  return *world;
+}
+
+core::SafeAgentConfig ConfigFor(const World& w, Signal signal,
+                                core::DefaultingMode mode) {
+  core::SafeAgentConfig config;
+  config.trigger.l = kTriggerL;
+  config.trigger.k = kTriggerK;
+  config.mode = mode;
+  config.revoke_after = kRevokeAfter;
+  switch (signal) {
+    case Signal::kNovelty:
+      config.trigger.mode = core::TriggerMode::kBinary;
+      break;
+    case Signal::kAgentEnsemble:
+      config.trigger.mode = core::TriggerMode::kWindowVariance;
+      config.trigger.alpha = w.alpha_pi;
+      break;
+    case Signal::kValueEnsemble:
+      config.trigger.mode = core::TriggerMode::kWindowVariance;
+      config.trigger.alpha = w.alpha_v;
+      break;
+  }
+  return config;
+}
+
+std::shared_ptr<const ServingModel> ModelFor(const World& w, Signal signal,
+                                             core::SafeAgentConfig config) {
+  switch (signal) {
+    case Signal::kNovelty:
+      return ServingModel::Novelty(w.agents, w.novelty, w.video, w.layout,
+                                   config);
+    case Signal::kAgentEnsemble:
+      return ServingModel::AgentEnsemble(w.agents, kDiscard, w.video,
+                                         w.layout, config);
+    case Signal::kValueEnsemble:
+      return ServingModel::ValueEnsemble(w.agents, w.value_nets, kDiscard,
+                                         w.video, w.layout, config);
+  }
+  throw std::logic_error("unreachable");
+}
+
+struct SessionOutcome {
+  std::vector<mdp::Action> actions;
+  bool defaulted = false;
+  std::size_t steps = 0;
+  double defaulted_fraction = 0.0;
+};
+
+/// Reference arm: one sequential SafeAgent per session, run to completion.
+std::vector<SessionOutcome> RunSequential(const World& w, Signal signal,
+                                          core::DefaultingMode mode) {
+  const core::SafeAgentConfig config = ConfigFor(w, signal, mode);
+  std::vector<SessionOutcome> outcomes(kSessions);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    core::SafeAgent agent(
+        std::make_shared<policies::PensievePolicy>(
+            w.agents.front(), policies::ActionSelection::kGreedy, 0),
+        std::make_shared<policies::BufferBasedPolicy>(w.video, w.layout),
+        MakeEstimator(w, signal), config);
+    abr::AbrEnvironment env(w.video, {});
+    env.SetFixedTrace(w.traces[i]);
+    mdp::State state = env.Reset();
+    bool done = false;
+    while (!done) {
+      const mdp::Action action = agent.SelectAction(state);
+      outcomes[i].actions.push_back(action);
+      mdp::StepResult result = env.Step(action);
+      state = std::move(result.next_state);
+      done = result.done;
+    }
+    outcomes[i].defaulted = agent.Defaulted();
+    outcomes[i].steps = agent.StepCount();
+    outcomes[i].defaulted_fraction = agent.DefaultedFraction();
+  }
+  return outcomes;
+}
+
+/// Serving arm: all sessions advance in lockstep through DecideBatch.
+/// Requests are submitted in REVERSE session order to exercise the
+/// request-index scatter (answer order must follow the request span, not
+/// session ids).
+std::vector<SessionOutcome> RunService(const World& w, Signal signal,
+                                       core::DefaultingMode mode,
+                                       DecisionServiceConfig service_config) {
+  DecisionService service(ModelFor(w, signal, ConfigFor(w, signal, mode)),
+                          service_config);
+  std::vector<DecisionService::SessionId> ids(kSessions);
+  std::vector<abr::AbrEnvironment> envs;
+  envs.reserve(kSessions);
+  std::vector<mdp::State> states(kSessions);
+  std::vector<bool> done(kSessions, false);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    ids[i] = service.OpenSession();
+    envs.emplace_back(w.video, abr::AbrEnvironmentConfig{});
+    envs[i].SetFixedTrace(w.traces[i]);
+    states[i] = envs[i].Reset();
+  }
+
+  std::vector<SessionOutcome> outcomes(kSessions);
+  std::vector<DecisionService::Request> requests;
+  std::vector<mdp::Action> answers;
+  std::vector<std::size_t> request_session;
+  while (true) {
+    requests.clear();
+    request_session.clear();
+    for (std::size_t r = kSessions; r-- > 0;) {
+      if (done[r]) continue;
+      requests.push_back({ids[r], &states[r]});
+      request_session.push_back(r);
+    }
+    if (requests.empty()) break;
+    answers.resize(requests.size());
+    service.DecideBatch(requests, answers);
+    for (std::size_t j = 0; j < requests.size(); ++j) {
+      const std::size_t i = request_session[j];
+      outcomes[i].actions.push_back(answers[j]);
+      mdp::StepResult result = envs[i].Step(answers[j]);
+      states[i] = std::move(result.next_state);
+      done[i] = result.done;
+    }
+  }
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    outcomes[i].defaulted = service.Defaulted(ids[i]);
+    outcomes[i].steps = service.StepCount(ids[i]);
+    outcomes[i].defaulted_fraction = service.DefaultedFraction(ids[i]);
+  }
+  return outcomes;
+}
+
+void ExpectBitIdentical(const World& w, Signal signal,
+                        core::DefaultingMode mode,
+                        DecisionServiceConfig service_config) {
+  const std::vector<SessionOutcome> expected = RunSequential(w, signal, mode);
+  const std::vector<SessionOutcome> actual =
+      RunService(w, signal, mode, service_config);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    EXPECT_EQ(expected[i].actions, actual[i].actions);
+    EXPECT_EQ(expected[i].defaulted, actual[i].defaulted);
+    EXPECT_EQ(expected[i].steps, actual[i].steps);
+    // Exact: both fractions are the same integer ratio.
+    EXPECT_EQ(expected[i].defaulted_fraction, actual[i].defaulted_fraction);
+  }
+}
+
+class DecisionServiceEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<Signal, core::DefaultingMode>> {};
+
+TEST_P(DecisionServiceEquivalence, MatchesSequentialSafeAgent) {
+  const auto [signal, mode] = GetParam();
+  DecisionServiceConfig config;
+  config.shard_count = 3;
+  ExpectBitIdentical(SharedWorld(), signal, mode, config);
+}
+
+TEST_P(DecisionServiceEquivalence, MatchesWithPrivatePoolAndWorkers) {
+  // Same property with the shard fan-out actually running on pool workers
+  // (the shared pool may have none on a 1-core host).
+  const auto [signal, mode] = GetParam();
+  util::ThreadPool pool(2);
+  DecisionServiceConfig config;
+  config.shard_count = 4;
+  config.pool = &pool;
+  ExpectBitIdentical(SharedWorld(), signal, mode, config);
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<std::tuple<Signal, core::DefaultingMode>>&
+        info) {
+  const auto [signal, mode] = info.param;
+  std::string name;
+  switch (signal) {
+    case Signal::kNovelty: name = "Novelty"; break;
+    case Signal::kAgentEnsemble: name = "AgentEnsemble"; break;
+    case Signal::kValueEnsemble: name = "ValueEnsemble"; break;
+  }
+  name += mode == core::DefaultingMode::kPermanent ? "Permanent"
+                                                   : "Revocable";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSignalsBothModes, DecisionServiceEquivalence,
+    ::testing::Combine(::testing::Values(Signal::kNovelty,
+                                         Signal::kAgentEnsemble,
+                                         Signal::kValueEnsemble),
+                       ::testing::Values(core::DefaultingMode::kPermanent,
+                                         core::DefaultingMode::kRevocable)),
+    ParamName);
+
+TEST(DecisionServiceEquivalenceSanity, OutOfDistributionSessionsDefault) {
+  // The equivalence runs are only meaningful if the trigger actually
+  // fires somewhere: the Belgium 4G viewers must drive U_S to default
+  // while at least one Norway 3G viewer stays on the learned policy.
+  const World& w = SharedWorld();
+  const auto outcomes =
+      RunSequential(w, Signal::kNovelty, core::DefaultingMode::kPermanent);
+  std::size_t defaulted = 0;
+  for (const auto& outcome : outcomes) defaulted += outcome.defaulted;
+  EXPECT_GE(defaulted, 1u);
+  EXPECT_LT(defaulted, kSessions);
+}
+
+TEST(DecisionServiceApi, DuplicateSessionInOneBatchThrows) {
+  const World& w = SharedWorld();
+  DecisionService service(ModelFor(
+      w, Signal::kAgentEnsemble,
+      ConfigFor(w, Signal::kAgentEnsemble, core::DefaultingMode::kPermanent)));
+  const auto id = service.OpenSession();
+  const mdp::State state(w.layout.Size(), 0.0);
+  const DecisionService::Request requests[] = {{id, &state}, {id, &state}};
+  mdp::Action out[2];
+  EXPECT_THROW(service.DecideBatch(requests, out), std::invalid_argument);
+}
+
+TEST(DecisionServiceApi, UnknownSessionThrows) {
+  const World& w = SharedWorld();
+  DecisionService service(ModelFor(
+      w, Signal::kAgentEnsemble,
+      ConfigFor(w, Signal::kAgentEnsemble, core::DefaultingMode::kPermanent)));
+  const mdp::State state(w.layout.Size(), 0.0);
+  EXPECT_THROW(service.Decide(0, state), std::invalid_argument);
+  const auto id = service.OpenSession();
+  service.CloseSession(id);
+  EXPECT_THROW(service.Decide(id, state), std::invalid_argument);
+  EXPECT_THROW(service.CloseSession(id), std::invalid_argument);
+}
+
+TEST(DecisionServiceApi, MissizedStateThrows) {
+  const World& w = SharedWorld();
+  DecisionService service(ModelFor(
+      w, Signal::kAgentEnsemble,
+      ConfigFor(w, Signal::kAgentEnsemble, core::DefaultingMode::kPermanent)));
+  const auto id = service.OpenSession();
+  const mdp::State tiny(2, 0.0);
+  EXPECT_THROW(service.Decide(id, tiny), std::invalid_argument);
+}
+
+TEST(DecisionServiceApi, EmptyBatchIsANoOp) {
+  const World& w = SharedWorld();
+  DecisionService service(ModelFor(
+      w, Signal::kAgentEnsemble,
+      ConfigFor(w, Signal::kAgentEnsemble, core::DefaultingMode::kPermanent)));
+  service.DecideBatch({}, {});
+  EXPECT_EQ(service.ActiveSessionCount(), 0u);
+}
+
+TEST(DecisionServiceApi, RecycledSlotStartsFresh) {
+  const World& w = SharedWorld();
+  DecisionService service(ModelFor(
+      w, Signal::kAgentEnsemble,
+      ConfigFor(w, Signal::kAgentEnsemble, core::DefaultingMode::kPermanent)));
+  const auto id = service.OpenSession();
+  const mdp::State state(w.layout.Size(), 0.0);
+  service.Decide(id, state);
+  service.Decide(id, state);
+  EXPECT_EQ(service.StepCount(id), 2u);
+  service.CloseSession(id);
+  EXPECT_EQ(service.ActiveSessionCount(), 0u);
+  const auto recycled = service.OpenSession();
+  EXPECT_EQ(recycled, id);
+  EXPECT_EQ(service.StepCount(recycled), 0u);
+  EXPECT_FALSE(service.Defaulted(recycled));
+}
+
+TEST(DecisionServiceApi, SessionBookkeeping) {
+  const World& w = SharedWorld();
+  DecisionService service(
+      ModelFor(w, Signal::kValueEnsemble,
+               ConfigFor(w, Signal::kValueEnsemble,
+                         core::DefaultingMode::kPermanent)),
+      DecisionServiceConfig{.shard_count = 3});
+  EXPECT_EQ(service.ShardCount(), 3u);
+  const auto a = service.OpenSession();
+  const auto b = service.OpenSession();
+  const auto c = service.OpenSession();
+  EXPECT_EQ(service.ActiveSessionCount(), 3u);
+  service.CloseSession(b);
+  EXPECT_EQ(service.ActiveSessionCount(), 2u);
+  EXPECT_NE(a, c);
+}
+
+TEST(DecisionServiceApi, InvalidConstructionThrows) {
+  const World& w = SharedWorld();
+  EXPECT_THROW(DecisionService(nullptr), std::invalid_argument);
+  EXPECT_THROW(
+      DecisionService(
+          ModelFor(w, Signal::kAgentEnsemble,
+                   ConfigFor(w, Signal::kAgentEnsemble,
+                             core::DefaultingMode::kPermanent)),
+          DecisionServiceConfig{.shard_count = 0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace osap::serve

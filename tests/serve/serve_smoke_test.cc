@@ -1,0 +1,152 @@
+// Thread-sanitizer smoke for the DecisionService shard fan-out.
+//
+// Runs mixed in-distribution / out-of-distribution viewers through a
+// 4-shard service on a private 3-worker pool (the shared pool may have no
+// workers on a small CI host) and checks the answers against a serial
+// service (max_workers = 0) round for round. Built into its own binary so
+// the sanitize ctest label can select it; under TSan this exercises the
+// claim that shards touch disjoint sessions and output slots.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "abr/abr_environment.h"
+#include "abr/video.h"
+#include "core/novelty_detector.h"
+#include "policies/pensieve_net.h"
+#include "serve/decision_service.h"
+#include "serve/serving_model.h"
+#include "traces/generators.h"
+#include "util/thread_pool.h"
+
+namespace osap::serve {
+namespace {
+
+constexpr std::size_t kSessions = 12;
+constexpr std::size_t kRounds = 40;
+
+struct SmokeWorld {
+  abr::AbrStateLayout layout;
+  abr::VideoSpec video = abr::MakeEnvivioLikeVideo(1);
+  std::vector<std::shared_ptr<nn::ActorCriticNet>> agents;
+  std::shared_ptr<core::NoveltyDetector> novelty;
+  std::vector<traces::Trace> traces;
+};
+
+SmokeWorld MakeSmokeWorld() {
+  SmokeWorld w;
+  policies::PensieveNetConfig net;
+  net.conv_filters = 2;
+  net.hidden = 6;
+  Rng rng(5);
+  for (std::size_t m = 0; m < 3; ++m) {
+    w.agents.push_back(std::make_shared<nn::ActorCriticNet>(
+        policies::MakePensieveActorCritic(w.layout, net, rng)));
+  }
+  const auto id_gen = traces::MakeNorway3gGenerator();
+  const auto ood_gen = traces::MakeBelgium4gGenerator();
+  Rng trace_rng(7);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    const auto& gen = i % 2 == 0 ? id_gen : ood_gen;
+    w.traces.push_back(gen->Generate(trace_rng, 150.0, i));
+  }
+  core::NoveltyDetectorConfig nd;
+  nd.throughput_window = 3;
+  nd.k = 2;
+  std::vector<std::vector<double>> features;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const traces::Trace t = id_gen->Generate(trace_rng, 300.0, 50 + i);
+    const auto f = core::NoveltyDetector::ExtractFeatures(t.samples(), nd);
+    features.insert(features.end(), f.begin(), f.end());
+  }
+  w.novelty = std::make_shared<core::NoveltyDetector>(nd, w.layout);
+  w.novelty->Fit(features);
+  return w;
+}
+
+std::shared_ptr<const ServingModel> SmokeModel(const SmokeWorld& w,
+                                               Signal signal) {
+  core::SafeAgentConfig safety;
+  safety.trigger.l = 2;
+  safety.trigger.k = 4;
+  if (signal == Signal::kNovelty) {
+    safety.trigger.mode = core::TriggerMode::kBinary;
+    return ServingModel::Novelty(w.agents, w.novelty, w.video, w.layout,
+                                 safety);
+  }
+  safety.trigger.mode = core::TriggerMode::kWindowVariance;
+  safety.trigger.alpha = 1e-4;
+  return ServingModel::AgentEnsemble(w.agents, 1, w.video, w.layout, safety);
+}
+
+/// Drives the parallel and serial services in lockstep over the same
+/// closed-loop sessions and compares every answer.
+void RunSmoke(const SmokeWorld& w, Signal signal) {
+  util::ThreadPool pool(3);
+  DecisionServiceConfig parallel_config;
+  parallel_config.shard_count = 4;
+  parallel_config.pool = &pool;
+  DecisionService parallel(SmokeModel(w, signal), parallel_config);
+
+  DecisionServiceConfig serial_config;
+  serial_config.shard_count = 4;
+  serial_config.max_workers = 0;  // all shards on the calling thread
+  DecisionService serial(SmokeModel(w, signal), serial_config);
+
+  std::vector<DecisionService::SessionId> ids(kSessions);
+  std::vector<abr::AbrEnvironment> envs;
+  envs.reserve(kSessions);
+  std::vector<mdp::State> states(kSessions);
+  std::vector<bool> done(kSessions, false);
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    ids[i] = parallel.OpenSession();
+    const auto serial_id = serial.OpenSession();
+    ASSERT_EQ(ids[i], serial_id);
+    envs.emplace_back(w.video, abr::AbrEnvironmentConfig{});
+    envs[i].SetFixedTrace(w.traces[i]);
+    states[i] = envs[i].Reset();
+  }
+
+  std::vector<DecisionService::Request> requests;
+  std::vector<mdp::Action> parallel_out;
+  std::vector<mdp::Action> serial_out;
+  std::vector<std::size_t> request_session;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    requests.clear();
+    request_session.clear();
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      if (done[i]) continue;
+      requests.push_back({ids[i], &states[i]});
+      request_session.push_back(i);
+    }
+    if (requests.empty()) break;
+    parallel_out.resize(requests.size());
+    serial_out.resize(requests.size());
+    parallel.DecideBatch(requests, parallel_out);
+    serial.DecideBatch(requests, serial_out);
+    ASSERT_EQ(parallel_out, serial_out) << "round " << round;
+    for (std::size_t j = 0; j < requests.size(); ++j) {
+      const std::size_t i = request_session[j];
+      mdp::StepResult result = envs[i].Step(parallel_out[j]);
+      states[i] = std::move(result.next_state);
+      done[i] = result.done;
+    }
+  }
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(parallel.Defaulted(ids[i]), serial.Defaulted(ids[i]));
+    EXPECT_EQ(parallel.StepCount(ids[i]), serial.StepCount(ids[i]));
+  }
+}
+
+TEST(ServeSmoke, NoveltyShardsRaceFree) {
+  RunSmoke(MakeSmokeWorld(), Signal::kNovelty);
+}
+
+TEST(ServeSmoke, AgentEnsembleShardsRaceFree) {
+  RunSmoke(MakeSmokeWorld(), Signal::kAgentEnsemble);
+}
+
+}  // namespace
+}  // namespace osap::serve

@@ -154,6 +154,41 @@ TEST(OneClassSvm, LoadMissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(OneClassSvm, DecisionValuesBitIdenticalToPerSampleCalls) {
+  // The serving path scores whole shard batches with DecisionValues; each
+  // row must come out bit-for-bit equal to a DecisionValue call (same
+  // scaling, accumulation and support-vector order).
+  OneClassSvm model;
+  model.Fit(MakeBlob(0.0, 0.0, 1.0, 300, 11));
+
+  Rng rng(13);
+  constexpr std::size_t kCount = 64;
+  std::vector<double> rows(kCount * 2);
+  for (double& v : rows) v = rng.Uniform(-6, 6);
+  std::vector<double> batch(kCount);
+  model.DecisionValues(rows.data(), kCount, batch);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const std::vector<double> probe = {rows[2 * i], rows[2 * i + 1]};
+    const double expected = model.DecisionValue(probe);
+    EXPECT_EQ(batch[i], expected) << "row " << i;
+  }
+}
+
+TEST(OneClassSvm, DecisionValuesValidatesArguments) {
+  OneClassSvm unfitted;
+  std::vector<double> rows(4, 0.0);
+  std::vector<double> out(2);
+  EXPECT_THROW(unfitted.DecisionValues(rows.data(), 2, out),
+               std::invalid_argument);
+
+  OneClassSvm model;
+  model.Fit(MakeBlob(0.0, 0.0, 1.0, 50, 17));
+  std::vector<double> short_out(1);
+  EXPECT_THROW(model.DecisionValues(rows.data(), 2, short_out),
+               std::invalid_argument);
+  model.DecisionValues(rows.data(), 0, short_out);  // count 0 is a no-op
+}
+
 TEST(OneClassSvm, WorksOnAnisotropicData) {
   // Features with very different scales - the standardizer must cope.
   Rng rng(41);

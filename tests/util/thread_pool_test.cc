@@ -189,6 +189,36 @@ TEST(ThreadPool, ConcurrentCallersSerializeWithoutCrosstalk) {
   }
 }
 
+TEST(ThreadPool, ParseSharedConcurrencyAcceptsPositiveIntegers) {
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency("1"), 1u);
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency("3"), 3u);
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency("16"), 16u);
+  // Surrounding whitespace is tolerated.
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency(" 4 "), 4u);
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency("\t8"), 8u);
+}
+
+TEST(ThreadPool, ParseSharedConcurrencyFallsBackOnBadInput) {
+  const std::size_t fallback = ThreadPool::HardwareConcurrency();
+  // Unset / empty / non-positive / malformed / overflowing values all
+  // fall back to the hardware default rather than throwing: OSAP_THREADS
+  // is best-effort tuning, not a correctness knob.
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency(nullptr), fallback);
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency(""), fallback);
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency("   "), fallback);
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency("0"), fallback);
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency("-2"), fallback);
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency("abc"), fallback);
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency("3x"), fallback);
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency("2.5"), fallback);
+  EXPECT_EQ(ThreadPool::ParseSharedConcurrency("99999999999999999999"),
+            fallback);
+}
+
+TEST(ThreadPool, SharedConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::SharedConcurrency(), 1u);
+}
+
 TEST(ThreadPool, ManyMoreItemsThanThreads) {
   ThreadPool pool(2);
   std::atomic<long> sum{0};

@@ -10,7 +10,11 @@ committing) can catch a hot-path regression without eyeballing console
 tables:
 
     ./build/bench/bench_hot_paths      # writes ./BENCH_hot_paths.json
-    tools/bench_diff.py BENCH_hot_paths.json bench/baselines/BENCH_hot_paths.json
+    tools/bench_diff.py BENCH_hot_paths.json
+
+The baseline argument is optional: it defaults to the committed
+bench/baselines/<basename of fresh> (resolved relative to the repo root,
+so the two-argument form is only needed for ad-hoc A/B comparisons).
 
 Exit status is nonzero when any benchmark present in BOTH files slowed
 down by more than --threshold (default 25%). Added / removed benchmarks
@@ -27,6 +31,7 @@ Improvements never affect the exit status.
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -48,7 +53,13 @@ def main() -> int:
         description="Diff two benchmark JSON sidecars; fail on regressions."
     )
     parser.add_argument("fresh", help="newly generated BENCH_*.json")
-    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="baseline BENCH_*.json; default: the committed "
+        "bench/baselines/<basename of fresh>",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -58,6 +69,13 @@ def main() -> int:
     args = parser.parse_args()
     if args.threshold < 0:
         sys.exit("bench_diff: --threshold must be >= 0")
+
+    if args.baseline is None:
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        args.baseline = os.path.join(
+            repo, "bench", "baselines", os.path.basename(args.fresh)
+        )
+        print(f"bench_diff: baseline {args.baseline}")
 
     fresh = load(args.fresh)
     baseline = load(args.baseline)

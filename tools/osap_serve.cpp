@@ -1,0 +1,247 @@
+// osap_serve: load generator for the sharded decision service.
+//
+// Replays the six datasets' held-out test traces as N interleaved
+// concurrent viewers: viewer i streams dataset i % 6, so every round mixes
+// in-distribution (gamma_2_2-trained deployment) and out-of-distribution
+// sessions. Each round every live viewer presents its current ABR state in
+// ONE DecideBatch call; the returned action drives that viewer's
+// environment forward. Finished viewers close their session and reopen on
+// the dataset's next test trace (exercising slot recycling), so the
+// population stays at N for the whole run.
+//
+// Usage:
+//   osap_serve <us|upi|uv> [sessions] [rounds] [shards] [--revocable]
+//
+// Defaults: 1000 sessions, 2000 rounds, 4 shards, permanent defaulting.
+// Uses the shared ./osap_cache artifacts (trains them on first run - run
+// from the repo root or a directory with an osap_cache symlink).
+//
+// Reports aggregate decisions/sec, DecideBatch latency percentiles, and a
+// per-dataset table of completed sessions, defaulted share, and mean QoE -
+// the OOD rows defaulting while the ID rows stay learned is the paper's
+// safety story showing up under serving load.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "abr/abr_environment.h"
+#include "core/workbench.h"
+#include "serve/decision_service.h"
+#include "serve/serving_model.h"
+#include "traces/dataset.h"
+
+using namespace osap;
+
+namespace {
+
+[[noreturn]] void Usage() {
+  std::fprintf(stderr,
+               "usage: osap_serve <us|upi|uv> [sessions] [rounds] [shards] "
+               "[--revocable]\n");
+  std::exit(2);
+}
+
+core::Scheme ParseSignal(const std::string& name) {
+  if (name == "us") return core::Scheme::kNoveltyDetection;
+  if (name == "upi") return core::Scheme::kAgentEnsemble;
+  if (name == "uv") return core::Scheme::kValueEnsemble;
+  Usage();
+}
+
+/// The deployed trigger configuration for a scheme (the Workbench mapping
+/// with the bundle's calibrated alphas).
+core::SafeAgentConfig TriggerFor(core::Workbench& bench, core::Scheme scheme,
+                                 const core::TrainedBundle& bundle,
+                                 core::DefaultingMode mode) {
+  core::SafeAgentConfig cfg;
+  cfg.mode = mode;
+  cfg.trigger.l = bench.config().trigger_l;
+  cfg.trigger.k = bench.config().trigger_k;
+  switch (scheme) {
+    case core::Scheme::kNoveltyDetection:
+      cfg.trigger.mode = core::TriggerMode::kBinary;
+      break;
+    case core::Scheme::kAgentEnsemble:
+      cfg.trigger.mode = core::TriggerMode::kWindowVariance;
+      cfg.trigger.alpha = bundle.alpha_pi;
+      break;
+    default:
+      cfg.trigger.mode = core::TriggerMode::kWindowVariance;
+      cfg.trigger.alpha = bundle.alpha_v;
+      break;
+  }
+  return cfg;
+}
+
+std::shared_ptr<const serve::ServingModel> BuildModel(
+    core::Workbench& bench, core::Scheme scheme,
+    const core::TrainedBundle& bundle, core::SafeAgentConfig safety) {
+  const std::size_t discard = bench.config().ensemble_discard;
+  switch (scheme) {
+    case core::Scheme::kNoveltyDetection:
+      return serve::ServingModel::Novelty(bundle.agents, bundle.novelty,
+                                          bench.eval_video(), bench.layout(),
+                                          safety);
+    case core::Scheme::kAgentEnsemble:
+      return serve::ServingModel::AgentEnsemble(bundle.agents, discard,
+                                                bench.eval_video(),
+                                                bench.layout(), safety);
+    default:
+      return serve::ServingModel::ValueEnsemble(
+          bundle.agents, bundle.value_nets, discard, bench.eval_video(),
+          bench.layout(), safety);
+  }
+}
+
+/// One concurrent viewer: an environment streaming one test trace through
+/// one service session.
+struct Viewer {
+  explicit Viewer(abr::AbrEnvironment e) : env(std::move(e)) {}
+  abr::AbrEnvironment env;
+  serve::DecisionService::SessionId session = 0;
+  mdp::State state;
+  std::size_t dataset = 0;      // index into AllDatasetIds()
+  std::size_t next_trace = 0;   // cursor into that dataset's test split
+  double qoe = 0.0;             // reward accumulated this session
+};
+
+struct DatasetStats {
+  std::size_t completed = 0;
+  std::size_t defaulted = 0;  // sessions that ended defaulted
+  double qoe_sum = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const core::Scheme scheme = ParseSignal(argv[1]);
+  std::size_t sessions = 1000;
+  std::size_t rounds = 2000;
+  std::size_t shards = 4;
+  core::DefaultingMode mode = core::DefaultingMode::kPermanent;
+  std::size_t positional = 0;
+  for (int a = 2; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--revocable") == 0) {
+      mode = core::DefaultingMode::kRevocable;
+      continue;
+    }
+    const long value = std::strtol(argv[a], nullptr, 10);
+    if (value <= 0) Usage();
+    (positional == 0 ? sessions : positional == 1 ? rounds : shards) =
+        static_cast<std::size_t>(value);
+    if (++positional > 3) Usage();
+  }
+
+  core::WorkbenchConfig cfg;
+  cfg.use_cache = true;
+  cfg.cache_dir = "osap_cache";
+  core::Workbench bench(cfg);
+  constexpr auto kTrain = traces::DatasetId::kGamma22;
+  const core::TrainedBundle& bundle = bench.BundleFor(kTrain);
+  const core::SafeAgentConfig safety = TriggerFor(bench, scheme, bundle, mode);
+  auto model = BuildModel(bench, scheme, bundle, safety);
+
+  serve::DecisionServiceConfig service_cfg;
+  service_cfg.shard_count = shards;
+  serve::DecisionService service(model, service_cfg);
+
+  const std::vector<traces::DatasetId> datasets = traces::AllDatasetIds();
+  std::vector<DatasetStats> stats(datasets.size());
+  std::vector<Viewer> viewers;
+  viewers.reserve(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    Viewer v(bench.MakeEvalEnvironment());
+    v.dataset = i % datasets.size();
+    const auto& tests = bench.DatasetFor(datasets[v.dataset]).test;
+    v.next_trace = (i / datasets.size()) % tests.size();
+    v.env.SetFixedTrace(tests[v.next_trace]);
+    v.next_trace = (v.next_trace + 1) % tests.size();
+    v.state = v.env.Reset();
+    v.session = service.OpenSession();
+    viewers.push_back(std::move(v));
+  }
+  std::printf("osap_serve: %s, %zu viewers over %zu datasets, %zu rounds, "
+              "%zu shard(s), %s defaulting\n",
+              argv[1], sessions, datasets.size(), rounds, shards,
+              mode == core::DefaultingMode::kPermanent ? "permanent"
+                                                       : "revocable");
+
+  std::vector<serve::DecisionService::Request> requests(sessions);
+  std::vector<mdp::Action> actions(sessions);
+  std::vector<double> round_us;
+  round_us.reserve(rounds);
+  double decide_seconds = 0.0;
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < sessions; ++i) {
+      requests[i] = {viewers[i].session, &viewers[i].state};
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    service.DecideBatch(requests, actions);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    round_us.push_back(us);
+    decide_seconds += us * 1e-6;
+
+    for (std::size_t i = 0; i < sessions; ++i) {
+      Viewer& v = viewers[i];
+      mdp::StepResult r = v.env.Step(actions[i]);
+      v.qoe += r.reward;
+      if (!r.done) {
+        v.state = std::move(r.next_state);
+        continue;
+      }
+      DatasetStats& d = stats[v.dataset];
+      ++d.completed;
+      d.defaulted += service.Defaulted(v.session) ? 1 : 0;
+      d.qoe_sum += v.qoe;
+      service.CloseSession(v.session);
+      v.session = service.OpenSession();  // recycles the freed slot
+      const auto& tests = bench.DatasetFor(datasets[v.dataset]).test;
+      v.env.SetFixedTrace(tests[v.next_trace]);
+      v.next_trace = (v.next_trace + 1) % tests.size();
+      v.state = v.env.Reset();
+      v.qoe = 0.0;
+    }
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  const double decisions =
+      static_cast<double>(sessions) * static_cast<double>(rounds);
+  std::sort(round_us.begin(), round_us.end());
+  std::printf("\n%.0f decisions in %.1f s wall (%.0f decisions/s; "
+              "%.0f/s inside DecideBatch)\n",
+              decisions, wall_seconds, decisions / wall_seconds,
+              decisions / decide_seconds);
+  std::printf("DecideBatch latency: p50 %.0f us  p99 %.0f us  max %.0f us "
+              "(%zu-session rounds)\n",
+              round_us[round_us.size() / 2],
+              round_us[round_us.size() * 99 / 100], round_us.back(),
+              sessions);
+
+  std::printf("\n%-28s %10s %10s %10s\n", "dataset", "sessions", "defaulted",
+              "mean QoE");
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    const DatasetStats& s = stats[d];
+    if (s.completed == 0) {
+      std::printf("%-28s %10s %10s %10s\n",
+                  traces::DatasetLabel(datasets[d]).c_str(), "-", "-", "-");
+      continue;
+    }
+    std::printf("%-28s %10zu %9.0f%% %10.1f\n",
+                traces::DatasetLabel(datasets[d]).c_str(), s.completed,
+                100.0 * static_cast<double>(s.defaulted) /
+                    static_cast<double>(s.completed),
+                s.qoe_sum / static_cast<double>(s.completed));
+  }
+  return 0;
+}
