@@ -237,12 +237,15 @@ BENCHMARK(BM_ServeSequentialUv)
     ->Arg(64)->Arg(256)->Arg(1000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ServeServiceUs)
     ->Args({64, 1})->Args({256, 1})->Args({1000, 1})->Args({1000, 4})
+    ->Args({1000, 8})->Args({1000, 16})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ServeServiceUpi)
     ->Args({64, 1})->Args({256, 1})->Args({1000, 1})->Args({1000, 4})
+    ->Args({1000, 8})->Args({1000, 16})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ServeServiceUv)
     ->Args({64, 1})->Args({256, 1})->Args({1000, 1})->Args({1000, 4})
+    ->Args({1000, 8})->Args({1000, 16})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -10,6 +10,7 @@ NoveltyFeatureExtractor::NoveltyFeatureExtractor(
   OSAP_REQUIRE(config.throughput_window >= 2,
                "NoveltyDetector: throughput window must be >= 2");
   OSAP_REQUIRE(config.k >= 1, "NoveltyDetector: k must be >= 1");
+  pairs_.resize(config.k);
 }
 
 std::optional<std::vector<double>> NoveltyFeatureExtractor::Push(
@@ -25,11 +26,19 @@ bool NoveltyFeatureExtractor::Push(double throughput_mbps,
                "NoveltyFeatureExtractor::Push: output span too short");
   window_.Push(throughput_mbps);
   if (!window_.Full()) return false;
-  pairs_.emplace_back(window_.Mean(), window_.StdDev());
-  if (pairs_.size() > config_.k) pairs_.pop_front();
-  if (pairs_.size() < config_.k) return false;
+  // Overwrite the oldest slot; until the ring fills, the oldest slot is
+  // simply the next unused one.
+  const std::size_t slot = (head_ + count_) % config_.k;
+  pairs_[slot] = {window_.Mean(), window_.StdDev()};
+  if (count_ < config_.k) {
+    ++count_;
+  } else {
+    head_ = (head_ + 1) % config_.k;
+  }
+  if (count_ < config_.k) return false;
   std::size_t i = 0;
-  for (const auto& [mean, stddev] : pairs_) {
+  for (std::size_t p = 0; p < config_.k; ++p) {
+    const auto& [mean, stddev] = pairs_[(head_ + p) % config_.k];
     out[i++] = mean;
     out[i++] = stddev;
   }
@@ -38,7 +47,8 @@ bool NoveltyFeatureExtractor::Push(double throughput_mbps,
 
 void NoveltyFeatureExtractor::Reset() {
   window_.Reset();
-  pairs_.clear();
+  head_ = 0;
+  count_ = 0;
 }
 
 NoveltyDetector::NoveltyDetector(NoveltyDetectorConfig config,

@@ -10,7 +10,6 @@
 // Score is 0 / 1 accordingly.
 #pragma once
 
-#include <deque>
 #include <filesystem>
 #include <functional>
 #include <optional>
@@ -59,7 +58,13 @@ class NoveltyFeatureExtractor {
  private:
   NoveltyDetectorConfig config_;
   SlidingWindowStats window_;
-  std::deque<std::pair<double, double>> pairs_;  // k latest [mean, stddev]
+  // k latest [mean, stddev] pairs in a fixed-capacity ring (head_ indexes
+  // the oldest). A deque here would hit the allocator on every eviction;
+  // the serving path pushes one pair per session per round, so the pair
+  // history is hot state and must stay allocation-free after warm-up.
+  std::vector<std::pair<double, double>> pairs_;
+  std::size_t head_ = 0;   // index of oldest pair once the ring is full
+  std::size_t count_ = 0;  // pairs currently held (< k during warm-up)
 };
 
 class NoveltyDetector final : public UncertaintyEstimator {

@@ -1,30 +1,19 @@
-// Runtime SIMD dispatch shared by every vectorized nn kernel (the batched
+// Runtime SIMD dispatch for the vectorized nn kernels (the batched
 // ensemble inference path and the Matrix backward kernels).
 //
-// All AVX2 kernels in this codebase are bit-identical to their scalar
-// counterparts by construction (no FMA, every output element keeps its own
-// scalar accumulation chain), so dispatch is purely a speed decision:
-//   - the CPU must report AVX2, and
-//   - the OSAP_NO_AVX2=1 environment variable must not be set (lets CI
-//     machines with AVX2 exercise the scalar numerics, and is the
-//     escape hatch if a host ever misreports support).
-// Tests can additionally force either path in-process to prove the
-// scalar/AVX2 equivalence without re-exec.
+// The actual dispatch logic lives in util/simd.h so that non-nn
+// subsystems (the svm batched OC-SVM decision scan) can share the same
+// CPU check, OSAP_NO_AVX2 escape hatch, and test override without a
+// layering violation; this header re-exports the names into osap::nn for
+// the existing nn call sites. See util/simd.h for the contract.
 #pragma once
+
+#include "util/simd.h"
 
 namespace osap::nn {
 
-/// True when the AVX2 kernels should run: CPU support, no OSAP_NO_AVX2=1
-/// in the environment, and no active test override to the contrary.
-bool UseAvx2();
-
-/// Test hook: forces dispatch to the scalar path (false) or the AVX2 path
-/// (true). Forcing AVX2 on a CPU without it still yields the scalar path
-/// (running the kernels would fault). Not thread-safe against concurrent
-/// kernel launches; intended for single-threaded equivalence tests.
-void ForceSimdForTest(bool use_avx2);
-
-/// Restores environment/CPU-based dispatch after ForceSimdForTest.
-void ResetSimdForTest();
+using util::ForceSimdForTest;
+using util::ResetSimdForTest;
+using util::UseAvx2;
 
 }  // namespace osap::nn

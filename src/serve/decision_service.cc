@@ -1,6 +1,7 @@
 #include "serve/decision_service.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/check.h"
 
@@ -21,8 +22,26 @@ DecisionService::DecisionService(std::shared_ptr<const ServingModel> model,
                "DecisionService: shard_count must be >= 1");
   shards_.reserve(config_.shard_count);
   for (std::size_t s = 0; s < config_.shard_count; ++s) {
-    shards_.push_back(std::make_unique<ShardScratch>());
+    shards_.push_back(std::make_unique<ShardLane>());
   }
+  if (config_.shard_workers && shards_.size() > 1) {
+    workers_.reserve(shards_.size() - 1);
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      workers_.emplace_back([this, s] { WorkerLoop(s); });
+    }
+  }
+}
+
+DecisionService::~DecisionService() {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    ShardLane& lane = *shards_[i + 1];
+    {
+      std::lock_guard<std::mutex> lock(lane.mutex);
+      lane.stop = true;
+    }
+    lane.work_cv.notify_one();
+  }
+  for (std::thread& worker : workers_) worker.join();
 }
 
 DecisionService::SessionId DecisionService::OpenSession() {
@@ -73,11 +92,49 @@ mdp::Action DecisionService::Decide(SessionId id, const mdp::State& state) {
   return action;
 }
 
+void DecisionService::WorkerLoop(std::size_t shard) {
+  ShardLane& lane = *shards_[shard];
+  std::uint64_t epoch = 0;
+  for (;;) {
+    EpochSlot slot;
+    {
+      std::unique_lock<std::mutex> lock(lane.mutex);
+      lane.work_cv.wait(
+          lock, [&] { return lane.stop || lane.submitted > epoch; });
+      if (lane.submitted == epoch) return;  // stop, and no pending epoch
+      ++epoch;
+      slot = lane.slots[epoch & 1];
+    }
+    DrainEpoch(shard, slot);
+    {
+      std::lock_guard<std::mutex> lock(lane.mutex);
+      lane.completed = epoch;
+    }
+    lane.done_cv.notify_one();
+  }
+}
+
+void DecisionService::DrainEpoch(std::size_t shard, const EpochSlot& slot) {
+  ShardLane& lane = *shards_[shard];
+  lane.arena.Reset();
+  const std::span<std::size_t> idx = lane.arena.Alloc<std::size_t>(slot.count);
+  for (std::size_t i = 0; i < slot.count; ++i) {
+    std::uint32_t request_index = 0;
+    const bool popped = lane.ring.Pop(request_index);
+    OSAP_REQUIRE(popped, "DecisionService: shard ring underflow");
+    idx[i] = request_index;
+  }
+  RunShard(shard, slot.requests, slot.out, idx);
+}
+
 void DecisionService::DecideBatch(std::span<const Request> requests,
                                   std::span<mdp::Action> out) {
   OSAP_REQUIRE(out.size() >= requests.size(),
                "DecideBatch: output span too short");
   if (requests.empty()) return;
+  OSAP_REQUIRE(
+      requests.size() <= std::numeric_limits<std::uint32_t>::max(),
+      "DecideBatch: request batch too large for ring indices");
   ++round_;
   const std::size_t input = model_->InputSize();
   for (const Request& r : requests) {
@@ -92,37 +149,68 @@ void DecisionService::DecideBatch(std::span<const Request> requests,
     ctx.last_round = round_;
   }
 
-  util::ThreadPool& pool =
-      config_.pool != nullptr ? *config_.pool : util::ThreadPool::Shared();
-  util::ParallelOptions options;
-  options.max_workers = config_.max_workers;
-  options.chunk = 1;  // one shard per claim: shards are coarse items
-  pool.ParallelFor(
-      0, shards_.size(),
-      [&](std::size_t shard) { RunShard(shard, requests, out); }, options);
+  // Route: one O(R) pass counting per shard, one O(R) pass staging each
+  // request index into its shard's ring (replacing the old O(R x S)
+  // every-shard-scans-every-request partition). Reserve() is safe here
+  // because every worker is parked between epochs.
+  const std::size_t shard_count = shards_.size();
+  shard_counts_.assign(shard_count, 0);
+  for (const Request& r : requests) ++shard_counts_[ShardOf(r.session)];
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (shard_counts_[s] > 0) shards_[s]->ring.Reserve(shard_counts_[s]);
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const bool pushed = shards_[ShardOf(requests[i].session)]->ring.Push(
+        static_cast<std::uint32_t>(i));
+    OSAP_REQUIRE(pushed, "DecideBatch: shard ring overflow");
+  }
+
+  if (workers_.empty()) {
+    // Serial mode (shard_workers = false, or a single shard): run every
+    // shard inline in ascending order - the bit-identity reference path.
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      if (shard_counts_[s] == 0) continue;
+      DrainEpoch(s, EpochSlot{requests, out, shard_counts_[s]});
+    }
+    return;
+  }
+
+  // Post one epoch ticket per non-empty worker shard. Each ticket touches
+  // only its own lane - there is no shared job object or global barrier.
+  for (std::size_t s = 1; s < shard_count; ++s) {
+    if (shard_counts_[s] == 0) continue;
+    ShardLane& lane = *shards_[s];
+    {
+      std::lock_guard<std::mutex> lock(lane.mutex);
+      const std::uint64_t epoch = ++lane.submitted;
+      lane.slots[epoch & 1] = EpochSlot{requests, out, shard_counts_[s]};
+    }
+    lane.work_cv.notify_one();
+  }
+
+  // Shard 0 always runs on the calling thread, overlapping the workers.
+  if (shard_counts_[0] > 0) {
+    DrainEpoch(0, EpochSlot{requests, out, shard_counts_[0]});
+  }
+
+  // Collect completions in ascending shard order (deterministic, and the
+  // release/acquire edge on each lane's mutex publishes the worker's
+  // writes to out[] back to the caller).
+  for (std::size_t s = 1; s < shard_count; ++s) {
+    if (shard_counts_[s] == 0) continue;
+    ShardLane& lane = *shards_[s];
+    std::unique_lock<std::mutex> lock(lane.mutex);
+    lane.done_cv.wait(lock, [&] { return lane.completed == lane.submitted; });
+  }
 }
 
 void DecisionService::RunShard(std::size_t shard,
                                std::span<const Request> requests,
-                               std::span<mdp::Action> out) {
-  ShardScratch& s = *shards_[shard];
-  s.arena.Reset();
-
-  // Collect this shard's requests in caller order. Shards own disjoint
-  // session sets (slot % shard_count) and therefore disjoint `out`
-  // entries, which is what makes the fan-out race-free.
-  std::size_t count = 0;
-  for (const Request& r : requests) {
-    if (ShardOf(r.session) == shard) ++count;
-  }
+                               std::span<mdp::Action> out,
+                               std::span<const std::size_t> idx) {
+  ShardLane& s = *shards_[shard];
+  const std::size_t count = idx.size();
   if (count == 0) return;
-  const std::span<std::size_t> idx = s.arena.Alloc<std::size_t>(count);
-  {
-    std::size_t n = 0;
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-      if (ShardOf(requests[i].session) == shard) idx[n++] = i;
-    }
-  }
 
   const std::size_t input = model_->InputSize();
   const std::span<double> scores = s.arena.Alloc<double>(count);

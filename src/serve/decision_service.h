@@ -2,8 +2,8 @@
 //
 // The service owns N concurrent ABR sessions and answers "next bitrate?"
 // requests by micro-batching across sessions. Sessions are assigned to
-// shards round-robin (slot % shard_count); one DecideBatch call fans the
-// shards out over a thread pool, and each shard
+// shards round-robin (slot % shard_count); one DecideBatch call routes
+// each pending request to its shard, and each shard
 //   1. packs its pending sessions' states into one contiguous matrix,
 //   2. computes every session's uncertainty score with a single fused
 //      pass over the SHARED model weights (EnsembleModel::ScorePacked for
@@ -12,31 +12,47 @@
 //   3. advances each session's SafetyCore state machine on its score, and
 //   4. emits actions: one batched deployed-actor pass for the
 //      non-defaulted sessions, the Buffer-Based mapping for the rest.
-// Per-shard scratch (request lists, packed matrices, a util::Arena for
-// the short-lived arrays) persists across calls, so the steady state is
-// allocation-free.
 //
-// Sessions are mutually independent, so reordering work across sessions
-// cannot change any session's outcome: each action the service returns is
-// bit-identical to what a sequential SafeAgent running that session alone
-// would pick (equivalence tests pin this for U_S / U_pi / U_V in both
-// kPermanent and kRevocable modes). The throughput win over the
-// one-session-at-a-time loop comes from weight de-duplication - N
-// sequential sessions stream N private ~100 KB weight packs through the
-// cache hierarchy per round, the service streams ONE shared pack per
-// shard batch - plus shard parallelism on multi-core hosts.
+// Parallelism is persistent, not per-round: every shard beyond the first
+// owns a dedicated worker thread for the service's whole lifetime, fed
+// through a private SPSC ring of request indices plus a double-buffered
+// input slot, and woken by an epoch ticket (a per-shard submitted/
+// completed counter pair). Shard 0 always runs on the calling thread.
+// Compared with fanning a thread pool out per round, this removes every
+// piece of shared state from the round path - no global job object, no
+// common mutex, no pool-wide barrier: posting shard k's ticket touches
+// only shard k's lane, so a slow shard delays the final collection wait
+// but never the staging or execution of its peers (epoch handoff instead
+// of a round barrier). The caller still collects completions in
+// deterministic shard order before returning, and shards own disjoint
+// sessions and disjoint out[] entries, so batched decisions stay
+// bit-identical to the sequential SafeAgent loop for all three signals
+// in both defaulting modes (pinned by equivalence tests).
 //
-// Thread-safety: DecideBatch is internally parallel but the service
+// Per-shard scratch (index/score arrays, packed matrices, a util::Arena)
+// persists across calls, so the steady state is allocation-free. The
+// throughput win over the one-session-at-a-time loop comes from weight
+// de-duplication - N sequential sessions stream N private ~100 KB weight
+// packs through the cache hierarchy per round, the service streams ONE
+// shared pack per shard batch - plus shard parallelism on multi-core
+// hosts.
+//
+// Thread-safety: the service synchronizes its own workers; the service
 // object itself is externally synchronized - do not call Open/Close/
-// DecideBatch concurrently from multiple threads.
+// DecideBatch concurrently from multiple threads. Open/CloseSession
+// between DecideBatch calls is safe (workers are parked); the epoch
+// ticket's release/acquire edge publishes the membership change to the
+// worker that owns the session's shard.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "core/novelty_detector.h"
@@ -46,7 +62,7 @@
 #include "nn/sequential.h"
 #include "serve/serving_model.h"
 #include "util/arena.h"
-#include "util/thread_pool.h"
+#include "util/spsc_ring.h"
 
 namespace osap::serve {
 
@@ -54,13 +70,12 @@ struct DecisionServiceConfig {
   /// Shards sessions are distributed over; each shard is one batched unit
   /// of work per DecideBatch call. Must be >= 1.
   std::size_t shard_count = 1;
-  /// Pool the shards fan out on; nullptr uses util::ThreadPool::Shared().
-  /// (Tests inject a private pool; the TSan smoke needs workers even on a
-  /// 1-core host.)
-  util::ThreadPool* pool = nullptr;
-  /// Cap on pool workers joining one DecideBatch (the calling thread
-  /// always participates). 0 runs the shards serially on the caller.
-  std::size_t max_workers = std::numeric_limits<std::size_t>::max();
+  /// Spawn one persistent worker thread per shard beyond the first (shard
+  /// 0 always runs on the calling thread, so shard_count = 1 never
+  /// spawns). false runs every shard inline on the caller - the serial
+  /// reference arm for the equivalence tests, and the right choice when
+  /// the host dedicates a single core to the service.
+  bool shard_workers = true;
 };
 
 class DecisionService {
@@ -76,6 +91,7 @@ class DecisionService {
 
   DecisionService(std::shared_ptr<const ServingModel> model,
                   DecisionServiceConfig config = {});
+  ~DecisionService();
 
   /// Registers a new session (fresh SafetyCore / novelty window) and
   /// returns its id. Ids of closed sessions are recycled.
@@ -96,6 +112,9 @@ class DecisionService {
 
   const ServingModel& model() const { return *model_; }
   std::size_t ShardCount() const { return shards_.size(); }
+  /// Worker threads currently parked on shard lanes (shard_count - 1 when
+  /// shard_workers, else 0).
+  std::size_t WorkerCount() const { return workers_.size(); }
   std::size_t ActiveSessionCount() const { return active_count_; }
 
   /// Per-session introspection (id must be open).
@@ -114,17 +133,46 @@ class DecisionService {
     std::uint64_t last_round = 0;  // duplicate-request guard
   };
 
-  /// Per-shard scratch; persists across DecideBatch calls.
-  struct ShardScratch {
-    util::Arena arena;        // per-call index/score arrays
+  /// One epoch's input for a shard: the round's request/out spans plus
+  /// how many indices the worker must drain from its ring.
+  struct EpochSlot {
+    std::span<const Request> requests;
+    std::span<mdp::Action> out;
+    std::size_t count = 0;
+  };
+
+  /// Per-shard lane: scratch that persists across DecideBatch calls plus
+  /// (for shards beyond 0 under shard_workers) the handoff state its
+  /// pinned worker drains. unique_ptr in shards_ because the arena and
+  /// the synchronization members are pinned in place (non-movable).
+  struct ShardLane {
+    // --- scratch owned by whichever thread runs the shard ---
+    util::Arena arena;        // per-epoch index/score arrays
     nn::Matrix states;        // packed request states
     nn::Matrix features;      // U_S staged feature rows
     nn::Matrix learned_states;
     std::vector<mdp::Action> learned_actions;
+
+    // --- caller -> worker handoff (workers only) ---
+    util::SpscRing<std::uint32_t> ring;  // request indices for the epoch
+    EpochSlot slots[2];                  // double-buffered, epoch & 1
+    std::mutex mutex;
+    std::condition_variable work_cv;  // worker parks here for its ticket
+    std::condition_variable done_cv;  // caller waits for completion here
+    std::uint64_t submitted = 0;      // epochs posted to this lane
+    std::uint64_t completed = 0;      // epochs the worker has finished
+    bool stop = false;
   };
 
+  void WorkerLoop(std::size_t shard);
+  /// Pops `slot.count` request indices off the shard's ring into arena
+  /// storage and runs the shard on them. Runs on the shard's worker (or
+  /// the caller, for shard 0 / serial mode).
+  void DrainEpoch(std::size_t shard, const EpochSlot& slot);
+  /// Scores and answers one shard's slice of the round. `idx` lists the
+  /// shard's request indices in caller order.
   void RunShard(std::size_t shard, std::span<const Request> requests,
-                std::span<mdp::Action> out);
+                std::span<mdp::Action> out, std::span<const std::size_t> idx);
   std::size_t ShardOf(SessionId id) const { return id % shards_.size(); }
   const SessionContext& Context(SessionId id) const;
 
@@ -133,8 +181,9 @@ class DecisionService {
   std::vector<std::unique_ptr<SessionContext>> sessions_;  // slot-indexed
   std::vector<SessionId> free_slots_;
   std::size_t active_count_ = 0;
-  // unique_ptr because util::Arena is pinned in place (non-movable).
-  std::vector<std::unique_ptr<ShardScratch>> shards_;
+  std::vector<std::unique_ptr<ShardLane>> shards_;
+  std::vector<std::thread> workers_;  // workers_[i] drains shard i + 1
+  std::vector<std::size_t> shard_counts_;  // per-round routing scratch
   std::uint64_t round_ = 0;
 };
 

@@ -10,10 +10,58 @@
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/simd.h"
+
+// Batch-axis SIMD for the batched decision scan: four independent samples
+// ride the four lanes of an AVX2 vector while every sample keeps its own
+// scalar accumulation chain (SV-ascending additions, no FMA - the target
+// below deliberately omits it) and each kernel term still goes through
+// scalar std::exp per lane. That makes the vectorized scan bit-identical
+// to DecisionValue yet ~4x cheaper on the dot products that dominate for
+// the paper's wide synthetic feature windows (dim = 2k = 60). Guarded by
+// the shared runtime dispatch (util::UseAvx2, OSAP_NO_AVX2 escape hatch);
+// non-x86 or pre-AVX2 hosts use the scalar scan.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define OSAP_OCSVM_BATCH_SIMD 1
+#endif
 
 namespace osap::svm {
 
 namespace {
+
+#ifdef OSAP_OCSVM_BATCH_SIMD
+
+using V4 = double __attribute__((vector_size(32)));
+
+/// Decision values for four scaled samples presented dim-major
+/// (xt[d * 4 + lane]) with precomputed squared norms. Per lane the chain
+/// is exactly DecisionValue's: f = -rho, then one SV-ascending addition
+/// of alpha_i * exp(-gamma (|x|^2 - 2 x.sv_i + |sv_i|^2)) per support
+/// vector, with the same association inside the exponent argument.
+__attribute__((target("avx2"))) void DecisionValues4Avx2(
+    const double* xt, const double* norms4, const double* sv_data,
+    const double* sv_sq_norms, const double* alphas, std::size_t sv_count,
+    std::size_t dim, double gamma, double rho, double* out4) {
+  V4 acc = {-rho, -rho, -rho, -rho};
+  V4 norms;
+  std::memcpy(&norms, norms4, sizeof(V4));
+  const double* sv = sv_data;
+  for (std::size_t i = 0; i < sv_count; ++i, sv += dim) {
+    V4 dot{};
+    for (std::size_t d = 0; d < dim; ++d) {
+      V4 x;
+      std::memcpy(&x, xt + d * 4, sizeof(V4));
+      dot = dot + x * sv[d];
+    }
+    const V4 arg = -gamma * (norms - 2.0 * dot + sv_sq_norms[i]);
+    const V4 e = {std::exp(arg[0]), std::exp(arg[1]), std::exp(arg[2]),
+                  std::exp(arg[3])};
+    acc = acc + alphas[i] * e;
+  }
+  std::memcpy(out4, &acc, sizeof(V4));
+}
+
+#endif  // OSAP_OCSVM_BATCH_SIMD
 
 constexpr char kMagic[8] = {'O', 'S', 'A', 'P', 'S', 'V', 'M', '1'};
 
@@ -497,6 +545,42 @@ void OneClassSvm::DecisionValues(const double* rows, std::size_t count,
   OSAP_REQUIRE(Fitted(), "OneClassSvm::DecisionValues before Fit");
   OSAP_REQUIRE(out.size() >= count, "DecisionValues: output span too short");
   if (count == 0) return;
+#ifdef OSAP_OCSVM_BATCH_SIMD
+  if (count >= 4 && util::UseAvx2()) {
+    const std::vector<double>& mean = scaler_.mean();
+    const std::vector<double>& stddev = scaler_.stddev();
+    // One dim-major block of four scaled samples at a time; thread-local
+    // so the serving steady state is allocation-free.
+    thread_local std::vector<double> xt;
+    xt.resize(sv_dim_ * 4);
+    alignas(32) double norms4[4];
+    std::size_t s = 0;
+    for (; s + 4 <= count; s += 4) {
+      for (std::size_t lane = 0; lane < 4; ++lane) {
+        const double* x = rows + (s + lane) * sv_dim_;
+        double norm = 0.0;
+        for (std::size_t d = 0; d < sv_dim_; ++d) {
+          const double v = (x[d] - mean[d]) / stddev[d];
+          xt[d * 4 + lane] = v;
+          norm += v * v;
+        }
+        norms4[lane] = norm;
+      }
+      DecisionValues4Avx2(xt.data(), norms4, sv_data_.data(),
+                          sv_sq_norms_.data(), alphas_.data(), sv_count_,
+                          sv_dim_, gamma_, rho_, out.data() + s);
+    }
+    if (s < count) {
+      DecisionValuesScalar(rows + s * sv_dim_, count - s, out.subspan(s));
+    }
+    return;
+  }
+#endif
+  DecisionValuesScalar(rows, count, out);
+}
+
+void OneClassSvm::DecisionValuesScalar(const double* rows, std::size_t count,
+                                       std::span<double> out) const {
   // Scale all samples up front (same per-element (x - mean) / stddev as
   // StandardScaler::Transform), with squared norms alongside. Thread-local
   // so the serving steady state is allocation-free.

@@ -69,9 +69,14 @@ class OneClassSvm {
 
   /// Batched decision values over `count` contiguous row-major samples
   /// (count x Dimension()). out[i] is bit-identical to DecisionValue on
-  /// row i: the SV-outer/sample-inner pass accumulates each sample's sum
-  /// in the same support-vector order, but streams every SV row once for
-  /// the whole batch instead of once per sample.
+  /// row i. On AVX2 hosts (unless OSAP_NO_AVX2 is set) blocks of four
+  /// samples ride the four lanes of a vector register: the kernel
+  /// vectorizes across samples only, so each sample keeps its scalar
+  /// accumulation chain (SV-ascending additions, no FMA) and every
+  /// kernel term still goes through scalar std::exp - hence bit-identity
+  /// with the scalar scan, which handles non-AVX2 hosts and the tail
+  /// samples. The scalar scan is SV-outer/sample-inner: every SV row
+  /// streams once for the whole batch instead of once per sample.
   void DecisionValues(const double* rows, std::size_t count,
                       std::span<double> out) const;
 
@@ -95,6 +100,11 @@ class OneClassSvm {
   static OneClassSvm Load(const std::filesystem::path& path);
 
  private:
+  /// Portable batch scan (also the AVX2 path's tail handler): scales the
+  /// samples, then one SV-outer/sample-inner pass.
+  void DecisionValuesScalar(const double* rows, std::size_t count,
+                            std::span<double> out) const;
+
   OcSvmConfig config_;
   double gamma_ = 0.0;  // resolved gamma actually used
   StandardScaler scaler_;

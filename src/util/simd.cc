@@ -1,10 +1,10 @@
-#include "nn/simd.h"
+#include "util/simd.h"
 
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
 
-namespace osap::nn {
+namespace osap::util {
 
 namespace {
 
@@ -44,4 +44,4 @@ void ForceSimdForTest(bool use_avx2) {
 
 void ResetSimdForTest() { g_force.store(-1, std::memory_order_relaxed); }
 
-}  // namespace osap::nn
+}  // namespace osap::util

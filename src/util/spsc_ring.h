@@ -1,0 +1,93 @@
+// Single-producer/single-consumer ring buffer for cross-thread handoff.
+//
+// The serving path's persistent shard workers each drain a private ring of
+// request indices staged by the DecideBatch caller: exactly one producer
+// (the caller) and one consumer (the shard's worker), which is the only
+// topology this ring supports. Push/Pop synchronize with a release/acquire
+// pair on the head/tail counters, so a popped value happens-after the push
+// that wrote it; no locks, no system calls, and the slots themselves need
+// no atomicity.
+//
+// Capacity is fixed per Reserve() call (rounded up to a power of two so
+// the index masks stay branch-free). Reserve() is NOT thread-safe - the
+// producer may only call it while the consumer is quiescent (for the
+// serving path: between epochs, while the worker is parked on its ticket).
+// Values must be trivially copyable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace osap::util {
+
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscRing holds trivially copyable values only");
+
+ public:
+  SpscRing() = default;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Ensures room for at least `capacity` un-popped values. Grows only
+  /// (never shrinks) and must not run concurrently with Push/Pop.
+  void Reserve(std::size_t capacity) {
+    if (capacity <= Capacity()) return;
+    std::size_t pow2 = 1;
+    while (pow2 < capacity) pow2 *= 2;
+    // Relocate any unconsumed values into the new slot array in order.
+    std::vector<T> slots(pow2);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t n = 0;
+    for (; head != tail; ++head) slots[n++] = slots_[head & mask_];
+    slots_ = std::move(slots);
+    mask_ = pow2 - 1;
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(n, std::memory_order_relaxed);
+  }
+
+  std::size_t Capacity() const { return slots_.size(); }
+
+  /// Values pushed and not yet popped (approximate under concurrency,
+  /// exact when either side is quiescent).
+  std::size_t Size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+  /// Producer side. Returns false when the ring is full (or was never
+  /// Reserve()d).
+  bool Push(const T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= slots_.size()) return false;
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool Pop(T& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    value = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;  // slots_.size() - 1 once Reserve()d
+  // Monotonic counters; slot index is counter & mask_.
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+};
+
+}  // namespace osap::util

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
 #include <filesystem>
 
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace osap::core {
 namespace {
@@ -56,6 +58,67 @@ TEST(NoveltyFeatureExtractor, ResetRestartsWarmup) {
   for (int i = 0; i < 10; ++i) extractor.Push(1.0);
   extractor.Reset();
   EXPECT_FALSE(extractor.Push(1.0).has_value());
+}
+
+/// Reference implementation of the pair history as the deque the extractor
+/// used before it was flattened into a fixed-capacity ring. The ring must
+/// reproduce this sequence of emitted features bit for bit - same values,
+/// same oldest-first order, same warm-up boundaries - including across a
+/// Reset() that reuses the ring's storage.
+class DequePairHistory {
+ public:
+  explicit DequePairHistory(const NoveltyDetectorConfig& config)
+      : config_(config), window_(config.throughput_window) {}
+
+  bool Push(double throughput_mbps, std::span<double> out) {
+    window_.Push(throughput_mbps);
+    if (!window_.Full()) return false;
+    pairs_.emplace_back(window_.Mean(), window_.StdDev());
+    if (pairs_.size() > config_.k) pairs_.pop_front();
+    if (pairs_.size() < config_.k) return false;
+    std::size_t i = 0;
+    for (const auto& [mean, stddev] : pairs_) {
+      out[i++] = mean;
+      out[i++] = stddev;
+    }
+    return true;
+  }
+
+  void Reset() {
+    window_.Reset();
+    pairs_.clear();
+  }
+
+ private:
+  NoveltyDetectorConfig config_;
+  SlidingWindowStats window_;
+  std::deque<std::pair<double, double>> pairs_;
+};
+
+TEST(NoveltyFeatureExtractor, RingMatchesDequeReferenceBitForBit) {
+  const auto cfg = SmallConfig();
+  NoveltyFeatureExtractor ring(cfg);
+  DequePairHistory deque_ref(cfg);
+  // Long enough to wrap the k-slot ring many times, with a Reset mid-way
+  // to cover warm-up restarting over reused storage.
+  const auto seq = ThroughputSequence(3.0, 1.0, 300, 42);
+  std::vector<double> ring_out(2 * cfg.k);
+  std::vector<double> deque_out(2 * cfg.k);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i == 150) {
+      ring.Reset();
+      deque_ref.Reset();
+    }
+    const bool ring_emitted = ring.Push(seq[i], ring_out);
+    const bool deque_emitted = deque_ref.Push(seq[i], deque_out);
+    ASSERT_EQ(ring_emitted, deque_emitted) << "push " << i;
+    if (!ring_emitted) continue;
+    for (std::size_t d = 0; d < ring_out.size(); ++d) {
+      // Bit-identity (same doubles, not nearly-equal doubles): both sides
+      // store the same window statistics, only the container differs.
+      EXPECT_EQ(ring_out[d], deque_out[d]) << "push " << i << " dim " << d;
+    }
+  }
 }
 
 TEST(NoveltyDetector, ExtractFeaturesCountsMatchWindowAndK) {

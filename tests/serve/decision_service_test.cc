@@ -30,7 +30,6 @@
 #include "serve/serving_model.h"
 #include "traces/generators.h"
 #include "util/stats.h"
-#include "util/thread_pool.h"
 
 namespace osap::serve {
 namespace {
@@ -296,20 +295,21 @@ class DecisionServiceEquivalence
           std::tuple<Signal, core::DefaultingMode>> {};
 
 TEST_P(DecisionServiceEquivalence, MatchesSequentialSafeAgent) {
+  // Serial arm: every shard runs inline on the calling thread.
   const auto [signal, mode] = GetParam();
   DecisionServiceConfig config;
   config.shard_count = 3;
+  config.shard_workers = false;
   ExpectBitIdentical(SharedWorld(), signal, mode, config);
 }
 
-TEST_P(DecisionServiceEquivalence, MatchesWithPrivatePoolAndWorkers) {
-  // Same property with the shard fan-out actually running on pool workers
-  // (the shared pool may have none on a 1-core host).
+TEST_P(DecisionServiceEquivalence, MatchesWithPersistentWorkers) {
+  // Same property with shards 1..3 on their persistent pinned workers,
+  // fed through the per-shard rings and epoch tickets.
   const auto [signal, mode] = GetParam();
-  util::ThreadPool pool(2);
   DecisionServiceConfig config;
   config.shard_count = 4;
-  config.pool = &pool;
+  config.shard_workers = true;
   ExpectBitIdentical(SharedWorld(), signal, mode, config);
 }
 
@@ -420,6 +420,7 @@ TEST(DecisionServiceApi, SessionBookkeeping) {
                          core::DefaultingMode::kPermanent)),
       DecisionServiceConfig{.shard_count = 3});
   EXPECT_EQ(service.ShardCount(), 3u);
+  EXPECT_EQ(service.WorkerCount(), 2u);  // shard 0 rides the caller
   const auto a = service.OpenSession();
   const auto b = service.OpenSession();
   const auto c = service.OpenSession();

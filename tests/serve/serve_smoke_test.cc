@@ -1,11 +1,16 @@
-// Thread-sanitizer smoke for the DecisionService shard fan-out.
+// Thread-sanitizer smoke for the DecisionService persistent shard workers.
 //
 // Runs mixed in-distribution / out-of-distribution viewers through a
-// 4-shard service on a private 3-worker pool (the shared pool may have no
-// workers on a small CI host) and checks the answers against a serial
-// service (max_workers = 0) round for round. Built into its own binary so
-// the sanitize ctest label can select it; under TSan this exercises the
-// claim that shards touch disjoint sessions and output slots.
+// 4-shard service whose shards 1..3 live on persistent worker threads
+// (epoch-ticket handoff) and checks the answers against a serial service
+// (shard_workers = false) round for round. A second scenario churns the
+// session set - viewers joining and leaving between epochs - while the
+// workers stay parked, exercising the claim that the epoch ticket's
+// release/acquire edge publishes membership changes to the worker that
+// owns the session's shard. Built into its own binary so the sanitize
+// ctest label can select it; under TSan this exercises the claim that
+// shards touch disjoint sessions and output slots and that the ring/
+// ticket handoff is properly ordered.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -19,7 +24,6 @@
 #include "serve/decision_service.h"
 #include "serve/serving_model.h"
 #include "traces/generators.h"
-#include "util/thread_pool.h"
 
 namespace osap::serve {
 namespace {
@@ -81,19 +85,20 @@ std::shared_ptr<const ServingModel> SmokeModel(const SmokeWorld& w,
   return ServingModel::AgentEnsemble(w.agents, 1, w.video, w.layout, safety);
 }
 
-/// Drives the parallel and serial services in lockstep over the same
+/// Drives the worker-backed and serial services in lockstep over the same
 /// closed-loop sessions and compares every answer.
 void RunSmoke(const SmokeWorld& w, Signal signal) {
-  util::ThreadPool pool(3);
   DecisionServiceConfig parallel_config;
   parallel_config.shard_count = 4;
-  parallel_config.pool = &pool;
+  parallel_config.shard_workers = true;
   DecisionService parallel(SmokeModel(w, signal), parallel_config);
+  ASSERT_EQ(parallel.WorkerCount(), 3u);
 
   DecisionServiceConfig serial_config;
   serial_config.shard_count = 4;
-  serial_config.max_workers = 0;  // all shards on the calling thread
+  serial_config.shard_workers = false;  // all shards on the calling thread
   DecisionService serial(SmokeModel(w, signal), serial_config);
+  ASSERT_EQ(serial.WorkerCount(), 0u);
 
   std::vector<DecisionService::SessionId> ids(kSessions);
   std::vector<abr::AbrEnvironment> envs;
@@ -146,6 +151,72 @@ TEST(ServeSmoke, NoveltyShardsRaceFree) {
 
 TEST(ServeSmoke, AgentEnsembleShardsRaceFree) {
   RunSmoke(MakeSmokeWorld(), Signal::kAgentEnsemble);
+}
+
+/// Session churn between epochs while the workers persist: every few
+/// rounds one viewer leaves (its slot is recycled by a fresh viewer on a
+/// different trace) and an extra viewer joins, so ring sizes grow, shard
+/// membership shifts, and recycled SessionContexts cross the epoch
+/// ticket into the worker threads. Answers must still match the serial
+/// service performing the identical churn.
+TEST(ServeSmoke, SessionChurnAcrossEpochs) {
+  const SmokeWorld w = MakeSmokeWorld();
+  DecisionServiceConfig parallel_config;
+  parallel_config.shard_count = 4;
+  parallel_config.shard_workers = true;
+  DecisionService parallel(SmokeModel(w, Signal::kNovelty), parallel_config);
+  DecisionServiceConfig serial_config;
+  serial_config.shard_count = 4;
+  serial_config.shard_workers = false;
+  DecisionService serial(SmokeModel(w, Signal::kNovelty), serial_config);
+
+  // One live viewer per id; churn keeps both services' id assignments in
+  // lockstep so the comparison stays exact.
+  struct Viewer {
+    DecisionService::SessionId id = 0;
+    abr::AbrEnvironment env;
+    mdp::State state;
+  };
+  std::vector<Viewer> viewers;
+  std::size_t next_trace = 0;
+  const auto join = [&] {
+    Viewer v{parallel.OpenSession(),
+             abr::AbrEnvironment(w.video, abr::AbrEnvironmentConfig{}),
+             {}};
+    const auto serial_id = serial.OpenSession();
+    ASSERT_EQ(v.id, serial_id);
+    v.env.SetFixedTrace(w.traces[next_trace++ % w.traces.size()]);
+    v.state = v.env.Reset();
+    viewers.push_back(std::move(v));
+  };
+  for (std::size_t i = 0; i < 6; ++i) join();
+
+  std::vector<DecisionService::Request> requests;
+  std::vector<mdp::Action> parallel_out;
+  std::vector<mdp::Action> serial_out;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    if (round % 5 == 3 && !viewers.empty()) {
+      // One viewer leaves mid-run; both services retire the same id.
+      const std::size_t leaver = round % viewers.size();
+      parallel.CloseSession(viewers[leaver].id);
+      serial.CloseSession(viewers[leaver].id);
+      viewers.erase(viewers.begin() + static_cast<std::ptrdiff_t>(leaver));
+    }
+    if (round % 4 == 1) join();  // and another joins (may recycle the slot)
+    requests.clear();
+    for (Viewer& v : viewers) requests.push_back({v.id, &v.state});
+    parallel_out.resize(requests.size());
+    serial_out.resize(requests.size());
+    parallel.DecideBatch(requests, parallel_out);
+    serial.DecideBatch(requests, serial_out);
+    ASSERT_EQ(parallel_out, serial_out) << "round " << round;
+    for (std::size_t j = 0; j < viewers.size(); ++j) {
+      mdp::StepResult result = viewers[j].env.Step(parallel_out[j]);
+      viewers[j].state = std::move(result.next_state);
+      if (result.done) viewers[j].state = viewers[j].env.Reset();
+    }
+  }
+  EXPECT_EQ(parallel.ActiveSessionCount(), serial.ActiveSessionCount());
 }
 
 }  // namespace

@@ -21,6 +21,12 @@ down by more than --threshold (default 25%). Added / removed benchmarks
 are reported but never fail the diff - micro-bench sets are allowed to
 evolve; their timings are not allowed to rot silently. Timings jitter
 with machine load, so the default threshold is deliberately loose.
+--fail-above expresses the same threshold as a percentage for automated
+gates: the ctest perf smoke (`ctest -C perf -L perf`) runs each bench for
+a fraction of a second and diffs the sidecar with --fail-above 400, so
+only catastrophic regressions (an accidentally serialized parallel path,
+a vectorized kernel falling back to scalar) fail the gate while ordinary
+smoke-mode noise passes.
 
 Benchmarks that got FASTER than the mirrored threshold are flagged as
 improvements and summarized at the end: a large speedup either deserves a
@@ -66,7 +72,21 @@ def main() -> int:
         default=0.25,
         help="fail when fresh > baseline * (1 + threshold); default 0.25",
     )
+    parser.add_argument(
+        "--fail-above",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="threshold expressed as a percentage (overrides --threshold): "
+        "fail when fresh > baseline * (1 + PCT/100). Intended for automated "
+        "gates - e.g. --fail-above 400 in the ctest perf smoke only fails on "
+        "catastrophic regressions, since smoke-mode timings are noisy.",
+    )
     args = parser.parse_args()
+    if args.fail_above is not None:
+        if args.fail_above < 0:
+            sys.exit("bench_diff: --fail-above must be >= 0")
+        args.threshold = args.fail_above / 100.0
     if args.threshold < 0:
         sys.exit("bench_diff: --threshold must be >= 0")
 

@@ -227,6 +227,14 @@ int main(int argc, char** argv) {
               round_us[round_us.size() / 2],
               round_us[round_us.size() * 99 / 100], round_us.back(),
               sessions);
+  // Per-decision view of the same distribution: what one viewer pays for
+  // its slice of a round (the population is constant, so this is the
+  // round latency amortized over the batch).
+  const double per_decision = 1.0 / static_cast<double>(sessions);
+  std::printf("per-decision latency: p50 %.2f us  p99 %.2f us  max %.2f us\n",
+              round_us[round_us.size() / 2] * per_decision,
+              round_us[round_us.size() * 99 / 100] * per_decision,
+              round_us.back() * per_decision);
 
   std::printf("\n%-28s %10s %10s %10s\n", "dataset", "sessions", "defaulted",
               "mean QoE");
