@@ -3,13 +3,21 @@
 // Each micro-bench binary prints the usual console table AND drops a
 // machine-readable `BENCH_<name>.json` next to its working directory: a
 // flat {"benchmark name": nanoseconds_per_op} map that scripts can diff
-// across commits without parsing console output.
+// across commits without parsing console output. Custom counters are
+// emitted as extra `"name:counter"` entries - except rate counters
+// (`*_per_s`), which are console-only: every sidecar entry must be
+// lower-is-better so bench_diff.py's regression direction stays uniform.
+// The OSAP_BENCH_JSON environment variable overrides the sidecar path, so
+// several ctest gates can run one binary with different filters without
+// clobbering each other's baselines.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -18,9 +26,10 @@
 namespace osap::bench {
 
 /// Console reporter that also accumulates per-iteration timings and, on
-/// Finalize, writes them as a flat JSON object (name -> ns/op). Aggregate
-/// rows (mean/median/stddev from --benchmark_repetitions) are excluded so
-/// the map stays one-entry-per-benchmark.
+/// Finalize, writes them as a flat JSON object (name -> ns/op, plus
+/// name:counter -> value for non-rate counters). Aggregate rows
+/// (mean/median/stddev from --benchmark_repetitions) are excluded so the
+/// map stays one-entry-per-benchmark.
 class JsonSidecarReporter : public benchmark::ConsoleReporter {
  public:
   explicit JsonSidecarReporter(std::string path) : path_(std::move(path)) {}
@@ -34,6 +43,13 @@ class JsonSidecarReporter : public benchmark::ConsoleReporter {
               : run.real_accumulated_time /
                     static_cast<double>(run.iterations) * 1e9;
       entries_.emplace_back(run.benchmark_name(), ns_per_op);
+      for (const auto& [counter_name, counter] : run.counters) {
+        // Rates invert the bigger-is-worse convention the diff gates
+        // assume; keep them out of the gated sidecar.
+        if (std::string_view(counter_name).ends_with("_per_s")) continue;
+        entries_.emplace_back(run.benchmark_name() + ":" + counter_name,
+                              static_cast<double>(counter.value));
+      }
     }
     benchmark::ConsoleReporter::ReportRuns(reports);
   }
@@ -68,12 +84,15 @@ class JsonSidecarReporter : public benchmark::ConsoleReporter {
 };
 
 /// Shared main() body: run all registered benchmarks through the sidecar
-/// reporter. Use instead of BENCHMARK_MAIN().
+/// reporter. Use instead of BENCHMARK_MAIN(). The OSAP_BENCH_JSON
+/// environment variable, when set, overrides `json_path`.
 inline int RunWithJsonSidecar(int argc, char** argv,
                               const std::string& json_path) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  JsonSidecarReporter reporter(json_path);
+  const char* override_path = std::getenv("OSAP_BENCH_JSON");
+  JsonSidecarReporter reporter(override_path != nullptr ? override_path
+                                                        : json_path);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;

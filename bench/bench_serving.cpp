@@ -14,8 +14,18 @@
 //     sessions (per shard: one fused ensemble pass / one OC-SVM scan over
 //     the whole batch + one batched deployed-actor pass).
 // Args are {sessions} for the sequential arm and {sessions, shards} for
-// the service. items_per_second reports decisions/sec; the service arm
-// additionally reports per-round latency percentiles (p50_us / p99_us).
+// the service. decisions_per_s is a REAL-TIME rate (wall clock around the
+// decision loop - the service arm is multi-threaded, so CPU-time rates
+// would be meaningless); rates stay console-only while the sidecar gates
+// the lower-is-better entries. The service arm additionally reports
+// per-round latency percentiles (p50_us / p99_us).
+//
+// BM_ServeServiceMem* is the memory sweep: it opens {sessions} sessions
+// against a {shards}-shard service, drives a few rounds so scratch
+// materializes, and reports bytes_per_session (exact, from
+// ServiceMemoryStats - the number the memory-diet gate pins), rss_mb
+// (process RSS growth over the run) and peak_rss_mb. Run it alone with
+// OSAP_BENCH_JSON=BENCH_serving_mem.json to produce the memory baseline.
 //
 // Uses the shared ./osap_cache artifacts (trains them on first run).
 #include <benchmark/benchmark.h>
@@ -24,6 +34,10 @@
 #include <chrono>
 #include <memory>
 #include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "bench_common.h"
 #include "bench_json.h"
@@ -34,6 +48,7 @@
 #include "policies/pensieve_policy.h"
 #include "serve/decision_service.h"
 #include "serve/serving_model.h"
+#include "util/memory_meter.h"
 
 using namespace osap;
 
@@ -165,14 +180,22 @@ void RunSequential(benchmark::State& state, core::Scheme scheme) {
   }
   StatePool();  // materialize outside the timed region
   std::size_t round = 0;
+  double wall_seconds = 0.0;
   for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < n; ++i) {
       benchmark::DoNotOptimize(agents[i]->SelectAction(PooledState(i, round)));
     }
+    wall_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
     ++round;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
+  if (wall_seconds > 0.0) {
+    state.counters["decisions_per_s"] =
+        static_cast<double>(state.iterations()) * static_cast<double>(n) /
+        wall_seconds;
+  }
 }
 
 /// Sharded service: one DecideBatch over all N sessions per round.
@@ -187,6 +210,13 @@ void RunService(benchmark::State& state, core::Scheme scheme) {
   std::vector<serve::DecisionService::Request> requests(n);
   std::vector<mdp::Action> actions(n);
   StatePool();  // materialize outside the timed region
+  // One untimed warmup round: the first DecideBatch grows the shard
+  // scratch (arenas, packed-state matrices) and would otherwise dominate
+  // the p99 counter in short smoke runs.
+  for (std::size_t i = 0; i < n; ++i) {
+    requests[i] = {ids[i], &PooledState(i, 0)};
+  }
+  service.DecideBatch(requests, actions);
   std::vector<double> round_us;
   std::size_t round = 0;
   for (auto _ : state) {
@@ -201,12 +231,60 @@ void RunService(benchmark::State& state, core::Scheme scheme) {
     benchmark::DoNotOptimize(actions.data());
     ++round;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
   std::sort(round_us.begin(), round_us.end());
   if (!round_us.empty()) {
     state.counters["p50_us"] = round_us[round_us.size() / 2];
     state.counters["p99_us"] = round_us[round_us.size() * 99 / 100];
+    double wall_us = 0.0;
+    for (double us : round_us) wall_us += us;
+    state.counters["decisions_per_s"] =
+        static_cast<double>(round_us.size()) * static_cast<double>(n) /
+        (wall_us * 1e-6);
+  }
+}
+
+/// Memory sweep: bytes/session at scale. One iteration builds a service,
+/// opens N sessions, runs a few rounds (so extractor slabs, trigger rings
+/// and shard scratch all materialize) and reports the exact per-session
+/// accounting plus the kernel's view of the process.
+void RunServiceMem(benchmark::State& state, core::Scheme scheme) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  const auto model = SharedModel(scheme);
+  StatePool();
+  for (auto _ : state) {
+#if defined(__GLIBC__)
+    // Return freed heap to the kernel first: without this the RSS delta
+    // depends on what earlier benchmarks left in the allocator (a run
+    // reusing a predecessor's freed pages reports ~0), which would make
+    // the committed rss_mb baseline order-dependent.
+    malloc_trim(0);
+#endif
+    const std::size_t rss_before = util::CurrentRssBytes();
+    serve::DecisionServiceConfig cfg;
+    cfg.shard_count = shards;
+    serve::DecisionService service(model, cfg);
+    std::vector<serve::DecisionService::SessionId> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = service.OpenSession();
+    std::vector<serve::DecisionService::Request> requests(n);
+    std::vector<mdp::Action> actions(n);
+    for (std::size_t round = 0; round < 2; ++round) {
+      for (std::size_t i = 0; i < n; ++i) {
+        requests[i] = {ids[i], &PooledState(i, round)};
+      }
+      service.DecideBatch(requests, actions);
+    }
+    const serve::ServiceMemoryStats stats = service.MemoryStats();
+    const std::size_t rss_after = util::CurrentRssBytes();
+    state.counters["bytes_per_session"] = stats.BytesPerSession();
+    state.counters["scratch_mb"] =
+        static_cast<double>(stats.scratch_bytes) / 1e6;
+    state.counters["rss_mb"] =
+        rss_after > rss_before
+            ? static_cast<double>(rss_after - rss_before) / 1e6
+            : 0.0;
+    state.counters["peak_rss_mb"] =
+        static_cast<double>(util::PeakRssBytes()) / 1e6;
   }
 }
 
@@ -228,6 +306,15 @@ void BM_ServeServiceUpi(benchmark::State& state) {
 void BM_ServeServiceUv(benchmark::State& state) {
   RunService(state, core::Scheme::kValueEnsemble);
 }
+void BM_ServeServiceMemUs(benchmark::State& state) {
+  RunServiceMem(state, core::Scheme::kNoveltyDetection);
+}
+void BM_ServeServiceMemUpi(benchmark::State& state) {
+  RunServiceMem(state, core::Scheme::kAgentEnsemble);
+}
+void BM_ServeServiceMemUv(benchmark::State& state) {
+  RunServiceMem(state, core::Scheme::kValueEnsemble);
+}
 
 BENCHMARK(BM_ServeSequentialUs)
     ->Arg(64)->Arg(256)->Arg(1000)->Unit(benchmark::kMillisecond);
@@ -247,6 +334,17 @@ BENCHMARK(BM_ServeServiceUv)
     ->Args({64, 1})->Args({256, 1})->Args({1000, 1})->Args({1000, 4})
     ->Args({1000, 8})->Args({1000, 16})
     ->Unit(benchmark::kMillisecond);
+// The 100k memory sweep: one deterministic iteration per point (the
+// accounting does not jitter; timing is not what this measures).
+BENCHMARK(BM_ServeServiceMemUs)
+    ->Args({10000, 8})->Args({100000, 8})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeServiceMemUpi)
+    ->Args({10000, 8})->Args({100000, 8})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeServiceMemUv)
+    ->Args({10000, 8})->Args({100000, 8})
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -4,43 +4,120 @@
 
 namespace osap::core {
 
-NoveltyFeatureExtractor::NoveltyFeatureExtractor(
-    const NoveltyDetectorConfig& config)
-    : config_(config), window_(config.throughput_window) {
+namespace {
+
+void ValidateExtractorConfig(const NoveltyDetectorConfig& config) {
   OSAP_REQUIRE(config.throughput_window >= 2,
                "NoveltyDetector: throughput window must be >= 2");
   OSAP_REQUIRE(config.k >= 1, "NoveltyDetector: k must be >= 1");
-  pairs_.resize(config.k);
+}
+
+/// Validates config + storage and returns the window's slice of it.
+std::span<double> WindowSlice(const NoveltyDetectorConfig& config,
+                              std::span<double> storage) {
+  ValidateExtractorConfig(config);
+  OSAP_REQUIRE(
+      storage.size() >= NoveltyFeatureExtractor::StorageDoubles(config),
+      "NoveltyFeatureExtractor: storage too small");
+  return storage.first(config.throughput_window);
+}
+
+}  // namespace
+
+NoveltyFeatureExtractor::NoveltyFeatureExtractor(
+    const NoveltyDetectorConfig& config)
+    : window_((ValidateExtractorConfig(config), config.throughput_window)),
+      owned_pairs_(new double[2 * config.k]),
+      k_(static_cast<std::uint32_t>(config.k)) {
+  pairs_ = owned_pairs_.get();
+}
+
+NoveltyFeatureExtractor::NoveltyFeatureExtractor(
+    const NoveltyDetectorConfig& config, std::span<double> storage)
+    : window_(WindowSlice(config, storage)),
+      pairs_(storage.data() + config.throughput_window),
+      k_(static_cast<std::uint32_t>(config.k)) {}
+
+NoveltyFeatureExtractor::~NoveltyFeatureExtractor() = default;
+
+NoveltyFeatureExtractor::NoveltyFeatureExtractor(
+    const NoveltyFeatureExtractor& other)
+    : window_(other.window_),  // deep copy into owned storage
+      owned_pairs_(new double[2 * other.k_]),
+      k_(other.k_),
+      head_(other.head_),
+      count_(other.count_) {
+  pairs_ = owned_pairs_.get();
+  // Only the populated region is meaningful (head_ stays 0 until the ring
+  // fills, so the valid pairs are the first count_ when warming up and
+  // all k_ once full).
+  const std::uint32_t valid = 2 * (count_ < k_ ? count_ : k_);
+  for (std::uint32_t i = 0; i < valid; ++i) pairs_[i] = other.pairs_[i];
+}
+
+NoveltyFeatureExtractor& NoveltyFeatureExtractor::operator=(
+    const NoveltyFeatureExtractor& other) {
+  if (this == &other) return *this;
+  NoveltyFeatureExtractor copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+NoveltyFeatureExtractor::NoveltyFeatureExtractor(
+    NoveltyFeatureExtractor&& other) noexcept
+    : window_(std::move(other.window_)),
+      pairs_(other.pairs_),
+      owned_pairs_(std::move(other.owned_pairs_)),
+      k_(other.k_),
+      head_(other.head_),
+      count_(other.count_) {
+  other.pairs_ = nullptr;
+  other.k_ = other.head_ = other.count_ = 0;
+}
+
+NoveltyFeatureExtractor& NoveltyFeatureExtractor::operator=(
+    NoveltyFeatureExtractor&& other) noexcept {
+  if (this == &other) return *this;
+  window_ = std::move(other.window_);
+  owned_pairs_ = std::move(other.owned_pairs_);
+  pairs_ = other.pairs_;
+  k_ = other.k_;
+  head_ = other.head_;
+  count_ = other.count_;
+  other.pairs_ = nullptr;
+  other.k_ = other.head_ = other.count_ = 0;
+  return *this;
 }
 
 std::optional<std::vector<double>> NoveltyFeatureExtractor::Push(
     double throughput_mbps) {
-  std::vector<double> feature(2 * config_.k);
+  std::vector<double> feature(2 * static_cast<std::size_t>(k_));
   if (!Push(throughput_mbps, feature)) return std::nullopt;
   return feature;
 }
 
 bool NoveltyFeatureExtractor::Push(double throughput_mbps,
                                    std::span<double> out) {
-  OSAP_REQUIRE(out.size() >= 2 * config_.k,
+  OSAP_REQUIRE(out.size() >= 2 * static_cast<std::size_t>(k_),
                "NoveltyFeatureExtractor::Push: output span too short");
   window_.Push(throughput_mbps);
   if (!window_.Full()) return false;
   // Overwrite the oldest slot; until the ring fills, the oldest slot is
   // simply the next unused one.
-  const std::size_t slot = (head_ + count_) % config_.k;
-  pairs_[slot] = {window_.Mean(), window_.StdDev()};
-  if (count_ < config_.k) {
+  const std::uint32_t slot = (head_ + count_) % k_;
+  pairs_[2 * slot] = window_.Mean();
+  pairs_[2 * slot + 1] = window_.StdDev();
+  if (count_ < k_) {
     ++count_;
   } else {
-    head_ = (head_ + 1) % config_.k;
+    head_ = (head_ + 1) % k_;
   }
-  if (count_ < config_.k) return false;
+  if (count_ < k_) return false;
   std::size_t i = 0;
-  for (std::size_t p = 0; p < config_.k; ++p) {
-    const auto& [mean, stddev] = pairs_[(head_ + p) % config_.k];
-    out[i++] = mean;
-    out[i++] = stddev;
+  for (std::uint32_t p = 0; p < k_; ++p) {
+    const std::uint32_t source = (head_ + p) % k_;
+    out[i++] = pairs_[2 * source];
+    out[i++] = pairs_[2 * source + 1];
   }
   return true;
 }

@@ -10,8 +10,10 @@
 // Score is 0 / 1 accordingly.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -35,9 +37,34 @@ struct NoveltyDetectorConfig {
 /// Streams throughput observations into OC-SVM feature vectors; shared by
 /// online detection and offline training-set extraction so both see
 /// identical features.
+///
+/// All variable state (the throughput window plus the [mean, stddev] pair
+/// ring) fits in StorageDoubles(config) doubles. The config constructor
+/// allocates it privately; the placement constructor carves it from
+/// caller-owned memory, which is how the serving path packs thousands of
+/// per-session extractors into shard slabs with zero private
+/// allocations. Copies are deep into owned storage; moves steal it.
 class NoveltyFeatureExtractor {
  public:
   explicit NoveltyFeatureExtractor(const NoveltyDetectorConfig& config);
+
+  /// Places the extractor's variable state into `storage` (>=
+  /// StorageDoubles(config) doubles, uninitialized is fine). The caller
+  /// keeps the memory alive and in place for the extractor's lifetime.
+  NoveltyFeatureExtractor(const NoveltyDetectorConfig& config,
+                          std::span<double> storage);
+
+  ~NoveltyFeatureExtractor();
+  NoveltyFeatureExtractor(const NoveltyFeatureExtractor& other);
+  NoveltyFeatureExtractor& operator=(const NoveltyFeatureExtractor& other);
+  NoveltyFeatureExtractor(NoveltyFeatureExtractor&& other) noexcept;
+  NoveltyFeatureExtractor& operator=(NoveltyFeatureExtractor&& other) noexcept;
+
+  /// Doubles of backing storage an extractor for `config` needs: the
+  /// throughput window plus k interleaved [mean, stddev] pairs.
+  static std::size_t StorageDoubles(const NoveltyDetectorConfig& config) {
+    return config.throughput_window + 2 * config.k;
+  }
 
   /// Pushes one throughput observation (Mbps). Returns the feature vector
   /// (2k dims: k x [mean, stddev], oldest pair first) once enough history
@@ -51,20 +78,22 @@ class NoveltyFeatureExtractor {
   bool Push(double throughput_mbps, std::span<double> out);
 
   /// Feature dimensionality (2k).
-  std::size_t FeatureSize() const { return 2 * config_.k; }
+  std::size_t FeatureSize() const { return 2 * k_; }
 
   void Reset();
 
  private:
-  NoveltyDetectorConfig config_;
   SlidingWindowStats window_;
-  // k latest [mean, stddev] pairs in a fixed-capacity ring (head_ indexes
-  // the oldest). A deque here would hit the allocator on every eviction;
-  // the serving path pushes one pair per session per round, so the pair
-  // history is hot state and must stay allocation-free after warm-up.
-  std::vector<std::pair<double, double>> pairs_;
-  std::size_t head_ = 0;   // index of oldest pair once the ring is full
-  std::size_t count_ = 0;  // pairs currently held (< k during warm-up)
+  // k latest [mean, stddev] pairs, interleaved in a fixed-capacity ring
+  // (head_ indexes the oldest). A deque here would hit the allocator on
+  // every eviction; the serving path pushes one pair per session per
+  // round, so the pair history is hot state and must stay
+  // allocation-free after warm-up.
+  double* pairs_ = nullptr;
+  std::unique_ptr<double[]> owned_pairs_;  // set iff pairs_ is private
+  std::uint32_t k_ = 0;
+  std::uint32_t head_ = 0;   // index of oldest pair once the ring is full
+  std::uint32_t count_ = 0;  // pairs currently held (< k during warm-up)
 };
 
 class NoveltyDetector final : public UncertaintyEstimator {

@@ -4,58 +4,34 @@
 
 namespace osap::core {
 
-SafetyCore::SafetyCore(const SafeAgentConfig& config)
-    : config_(config), trigger_(config.trigger) {
-  if (config_.mode == DefaultingMode::kRevocable) {
-    OSAP_REQUIRE(config_.revoke_after >= 1,
+void ValidateSafeAgentConfig(const SafeAgentConfig& config) {
+  OSAP_REQUIRE(config.trigger.l >= 1, "DefaultTrigger: l must be >= 1");
+  if (config.trigger.mode == TriggerMode::kWindowVariance) {
+    OSAP_REQUIRE(config.trigger.k >= 2,
+                 "DefaultTrigger: variance mode needs k >= 2");
+    OSAP_REQUIRE(config.trigger.alpha >= 0.0,
+                 "DefaultTrigger: alpha must be >= 0");
+  }
+  if (config.mode == DefaultingMode::kRevocable) {
+    OSAP_REQUIRE(config.revoke_after >= 1,
                  "SafetyCore: revoke_after must be >= 1");
   }
 }
 
-bool SafetyCore::Observe(double score) {
-  const bool fired = trigger_.Update(score);
-
-  if (!defaulted_) {
-    if (fired) {
-      defaulted_ = true;
-      default_step_ = steps_;
-      certain_streak_ = 0;
-    }
-  } else if (config_.mode == DefaultingMode::kRevocable) {
-    // Revoke after a sustained quiet period: the trigger must not fire and
-    // the uncertain-streak must be clear.
-    if (!fired && trigger_.ConsecutiveUncertain() == 0) {
-      ++certain_streak_;
-      if (certain_streak_ >= config_.revoke_after) {
-        defaulted_ = false;
-        certain_streak_ = 0;
-      }
-    } else {
-      certain_streak_ = 0;
-    }
-  }
-
-  ++steps_;
-  if (defaulted_) {
-    ++defaulted_steps_;
-    return true;
-  }
-  return false;
+SafetyCore::SafetyCore(const SafeAgentConfig& config)
+    : config_(config), ring_(SafetyRingDoubles(config)) {
+  ValidateSafeAgentConfig(config_);
 }
 
 void SafetyCore::Reset() {
-  trigger_.Reset();
-  defaulted_ = false;
-  steps_ = 0;
-  default_step_ = 0;
-  defaulted_steps_ = 0;
-  certain_streak_ = 0;
+  state_ = SafetyState{};
+  cold_ = SafetyCold{};
 }
 
 double SafetyCore::DefaultedFraction() const {
-  if (steps_ == 0) return 0.0;
-  return static_cast<double>(defaulted_steps_) /
-         static_cast<double>(steps_);
+  if (state_.steps == 0) return 0.0;
+  return static_cast<double>(state_.defaulted_steps) /
+         static_cast<double>(state_.steps);
 }
 
 }  // namespace osap::core

@@ -1,15 +1,25 @@
 // SafetyCore: the per-session half of the SafeAgent split - the defaulting
 // state machine (trigger, defaulted flag, revocation streak, step counters)
-// with no policies or estimators attached. One SafetyCore is a few dozen
-// bytes of mutable state, so a serving shard keeps one per session and
-// feeds it scores computed by the shared immutable models (EnsembleModel /
-// OneClassSvm); SafeAgent composes the same class behind mdp::Policy for
-// the sequential loop. Both paths therefore run literally the same state
-// machine, which is how the service's batched decisions stay bit-identical
-// to the sequential agent (pinned by equivalence tests).
+// with no policies or estimators attached. SafeAgent composes it behind
+// mdp::Policy for the sequential loop; the serving path runs the same
+// machine over dense per-shard arrays.
+//
+// The machine itself is the free function SafetyObserve over two PODs:
+// SafetyState packs the hot fields an epoch scan touches (trigger window
+// moments + ring cursors + streaks, 48 bytes) and SafetyCold the fields
+// only introspection reads. The variance trigger's score ring lives in
+// caller-provided memory - SafetyCore gives it a private heap buffer, a
+// serving shard packs all its sessions' rings into one contiguous array -
+// so one session costs tens of bytes, not an allocation. Both callers run
+// literally the same arithmetic in the same order, which is how the
+// service's batched decisions stay bit-identical to the sequential
+// SafeAgent (pinned by equivalence tests).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "core/trigger.h"
 
@@ -27,6 +37,118 @@ struct SafeAgentConfig {
   std::size_t revoke_after = 15;
 };
 
+/// Validates the requirements DefaultTrigger and SafetyCore enforce
+/// (l >= 1; variance mode: k >= 2 and alpha >= 0; revocable:
+/// revoke_after >= 1). Throws std::invalid_argument on violation. Callers
+/// that bypass the SafetyCore constructor (the serving path's dense
+/// tables) validate through this instead.
+void ValidateSafeAgentConfig(const SafeAgentConfig& config);
+
+/// Hot per-session defaulting state: everything one SafetyObserve step
+/// reads and writes except the score ring. Plain data so a serving shard
+/// keeps its sessions in one dense array (struct-of-arrays session
+/// table); zero-initialization is the fresh-session state.
+struct SafetyState {
+  double win_sum = 0.0;              // variance-trigger window moments
+  double win_sq = 0.0;
+  std::uint32_t win_size = 0;        // scores currently in the ring
+  std::uint32_t win_head = 0;        // oldest ring slot once full
+  std::uint32_t consecutive = 0;     // uncertain-step streak
+  std::uint32_t certain_streak = 0;  // kRevocable bookkeeping
+  std::uint32_t steps = 0;           // decisions made this session
+  std::uint32_t defaulted_steps = 0;
+  bool defaulted = false;
+};
+
+/// Cold per-session fields: written at most once per defaulting episode,
+/// read only by introspection - split out so the epoch scan's cache lines
+/// carry hot state only.
+struct SafetyCold {
+  std::uint32_t default_step = 0;  // step index the session defaulted at
+};
+
+/// Score-ring doubles SafetyObserve needs per session for `config`
+/// (trigger.k for the variance trigger, 0 for the binary trigger - binary
+/// U_S sessions pay no ring bytes at all).
+inline std::size_t SafetyRingDoubles(const SafeAgentConfig& config) {
+  return config.trigger.mode == TriggerMode::kWindowVariance
+             ? config.trigger.k
+             : 0;
+}
+
+/// One decision step of the defaulting state machine: feeds `score`
+/// through the trigger (DefaultTrigger::Update semantics, with the
+/// sliding window living in `ring`) and the defaulting/revocation logic.
+/// `ring` must hold SafetyRingDoubles(config) doubles (may be null for
+/// the binary trigger). Returns true when this step's action must come
+/// from the default policy. `config` must be validated.
+inline bool SafetyObserve(const SafeAgentConfig& config, SafetyState& state,
+                          SafetyCold& cold, double* ring, double score) {
+  // Trigger half: replicates DefaultTrigger::Update (and the
+  // SlidingWindowStats push/variance arithmetic it wraps) operation for
+  // operation - the float story must match the sequential path exactly.
+  bool uncertain = false;
+  switch (config.trigger.mode) {
+    case TriggerMode::kBinary:
+      uncertain = score >= 0.5;
+      break;
+    case TriggerMode::kWindowVariance: {
+      const auto k = static_cast<std::uint32_t>(config.trigger.k);
+      if (state.win_size < k) {
+        ring[state.win_size++] = score;
+      } else {
+        const double old = ring[state.win_head];
+        state.win_sum -= old;
+        state.win_sq -= old * old;
+        ring[state.win_head] = score;
+        state.win_head = (state.win_head + 1) % k;
+      }
+      state.win_sum += score;
+      state.win_sq += score * score;
+      // Not uncertain until the window is populated: variance over a
+      // partial window would compare incomparable quantities.
+      if (state.win_size == k) {
+        const double n = static_cast<double>(k);
+        const double m = state.win_sum / n;
+        // Guard against tiny negative values from cancellation.
+        const double variance = std::max(0.0, state.win_sq / n - m * m);
+        uncertain = variance > config.trigger.alpha;
+      }
+      break;
+    }
+  }
+  state.consecutive = uncertain ? state.consecutive + 1 : 0;
+  const bool fired = state.consecutive >= config.trigger.l;
+
+  // Defaulting half: replicates SafetyCore::Observe.
+  if (!state.defaulted) {
+    if (fired) {
+      state.defaulted = true;
+      cold.default_step = state.steps;
+      state.certain_streak = 0;
+    }
+  } else if (config.mode == DefaultingMode::kRevocable) {
+    // Revoke after a sustained quiet period: the trigger must not fire
+    // and the uncertain-streak must be clear.
+    if (!fired && state.consecutive == 0) {
+      ++state.certain_streak;
+      if (state.certain_streak >= config.revoke_after) {
+        state.defaulted = false;
+        state.certain_streak = 0;
+      }
+    } else {
+      state.certain_streak = 0;
+    }
+  }
+
+  ++state.steps;
+  if (state.defaulted) {
+    ++state.defaulted_steps;
+    return true;
+  }
+  return false;
+}
+
 class SafetyCore {
  public:
   explicit SafetyCore(const SafeAgentConfig& config);
@@ -34,32 +156,30 @@ class SafetyCore {
   /// One decision step: feeds this step's uncertainty score through the
   /// trigger and the defaulting/revocation state machine. Returns true
   /// when this step's action must come from the default policy.
-  bool Observe(double score);
+  bool Observe(double score) {
+    return SafetyObserve(config_, state_, cold_, ring_.data(), score);
+  }
 
   void Reset();
 
   /// True while actions come from the default policy.
-  bool Defaulted() const { return defaulted_; }
+  bool Defaulted() const { return state_.defaulted; }
 
   /// Steps observed in the current session (decisions made).
-  std::size_t StepCount() const { return steps_; }
+  std::size_t StepCount() const { return state_.steps; }
 
   /// Step index at which the session defaulted (meaningful when
   /// Defaulted() has ever been true this session; 0 otherwise).
-  std::size_t DefaultStep() const { return default_step_; }
+  std::size_t DefaultStep() const { return cold_.default_step; }
 
   /// Fraction of this session's decisions made by the default policy.
   double DefaultedFraction() const;
 
  private:
   SafeAgentConfig config_;
-  DefaultTrigger trigger_;
-
-  bool defaulted_ = false;
-  std::size_t steps_ = 0;
-  std::size_t default_step_ = 0;
-  std::size_t defaulted_steps_ = 0;
-  std::size_t certain_streak_ = 0;  // kRevocable bookkeeping
+  std::vector<double> ring_;  // variance-trigger score window (k doubles)
+  SafetyState state_;
+  SafetyCold cold_;
 };
 
 }  // namespace osap::core

@@ -2,17 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "util/check.h"
 
 namespace osap::serve {
-
-DecisionService::SessionContext::SessionContext(const ServingModel& model)
-    : safety(model.safety()) {
-  if (model.signal() == Signal::kNovelty) {
-    extractor.emplace(model.NoveltyConfig());
-  }
-}
 
 DecisionService::DecisionService(std::shared_ptr<const ServingModel> model,
                                  DecisionServiceConfig config)
@@ -20,9 +14,16 @@ DecisionService::DecisionService(std::shared_ptr<const ServingModel> model,
   OSAP_REQUIRE(model_ != nullptr, "DecisionService: null model");
   OSAP_REQUIRE(config_.shard_count >= 1,
                "DecisionService: shard_count must be >= 1");
+  core::ValidateSafeAgentConfig(model_->safety());
+  ring_width_ = core::SafetyRingDoubles(model_->safety());
+  if (model_->signal() == Signal::kNovelty) {
+    extractor_doubles_ = core::NoveltyFeatureExtractor::StorageDoubles(
+        model_->NoveltyConfig());
+  }
   shards_.reserve(config_.shard_count);
   for (std::size_t s = 0; s < config_.shard_count; ++s) {
-    shards_.push_back(std::make_unique<ShardLane>());
+    shards_.push_back(std::make_unique<ShardLane>(
+        config_.extractor_slab_slots, extractor_doubles_));
   }
   if (config_.shard_workers && shards_.size() > 1) {
     workers_.reserve(shards_.size() - 1);
@@ -49,40 +50,83 @@ DecisionService::SessionId DecisionService::OpenSession() {
   if (!free_slots_.empty()) {
     id = free_slots_.back();
     free_slots_.pop_back();
-    sessions_[id] = std::make_unique<SessionContext>(*model_);
   } else {
-    id = sessions_.size();
-    sessions_.push_back(std::make_unique<SessionContext>(*model_));
+    id = open_.size();
+    open_.push_back(0);
+    last_round_.push_back(0);
   }
+  ShardLane& lane = *shards_[ShardOf(id)];
+  SessionTable& table = lane.sessions;
+  const std::size_t local = LocalOf(id);
+  if (table.hot.size() <= local) {
+    table.hot.resize(local + 1);
+    table.cold.resize(local + 1);
+    if (ring_width_ > 0) table.rings.resize((local + 1) * ring_width_);
+    if (extractor_doubles_ > 0) {
+      table.extractor_of.resize(local + 1, ExtractorPool::kInvalid);
+    }
+  }
+  // Fresh state either way: a recycled slot still carries its previous
+  // occupant. The ring needs no wipe - SafetyObserve never reads slots
+  // past win_size.
+  table.hot[local] = core::SafetyState{};
+  table.cold[local] = core::SafetyCold{};
+  if (extractor_doubles_ > 0) {
+    const ExtractorPool::Index slot =
+        lane.extractors.Acquire([this](std::span<double> storage) {
+          return core::NoveltyFeatureExtractor(model_->NoveltyConfig(),
+                                               storage);
+        });
+    // Recycled pool slots keep the previous session's streaming state;
+    // reset unconditionally (fresh slots are already reset - cheap).
+    lane.extractors[slot].Reset();
+    table.extractor_of[local] = slot;
+  }
+  open_[id] = 1;
+  last_round_[id] = 0;
   ++active_count_;
   return id;
 }
 
 void DecisionService::CloseSession(SessionId id) {
-  OSAP_REQUIRE(id < sessions_.size() && sessions_[id] != nullptr,
+  OSAP_REQUIRE(id < open_.size() && open_[id] != 0,
                "CloseSession: unknown session");
-  sessions_[id].reset();
+  ShardLane& lane = *shards_[ShardOf(id)];
+  if (extractor_doubles_ > 0) {
+    const std::size_t local = LocalOf(id);
+    lane.extractors.Release(lane.sessions.extractor_of[local]);
+    lane.sessions.extractor_of[local] = ExtractorPool::kInvalid;
+    // Give back whole trailing slabs once a population spike recedes
+    // (no-op unless the newest slab is entirely free).
+    lane.extractors.Trim();
+  }
+  open_[id] = 0;
   free_slots_.push_back(id);
   --active_count_;
 }
 
-const DecisionService::SessionContext& DecisionService::Context(
-    SessionId id) const {
-  OSAP_REQUIRE(id < sessions_.size() && sessions_[id] != nullptr,
+void DecisionService::CheckOpen(SessionId id) const {
+  OSAP_REQUIRE(id < open_.size() && open_[id] != 0,
                "DecisionService: unknown session");
-  return *sessions_[id];
 }
 
 bool DecisionService::Defaulted(SessionId id) const {
-  return Context(id).safety.Defaulted();
+  CheckOpen(id);
+  return shards_[ShardOf(id)]->sessions.hot[LocalOf(id)].defaulted;
 }
 
 std::size_t DecisionService::StepCount(SessionId id) const {
-  return Context(id).safety.StepCount();
+  CheckOpen(id);
+  return shards_[ShardOf(id)]->sessions.hot[LocalOf(id)].steps;
 }
 
 double DecisionService::DefaultedFraction(SessionId id) const {
-  return Context(id).safety.DefaultedFraction();
+  CheckOpen(id);
+  const core::SafetyState& hot =
+      shards_[ShardOf(id)]->sessions.hot[LocalOf(id)];
+  if (hot.steps == 0) return 0.0;
+  return static_cast<double>(hot.defaulted_steps) /
+         static_cast<double>(hot.steps);
 }
 
 mdp::Action DecisionService::Decide(SessionId id, const mdp::State& state) {
@@ -125,6 +169,40 @@ void DecisionService::DrainEpoch(std::size_t shard, const EpochSlot& slot) {
     idx[i] = request_index;
   }
   RunShard(shard, slot.requests, slot.out, idx);
+  if (config_.lane_shrink_after > 0) MaybeShrinkLane(lane, slot.count);
+}
+
+void DecisionService::MaybeShrinkLane(ShardLane& lane, std::size_t count) {
+  lane.peak_count = std::max(lane.peak_count, count);
+  lane.peak_arena_used =
+      std::max(lane.peak_arena_used, lane.arena.UsedBytes());
+  if (++lane.epochs_since_shrink < config_.lane_shrink_after) return;
+
+  // Release anything allocated for more than 2x the period's high-water
+  // need; the next spike simply regrows it. Matrices are released whole
+  // (ReshapeUninitialized will re-allocate exactly the working-set size
+  // next epoch), the arena down to its recent use.
+  const auto maybe_release = [](nn::Matrix& matrix,
+                                std::size_t needed_elems) {
+    if (matrix.values().capacity() > 2 * needed_elems) matrix = nn::Matrix();
+  };
+  const std::size_t input = model_->InputSize();
+  maybe_release(lane.states, lane.peak_count * input);
+  maybe_release(lane.learned_states, lane.peak_count * input);
+  if (extractor_doubles_ > 0) {
+    const std::size_t fdim = 2 * model_->NoveltyConfig().k;
+    maybe_release(lane.features, lane.peak_count * fdim);
+  }
+  if (lane.learned_actions.capacity() > 2 * lane.peak_count) {
+    lane.learned_actions.clear();
+    lane.learned_actions.shrink_to_fit();
+  }
+  if (lane.arena.CapacityBytes() > 2 * lane.peak_arena_used) {
+    lane.arena.ShrinkTo(lane.peak_arena_used);
+  }
+  lane.peak_count = 0;
+  lane.peak_arena_used = 0;
+  lane.epochs_since_shrink = 0;
 }
 
 void DecisionService::DecideBatch(std::span<const Request> requests,
@@ -138,15 +216,13 @@ void DecisionService::DecideBatch(std::span<const Request> requests,
   ++round_;
   const std::size_t input = model_->InputSize();
   for (const Request& r : requests) {
-    OSAP_REQUIRE(r.session < sessions_.size() &&
-                     sessions_[r.session] != nullptr,
+    OSAP_REQUIRE(r.session < open_.size() && open_[r.session] != 0,
                  "DecideBatch: unknown session");
     OSAP_REQUIRE(r.state != nullptr && r.state->size() == input,
                  "DecideBatch: null or mis-sized state");
-    SessionContext& ctx = *sessions_[r.session];
-    OSAP_REQUIRE(ctx.last_round != round_,
+    OSAP_REQUIRE(last_round_[r.session] != round_,
                  "DecideBatch: a session may appear once per batch");
-    ctx.last_round = round_;
+    last_round_[r.session] = round_;
   }
 
   // Route: one O(R) pass counting per shard, one O(R) pass staging each
@@ -209,6 +285,7 @@ void DecisionService::RunShard(std::size_t shard,
                                std::span<mdp::Action> out,
                                std::span<const std::size_t> idx) {
   ShardLane& s = *shards_[shard];
+  SessionTable& table = s.sessions;
   const std::size_t count = idx.size();
   if (count == 0) return;
 
@@ -220,7 +297,7 @@ void DecisionService::RunShard(std::size_t shard,
 
   if (model_->signal() == Signal::kNovelty) {
     // U_S: stream each session's observation through ITS OWN extractor
-    // (per-session context), staging completed feature vectors as rows of
+    // (pooled per shard), staging completed feature vectors as rows of
     // one contiguous matrix; a single batched OC-SVM scan then replaces
     // per-session DecisionValue calls. Warm-up semantics replicate
     // NoveltyDetector::Score exactly: non-positive observations skip the
@@ -232,11 +309,12 @@ void DecisionService::RunShard(std::size_t shard,
     std::size_t staged = 0;
     for (std::size_t j = 0; j < count; ++j) {
       const Request& r = requests[idx[j]];
-      SessionContext& ctx = *sessions_[r.session];
       scores[j] = 0.0;
       const double observation = probe(*r.state);
       if (observation <= 0.0) continue;
-      if (ctx.extractor->Push(observation, s.features.Row(staged))) {
+      core::NoveltyFeatureExtractor& extractor =
+          s.extractors[table.extractor_of[LocalOf(r.session)]];
+      if (extractor.Push(observation, s.features.Row(staged))) {
         staged_of[staged] = j;
         ++staged;
       }
@@ -264,16 +342,21 @@ void DecisionService::RunShard(std::size_t shard,
     model_->UncertaintyScores(s.states, scores, scored_actions);
   }
 
-  // Advance each session's defaulting state machine, answering fallback
-  // sessions immediately and collecting the rest for one batched
-  // deployed-actor pass (unless the scoring pass already produced their
-  // actions).
+  // Advance each session's defaulting state machine over the dense SoA
+  // table (the same core::SafetyObserve the sequential SafetyCore runs),
+  // answering fallback sessions immediately and collecting the rest for
+  // one batched deployed-actor pass (unless the scoring pass already
+  // produced their actions).
+  const core::SafeAgentConfig& safety = model_->safety();
   const std::span<std::size_t> learned_of = s.arena.Alloc<std::size_t>(count);
   std::size_t learned = 0;
   for (std::size_t j = 0; j < count; ++j) {
     const Request& r = requests[idx[j]];
-    SessionContext& ctx = *sessions_[r.session];
-    if (ctx.safety.Observe(scores[j])) {
+    const std::size_t local = LocalOf(r.session);
+    double* ring =
+        ring_width_ > 0 ? &table.rings[local * ring_width_] : nullptr;
+    if (core::SafetyObserve(safety, table.hot[local], table.cold[local],
+                            ring, scores[j])) {
       out[idx[j]] = model_->FallbackAction(*r.state);
     } else if (!scored_actions.empty()) {
       out[idx[j]] = scored_actions[j];
@@ -294,6 +377,45 @@ void DecisionService::RunShard(std::size_t shard,
       out[idx[learned_of[t]]] = s.learned_actions[t];
     }
   }
+}
+
+ServiceMemoryStats DecisionService::MemoryStats() const {
+  ServiceMemoryStats stats;
+  stats.open_sessions = active_count_;
+  stats.session_slots = open_.size();
+  stats.registry_bytes = open_.capacity() * sizeof(std::uint8_t) +
+                         last_round_.capacity() * sizeof(std::uint64_t) +
+                         free_slots_.capacity() * sizeof(SessionId);
+  for (const auto& lane : shards_) {
+    const SessionTable& table = lane->sessions;
+    stats.session_hot_bytes +=
+        table.hot.capacity() * sizeof(core::SafetyState);
+    stats.session_cold_bytes +=
+        table.cold.capacity() * sizeof(core::SafetyCold);
+    stats.trigger_ring_bytes += table.rings.capacity() * sizeof(double);
+    stats.registry_bytes +=
+        table.extractor_of.capacity() * sizeof(ExtractorPool::Index);
+    stats.extractor_bytes += lane->extractors.CapacityBytes();
+    stats.scratch_bytes +=
+        sizeof(ShardLane) + lane->arena.CapacityBytes() +
+        lane->states.values().capacity() * sizeof(double) +
+        lane->features.values().capacity() * sizeof(double) +
+        lane->learned_states.values().capacity() * sizeof(double) +
+        lane->learned_actions.capacity() * sizeof(mdp::Action) +
+        lane->ring.Capacity() * sizeof(std::uint32_t);
+  }
+  stats.scratch_bytes += shard_counts_.capacity() * sizeof(std::size_t);
+  return stats;
+}
+
+void DecisionService::MeasureMemory(util::MemoryMeter& meter) const {
+  const ServiceMemoryStats stats = MemoryStats();
+  meter.Add("session.hot", stats.session_hot_bytes);
+  meter.Add("session.cold", stats.session_cold_bytes);
+  meter.Add("session.rings", stats.trigger_ring_bytes);
+  meter.Add("session.extractors", stats.extractor_bytes);
+  meter.Add("session.registry", stats.registry_bytes);
+  meter.Add("shard.scratch", stats.scratch_bytes);
 }
 
 }  // namespace osap::serve

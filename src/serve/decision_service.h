@@ -9,7 +9,7 @@
 //      pass over the SHARED model weights (EnsembleModel::ScorePacked for
 //      U_pi / U_V; staged feature rows + one OneClassSvm::DecisionValues
 //      scan for U_S),
-//   3. advances each session's SafetyCore state machine on its score, and
+//   3. advances each session's defaulting state machine on its score, and
 //   4. emits actions: one batched deployed-actor pass for the
 //      non-defaulted sessions, the Buffer-Based mapping for the rest.
 //
@@ -29,13 +29,26 @@
 // bit-identical to the sequential SafeAgent loop for all three signals
 // in both defaulting modes (pinned by equivalence tests).
 //
+// Per-session state is on a strict memory budget (ROADMAP: a million
+// concurrent sessions must fit). Each shard keeps its sessions in a
+// struct-of-arrays table - dense core::SafetyState records (hot), their
+// variance-trigger score rings packed into one contiguous array, and the
+// cold introspection fields split out - instead of per-session heap
+// objects, so the epoch scan walks cache lines, an open/close touches no
+// allocator in steady state (slots recycle through a free list), and a
+// session costs tens of bytes. U_S deployments add a per-shard
+// util::SlabPool of NoveltyFeatureExtractors whose window/pair storage is
+// carved from the slab; U_pi / U_V sessions hold no extractor index and
+// pay zero extractor bytes. MemoryStats() reports the exact breakdown.
+//
 // Per-shard scratch (index/score arrays, packed matrices, a util::Arena)
-// persists across calls, so the steady state is allocation-free. The
-// throughput win over the one-session-at-a-time loop comes from weight
-// de-duplication - N sequential sessions stream N private ~100 KB weight
-// packs through the cache hierarchy per round, the service streams ONE
-// shared pack per shard batch - plus shard parallelism on multi-core
-// hosts.
+// persists across calls, so the steady state is allocation-free; after a
+// population spike, lanes shrink scratch back to the recent working set
+// (DecisionServiceConfig::lane_shrink_after). The throughput win over the
+// one-session-at-a-time loop comes from weight de-duplication - N
+// sequential sessions stream N private ~100 KB weight packs through the
+// cache hierarchy per round, the service streams ONE shared pack per
+// shard batch - plus shard parallelism on multi-core hosts.
 //
 // Thread-safety: the service synchronizes its own workers; the service
 // object itself is externally synchronized - do not call Open/Close/
@@ -50,7 +63,6 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -62,6 +74,8 @@
 #include "nn/sequential.h"
 #include "serve/serving_model.h"
 #include "util/arena.h"
+#include "util/memory_meter.h"
+#include "util/slab_pool.h"
 #include "util/spsc_ring.h"
 
 namespace osap::serve {
@@ -76,6 +90,42 @@ struct DecisionServiceConfig {
   /// reference arm for the equivalence tests, and the right choice when
   /// the host dedicates a single core to the service.
   bool shard_workers = true;
+  /// Sessions per slab in the per-shard extractor pool (U_S only).
+  std::size_t extractor_slab_slots = 256;
+  /// Scratch shrink cadence: every lane_shrink_after epochs a shard lane
+  /// compares its scratch capacity (arena + packed matrices) against the
+  /// high-water use of the elapsed period and releases anything more than
+  /// 2x the recent need, so a population spike does not pin its peak
+  /// forever. 0 disables shrinking.
+  std::size_t lane_shrink_after = 64;
+};
+
+/// Exact byte accounting of a service's per-session and scratch memory
+/// (capacity bytes of the service's own containers; the shared
+/// ServingModel is excluded - it is one object per process regardless of
+/// session count).
+struct ServiceMemoryStats {
+  std::size_t open_sessions = 0;
+  std::size_t session_slots = 0;      // table rows incl. free-listed
+  std::size_t session_hot_bytes = 0;  // SafetyState SoA arrays
+  std::size_t session_cold_bytes = 0;
+  std::size_t trigger_ring_bytes = 0;  // packed variance-trigger windows
+  std::size_t extractor_bytes = 0;     // U_S slab pools (objects + storage)
+  std::size_t registry_bytes = 0;  // slot registry: last-round/open/free
+  std::size_t scratch_bytes = 0;   // shard lanes: arenas, matrices, rings
+
+  /// Bytes attributable to session state (everything but shard scratch).
+  std::size_t SessionBytes() const {
+    return session_hot_bytes + session_cold_bytes + trigger_ring_bytes +
+           extractor_bytes + registry_bytes;
+  }
+  std::size_t TotalBytes() const { return SessionBytes() + scratch_bytes; }
+  /// Session bytes amortized over the open sessions (0 when none).
+  double BytesPerSession() const {
+    return open_sessions == 0 ? 0.0
+                              : static_cast<double>(SessionBytes()) /
+                                    static_cast<double>(open_sessions);
+  }
 };
 
 class DecisionService {
@@ -93,8 +143,8 @@ class DecisionService {
                   DecisionServiceConfig config = {});
   ~DecisionService();
 
-  /// Registers a new session (fresh SafetyCore / novelty window) and
-  /// returns its id. Ids of closed sessions are recycled.
+  /// Registers a new session (fresh defaulting state / novelty window)
+  /// and returns its id. Ids of closed sessions are recycled.
   SessionId OpenSession();
 
   /// Tears a session down; its id becomes invalid until recycled.
@@ -122,17 +172,16 @@ class DecisionService {
   std::size_t StepCount(SessionId id) const;
   double DefaultedFraction(SessionId id) const;
 
- private:
-  /// Per-session mutable context: the defaulting state machine plus (for
-  /// U_S deployments) the streaming feature extractor. A few dozen bytes
-  /// - the whole point of the shared-model split.
-  struct SessionContext {
-    explicit SessionContext(const ServingModel& model);
-    core::SafetyCore safety;
-    std::optional<core::NoveltyFeatureExtractor> extractor;  // U_S only
-    std::uint64_t last_round = 0;  // duplicate-request guard
-  };
+  /// Exact capacity-byte accounting of the service's own containers.
+  /// Call between DecideBatch rounds only (walks the shard lanes).
+  ServiceMemoryStats MemoryStats() const;
 
+  /// Adds the same accounting to `meter` under "session.hot",
+  /// "session.cold", "session.rings", "session.extractors",
+  /// "session.registry", and "shard.scratch".
+  void MeasureMemory(util::MemoryMeter& meter) const;
+
+ private:
   /// One epoch's input for a shard: the round's request/out spans plus
   /// how many indices the worker must drain from its ring.
   struct EpochSlot {
@@ -141,17 +190,41 @@ class DecisionService {
     std::size_t count = 0;
   };
 
-  /// Per-shard lane: scratch that persists across DecideBatch calls plus
-  /// (for shards beyond 0 under shard_workers) the handoff state its
-  /// pinned worker drains. unique_ptr in shards_ because the arena and
-  /// the synchronization members are pinned in place (non-movable).
+  using ExtractorPool = util::SlabPool<core::NoveltyFeatureExtractor>;
+
+  /// Struct-of-arrays session table for one shard, indexed by local slot
+  /// (id / shard_count). The epoch scan touches hot[] and rings[] only;
+  /// cold[] is introspection, extractor_of[] routes U_S sessions to their
+  /// pooled extractor (empty table for the other signals).
+  struct SessionTable {
+    std::vector<core::SafetyState> hot;
+    std::vector<core::SafetyCold> cold;
+    std::vector<double> rings;  // local slots x ring_width, packed
+    std::vector<ExtractorPool::Index> extractor_of;  // U_S only
+  };
+
+  /// Per-shard lane: the shard's session table and extractor pool plus
+  /// scratch that persists across DecideBatch calls plus (for shards
+  /// beyond 0 under shard_workers) the handoff state its pinned worker
+  /// drains. unique_ptr in shards_ because the arena and the
+  /// synchronization members are pinned in place (non-movable).
   struct ShardLane {
+    ShardLane(std::size_t slab_slots, std::size_t scratch_doubles)
+        : extractors(slab_slots, scratch_doubles) {}
+
+    // --- session state owned by this shard ---
+    SessionTable sessions;
+    ExtractorPool extractors;  // U_S per-session extractors
+
     // --- scratch owned by whichever thread runs the shard ---
     util::Arena arena;        // per-epoch index/score arrays
     nn::Matrix states;        // packed request states
     nn::Matrix features;      // U_S staged feature rows
     nn::Matrix learned_states;
     std::vector<mdp::Action> learned_actions;
+    std::size_t peak_count = 0;       // requests/epoch since last shrink
+    std::size_t peak_arena_used = 0;  // arena bytes since last shrink
+    std::size_t epochs_since_shrink = 0;
 
     // --- caller -> worker handoff (workers only) ---
     util::SpscRing<std::uint32_t> ring;  // request indices for the epoch
@@ -173,16 +246,29 @@ class DecisionService {
   /// shard's request indices in caller order.
   void RunShard(std::size_t shard, std::span<const Request> requests,
                 std::span<mdp::Action> out, std::span<const std::size_t> idx);
+  /// Periodic scratch diet: tracks the lane's high-water use and, every
+  /// lane_shrink_after epochs, releases arena blocks / packed matrices
+  /// beyond 2x the recent need. Runs on the lane's owning thread at the
+  /// end of DrainEpoch.
+  void MaybeShrinkLane(ShardLane& lane, std::size_t count);
   std::size_t ShardOf(SessionId id) const { return id % shards_.size(); }
-  const SessionContext& Context(SessionId id) const;
+  std::size_t LocalOf(SessionId id) const { return id / shards_.size(); }
+  void CheckOpen(SessionId id) const;
 
   std::shared_ptr<const ServingModel> model_;
   DecisionServiceConfig config_;
-  std::vector<std::unique_ptr<SessionContext>> sessions_;  // slot-indexed
-  std::vector<SessionId> free_slots_;
-  std::size_t active_count_ = 0;
   std::vector<std::unique_ptr<ShardLane>> shards_;
   std::vector<std::thread> workers_;  // workers_[i] drains shard i + 1
+
+  // Slot registry (slot-indexed, spanning all shards). last_round_ is the
+  // duplicate-request guard: DecideBatch stamps each session with the
+  // round number and rejects a second appearance.
+  std::vector<std::uint64_t> last_round_;
+  std::vector<std::uint8_t> open_;
+  std::vector<SessionId> free_slots_;
+  std::size_t active_count_ = 0;
+  std::size_t ring_width_ = 0;        // trigger-ring doubles per session
+  std::size_t extractor_doubles_ = 0;  // slab scratch per U_S session
   std::vector<std::size_t> shard_counts_;  // per-round routing scratch
   std::uint64_t round_ = 0;
 };

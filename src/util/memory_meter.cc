@@ -1,0 +1,80 @@
+#include "util/memory_meter.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace osap::util {
+
+std::size_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total_pages = 0;
+  long resident_pages = 0;
+  const int fields = std::fscanf(f, "%ld %ld", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (fields != 2 || resident_pages < 0) return 0;
+#if defined(_SC_PAGESIZE)
+  const long page = sysconf(_SC_PAGESIZE);
+#else
+  const long page = 4096;
+#endif
+  return static_cast<std::size_t>(resident_pages) *
+         static_cast<std::size_t>(page > 0 ? page : 4096);
+}
+
+std::size_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f != nullptr) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::strncmp(line, "VmHWM:", 6) != 0) continue;
+      long kib = 0;
+      if (std::sscanf(line + 6, "%ld", &kib) == 1 && kib >= 0) {
+        std::fclose(f);
+        return static_cast<std::size_t>(kib) * 1024;
+      }
+      break;
+    }
+    std::fclose(f);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+    // Linux reports ru_maxrss in KiB (macOS in bytes, but macOS never
+    // reaches here: /proc is absent and this branch reports bytes anyway,
+    // an acceptable upper bound).
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+  }
+#endif
+  return 0;
+}
+
+void MemoryMeter::Add(std::string_view category, std::size_t bytes) {
+  for (auto& [name, total] : entries_) {
+    if (name == category) {
+      total += bytes;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(category), bytes);
+}
+
+std::size_t MemoryMeter::Get(std::string_view category) const {
+  for (const auto& [name, total] : entries_) {
+    if (name == category) return total;
+  }
+  return 0;
+}
+
+std::size_t MemoryMeter::Total() const {
+  std::size_t total = 0;
+  for (const auto& [name, bytes] : entries_) total += bytes;
+  return total;
+}
+
+}  // namespace osap::util

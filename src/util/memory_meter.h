@@ -1,0 +1,49 @@
+// Memory accounting for the serving path.
+//
+// Two complementary probes: MemoryMeter is an exact, deterministic
+// category accumulator (a component walks its own containers and reports
+// capacity bytes per category - what the bytes/session gates pin), and
+// CurrentRssBytes/PeakRssBytes read the kernel's view of the whole
+// process from /proc (what actually limits how many sessions fit on a
+// host, including allocator overhead the exact walk cannot see).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace osap::util {
+
+/// Resident set size in bytes from /proc/self/statm; 0 when the proc
+/// filesystem is unavailable (non-Linux hosts).
+std::size_t CurrentRssBytes();
+
+/// Peak resident set size in bytes (VmHWM from /proc/self/status, falling
+/// back to getrusage); 0 when neither source is available. Monotonic over
+/// the process lifetime - report it alongside CurrentRssBytes, not
+/// instead of it.
+std::size_t PeakRssBytes();
+
+/// Accumulates exact byte counts by category (insertion-ordered). Add on
+/// an existing category accumulates, so nested components can report into
+/// a shared bucket.
+class MemoryMeter {
+ public:
+  void Add(std::string_view category, std::size_t bytes);
+
+  /// Bytes accumulated under `category`; 0 when absent.
+  std::size_t Get(std::string_view category) const;
+
+  std::size_t Total() const;
+
+  const std::vector<std::pair<std::string, std::size_t>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::size_t>> entries_;
+};
+
+}  // namespace osap::util

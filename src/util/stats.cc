@@ -36,19 +36,83 @@ void RunningStats::Reset() {
 }
 
 SlidingWindowStats::SlidingWindowStats(std::size_t capacity)
-    : capacity_(capacity) {
+    : data_(nullptr),
+      capacity_(static_cast<std::uint32_t>(capacity)),
+      owns_(true) {
   OSAP_REQUIRE(capacity > 0, "SlidingWindowStats capacity must be > 0");
-  buffer_.reserve(capacity);
+  data_ = new double[capacity_];
+}
+
+SlidingWindowStats::SlidingWindowStats(std::span<double> storage)
+    : data_(storage.data()),
+      capacity_(static_cast<std::uint32_t>(storage.size())),
+      owns_(false) {
+  OSAP_REQUIRE(!storage.empty(), "SlidingWindowStats capacity must be > 0");
+}
+
+SlidingWindowStats::~SlidingWindowStats() {
+  if (owns_) delete[] data_;
+}
+
+SlidingWindowStats::SlidingWindowStats(const SlidingWindowStats& other)
+    : sum_(other.sum_),
+      sum_sq_(other.sum_sq_),
+      capacity_(other.capacity_),
+      size_(other.size_),
+      head_(other.head_),
+      owns_(true) {
+  // Copies always own their storage (a placement-backed source stays tied
+  // to its slab; its copy must not).
+  data_ = new double[capacity_];
+  for (std::uint32_t i = 0; i < size_; ++i) data_[i] = other.data_[i];
+}
+
+SlidingWindowStats& SlidingWindowStats::operator=(
+    const SlidingWindowStats& other) {
+  if (this == &other) return *this;
+  SlidingWindowStats copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+SlidingWindowStats::SlidingWindowStats(SlidingWindowStats&& other) noexcept
+    : data_(other.data_),
+      sum_(other.sum_),
+      sum_sq_(other.sum_sq_),
+      capacity_(other.capacity_),
+      size_(other.size_),
+      head_(other.head_),
+      owns_(other.owns_) {
+  other.data_ = nullptr;
+  other.capacity_ = other.size_ = other.head_ = 0;
+  other.owns_ = false;
+}
+
+SlidingWindowStats& SlidingWindowStats::operator=(
+    SlidingWindowStats&& other) noexcept {
+  if (this == &other) return *this;
+  if (owns_) delete[] data_;
+  data_ = other.data_;
+  sum_ = other.sum_;
+  sum_sq_ = other.sum_sq_;
+  capacity_ = other.capacity_;
+  size_ = other.size_;
+  head_ = other.head_;
+  owns_ = other.owns_;
+  other.data_ = nullptr;
+  other.capacity_ = other.size_ = other.head_ = 0;
+  other.owns_ = false;
+  return *this;
 }
 
 void SlidingWindowStats::Push(double x) {
-  if (buffer_.size() < capacity_) {
-    buffer_.push_back(x);
+  if (size_ < capacity_) {
+    data_[size_++] = x;
   } else {
-    const double old = buffer_[head_];
+    const double old = data_[head_];
     sum_ -= old;
     sum_sq_ -= old * old;
-    buffer_[head_] = x;
+    data_[head_] = x;
     head_ = (head_ + 1) % capacity_;
   }
   sum_ += x;
@@ -56,12 +120,12 @@ void SlidingWindowStats::Push(double x) {
 }
 
 double SlidingWindowStats::Mean() const {
-  return buffer_.empty() ? 0.0 : sum_ / static_cast<double>(buffer_.size());
+  return size_ == 0 ? 0.0 : sum_ / static_cast<double>(size_);
 }
 
 double SlidingWindowStats::Variance() const {
-  if (buffer_.size() < 2) return 0.0;
-  const double n = static_cast<double>(buffer_.size());
+  if (size_ < 2) return 0.0;
+  const double n = static_cast<double>(size_);
   const double m = sum_ / n;
   // Guard against tiny negative values from cancellation.
   return std::max(0.0, sum_sq_ / n - m * m);
@@ -71,15 +135,15 @@ double SlidingWindowStats::StdDev() const { return std::sqrt(Variance()); }
 
 std::vector<double> SlidingWindowStats::Values() const {
   std::vector<double> out;
-  out.reserve(buffer_.size());
-  for (std::size_t i = 0; i < buffer_.size(); ++i) {
-    out.push_back(buffer_[(head_ + i) % buffer_.size()]);
+  out.reserve(size_);
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    out.push_back(data_[(head_ + i) % size_]);
   }
   return out;
 }
 
 void SlidingWindowStats::Reset() {
-  buffer_.clear();
+  size_ = 0;
   head_ = 0;
   sum_ = sum_sq_ = 0.0;
 }

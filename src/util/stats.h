@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -51,18 +52,36 @@ class RunningStats {
 /// last k time steps", paper Section 2.5) and by the ND feature extractor
 /// ("mean and standard deviation of the 10 most recent network
 /// throughputs", Section 3.1).
+///
+/// The ring storage either lives in a private heap allocation (the
+/// capacity constructor) or is placed into caller-owned memory (the span
+/// constructor) - the serving path carves per-session windows out of a
+/// shard slab so a session costs no private allocation. Copies are always
+/// deep into a fresh owned buffer; moves steal the source's storage.
 class SlidingWindowStats {
  public:
-  /// Window of the given capacity; capacity must be > 0.
+  /// Window of the given capacity with owned storage; capacity must be
+  /// > 0.
   explicit SlidingWindowStats(std::size_t capacity);
+
+  /// Window placed into `storage` (capacity = storage.size(), must be
+  /// > 0). The caller keeps `storage` alive and in place for the
+  /// window's lifetime; contents need not be initialized.
+  explicit SlidingWindowStats(std::span<double> storage);
+
+  ~SlidingWindowStats();
+  SlidingWindowStats(const SlidingWindowStats& other);
+  SlidingWindowStats& operator=(const SlidingWindowStats& other);
+  SlidingWindowStats(SlidingWindowStats&& other) noexcept;
+  SlidingWindowStats& operator=(SlidingWindowStats&& other) noexcept;
 
   /// Pushes an observation, evicting the oldest when full.
   void Push(double x);
 
   /// True once capacity observations have been pushed.
-  bool Full() const { return buffer_.size() == capacity_; }
+  bool Full() const { return size_ == capacity_; }
 
-  std::size_t Size() const { return buffer_.size(); }
+  std::size_t Size() const { return size_; }
   std::size_t Capacity() const { return capacity_; }
 
   /// Mean over current contents; 0 when empty.
@@ -80,11 +99,13 @@ class SlidingWindowStats {
   void Reset();
 
  private:
-  std::size_t capacity_;
-  std::vector<double> buffer_;  // ring buffer
-  std::size_t head_ = 0;        // index of oldest element
+  double* data_ = nullptr;  // ring buffer (owned iff owns_)
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
+  std::uint32_t capacity_ = 0;
+  std::uint32_t size_ = 0;
+  std::uint32_t head_ = 0;  // index of oldest element once full
+  bool owns_ = false;
 };
 
 /// Batch summary of a sample: the exact statistics Figure 4 reports.

@@ -121,6 +121,61 @@ TEST(NoveltyFeatureExtractor, RingMatchesDequeReferenceBitForBit) {
   }
 }
 
+TEST(NoveltyFeatureExtractor, PlacementStorageMatchesOwningBitForBit) {
+  // The serving path carves each extractor's window + pair ring out of a
+  // shard slab; the span-backed extractor must stream exactly the owning
+  // one's features, including across a Reset over recycled storage.
+  const auto cfg = SmallConfig();
+  NoveltyFeatureExtractor owning(cfg);
+  std::vector<double> storage(NoveltyFeatureExtractor::StorageDoubles(cfg),
+                              -7.0);  // deliberately dirty
+  NoveltyFeatureExtractor placed(cfg, std::span<double>(storage));
+  const auto seq = ThroughputSequence(3.0, 1.0, 200, 9);
+  std::vector<double> owning_out(2 * cfg.k);
+  std::vector<double> placed_out(2 * cfg.k);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i == 100) {
+      owning.Reset();
+      placed.Reset();
+    }
+    const bool a = owning.Push(seq[i], owning_out);
+    const bool b = placed.Push(seq[i], placed_out);
+    ASSERT_EQ(a, b) << "push " << i;
+    if (!a) continue;
+    for (std::size_t d = 0; d < owning_out.size(); ++d) {
+      EXPECT_EQ(placed_out[d], owning_out[d]) << "push " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(NoveltyFeatureExtractor, PlacementRejectsTooSmallStorage) {
+  const auto cfg = SmallConfig();
+  std::vector<double> storage(NoveltyFeatureExtractor::StorageDoubles(cfg) -
+                              1);
+  EXPECT_THROW(NoveltyFeatureExtractor(cfg, std::span<double>(storage)),
+               std::invalid_argument);
+}
+
+TEST(NoveltyFeatureExtractor, CopyOfPlacedExtractorOwnsItsStorage) {
+  const auto cfg = SmallConfig();
+  std::vector<double> storage(NoveltyFeatureExtractor::StorageDoubles(cfg));
+  NoveltyFeatureExtractor placed(cfg, std::span<double>(storage));
+  for (int i = 0; i < 6; ++i) placed.Push(2.0 + i);
+
+  NoveltyFeatureExtractor copy = placed;
+  const std::vector<double> snapshot = storage;
+  std::vector<double> out(2 * cfg.k);
+  for (int i = 0; i < 6; ++i) copy.Push(9.0 + i, out);
+  EXPECT_EQ(storage, snapshot)
+      << "pushes into the copy must not touch the original's slab storage";
+
+  // And the two streams now evolve independently but deterministically.
+  std::vector<double> placed_out(2 * cfg.k);
+  ASSERT_TRUE(placed.Push(8.0, placed_out));
+  ASSERT_TRUE(copy.Push(8.0, out));
+  EXPECT_NE(placed_out, out);  // different histories, different features
+}
+
 TEST(NoveltyDetector, ExtractFeaturesCountsMatchWindowAndK) {
   const auto cfg = SmallConfig();
   const auto seq = ThroughputSequence(3.0, 0.5, 20, 1);

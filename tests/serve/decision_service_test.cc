@@ -430,6 +430,71 @@ TEST(DecisionServiceApi, SessionBookkeeping) {
   EXPECT_NE(a, c);
 }
 
+TEST(DecisionServiceMemory, UpiSessionsFitTheBudget) {
+  // The memory-diet contract: a U_pi session is SafetyState + its
+  // variance-trigger ring + a few registry bytes - no extractor, no
+  // per-session heap objects. 256 B/session leaves room for vector
+  // capacity slack (growth doubling) on top of the ~100 B of state.
+  const World& w = SharedWorld();
+  DecisionService service(
+      ModelFor(w, Signal::kAgentEnsemble,
+               ConfigFor(w, Signal::kAgentEnsemble,
+                         core::DefaultingMode::kPermanent)),
+      DecisionServiceConfig{.shard_count = 4});
+  constexpr std::size_t kMany = 10000;
+  for (std::size_t i = 0; i < kMany; ++i) service.OpenSession();
+
+  const ServiceMemoryStats stats = service.MemoryStats();
+  EXPECT_EQ(stats.open_sessions, kMany);
+  EXPECT_EQ(stats.extractor_bytes, 0u)
+      << "U_pi sessions must pay zero extractor bytes";
+  // Every open session owns exactly ring_width doubles of trigger window.
+  EXPECT_GE(stats.trigger_ring_bytes, kMany * kTriggerK * sizeof(double));
+  EXPECT_GE(stats.session_hot_bytes, kMany * sizeof(core::SafetyState));
+  EXPECT_LE(stats.BytesPerSession(), 256.0)
+      << "hot " << stats.session_hot_bytes << " cold "
+      << stats.session_cold_bytes << " rings " << stats.trigger_ring_bytes
+      << " registry " << stats.registry_bytes;
+}
+
+TEST(DecisionServiceMemory, NoveltySessionsFitTheBudget) {
+  // U_S adds the slab-pooled extractor (window + pair ring carved from
+  // the slab) but drops the trigger ring (binary trigger): the budget is
+  // 512 B/session including slab rounding and capacity slack.
+  const World& w = SharedWorld();
+  DecisionService service(
+      ModelFor(
+          w, Signal::kNovelty,
+          ConfigFor(w, Signal::kNovelty, core::DefaultingMode::kPermanent)),
+      DecisionServiceConfig{.shard_count = 4});
+  constexpr std::size_t kMany = 10000;
+  for (std::size_t i = 0; i < kMany; ++i) service.OpenSession();
+
+  const ServiceMemoryStats stats = service.MemoryStats();
+  EXPECT_EQ(stats.open_sessions, kMany);
+  EXPECT_EQ(stats.trigger_ring_bytes, 0u)
+      << "binary-trigger sessions must pay zero ring bytes";
+  EXPECT_GT(stats.extractor_bytes, 0u);
+  EXPECT_LE(stats.BytesPerSession(), 512.0);
+}
+
+TEST(DecisionServiceMemory, MeterCategoriesMatchTheStats) {
+  const World& w = SharedWorld();
+  DecisionService service(ModelFor(
+      w, Signal::kNovelty,
+      ConfigFor(w, Signal::kNovelty, core::DefaultingMode::kPermanent)));
+  for (std::size_t i = 0; i < 100; ++i) service.OpenSession();
+
+  const ServiceMemoryStats stats = service.MemoryStats();
+  util::MemoryMeter meter;
+  service.MeasureMemory(meter);
+  EXPECT_EQ(meter.Get("session.hot"), stats.session_hot_bytes);
+  EXPECT_EQ(meter.Get("session.rings"), stats.trigger_ring_bytes);
+  EXPECT_EQ(meter.Get("session.extractors"), stats.extractor_bytes);
+  EXPECT_EQ(meter.Get("shard.scratch"), stats.scratch_bytes);
+  EXPECT_EQ(meter.Total(), stats.TotalBytes());
+}
+
 TEST(DecisionServiceApi, InvalidConstructionThrows) {
   const World& w = SharedWorld();
   EXPECT_THROW(DecisionService(nullptr), std::invalid_argument);

@@ -1,0 +1,60 @@
+#include "util/memory_meter.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace osap::util {
+namespace {
+
+TEST(MemoryMeter, AccumulatesByCategoryInInsertionOrder) {
+  MemoryMeter meter;
+  meter.Add("a", 100);
+  meter.Add("b", 50);
+  meter.Add("a", 25);
+  EXPECT_EQ(meter.Get("a"), 125u);
+  EXPECT_EQ(meter.Get("b"), 50u);
+  EXPECT_EQ(meter.Get("missing"), 0u);
+  EXPECT_EQ(meter.Total(), 175u);
+  ASSERT_EQ(meter.entries().size(), 2u);
+  EXPECT_EQ(meter.entries()[0].first, "a");
+  EXPECT_EQ(meter.entries()[1].first, "b");
+}
+
+TEST(MemoryMeter, EmptyMeterIsZero) {
+  const MemoryMeter meter;
+  EXPECT_EQ(meter.Total(), 0u);
+  EXPECT_TRUE(meter.entries().empty());
+}
+
+TEST(RssProbe, CurrentRssIsPositiveAndPageAligned) {
+  const std::size_t rss = CurrentRssBytes();
+  ASSERT_GT(rss, 0u) << "/proc/self/statm should exist on Linux";
+  // A running process resides in at least a few hundred KB.
+  EXPECT_GT(rss, 100u * 1024u);
+}
+
+TEST(RssProbe, PeakRssIsAtLeastCurrent) {
+  // Peak is monotonic over the process lifetime, so it can never be below
+  // a current reading taken afterwards.
+  const std::size_t current = CurrentRssBytes();
+  const std::size_t peak = PeakRssBytes();
+  ASSERT_GT(peak, 0u);
+  EXPECT_GE(peak, current);
+}
+
+TEST(RssProbe, TouchingMemoryGrowsRss) {
+  const std::size_t before = CurrentRssBytes();
+  constexpr std::size_t kBytes = 32 * 1024 * 1024;
+  auto block = std::make_unique<unsigned char[]>(kBytes);
+  // Touch every page so the kernel actually maps it.
+  for (std::size_t i = 0; i < kBytes; i += 4096) block[i] = 1;
+  const std::size_t after = CurrentRssBytes();
+  EXPECT_GE(after, before + kBytes / 2)
+      << "32 MB of touched pages must show up in RSS";
+  EXPECT_GE(PeakRssBytes(), after);
+}
+
+}  // namespace
+}  // namespace osap::util

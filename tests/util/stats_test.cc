@@ -123,6 +123,46 @@ TEST(SlidingWindowStats, ResetEmptiesWindow) {
   EXPECT_EQ(w.Mean(), 0.0);
 }
 
+TEST(SlidingWindowStats, PlacementStorageMatchesOwningWindow) {
+  // The serving path carves window storage from shard slabs; the
+  // span-backed window must be bit-identical to the owning one.
+  Rng rng(7);
+  std::vector<double> storage(6, -1.0);
+  SlidingWindowStats owning(6);
+  SlidingWindowStats placed{std::span<double>(storage)};
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Uniform(0.0, 9.0);
+    owning.Push(x);
+    placed.Push(x);
+    ASSERT_EQ(placed.Size(), owning.Size());
+    ASSERT_EQ(placed.Full(), owning.Full());
+    ASSERT_EQ(placed.Mean(), owning.Mean()) << "step " << i;
+    ASSERT_EQ(placed.Variance(), owning.Variance()) << "step " << i;
+  }
+  EXPECT_EQ(placed.Values(), owning.Values());
+}
+
+TEST(SlidingWindowStats, PlacementRejectsEmptyStorage) {
+  std::vector<double> storage;
+  EXPECT_THROW(SlidingWindowStats{std::span<double>(storage)},
+               std::invalid_argument);
+}
+
+TEST(SlidingWindowStats, CopyIsDeepAndIndependent) {
+  std::vector<double> storage(3);
+  SlidingWindowStats placed{std::span<double>(storage)};
+  placed.Push(1.0);
+  placed.Push(2.0);
+
+  SlidingWindowStats copy = placed;  // copies always own their storage
+  copy.Push(3.0);
+  copy.Push(4.0);  // wraps in the copy only
+  EXPECT_EQ(storage[0], 1.0) << "copy must not write the original storage";
+  EXPECT_EQ(placed.Size(), 2u);
+  EXPECT_DOUBLE_EQ(copy.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(placed.Mean(), 1.5);
+}
+
 TEST(Median, OddAndEvenLengths) {
   const std::vector<double> odd = {5.0, 1.0, 3.0};
   EXPECT_DOUBLE_EQ(Median(odd), 3.0);

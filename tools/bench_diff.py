@@ -33,11 +33,19 @@ improvements and summarized at the end: a large speedup either deserves a
 refreshed baseline (so later regressions are judged against the new
 normal) or indicates the benchmark no longer measures what it used to.
 Improvements never affect the exit status.
+
+Sidecars may also carry counter entries named "benchmark:counter" (e.g.
+"BM_ServeServiceMemUs/100000/8:bytes_per_session"); those diff exactly
+like timings (lower is better - the reporter deliberately excludes rate
+counters) but are printed without the ns/op unit. --select RegEx
+restricts the diff to matching entry names, so a gate can pin just the
+memory counters of a combined sidecar.
 """
 
 import argparse
 import json
 import os
+import re
 import sys
 
 
@@ -82,6 +90,14 @@ def main() -> int:
         "gates - e.g. --fail-above 400 in the ctest perf smoke only fails on "
         "catastrophic regressions, since smoke-mode timings are noisy.",
     )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="REGEX",
+        help="only diff entries whose name matches REGEX (re.search); lets "
+        "a gate pin a subset (e.g. ':(bytes_per_session|rss_mb)') of a "
+        "combined sidecar",
+    )
     args = parser.parse_args()
     if args.fail_above is not None:
         if args.fail_above < 0:
@@ -99,6 +115,13 @@ def main() -> int:
 
     fresh = load(args.fresh)
     baseline = load(args.baseline)
+    if args.select is not None:
+        try:
+            pattern = re.compile(args.select)
+        except re.error as e:
+            sys.exit(f"bench_diff: bad --select regex: {e}")
+        fresh = {k: v for k, v in fresh.items() if pattern.search(k)}
+        baseline = {k: v for k, v in baseline.items() if pattern.search(k)}
 
     common = sorted(fresh.keys() & baseline.keys())
     added = sorted(fresh.keys() - baseline.keys())
@@ -107,6 +130,11 @@ def main() -> int:
     regressions = []
     improvements = []
     width = max((len(n) for n in common), default=0)
+    # Timing entries are ns/op; "benchmark:counter" entries are raw counter
+    # values and carry no unit.
+    def unit(name: str) -> str:
+        return "" if ":" in name else " ns/op"
+
     for name in common:
         old, new = baseline[name], fresh[name]
         ratio = new / old if old > 0 else float("inf") if new > 0 else 1.0
@@ -117,22 +145,23 @@ def main() -> int:
         elif ratio < 1.0 / (1.0 + args.threshold):
             flag = "  improved"
             improvements.append((name, old, new, ratio))
-        print(f"{name:<{width}}  {old:>14.1f} -> {new:>14.1f} ns/op "
+        print(f"{name:<{width}}  {old:>14.1f} -> {new:>14.1f}{unit(name)} "
               f"({ratio:>6.2f}x){flag}")
 
     for name in added:
-        print(f"{name}: added ({fresh[name]:.1f} ns/op)")
+        print(f"{name}: added ({fresh[name]:.1f}{unit(name)})")
     for name in removed:
-        print(f"{name}: removed (was {baseline[name]:.1f} ns/op)")
+        print(f"{name}: removed (was {baseline[name]:.1f}{unit(name)})")
 
     if not common:
-        sys.exit("bench_diff: no benchmarks in common - wrong file pair?")
+        sys.exit("bench_diff: no benchmarks in common - wrong file pair "
+                 "or over-tight --select?")
 
     if improvements:
         print(f"\n{len(improvements)} improvement(s) beyond "
               f"{args.threshold:.0%} (consider refreshing the baseline):")
         for name, old, new, ratio in improvements:
-            print(f"  {name}: {old:.1f} -> {new:.1f} ns/op "
+            print(f"  {name}: {old:.1f} -> {new:.1f}{unit(name)} "
                   f"({old / new:.2f}x faster)")
 
     if regressions:
@@ -142,8 +171,8 @@ def main() -> int:
             file=sys.stderr,
         )
         for name, old, new, ratio in regressions:
-            print(f"  {name}: {old:.1f} -> {new:.1f} ns/op ({ratio:.2f}x)",
-                  file=sys.stderr)
+            print(f"  {name}: {old:.1f} -> {new:.1f}{unit(name)} "
+                  f"({ratio:.2f}x)", file=sys.stderr)
         return 1
     print(f"\nOK: {len(common)} benchmarks within {args.threshold:.0%} "
           "of baseline")

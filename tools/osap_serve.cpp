@@ -10,22 +10,33 @@
 // population stays at N for the whole run.
 //
 // Usage:
-//   osap_serve <us|upi|uv> [sessions] [rounds] [shards] [--revocable]
+//   osap_serve <us|upi|uv> [sessions] [rounds] [shards]
+//              [--sessions N] [--rounds N] [--shards N]
+//              [--open-loop RATE] [--revocable]
 //
-// Defaults: 1000 sessions, 2000 rounds, 4 shards, permanent defaulting.
-// Uses the shared ./osap_cache artifacts (trains them on first run - run
-// from the repo root or a directory with an osap_cache symlink).
+// Defaults: 1000 sessions, 2000 rounds, 4 shards, permanent defaulting,
+// closed-loop (rounds issue back to back). With --open-loop RATE the tool
+// instead schedules round r at t0 + r * sessions/RATE (an aggregate
+// arrival rate of RATE decisions/s) and measures each round's latency
+// from its SCHEDULED start, so a service that falls behind accrues
+// queueing delay instead of silently slowing the arrival process down
+// (no coordinated omission). Uses the shared ./osap_cache artifacts
+// (trains them on first run - run from the repo root or a directory with
+// an osap_cache symlink).
 //
-// Reports aggregate decisions/sec, DecideBatch latency percentiles, and a
-// per-dataset table of completed sessions, defaulted share, and mean QoE -
-// the OOD rows defaulting while the ID rows stay learned is the paper's
-// safety story showing up under serving load.
+// Reports aggregate decisions/sec, round latency percentiles
+// (p50/p99/p999), the service's exact per-session byte accounting, the
+// process RSS now and at its peak, and a per-dataset table of completed
+// sessions, defaulted share, and mean QoE - the OOD rows defaulting while
+// the ID rows stay learned is the paper's safety story showing up under
+// serving load.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "abr/abr_environment.h"
@@ -33,6 +44,7 @@
 #include "serve/decision_service.h"
 #include "serve/serving_model.h"
 #include "traces/dataset.h"
+#include "util/memory_meter.h"
 
 using namespace osap;
 
@@ -41,7 +53,8 @@ namespace {
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
                "usage: osap_serve <us|upi|uv> [sessions] [rounds] [shards] "
-               "[--revocable]\n");
+               "[--sessions N] [--rounds N] [--shards N] "
+               "[--open-loop RATE] [--revocable]\n");
   std::exit(2);
 }
 
@@ -50,6 +63,20 @@ core::Scheme ParseSignal(const std::string& name) {
   if (name == "upi") return core::Scheme::kAgentEnsemble;
   if (name == "uv") return core::Scheme::kValueEnsemble;
   Usage();
+}
+
+std::size_t ParseCount(const char* text) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (value <= 0 || end == text || *end != '\0') Usage();
+  return static_cast<std::size_t>(value);
+}
+
+double ParseRate(const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (!(value > 0.0) || end == text || *end != '\0') Usage();
+  return value;
 }
 
 /// The deployed trigger configuration for a scheme (the Workbench mapping
@@ -115,6 +142,13 @@ struct DatasetStats {
   double qoe_sum = 0.0;
 };
 
+/// Nearest-rank quantile on an already sorted vector.
+double Quantile(const std::vector<double>& sorted, double q) {
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,18 +157,32 @@ int main(int argc, char** argv) {
   std::size_t sessions = 1000;
   std::size_t rounds = 2000;
   std::size_t shards = 4;
+  double open_loop_rate = 0.0;  // aggregate decisions/s; 0 = closed loop
   core::DefaultingMode mode = core::DefaultingMode::kPermanent;
   std::size_t positional = 0;
+  const auto value_of = [&](int& a) -> const char* {
+    if (a + 1 >= argc) Usage();
+    return argv[++a];
+  };
   for (int a = 2; a < argc; ++a) {
     if (std::strcmp(argv[a], "--revocable") == 0) {
       mode = core::DefaultingMode::kRevocable;
-      continue;
+    } else if (std::strcmp(argv[a], "--sessions") == 0) {
+      sessions = ParseCount(value_of(a));
+    } else if (std::strcmp(argv[a], "--rounds") == 0) {
+      rounds = ParseCount(value_of(a));
+    } else if (std::strcmp(argv[a], "--shards") == 0) {
+      shards = ParseCount(value_of(a));
+    } else if (std::strcmp(argv[a], "--open-loop") == 0) {
+      open_loop_rate = ParseRate(value_of(a));
+    } else if (argv[a][0] == '-') {
+      Usage();
+    } else {
+      if (positional >= 3) Usage();
+      (positional == 0 ? sessions : positional == 1 ? rounds : shards) =
+          ParseCount(argv[a]);
+      ++positional;
     }
-    const long value = std::strtol(argv[a], nullptr, 10);
-    if (value <= 0) Usage();
-    (positional == 0 ? sessions : positional == 1 ? rounds : shards) =
-        static_cast<std::size_t>(value);
-    if (++positional > 3) Usage();
   }
 
   core::WorkbenchConfig cfg;
@@ -166,28 +214,56 @@ int main(int argc, char** argv) {
     viewers.push_back(std::move(v));
   }
   std::printf("osap_serve: %s, %zu viewers over %zu datasets, %zu rounds, "
-              "%zu shard(s), %s defaulting\n",
+              "%zu shard(s), %s defaulting",
               argv[1], sessions, datasets.size(), rounds, shards,
               mode == core::DefaultingMode::kPermanent ? "permanent"
                                                        : "revocable");
+  // One round presents every viewer once, so RATE decisions/s means one
+  // round every sessions/RATE seconds.
+  const double round_interval_s =
+      open_loop_rate > 0.0 ? static_cast<double>(sessions) / open_loop_rate
+                           : 0.0;
+  if (open_loop_rate > 0.0) {
+    std::printf(", open-loop %.0f decisions/s (round every %.2f ms)\n",
+                open_loop_rate, round_interval_s * 1e3);
+  } else {
+    std::printf(", closed-loop\n");
+  }
 
   std::vector<serve::DecisionService::Request> requests(sessions);
   std::vector<mdp::Action> actions(sessions);
-  std::vector<double> round_us;
+  std::vector<double> round_us;   // latency from (scheduled) round start
   round_us.reserve(rounds);
-  double decide_seconds = 0.0;
+  double decide_seconds = 0.0;    // time actually inside DecideBatch
+  std::size_t late_rounds = 0;    // rounds that began past their schedule
   const auto wall_start = std::chrono::steady_clock::now();
   for (std::size_t round = 0; round < rounds; ++round) {
     for (std::size_t i = 0; i < sessions; ++i) {
       requests[i] = {viewers[i].session, &viewers[i].state};
     }
+    auto start = std::chrono::steady_clock::now();
+    if (open_loop_rate > 0.0) {
+      // Latency is measured from the scheduled arrival, not from when the
+      // service got around to the round: a backlogged service pays its
+      // queueing delay here instead of stalling the arrival clock.
+      const auto scheduled =
+          wall_start +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(static_cast<double>(round) *
+                                            round_interval_s));
+      if (start < scheduled) {
+        std::this_thread::sleep_until(scheduled);
+      } else if (round > 0) {
+        ++late_rounds;
+      }
+      start = scheduled;
+    }
     const auto t0 = std::chrono::steady_clock::now();
     service.DecideBatch(requests, actions);
     const auto t1 = std::chrono::steady_clock::now();
-    const double us =
-        std::chrono::duration<double, std::micro>(t1 - t0).count();
-    round_us.push_back(us);
-    decide_seconds += us * 1e-6;
+    round_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - start).count());
+    decide_seconds += std::chrono::duration<double>(t1 - t0).count();
 
     for (std::size_t i = 0; i < sessions; ++i) {
       Viewer& v = viewers[i];
@@ -222,19 +298,49 @@ int main(int argc, char** argv) {
               "%.0f/s inside DecideBatch)\n",
               decisions, wall_seconds, decisions / wall_seconds,
               decisions / decide_seconds);
-  std::printf("DecideBatch latency: p50 %.0f us  p99 %.0f us  max %.0f us "
+  const char* basis = open_loop_rate > 0.0
+                          ? "latency from scheduled arrival"
+                          : "DecideBatch latency";
+  std::printf("%s: p50 %.0f us  p99 %.0f us  p999 %.0f us  max %.0f us "
               "(%zu-session rounds)\n",
-              round_us[round_us.size() / 2],
-              round_us[round_us.size() * 99 / 100], round_us.back(),
-              sessions);
-  // Per-decision view of the same distribution: what one viewer pays for
-  // its slice of a round (the population is constant, so this is the
-  // round latency amortized over the batch).
-  const double per_decision = 1.0 / static_cast<double>(sessions);
-  std::printf("per-decision latency: p50 %.2f us  p99 %.2f us  max %.2f us\n",
-              round_us[round_us.size() / 2] * per_decision,
-              round_us[round_us.size() * 99 / 100] * per_decision,
-              round_us.back() * per_decision);
+              basis, Quantile(round_us, 0.50), Quantile(round_us, 0.99),
+              Quantile(round_us, 0.999), round_us.back(), sessions);
+  if (open_loop_rate > 0.0) {
+    std::printf("schedule: %zu of %zu rounds started late "
+                "(backlog from the previous round)\n",
+                late_rounds, rounds);
+  } else {
+    // Per-decision view of the same distribution: what one viewer pays
+    // for its slice of a round (the population is constant, so this is
+    // the round latency amortized over the batch).
+    const double per_decision = 1.0 / static_cast<double>(sessions);
+    std::printf(
+        "per-decision latency: p50 %.2f us  p99 %.2f us  max %.2f us\n",
+        Quantile(round_us, 0.50) * per_decision,
+        Quantile(round_us, 0.99) * per_decision,
+        round_us.back() * per_decision);
+  }
+
+  // Exact accounting of the service's own memory next to the process-level
+  // view: bytes/session is what the slab/SoA layout controls, RSS is what
+  // the operator sees.
+  const serve::ServiceMemoryStats mem = service.MemoryStats();
+  std::printf("\nsession memory: %.1f bytes/session over %zu sessions "
+              "(%zu slots)\n",
+              mem.BytesPerSession(), mem.open_sessions, mem.session_slots);
+  std::printf("  hot %zu B  cold %zu B  rings %zu B  extractors %zu B  "
+              "registry %zu B  shard scratch %.1f KiB\n",
+              mem.session_hot_bytes, mem.session_cold_bytes,
+              mem.trigger_ring_bytes, mem.extractor_bytes,
+              mem.registry_bytes,
+              static_cast<double>(mem.scratch_bytes) / 1024.0);
+  // VmHWM can lag a page or two behind a just-grown VmRSS; clamp so the
+  // peak never prints below the current value.
+  const std::size_t rss_now = util::CurrentRssBytes();
+  const std::size_t rss_peak = std::max(rss_now, util::PeakRssBytes());
+  std::printf("process RSS: %.1f MiB now, %.1f MiB peak\n",
+              static_cast<double>(rss_now) / (1024.0 * 1024.0),
+              static_cast<double>(rss_peak) / (1024.0 * 1024.0));
 
   std::printf("\n%-28s %10s %10s %10s\n", "dataset", "sessions", "defaulted",
               "mean QoE");
