@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #if defined(__GLIBC__)
@@ -43,6 +44,8 @@
 #include "bench_json.h"
 #include "core/ensemble_estimators.h"
 #include "core/novelty_detector.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "core/safe_agent.h"
 #include "policies/buffer_based.h"
 #include "policies/pensieve_policy.h"
@@ -288,6 +291,68 @@ void RunServiceMem(benchmark::State& state, core::Scheme scheme) {
   }
 }
 
+/// Network-edge arm: the same {sessions, shards} round as RunService, but
+/// over real loopback TCP through the epoll NetServer - one pipelined
+/// STEP per session, one flush, read every reply. A round's wall clock
+/// therefore includes frame encoding, both kernel socket stacks, the
+/// server's parse/admit/batch/flush cycle and the reply decode, so the
+/// delta against BM_ServeService is the cost of the wire. decisions_per_s
+/// stays console-only (rate); the gated sidecar entries are the
+/// round-trip percentiles.
+void RunNetServe(benchmark::State& state, core::Scheme scheme) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  net::NetServerConfig cfg;
+  cfg.service.shard_count = shards;
+  net::NetServer server(SharedModel(scheme), cfg);
+  server.Start();
+  std::thread loop([&server] { server.Run(); });
+  net::Client client;
+  client.Connect("127.0.0.1", server.Port());
+  std::vector<std::uint64_t> sessions(n);
+  for (std::size_t i = 0; i < n; ++i) sessions[i] = client.OpenSession();
+  StatePool();  // materialize outside the timed region
+  std::uint64_t rid = 1 << 20;
+  net::Reply reply;
+  // One untimed warmup round (scratch growth, see RunService).
+  for (std::size_t i = 0; i < n; ++i) {
+    client.SendStep(++rid, sessions[i], PooledState(i, 0));
+  }
+  client.Flush();
+  for (std::size_t i = 0; i < n; ++i) client.ReadReply(reply);
+  std::vector<double> round_us;
+  std::size_t round = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      client.SendStep(++rid, sessions[i], PooledState(i, round));
+    }
+    client.Flush();
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (client.ReadReply(reply) && reply.status == net::Status::kOk) ++ok;
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    OSAP_CHECK_MSG(ok == n, "BM_NetServe: lost or rejected replies");
+    round_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+    ++round;
+  }
+  client.Close();
+  server.Stop();
+  loop.join();
+  std::sort(round_us.begin(), round_us.end());
+  if (!round_us.empty()) {
+    state.counters["p50_us"] = round_us[round_us.size() / 2];
+    state.counters["p99_us"] = round_us[round_us.size() * 99 / 100];
+    double wall_us = 0.0;
+    for (double us : round_us) wall_us += us;
+    state.counters["decisions_per_s"] =
+        static_cast<double>(round_us.size()) * static_cast<double>(n) /
+        (wall_us * 1e-6);
+  }
+}
+
 void BM_ServeSequentialUs(benchmark::State& state) {
   RunSequential(state, core::Scheme::kNoveltyDetection);
 }
@@ -305,6 +370,15 @@ void BM_ServeServiceUpi(benchmark::State& state) {
 }
 void BM_ServeServiceUv(benchmark::State& state) {
   RunService(state, core::Scheme::kValueEnsemble);
+}
+void BM_NetServeUs(benchmark::State& state) {
+  RunNetServe(state, core::Scheme::kNoveltyDetection);
+}
+void BM_NetServeUpi(benchmark::State& state) {
+  RunNetServe(state, core::Scheme::kAgentEnsemble);
+}
+void BM_NetServeUv(benchmark::State& state) {
+  RunNetServe(state, core::Scheme::kValueEnsemble);
 }
 void BM_ServeServiceMemUs(benchmark::State& state) {
   RunServiceMem(state, core::Scheme::kNoveltyDetection);
@@ -333,6 +407,18 @@ BENCHMARK(BM_ServeServiceUpi)
 BENCHMARK(BM_ServeServiceUv)
     ->Args({64, 1})->Args({256, 1})->Args({1000, 1})->Args({1000, 4})
     ->Args({1000, 8})->Args({1000, 16})
+    ->Unit(benchmark::kMillisecond);
+// The network-edge arm stays at single-connection scale: its point is
+// the per-round wire overhead vs BM_ServeService, not connection fan-in
+// (tools/osap_client measures that open-loop against a live server).
+BENCHMARK(BM_NetServeUs)
+    ->Args({64, 1})->Args({256, 1})->Args({1000, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NetServeUpi)
+    ->Args({64, 1})->Args({256, 1})->Args({1000, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NetServeUv)
+    ->Args({64, 1})->Args({256, 1})->Args({1000, 1})
     ->Unit(benchmark::kMillisecond);
 // The 100k memory sweep: one deterministic iteration per point (the
 // accounting does not jitter; timing is not what this measures).

@@ -1,0 +1,80 @@
+// Client: a blocking, pipelining client for the OSAP network edge.
+//
+// One TCP connection, two buffers: Send*() encode request frames into an
+// output buffer (nothing hits the socket), Flush() writes the buffer out,
+// ReadReply() blocks for the next reply frame in arrival order. A caller
+// that wants pipelining encodes a burst of STEPs, flushes once, then
+// reads the burst of replies, matching them to requests by the echoed
+// request_id. The Open/Step/Close/Stats conveniences wrap one
+// send-flush-read round trip each for callers that do not pipeline.
+//
+// The class is deliberately blocking and single-threaded (one client per
+// thread): the open-loop load generator runs one of these per connection,
+// and the loopback tests drive one from a plain function. Not thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace osap::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port (throws std::runtime_error on failure).
+  void Connect(const std::string& host, std::uint16_t port);
+  bool Connected() const { return fd_ >= 0; }
+  void Close();
+
+  // --- pipelined interface ---------------------------------------------
+
+  /// Encode a request into the output buffer (no socket I/O until
+  /// Flush()).
+  void SendOpen(std::uint64_t request_id);
+  void SendStep(std::uint64_t request_id, std::uint64_t session,
+                std::span<const double> state);
+  void SendClose(std::uint64_t request_id, std::uint64_t session);
+  void SendStats(std::uint64_t request_id);
+
+  /// Writes the whole output buffer to the socket (blocking).
+  void Flush();
+
+  /// Blocks for the next reply frame. Returns false on a clean EOF;
+  /// throws on socket errors or malformed frames. `stats` (optional) is
+  /// filled when the reply carries a stats payload.
+  bool ReadReply(Reply& reply, ServerStats* stats = nullptr);
+
+  // --- one-round-trip conveniences --------------------------------------
+
+  /// OPEN_SESSION; returns the server-assigned session id. Throws on a
+  /// non-OK status (including kFull).
+  std::uint64_t OpenSession();
+  /// STEP; returns the full reply (check reply.status for kBusy).
+  Reply Step(std::uint64_t session, std::span<const double> state);
+  /// CLOSE_SESSION; throws on a non-OK status.
+  void CloseSession(std::uint64_t session);
+  /// STATS round trip.
+  ServerStats Stats();
+
+ private:
+  /// Blocks for one reply and requires its request_id to match.
+  Reply RoundTrip(std::uint64_t request_id, ServerStats* stats = nullptr);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<std::uint8_t> out_;
+  std::vector<std::uint8_t> in_;
+  std::size_t in_off_ = 0;
+};
+
+}  // namespace osap::net

@@ -1,0 +1,667 @@
+#include "net/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace osap::net {
+
+namespace {
+
+constexpr std::uint64_t kListenTag = std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t kWakeTag = kListenTag - 1;
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// writev gathers at most this many reply frames per call.
+constexpr int kMaxIov = 64;
+/// Compact the input buffer once this many consumed bytes accumulate.
+constexpr std::size_t kCompactAbove = 64 * 1024;
+/// Refresh the cached ServiceMemoryStats session-bytes gate every this
+/// many admitted opens (the walk touches every shard lane).
+constexpr std::size_t kBytesGateRefresh = 64;
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+/// Per-connection state. Objects are recycled through a free list - the
+/// input buffer, output frame queue and session list keep their capacity
+/// across connections, so steady-state accept/close churn touches no
+/// allocator (the frame buffers themselves recycle through the server's
+/// spare-frame pool).
+struct NetServer::Connection {
+  int fd = -1;
+  bool open = false;
+  /// Reads deferred (TCP pushback): this connection's admitted backlog
+  /// crossed pause_reads_above; bytes stay in the kernel receive buffer
+  /// until the backlog halves.
+  bool paused = false;
+  bool want_write = false;  // EPOLLOUT armed (partial write pending)
+  bool dirty = false;       // queued replies awaiting a flush this round
+  std::uint32_t in_flight = 0;  // admitted STEPs not yet answered
+
+  std::vector<std::uint8_t> in;  // unparsed bytes live at [in_off, size)
+  std::size_t in_off = 0;
+
+  std::vector<std::vector<std::uint8_t>> out_q;  // encoded reply frames
+  std::size_t out_head = 0;      // first not-fully-written frame
+  std::size_t out_head_off = 0;  // bytes of out_q[out_head] already sent
+
+  std::vector<std::uint64_t> sessions;  // session ids this peer owns
+};
+
+NetServer::NetServer(std::shared_ptr<const serve::ServingModel> model,
+                     NetServerConfig config)
+    : model_(std::move(model)),
+      config_(config),
+      service_(
+          [&]() -> std::shared_ptr<const serve::ServingModel> {
+            OSAP_REQUIRE(model_ != nullptr, "NetServer: null model");
+            return model_;
+          }(),
+          [&] {
+            // Bound the shard lanes to the admission high-water mark:
+            // admission keeps per-lane pending below the mark, so a ring
+            // overflow can only mean an edge bug - fail loudly instead
+            // of growing silently.
+            serve::DecisionServiceConfig svc = config.service;
+            if (config.lane_high_water > 0 && svc.lane_capacity_bound == 0) {
+              svc.lane_capacity_bound = config.lane_high_water;
+            }
+            return svc;
+          }()) {
+  shard_pending_.assign(service_.ShardCount(), 0);
+}
+
+NetServer::~NetServer() {
+  for (auto& conn : connections_) {
+    if (conn && conn->open && conn->fd >= 0) ::close(conn->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void NetServer::Start() {
+  OSAP_REQUIRE(listen_fd_ < 0, "NetServer::Start: already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) ThrowErrno("NetServer: socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ThrowErrno("NetServer: bind");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    ThrowErrno("NetServer: getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, config_.listen_backlog) < 0) {
+    ThrowErrno("NetServer: listen");
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) ThrowErrno("NetServer: epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) ThrowErrno("NetServer: eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: accept until EAGAIN anyway
+  ev.data.u64 = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    ThrowErrno("NetServer: epoll_ctl(listen)");
+  }
+  ev.data.u64 = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    ThrowErrno("NetServer: epoll_ctl(wake)");
+  }
+}
+
+void NetServer::Stop() {
+  stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  // Best effort: a full eventfd still wakes the loop.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void NetServer::Run() {
+  OSAP_REQUIRE(epoll_fd_ >= 0, "NetServer::Run: call Start() first");
+  std::vector<epoll_event> events(256);
+  std::vector<std::uint32_t> freed_slots;
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Block only when idle; with admitted work pending, poll (gathering
+    // whatever arrived during the previous round) and run a batch.
+    const int timeout = pending_.empty() ? -1 : 0;
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("NetServer: epoll_wait");
+    }
+    pending_free_slots_swap_.clear();
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kListenTag) {
+        Accept();
+        continue;
+      }
+      if (tag == kWakeTag) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drained, sizeof drained);
+        continue;
+      }
+      const auto slot = static_cast<std::size_t>(tag);
+      Connection& conn = *connections_[slot];
+      // A peer closed earlier in this same event array: its slot is not
+      // recycled until the end of the iteration, so stale events are
+      // recognizable and ignored here.
+      if (!conn.open) continue;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(slot);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) FlushWrites(slot);
+      if (!conn.open) continue;
+      if ((events[i].events & EPOLLIN) != 0) {
+        if (!ReadAndParse(slot)) CloseConnection(slot);
+      }
+    }
+    // Flush admission replies (BUSY / FULL / opens) before the decision
+    // round so rejected clients hear back without waiting on compute.
+    FlushDirty();
+    if (!pending_.empty()) RunBatch();
+    FlushDirty();
+    // Slots freed this iteration become reusable only now (see above).
+    for (const std::uint32_t slot : pending_free_slots_swap_) {
+      free_conn_slots_.push_back(slot);
+    }
+  }
+}
+
+void NetServer::Accept() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or transient accept failure: try next event
+    }
+    if (open_connections_ >= config_.max_connections) {
+      ::close(fd);  // hard admission: no fd budget to even say BUSY
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    std::uint32_t slot;
+    if (!free_conn_slots_.empty()) {
+      slot = free_conn_slots_.back();
+      free_conn_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(connections_.size());
+      connections_.push_back(std::make_unique<Connection>());
+    }
+    Connection& conn = *connections_[slot];
+    conn.fd = fd;
+    conn.open = true;
+
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.u64 = slot;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      conn.fd = -1;
+      conn.open = false;
+      free_conn_slots_.push_back(slot);
+      continue;
+    }
+    ++open_connections_;
+  }
+}
+
+bool NetServer::ReadAndParse(std::size_t slot) {
+  Connection& conn = *connections_[slot];
+  // Edge-triggered: drain until EAGAIN, or stop early on pause (the
+  // unread bytes close the TCP window - that IS the backpressure).
+  while (!conn.paused) {
+    const std::size_t old = conn.in.size();
+    conn.in.resize(old + kReadChunk);
+    const ssize_t r = ::recv(conn.fd, conn.in.data() + old, kReadChunk, 0);
+    if (r > 0) {
+      conn.in.resize(old + static_cast<std::size_t>(r));
+      if (!ParseBuffered(slot)) return false;
+      continue;
+    }
+    conn.in.resize(old);
+    if (r == 0) return false;  // EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool NetServer::ParseBuffered(std::size_t slot) {
+  Connection& conn = *connections_[slot];
+  while (!conn.paused) {
+    const std::size_t avail = conn.in.size() - conn.in_off;
+    if (avail < kLengthPrefixBytes) break;
+    const std::uint32_t body = GetU32(conn.in.data() + conn.in_off);
+    if (body > kMaxFrameBody || body < kRequestHeaderBytes) {
+      return false;  // unframeable stream: no way to resynchronize
+    }
+    if (avail < kLengthPrefixBytes + body) break;
+    DecodedRequest request;
+    if (DecodeRequest({conn.in.data() + conn.in_off + kLengthPrefixBytes,
+                       body},
+                      request) != DecodeResult::kOk) {
+      return false;
+    }
+    conn.in_off += kLengthPrefixBytes + body;
+    HandleRequest(slot, request);
+  }
+  if (conn.in_off == conn.in.size()) {
+    conn.in.clear();
+    conn.in_off = 0;
+  } else if (conn.in_off >= kCompactAbove) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(conn.in_off));
+    conn.in_off = 0;
+  }
+  return true;
+}
+
+void NetServer::HandleRequest(std::size_t slot,
+                              const DecodedRequest& request) {
+  Connection& conn = *connections_[slot];
+  Reply reply;
+  reply.type = request.header.type;
+  reply.request_id = request.header.request_id;
+  reply.session_id = request.header.session_id;
+  reply.epoch = service_.RoundCount();
+
+  switch (request.header.type) {
+    case MsgType::kOpenSession: {
+      const std::size_t max_sessions =
+          config_.max_sessions > 0
+              ? config_.max_sessions
+              : std::numeric_limits<std::size_t>::max();
+      bool over_bytes = false;
+      if (config_.max_session_bytes > 0) {
+        if (opens_since_measure_ >= kBytesGateRefresh) {
+          session_bytes_cache_ = service_.MemoryStats().SessionBytes();
+          opens_since_measure_ = 0;
+        }
+        over_bytes = session_bytes_cache_ >= config_.max_session_bytes;
+      }
+      if (service_.ActiveSessionCount() >= max_sessions || over_bytes) {
+        reply.status = Status::kFull;
+        ++stats_.rejected_opens;
+        QueueReply(slot, reply);
+        return;
+      }
+      const auto id = service_.OpenSession();
+      if (owner_of_.size() <= id) {
+        owner_of_.resize(id + 1, kNoOwner);
+        pending_of_.resize(id + 1, 0);
+        batch_stamp_.resize(id + 1, 0);
+      }
+      owner_of_[id] = static_cast<std::uint32_t>(slot);
+      pending_of_[id] = 0;
+      batch_stamp_[id] = 0;
+      conn.sessions.push_back(id);
+      ++opens_since_measure_;
+      reply.status = Status::kOk;
+      reply.session_id = id;
+      QueueReply(slot, reply);
+      return;
+    }
+    case MsgType::kCloseSession: {
+      const std::uint64_t id = request.header.session_id;
+      if (id >= owner_of_.size() || owner_of_[id] != slot) {
+        reply.status = Status::kError;
+        QueueReply(slot, reply);
+        return;
+      }
+      // A CLOSE overtaking its own pipelined STEPs: answer those with
+      // ERROR first (never drop them silently), then tear down.
+      if (pending_of_[id] > 0) FailPendingOf(id, Status::kError);
+      service_.CloseSession(id);
+      owner_of_[id] = kNoOwner;
+      for (std::size_t i = 0; i < conn.sessions.size(); ++i) {
+        if (conn.sessions[i] == id) {
+          conn.sessions[i] = conn.sessions.back();
+          conn.sessions.pop_back();
+          break;
+        }
+      }
+      reply.status = Status::kOk;
+      QueueReply(slot, reply);
+      return;
+    }
+    case MsgType::kStats: {
+      const ServerStats stats = BuildStats();
+      reply.status = Status::kOk;
+      QueueReply(slot, reply, &stats);
+      return;
+    }
+    case MsgType::kStep: {
+      const std::uint64_t id = request.header.session_id;
+      if (id >= owner_of_.size() || owner_of_[id] != slot ||
+          request.state_dim != model_->InputSize()) {
+        reply.status = Status::kError;
+        QueueReply(slot, reply);
+        return;
+      }
+      const std::size_t max_in_flight =
+          config_.max_in_flight > 0
+              ? config_.max_in_flight
+              : std::numeric_limits<std::size_t>::max();
+      const std::size_t shard = service_.ShardOfSession(id);
+      if (pending_.size() >= max_in_flight ||
+          (config_.lane_high_water > 0 &&
+           shard_pending_[shard] >= config_.lane_high_water)) {
+        reply.status = Status::kBusy;
+        ++stats_.busy;
+        QueueReply(slot, reply);
+        return;
+      }
+      PendingStep step;
+      if (!state_pool_.empty()) {
+        step.state = std::move(state_pool_.back());
+        state_pool_.pop_back();
+      }
+      step.state.resize(request.state_dim);
+      request.CopyState(step.state);
+      step.conn = static_cast<std::uint32_t>(slot);
+      step.request_id = request.header.request_id;
+      step.session = id;
+      pending_.push_back(std::move(step));
+      ++shard_pending_[shard];
+      ++pending_of_[id];
+      ++conn.in_flight;
+      if (config_.pause_reads_above > 0 &&
+          conn.in_flight >= config_.pause_reads_above) {
+        conn.paused = true;
+      }
+      return;
+    }
+  }
+  // Unknown types never reach here (DecodeRequest rejects them).
+}
+
+void NetServer::RunBatch() {
+  ++batch_round_;
+  round_requests_.clear();
+  round_pending_idx_.clear();
+  const std::size_t cap =
+      config_.max_batch > 0 ? config_.max_batch : pending_.size();
+  for (std::size_t i = 0;
+       i < pending_.size() && round_requests_.size() < cap; ++i) {
+    const PendingStep& step = pending_[i];
+    // One decision per session per round (the service requires it: a
+    // session's next state depends on its previous action). Pipelined
+    // duplicates stay pending for the next round.
+    if (batch_stamp_[step.session] == batch_round_) continue;
+    batch_stamp_[step.session] = batch_round_;
+    round_requests_.push_back({step.session, &step.state});
+    round_pending_idx_.push_back(i);
+  }
+  round_actions_.resize(round_requests_.size());
+  service_.DecideBatch(round_requests_, round_actions_);
+  ++stats_.epochs;
+  const std::uint64_t epoch = service_.RoundCount();
+
+  // Complete replies from the collected epoch: encode into the owning
+  // connections' output queues (flushed after the batch - the decision
+  // path itself never touched a socket).
+  for (std::size_t t = 0; t < round_pending_idx_.size(); ++t) {
+    PendingStep& step = pending_[round_pending_idx_[t]];
+    Reply reply;
+    reply.type = MsgType::kStep;
+    reply.status = Status::kOk;
+    reply.flags = service_.Defaulted(step.session) ? kFlagDefaulted : 0;
+    reply.action = static_cast<std::int32_t>(round_actions_[t]);
+    reply.request_id = step.request_id;
+    reply.session_id = step.session;
+    reply.epoch = epoch;
+    QueueReply(step.conn, reply);
+    ++stats_.decided;
+    --shard_pending_[service_.ShardOfSession(step.session)];
+    --pending_of_[step.session];
+    Connection& conn = *connections_[step.conn];
+    --conn.in_flight;
+    if (conn.paused && config_.pause_reads_above > 0 &&
+        conn.in_flight <= config_.pause_reads_above / 2) {
+      conn.paused = false;
+      unpaused_.push_back(step.conn);
+    }
+    state_pool_.push_back(std::move(step.state));
+  }
+
+  // Compact: drop answered entries (ascending indices), keep deferrals
+  // in arrival order.
+  std::size_t write = 0;
+  std::size_t next_answered = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (next_answered < round_pending_idx_.size() &&
+        round_pending_idx_[next_answered] == i) {
+      ++next_answered;
+      continue;
+    }
+    if (write != i) pending_[write] = std::move(pending_[i]);
+    ++write;
+  }
+  pending_.resize(write);
+
+  // Resume paused connections whose backlog drained: parse what their
+  // buffers already hold, then drain the socket explicitly (paused
+  // edge-triggered fds owe us no further events for old data).
+  for (const std::uint32_t slot : unpaused_) {
+    Connection& conn = *connections_[slot];
+    if (!conn.open || conn.paused) continue;
+    if (!ParseBuffered(slot) || !ReadAndParse(slot)) CloseConnection(slot);
+  }
+  unpaused_.clear();
+}
+
+void NetServer::FailPendingOf(std::uint64_t session, Status status) {
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    PendingStep& step = pending_[i];
+    if (step.session != session) {
+      if (write != i) pending_[write] = std::move(pending_[i]);
+      ++write;
+      continue;
+    }
+    Reply reply;
+    reply.type = MsgType::kStep;
+    reply.status = status;
+    reply.request_id = step.request_id;
+    reply.session_id = step.session;
+    reply.epoch = service_.RoundCount();
+    QueueReply(step.conn, reply);
+    --shard_pending_[service_.ShardOfSession(step.session)];
+    --pending_of_[step.session];
+    --connections_[step.conn]->in_flight;
+    state_pool_.push_back(std::move(step.state));
+  }
+  pending_.resize(write);
+}
+
+void NetServer::CloseConnection(std::size_t slot) {
+  Connection& conn = *connections_[slot];
+  if (!conn.open) return;
+  // Drop this peer's pending steps without replies (the socket is gone);
+  // the shard/session accounting must still come back down.
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    PendingStep& step = pending_[i];
+    if (step.conn != slot) {
+      if (write != i) pending_[write] = std::move(pending_[i]);
+      ++write;
+      continue;
+    }
+    --shard_pending_[service_.ShardOfSession(step.session)];
+    --pending_of_[step.session];
+    state_pool_.push_back(std::move(step.state));
+  }
+  pending_.resize(write);
+
+  for (const std::uint64_t id : conn.sessions) {
+    service_.CloseSession(id);
+    owner_of_[id] = kNoOwner;
+  }
+  conn.sessions.clear();
+
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  conn.fd = -1;
+  conn.open = false;
+  conn.paused = false;
+  conn.want_write = false;
+  conn.dirty = false;
+  conn.in_flight = 0;
+  conn.in.clear();
+  conn.in_off = 0;
+  for (auto& frame : conn.out_q) {
+    frame.clear();
+    spare_frames_.push_back(std::move(frame));
+  }
+  conn.out_q.clear();
+  conn.out_head = 0;
+  conn.out_head_off = 0;
+  --open_connections_;
+  // Recycle the slot only after the current epoll event array is fully
+  // processed (Run moves these into free_conn_slots_), so stale events
+  // for the old fd cannot alias a fresh connection.
+  pending_free_slots_swap_.push_back(static_cast<std::uint32_t>(slot));
+}
+
+void NetServer::QueueReply(std::size_t slot, const Reply& reply,
+                           const ServerStats* stats) {
+  Connection& conn = *connections_[slot];
+  std::vector<std::uint8_t> frame;
+  if (!spare_frames_.empty()) {
+    frame = std::move(spare_frames_.back());
+    spare_frames_.pop_back();
+  }
+  AppendReplyFrame(frame, reply, stats);
+  conn.out_q.push_back(std::move(frame));
+  if (!conn.dirty) {
+    conn.dirty = true;
+    dirty_.push_back(static_cast<std::uint32_t>(slot));
+  }
+}
+
+void NetServer::FlushDirty() {
+  for (const std::uint32_t slot : dirty_) {
+    Connection& conn = *connections_[slot];
+    conn.dirty = false;
+    if (conn.open) FlushWrites(slot);
+  }
+  dirty_.clear();
+}
+
+void NetServer::FlushWrites(std::size_t slot) {
+  Connection& conn = *connections_[slot];
+  while (conn.out_head < conn.out_q.size()) {
+    iovec iov[kMaxIov];
+    int iov_count = 0;
+    for (std::size_t i = conn.out_head;
+         i < conn.out_q.size() && iov_count < kMaxIov; ++i) {
+      const std::size_t off = i == conn.out_head ? conn.out_head_off : 0;
+      iov[iov_count].iov_base =
+          const_cast<std::uint8_t*>(conn.out_q[i].data() + off);
+      iov[iov_count].iov_len = conn.out_q[i].size() - off;
+      ++iov_count;
+    }
+    const ssize_t wrote = ::writev(conn.fd, iov, iov_count);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(slot);
+      return;
+    }
+    // Partial-write continuation: advance (frame, offset) through the
+    // queue; an unfinished head frame resumes at out_head_off.
+    std::size_t remaining = static_cast<std::size_t>(wrote);
+    while (remaining > 0) {
+      std::vector<std::uint8_t>& head = conn.out_q[conn.out_head];
+      const std::size_t left = head.size() - conn.out_head_off;
+      if (remaining >= left) {
+        remaining -= left;
+        head.clear();
+        spare_frames_.push_back(std::move(head));
+        ++conn.out_head;
+        conn.out_head_off = 0;
+      } else {
+        conn.out_head_off += remaining;
+        remaining = 0;
+      }
+    }
+  }
+  if (conn.out_head == conn.out_q.size()) {
+    conn.out_q.clear();
+    conn.out_head = 0;
+    conn.out_head_off = 0;
+  }
+  const bool want_write = conn.out_head < conn.out_q.size();
+  if (want_write != conn.want_write) {
+    conn.want_write = want_write;
+    UpdateEpollInterest(slot);
+  }
+}
+
+void NetServer::UpdateEpollInterest(std::size_t slot) {
+  Connection& conn = *connections_[slot];
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET | (conn.want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = slot;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+ServerStats NetServer::BuildStats() {
+  stats_.open_sessions = service_.ActiveSessionCount();
+  session_bytes_cache_ = service_.MemoryStats().SessionBytes();
+  opens_since_measure_ = 0;
+  stats_.session_bytes = session_bytes_cache_;
+  stats_.in_flight = pending_.size();
+  stats_.connections = open_connections_;
+  return stats_;
+}
+
+ServerStats NetServer::Stats() const {
+  ServerStats stats = stats_;
+  stats.open_sessions = service_.ActiveSessionCount();
+  stats.in_flight = pending_.size();
+  stats.connections = open_connections_;
+  return stats;
+}
+
+}  // namespace osap::net

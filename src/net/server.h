@@ -1,0 +1,202 @@
+// NetServer: the epoll-based binary-protocol front-end of the serving
+// path (DESIGN.md §10).
+//
+// A thin, dumb edge in front of serve::DecisionService, shaped like a
+// control/data-plane split: the edge owns sockets, framing and admission;
+// the decision hot path (DecideBatch's shard lanes and epoch tickets)
+// never touches a file descriptor. One event-loop thread runs the whole
+// edge:
+//
+//   epoll_wait -> accept / drain readable sockets (edge-triggered,
+//   non-blocking) -> parse frames, admit or reject each request ->
+//   when admitted STEPs are pending, ONE DecideBatch over all of them
+//   (micro-batching across connections and sessions) -> encode replies
+//   into per-connection output queues -> flush with vectored writes,
+//   partial writes continue under EPOLLOUT.
+//
+// DecideBatch itself fans out over the service's persistent shard
+// workers, so the edge thread is shard 0's inline lane and the socket
+// work overlaps the other shards' compute only between rounds - by
+// construction a slow client socket can delay its OWN replies (they sit
+// in the connection's output queue) but never a decision round.
+//
+// Admission control and backpressure (all per NetServerConfig):
+//   - max_in_flight caps admitted-but-unanswered STEPs process-wide;
+//     past it, new STEPs get an immediate BUSY reply instead of queueing.
+//   - lane_high_water caps pending STEPs per shard lane, so one hot
+//     shard cannot grow the whole queue; STEPs routed to a lane at its
+//     mark get BUSY. The service's SPSC rings are bounded to the same
+//     mark (DecisionServiceConfig::lane_capacity_bound), converting any
+//     admission bug into a loud ring-overflow failure instead of silent
+//     unbounded growth.
+//   - pause_reads_above stops READING a connection whose own admitted
+//     backlog passes the threshold: its bytes accumulate in the kernel
+//     receive buffer, the TCP window closes, and the sender blocks - the
+//     transport-level pushback behind the BUSY vocabulary. Reads resume
+//     (and missed edge-triggered data is drained explicitly) once the
+//     connection's backlog halves.
+//   - max_sessions / max_session_bytes gate OPEN_SESSION on the session
+//     table size and the service's exact ServiceMemoryStats accounting;
+//     past either, opens get FULL.
+// Every rejected request is answered (BUSY / FULL / ERROR) - nothing is
+// silently dropped while a connection lives.
+//
+// Threading: Start() binds and listens; Run() blocks running the loop
+// until Stop() (thread-safe, via eventfd) is called; tests and
+// `osap_serve --listen` run Run() on whatever thread they like. All
+// other methods are loop-thread-only unless noted.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mdp/types.h"
+#include "net/protocol.h"
+#include "serve/decision_service.h"
+#include "serve/serving_model.h"
+
+namespace osap::net {
+
+struct NetServerConfig {
+  /// TCP port to listen on; 0 picks an ephemeral port (see Port()).
+  std::uint16_t port = 0;
+  int listen_backlog = 128;
+  std::size_t max_connections = 4096;
+  /// Process-wide cap on admitted STEPs awaiting a decision; 0 = no cap.
+  std::size_t max_in_flight = 64 * 1024;
+  /// Pending-STEP cap per shard lane (BUSY past it); 0 disables the
+  /// per-lane mark (only max_in_flight applies).
+  std::size_t lane_high_water = 16 * 1024;
+  /// Stop reading a connection whose admitted backlog exceeds this
+  /// (TCP pushback); reads resume once it drains to half. 0 disables.
+  std::size_t pause_reads_above = 1024;
+  /// OPEN_SESSION gate: max concurrently open sessions (0 = 1M).
+  std::size_t max_sessions = 1 << 20;
+  /// OPEN_SESSION gate on ServiceMemoryStats::SessionBytes(), refreshed
+  /// every 64 opens (the walk is not free). 0 = unlimited.
+  std::size_t max_session_bytes = 0;
+  /// Largest DecideBatch per round; 0 = bounded by max_in_flight only.
+  std::size_t max_batch = 0;
+  /// Sharding/backpressure config for the service the server owns.
+  serve::DecisionServiceConfig service;
+};
+
+class NetServer {
+ public:
+  NetServer(std::shared_ptr<const serve::ServingModel> model,
+            NetServerConfig config = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds + listens (throws std::runtime_error on socket failure).
+  /// Call once before Run().
+  void Start();
+
+  /// The bound TCP port (valid after Start(); resolves port 0).
+  std::uint16_t Port() const { return port_; }
+
+  /// Runs the event loop until Stop(). Must follow Start().
+  void Run();
+
+  /// Signals Run() to return after the current iteration. Thread-safe;
+  /// callable from signal-ish contexts (one eventfd write).
+  void Stop();
+
+  /// Counters as of the last loop iteration. Loop-thread-only while
+  /// Run() is live (remote callers use the STATS request); safe from
+  /// anywhere once Run() has returned.
+  ServerStats Stats() const;
+
+  const serve::DecisionService& service() const { return service_; }
+
+ private:
+  struct Connection;
+
+  void Accept();
+  /// Drains `fd` until EAGAIN, parsing complete frames as they land.
+  /// Returns false when the connection died (EOF / error / protocol
+  /// violation) and must be torn down.
+  bool ReadAndParse(std::size_t slot);
+  /// Parses every complete frame in the connection's input buffer
+  /// (stops early when the connection pauses). False on protocol error.
+  bool ParseBuffered(std::size_t slot);
+  void HandleRequest(std::size_t slot, const DecodedRequest& request);
+  void RunBatch();
+  /// Answers and removes every pending STEP of `session` with `status`
+  /// (a CLOSE overtaking pipelined STEPs, never the normal path).
+  void FailPendingOf(std::uint64_t session, Status status);
+  void CloseConnection(std::size_t slot);
+  void QueueReply(std::size_t slot, const Reply& reply,
+                  const ServerStats* stats = nullptr);
+  /// Flushes every connection QueueReply marked dirty this iteration.
+  void FlushDirty();
+  /// writev as much of the connection's output queue as the socket
+  /// accepts; arms/disarms EPOLLOUT around partial writes.
+  void FlushWrites(std::size_t slot);
+  void UpdateEpollInterest(std::size_t slot);
+  ServerStats BuildStats();
+
+  std::shared_ptr<const serve::ServingModel> model_;
+  NetServerConfig config_;
+  serve::DecisionService service_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: Stop() -> loop wakeup
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+
+  /// One admitted STEP awaiting its decision round.
+  struct PendingStep {
+    std::uint32_t conn = 0;
+    std::uint64_t request_id = 0;
+    std::uint64_t session = 0;
+    mdp::State state;  // decoded off the wire; storage recycled
+  };
+
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::uint32_t> free_conn_slots_;
+  /// Slots closed during the current epoll iteration; they join
+  /// free_conn_slots_ only once the event array is fully processed, so a
+  /// stale event for a dead fd can never alias a freshly accepted one.
+  std::vector<std::uint32_t> pending_free_slots_swap_;
+  std::size_t open_connections_ = 0;
+
+  std::vector<PendingStep> pending_;
+  std::vector<std::size_t> shard_pending_;  // admitted per shard lane
+  std::vector<mdp::State> state_pool_;      // recycled PendingStep storage
+  /// Recycled reply-frame buffers (the slab behind the output queues).
+  std::vector<std::vector<std::uint8_t>> spare_frames_;
+  std::vector<std::uint32_t> dirty_;     // connections with queued replies
+  std::vector<std::uint32_t> unpaused_;  // resumed this batch: drain them
+
+  // Per-session edge bookkeeping, indexed by service session id (dense
+  // slot ids). owner_of_[id] is the connection slot (or kNoOwner),
+  // pending_of_[id] counts that session's entries in pending_,
+  // batch_stamp_[id] marks "already in this round" (a session decides at
+  // most once per DecideBatch; duplicates defer to the next round).
+  static constexpr std::uint32_t kNoOwner = 0xffffffffu;
+  std::vector<std::uint32_t> owner_of_;
+  std::vector<std::uint32_t> pending_of_;
+  std::vector<std::uint64_t> batch_stamp_;
+  std::uint64_t batch_round_ = 0;
+
+  // Round scratch (persists across batches; steady state allocates
+  // nothing).
+  std::vector<serve::DecisionService::Request> round_requests_;
+  std::vector<mdp::Action> round_actions_;
+  std::vector<std::size_t> round_pending_idx_;
+
+  // Cached session-bytes gate (refreshed every 64 admitted opens).
+  std::size_t session_bytes_cache_ = 0;
+  std::size_t opens_since_measure_ = 0;
+
+  ServerStats stats_;
+};
+
+}  // namespace osap::net

@@ -24,6 +24,9 @@ DecisionService::DecisionService(std::shared_ptr<const ServingModel> model,
   for (std::size_t s = 0; s < config_.shard_count; ++s) {
     shards_.push_back(std::make_unique<ShardLane>(
         config_.extractor_slab_slots, extractor_doubles_));
+    if (config_.lane_capacity_bound > 0) {
+      shards_.back()->ring.SetBound(config_.lane_capacity_bound);
+    }
   }
   if (config_.shard_workers && shards_.size() > 1) {
     workers_.reserve(shards_.size() - 1);

@@ -98,6 +98,12 @@ struct DecisionServiceConfig {
   /// 2x the recent need, so a population spike does not pin its peak
   /// forever. 0 disables shrinking.
   std::size_t lane_shrink_after = 64;
+  /// Hard per-lane SPSC-ring ceiling (util::SpscRing::SetBound); 0 keeps
+  /// the rings unbounded (Reserve grows on demand). The network edge sets
+  /// this to its admission high-water mark so an admission bug fails
+  /// loudly ("shard ring overflow") instead of growing queues silently.
+  /// Bounds the per-shard slice of a DecideBatch, not total sessions.
+  std::size_t lane_capacity_bound = 0;
 };
 
 /// Exact byte accounting of a service's per-session and scratch memory
@@ -166,6 +172,11 @@ class DecisionService {
   /// shard_workers, else 0).
   std::size_t WorkerCount() const { return workers_.size(); }
   std::size_t ActiveSessionCount() const { return active_count_; }
+  /// The shard lane `id` routes to (stable for a session's lifetime).
+  std::size_t ShardOfSession(SessionId id) const { return ShardOf(id); }
+  /// DecideBatch rounds completed so far - the epoch counter replies
+  /// carry on the wire.
+  std::uint64_t RoundCount() const { return round_; }
 
   /// Per-session introspection (id must be open).
   bool Defaulted(SessionId id) const;

@@ -1,0 +1,242 @@
+#include "util/arg_parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace osap::util {
+
+namespace {
+
+bool ParseUnsigned(const std::string& text, std::uint64_t& out) {
+  if (text.empty() || text[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  out = value;
+  return true;
+}
+
+template <typename T>
+ArgParser::Setter UnsignedSetter(T* out) {
+  return [out](const std::string& text) {
+    std::uint64_t value = 0;
+    if (!ParseUnsigned(text, value)) return false;
+    if (value > std::numeric_limits<T>::max()) return false;
+    *out = static_cast<T>(value);
+    return true;
+  };
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void ArgParser::AddPositionalImpl(const std::string& name,
+                                  const std::string& help, bool required,
+                                  Setter set) {
+  OSAP_REQUIRE(!required || positionals_.empty() ||
+                   positionals_.back().required,
+               "ArgParser: required positional after an optional one");
+  positionals_.push_back({name, help, required, std::move(set)});
+}
+
+void ArgParser::AddOptionImpl(const std::string& name,
+                              const std::string& value_name,
+                              const std::string& help, Setter set) {
+  OSAP_REQUIRE(name.size() > 2 && name[0] == '-' && name[1] == '-',
+               "ArgParser: option names start with --");
+  options_.push_back({name, value_name, help, std::move(set)});
+}
+
+void ArgParser::AddPositional(const std::string& name, const std::string& help,
+                              std::string* out) {
+  AddPositionalImpl(name, help, true, [out](const std::string& text) {
+    *out = text;
+    return true;
+  });
+}
+
+void ArgParser::AddPositional(const std::string& name, const std::string& help,
+                              std::size_t* out) {
+  AddPositionalImpl(name, help, true, UnsignedSetter(out));
+}
+
+void ArgParser::AddOptionalPositional(const std::string& name,
+                                      const std::string& help,
+                                      std::string* out) {
+  AddPositionalImpl(name, help, false, [out](const std::string& text) {
+    *out = text;
+    return true;
+  });
+}
+
+void ArgParser::AddOptionalPositional(const std::string& name,
+                                      const std::string& help,
+                                      std::size_t* out) {
+  AddPositionalImpl(name, help, false, UnsignedSetter(out));
+}
+
+void ArgParser::AddOptionalPositional(const std::string& name,
+                                      const std::string& help, double* out) {
+  AddPositionalImpl(name, help, false, [out](const std::string& text) {
+    return ParseDouble(text, *out);
+  });
+}
+
+void ArgParser::AddFlag(const std::string& name, const std::string& help,
+                        bool* out) {
+  AddOptionImpl(name, "", help, [out](const std::string&) {
+    *out = true;
+    return true;
+  });
+}
+
+void ArgParser::AddOption(const std::string& name,
+                          const std::string& value_name,
+                          const std::string& help, std::string* out) {
+  AddOptionImpl(name, value_name, help, [out](const std::string& text) {
+    *out = text;
+    return true;
+  });
+}
+
+void ArgParser::AddOption(const std::string& name,
+                          const std::string& value_name,
+                          const std::string& help, std::size_t* out) {
+  AddOptionImpl(name, value_name, help, UnsignedSetter(out));
+}
+
+void ArgParser::AddOption(const std::string& name,
+                          const std::string& value_name,
+                          const std::string& help, double* out) {
+  AddOptionImpl(name, value_name, help, [out](const std::string& text) {
+    return ParseDouble(text, *out);
+  });
+}
+
+bool ArgParser::Fail(std::string message) {
+  error_ = std::move(message);
+  return false;
+}
+
+bool ArgParser::Parse(int argc, char* const* argv, int first) {
+  error_.clear();
+  help_requested_ = false;
+  std::size_t next_positional = 0;
+  for (int a = first; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "-h" || arg == "--help") {
+      help_requested_ = true;
+      return true;
+    }
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const std::size_t eq = arg.find('=');
+      const std::string name = arg.substr(0, eq);
+      const Option* match = nullptr;
+      for (const Option& opt : options_) {
+        if (opt.name == name) {
+          match = &opt;
+          break;
+        }
+      }
+      if (match == nullptr) return Fail("unknown option " + name);
+      if (match->value_name.empty()) {
+        if (eq != std::string::npos) {
+          return Fail(name + " takes no value");
+        }
+        match->set("");
+        continue;
+      }
+      std::string value;
+      if (eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+      } else {
+        if (a + 1 >= argc) return Fail(name + " needs a value");
+        value = argv[++a];
+      }
+      if (!match->set(value)) {
+        return Fail("bad value '" + value + "' for " + name);
+      }
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return Fail("unknown option " + arg);
+    }
+    if (next_positional >= positionals_.size()) {
+      return Fail("unexpected argument '" + arg + "'");
+    }
+    Positional& pos = positionals_[next_positional++];
+    if (!pos.set(arg)) {
+      return Fail("bad value '" + arg + "' for <" + pos.name + ">");
+    }
+  }
+  if (next_positional < positionals_.size() &&
+      positionals_[next_positional].required) {
+    return Fail("missing required argument <" +
+                positionals_[next_positional].name + ">");
+  }
+  return true;
+}
+
+std::string ArgParser::UsageLine() const {
+  std::string line = "usage: " + program_;
+  for (const Positional& pos : positionals_) {
+    line += pos.required ? " <" + pos.name + ">" : " [" + pos.name + "]";
+  }
+  if (!options_.empty()) line += " [options]";
+  return line;
+}
+
+std::string ArgParser::HelpText() const {
+  std::string text = UsageLine() + "\n";
+  if (!summary_.empty()) text += "\n" + summary_ + "\n";
+  if (!positionals_.empty()) {
+    text += "\narguments:\n";
+    for (const Positional& pos : positionals_) {
+      std::string label = "  " + pos.name;
+      if (!pos.required) label += " (optional)";
+      while (label.size() < 26) label += ' ';
+      text += label + pos.help + "\n";
+    }
+  }
+  if (!options_.empty()) {
+    text += "\noptions:\n";
+    for (const Option& opt : options_) {
+      std::string label = "  " + opt.name;
+      if (!opt.value_name.empty()) label += " " + opt.value_name;
+      while (label.size() < 26) label += ' ';
+      text += label + opt.help + "\n";
+    }
+  }
+  text += "\n  -h, --help              show this help and exit\n";
+  return text;
+}
+
+void ArgParser::ExitWithError() const {
+  std::fprintf(stderr, "%s: %s\n%s\n", program_.c_str(), error_.c_str(),
+               UsageLine().c_str());
+  std::exit(2);
+}
+
+void ArgParser::ExitWithHelp() const {
+  std::fputs(HelpText().c_str(), stdout);
+  std::exit(0);
+}
+
+}  // namespace osap::util

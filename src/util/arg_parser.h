@@ -1,0 +1,117 @@
+// ArgParser: the one command-line parser behind every osap_* tool.
+//
+// Each tool used to hand-roll its own positional/flag loop; this binds
+// declared arguments straight to the caller's variables and generates the
+// usage/--help text from the declarations, so the tools stay one screen
+// of argument wiring:
+//
+//   util::ArgParser parser("osap_serve", "load generator ...");
+//   parser.AddPositional("signal", "us | upi | uv", &signal);
+//   parser.AddOptionalPositional("sessions", "concurrent viewers",
+//                                &sessions);
+//   parser.AddOption("--shards", "N", "shard count", &shards);
+//   parser.AddFlag("--revocable", "revocable defaulting", &revocable);
+//   if (!parser.Parse(argc, argv)) parser.ExitWithError();
+//   if (parser.HelpRequested()) parser.ExitWithHelp();
+//
+// Supported shapes: required then optional positionals (in declaration
+// order), boolean `--flag`, and valued `--opt VALUE` / `--opt=VALUE`.
+// Values bind to std::string, std::size_t, std::uint64_t, or double;
+// numeric parses reject trailing garbage and negatives. `-h` / `--help`
+// stops parsing and sets HelpRequested(). Parse never exits and reports
+// one-line errors, so tests can drive the failure paths; the tools use
+// the ExitWith* conveniences.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace osap::util {
+
+class ArgParser {
+ public:
+  using Setter = std::function<bool(const std::string&)>;
+
+  /// `program` names the tool in usage text; `summary` is the one-line
+  /// description printed by --help.
+  explicit ArgParser(std::string program, std::string summary = "");
+
+  // --- declarations (call before Parse) ---------------------------------
+
+  void AddPositional(const std::string& name, const std::string& help,
+                     std::string* out);
+  void AddPositional(const std::string& name, const std::string& help,
+                     std::size_t* out);
+  /// Optional positionals must follow every required one; `*out` keeps
+  /// its prior value (the default) when the argument is omitted.
+  void AddOptionalPositional(const std::string& name, const std::string& help,
+                             std::string* out);
+  void AddOptionalPositional(const std::string& name, const std::string& help,
+                             std::size_t* out);
+  void AddOptionalPositional(const std::string& name, const std::string& help,
+                             double* out);
+
+  /// `--name` (no value): sets *out = true when present.
+  void AddFlag(const std::string& name, const std::string& help, bool* out);
+
+  /// `--name VALUE` or `--name=VALUE`. `value_name` labels the value in
+  /// help text (e.g. "N", "PORT", "RATE").
+  void AddOption(const std::string& name, const std::string& value_name,
+                 const std::string& help, std::string* out);
+  void AddOption(const std::string& name, const std::string& value_name,
+                 const std::string& help, std::size_t* out);
+  void AddOption(const std::string& name, const std::string& value_name,
+                 const std::string& help, double* out);
+
+  // --- parsing -----------------------------------------------------------
+
+  /// Parses argv[first..argc). Returns false on any error (unknown flag,
+  /// missing value, unparseable number, missing required positional,
+  /// excess positionals) with Error() set. `-h`/`--help` returns true
+  /// with HelpRequested() set and no bindings applied beyond that point.
+  bool Parse(int argc, char* const* argv, int first = 1);
+
+  bool HelpRequested() const { return help_requested_; }
+  const std::string& Error() const { return error_; }
+
+  std::string UsageLine() const;
+  /// Full --help text: usage line, summary, positional and option tables.
+  std::string HelpText() const;
+
+  /// Prints Error() + the usage line to stderr and exits 2.
+  [[noreturn]] void ExitWithError() const;
+  /// Prints HelpText() to stdout and exits 0.
+  [[noreturn]] void ExitWithHelp() const;
+
+ private:
+  struct Positional {
+    std::string name;
+    std::string help;
+    bool required = true;
+    Setter set;
+  };
+  struct Option {
+    std::string name;        // including leading --
+    std::string value_name;  // empty for flags
+    std::string help;
+    Setter set;
+  };
+
+  void AddPositionalImpl(const std::string& name, const std::string& help,
+                         bool required, Setter set);
+  void AddOptionImpl(const std::string& name, const std::string& value_name,
+                     const std::string& help, Setter set);
+  bool Fail(std::string message);
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Positional> positionals_;
+  std::vector<Option> options_;
+  bool help_requested_ = false;
+  std::string error_;
+};
+
+}  // namespace osap::util

@@ -10,8 +10,8 @@
 
 namespace osap::util {
 
-std::size_t CurrentRssBytes() {
-  std::FILE* f = std::fopen("/proc/self/statm", "r");
+std::size_t RssBytesFromStatm(const char* statm_path) {
+  std::FILE* f = std::fopen(statm_path, "r");
   if (f == nullptr) return 0;
   long total_pages = 0;
   long resident_pages = 0;
@@ -27,21 +27,28 @@ std::size_t CurrentRssBytes() {
          static_cast<std::size_t>(page > 0 ? page : 4096);
 }
 
-std::size_t PeakRssBytes() {
-  std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f != nullptr) {
-    char line[256];
-    while (std::fgets(line, sizeof(line), f) != nullptr) {
-      if (std::strncmp(line, "VmHWM:", 6) != 0) continue;
-      long kib = 0;
-      if (std::sscanf(line + 6, "%ld", &kib) == 1 && kib >= 0) {
-        std::fclose(f);
-        return static_cast<std::size_t>(kib) * 1024;
-      }
-      break;
+std::size_t PeakRssBytesFromStatus(const char* status_path) {
+  std::FILE* f = std::fopen(status_path, "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) != 0) continue;
+    long kib = 0;
+    if (std::sscanf(line + 6, "%ld", &kib) == 1 && kib >= 0) {
+      std::fclose(f);
+      return static_cast<std::size_t>(kib) * 1024;
     }
-    std::fclose(f);
+    break;
   }
+  std::fclose(f);
+  return 0;
+}
+
+std::size_t CurrentRssBytes() { return RssBytesFromStatm("/proc/self/statm"); }
+
+std::size_t PeakRssBytes() {
+  const std::size_t from_status = PeakRssBytesFromStatus("/proc/self/status");
+  if (from_status > 0) return from_status;
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage{};
   if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {

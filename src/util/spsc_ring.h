@@ -13,6 +13,15 @@
 // producer may only call it while the consumer is quiescent (for the
 // serving path: between epochs, while the worker is parked on its ticket).
 // Values must be trivially copyable.
+//
+// Two capacity modes:
+//   - unbounded (default): Reserve() grows the slot array on demand, so a
+//     ring can follow any population spike.
+//   - bounded (SetBound): capacity is clamped to a hard ceiling and Push
+//     fails once `bound` values are in flight even when the slot array is
+//     larger. The network edge bounds each shard lane to its admission
+//     high-water mark, so a bug that admits past the mark surfaces as a
+//     loud failed Push instead of silent queue growth.
 #pragma once
 
 #include <atomic>
@@ -34,9 +43,22 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
-  /// Ensures room for at least `capacity` un-popped values. Grows only
-  /// (never shrinks) and must not run concurrently with Push/Pop.
+  /// Caps the ring at `bound` in-flight values (0 restores unbounded
+  /// growth). Same thread-safety contract as Reserve(): both sides must
+  /// be quiescent. Requires bound >= current Size().
+  void SetBound(std::size_t bound) {
+    OSAP_REQUIRE(bound == 0 || bound >= Size(),
+                 "SpscRing::SetBound below current size");
+    bound_ = bound;
+  }
+
+  std::size_t Bound() const { return bound_; }
+
+  /// Ensures room for at least `capacity` un-popped values (clamped to
+  /// the bound when one is set). Grows only (never shrinks) and must not
+  /// run concurrently with Push/Pop.
   void Reserve(std::size_t capacity) {
+    if (bound_ != 0 && capacity > bound_) capacity = bound_;
     if (capacity <= Capacity()) return;
     std::size_t pow2 = 1;
     while (pow2 < capacity) pow2 *= 2;
@@ -62,11 +84,14 @@ class SpscRing {
   }
 
   /// Producer side. Returns false when the ring is full (or was never
-  /// Reserve()d).
+  /// Reserve()d), or when a SetBound() ceiling is reached.
   bool Push(const T& value) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     const std::size_t head = head_.load(std::memory_order_acquire);
-    if (tail - head >= slots_.size()) return false;
+    const std::size_t cap = bound_ != 0 && bound_ < slots_.size()
+                                ? bound_
+                                : slots_.size();
+    if (tail - head >= cap) return false;
     slots_[tail & mask_] = value;
     tail_.store(tail + 1, std::memory_order_release);
     return true;
@@ -84,7 +109,8 @@ class SpscRing {
 
  private:
   std::vector<T> slots_;
-  std::size_t mask_ = 0;  // slots_.size() - 1 once Reserve()d
+  std::size_t mask_ = 0;   // slots_.size() - 1 once Reserve()d
+  std::size_t bound_ = 0;  // hard capacity ceiling; 0 = unbounded
   // Monotonic counters; slot index is counter & mask_.
   alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
   alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor

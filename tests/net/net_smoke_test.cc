@@ -1,0 +1,138 @@
+// Network-edge concurrency smoke (runs under the sanitize label, so the
+// TSan suite checks it): one NetServer event loop plus several in-process
+// client threads hammering it over loopback with session churn
+// mid-connection - open, step a few times, close, reopen - plus a
+// mid-run STATS reader. The assertions are deliberately coarse (every
+// request answered, zero protocol errors besides the expected ones); the
+// point is the interleaving, not the values.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "abr/abr_environment.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net_test_world.h"
+
+namespace osap::net {
+namespace {
+
+using testing::NetModelFor;
+using testing::NetWorld;
+using testing::ServerRunner;
+using testing::SharedNetWorld;
+
+TEST(NetSmoke, ConcurrentClientsWithSessionChurn) {
+  const NetWorld& w = SharedNetWorld();
+  const auto model = NetModelFor(w, serve::Signal::kAgentEnsemble,
+                                 core::DefaultingMode::kRevocable);
+  NetServerConfig cfg;
+  // Small caps so the churn also exercises the BUSY path under load.
+  cfg.max_in_flight = 16;
+  cfg.lane_high_water = 8;
+  cfg.service.shard_count = 2;
+  cfg.service.shard_workers = false;  // single-core host: keep it lean
+  ServerRunner server(model, cfg);
+
+  constexpr std::size_t kClients = 3;
+  constexpr std::size_t kSessionsPerClient = 4;
+  constexpr std::size_t kStepsPerSession = 6;
+  std::atomic<std::size_t> total_ok{0};
+  std::atomic<std::size_t> total_busy{0};
+  std::atomic<std::size_t> failures{0};
+
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        Client client;
+        client.Connect("127.0.0.1", server.Port());
+        abr::AbrEnvironment env(w.video, {});
+        env.SetFixedTrace(w.traces[c % w.traces.size()]);
+        // Churn: each session lives a few steps, then closes and a fresh
+        // one takes over mid-connection.
+        for (std::size_t s = 0; s < kSessionsPerClient; ++s) {
+          const std::uint64_t session = client.OpenSession();
+          mdp::State state = env.Reset();
+          std::size_t stepped = 0;
+          while (stepped < kStepsPerSession) {
+            const Reply reply = client.Step(session, state);
+            if (reply.status == Status::kBusy) {
+              total_busy.fetch_add(1, std::memory_order_relaxed);
+              std::this_thread::yield();
+              continue;  // resend the same state
+            }
+            ASSERT_EQ(reply.status, Status::kOk);
+            total_ok.fetch_add(1, std::memory_order_relaxed);
+            ++stepped;
+            mdp::StepResult result = env.Step(reply.action);
+            state = std::move(result.next_state);
+            if (result.done) state = env.Reset();
+          }
+          // Interleave a STATS round trip into the churn.
+          const ServerStats stats = client.Stats();
+          ASSERT_LE(stats.in_flight, cfg.max_in_flight);
+          client.CloseSession(session);
+        }
+        client.Close();
+      } catch (const std::exception&) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(total_ok.load(), kClients * kSessionsPerClient * kStepsPerSession);
+
+  // After the churn the server is quiet: no sessions, no in-flight work,
+  // and its counters account for every OK/BUSY the clients saw.
+  Client probe;
+  probe.Connect("127.0.0.1", server.Port());
+  const ServerStats stats = probe.Stats();
+  EXPECT_EQ(stats.open_sessions, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.decided, total_ok.load());
+  EXPECT_EQ(stats.busy, total_busy.load());
+  probe.Close();
+}
+
+// Abrupt disconnects mid-session: the server must reap the connection's
+// sessions and keep serving everyone else.
+TEST(NetSmoke, AbruptDisconnectReapsSessions) {
+  const NetWorld& w = SharedNetWorld();
+  const auto model = NetModelFor(w, serve::Signal::kNovelty,
+                                 core::DefaultingMode::kPermanent);
+  NetServerConfig cfg;
+  cfg.service.shard_workers = false;
+  ServerRunner server(model, cfg);
+
+  Client survivor;
+  survivor.Connect("127.0.0.1", server.Port());
+  const std::uint64_t session = survivor.OpenSession();
+  std::vector<double> state(model->InputSize(), 0.5);
+
+  for (int round = 0; round < 5; ++round) {
+    Client dropper;
+    dropper.Connect("127.0.0.1", server.Port());
+    dropper.OpenSession();
+    dropper.OpenSession();
+    dropper.Close();  // two sessions die with the connection
+    // The survivor's session keeps deciding throughout.
+    ASSERT_EQ(survivor.Step(session, state).status, Status::kOk);
+  }
+  // Give the loop a beat to process the hangups, then check the reap:
+  // only the survivor's session remains. The STATS round trip itself
+  // serializes behind the loop's event processing.
+  const ServerStats stats = survivor.Stats();
+  EXPECT_EQ(stats.open_sessions, 1u);
+  EXPECT_EQ(stats.connections, 1u);
+  survivor.CloseSession(session);
+}
+
+}  // namespace
+}  // namespace osap::net

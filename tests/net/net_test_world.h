@@ -1,0 +1,158 @@
+// Shared fixture for the network-edge tests: a small trained world (agent
+// ensemble + fitted novelty detector + half-ID / half-OOD traces), model
+// builders, and a ServerRunner that runs a NetServer event loop on its
+// own thread for the lifetime of a test.
+//
+// Deliberately smaller than the serve-test World (fewer agents, shorter
+// traces): the net tests pin wire-path properties (framing, admission,
+// bit-transport), not estimator quality, and the TSan smoke needs the
+// fixture cheap.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "abr/abr_environment.h"
+#include "abr/video.h"
+#include "core/ensemble_estimators.h"
+#include "core/novelty_detector.h"
+#include "net/server.h"
+#include "policies/pensieve_net.h"
+#include "policies/pensieve_policy.h"
+#include "serve/serving_model.h"
+#include "traces/generators.h"
+#include "util/stats.h"
+
+namespace osap::net::testing {
+
+constexpr std::size_t kEnsemble = 3;
+constexpr std::size_t kDiscard = 1;
+constexpr std::size_t kTriggerL = 2;
+constexpr std::size_t kTriggerK = 4;
+constexpr std::size_t kTraces = 4;
+
+struct NetWorld {
+  abr::AbrStateLayout layout;
+  abr::VideoSpec video = abr::MakeEnvivioLikeVideo(1);
+  std::vector<std::shared_ptr<nn::ActorCriticNet>> agents;
+  std::shared_ptr<core::NoveltyDetector> novelty;
+  std::vector<traces::Trace> traces;  // even = ID (Norway), odd = OOD
+  double alpha_pi = 0.0;
+};
+
+inline const NetWorld& SharedNetWorld() {
+  static const NetWorld* world = [] {
+    auto* w = new NetWorld();
+    policies::PensieveNetConfig net;
+    net.conv_filters = 3;
+    net.hidden = 8;
+    Rng rng(23);
+    for (std::size_t m = 0; m < kEnsemble; ++m) {
+      w->agents.push_back(std::make_shared<nn::ActorCriticNet>(
+          policies::MakePensieveActorCritic(w->layout, net, rng)));
+    }
+    const auto id_gen = traces::MakeNorway3gGenerator();
+    const auto ood_gen = traces::MakeBelgium4gGenerator();
+    Rng trace_rng(31);
+    for (std::size_t i = 0; i < kTraces; ++i) {
+      const auto& gen = i % 2 == 0 ? id_gen : ood_gen;
+      w->traces.push_back(gen->Generate(trace_rng, 150.0, i));
+    }
+
+    core::NoveltyDetectorConfig nd;
+    nd.throughput_window = 3;
+    nd.k = 2;
+    std::vector<std::vector<double>> features;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const traces::Trace t = id_gen->Generate(trace_rng, 400.0, 50 + i);
+      const auto f = core::NoveltyDetector::ExtractFeatures(t.samples(), nd);
+      features.insert(features.end(), f.begin(), f.end());
+    }
+    w->novelty = std::make_shared<core::NoveltyDetector>(nd, w->layout);
+    w->novelty->Fit(features);
+
+    // Quick alpha probe for the U_pi variance trigger: 40th percentile of
+    // windowed score variances under the deployed greedy policy, so the
+    // trigger fires on some sessions and not others.
+    core::AgentEnsembleEstimator estimator(w->agents, kDiscard);
+    policies::PensievePolicy deployed(w->agents.front(),
+                                      policies::ActionSelection::kGreedy, 0);
+    std::vector<double> variances;
+    for (const traces::Trace& trace : w->traces) {
+      abr::AbrEnvironment env(w->video, {});
+      env.SetFixedTrace(trace);
+      SlidingWindowStats window(kTriggerK);
+      mdp::State state = env.Reset();
+      bool done = false;
+      while (!done) {
+        window.Push(estimator.Score(state));
+        if (window.Full()) variances.push_back(window.Variance());
+        mdp::StepResult result = env.Step(deployed.SelectAction(state));
+        state = std::move(result.next_state);
+        done = result.done;
+      }
+    }
+    std::sort(variances.begin(), variances.end());
+    w->alpha_pi = variances[variances.size() * 2 / 5];
+    return w;
+  }();
+  return *world;
+}
+
+inline core::SafeAgentConfig NetConfigFor(const NetWorld& w,
+                                          serve::Signal signal,
+                                          core::DefaultingMode mode) {
+  core::SafeAgentConfig config;
+  config.trigger.l = kTriggerL;
+  config.trigger.k = kTriggerK;
+  config.mode = mode;
+  if (signal == serve::Signal::kNovelty) {
+    config.trigger.mode = core::TriggerMode::kBinary;
+  } else {
+    config.trigger.mode = core::TriggerMode::kWindowVariance;
+    config.trigger.alpha = w.alpha_pi;
+  }
+  return config;
+}
+
+inline std::shared_ptr<const serve::ServingModel> NetModelFor(
+    const NetWorld& w, serve::Signal signal, core::DefaultingMode mode) {
+  const core::SafeAgentConfig config = NetConfigFor(w, signal, mode);
+  if (signal == serve::Signal::kNovelty) {
+    return serve::ServingModel::Novelty(w.agents, w.novelty, w.video,
+                                        w.layout, config);
+  }
+  return serve::ServingModel::AgentEnsemble(w.agents, kDiscard, w.video,
+                                            w.layout, config);
+}
+
+/// Starts a NetServer on an ephemeral port and runs its event loop on a
+/// dedicated thread until destruction.
+class ServerRunner {
+ public:
+  explicit ServerRunner(std::shared_ptr<const serve::ServingModel> model,
+                        NetServerConfig config = {}) {
+    config.port = 0;
+    server_ = std::make_unique<NetServer>(std::move(model), config);
+    server_->Start();
+    thread_ = std::thread([this] { server_->Run(); });
+  }
+
+  ~ServerRunner() {
+    server_->Stop();
+    thread_.join();
+  }
+
+  std::uint16_t Port() const { return server_->Port(); }
+  /// Safe only after the loop has returned (or for the STATS request use
+  /// a client instead).
+  const NetServer& server() const { return *server_; }
+
+ private:
+  std::unique_ptr<NetServer> server_;
+  std::thread thread_;
+};
+
+}  // namespace osap::net::testing

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace osap::util {
@@ -54,6 +58,43 @@ TEST(RssProbe, TouchingMemoryGrowsRss) {
   EXPECT_GE(after, before + kBytes / 2)
       << "32 MB of touched pages must show up in RSS";
   EXPECT_GE(PeakRssBytes(), after);
+}
+
+// The fallback contract behind both probes: a minimal container without a
+// /proc mount must get 0, never an assert or a crash, so the network-edge
+// server still boots there. The probes are path-parameterized exactly so
+// this is testable without unmounting /proc.
+TEST(RssProbe, MissingProcFilesDegradeToZero) {
+  EXPECT_EQ(RssBytesFromStatm("/nonexistent/osap/statm"), 0u);
+  EXPECT_EQ(PeakRssBytesFromStatus("/nonexistent/osap/status"), 0u);
+}
+
+TEST(RssProbe, MalformedProcFilesDegradeToZero) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "osap_meter_test";
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path statm = dir / "statm";
+  const std::filesystem::path status = dir / "status";
+  std::ofstream(statm) << "not numbers at all";
+  std::ofstream(status) << "Name:\tgarbage\nVmHWM:\tnot-a-number kB\n";
+  EXPECT_EQ(RssBytesFromStatm(statm.c_str()), 0u);
+  EXPECT_EQ(PeakRssBytesFromStatus(status.c_str()), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RssProbe, WellFormedProcFilesParse) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "osap_meter_test_ok";
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path statm = dir / "statm";
+  const std::filesystem::path status = dir / "status";
+  std::ofstream(statm) << "1000 250 100 10 0 200 0\n";
+  std::ofstream(status) << "Name:\ttest\nVmHWM:\t  2048 kB\nVmRSS:\t1 kB\n";
+  // 250 resident pages at whatever the host page size is.
+  EXPECT_GT(RssBytesFromStatm(statm.c_str()), 0u);
+  EXPECT_EQ(RssBytesFromStatm(statm.c_str()) % 250, 0u);
+  EXPECT_EQ(PeakRssBytesFromStatus(status.c_str()), 2048u * 1024u);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

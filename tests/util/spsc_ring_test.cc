@@ -78,6 +78,84 @@ TEST(SpscRing, ReserveRelocatesUnconsumedValues) {
   }
 }
 
+// The two capacity modes the serving path relies on, at their boundaries.
+// Unbounded (default): a full ring grows through Reserve and accepts more.
+// Bounded (SetBound, the network edge's lane high-water mark): Push fails
+// at the bound even though the pow2 slot array is larger, and Reserve can
+// never grow past it - an admission bug hits a loud failed Push instead
+// of silent queue growth.
+TEST(SpscRing, FullRingGrowsThroughReserveWhenUnbounded) {
+  SpscRing<std::uint32_t> ring;
+  ring.Reserve(4);
+  for (std::uint32_t i = 0; i < 4; ++i) ASSERT_TRUE(ring.Push(i));
+  ASSERT_FALSE(ring.Push(4));  // at capacity
+  ring.Reserve(8);             // producer grows between epochs
+  EXPECT_EQ(ring.Capacity(), 8u);
+  for (std::uint32_t i = 4; i < 8; ++i) ASSERT_TRUE(ring.Push(i));
+  std::uint32_t v = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.Pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(SpscRing, BoundCapsPushBelowSlotCapacity) {
+  SpscRing<std::uint32_t> ring;
+  ring.SetBound(5);
+  ring.Reserve(64);  // clamped: slots round 5 up to 8, not 64
+  EXPECT_EQ(ring.Capacity(), 8u);
+  for (std::uint32_t i = 0; i < 5; ++i) ASSERT_TRUE(ring.Push(i));
+  EXPECT_FALSE(ring.Push(5)) << "bound must cap in-flight values at 5";
+  EXPECT_EQ(ring.Size(), 5u);
+  std::uint32_t v = 0;
+  ASSERT_TRUE(ring.Pop(v));
+  EXPECT_EQ(v, 0u);
+  // One slot freed: exactly one more push fits.
+  EXPECT_TRUE(ring.Push(5));
+  EXPECT_FALSE(ring.Push(6));
+}
+
+TEST(SpscRing, BoundedRingStaysFifoAcrossWrap) {
+  SpscRing<std::uint32_t> ring;
+  ring.SetBound(3);
+  ring.Reserve(3);
+  std::uint32_t v = 0;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ring.Push(2 * i));
+    ASSERT_TRUE(ring.Push(2 * i + 1));
+    ASSERT_TRUE(ring.Pop(v));
+    EXPECT_EQ(v, 2 * i);
+    ASSERT_TRUE(ring.Pop(v));
+    EXPECT_EQ(v, 2 * i + 1);
+  }
+}
+
+TEST(SpscRing, ClearingBoundRestoresGrowth) {
+  SpscRing<std::uint32_t> ring;
+  ring.SetBound(2);
+  ring.Reserve(16);
+  ASSERT_TRUE(ring.Push(0));
+  ASSERT_TRUE(ring.Push(1));
+  ASSERT_FALSE(ring.Push(2));
+  ring.SetBound(0);  // back to unbounded
+  ring.Reserve(16);
+  EXPECT_EQ(ring.Capacity(), 16u);
+  for (std::uint32_t i = 2; i < 16; ++i) ASSERT_TRUE(ring.Push(i));
+  std::uint32_t v = 0;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(ring.Pop(v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(SpscRing, SetBoundBelowCurrentSizeThrows) {
+  SpscRing<std::uint32_t> ring;
+  ring.Reserve(4);
+  ASSERT_TRUE(ring.Push(1));
+  ASSERT_TRUE(ring.Push(2));
+  EXPECT_THROW(ring.SetBound(1), std::invalid_argument);
+}
+
 // Cross-thread handoff under the shard-lane protocol: one producer spins
 // values in, one consumer drains them; every value must arrive exactly
 // once, in order. Small capacity forces continuous wrap + backpressure.
@@ -93,6 +171,39 @@ TEST(SpscRing, TwoThreadHandoffPreservesOrder) {
   std::thread consumer([&] {
     std::uint32_t v = 0;
     while (received.size() < kValues) {
+      if (ring.Pop(v)) {
+        received.push_back(v);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint32_t i = 0; i < kValues; ++i) {
+    while (!ring.Push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  ASSERT_EQ(received.size(), kValues);
+  for (std::uint32_t i = 0; i < kValues; ++i) {
+    ASSERT_EQ(received[i], i);
+  }
+}
+
+// The bounded mode under the same two-thread protocol (TSan via the
+// sanitize label): the bound only tightens the producer's full check, so
+// ordering and exactly-once delivery must be unchanged while Size() never
+// exceeds the bound from the consumer's viewpoint.
+TEST(SpscRing, BoundedTwoThreadHandoffPreservesOrder) {
+  constexpr std::uint32_t kValues = 4000;
+  constexpr std::size_t kBound = 5;
+  SpscRing<std::uint32_t> ring;
+  ring.SetBound(kBound);
+  ring.Reserve(64);  // clamped to the bound's pow2
+  std::vector<std::uint32_t> received;
+  received.reserve(kValues);
+  std::thread consumer([&] {
+    std::uint32_t v = 0;
+    while (received.size() < kValues) {
+      EXPECT_LE(ring.Size(), kBound);
       if (ring.Pop(v)) {
         received.push_back(v);
       } else {

@@ -50,10 +50,16 @@ import sys
 
 
 def load(path: str) -> dict:
+    # Exit with a one-line error, never a traceback: this runs inside
+    # ctest perf gates where "the sidecar is missing/garbage" is an
+    # expected failure mode (bench binary crashed, wrong cwd), not a bug
+    # in the diff tool. ValueError covers json.JSONDecodeError AND
+    # UnicodeDecodeError (a non-UTF-8 byte stream fails in the codec
+    # before the JSON parser ever runs).
     try:
         with open(path, "r", encoding="utf-8") as f:
             data = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
+    except (OSError, ValueError) as e:
         sys.exit(f"bench_diff: cannot read {path}: {e}")
     if not isinstance(data, dict) or not all(
         isinstance(v, (int, float)) for v in data.values()

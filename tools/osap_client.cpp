@@ -1,0 +1,272 @@
+// osap_client: open-loop load generator for the network edge.
+//
+// Drives an `osap_serve --listen` server over N TCP connections, each
+// carrying an equal share of the session population. Every session is a
+// real ABR viewer: a local AbrEnvironment streams one of the six
+// datasets' held-out test traces (dataset i % 6, mixing ID and OOD), the
+// server's decision drives the environment forward, and finished
+// sessions reopen on the dataset's next trace so the population stays
+// constant.
+//
+// The arrival process is OPEN-LOOP: step r of every session is scheduled
+// at t0 + r * sessions/RATE (an aggregate RATE decisions/s across the
+// whole population), and each reply's latency is measured from that
+// SCHEDULED send time - a server that falls behind accrues queueing
+// delay in the reported percentiles instead of silently slowing the
+// arrival clock down (no coordinated omission). Within a connection a
+// round's STEPs are pipelined (one flush, then one read per reply).
+//
+// BUSY replies leave the viewer where it is (the same state is resent
+// next round) and are counted separately; any ERROR status or transport
+// failure counts as a protocol error. Exit status is nonzero when any
+// protocol error occurred.
+//
+// Usage:
+//   osap_client <host> <port> [--connections N] [--sessions N]
+//               [--rate RATE] [--rounds N]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "abr/abr_environment.h"
+#include "net/client.h"
+#include "traces/dataset.h"
+#include "util/arg_parser.h"
+
+using namespace osap;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One concurrent viewer driven over the wire.
+struct Viewer {
+  explicit Viewer(abr::AbrEnvironment e) : env(std::move(e)) {}
+  abr::AbrEnvironment env;
+  std::uint64_t session = 0;
+  mdp::State state;
+  std::size_t dataset = 0;
+  std::size_t next_trace = 0;
+};
+
+struct WorkerResult {
+  std::vector<double> latency_us;  // from scheduled send to reply
+  std::uint64_t ok = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t completed_sessions = 0;
+};
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  const std::size_t idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host;
+  std::size_t port = 0;
+  std::size_t connections = 4;
+  std::size_t sessions = 64;
+  double rate = 1000.0;  // aggregate decisions/s over the population
+  std::size_t rounds = 200;
+
+  util::ArgParser parser(
+      "osap_client",
+      "Open-loop load generator for the osap_serve --listen network edge: "
+      "scheduled arrivals over N connections, latency measured from the "
+      "scheduled send (no coordinated omission).");
+  parser.AddPositional("host", "server address (e.g. 127.0.0.1)", &host);
+  parser.AddPositional("port", "server port", &port);
+  parser.AddOption("--connections", "N", "TCP connections (default 4)",
+                   &connections);
+  parser.AddOption("--sessions", "N",
+                   "total concurrent sessions across all connections "
+                   "(default 64)",
+                   &sessions);
+  parser.AddOption("--rate", "RATE",
+                   "aggregate scheduled arrival rate in decisions/s "
+                   "(default 1000)",
+                   &rate);
+  parser.AddOption("--rounds", "N",
+                   "steps scheduled per session (default 200)", &rounds);
+  if (!parser.Parse(argc, argv)) parser.ExitWithError();
+  if (parser.HelpRequested()) parser.ExitWithHelp();
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "osap_client: port must be 1..65535\n");
+    return 2;
+  }
+  if (connections == 0 || sessions < connections || rounds == 0 ||
+      !(rate > 0.0)) {
+    std::fprintf(stderr,
+                 "osap_client: need connections >= 1, sessions >= "
+                 "connections, rounds >= 1, rate > 0\n");
+    return 2;
+  }
+
+  // Build the datasets once; worker threads only read the trace vectors.
+  const std::vector<traces::DatasetId> dataset_ids = traces::AllDatasetIds();
+  std::vector<traces::Dataset> datasets;
+  datasets.reserve(dataset_ids.size());
+  for (traces::DatasetId id : dataset_ids) {
+    datasets.push_back(traces::BuildDataset(id));
+  }
+
+  // One round steps every session once: with an aggregate arrival rate of
+  // RATE decisions/s, round r of every session is scheduled at
+  // t0 + r * sessions/RATE.
+  const double round_interval_s = static_cast<double>(sessions) / rate;
+  std::printf("osap_client: %zu sessions over %zu connections -> %s:%zu, "
+              "%zu rounds, open-loop %.0f decisions/s "
+              "(round every %.2f ms)\n",
+              sessions, connections, host.c_str(), port, rounds, rate,
+              round_interval_s * 1e3);
+
+  std::vector<WorkerResult> results(connections);
+  const auto t0 = Clock::now() + std::chrono::milliseconds(50);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  for (std::size_t w = 0; w < connections; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerResult& res = results[w];
+      // Connection w owns sessions with global index i where
+      // i % connections == w.
+      std::size_t local_count = sessions / connections +
+                                (w < sessions % connections ? 1 : 0);
+      net::Client client;
+      try {
+        client.Connect(host, static_cast<std::uint16_t>(port));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "osap_client: %s\n", e.what());
+        res.errors += local_count * rounds;
+        return;
+      }
+      abr::AbrEnvironmentConfig env_cfg;
+      std::vector<Viewer> viewers;
+      viewers.reserve(local_count);
+      try {
+        for (std::size_t v = 0; v < local_count; ++v) {
+          const std::size_t global = w + v * connections;
+          Viewer viewer(abr::AbrEnvironment(abr::MakeEnvivioLikeVideo(5),
+                                            env_cfg));
+          viewer.dataset = global % datasets.size();
+          const auto& tests = datasets[viewer.dataset].test;
+          viewer.next_trace = (global / datasets.size()) % tests.size();
+          viewer.env.SetFixedTrace(tests[viewer.next_trace]);
+          viewer.next_trace = (viewer.next_trace + 1) % tests.size();
+          viewer.state = viewer.env.Reset();
+          viewer.session = client.OpenSession();
+          viewers.push_back(std::move(viewer));
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "osap_client: open: %s\n", e.what());
+        res.errors += local_count * rounds;
+        return;
+      }
+      res.latency_us.reserve(local_count * rounds);
+      std::vector<std::uint64_t> request_of(viewers.size());
+      try {
+        for (std::size_t round = 0; round < rounds; ++round) {
+          const auto scheduled =
+              t0 + std::chrono::duration_cast<Clock::duration>(
+                       std::chrono::duration<double>(
+                           static_cast<double>(round) * round_interval_s));
+          std::this_thread::sleep_until(scheduled);
+          // Pipeline the whole round: encode every session's STEP, one
+          // flush, then collect the replies in arrival order.
+          for (std::size_t v = 0; v < viewers.size(); ++v) {
+            request_of[v] = round * viewers.size() + v + 1;
+            client.SendStep(request_of[v], viewers[v].session,
+                            viewers[v].state);
+          }
+          client.Flush();
+          for (std::size_t v = 0; v < viewers.size(); ++v) {
+            net::Reply reply;
+            if (!client.ReadReply(reply)) {
+              throw std::runtime_error("server closed the connection");
+            }
+            const auto now = Clock::now();
+            res.latency_us.push_back(
+                std::chrono::duration<double, std::micro>(now - scheduled)
+                    .count());
+            // Match the reply to its viewer by the echoed request_id.
+            const std::uint64_t seq = reply.request_id - 1;
+            if (seq / viewers.size() != round) {
+              ++res.errors;
+              continue;
+            }
+            Viewer& viewer = viewers[seq % viewers.size()];
+            if (reply.status == net::Status::kBusy) {
+              ++res.busy;  // resend the same state next round
+              continue;
+            }
+            if (reply.status != net::Status::kOk) {
+              ++res.errors;
+              continue;
+            }
+            ++res.ok;
+            mdp::StepResult r = viewer.env.Step(
+                static_cast<mdp::Action>(reply.action));
+            if (!r.done) {
+              viewer.state = std::move(r.next_state);
+              continue;
+            }
+            ++res.completed_sessions;
+            client.CloseSession(viewer.session);
+            const auto& tests = datasets[viewer.dataset].test;
+            viewer.env.SetFixedTrace(tests[viewer.next_trace]);
+            viewer.next_trace = (viewer.next_trace + 1) % tests.size();
+            viewer.state = viewer.env.Reset();
+            viewer.session = client.OpenSession();
+          }
+        }
+        for (Viewer& viewer : viewers) client.CloseSession(viewer.session);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "osap_client: %s\n", e.what());
+        ++res.errors;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> latency;
+  std::uint64_t ok = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t completed = 0;
+  for (const WorkerResult& res : results) {
+    latency.insert(latency.end(), res.latency_us.begin(),
+                   res.latency_us.end());
+    ok += res.ok;
+    busy += res.busy;
+    errors += res.errors;
+    completed += res.completed_sessions;
+  }
+  if (latency.empty()) {
+    std::fprintf(stderr, "osap_client: no replies received\n");
+    return 1;
+  }
+  std::sort(latency.begin(), latency.end());
+  std::printf("\n%llu ok, %llu busy, %llu protocol errors, "
+              "%llu sessions completed in %.1f s "
+              "(%.0f decisions/s achieved)\n",
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(busy),
+              static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(completed), wall_s,
+              static_cast<double>(ok) / wall_s);
+  std::printf("latency from scheduled send: p50 %.0f us  p99 %.0f us  "
+              "p999 %.0f us  max %.0f us\n",
+              Quantile(latency, 0.50), Quantile(latency, 0.99),
+              Quantile(latency, 0.999), latency.back());
+  return errors == 0 ? 0 : 1;
+}

@@ -10,7 +10,6 @@
 // is wrapped in SafeAgent(Pensieve -> BufferBased, NoveltyDetector).
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "core/evaluation.h"
@@ -22,17 +21,11 @@
 #include "policies/pensieve_policy.h"
 #include "policies/random_policy.h"
 #include "traces/dataset.h"
+#include "util/arg_parser.h"
 
 using namespace osap;
 
 namespace {
-
-[[noreturn]] void Usage() {
-  std::fprintf(stderr,
-               "usage: osap_eval <weights.bin> <train_dataset> "
-               "<test_dataset> [--safe]\n");
-  std::exit(2);
-}
 
 traces::DatasetId ParseDataset(const std::string& name) {
   for (traces::DatasetId id : traces::AllDatasetIds()) {
@@ -45,11 +38,32 @@ traces::DatasetId ParseDataset(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) Usage();
-  const std::filesystem::path weights = argv[1];
-  const traces::DatasetId train_id = ParseDataset(argv[2]);
-  const traces::DatasetId test_id = ParseDataset(argv[3]);
-  const bool safe = argc > 4 && std::strcmp(argv[4], "--safe") == 0;
+  std::string weights_path;
+  std::string train_dataset;
+  std::string test_dataset;
+  bool safe = false;
+
+  util::ArgParser parser("osap_eval",
+                         "Evaluate a saved Pensieve agent (osap_train "
+                         "output) on a dataset's held-out test split.");
+  parser.AddPositional("weights.bin", "weight file from osap_train",
+                       &weights_path);
+  parser.AddPositional("train_dataset",
+                       "distribution the agent was trained on (fits the "
+                       "U_S detector under --safe)",
+                       &train_dataset);
+  parser.AddPositional("test_dataset", "dataset whose test split to stream",
+                       &test_dataset);
+  parser.AddFlag("--safe",
+                 "wrap the agent in SafeAgent(Pensieve -> BufferBased, "
+                 "NoveltyDetector)",
+                 &safe);
+  if (!parser.Parse(argc, argv)) parser.ExitWithError();
+  if (parser.HelpRequested()) parser.ExitWithHelp();
+
+  const std::filesystem::path weights = weights_path;
+  const traces::DatasetId train_id = ParseDataset(train_dataset);
+  const traces::DatasetId test_id = ParseDataset(test_dataset);
 
   abr::AbrEnvironmentConfig env_cfg;
   Rng init_rng(1);

@@ -13,6 +13,8 @@
 //   osap_serve <us|upi|uv> [sessions] [rounds] [shards]
 //              [--sessions N] [--rounds N] [--shards N]
 //              [--open-loop RATE] [--revocable]
+//   osap_serve <us|upi|uv> --listen PORT [--shards N] [--revocable]
+//              [--max-in-flight N] [--lane-high-water N] [--max-sessions N]
 //
 // Defaults: 1000 sessions, 2000 rounds, 4 shards, permanent defaulting,
 // closed-loop (rounds issue back to back). With --open-loop RATE the tool
@@ -24,6 +26,11 @@
 // (trains them on first run - run from the repo root or a directory with
 // an osap_cache symlink).
 //
+// With --listen PORT the tool is instead the network-edge server
+// (DESIGN.md §10): it binds the port (0 picks an ephemeral one, printed
+// on stdout), serves the binary protocol until SIGINT/SIGTERM, then
+// prints the edge counters. Drive it with tools/osap_client.
+//
 // Reports aggregate decisions/sec, round latency percentiles
 // (p50/p99/p999), the service's exact per-session byte accounting, the
 // process RSS now and at its peak, and a per-dataset table of completed
@@ -32,51 +39,41 @@
 // serving load.
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "abr/abr_environment.h"
 #include "core/workbench.h"
+#include "net/server.h"
 #include "serve/decision_service.h"
 #include "serve/serving_model.h"
 #include "traces/dataset.h"
+#include "util/arg_parser.h"
 #include "util/memory_meter.h"
 
 using namespace osap;
 
 namespace {
 
-[[noreturn]] void Usage() {
-  std::fprintf(stderr,
-               "usage: osap_serve <us|upi|uv> [sessions] [rounds] [shards] "
-               "[--sessions N] [--rounds N] [--shards N] "
-               "[--open-loop RATE] [--revocable]\n");
-  std::exit(2);
-}
-
-core::Scheme ParseSignal(const std::string& name) {
+core::Scheme ParseSignal(const std::string& name, util::ArgParser& parser) {
   if (name == "us") return core::Scheme::kNoveltyDetection;
   if (name == "upi") return core::Scheme::kAgentEnsemble;
   if (name == "uv") return core::Scheme::kValueEnsemble;
-  Usage();
+  std::fprintf(stderr, "osap_serve: unknown signal '%s'\n%s\n", name.c_str(),
+               parser.UsageLine().c_str());
+  std::exit(2);
 }
 
-std::size_t ParseCount(const char* text) {
-  char* end = nullptr;
-  const long value = std::strtol(text, &end, 10);
-  if (value <= 0 || end == text || *end != '\0') Usage();
-  return static_cast<std::size_t>(value);
-}
+// SIGINT/SIGTERM -> Stop() (an atomic store plus one eventfd write, both
+// async-signal-safe).
+net::NetServer* g_server = nullptr;
 
-double ParseRate(const char* text) {
-  char* end = nullptr;
-  const double value = std::strtod(text, &end);
-  if (!(value > 0.0) || end == text || *end != '\0') Usage();
-  return value;
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Stop();
 }
 
 /// The deployed trigger configuration for a scheme (the Workbench mapping
@@ -152,37 +149,64 @@ double Quantile(const std::vector<double>& sorted, double q) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) Usage();
-  const core::Scheme scheme = ParseSignal(argv[1]);
+  std::string signal_name;
   std::size_t sessions = 1000;
   std::size_t rounds = 2000;
   std::size_t shards = 4;
   double open_loop_rate = 0.0;  // aggregate decisions/s; 0 = closed loop
-  core::DefaultingMode mode = core::DefaultingMode::kPermanent;
-  std::size_t positional = 0;
-  const auto value_of = [&](int& a) -> const char* {
-    if (a + 1 >= argc) Usage();
-    return argv[++a];
-  };
-  for (int a = 2; a < argc; ++a) {
-    if (std::strcmp(argv[a], "--revocable") == 0) {
-      mode = core::DefaultingMode::kRevocable;
-    } else if (std::strcmp(argv[a], "--sessions") == 0) {
-      sessions = ParseCount(value_of(a));
-    } else if (std::strcmp(argv[a], "--rounds") == 0) {
-      rounds = ParseCount(value_of(a));
-    } else if (std::strcmp(argv[a], "--shards") == 0) {
-      shards = ParseCount(value_of(a));
-    } else if (std::strcmp(argv[a], "--open-loop") == 0) {
-      open_loop_rate = ParseRate(value_of(a));
-    } else if (argv[a][0] == '-') {
-      Usage();
-    } else {
-      if (positional >= 3) Usage();
-      (positional == 0 ? sessions : positional == 1 ? rounds : shards) =
-          ParseCount(argv[a]);
-      ++positional;
-    }
+  bool revocable = false;
+  constexpr std::size_t kNoListen = static_cast<std::size_t>(-1);
+  std::size_t listen_port = kNoListen;
+  std::size_t max_in_flight = 64 * 1024;
+  std::size_t lane_high_water = 16 * 1024;
+  std::size_t max_sessions = 1 << 20;
+
+  util::ArgParser parser(
+      "osap_serve",
+      "Load generator for the sharded decision service, or (with --listen) "
+      "the binary-protocol network-edge server.");
+  parser.AddPositional("signal", "safety signal: us | upi | uv",
+                       &signal_name);
+  parser.AddOptionalPositional("sessions", "concurrent viewers (default "
+                               "1000)", &sessions);
+  parser.AddOptionalPositional("rounds", "decision rounds (default 2000)",
+                               &rounds);
+  parser.AddOptionalPositional("shards", "service shards (default 4)",
+                               &shards);
+  parser.AddOption("--sessions", "N", "concurrent viewers", &sessions);
+  parser.AddOption("--rounds", "N", "decision rounds", &rounds);
+  parser.AddOption("--shards", "N", "service shards", &shards);
+  parser.AddOption("--open-loop", "RATE",
+                   "schedule rounds at RATE decisions/s and measure latency "
+                   "from the schedule (no coordinated omission)",
+                   &open_loop_rate);
+  parser.AddFlag("--revocable", "revocable defaulting (default permanent)",
+                 &revocable);
+  parser.AddOption("--listen", "PORT",
+                   "serve the binary protocol on PORT instead of generating "
+                   "load (0 = ephemeral, printed on stdout)",
+                   &listen_port);
+  parser.AddOption("--max-in-flight", "N",
+                   "server mode: BUSY past N admitted undecided STEPs",
+                   &max_in_flight);
+  parser.AddOption("--lane-high-water", "N",
+                   "server mode: BUSY past N pending STEPs on one shard lane",
+                   &lane_high_water);
+  parser.AddOption("--max-sessions", "N",
+                   "server mode: FULL past N open sessions", &max_sessions);
+  if (!parser.Parse(argc, argv)) parser.ExitWithError();
+  if (parser.HelpRequested()) parser.ExitWithHelp();
+  const core::Scheme scheme = ParseSignal(signal_name, parser);
+  const core::DefaultingMode mode = revocable
+                                        ? core::DefaultingMode::kRevocable
+                                        : core::DefaultingMode::kPermanent;
+  if (sessions == 0 || rounds == 0 || shards == 0) {
+    std::fprintf(stderr, "osap_serve: sessions/rounds/shards must be > 0\n");
+    return 2;
+  }
+  if (listen_port != kNoListen && listen_port > 65535) {
+    std::fprintf(stderr, "osap_serve: --listen PORT must be <= 65535\n");
+    return 2;
   }
 
   core::WorkbenchConfig cfg;
@@ -193,6 +217,34 @@ int main(int argc, char** argv) {
   const core::TrainedBundle& bundle = bench.BundleFor(kTrain);
   const core::SafeAgentConfig safety = TriggerFor(bench, scheme, bundle, mode);
   auto model = BuildModel(bench, scheme, bundle, safety);
+
+  if (listen_port != kNoListen) {
+    net::NetServerConfig net_cfg;
+    net_cfg.port = static_cast<std::uint16_t>(listen_port);
+    net_cfg.max_in_flight = max_in_flight;
+    net_cfg.lane_high_water = lane_high_water;
+    net_cfg.max_sessions = max_sessions;
+    net_cfg.service.shard_count = shards;
+    net::NetServer server(model, net_cfg);
+    server.Start();
+    g_server = &server;
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    std::printf("osap_serve: %s, %zu shard(s), listening on port %u\n",
+                signal_name.c_str(), shards, server.Port());
+    std::fflush(stdout);
+    server.Run();
+    g_server = nullptr;
+    const net::ServerStats s = server.Stats();
+    std::printf("\nshutdown: %llu decided, %llu busy, %llu rejected opens, "
+                "%llu epochs, %llu sessions open\n",
+                static_cast<unsigned long long>(s.decided),
+                static_cast<unsigned long long>(s.busy),
+                static_cast<unsigned long long>(s.rejected_opens),
+                static_cast<unsigned long long>(s.epochs),
+                static_cast<unsigned long long>(s.open_sessions));
+    return 0;
+  }
 
   serve::DecisionServiceConfig service_cfg;
   service_cfg.shard_count = shards;
@@ -215,7 +267,7 @@ int main(int argc, char** argv) {
   }
   std::printf("osap_serve: %s, %zu viewers over %zu datasets, %zu rounds, "
               "%zu shard(s), %s defaulting",
-              argv[1], sessions, datasets.size(), rounds, shards,
+              signal_name.c_str(), sessions, datasets.size(), rounds, shards,
               mode == core::DefaultingMode::kPermanent ? "permanent"
                                                        : "revocable");
   // One round presents every viewer once, so RATE decisions/s means one

@@ -15,6 +15,7 @@
 
 #include "traces/dataset.h"
 #include "traces/trace_io.h"
+#include "util/arg_parser.h"
 #include "util/stats.h"
 
 using namespace osap;
@@ -23,13 +24,15 @@ namespace {
 
 [[noreturn]] void Usage() {
   std::fprintf(stderr,
-               "usage:\n"
+               "usage: osap_traces <command> [args]\n"
                "  osap_traces list\n"
                "  osap_traces stats    <dataset> [count] [duration] [seed]\n"
                "  osap_traces export   <dataset> <dir> [count] [duration] "
                "[seed]\n"
                "  osap_traces mahimahi <dataset> <dir> [count] [duration] "
-               "[seed]\n");
+               "[seed]\n"
+               "(per-command --help available, e.g. `osap_traces stats "
+               "--help`)\n");
   std::exit(2);
 }
 
@@ -42,13 +45,37 @@ traces::DatasetId ParseDataset(const std::string& name) {
   std::exit(2);
 }
 
-traces::DatasetConfig ParseConfig(int argc, char** argv, int first) {
-  traces::DatasetConfig cfg;
-  if (argc > first) cfg.trace_count = static_cast<std::size_t>(std::atoi(argv[first]));
-  if (argc > first + 1) cfg.trace_duration_seconds = std::atof(argv[first + 1]);
-  if (argc > first + 2) cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[first + 2]));
-  return cfg;
-}
+/// One ArgParser per subcommand (parsed from argv[2] on), sharing the
+/// generation knobs: [count] [duration] [seed] optional positionals.
+struct SubcommandArgs {
+  std::string dataset;
+  std::string dir;  // export/mahimahi only
+  traces::DatasetConfig config;
+
+  void Parse(int argc, char** argv, const char* command,
+             const char* summary, bool wants_dir) {
+    util::ArgParser parser(std::string("osap_traces ") + command, summary);
+    parser.AddPositional("dataset", "dataset name (see `osap_traces list`)",
+                         &dataset);
+    if (wants_dir) {
+      parser.AddPositional("dir", "output directory (split subdirs created)",
+                           &dir);
+    }
+    seed_ = static_cast<std::size_t>(config.seed);
+    parser.AddOptionalPositional("count", "traces to generate", &count_);
+    parser.AddOptionalPositional("duration", "trace duration in seconds",
+                                 &config.trace_duration_seconds);
+    parser.AddOptionalPositional("seed", "generator seed", &seed_);
+    if (!parser.Parse(argc, argv, 2)) parser.ExitWithError();
+    if (parser.HelpRequested()) parser.ExitWithHelp();
+    if (count_ != 0) config.trace_count = count_;
+    config.seed = seed_;
+  }
+
+ private:
+  std::size_t count_ = 0;  // 0 keeps the DatasetConfig default
+  std::size_t seed_ = 0;   // staged through size_t for the parser
+};
 
 }  // namespace
 
@@ -67,12 +94,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (argc < 3) Usage();
-  const traces::DatasetId id = ParseDataset(argv[2]);
-
   if (command == "stats") {
-    const traces::Dataset ds =
-        traces::BuildDataset(id, ParseConfig(argc, argv, 3));
+    SubcommandArgs args;
+    args.Parse(argc, argv, "stats",
+               "Generate a dataset and print its split sizes and "
+               "throughput statistics.",
+               /*wants_dir=*/false);
+    const traces::DatasetId id = ParseDataset(args.dataset);
+    const traces::Dataset ds = traces::BuildDataset(id, args.config);
     RunningStats all;
     for (const auto* split : {&ds.train, &ds.validation, &ds.test}) {
       for (const auto& t : *split) {
@@ -89,10 +118,17 @@ int main(int argc, char** argv) {
   }
 
   if (command == "export" || command == "mahimahi") {
-    if (argc < 4) Usage();
-    const std::filesystem::path dir = argv[3];
-    const traces::Dataset ds =
-        traces::BuildDataset(id, ParseConfig(argc, argv, 4));
+    SubcommandArgs args;
+    args.Parse(argc, argv, command.c_str(),
+               command == "export"
+                   ? "Write the train/validation/test splits as CSV trace "
+                     "files."
+                   : "Write MahiMahi packet-opportunity files for the real "
+                     "link emulator.",
+               /*wants_dir=*/true);
+    const traces::DatasetId id = ParseDataset(args.dataset);
+    const std::filesystem::path dir = args.dir;
+    const traces::Dataset ds = traces::BuildDataset(id, args.config);
     std::size_t written = 0;
     for (const auto& [split, traces_ptr] :
          {std::pair{"train", &ds.train},

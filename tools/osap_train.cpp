@@ -19,17 +19,11 @@
 #include "policies/pensieve_policy.h"
 #include "rl/a2c.h"
 #include "traces/dataset.h"
+#include "util/arg_parser.h"
 
 using namespace osap;
 
 namespace {
-
-[[noreturn]] void Usage() {
-  std::fprintf(stderr,
-               "usage: osap_train <dataset> <out.bin> [episodes] [seed] "
-               "[rollouts_per_update]\n");
-  std::exit(2);
-}
 
 traces::DatasetId ParseDataset(const std::string& name) {
   for (traces::DatasetId id : traces::AllDatasetIds()) {
@@ -42,17 +36,34 @@ traces::DatasetId ParseDataset(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) Usage();
-  const traces::DatasetId id = ParseDataset(argv[1]);
-  const std::filesystem::path out = argv[2];
-  const std::size_t episodes =
-      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 2000;
-  const std::uint64_t seed =
-      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+  std::string dataset;
+  std::string out_path;
+  std::size_t episodes = 2000;
+  std::size_t seed = 1;
   // > 1 switches onto the batched-update parallel trainer (episodes within
   // an update are collected concurrently on the shared pool).
-  const std::size_t rollouts_per_update =
-      argc > 5 ? std::max(1, std::atoi(argv[5])) : 1;
+  std::size_t rollouts_per_update = 1;
+
+  util::ArgParser parser("osap_train",
+                         "Train a Pensieve actor-critic on a dataset's "
+                         "training split and save the weights (OSAPNN01).");
+  parser.AddPositional("dataset", "training dataset (see `osap_traces list`)",
+                       &dataset);
+  parser.AddPositional("out.bin", "weight file to write", &out_path);
+  parser.AddOptionalPositional("episodes", "training episodes (default 2000)",
+                               &episodes);
+  parser.AddOptionalPositional("seed", "RNG seed (default 1)", &seed);
+  parser.AddOptionalPositional(
+      "rollouts_per_update",
+      "episodes collected in parallel per update (default 1 = serial)",
+      &rollouts_per_update);
+  if (!parser.Parse(argc, argv)) parser.ExitWithError();
+  if (parser.HelpRequested()) parser.ExitWithHelp();
+
+  const traces::DatasetId id = ParseDataset(dataset);
+  const std::filesystem::path out = out_path;
+  if (episodes == 0) episodes = 1;
+  if (rollouts_per_update == 0) rollouts_per_update = 1;
 
   const traces::Dataset ds = traces::BuildDataset(id);
   abr::AbrEnvironmentConfig env_cfg;
