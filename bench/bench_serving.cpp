@@ -31,6 +31,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -299,46 +301,129 @@ void RunServiceMem(benchmark::State& state, core::Scheme scheme) {
 /// delta against BM_ServeService is the cost of the wire. decisions_per_s
 /// stays console-only (rate); the gated sidecar entries are the
 /// round-trip percentiles.
+///
+/// The third arg is edge_threads: with E > 1 SO_REUSEPORT edges the
+/// round fans out over E client threads, one connection pinned per edge
+/// (connections are probed until every edge's listener holds one -
+/// session ids are edge-affine, so id % shards reveals where a
+/// connection landed), and the round's wall clock is the slowest edge's
+/// send-flush-collect. Sweeping /{1,2,4,8} edges at fixed shards is the
+/// tentpole scaling curve.
 void RunNetServe(benchmark::State& state, core::Scheme scheme) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto shards = static_cast<std::size_t>(state.range(1));
+  const auto edges = static_cast<std::size_t>(state.range(2));
   net::NetServerConfig cfg;
   cfg.service.shard_count = shards;
+  cfg.edge_threads = edges;
   net::NetServer server(SharedModel(scheme), cfg);
   server.Start();
   std::thread loop([&server] { server.Run(); });
-  net::Client client;
-  client.Connect("127.0.0.1", server.Port());
-  std::vector<std::uint64_t> sessions(n);
-  for (std::size_t i = 0; i < n; ++i) sessions[i] = client.OpenSession();
-  StatePool();  // materialize outside the timed region
-  std::uint64_t rid = 1 << 20;
-  net::Reply reply;
-  // One untimed warmup round (scratch growth, see RunService).
-  for (std::size_t i = 0; i < n; ++i) {
-    client.SendStep(++rid, sessions[i], PooledState(i, 0));
+
+  // Submitter-group arithmetic (mirrors DecisionService::GroupOfShard):
+  // which edge owns a session's shard.
+  const std::size_t base = shards / edges;
+  const std::size_t rem = shards % edges;
+  const auto edge_of = [&](std::uint64_t session) {
+    const std::size_t shard = static_cast<std::size_t>(session) % shards;
+    if (shard < rem * (base + 1)) return shard / (base + 1);
+    return rem + (shard - rem * (base + 1)) / base;
+  };
+
+  // One connection per edge: the kernel hashes connections across the
+  // SO_REUSEPORT listeners by 4-tuple, so probe (open a session, read
+  // its edge, close it) until every edge holds exactly one connection.
+  std::vector<std::unique_ptr<net::Client>> clients(edges);
+  std::size_t covered = 0, attempts = 0;
+  while (covered < edges) {
+    OSAP_CHECK_MSG(++attempts < 4096, "BM_NetServe: edge probing stuck");
+    auto c = std::make_unique<net::Client>();
+    c->Connect("127.0.0.1", server.Port());
+    const std::uint64_t probe = c->OpenSession();
+    const std::size_t e = edge_of(probe);
+    c->CloseSession(probe);
+    if (clients[e] == nullptr) {
+      clients[e] = std::move(c);
+      ++covered;
+    } else {
+      c->Close();
+    }
   }
-  client.Flush();
-  for (std::size_t i = 0; i < n; ++i) client.ReadReply(reply);
+
+  // Edge e owns sessions [offset, offset + count) of the population.
+  std::vector<std::vector<std::uint64_t>> sessions(edges);
+  std::vector<std::size_t> offset(edges);
+  std::size_t next_offset = 0;
+  for (std::size_t e = 0; e < edges; ++e) {
+    const std::size_t count = n / edges + (e < n % edges ? 1 : 0);
+    offset[e] = next_offset;
+    next_offset += count;
+    sessions[e].reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      sessions[e].push_back(clients[e]->OpenSession());
+    }
+  }
+  StatePool();  // materialize outside the timed region
+
+  // Persistent per-edge workers, two barrier phases per round: arrive
+  // (round starts), run the edge's pipelined send-flush-collect, arrive
+  // (round done). The timed region spans both phases, so a round costs
+  // what the SLOWEST edge costs - exactly the fan-out being measured.
+  std::barrier sync(static_cast<std::ptrdiff_t>(edges) + 1);
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> ok_total{0};
+  std::atomic<std::size_t> round{0};
+  std::vector<std::thread> workers;
+  workers.reserve(edges);
+  for (std::size_t e = 0; e < edges; ++e) {
+    workers.emplace_back([&, e] {
+      net::Client& client = *clients[e];
+      std::uint64_t rid = static_cast<std::uint64_t>(e + 1) << 20;
+      net::Reply reply;
+      while (true) {
+        sync.arrive_and_wait();
+        if (done.load(std::memory_order_acquire)) return;
+        const std::size_t r = round.load(std::memory_order_relaxed);
+        std::size_t ok = 0;
+        for (std::size_t i = 0; i < sessions[e].size(); ++i) {
+          client.SendStep(++rid, sessions[e][i],
+                          PooledState(offset[e] + i, r));
+        }
+        client.Flush();
+        for (std::size_t i = 0; i < sessions[e].size(); ++i) {
+          if (client.ReadReply(reply) && reply.status == net::Status::kOk) {
+            ++ok;
+          }
+        }
+        ok_total.fetch_add(ok, std::memory_order_relaxed);
+        sync.arrive_and_wait();
+      }
+    });
+  }
+
+  const auto run_round = [&] {
+    ok_total.store(0, std::memory_order_relaxed);
+    sync.arrive_and_wait();  // release the edges into the round
+    sync.arrive_and_wait();  // every edge collected its replies
+    OSAP_CHECK_MSG(ok_total.load(std::memory_order_relaxed) == n,
+                   "BM_NetServe: lost or rejected replies");
+    round.fetch_add(1, std::memory_order_relaxed);
+  };
+  run_round();  // one untimed warmup round (scratch growth, see RunService)
+
   std::vector<double> round_us;
-  std::size_t round = 0;
   for (auto _ : state) {
     const auto start = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < n; ++i) {
-      client.SendStep(++rid, sessions[i], PooledState(i, round));
-    }
-    client.Flush();
-    std::size_t ok = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (client.ReadReply(reply) && reply.status == net::Status::kOk) ++ok;
-    }
+    run_round();
     const auto stop = std::chrono::steady_clock::now();
-    OSAP_CHECK_MSG(ok == n, "BM_NetServe: lost or rejected replies");
     round_us.push_back(
         std::chrono::duration<double, std::micro>(stop - start).count());
-    ++round;
   }
-  client.Close();
+
+  done.store(true, std::memory_order_release);
+  sync.arrive_and_wait();  // release the workers into the exit check
+  for (std::thread& w : workers) w.join();
+  for (auto& c : clients) c->Close();
   server.Stop();
   loop.join();
   std::sort(round_us.begin(), round_us.end());
@@ -408,17 +493,23 @@ BENCHMARK(BM_ServeServiceUv)
     ->Args({64, 1})->Args({256, 1})->Args({1000, 1})->Args({1000, 4})
     ->Args({1000, 8})->Args({1000, 16})
     ->Unit(benchmark::kMillisecond);
-// The network-edge arm stays at single-connection scale: its point is
-// the per-round wire overhead vs BM_ServeService, not connection fan-in
-// (tools/osap_client measures that open-loop against a live server).
+// Network-edge arm, args {sessions, shards, edge_threads}. The
+// single-edge points measure per-round wire overhead vs BM_ServeService;
+// the Us /{1,2,4,8}-edge sweep at fixed shards is the multi-core edge
+// scaling curve (Us is the cheapest signal, so the wire/edge share of a
+// round is largest and the sweep isolates edge parallelism rather than
+// model cost - upi/uv ride the identical code path). Open-loop
+// connection fan-in lives in tools/osap_client against a live server.
 BENCHMARK(BM_NetServeUs)
-    ->Args({64, 1})->Args({256, 1})->Args({1000, 1})
+    ->Args({64, 1, 1})->Args({256, 1, 1})->Args({1000, 1, 1})
+    ->Args({256, 8, 1})->Args({256, 8, 2})->Args({256, 8, 4})
+    ->Args({256, 8, 8})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NetServeUpi)
-    ->Args({64, 1})->Args({256, 1})->Args({1000, 1})
+    ->Args({64, 1, 1})->Args({256, 1, 1})->Args({1000, 1, 1})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_NetServeUv)
-    ->Args({64, 1})->Args({256, 1})->Args({1000, 1})
+    ->Args({64, 1, 1})->Args({256, 1, 1})->Args({1000, 1, 1})
     ->Unit(benchmark::kMillisecond);
 // The 100k memory sweep: one deterministic iteration per point (the
 // accounting does not jitter; timing is not what this measures).

@@ -34,6 +34,9 @@ class Client {
   /// Connects to host:port (throws std::runtime_error on failure).
   void Connect(const std::string& host, std::uint16_t port);
   bool Connected() const { return fd_ >= 0; }
+  /// The connected socket (-1 when closed); exposed so tests can assert
+  /// socket options (TCP_NODELAY) the client promises to set.
+  int fd() const { return fd_; }
   void Close();
 
   // --- pipelined interface ---------------------------------------------

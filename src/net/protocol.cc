@@ -53,6 +53,7 @@ void AppendReplyFrame(std::vector<std::uint8_t>& out, const Reply& reply,
     PutU64(out, stats->rejected_opens);
     PutU64(out, stats->epochs);
     PutU64(out, stats->connections);
+    PutU64(out, stats->errors);
   }
 }
 
@@ -121,6 +122,7 @@ DecodeResult DecodeReply(std::span<const std::uint8_t> body, Reply& out,
     stats->rejected_opens = GetU64(s + 40);
     stats->epochs = GetU64(s + 48);
     stats->connections = GetU64(s + 56);
+    stats->errors = GetU64(s + 64);
   }
   return DecodeResult::kOk;
 }

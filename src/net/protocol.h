@@ -13,7 +13,7 @@
 //               | [STEP only] u32 state_dim | f64 state[state_dim]
 //   reply    := u32 body_len | u8 version | u8 type | u8 status | u8 flags
 //               | i32 action | u64 request_id | u64 session_id | u64 epoch
-//               | [STATS + kOk only] ServerStats (8 x u64)
+//               | [STATS + kOk only] ServerStats (9 x u64)
 //
 // request_id is chosen by the client and echoed verbatim, so a pipelined
 // client can match replies to in-flight requests without assuming FIFO
@@ -37,7 +37,8 @@
 namespace osap::net {
 
 /// Protocol version carried in every frame. Bump on any layout change.
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2: ServerStats grew the `errors` counter (kError replies sent).
+inline constexpr std::uint8_t kProtocolVersion = 2;
 
 /// Frames larger than this are a protocol violation (a STEP carries one
 /// state vector, not a payload): the server closes the connection rather
@@ -102,6 +103,7 @@ struct ServerStats {
   std::uint64_t rejected_opens = 0; // kFull replies sent
   std::uint64_t epochs = 0;         // DecideBatch rounds run
   std::uint64_t connections = 0;    // currently accepted connections
+  std::uint64_t errors = 0;         // kError replies sent
 };
 
 // --- byte-level helpers -------------------------------------------------
@@ -158,7 +160,7 @@ inline double GetF64(const std::uint8_t* p) {
 inline constexpr std::size_t kRequestHeaderBytes = 1 + 1 + 2 + 8 + 8;
 /// Fixed reply body size (STATS replies append ServerStats after this).
 inline constexpr std::size_t kReplyBytes = 1 + 1 + 1 + 1 + 4 + 8 + 8 + 8;
-inline constexpr std::size_t kServerStatsBytes = 8 * 8;
+inline constexpr std::size_t kServerStatsBytes = 9 * 8;
 /// u32 length prefix.
 inline constexpr std::size_t kLengthPrefixBytes = 4;
 

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
@@ -10,7 +11,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <exception>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -30,8 +33,11 @@ constexpr int kMaxIov = 64;
 /// Compact the input buffer once this many consumed bytes accumulate.
 constexpr std::size_t kCompactAbove = 64 * 1024;
 /// Refresh the cached ServiceMemoryStats session-bytes gate every this
-/// many admitted opens (the walk touches every shard lane).
+/// many admitted opens (the walk touches every lane of the edge's group).
 constexpr std::size_t kBytesGateRefresh = 64;
+/// Graceful-shutdown budget: after Stop(), each edge keeps answering and
+/// flushing for at most this long before closing its connections.
+constexpr std::chrono::seconds kDrainDeadline{5};
 
 [[noreturn]] void ThrowErrno(const char* what) {
   throw std::runtime_error(std::string(what) + ": " +
@@ -43,7 +49,7 @@ constexpr std::size_t kBytesGateRefresh = 64;
 /// Per-connection state. Objects are recycled through a free list - the
 /// input buffer, output frame queue and session list keep their capacity
 /// across connections, so steady-state accept/close churn touches no
-/// allocator (the frame buffers themselves recycle through the server's
+/// allocator (the frame buffers themselves recycle through the edge's
 /// spare-frame pool).
 struct NetServer::Connection {
   int fd = -1;
@@ -66,6 +72,78 @@ struct NetServer::Connection {
   std::vector<std::uint64_t> sessions;  // session ids this peer owns
 };
 
+/// One edge thread's whole world: its SO_REUSEPORT listener, epoll, wake
+/// eventfd, connection slab, pending queue and per-session bookkeeping.
+/// Everything here is touched by exactly one thread (the edge's loop);
+/// only the trailing atomics are read cross-edge, for STATS aggregation.
+struct NetServer::Edge {
+  /// One admitted STEP awaiting its decision round.
+  struct PendingStep {
+    std::uint32_t conn = 0;
+    std::uint64_t request_id = 0;
+    std::uint64_t session = 0;
+    std::size_t dense = 0;  // edge-local bookkeeping index of `session`
+    mdp::State state;       // decoded off the wire; storage recycled
+  };
+
+  std::size_t index = 0;        // == submitter group in the service
+  std::size_t group_begin = 0;  // first service shard this edge owns
+  std::size_t group_width = 0;  // shards [begin, begin + width)
+
+  int epoll_fd = -1;
+  int listen_fd = -1;
+  int wake_fd = -1;  // eventfd: Stop() -> loop wakeup
+  std::exception_ptr failure;
+
+  std::vector<std::unique_ptr<Connection>> connections;
+  std::vector<std::uint32_t> free_conn_slots;
+  /// Slots closed during the current epoll iteration; they join
+  /// free_conn_slots only once the event array is fully processed, so a
+  /// stale event for a dead fd can never alias a freshly accepted one.
+  std::vector<std::uint32_t> pending_free_slots_swap;
+
+  std::vector<PendingStep> pending;
+  std::vector<std::size_t> shard_pending;  // admitted per owned lane
+  std::vector<mdp::State> state_pool;      // recycled PendingStep storage
+  /// Recycled reply-frame buffers (the slab behind the output queues).
+  std::vector<std::vector<std::uint8_t>> spare_frames;
+  std::vector<std::uint32_t> dirty;     // connections with queued replies
+  std::vector<std::uint32_t> unpaused;  // resumed this batch: drain them
+
+  // Per-session edge bookkeeping, indexed by the DENSE edge-local index
+  // (local_slot * group_width + lane; the session id itself for a
+  // single-edge server). owner_of[d] is the connection slot (or
+  // kNoOwner), pending_of[d] counts that session's entries in pending,
+  // batch_stamp[d] marks "already in this round" (a session decides at
+  // most once per DecideBatch; duplicates defer to the next round).
+  std::vector<std::uint32_t> owner_of;
+  std::vector<std::uint32_t> pending_of;
+  std::vector<std::uint64_t> batch_stamp;
+  std::uint64_t batch_round = 0;
+  std::size_t open_cursor = 0;  // round-robin lane for multi-edge opens
+
+  // Round scratch (persists across batches; steady state allocates
+  // nothing).
+  std::vector<serve::DecisionService::Request> round_requests;
+  std::vector<mdp::Action> round_actions;
+  std::vector<std::size_t> round_pending_idx;
+
+  std::size_t opens_since_measure = 0;
+
+  // Published counters: written by this edge (relaxed), summed by any
+  // edge answering STATS and by NetServer::Stats().
+  std::atomic<std::uint64_t> decided{0};
+  std::atomic<std::uint64_t> busy{0};
+  std::atomic<std::uint64_t> rejected_opens{0};
+  std::atomic<std::uint64_t> epochs{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> session_bytes{0};  // cached group bytes
+};
+
+namespace {
+constexpr std::uint32_t kNoOwner = 0xffffffffu;
+}  // namespace
+
 NetServer::NetServer(std::shared_ptr<const serve::ServingModel> model,
                      NetServerConfig config)
     : model_(std::move(model)),
@@ -76,176 +154,284 @@ NetServer::NetServer(std::shared_ptr<const serve::ServingModel> model,
             return model_;
           }(),
           [&] {
+            OSAP_REQUIRE(config.edge_threads >= 1,
+                         "NetServer: edge_threads must be >= 1");
+            serve::DecisionServiceConfig svc = config.service;
+            OSAP_REQUIRE(svc.shard_count >= config.edge_threads,
+                         "NetServer: shard_count must be >= edge_threads");
+            // One submitter group per edge thread: each edge owns its
+            // contiguous slice of the shard lanes outright.
+            svc.submitter_count = config.edge_threads;
             // Bound the shard lanes to the admission high-water mark:
             // admission keeps per-lane pending below the mark, so a ring
             // overflow can only mean an edge bug - fail loudly instead
             // of growing silently.
-            serve::DecisionServiceConfig svc = config.service;
             if (config.lane_high_water > 0 && svc.lane_capacity_bound == 0) {
               svc.lane_capacity_bound = config.lane_high_water;
             }
             return svc;
           }()) {
-  shard_pending_.assign(service_.ShardCount(), 0);
+  edges_.reserve(config_.edge_threads);
+  for (std::size_t e = 0; e < config_.edge_threads; ++e) {
+    auto edge = std::make_unique<Edge>();
+    edge->index = e;
+    edge->group_begin = service_.GroupBegin(e);
+    edge->group_width = service_.GroupEnd(e) - edge->group_begin;
+    edge->shard_pending.assign(edge->group_width, 0);
+    edges_.push_back(std::move(edge));
+  }
 }
 
 NetServer::~NetServer() {
-  for (auto& conn : connections_) {
-    if (conn && conn->open && conn->fd >= 0) ::close(conn->fd);
+  for (auto& edge : edges_) {
+    for (auto& conn : edge->connections) {
+      if (conn && conn->open && conn->fd >= 0) ::close(conn->fd);
+    }
+    if (edge->listen_fd >= 0) ::close(edge->listen_fd);
+    if (edge->wake_fd >= 0) ::close(edge->wake_fd);
+    if (edge->epoll_fd >= 0) ::close(edge->epoll_fd);
   }
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (wake_fd_ >= 0) ::close(wake_fd_);
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
 }
 
-void NetServer::Start() {
-  OSAP_REQUIRE(listen_fd_ < 0, "NetServer::Start: already started");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) ThrowErrno("NetServer: socket");
+void NetServer::StartEdge(std::size_t e) {
+  Edge& edge = *edges_[e];
+  edge.listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                                         SOCK_CLOEXEC,
+                            0);
+  if (edge.listen_fd < 0) ThrowErrno("NetServer: socket");
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::setsockopt(edge.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  // Every edge (including the first) binds its own listener to the same
+  // port under SO_REUSEPORT; the kernel hashes each incoming 4-tuple to
+  // one listener, sharding accepts across the edge threads with no
+  // shared accept lock.
+  if (::setsockopt(edge.listen_fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                   sizeof one) < 0) {
+    ThrowErrno("NetServer: setsockopt(SO_REUSEPORT)");
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(config_.port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-      0) {
+  // Edge 0 resolves the configured port (possibly 0 -> ephemeral); the
+  // rest bind the resolved one.
+  addr.sin_port = htons(e == 0 ? config_.port : port_);
+  if (::bind(edge.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) < 0) {
     ThrowErrno("NetServer: bind");
   }
-  socklen_t len = sizeof addr;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
-      0) {
-    ThrowErrno("NetServer: getsockname");
+  if (e == 0) {
+    socklen_t len = sizeof addr;
+    if (::getsockname(edge.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                      &len) < 0) {
+      ThrowErrno("NetServer: getsockname");
+    }
+    port_ = ntohs(addr.sin_port);
   }
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, config_.listen_backlog) < 0) {
+  if (::listen(edge.listen_fd, config_.listen_backlog) < 0) {
     ThrowErrno("NetServer: listen");
   }
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) ThrowErrno("NetServer: epoll_create1");
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (wake_fd_ < 0) ThrowErrno("NetServer: eventfd");
+  edge.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (edge.epoll_fd < 0) ThrowErrno("NetServer: epoll_create1");
+  edge.wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (edge.wake_fd < 0) ThrowErrno("NetServer: eventfd");
 
   epoll_event ev{};
   ev.events = EPOLLIN;  // level-triggered: accept until EAGAIN anyway
   ev.data.u64 = kListenTag;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+  if (::epoll_ctl(edge.epoll_fd, EPOLL_CTL_ADD, edge.listen_fd, &ev) < 0) {
     ThrowErrno("NetServer: epoll_ctl(listen)");
   }
   ev.data.u64 = kWakeTag;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+  if (::epoll_ctl(edge.epoll_fd, EPOLL_CTL_ADD, edge.wake_fd, &ev) < 0) {
     ThrowErrno("NetServer: epoll_ctl(wake)");
   }
+}
+
+void NetServer::Start() {
+  OSAP_REQUIRE(edges_[0]->listen_fd < 0, "NetServer::Start: already started");
+  for (std::size_t e = 0; e < edges_.size(); ++e) StartEdge(e);
 }
 
 void NetServer::Stop() {
   stop_.store(true, std::memory_order_release);
   const std::uint64_t one = 1;
-  // Best effort: a full eventfd still wakes the loop.
-  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  for (auto& edge : edges_) {
+    if (edge->wake_fd < 0) continue;
+    // Best effort: a full eventfd still wakes the loop.
+    [[maybe_unused]] const ssize_t n =
+        ::write(edge->wake_fd, &one, sizeof one);
+  }
 }
 
 void NetServer::Run() {
-  OSAP_REQUIRE(epoll_fd_ >= 0, "NetServer::Run: call Start() first");
+  OSAP_REQUIRE(edges_[0]->epoll_fd >= 0, "NetServer::Run: call Start() first");
+  edge_runners_.clear();
+  edge_runners_.reserve(edges_.size() - 1);
+  for (std::size_t e = 1; e < edges_.size(); ++e) {
+    edge_runners_.emplace_back([this, e] {
+      Edge& edge = *edges_[e];
+      try {
+        RunEdge(edge);
+      } catch (...) {
+        edge.failure = std::current_exception();
+        Stop();  // one edge down takes the server down loudly
+      }
+    });
+  }
+  try {
+    RunEdge(*edges_[0]);
+  } catch (...) {
+    edges_[0]->failure = std::current_exception();
+    Stop();
+  }
+  for (std::thread& runner : edge_runners_) runner.join();
+  edge_runners_.clear();
+  for (auto& edge : edges_) {
+    if (edge->failure != nullptr) {
+      const std::exception_ptr failure = edge->failure;
+      edge->failure = nullptr;
+      std::rethrow_exception(failure);
+    }
+  }
+}
+
+void NetServer::RunEdge(Edge& edge) {
   std::vector<epoll_event> events(256);
-  std::vector<std::uint32_t> freed_slots;
   while (!stop_.load(std::memory_order_acquire)) {
     // Block only when idle; with admitted work pending, poll (gathering
     // whatever arrived during the previous round) and run a batch.
-    const int timeout = pending_.empty() ? -1 : 0;
-    const int n = ::epoll_wait(epoll_fd_, events.data(),
+    const int timeout = edge.pending.empty() ? -1 : 0;
+    const int n = ::epoll_wait(edge.epoll_fd, events.data(),
                                static_cast<int>(events.size()), timeout);
     if (n < 0) {
       if (errno == EINTR) continue;
       ThrowErrno("NetServer: epoll_wait");
     }
-    pending_free_slots_swap_.clear();
+    edge.pending_free_slots_swap.clear();
     for (int i = 0; i < n; ++i) {
       const std::uint64_t tag = events[i].data.u64;
       if (tag == kListenTag) {
-        Accept();
+        Accept(edge);
         continue;
       }
       if (tag == kWakeTag) {
         std::uint64_t drained = 0;
         [[maybe_unused]] const ssize_t r =
-            ::read(wake_fd_, &drained, sizeof drained);
+            ::read(edge.wake_fd, &drained, sizeof drained);
         continue;
       }
       const auto slot = static_cast<std::size_t>(tag);
-      Connection& conn = *connections_[slot];
+      Connection& conn = *edge.connections[slot];
       // A peer closed earlier in this same event array: its slot is not
       // recycled until the end of the iteration, so stale events are
       // recognizable and ignored here.
       if (!conn.open) continue;
       if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
-        CloseConnection(slot);
+        CloseConnection(edge, slot);
         continue;
       }
-      if ((events[i].events & EPOLLOUT) != 0) FlushWrites(slot);
+      if ((events[i].events & EPOLLOUT) != 0) FlushWrites(edge, slot);
       if (!conn.open) continue;
       if ((events[i].events & EPOLLIN) != 0) {
-        if (!ReadAndParse(slot)) CloseConnection(slot);
+        if (!ReadAndParse(edge, slot)) CloseConnection(edge, slot);
       }
     }
     // Flush admission replies (BUSY / FULL / opens) before the decision
     // round so rejected clients hear back without waiting on compute.
-    FlushDirty();
-    if (!pending_.empty()) RunBatch();
-    FlushDirty();
+    FlushDirty(edge);
+    if (!edge.pending.empty()) RunBatch(edge);
+    FlushDirty(edge);
     // Slots freed this iteration become reusable only now (see above).
-    for (const std::uint32_t slot : pending_free_slots_swap_) {
-      free_conn_slots_.push_back(slot);
+    for (const std::uint32_t slot : edge.pending_free_slots_swap) {
+      edge.free_conn_slots.push_back(slot);
     }
+  }
+  DrainOnStop(edge);
+}
+
+void NetServer::DrainOnStop(Edge& edge) {
+  // Graceful shutdown: every STEP admitted before the stop gets its
+  // decision, every queued reply reaches the socket (bounded blocking),
+  // and only then do connections close - a client that stops sending on
+  // SIGTERM sees all of its sent requests answered before EOF. Nothing
+  // new is read or accepted once the stop flag is up.
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline = Clock::now() + kDrainDeadline;
+  // Pipelined duplicates defer one round each, so loop batches until the
+  // admitted backlog is empty.
+  while (!edge.pending.empty() && Clock::now() < deadline) {
+    RunBatch(edge);
+    FlushDirty(edge);
+  }
+  for (std::size_t slot = 0; slot < edge.connections.size(); ++slot) {
+    Connection* conn = edge.connections[slot].get();
+    if (conn == nullptr || !conn->open) continue;
+    while (conn->open && conn->out_head < conn->out_q.size()) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) break;
+      pollfd pfd{};
+      pfd.fd = conn->fd;
+      pfd.events = POLLOUT;
+      if (::poll(&pfd, 1, static_cast<int>(left.count())) <= 0) break;
+      FlushWrites(edge, slot);  // may close the connection on error
+    }
+  }
+  for (std::size_t slot = 0; slot < edge.connections.size(); ++slot) {
+    Connection* conn = edge.connections[slot].get();
+    if (conn != nullptr && conn->open) CloseConnection(edge, slot);
   }
 }
 
-void NetServer::Accept() {
+void NetServer::Accept(Edge& edge) {
   for (;;) {
     const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr,
+        ::accept4(edge.listen_fd, nullptr, nullptr,
                   SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN, or transient accept failure: try next event
     }
-    if (open_connections_ >= config_.max_connections) {
+    // The connection cap is shared across edges: reserve, verify, undo.
+    if (open_connections_.fetch_add(1, std::memory_order_relaxed) >=
+        config_.max_connections) {
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
       ::close(fd);  // hard admission: no fd budget to even say BUSY
       continue;
     }
+    // Small pipelined frames must not wait out Nagle on the reply path.
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
     std::uint32_t slot;
-    if (!free_conn_slots_.empty()) {
-      slot = free_conn_slots_.back();
-      free_conn_slots_.pop_back();
+    if (!edge.free_conn_slots.empty()) {
+      slot = edge.free_conn_slots.back();
+      edge.free_conn_slots.pop_back();
     } else {
-      slot = static_cast<std::uint32_t>(connections_.size());
-      connections_.push_back(std::make_unique<Connection>());
+      slot = static_cast<std::uint32_t>(edge.connections.size());
+      edge.connections.push_back(std::make_unique<Connection>());
     }
-    Connection& conn = *connections_[slot];
+    Connection& conn = *edge.connections[slot];
     conn.fd = fd;
     conn.open = true;
 
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLET;
     ev.data.u64 = slot;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    if (::epoll_ctl(edge.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
       ::close(fd);
       conn.fd = -1;
       conn.open = false;
-      free_conn_slots_.push_back(slot);
+      edge.free_conn_slots.push_back(slot);
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
       continue;
     }
-    ++open_connections_;
   }
 }
 
-bool NetServer::ReadAndParse(std::size_t slot) {
-  Connection& conn = *connections_[slot];
+bool NetServer::ReadAndParse(Edge& edge, std::size_t slot) {
+  Connection& conn = *edge.connections[slot];
   // Edge-triggered: drain until EAGAIN, or stop early on pause (the
   // unread bytes close the TCP window - that IS the backpressure).
   while (!conn.paused) {
@@ -254,7 +440,7 @@ bool NetServer::ReadAndParse(std::size_t slot) {
     const ssize_t r = ::recv(conn.fd, conn.in.data() + old, kReadChunk, 0);
     if (r > 0) {
       conn.in.resize(old + static_cast<std::size_t>(r));
-      if (!ParseBuffered(slot)) return false;
+      if (!ParseBuffered(edge, slot)) return false;
       continue;
     }
     conn.in.resize(old);
@@ -266,8 +452,8 @@ bool NetServer::ReadAndParse(std::size_t slot) {
   return true;
 }
 
-bool NetServer::ParseBuffered(std::size_t slot) {
-  Connection& conn = *connections_[slot];
+bool NetServer::ParseBuffered(Edge& edge, std::size_t slot) {
+  Connection& conn = *edge.connections[slot];
   while (!conn.paused) {
     const std::size_t avail = conn.in.size() - conn.in_off;
     if (avail < kLengthPrefixBytes) break;
@@ -283,7 +469,7 @@ bool NetServer::ParseBuffered(std::size_t slot) {
       return false;
     }
     conn.in_off += kLengthPrefixBytes + body;
-    HandleRequest(slot, request);
+    HandleRequest(edge, slot, request);
   }
   if (conn.in_off == conn.in.size()) {
     conn.in.clear();
@@ -296,14 +482,40 @@ bool NetServer::ParseBuffered(std::size_t slot) {
   return true;
 }
 
-void NetServer::HandleRequest(std::size_t slot,
+std::size_t NetServer::DenseIndex(const Edge& edge,
+                                  std::uint64_t session) const {
+  const std::size_t shard =
+      static_cast<std::size_t>(session) % service_.ShardCount();
+  return (static_cast<std::size_t>(session) / service_.ShardCount()) *
+             edge.group_width +
+         (shard - edge.group_begin);
+}
+
+std::size_t NetServer::GroupSessionBytes(const Edge& edge) const {
+  // The single-edge server's one group owns the whole service including
+  // the global id free list - report the exact full accounting there.
+  if (edges_.size() == 1) return service_.MemoryStats().SessionBytes();
+  return service_.MemoryStatsOfGroup(edge.index).SessionBytes();
+}
+
+void NetServer::HandleRequest(Edge& edge, std::size_t slot,
                               const DecodedRequest& request) {
-  Connection& conn = *connections_[slot];
+  Connection& conn = *edge.connections[slot];
   Reply reply;
   reply.type = request.header.type;
   reply.request_id = request.header.request_id;
   reply.session_id = request.header.session_id;
   reply.epoch = service_.RoundCount();
+
+  // A session is addressable on this edge only if its shard falls in the
+  // edge's group (always true single-edge; a session opened on another
+  // edge's listener is kError here - ids are edge-affine by design).
+  const std::size_t shard_count = service_.ShardCount();
+  const auto on_edge = [&](std::uint64_t id) {
+    const std::size_t shard = static_cast<std::size_t>(id) % shard_count;
+    return shard >= edge.group_begin &&
+           shard < edge.group_begin + edge.group_width;
+  };
 
   switch (request.header.type) {
     case MsgType::kOpenSession: {
@@ -313,46 +525,67 @@ void NetServer::HandleRequest(std::size_t slot,
               : std::numeric_limits<std::size_t>::max();
       bool over_bytes = false;
       if (config_.max_session_bytes > 0) {
-        if (opens_since_measure_ >= kBytesGateRefresh) {
-          session_bytes_cache_ = service_.MemoryStats().SessionBytes();
-          opens_since_measure_ = 0;
+        if (edge.opens_since_measure >= kBytesGateRefresh) {
+          edge.session_bytes.store(GroupSessionBytes(edge),
+                                   std::memory_order_relaxed);
+          edge.opens_since_measure = 0;
         }
-        over_bytes = session_bytes_cache_ >= config_.max_session_bytes;
+        // Own cache just refreshed; other edges' caches may lag by up to
+        // kBytesGateRefresh opens each - the gate is a budget, not an
+        // invariant.
+        std::uint64_t total_bytes = 0;
+        for (const auto& e : edges_) {
+          total_bytes += e->session_bytes.load(std::memory_order_relaxed);
+        }
+        over_bytes = total_bytes >= config_.max_session_bytes;
       }
       if (service_.ActiveSessionCount() >= max_sessions || over_bytes) {
         reply.status = Status::kFull;
-        ++stats_.rejected_opens;
-        QueueReply(slot, reply);
+        edge.rejected_opens.fetch_add(1, std::memory_order_relaxed);
+        QueueReply(edge, slot, reply);
         return;
       }
-      const auto id = service_.OpenSession();
-      if (owner_of_.size() <= id) {
-        owner_of_.resize(id + 1, kNoOwner);
-        pending_of_.resize(id + 1, 0);
-        batch_stamp_.resize(id + 1, 0);
+      std::uint64_t id;
+      if (edges_.size() == 1) {
+        id = service_.OpenSession();
+      } else {
+        // Spread this edge's sessions round-robin over its own lanes.
+        const std::size_t shard =
+            edge.group_begin + edge.open_cursor % edge.group_width;
+        ++edge.open_cursor;
+        id = service_.OpenSessionOnShard(shard);
       }
-      owner_of_[id] = static_cast<std::uint32_t>(slot);
-      pending_of_[id] = 0;
-      batch_stamp_[id] = 0;
+      const std::size_t dense = DenseIndex(edge, id);
+      if (edge.owner_of.size() <= dense) {
+        edge.owner_of.resize(dense + 1, kNoOwner);
+        edge.pending_of.resize(dense + 1, 0);
+        edge.batch_stamp.resize(dense + 1, 0);
+      }
+      edge.owner_of[dense] = static_cast<std::uint32_t>(slot);
+      edge.pending_of[dense] = 0;
+      edge.batch_stamp[dense] = 0;
       conn.sessions.push_back(id);
-      ++opens_since_measure_;
+      ++edge.opens_since_measure;
       reply.status = Status::kOk;
       reply.session_id = id;
-      QueueReply(slot, reply);
+      QueueReply(edge, slot, reply);
       return;
     }
     case MsgType::kCloseSession: {
       const std::uint64_t id = request.header.session_id;
-      if (id >= owner_of_.size() || owner_of_[id] != slot) {
+      const std::size_t dense = on_edge(id) ? DenseIndex(edge, id) : 0;
+      if (!on_edge(id) || dense >= edge.owner_of.size() ||
+          edge.owner_of[dense] != slot) {
         reply.status = Status::kError;
-        QueueReply(slot, reply);
+        edge.errors.fetch_add(1, std::memory_order_relaxed);
+        QueueReply(edge, slot, reply);
         return;
       }
       // A CLOSE overtaking its own pipelined STEPs: answer those with
       // ERROR first (never drop them silently), then tear down.
-      if (pending_of_[id] > 0) FailPendingOf(id, Status::kError);
+      if (edge.pending_of[dense] > 0) FailPendingOf(edge, id, Status::kError);
       service_.CloseSession(id);
-      owner_of_[id] = kNoOwner;
+      edge.owner_of[dense] = kNoOwner;
       for (std::size_t i = 0; i < conn.sessions.size(); ++i) {
         if (conn.sessions[i] == id) {
           conn.sessions[i] = conn.sessions.back();
@@ -361,49 +594,58 @@ void NetServer::HandleRequest(std::size_t slot,
         }
       }
       reply.status = Status::kOk;
-      QueueReply(slot, reply);
+      QueueReply(edge, slot, reply);
       return;
     }
     case MsgType::kStats: {
-      const ServerStats stats = BuildStats();
+      const ServerStats stats = BuildStats(edge);
       reply.status = Status::kOk;
-      QueueReply(slot, reply, &stats);
+      QueueReply(edge, slot, reply, &stats);
       return;
     }
     case MsgType::kStep: {
       const std::uint64_t id = request.header.session_id;
-      if (id >= owner_of_.size() || owner_of_[id] != slot ||
+      const std::size_t dense = on_edge(id) ? DenseIndex(edge, id) : 0;
+      if (!on_edge(id) || dense >= edge.owner_of.size() ||
+          edge.owner_of[dense] != slot ||
           request.state_dim != model_->InputSize()) {
         reply.status = Status::kError;
-        QueueReply(slot, reply);
+        edge.errors.fetch_add(1, std::memory_order_relaxed);
+        QueueReply(edge, slot, reply);
         return;
       }
-      const std::size_t max_in_flight =
-          config_.max_in_flight > 0
-              ? config_.max_in_flight
-              : std::numeric_limits<std::size_t>::max();
-      const std::size_t shard = service_.ShardOfSession(id);
-      if (pending_.size() >= max_in_flight ||
-          (config_.lane_high_water > 0 &&
-           shard_pending_[shard] >= config_.lane_high_water)) {
+      const std::size_t lane =
+          static_cast<std::size_t>(id) % shard_count - edge.group_begin;
+      // Reserve a slot in the shared in-flight budget, then check the
+      // edge-local lane mark; release the reservation on any rejection.
+      const std::size_t prev =
+          in_flight_.fetch_add(1, std::memory_order_relaxed);
+      const bool over_budget =
+          config_.max_in_flight > 0 && prev >= config_.max_in_flight;
+      const bool over_lane =
+          config_.lane_high_water > 0 &&
+          edge.shard_pending[lane] >= config_.lane_high_water;
+      if (over_budget || over_lane) {
+        in_flight_.fetch_sub(1, std::memory_order_relaxed);
         reply.status = Status::kBusy;
-        ++stats_.busy;
-        QueueReply(slot, reply);
+        edge.busy.fetch_add(1, std::memory_order_relaxed);
+        QueueReply(edge, slot, reply);
         return;
       }
-      PendingStep step;
-      if (!state_pool_.empty()) {
-        step.state = std::move(state_pool_.back());
-        state_pool_.pop_back();
+      Edge::PendingStep step;
+      if (!edge.state_pool.empty()) {
+        step.state = std::move(edge.state_pool.back());
+        edge.state_pool.pop_back();
       }
       step.state.resize(request.state_dim);
       request.CopyState(step.state);
       step.conn = static_cast<std::uint32_t>(slot);
       step.request_id = request.header.request_id;
       step.session = id;
-      pending_.push_back(std::move(step));
-      ++shard_pending_[shard];
-      ++pending_of_[id];
+      step.dense = dense;
+      edge.pending.push_back(std::move(step));
+      ++edge.shard_pending[lane];
+      ++edge.pending_of[dense];
       ++conn.in_flight;
       if (config_.pause_reads_above > 0 &&
           conn.in_flight >= config_.pause_reads_above) {
@@ -415,87 +657,103 @@ void NetServer::HandleRequest(std::size_t slot,
   // Unknown types never reach here (DecodeRequest rejects them).
 }
 
-void NetServer::RunBatch() {
-  ++batch_round_;
-  round_requests_.clear();
-  round_pending_idx_.clear();
+void NetServer::RunBatch(Edge& edge) {
+  ++edge.batch_round;
+  edge.round_requests.clear();
+  edge.round_pending_idx.clear();
   const std::size_t cap =
-      config_.max_batch > 0 ? config_.max_batch : pending_.size();
+      config_.max_batch > 0 ? config_.max_batch : edge.pending.size();
   for (std::size_t i = 0;
-       i < pending_.size() && round_requests_.size() < cap; ++i) {
-    const PendingStep& step = pending_[i];
+       i < edge.pending.size() && edge.round_requests.size() < cap; ++i) {
+    const Edge::PendingStep& step = edge.pending[i];
     // One decision per session per round (the service requires it: a
     // session's next state depends on its previous action). Pipelined
     // duplicates stay pending for the next round.
-    if (batch_stamp_[step.session] == batch_round_) continue;
-    batch_stamp_[step.session] = batch_round_;
-    round_requests_.push_back({step.session, &step.state});
-    round_pending_idx_.push_back(i);
+    if (edge.batch_stamp[step.dense] == edge.batch_round) continue;
+    edge.batch_stamp[step.dense] = edge.batch_round;
+    edge.round_requests.push_back({step.session, &step.state});
+    edge.round_pending_idx.push_back(i);
   }
-  round_actions_.resize(round_requests_.size());
-  service_.DecideBatch(round_requests_, round_actions_);
-  ++stats_.epochs;
+  edge.round_actions.resize(edge.round_requests.size());
+  service_.DecideBatchGroup(edge.index, edge.round_requests,
+                            edge.round_actions);
+  edge.epochs.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t epoch = service_.RoundCount();
 
   // Complete replies from the collected epoch: encode into the owning
   // connections' output queues (flushed after the batch - the decision
   // path itself never touched a socket).
-  for (std::size_t t = 0; t < round_pending_idx_.size(); ++t) {
-    PendingStep& step = pending_[round_pending_idx_[t]];
+  const std::size_t shard_count = service_.ShardCount();
+  for (std::size_t t = 0; t < edge.round_pending_idx.size(); ++t) {
+    Edge::PendingStep& step = edge.pending[edge.round_pending_idx[t]];
     Reply reply;
     reply.type = MsgType::kStep;
     reply.status = Status::kOk;
     reply.flags = service_.Defaulted(step.session) ? kFlagDefaulted : 0;
-    reply.action = static_cast<std::int32_t>(round_actions_[t]);
+    reply.action = static_cast<std::int32_t>(edge.round_actions[t]);
     reply.request_id = step.request_id;
     reply.session_id = step.session;
     reply.epoch = epoch;
-    QueueReply(step.conn, reply);
-    ++stats_.decided;
-    --shard_pending_[service_.ShardOfSession(step.session)];
-    --pending_of_[step.session];
-    Connection& conn = *connections_[step.conn];
+    QueueReply(edge, step.conn, reply);
+    --edge.shard_pending[static_cast<std::size_t>(step.session) %
+                             shard_count -
+                         edge.group_begin];
+    --edge.pending_of[step.dense];
+    Connection& conn = *edge.connections[step.conn];
     --conn.in_flight;
     if (conn.paused && config_.pause_reads_above > 0 &&
         conn.in_flight <= config_.pause_reads_above / 2) {
       conn.paused = false;
-      unpaused_.push_back(step.conn);
+      edge.unpaused.push_back(step.conn);
     }
-    state_pool_.push_back(std::move(step.state));
+    edge.state_pool.push_back(std::move(step.state));
   }
+  edge.decided.fetch_add(edge.round_pending_idx.size(),
+                         std::memory_order_relaxed);
+  in_flight_.fetch_sub(edge.round_pending_idx.size(),
+                       std::memory_order_relaxed);
 
   // Compact: drop answered entries (ascending indices), keep deferrals
   // in arrival order.
   std::size_t write = 0;
   std::size_t next_answered = 0;
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    if (next_answered < round_pending_idx_.size() &&
-        round_pending_idx_[next_answered] == i) {
+  for (std::size_t i = 0; i < edge.pending.size(); ++i) {
+    if (next_answered < edge.round_pending_idx.size() &&
+        edge.round_pending_idx[next_answered] == i) {
       ++next_answered;
       continue;
     }
-    if (write != i) pending_[write] = std::move(pending_[i]);
+    if (write != i) edge.pending[write] = std::move(edge.pending[i]);
     ++write;
   }
-  pending_.resize(write);
+  edge.pending.resize(write);
 
   // Resume paused connections whose backlog drained: parse what their
   // buffers already hold, then drain the socket explicitly (paused
-  // edge-triggered fds owe us no further events for old data).
-  for (const std::uint32_t slot : unpaused_) {
-    Connection& conn = *connections_[slot];
-    if (!conn.open || conn.paused) continue;
-    if (!ParseBuffered(slot) || !ReadAndParse(slot)) CloseConnection(slot);
+  // edge-triggered fds owe us no further events for old data). Skipped
+  // once stopping - the drain path answers what is queued but reads
+  // nothing new.
+  if (!stop_.load(std::memory_order_acquire)) {
+    for (const std::uint32_t slot : edge.unpaused) {
+      Connection& conn = *edge.connections[slot];
+      if (!conn.open || conn.paused) continue;
+      if (!ParseBuffered(edge, slot) || !ReadAndParse(edge, slot)) {
+        CloseConnection(edge, slot);
+      }
+    }
   }
-  unpaused_.clear();
+  edge.unpaused.clear();
 }
 
-void NetServer::FailPendingOf(std::uint64_t session, Status status) {
+void NetServer::FailPendingOf(Edge& edge, std::uint64_t session,
+                              Status status) {
+  const std::size_t shard_count = service_.ShardCount();
   std::size_t write = 0;
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    PendingStep& step = pending_[i];
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < edge.pending.size(); ++i) {
+    Edge::PendingStep& step = edge.pending[i];
     if (step.session != session) {
-      if (write != i) pending_[write] = std::move(pending_[i]);
+      if (write != i) edge.pending[write] = std::move(edge.pending[i]);
       ++write;
       continue;
     }
@@ -505,41 +763,56 @@ void NetServer::FailPendingOf(std::uint64_t session, Status status) {
     reply.request_id = step.request_id;
     reply.session_id = step.session;
     reply.epoch = service_.RoundCount();
-    QueueReply(step.conn, reply);
-    --shard_pending_[service_.ShardOfSession(step.session)];
-    --pending_of_[step.session];
-    --connections_[step.conn]->in_flight;
-    state_pool_.push_back(std::move(step.state));
+    QueueReply(edge, step.conn, reply);
+    --edge.shard_pending[static_cast<std::size_t>(step.session) %
+                             shard_count -
+                         edge.group_begin];
+    --edge.pending_of[step.dense];
+    --edge.connections[step.conn]->in_flight;
+    edge.state_pool.push_back(std::move(step.state));
+    ++failed;
   }
-  pending_.resize(write);
+  edge.pending.resize(write);
+  if (failed > 0) {
+    in_flight_.fetch_sub(failed, std::memory_order_relaxed);
+    if (status == Status::kError) {
+      edge.errors.fetch_add(failed, std::memory_order_relaxed);
+    }
+  }
 }
 
-void NetServer::CloseConnection(std::size_t slot) {
-  Connection& conn = *connections_[slot];
+void NetServer::CloseConnection(Edge& edge, std::size_t slot) {
+  Connection& conn = *edge.connections[slot];
   if (!conn.open) return;
   // Drop this peer's pending steps without replies (the socket is gone);
   // the shard/session accounting must still come back down.
+  const std::size_t shard_count = service_.ShardCount();
   std::size_t write = 0;
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    PendingStep& step = pending_[i];
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < edge.pending.size(); ++i) {
+    Edge::PendingStep& step = edge.pending[i];
     if (step.conn != slot) {
-      if (write != i) pending_[write] = std::move(pending_[i]);
+      if (write != i) edge.pending[write] = std::move(edge.pending[i]);
       ++write;
       continue;
     }
-    --shard_pending_[service_.ShardOfSession(step.session)];
-    --pending_of_[step.session];
-    state_pool_.push_back(std::move(step.state));
+    --edge.shard_pending[static_cast<std::size_t>(step.session) %
+                             shard_count -
+                         edge.group_begin];
+    --edge.pending_of[step.dense];
+    edge.state_pool.push_back(std::move(step.state));
+    ++dropped;
   }
-  pending_.resize(write);
+  edge.pending.resize(write);
+  if (dropped > 0) in_flight_.fetch_sub(dropped, std::memory_order_relaxed);
 
   for (const std::uint64_t id : conn.sessions) {
     service_.CloseSession(id);
-    owner_of_[id] = kNoOwner;
+    edge.owner_of[DenseIndex(edge, id)] = kNoOwner;
   }
   conn.sessions.clear();
 
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::epoll_ctl(edge.epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
   ::close(conn.fd);
   conn.fd = -1;
   conn.open = false;
@@ -551,45 +824,45 @@ void NetServer::CloseConnection(std::size_t slot) {
   conn.in_off = 0;
   for (auto& frame : conn.out_q) {
     frame.clear();
-    spare_frames_.push_back(std::move(frame));
+    edge.spare_frames.push_back(std::move(frame));
   }
   conn.out_q.clear();
   conn.out_head = 0;
   conn.out_head_off = 0;
-  --open_connections_;
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
   // Recycle the slot only after the current epoll event array is fully
-  // processed (Run moves these into free_conn_slots_), so stale events
-  // for the old fd cannot alias a fresh connection.
-  pending_free_slots_swap_.push_back(static_cast<std::uint32_t>(slot));
+  // processed (RunEdge moves these into free_conn_slots), so stale
+  // events for the old fd cannot alias a fresh connection.
+  edge.pending_free_slots_swap.push_back(static_cast<std::uint32_t>(slot));
 }
 
-void NetServer::QueueReply(std::size_t slot, const Reply& reply,
+void NetServer::QueueReply(Edge& edge, std::size_t slot, const Reply& reply,
                            const ServerStats* stats) {
-  Connection& conn = *connections_[slot];
+  Connection& conn = *edge.connections[slot];
   std::vector<std::uint8_t> frame;
-  if (!spare_frames_.empty()) {
-    frame = std::move(spare_frames_.back());
-    spare_frames_.pop_back();
+  if (!edge.spare_frames.empty()) {
+    frame = std::move(edge.spare_frames.back());
+    edge.spare_frames.pop_back();
   }
   AppendReplyFrame(frame, reply, stats);
   conn.out_q.push_back(std::move(frame));
   if (!conn.dirty) {
     conn.dirty = true;
-    dirty_.push_back(static_cast<std::uint32_t>(slot));
+    edge.dirty.push_back(static_cast<std::uint32_t>(slot));
   }
 }
 
-void NetServer::FlushDirty() {
-  for (const std::uint32_t slot : dirty_) {
-    Connection& conn = *connections_[slot];
+void NetServer::FlushDirty(Edge& edge) {
+  for (const std::uint32_t slot : edge.dirty) {
+    Connection& conn = *edge.connections[slot];
     conn.dirty = false;
-    if (conn.open) FlushWrites(slot);
+    if (conn.open) FlushWrites(edge, slot);
   }
-  dirty_.clear();
+  edge.dirty.clear();
 }
 
-void NetServer::FlushWrites(std::size_t slot) {
-  Connection& conn = *connections_[slot];
+void NetServer::FlushWrites(Edge& edge, std::size_t slot) {
+  Connection& conn = *edge.connections[slot];
   while (conn.out_head < conn.out_q.size()) {
     iovec iov[kMaxIov];
     int iov_count = 0;
@@ -605,7 +878,7 @@ void NetServer::FlushWrites(std::size_t slot) {
     if (wrote < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      CloseConnection(slot);
+      CloseConnection(edge, slot);
       return;
     }
     // Partial-write continuation: advance (frame, offset) through the
@@ -617,7 +890,7 @@ void NetServer::FlushWrites(std::size_t slot) {
       if (remaining >= left) {
         remaining -= left;
         head.clear();
-        spare_frames_.push_back(std::move(head));
+        edge.spare_frames.push_back(std::move(head));
         ++conn.out_head;
         conn.out_head_off = 0;
       } else {
@@ -634,33 +907,39 @@ void NetServer::FlushWrites(std::size_t slot) {
   const bool want_write = conn.out_head < conn.out_q.size();
   if (want_write != conn.want_write) {
     conn.want_write = want_write;
-    UpdateEpollInterest(slot);
+    UpdateEpollInterest(edge, slot);
   }
 }
 
-void NetServer::UpdateEpollInterest(std::size_t slot) {
-  Connection& conn = *connections_[slot];
+void NetServer::UpdateEpollInterest(Edge& edge, std::size_t slot) {
+  Connection& conn = *edge.connections[slot];
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLET | (conn.want_write ? EPOLLOUT : 0u);
   ev.data.u64 = slot;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  ::epoll_ctl(edge.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
 }
 
-ServerStats NetServer::BuildStats() {
-  stats_.open_sessions = service_.ActiveSessionCount();
-  session_bytes_cache_ = service_.MemoryStats().SessionBytes();
-  opens_since_measure_ = 0;
-  stats_.session_bytes = session_bytes_cache_;
-  stats_.in_flight = pending_.size();
-  stats_.connections = open_connections_;
-  return stats_;
+ServerStats NetServer::BuildStats(Edge& edge) {
+  edge.session_bytes.store(GroupSessionBytes(edge),
+                           std::memory_order_relaxed);
+  edge.opens_since_measure = 0;
+  return Stats();
 }
 
 ServerStats NetServer::Stats() const {
-  ServerStats stats = stats_;
+  ServerStats stats;
   stats.open_sessions = service_.ActiveSessionCount();
-  stats.in_flight = pending_.size();
-  stats.connections = open_connections_;
+  for (const auto& e : edges_) {
+    stats.session_bytes += e->session_bytes.load(std::memory_order_relaxed);
+    stats.decided += e->decided.load(std::memory_order_relaxed);
+    stats.busy += e->busy.load(std::memory_order_relaxed);
+    stats.rejected_opens +=
+        e->rejected_opens.load(std::memory_order_relaxed);
+    stats.epochs += e->epochs.load(std::memory_order_relaxed);
+    stats.errors += e->errors.load(std::memory_order_relaxed);
+  }
+  stats.in_flight = in_flight_.load(std::memory_order_relaxed);
+  stats.connections = open_connections_.load(std::memory_order_relaxed);
   return stats;
 }
 

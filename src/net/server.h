@@ -4,29 +4,46 @@
 // A thin, dumb edge in front of serve::DecisionService, shaped like a
 // control/data-plane split: the edge owns sockets, framing and admission;
 // the decision hot path (DecideBatch's shard lanes and epoch tickets)
-// never touches a file descriptor. One event-loop thread runs the whole
-// edge:
+// never touches a file descriptor. The edge is N independent event-loop
+// threads (NetServerConfig::edge_threads); each edge thread owns
+//
+//   - its OWN SO_REUSEPORT listener on the shared port (the kernel
+//     shards incoming connections across the listeners by 4-tuple hash),
+//   - its own epoll instance, wake eventfd, and slab-recycled connection
+//     buffers / pending queues / reply-frame pools,
+//   - a contiguous GROUP of the service's shard lanes (submitter group e
+//     of DecisionServiceConfig::submitter_count = edge_threads): the
+//     edge opens its sessions round-robin over its own shards and
+//     submits its micro-batches through DecideBatchGroup, so the epoch
+//     tickets stay single-submitter per lane.
+//
+// Nothing mutable is shared between edge threads on the read / decode /
+// decide path; the only cross-edge state is a handful of atomics (the
+// global in-flight admission budget, the stop flag, per-edge stats
+// counters summed on STATS). Each edge runs the same loop the
+// single-threaded server ran:
 //
 //   epoll_wait -> accept / drain readable sockets (edge-triggered,
 //   non-blocking) -> parse frames, admit or reject each request ->
-//   when admitted STEPs are pending, ONE DecideBatch over all of them
-//   (micro-batching across connections and sessions) -> encode replies
-//   into per-connection output queues -> flush with vectored writes,
-//   partial writes continue under EPOLLOUT.
+//   when admitted STEPs are pending, ONE DecideBatchGroup over all of
+//   them (micro-batching across connections and sessions) -> encode
+//   replies into per-connection output queues -> flush with vectored
+//   writes, partial writes continue under EPOLLOUT.
 //
-// DecideBatch itself fans out over the service's persistent shard
-// workers, so the edge thread is shard 0's inline lane and the socket
-// work overlaps the other shards' compute only between rounds - by
-// construction a slow client socket can delay its OWN replies (they sit
-// in the connection's output queue) but never a decision round.
+// edge_threads = 1 is bit-identical to the classic single-loop server:
+// one group = every shard, the global id allocator, the same admission
+// arithmetic (the shared budget sees exactly one edge), the same wire
+// bytes.
 //
 // Admission control and backpressure (all per NetServerConfig):
-//   - max_in_flight caps admitted-but-unanswered STEPs process-wide;
+//   - max_in_flight caps admitted-but-unanswered STEPs process-wide via
+//     one shared atomic budget (reserve on admit, release on reply);
 //     past it, new STEPs get an immediate BUSY reply instead of queueing.
 //   - lane_high_water caps pending STEPs per shard lane, so one hot
 //     shard cannot grow the whole queue; STEPs routed to a lane at its
-//     mark get BUSY. The service's SPSC rings are bounded to the same
-//     mark (DecisionServiceConfig::lane_capacity_bound), converting any
+//     mark get BUSY. Lanes belong to exactly one edge, so this needs no
+//     atomics. The service's SPSC rings are bounded to the same mark
+//     (DecisionServiceConfig::lane_capacity_bound), converting any
 //     admission bug into a loud ring-overflow failure instead of silent
 //     unbounded growth.
 //   - pause_reads_above stops READING a connection whose own admitted
@@ -36,21 +53,30 @@
 //     (and missed edge-triggered data is drained explicitly) once the
 //     connection's backlog halves.
 //   - max_sessions / max_session_bytes gate OPEN_SESSION on the session
-//     table size and the service's exact ServiceMemoryStats accounting;
+//     table size and the service's exact ServiceMemoryStats accounting
+//     (each edge caches its own group's bytes; STATS sums the caches);
 //     past either, opens get FULL.
 // Every rejected request is answered (BUSY / FULL / ERROR) - nothing is
 // silently dropped while a connection lives.
 //
-// Threading: Start() binds and listens; Run() blocks running the loop
-// until Stop() (thread-safe, via eventfd) is called; tests and
-// `osap_serve --listen` run Run() on whatever thread they like. All
-// other methods are loop-thread-only unless noted.
+// Shutdown is graceful: Stop() (thread-safe, one eventfd write per edge)
+// makes every edge stop reading, run decision rounds until its admitted
+// backlog is answered, flush every queued reply (blocking-poll bounded
+// by kDrainDeadline), and only then close its connections - a client
+// that stops sending sees every request it managed to send answered
+// before EOF.
+//
+// Threading: Start() binds and listens (all edges); Run() blocks running
+// edge 0's loop on the calling thread and the other edges on internal
+// threads until Stop(); tests and `osap_serve --listen` run Run() on
+// whatever thread they like. Stats() is safe from any thread.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "mdp/types.h"
@@ -63,9 +89,16 @@ namespace osap::net {
 struct NetServerConfig {
   /// TCP port to listen on; 0 picks an ephemeral port (see Port()).
   std::uint16_t port = 0;
+  /// Independent event-loop threads, each with its own SO_REUSEPORT
+  /// listener and its own contiguous group of service shard lanes. Must
+  /// be >= 1; service.shard_count must be >= edge_threads (one lane per
+  /// edge minimum). 1 = the classic single-loop server.
+  std::size_t edge_threads = 1;
   int listen_backlog = 128;
+  /// Cap on concurrently accepted connections, shared across edges.
   std::size_t max_connections = 4096;
-  /// Process-wide cap on admitted STEPs awaiting a decision; 0 = no cap.
+  /// Process-wide cap on admitted STEPs awaiting a decision, enforced
+  /// through one shared atomic budget; 0 = no cap.
   std::size_t max_in_flight = 64 * 1024;
   /// Pending-STEP cap per shard lane (BUSY past it); 0 disables the
   /// per-lane mark (only max_in_flight applies).
@@ -78,9 +111,11 @@ struct NetServerConfig {
   /// OPEN_SESSION gate on ServiceMemoryStats::SessionBytes(), refreshed
   /// every 64 opens (the walk is not free). 0 = unlimited.
   std::size_t max_session_bytes = 0;
-  /// Largest DecideBatch per round; 0 = bounded by max_in_flight only.
+  /// Largest DecideBatch per round and per edge; 0 = bounded by
+  /// max_in_flight only.
   std::size_t max_batch = 0;
   /// Sharding/backpressure config for the service the server owns.
+  /// submitter_count is overwritten with edge_threads.
   serve::DecisionServiceConfig service;
 };
 
@@ -93,110 +128,93 @@ class NetServer {
   NetServer(const NetServer&) = delete;
   NetServer& operator=(const NetServer&) = delete;
 
-  /// Binds + listens (throws std::runtime_error on socket failure).
-  /// Call once before Run().
+  /// Binds + listens every edge's SO_REUSEPORT listener (throws
+  /// std::runtime_error on socket failure). Call once before Run().
   void Start();
 
-  /// The bound TCP port (valid after Start(); resolves port 0).
+  /// The bound TCP port (valid after Start(); resolves port 0). All
+  /// edges share it.
   std::uint16_t Port() const { return port_; }
 
-  /// Runs the event loop until Stop(). Must follow Start().
+  /// Runs the edge loops until Stop(): edge 0 on the calling thread,
+  /// edges 1..N-1 on internal threads (joined before returning). Must
+  /// follow Start(). An edge failure stops every edge and rethrows.
   void Run();
 
-  /// Signals Run() to return after the current iteration. Thread-safe;
-  /// callable from signal-ish contexts (one eventfd write).
+  /// Signals every edge loop to drain and return. Thread-safe; callable
+  /// from signal-ish contexts (atomic flag + one eventfd write per edge).
   void Stop();
 
-  /// Counters as of the last loop iteration. Loop-thread-only while
-  /// Run() is live (remote callers use the STATS request); safe from
-  /// anywhere once Run() has returned.
+  /// Aggregated counters (relaxed sums of the per-edge atomics plus the
+  /// shared budget). Safe from any thread, any time.
   ServerStats Stats() const;
+
+  std::size_t EdgeCount() const { return edges_.size(); }
 
   const serve::DecisionService& service() const { return service_; }
 
  private:
   struct Connection;
+  /// All per-edge state (sockets, connection slabs, pending queue, shard
+  /// bookkeeping, published counters). Defined in server.cc.
+  struct Edge;
 
-  void Accept();
-  /// Drains `fd` until EAGAIN, parsing complete frames as they land.
+  /// Creates edge e's listener / epoll / eventfd (edge 0 resolves the
+  /// shared port; the rest bind it via SO_REUSEPORT).
+  void StartEdge(std::size_t e);
+  /// Edge e's event loop: runs until stop_, then drains gracefully.
+  void RunEdge(Edge& edge);
+  /// Post-stop drain: answer every admitted STEP, flush every queued
+  /// reply (bounded blocking), then close the edge's connections.
+  void DrainOnStop(Edge& edge);
+  void Accept(Edge& edge);
+  /// Drains `slot` until EAGAIN, parsing complete frames as they land.
   /// Returns false when the connection died (EOF / error / protocol
   /// violation) and must be torn down.
-  bool ReadAndParse(std::size_t slot);
+  bool ReadAndParse(Edge& edge, std::size_t slot);
   /// Parses every complete frame in the connection's input buffer
   /// (stops early when the connection pauses). False on protocol error.
-  bool ParseBuffered(std::size_t slot);
-  void HandleRequest(std::size_t slot, const DecodedRequest& request);
-  void RunBatch();
+  bool ParseBuffered(Edge& edge, std::size_t slot);
+  void HandleRequest(Edge& edge, std::size_t slot,
+                     const DecodedRequest& request);
+  void RunBatch(Edge& edge);
   /// Answers and removes every pending STEP of `session` with `status`
   /// (a CLOSE overtaking pipelined STEPs, never the normal path).
-  void FailPendingOf(std::uint64_t session, Status status);
-  void CloseConnection(std::size_t slot);
-  void QueueReply(std::size_t slot, const Reply& reply,
+  void FailPendingOf(Edge& edge, std::uint64_t session, Status status);
+  void CloseConnection(Edge& edge, std::size_t slot);
+  void QueueReply(Edge& edge, std::size_t slot, const Reply& reply,
                   const ServerStats* stats = nullptr);
   /// Flushes every connection QueueReply marked dirty this iteration.
-  void FlushDirty();
+  void FlushDirty(Edge& edge);
   /// writev as much of the connection's output queue as the socket
   /// accepts; arms/disarms EPOLLOUT around partial writes.
-  void FlushWrites(std::size_t slot);
-  void UpdateEpollInterest(std::size_t slot);
-  ServerStats BuildStats();
+  void FlushWrites(Edge& edge, std::size_t slot);
+  void UpdateEpollInterest(Edge& edge, std::size_t slot);
+  /// Refreshes edge's session-bytes cache and sums every edge's
+  /// published counters (the STATS reply payload).
+  ServerStats BuildStats(Edge& edge);
+  /// Edge-local dense index of a session id (slots for owner/pending/
+  /// stamp bookkeeping): local * group_width + (shard - group_begin).
+  /// With one edge this is the id itself.
+  std::size_t DenseIndex(const Edge& edge, std::uint64_t session) const;
+  /// Exact session bytes of the edge's shard group (full-service walk
+  /// for the single-edge server - its one group owns everything
+  /// including the global id free list).
+  std::size_t GroupSessionBytes(const Edge& edge) const;
 
   std::shared_ptr<const serve::ServingModel> model_;
   NetServerConfig config_;
   serve::DecisionService service_;
 
-  int epoll_fd_ = -1;
-  int listen_fd_ = -1;
-  int wake_fd_ = -1;  // eventfd: Stop() -> loop wakeup
+  std::vector<std::unique_ptr<Edge>> edges_;
+  std::vector<std::thread> edge_runners_;  // edges 1..N-1 during Run()
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
 
-  /// One admitted STEP awaiting its decision round.
-  struct PendingStep {
-    std::uint32_t conn = 0;
-    std::uint64_t request_id = 0;
-    std::uint64_t session = 0;
-    mdp::State state;  // decoded off the wire; storage recycled
-  };
-
-  std::vector<std::unique_ptr<Connection>> connections_;
-  std::vector<std::uint32_t> free_conn_slots_;
-  /// Slots closed during the current epoll iteration; they join
-  /// free_conn_slots_ only once the event array is fully processed, so a
-  /// stale event for a dead fd can never alias a freshly accepted one.
-  std::vector<std::uint32_t> pending_free_slots_swap_;
-  std::size_t open_connections_ = 0;
-
-  std::vector<PendingStep> pending_;
-  std::vector<std::size_t> shard_pending_;  // admitted per shard lane
-  std::vector<mdp::State> state_pool_;      // recycled PendingStep storage
-  /// Recycled reply-frame buffers (the slab behind the output queues).
-  std::vector<std::vector<std::uint8_t>> spare_frames_;
-  std::vector<std::uint32_t> dirty_;     // connections with queued replies
-  std::vector<std::uint32_t> unpaused_;  // resumed this batch: drain them
-
-  // Per-session edge bookkeeping, indexed by service session id (dense
-  // slot ids). owner_of_[id] is the connection slot (or kNoOwner),
-  // pending_of_[id] counts that session's entries in pending_,
-  // batch_stamp_[id] marks "already in this round" (a session decides at
-  // most once per DecideBatch; duplicates defer to the next round).
-  static constexpr std::uint32_t kNoOwner = 0xffffffffu;
-  std::vector<std::uint32_t> owner_of_;
-  std::vector<std::uint32_t> pending_of_;
-  std::vector<std::uint64_t> batch_stamp_;
-  std::uint64_t batch_round_ = 0;
-
-  // Round scratch (persists across batches; steady state allocates
-  // nothing).
-  std::vector<serve::DecisionService::Request> round_requests_;
-  std::vector<mdp::Action> round_actions_;
-  std::vector<std::size_t> round_pending_idx_;
-
-  // Cached session-bytes gate (refreshed every 64 admitted opens).
-  std::size_t session_bytes_cache_ = 0;
-  std::size_t opens_since_measure_ = 0;
-
-  ServerStats stats_;
+  // Shared admission budget and connection count (the only cross-edge
+  // mutable state on the request path).
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::size_t> open_connections_{0};
 };
 
 }  // namespace osap::net

@@ -14,6 +14,9 @@ DecisionService::DecisionService(std::shared_ptr<const ServingModel> model,
   OSAP_REQUIRE(model_ != nullptr, "DecisionService: null model");
   OSAP_REQUIRE(config_.shard_count >= 1,
                "DecisionService: shard_count must be >= 1");
+  OSAP_REQUIRE(config_.submitter_count >= 1 &&
+                   config_.submitter_count <= config_.shard_count,
+               "DecisionService: submitter_count must be in [1, shard_count]");
   core::ValidateSafeAgentConfig(model_->safety());
   ring_width_ = core::SafetyRingDoubles(model_->safety());
   if (model_->signal() == Signal::kNovelty) {
@@ -28,17 +31,28 @@ DecisionService::DecisionService(std::shared_ptr<const ServingModel> model,
       shards_.back()->ring.SetBound(config_.lane_capacity_bound);
     }
   }
-  if (config_.shard_workers && shards_.size() > 1) {
-    workers_.reserve(shards_.size() - 1);
-    for (std::size_t s = 1; s < shards_.size(); ++s) {
+  group_counts_.resize(config_.submitter_count);
+  for (std::size_t g = 0; g < config_.submitter_count; ++g) {
+    group_counts_[g].resize(GroupEnd(g) - GroupBegin(g), 0);
+  }
+  if (config_.shard_workers) {
+    // One persistent worker per shard that is not the first of its group;
+    // group-first shards run on their group's submitting thread.
+    for (std::size_t g = 0; g < config_.submitter_count; ++g) {
+      for (std::size_t s = GroupBegin(g) + 1; s < GroupEnd(g); ++s) {
+        worker_shards_.push_back(s);
+      }
+    }
+    workers_.reserve(worker_shards_.size());
+    for (const std::size_t s : worker_shards_) {
       workers_.emplace_back([this, s] { WorkerLoop(s); });
     }
   }
 }
 
 DecisionService::~DecisionService() {
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    ShardLane& lane = *shards_[i + 1];
+  for (const std::size_t s : worker_shards_) {
+    ShardLane& lane = *shards_[s];
     {
       std::lock_guard<std::mutex> lock(lane.mutex);
       lane.stop = true;
@@ -48,19 +62,18 @@ DecisionService::~DecisionService() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-DecisionService::SessionId DecisionService::OpenSession() {
-  SessionId id;
-  if (!free_slots_.empty()) {
-    id = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    id = open_.size();
-    open_.push_back(0);
-    last_round_.push_back(0);
-  }
-  ShardLane& lane = *shards_[ShardOf(id)];
+std::size_t DecisionService::GroupOfShard(std::size_t shard) const {
+  const std::size_t base = shards_.size() / config_.submitter_count;
+  const std::size_t rem = shards_.size() % config_.submitter_count;
+  // The first `rem` groups are one shard wider.
+  if (shard < rem * (base + 1)) return shard / (base + 1);
+  return rem + (shard - rem * (base + 1)) / base;
+}
+
+DecisionService::SessionId DecisionService::InitSession(std::size_t shard,
+                                                        std::size_t local) {
+  ShardLane& lane = *shards_[shard];
   SessionTable& table = lane.sessions;
-  const std::size_t local = LocalOf(id);
   if (table.hot.size() <= local) {
     table.hot.resize(local + 1);
     table.cold.resize(local + 1);
@@ -68,6 +81,8 @@ DecisionService::SessionId DecisionService::OpenSession() {
     if (extractor_doubles_ > 0) {
       table.extractor_of.resize(local + 1, ExtractorPool::kInvalid);
     }
+    table.open.resize(local + 1, 0);
+    table.last_round.resize(local + 1, 0);
   }
   // Fresh state either way: a recycled slot still carries its previous
   // occupant. The ring needs no wipe - SafetyObserve never reads slots
@@ -85,32 +100,67 @@ DecisionService::SessionId DecisionService::OpenSession() {
     lane.extractors[slot].Reset();
     table.extractor_of[local] = slot;
   }
-  open_[id] = 1;
-  last_round_[id] = 0;
-  ++active_count_;
+  table.open[local] = 1;
+  table.last_round[local] = 0;
+  active_count_.fetch_add(1, std::memory_order_relaxed);
+  return local * shards_.size() + shard;
+}
+
+DecisionService::SessionId DecisionService::OpenSession() {
+  OSAP_REQUIRE(config_.submitter_count == 1,
+               "OpenSession: submitter groups must open via "
+               "OpenSessionOnShard");
+  SessionId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = next_id_++;
+  }
+  const SessionId got = InitSession(ShardOf(id), LocalOf(id));
+  OSAP_CHECK(got == id);
   return id;
 }
 
+DecisionService::SessionId DecisionService::OpenSessionOnShard(
+    std::size_t shard) {
+  OSAP_REQUIRE(config_.submitter_count > 1,
+               "OpenSessionOnShard: single-submitter services use "
+               "OpenSession (global id recycling)");
+  OSAP_REQUIRE(shard < shards_.size(), "OpenSessionOnShard: bad shard");
+  ShardLane& lane = *shards_[shard];
+  std::size_t local;
+  if (!lane.free_locals.empty()) {
+    local = lane.free_locals.back();
+    lane.free_locals.pop_back();
+  } else {
+    local = lane.sessions.hot.size();
+  }
+  return InitSession(shard, local);
+}
+
 void DecisionService::CloseSession(SessionId id) {
-  OSAP_REQUIRE(id < open_.size() && open_[id] != 0,
-               "CloseSession: unknown session");
+  OSAP_REQUIRE(IsOpen(id), "CloseSession: unknown session");
   ShardLane& lane = *shards_[ShardOf(id)];
+  const std::size_t local = LocalOf(id);
   if (extractor_doubles_ > 0) {
-    const std::size_t local = LocalOf(id);
     lane.extractors.Release(lane.sessions.extractor_of[local]);
     lane.sessions.extractor_of[local] = ExtractorPool::kInvalid;
     // Give back whole trailing slabs once a population spike recedes
     // (no-op unless the newest slab is entirely free).
     lane.extractors.Trim();
   }
-  open_[id] = 0;
-  free_slots_.push_back(id);
-  --active_count_;
+  lane.sessions.open[local] = 0;
+  if (config_.submitter_count == 1) {
+    free_ids_.push_back(id);
+  } else {
+    lane.free_locals.push_back(static_cast<std::uint32_t>(local));
+  }
+  active_count_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void DecisionService::CheckOpen(SessionId id) const {
-  OSAP_REQUIRE(id < open_.size() && open_[id] != 0,
-               "DecisionService: unknown session");
+  OSAP_REQUIRE(IsOpen(id), "DecisionService: unknown session");
 }
 
 bool DecisionService::Defaulted(SessionId id) const {
@@ -210,33 +260,56 @@ void DecisionService::MaybeShrinkLane(ShardLane& lane, std::size_t count) {
 
 void DecisionService::DecideBatch(std::span<const Request> requests,
                                   std::span<mdp::Action> out) {
+  OSAP_REQUIRE(config_.submitter_count == 1,
+               "DecideBatch: submitter groups must submit via "
+               "DecideBatchGroup");
+  DecideBatchGroup(0, requests, out);
+}
+
+void DecisionService::DecideBatchGroup(std::size_t group,
+                                       std::span<const Request> requests,
+                                       std::span<mdp::Action> out) {
+  OSAP_REQUIRE(group < config_.submitter_count,
+               "DecideBatchGroup: bad group");
   OSAP_REQUIRE(out.size() >= requests.size(),
                "DecideBatch: output span too short");
   if (requests.empty()) return;
   OSAP_REQUIRE(
       requests.size() <= std::numeric_limits<std::uint32_t>::max(),
       "DecideBatch: request batch too large for ring indices");
-  ++round_;
+  const std::size_t begin = GroupBegin(group);
+  const std::size_t end = GroupEnd(group);
+  // Rounds draw from one global counter so reply epochs stay unique
+  // across groups; each session's duplicate stamp lives in its shard's
+  // table, which only this group touches.
+  const std::uint64_t round =
+      round_.fetch_add(1, std::memory_order_relaxed) + 1;
   const std::size_t input = model_->InputSize();
   for (const Request& r : requests) {
-    OSAP_REQUIRE(r.session < open_.size() && open_[r.session] != 0,
+    const std::size_t shard = ShardOf(r.session);
+    OSAP_REQUIRE(shard >= begin && shard < end,
+                 "DecideBatchGroup: session outside the submitter group");
+    SessionTable& table = shards_[shard]->sessions;
+    const std::size_t local = LocalOf(r.session);
+    OSAP_REQUIRE(local < table.open.size() && table.open[local] != 0,
                  "DecideBatch: unknown session");
     OSAP_REQUIRE(r.state != nullptr && r.state->size() == input,
                  "DecideBatch: null or mis-sized state");
-    OSAP_REQUIRE(last_round_[r.session] != round_,
+    OSAP_REQUIRE(table.last_round[local] != round,
                  "DecideBatch: a session may appear once per batch");
-    last_round_[r.session] = round_;
+    table.last_round[local] = round;
   }
 
   // Route: one O(R) pass counting per shard, one O(R) pass staging each
   // request index into its shard's ring (replacing the old O(R x S)
   // every-shard-scans-every-request partition). Reserve() is safe here
-  // because every worker is parked between epochs.
-  const std::size_t shard_count = shards_.size();
-  shard_counts_.assign(shard_count, 0);
-  for (const Request& r : requests) ++shard_counts_[ShardOf(r.session)];
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    if (shard_counts_[s] > 0) shards_[s]->ring.Reserve(shard_counts_[s]);
+  // because every worker of THIS group is parked between its epochs and
+  // other groups never touch these lanes.
+  std::vector<std::size_t>& counts = group_counts_[group];
+  counts.assign(end - begin, 0);
+  for (const Request& r : requests) ++counts[ShardOf(r.session) - begin];
+  for (std::size_t s = begin; s < end; ++s) {
+    if (counts[s - begin] > 0) shards_[s]->ring.Reserve(counts[s - begin]);
   }
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const bool pushed = shards_[ShardOf(requests[i].session)]->ring.Push(
@@ -244,39 +317,40 @@ void DecisionService::DecideBatch(std::span<const Request> requests,
     OSAP_REQUIRE(pushed, "DecideBatch: shard ring overflow");
   }
 
-  if (workers_.empty()) {
-    // Serial mode (shard_workers = false, or a single shard): run every
-    // shard inline in ascending order - the bit-identity reference path.
-    for (std::size_t s = 0; s < shard_count; ++s) {
-      if (shard_counts_[s] == 0) continue;
-      DrainEpoch(s, EpochSlot{requests, out, shard_counts_[s]});
+  if (!config_.shard_workers) {
+    // Serial mode: run every shard of the group inline in ascending
+    // order - the bit-identity reference path.
+    for (std::size_t s = begin; s < end; ++s) {
+      if (counts[s - begin] == 0) continue;
+      DrainEpoch(s, EpochSlot{requests, out, counts[s - begin]});
     }
     return;
   }
 
   // Post one epoch ticket per non-empty worker shard. Each ticket touches
   // only its own lane - there is no shared job object or global barrier.
-  for (std::size_t s = 1; s < shard_count; ++s) {
-    if (shard_counts_[s] == 0) continue;
+  for (std::size_t s = begin + 1; s < end; ++s) {
+    if (counts[s - begin] == 0) continue;
     ShardLane& lane = *shards_[s];
     {
       std::lock_guard<std::mutex> lock(lane.mutex);
       const std::uint64_t epoch = ++lane.submitted;
-      lane.slots[epoch & 1] = EpochSlot{requests, out, shard_counts_[s]};
+      lane.slots[epoch & 1] = EpochSlot{requests, out, counts[s - begin]};
     }
     lane.work_cv.notify_one();
   }
 
-  // Shard 0 always runs on the calling thread, overlapping the workers.
-  if (shard_counts_[0] > 0) {
-    DrainEpoch(0, EpochSlot{requests, out, shard_counts_[0]});
+  // The group's first shard always runs on the calling thread,
+  // overlapping the workers.
+  if (counts[0] > 0) {
+    DrainEpoch(begin, EpochSlot{requests, out, counts[0]});
   }
 
   // Collect completions in ascending shard order (deterministic, and the
   // release/acquire edge on each lane's mutex publishes the worker's
   // writes to out[] back to the caller).
-  for (std::size_t s = 1; s < shard_count; ++s) {
-    if (shard_counts_[s] == 0) continue;
+  for (std::size_t s = begin + 1; s < end; ++s) {
+    if (counts[s - begin] == 0) continue;
     ShardLane& lane = *shards_[s];
     std::unique_lock<std::mutex> lock(lane.mutex);
     lane.done_cv.wait(lock, [&] { return lane.completed == lane.submitted; });
@@ -382,32 +456,60 @@ void DecisionService::RunShard(std::size_t shard,
   }
 }
 
+void DecisionService::AccumulateLane(std::size_t shard,
+                                     ServiceMemoryStats& stats) const {
+  const ShardLane& lane = *shards_[shard];
+  const SessionTable& table = lane.sessions;
+  stats.session_slots += table.hot.size();
+  stats.session_hot_bytes += table.hot.capacity() * sizeof(core::SafetyState);
+  stats.session_cold_bytes +=
+      table.cold.capacity() * sizeof(core::SafetyCold);
+  stats.trigger_ring_bytes += table.rings.capacity() * sizeof(double);
+  stats.registry_bytes +=
+      table.extractor_of.capacity() * sizeof(ExtractorPool::Index) +
+      table.open.capacity() * sizeof(std::uint8_t) +
+      table.last_round.capacity() * sizeof(std::uint64_t) +
+      lane.free_locals.capacity() * sizeof(std::uint32_t);
+  stats.extractor_bytes += lane.extractors.CapacityBytes();
+  stats.scratch_bytes +=
+      sizeof(ShardLane) + lane.arena.CapacityBytes() +
+      lane.states.values().capacity() * sizeof(double) +
+      lane.features.values().capacity() * sizeof(double) +
+      lane.learned_states.values().capacity() * sizeof(double) +
+      lane.learned_actions.capacity() * sizeof(mdp::Action) +
+      lane.ring.Capacity() * sizeof(std::uint32_t);
+}
+
 ServiceMemoryStats DecisionService::MemoryStats() const {
   ServiceMemoryStats stats;
-  stats.open_sessions = active_count_;
-  stats.session_slots = open_.size();
-  stats.registry_bytes = open_.capacity() * sizeof(std::uint8_t) +
-                         last_round_.capacity() * sizeof(std::uint64_t) +
-                         free_slots_.capacity() * sizeof(SessionId);
-  for (const auto& lane : shards_) {
-    const SessionTable& table = lane->sessions;
-    stats.session_hot_bytes +=
-        table.hot.capacity() * sizeof(core::SafetyState);
-    stats.session_cold_bytes +=
-        table.cold.capacity() * sizeof(core::SafetyCold);
-    stats.trigger_ring_bytes += table.rings.capacity() * sizeof(double);
-    stats.registry_bytes +=
-        table.extractor_of.capacity() * sizeof(ExtractorPool::Index);
-    stats.extractor_bytes += lane->extractors.CapacityBytes();
-    stats.scratch_bytes +=
-        sizeof(ShardLane) + lane->arena.CapacityBytes() +
-        lane->states.values().capacity() * sizeof(double) +
-        lane->features.values().capacity() * sizeof(double) +
-        lane->learned_states.values().capacity() * sizeof(double) +
-        lane->learned_actions.capacity() * sizeof(mdp::Action) +
-        lane->ring.Capacity() * sizeof(std::uint32_t);
+  stats.open_sessions = active_count_.load(std::memory_order_relaxed);
+  stats.registry_bytes = free_ids_.capacity() * sizeof(SessionId);
+  for (std::size_t s = 0; s < shards_.size(); ++s) AccumulateLane(s, stats);
+  for (const auto& counts : group_counts_) {
+    stats.scratch_bytes += counts.capacity() * sizeof(std::size_t);
   }
-  stats.scratch_bytes += shard_counts_.capacity() * sizeof(std::size_t);
+  return stats;
+}
+
+ServiceMemoryStats DecisionService::MemoryStatsOfGroup(
+    std::size_t group) const {
+  OSAP_REQUIRE(group < config_.submitter_count,
+               "MemoryStatsOfGroup: bad group");
+  ServiceMemoryStats stats;
+  for (std::size_t s = GroupBegin(group); s < GroupEnd(group); ++s) {
+    AccumulateLane(s, stats);
+    if (config_.submitter_count > 1) {
+      // Open = ever-grown slots minus the shard's free list (exact: local
+      // slots only exist once opened). The single-submitter group keeps
+      // its free list globally, so fall through to active_count_ below.
+      stats.open_sessions += shards_[s]->sessions.hot.size() -
+                             shards_[s]->free_locals.size();
+    }
+  }
+  if (config_.submitter_count == 1) {
+    stats.open_sessions = active_count_.load(std::memory_order_relaxed);
+  }
+  stats.scratch_bytes += group_counts_[group].capacity() * sizeof(std::size_t);
   return stats;
 }
 

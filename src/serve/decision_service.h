@@ -13,21 +13,35 @@
 //   4. emits actions: one batched deployed-actor pass for the
 //      non-defaulted sessions, the Buffer-Based mapping for the rest.
 //
-// Parallelism is persistent, not per-round: every shard beyond the first
-// owns a dedicated worker thread for the service's whole lifetime, fed
-// through a private SPSC ring of request indices plus a double-buffered
-// input slot, and woken by an epoch ticket (a per-shard submitted/
-// completed counter pair). Shard 0 always runs on the calling thread.
-// Compared with fanning a thread pool out per round, this removes every
-// piece of shared state from the round path - no global job object, no
-// common mutex, no pool-wide barrier: posting shard k's ticket touches
-// only shard k's lane, so a slow shard delays the final collection wait
-// but never the staging or execution of its peers (epoch handoff instead
-// of a round barrier). The caller still collects completions in
-// deterministic shard order before returning, and shards own disjoint
-// sessions and disjoint out[] entries, so batched decisions stay
-// bit-identical to the sequential SafeAgent loop for all three signals
-// in both defaulting modes (pinned by equivalence tests).
+// Parallelism is persistent, not per-round: every shard that is not the
+// first of its submitter group owns a dedicated worker thread for the
+// service's whole lifetime, fed through a private SPSC ring of request
+// indices plus a double-buffered input slot, and woken by an epoch ticket
+// (a per-shard submitted/completed counter pair). The first shard of each
+// group always runs on the submitting thread. Compared with fanning a
+// thread pool out per round, this removes every piece of shared state
+// from the round path - no global job object, no common mutex, no
+// pool-wide barrier: posting shard k's ticket touches only shard k's
+// lane, so a slow shard delays the final collection wait but never the
+// staging or execution of its peers (epoch handoff instead of a round
+// barrier). The submitter still collects completions in deterministic
+// shard order before returning, and shards own disjoint sessions and
+// disjoint out[] entries, so batched decisions stay bit-identical to the
+// sequential SafeAgent loop for all three signals in both defaulting
+// modes (pinned by equivalence tests).
+//
+// Submitter groups (DecisionServiceConfig::submitter_count, the sharded
+// submit path behind the multi-edge network server): the shard range is
+// partitioned into submitter_count contiguous groups and every piece of
+// per-session state - the SoA tables, open flags, duplicate-round stamps,
+// free lists - lives inside its shard's lane, so group g's submitter can
+// open / close / DecideBatchGroup its own shards while the other groups'
+// submitters do the same concurrently, with no shared mutable state
+// between them (the global round counter and active-session count are
+// single atomics). Each lane still has exactly ONE submitter, so the
+// SPSC rings and epoch tickets need no extra locking. submitter_count = 1
+// (the default) is byte-for-byte the single-submitter service described
+// above.
 //
 // Per-session state is on a strict memory budget (ROADMAP: a million
 // concurrent sessions must fit). Each shard keeps its sessions in a
@@ -50,14 +64,17 @@
 // cache hierarchy per round, the service streams ONE shared pack per
 // shard batch - plus shard parallelism on multi-core hosts.
 //
-// Thread-safety: the service synchronizes its own workers; the service
-// object itself is externally synchronized - do not call Open/Close/
-// DecideBatch concurrently from multiple threads. Open/CloseSession
-// between DecideBatch calls is safe (workers are parked); the epoch
-// ticket's release/acquire edge publishes the membership change to the
-// worker that owns the session's shard.
+// Thread-safety: the service synchronizes its own workers; each submitter
+// GROUP is externally synchronized - do not call Open*/Close/DecideBatch*
+// for the same group from multiple threads. Different groups may run
+// concurrently. Open/CloseSession between a group's DecideBatch calls is
+// safe (its workers are parked); the epoch ticket's release/acquire edge
+// publishes the membership change to the worker that owns the session's
+// shard. MemoryStats() walks every lane and requires ALL groups quiescent;
+// MemoryStatsOfGroup() needs only its own group parked.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -84,12 +101,19 @@ struct DecisionServiceConfig {
   /// Shards sessions are distributed over; each shard is one batched unit
   /// of work per DecideBatch call. Must be >= 1.
   std::size_t shard_count = 1;
-  /// Spawn one persistent worker thread per shard beyond the first (shard
-  /// 0 always runs on the calling thread, so shard_count = 1 never
-  /// spawns). false runs every shard inline on the caller - the serial
-  /// reference arm for the equivalence tests, and the right choice when
-  /// the host dedicates a single core to the service.
+  /// Spawn one persistent worker thread per shard that is not the first
+  /// of its submitter group (the first shard of each group always runs on
+  /// the submitting thread, so shard_count = submitter_count never
+  /// spawns). false runs every shard of a group inline on its submitter -
+  /// the serial reference arm for the equivalence tests, and the right
+  /// choice when the host dedicates a single core to the service.
   bool shard_workers = true;
+  /// Concurrent submitter groups (must be in [1, shard_count]). The
+  /// shards are split into this many contiguous groups; group g may be
+  /// driven by its own thread via OpenSessionOnShard / DecideBatchGroup
+  /// concurrently with the other groups. 1 = the classic single-submitter
+  /// service (OpenSession / DecideBatch).
+  std::size_t submitter_count = 1;
   /// Sessions per slab in the per-shard extractor pool (U_S only).
   std::size_t extractor_slab_slots = 256;
   /// Scratch shrink cadence: every lane_shrink_after epochs a shard lane
@@ -150,10 +174,19 @@ class DecisionService {
   ~DecisionService();
 
   /// Registers a new session (fresh defaulting state / novelty window)
-  /// and returns its id. Ids of closed sessions are recycled.
+  /// and returns its id. Ids of closed sessions are recycled (most
+  /// recently closed first). Single-submitter services only; with
+  /// submitter groups use OpenSessionOnShard so each group touches only
+  /// its own shards.
   SessionId OpenSession();
 
-  /// Tears a session down; its id becomes invalid until recycled.
+  /// Registers a new session pinned to `shard` (the sharded open path for
+  /// submitter groups; requires submitter_count > 1). Only the group that
+  /// owns `shard` may call this, from its one submitting thread.
+  SessionId OpenSessionOnShard(std::size_t shard);
+
+  /// Tears a session down; its id becomes invalid until recycled. With
+  /// submitter groups, only the owning group's submitter may close it.
   void CloseSession(SessionId id);
 
   /// Answers one decision per request. Each session may appear at most
@@ -163,20 +196,45 @@ class DecisionService {
   void DecideBatch(std::span<const Request> requests,
                    std::span<mdp::Action> out);
 
+  /// DecideBatch for one submitter group: every request's session must
+  /// live on one of the group's shards. Distinct groups may call this
+  /// concurrently; within a group, calls are externally synchronized.
+  void DecideBatchGroup(std::size_t group, std::span<const Request> requests,
+                        std::span<mdp::Action> out);
+
   /// Single-session convenience wrapper around DecideBatch.
   mdp::Action Decide(SessionId id, const mdp::State& state);
 
   const ServingModel& model() const { return *model_; }
   std::size_t ShardCount() const { return shards_.size(); }
-  /// Worker threads currently parked on shard lanes (shard_count - 1 when
-  /// shard_workers, else 0).
+  /// Worker threads currently parked on shard lanes (shard_count -
+  /// submitter_count when shard_workers, else 0).
   std::size_t WorkerCount() const { return workers_.size(); }
-  std::size_t ActiveSessionCount() const { return active_count_; }
+  std::size_t ActiveSessionCount() const {
+    return active_count_.load(std::memory_order_relaxed);
+  }
   /// The shard lane `id` routes to (stable for a session's lifetime).
   std::size_t ShardOfSession(SessionId id) const { return ShardOf(id); }
   /// DecideBatch rounds completed so far - the epoch counter replies
-  /// carry on the wire.
-  std::uint64_t RoundCount() const { return round_; }
+  /// carry on the wire. With submitter groups the counter is global:
+  /// every group's round draws the next value.
+  std::uint64_t RoundCount() const {
+    return round_.load(std::memory_order_relaxed);
+  }
+
+  // --- submitter groups --------------------------------------------------
+  std::size_t SubmitterCount() const { return config_.submitter_count; }
+  /// Shards [GroupBegin(g), GroupEnd(g)) belong to group g (contiguous,
+  /// non-empty, sizes differ by at most one).
+  std::size_t GroupBegin(std::size_t group) const {
+    const std::size_t base = shards_.size() / config_.submitter_count;
+    const std::size_t rem = shards_.size() % config_.submitter_count;
+    return group * base + (group < rem ? group : rem);
+  }
+  std::size_t GroupEnd(std::size_t group) const {
+    return GroupBegin(group + 1);
+  }
+  std::size_t GroupOfShard(std::size_t shard) const;
 
   /// Per-session introspection (id must be open).
   bool Defaulted(SessionId id) const;
@@ -184,8 +242,13 @@ class DecisionService {
   double DefaultedFraction(SessionId id) const;
 
   /// Exact capacity-byte accounting of the service's own containers.
-  /// Call between DecideBatch rounds only (walks the shard lanes).
+  /// Call only while EVERY submitter group is parked (walks all lanes).
   ServiceMemoryStats MemoryStats() const;
+
+  /// The same accounting restricted to one group's shards (its share of
+  /// the session tables, extractors, and scratch). Safe while OTHER
+  /// groups run - it reads nothing outside the group's lanes.
+  ServiceMemoryStats MemoryStatsOfGroup(std::size_t group) const;
 
   /// Adds the same accounting to `meter` under "session.hot",
   /// "session.cold", "session.rings", "session.extractors",
@@ -205,20 +268,25 @@ class DecisionService {
 
   /// Struct-of-arrays session table for one shard, indexed by local slot
   /// (id / shard_count). The epoch scan touches hot[] and rings[] only;
-  /// cold[] is introspection, extractor_of[] routes U_S sessions to their
+  /// open[] / last_round[] are the validation registry (per shard so
+  /// concurrent submitter groups never share registry storage), cold[]
+  /// is introspection, extractor_of[] routes U_S sessions to their
   /// pooled extractor (empty table for the other signals).
   struct SessionTable {
     std::vector<core::SafetyState> hot;
     std::vector<core::SafetyCold> cold;
     std::vector<double> rings;  // local slots x ring_width, packed
     std::vector<ExtractorPool::Index> extractor_of;  // U_S only
+    std::vector<std::uint8_t> open;
+    std::vector<std::uint64_t> last_round;  // duplicate-request stamps
   };
 
   /// Per-shard lane: the shard's session table and extractor pool plus
   /// scratch that persists across DecideBatch calls plus (for shards
-  /// beyond 0 under shard_workers) the handoff state its pinned worker
-  /// drains. unique_ptr in shards_ because the arena and the
-  /// synchronization members are pinned in place (non-movable).
+  /// that are not the first of their group, under shard_workers) the
+  /// handoff state its pinned worker drains. unique_ptr in shards_
+  /// because the arena and the synchronization members are pinned in
+  /// place (non-movable).
   struct ShardLane {
     ShardLane(std::size_t slab_slots, std::size_t scratch_doubles)
         : extractors(slab_slots, scratch_doubles) {}
@@ -226,6 +294,10 @@ class DecisionService {
     // --- session state owned by this shard ---
     SessionTable sessions;
     ExtractorPool extractors;  // U_S per-session extractors
+    /// Recycled local slots (multi-submitter opens; the single-submitter
+    /// path keeps its LIFO in the service-wide free_ids_ instead so id
+    /// recycling order matches the classic service exactly).
+    std::vector<std::uint32_t> free_locals;
 
     // --- scratch owned by whichever thread runs the shard ---
     util::Arena arena;        // per-epoch index/score arrays
@@ -237,12 +309,12 @@ class DecisionService {
     std::size_t peak_arena_used = 0;  // arena bytes since last shrink
     std::size_t epochs_since_shrink = 0;
 
-    // --- caller -> worker handoff (workers only) ---
+    // --- submitter -> worker handoff (workers only) ---
     util::SpscRing<std::uint32_t> ring;  // request indices for the epoch
     EpochSlot slots[2];                  // double-buffered, epoch & 1
     std::mutex mutex;
     std::condition_variable work_cv;  // worker parks here for its ticket
-    std::condition_variable done_cv;  // caller waits for completion here
+    std::condition_variable done_cv;  // submitter waits for completion
     std::uint64_t submitted = 0;      // epochs posted to this lane
     std::uint64_t completed = 0;      // epochs the worker has finished
     bool stop = false;
@@ -251,7 +323,7 @@ class DecisionService {
   void WorkerLoop(std::size_t shard);
   /// Pops `slot.count` request indices off the shard's ring into arena
   /// storage and runs the shard on them. Runs on the shard's worker (or
-  /// the caller, for shard 0 / serial mode).
+  /// the group's submitter, for group-first shards / serial mode).
   void DrainEpoch(std::size_t shard, const EpochSlot& slot);
   /// Scores and answers one shard's slice of the round. `idx` lists the
   /// shard's request indices in caller order.
@@ -262,26 +334,42 @@ class DecisionService {
   /// beyond 2x the recent need. Runs on the lane's owning thread at the
   /// end of DrainEpoch.
   void MaybeShrinkLane(ShardLane& lane, std::size_t count);
+  /// Initializes slot `local` of `shard` as a fresh session and returns
+  /// its id (shared tail of both open paths).
+  SessionId InitSession(std::size_t shard, std::size_t local);
   std::size_t ShardOf(SessionId id) const { return id % shards_.size(); }
   std::size_t LocalOf(SessionId id) const { return id / shards_.size(); }
+  bool IsOpen(SessionId id) const {
+    const SessionTable& table = shards_[ShardOf(id)]->sessions;
+    const std::size_t local = LocalOf(id);
+    return local < table.open.size() && table.open[local] != 0;
+  }
   void CheckOpen(SessionId id) const;
+  /// Accumulates lane `shard`'s containers into `stats`.
+  void AccumulateLane(std::size_t shard, ServiceMemoryStats& stats) const;
 
   std::shared_ptr<const ServingModel> model_;
   DecisionServiceConfig config_;
   std::vector<std::unique_ptr<ShardLane>> shards_;
-  std::vector<std::thread> workers_;  // workers_[i] drains shard i + 1
+  std::vector<std::thread> workers_;
+  std::vector<std::size_t> worker_shards_;  // shard drained by workers_[i]
 
-  // Slot registry (slot-indexed, spanning all shards). last_round_ is the
-  // duplicate-request guard: DecideBatch stamps each session with the
-  // round number and rejects a second appearance.
-  std::vector<std::uint64_t> last_round_;
-  std::vector<std::uint8_t> open_;
-  std::vector<SessionId> free_slots_;
-  std::size_t active_count_ = 0;
+  // Single-submitter id allocation (OpenSession): LIFO recycling across
+  // all shards plus a sequential high-water counter - the classic
+  // allocation order the recycling tests pin. Multi-submitter services
+  // allocate per shard (ShardLane::free_locals) instead and leave these
+  // untouched.
+  std::vector<SessionId> free_ids_;
+  SessionId next_id_ = 0;
+
+  std::atomic<std::size_t> active_count_{0};
   std::size_t ring_width_ = 0;        // trigger-ring doubles per session
   std::size_t extractor_doubles_ = 0;  // slab scratch per U_S session
-  std::vector<std::size_t> shard_counts_;  // per-round routing scratch
-  std::uint64_t round_ = 0;
+  /// Per-group routing scratch: group_counts_[g][s - GroupBegin(g)] is
+  /// the per-shard request count of group g's current round. Separate
+  /// allocations per group, so concurrent rounds never share storage.
+  std::vector<std::vector<std::size_t>> group_counts_;
+  std::atomic<std::uint64_t> round_{0};
 };
 
 }  // namespace osap::serve

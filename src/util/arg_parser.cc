@@ -53,6 +53,10 @@ void ArgParser::AddPositionalImpl(const std::string& name,
   OSAP_REQUIRE(!required || positionals_.empty() ||
                    positionals_.back().required,
                "ArgParser: required positional after an optional one");
+  for (const Positional& p : positionals_) {
+    OSAP_REQUIRE(p.name != name,
+                 "ArgParser: duplicate positional registration");
+  }
   positionals_.push_back({name, help, required, std::move(set)});
 }
 
@@ -61,6 +65,11 @@ void ArgParser::AddOptionImpl(const std::string& name,
                               const std::string& help, Setter set) {
   OSAP_REQUIRE(name.size() > 2 && name[0] == '-' && name[1] == '-',
                "ArgParser: option names start with --");
+  // Loud failure at setup: a re-registered name would silently shadow
+  // the earlier binding (Parse matches the first entry).
+  for (const Option& o : options_) {
+    OSAP_REQUIRE(o.name != name, "ArgParser: duplicate option registration");
+  }
   options_.push_back({name, value_name, help, std::move(set)});
 }
 

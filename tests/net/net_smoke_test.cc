@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <latch>
 #include <thread>
 #include <vector>
 
@@ -132,6 +133,122 @@ TEST(NetSmoke, AbruptDisconnectReapsSessions) {
   EXPECT_EQ(stats.open_sessions, 1u);
   EXPECT_EQ(stats.connections, 1u);
   survivor.CloseSession(session);
+}
+
+// Four SO_REUSEPORT edge threads under concurrent client flood (the
+// --edge-threads 4 TSan smoke): every status path fires - OK, BUSY (lane
+// marks against pipelined duplicate bursts), FULL (more opens than
+// max_sessions, held open across a latch so the attempts overlap) and
+// ERROR (steps on bogus sessions) - and afterwards the aggregated
+// per-edge counters match the client-side tallies exactly. The
+// accounting invariant is the point: ok + busy + full + error ==
+// requests sent, nothing dropped, nothing double-counted, across edges.
+TEST(NetSmoke, MultiEdgeFloodAccountsEveryReply) {
+  const NetWorld& w = SharedNetWorld();
+  const auto model = NetModelFor(w, serve::Signal::kAgentEnsemble,
+                                 core::DefaultingMode::kRevocable);
+  NetServerConfig cfg;
+  cfg.edge_threads = 4;
+  cfg.max_sessions = 8;
+  cfg.lane_high_water = 2;
+  cfg.pause_reads_above = 0;
+  cfg.service.shard_count = 4;
+  cfg.service.shard_workers = false;  // edges are the parallelism here
+  ServerRunner server(model, cfg);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kOpensEach = 3;
+  std::vector<double> state(model->InputSize(), 0.5);
+  std::atomic<std::size_t> ok_steps{0};
+  std::atomic<std::size_t> busy{0};
+  std::atomic<std::size_t> full{0};
+  std::atomic<std::size_t> errors{0};
+  std::atomic<std::size_t> failures{0};
+  // All opens complete before any session closes, so the 12 attempts
+  // genuinely contend for the 8 slots. (The gate reads the active count
+  // per edge, so racing edges can briefly over-admit; the tallies still
+  // balance, which is what this smoke pins.)
+  std::latch opens_done(kThreads);
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        Client client;
+        client.Connect("127.0.0.1", server.Port());
+        std::uint64_t rid = (t + 1) << 20;
+        std::vector<std::uint64_t> sessions;
+        for (std::size_t i = 0; i < kOpensEach; ++i) {
+          client.SendOpen(++rid);
+          client.Flush();
+          Reply reply;
+          ASSERT_TRUE(client.ReadReply(reply));
+          if (reply.status == Status::kOk) {
+            sessions.push_back(reply.session_id);
+          } else {
+            ASSERT_EQ(reply.status, Status::kFull);
+            full.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        opens_done.arrive_and_wait();
+
+        // Pipelined duplicate bursts per session: the per-lane mark of 2
+        // BUSYs the tail of each burst when it parses in one chunk.
+        for (std::uint64_t session : sessions) {
+          for (int round = 0; round < 2; ++round) {
+            for (int i = 0; i < 4; ++i) {
+              client.SendStep(++rid, session, state);
+            }
+            client.Flush();
+            for (int i = 0; i < 4; ++i) {
+              Reply reply;
+              ASSERT_TRUE(client.ReadReply(reply));
+              ASSERT_TRUE(reply.status == Status::kOk ||
+                          reply.status == Status::kBusy);
+              if (reply.status == Status::kOk) {
+                ok_steps.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                busy.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          }
+        }
+        // One guaranteed error per thread: a STEP on a session that was
+        // never opened anywhere.
+        client.SendStep(++rid, (std::uint64_t{1} << 40) + t, state);
+        client.Flush();
+        Reply reply;
+        ASSERT_TRUE(client.ReadReply(reply));
+        ASSERT_EQ(reply.status, Status::kError);
+        errors.fetch_add(1, std::memory_order_relaxed);
+
+        for (std::uint64_t session : sessions) client.CloseSession(session);
+        client.Close();
+      } catch (const std::exception&) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(ok_steps.load(), 0u);
+  EXPECT_GE(full.load(), 1u) << "12 held-open attempts against a cap of 8";
+  EXPECT_EQ(errors.load(), kThreads);
+
+  // Every client-side tally shows up in the summed per-edge counters
+  // exactly; every session was closed over the wire before its client
+  // disconnected, so the service is empty again.
+  Client probe;
+  probe.Connect("127.0.0.1", server.Port());
+  const ServerStats stats = probe.Stats();
+  EXPECT_EQ(stats.decided, ok_steps.load());
+  EXPECT_EQ(stats.busy, busy.load());
+  EXPECT_EQ(stats.rejected_opens, full.load());
+  EXPECT_EQ(stats.errors, errors.load());
+  EXPECT_EQ(stats.open_sessions, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  probe.Close();
 }
 
 }  // namespace

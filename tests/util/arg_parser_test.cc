@@ -1,0 +1,85 @@
+#include "util/arg_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace osap::util {
+namespace {
+
+std::vector<char*> Argv(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(ArgParserTest, ParsesPositionalsFlagsAndOptions) {
+  ArgParser parser("tool");
+  std::string signal;
+  std::size_t sessions = 7;
+  std::size_t shards = 1;
+  bool verbose = false;
+  parser.AddPositional("signal", "which signal", &signal);
+  parser.AddOptionalPositional("sessions", "viewer count", &sessions);
+  parser.AddOption("--shards", "N", "shard count", &shards);
+  parser.AddFlag("--verbose", "chatty", &verbose);
+
+  std::vector<std::string> args = {"tool", "us", "64", "--shards=3",
+                                   "--verbose"};
+  std::vector<char*> argv = Argv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(signal, "us");
+  EXPECT_EQ(sessions, 64u);
+  EXPECT_EQ(shards, 3u);
+  EXPECT_TRUE(verbose);
+}
+
+TEST(ArgParserTest, DuplicateOptionRegistrationThrows) {
+  ArgParser parser("tool");
+  std::size_t a = 0;
+  std::size_t b = 0;
+  parser.AddOption("--shards", "N", "shard count", &a);
+  // Silent shadowing bug this guards against: the second registration
+  // would never receive a value (Parse binds the first match).
+  EXPECT_THROW(parser.AddOption("--shards", "N", "again", &b),
+               std::invalid_argument);
+}
+
+TEST(ArgParserTest, DuplicateFlagRegistrationThrows) {
+  ArgParser parser("tool");
+  bool a = false;
+  std::string b;
+  parser.AddFlag("--fast", "go fast", &a);
+  // A flag and a valued option share the option namespace.
+  EXPECT_THROW(parser.AddOption("--fast", "N", "valued twin", &b),
+               std::invalid_argument);
+}
+
+TEST(ArgParserTest, DuplicatePositionalRegistrationThrows) {
+  ArgParser parser("tool");
+  std::string a;
+  std::string b;
+  parser.AddPositional("signal", "first", &a);
+  EXPECT_THROW(parser.AddPositional("signal", "second", &b),
+               std::invalid_argument);
+}
+
+TEST(ArgParserTest, DistinctNamesStillRegister) {
+  ArgParser parser("tool");
+  std::size_t shards = 0;
+  std::size_t edges = 0;
+  parser.AddOption("--shards", "N", "shard count", &shards);
+  parser.AddOption("--edge-threads", "N", "edge loops", &edges);
+  std::vector<std::string> args = {"tool", "--shards", "4",
+                                   "--edge-threads", "2"};
+  std::vector<char*> argv = Argv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(shards, 4u);
+  EXPECT_EQ(edges, 2u);
+}
+
+}  // namespace
+}  // namespace osap::util

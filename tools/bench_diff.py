@@ -104,6 +104,13 @@ def main() -> int:
         "a gate pin a subset (e.g. ':(bytes_per_session|rss_mb)') of a "
         "combined sidecar",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the available entry names (after --select filtering) "
+        "of the fresh sidecar and the baseline instead of diffing; handy "
+        "for composing --select patterns against a combined sidecar",
+    )
     args = parser.parse_args()
     if args.fail_above is not None:
         if args.fail_above < 0:
@@ -128,6 +135,17 @@ def main() -> int:
             sys.exit(f"bench_diff: bad --select regex: {e}")
         fresh = {k: v for k, v in fresh.items() if pattern.search(k)}
         baseline = {k: v for k, v in baseline.items() if pattern.search(k)}
+
+    if args.list:
+        # Enumeration mode: show what a gate's --select would see. Never
+        # fails - an empty selection is exactly what the caller is
+        # debugging.
+        for label, entries in (("fresh", fresh), ("baseline", baseline)):
+            print(f"{label}: {len(entries)} entr"
+                  f"{'y' if len(entries) == 1 else 'ies'}")
+            for name in sorted(entries):
+                print(f"  {name}")
+        return 0
 
     common = sorted(fresh.keys() & baseline.keys())
     added = sorted(fresh.keys() - baseline.keys())

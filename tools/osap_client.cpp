@@ -1,12 +1,29 @@
 // osap_client: open-loop load generator for the network edge.
 //
-// Drives an `osap_serve --listen` server over N TCP connections, each
-// carrying an equal share of the session population. Every session is a
-// real ABR viewer: a local AbrEnvironment streams one of the six
-// datasets' held-out test traces (dataset i % 6, mixing ID and OOD), the
-// server's decision drives the environment forward, and finished
-// sessions reopen on the dataset's next trace so the population stays
-// constant.
+// Drives an `osap_serve --listen` server over N TCP connections (one
+// worker thread each - with a SO_REUSEPORT multi-edge server every
+// connection lands on some edge's listener), each carrying an equal
+// share of the session population.
+//
+// Two session modes:
+//
+//   default        Every session is a real ABR viewer: a local
+//                  AbrEnvironment streams one of the six datasets'
+//                  held-out test traces (dataset i % 6, mixing ID and
+//                  OOD), the server's decision drives the environment
+//                  forward, and finished sessions reopen on the next
+//                  trace so the population stays constant. ~6 KB of
+//                  client memory per session.
+//
+//   --replay K     The million-session mode: K state SEQUENCES are
+//                  recorded up front from real environments (same
+//                  dataset mix, fixed action), shared read-only by every
+//                  session - session i replays sequence i % K. A live
+//                  session is then just an id (8 bytes), so the CLIENT
+//                  fits 100k-1M open sessions while the server still
+//                  sees distinct sessions with well-formed, distinct
+//                  state streams. Opens and closes are pipelined in
+//                  bursts; decisions do not feed back into the states.
 //
 // The arrival process is OPEN-LOOP: step r of every session is scheduled
 // at t0 + r * sessions/RATE (an aggregate RATE decisions/s across the
@@ -14,21 +31,21 @@
 // SCHEDULED send time - a server that falls behind accrues queueing
 // delay in the reported percentiles instead of silently slowing the
 // arrival clock down (no coordinated omission). Within a connection a
-// round's STEPs are pipelined (one flush, then one read per reply).
+// round's STEPs are pipelined (flushed and collected in bounded chunks,
+// so a million-session round cannot grow an unbounded write buffer).
 //
 // BUSY replies leave the viewer where it is (the same state is resent
-// next round) and are counted separately; any ERROR status or transport
-// failure counts as a protocol error. Exit status is nonzero when any
-// protocol error occurred.
+// next round in default mode) and are counted separately; any ERROR
+// status or transport failure counts as a protocol error. Exit status is
+// nonzero when any protocol error occurred.
 //
 // Usage:
-//   osap_client <host> <port> [--connections N] [--sessions N]
-//               [--rate RATE] [--rounds N]
+//   osap_client <host> <port> [--threads N | --connections N]
+//               [--sessions N] [--rate RATE] [--rounds N] [--replay K]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +54,7 @@
 #include "net/client.h"
 #include "traces/dataset.h"
 #include "util/arg_parser.h"
+#include "util/memory_meter.h"
 
 using namespace osap;
 
@@ -44,7 +62,7 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// One concurrent viewer driven over the wire.
+/// One concurrent viewer driven over the wire (default mode).
 struct Viewer {
   explicit Viewer(abr::AbrEnvironment e) : env(std::move(e)) {}
   abr::AbrEnvironment env;
@@ -60,12 +78,77 @@ struct WorkerResult {
   std::uint64_t busy = 0;
   std::uint64_t errors = 0;
   std::uint64_t completed_sessions = 0;
+  std::uint64_t open_sessions = 0;  // replay mode: opened on this conn
 };
 
 double Quantile(const std::vector<double>& sorted, double q) {
   const std::size_t idx = static_cast<std::size_t>(
       q * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Replay mode's shared state pool: `k` sequences of up to `len` states
+/// each, recorded by streaming real test traces under a fixed action
+/// (the recorded states are well-formed inputs; what the server decides
+/// about them never feeds back). Read-only after construction.
+std::vector<std::vector<mdp::State>> RecordSequences(
+    const std::vector<traces::Dataset>& datasets, std::size_t k,
+    std::size_t len) {
+  std::vector<std::vector<mdp::State>> sequences;
+  sequences.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    const traces::Dataset& dataset = datasets[s % datasets.size()];
+    const auto& tests = dataset.test;
+    std::size_t trace = (s / datasets.size()) % tests.size();
+    abr::AbrEnvironment env(abr::MakeEnvivioLikeVideo(5), {});
+    env.SetFixedTrace(tests[trace]);
+    std::vector<mdp::State> seq;
+    seq.reserve(len);
+    mdp::State state = env.Reset();
+    while (seq.size() < len) {
+      seq.push_back(state);
+      mdp::StepResult r = env.Step(0);
+      if (r.done) {
+        trace = (trace + 1) % tests.size();
+        env.SetFixedTrace(tests[trace]);
+        state = env.Reset();
+      } else {
+        state = std::move(r.next_state);
+      }
+    }
+    sequences.push_back(std::move(seq));
+  }
+  return sequences;
+}
+
+/// Pipelined burst of OPEN_SESSIONs; non-OK opens count as errors and
+/// leave the population smaller. Returns the granted session ids.
+std::vector<std::uint64_t> OpenBurst(net::Client& client, std::size_t count,
+                                     WorkerResult& res) {
+  constexpr std::size_t kBurst = 1024;
+  std::vector<std::uint64_t> sessions;
+  sessions.reserve(count);
+  std::uint64_t rid = 0;
+  std::size_t opened = 0;
+  while (opened < count) {
+    const std::size_t burst = std::min(kBurst, count - opened);
+    for (std::size_t i = 0; i < burst; ++i) client.SendOpen(++rid);
+    client.Flush();
+    for (std::size_t i = 0; i < burst; ++i) {
+      net::Reply reply;
+      if (!client.ReadReply(reply)) {
+        throw std::runtime_error("server closed during session opens");
+      }
+      if (reply.status == net::Status::kOk) {
+        sessions.push_back(reply.session_id);
+      } else {
+        ++res.errors;  // kFull against the sweep's population is a misrun
+      }
+    }
+    opened += burst;
+  }
+  res.open_sessions = sessions.size();
+  return sessions;
 }
 
 }  // namespace
@@ -77,6 +160,7 @@ int main(int argc, char** argv) {
   std::size_t sessions = 64;
   double rate = 1000.0;  // aggregate decisions/s over the population
   std::size_t rounds = 200;
+  std::size_t replay = 0;  // 0 = full per-session environments
 
   util::ArgParser parser(
       "osap_client",
@@ -86,6 +170,10 @@ int main(int argc, char** argv) {
   parser.AddPositional("host", "server address (e.g. 127.0.0.1)", &host);
   parser.AddPositional("port", "server port", &port);
   parser.AddOption("--connections", "N", "TCP connections (default 4)",
+                   &connections);
+  parser.AddOption("--threads", "N",
+                   "worker threads, one connection each (synonym for "
+                   "--connections; pairs with the server's --edge-threads)",
                    &connections);
   parser.AddOption("--sessions", "N",
                    "total concurrent sessions across all connections "
@@ -97,6 +185,11 @@ int main(int argc, char** argv) {
                    &rate);
   parser.AddOption("--rounds", "N",
                    "steps scheduled per session (default 200)", &rounds);
+  parser.AddOption("--replay", "K",
+                   "share K recorded state sequences across all sessions "
+                   "instead of one environment per session (the 100k-1M "
+                   "session mode); 0 = full environments (default)",
+                   &replay);
   if (!parser.Parse(argc, argv)) parser.ExitWithError();
   if (parser.HelpRequested()) parser.ExitWithHelp();
   if (port == 0 || port > 65535) {
@@ -119,15 +212,24 @@ int main(int argc, char** argv) {
     datasets.push_back(traces::BuildDataset(id));
   }
 
+  // Replay pool: recorded once, shared read-only by every worker. Long
+  // runs cycle the sequences (round r sends state r % length).
+  std::vector<std::vector<mdp::State>> sequences;
+  if (replay > 0) {
+    sequences = RecordSequences(datasets, replay, std::min<std::size_t>(
+                                                      rounds, 256));
+  }
+
   // One round steps every session once: with an aggregate arrival rate of
   // RATE decisions/s, round r of every session is scheduled at
   // t0 + r * sessions/RATE.
   const double round_interval_s = static_cast<double>(sessions) / rate;
   std::printf("osap_client: %zu sessions over %zu connections -> %s:%zu, "
               "%zu rounds, open-loop %.0f decisions/s "
-              "(round every %.2f ms)\n",
+              "(round every %.2f ms)%s\n",
               sessions, connections, host.c_str(), port, rounds, rate,
-              round_interval_s * 1e3);
+              round_interval_s * 1e3,
+              replay > 0 ? ", replay mode" : "");
 
   std::vector<WorkerResult> results(connections);
   const auto t0 = Clock::now() + std::chrono::milliseconds(50);
@@ -148,6 +250,76 @@ int main(int argc, char** argv) {
         res.errors += local_count * rounds;
         return;
       }
+
+      if (replay > 0) {
+        // --- replay mode: sessions are ids over shared sequences -------
+        try {
+          const std::vector<std::uint64_t> ids =
+              OpenBurst(client, local_count, res);
+          res.latency_us.reserve(ids.size() * rounds);
+          // STEP bursts are chunked: a million-session round pipelined in
+          // one flush would grow the write buffer (and the server's reply
+          // queue) without bound; 4096-frame chunks bound both while
+          // keeping the wire full.
+          constexpr std::size_t kChunk = 4096;
+          std::uint64_t rid = 1 << 20;
+          for (std::size_t round = 0; round < rounds; ++round) {
+            const auto scheduled =
+                t0 + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             static_cast<double>(round) * round_interval_s));
+            std::this_thread::sleep_until(scheduled);
+            for (std::size_t base = 0; base < ids.size(); base += kChunk) {
+              const std::size_t n = std::min(kChunk, ids.size() - base);
+              for (std::size_t v = 0; v < n; ++v) {
+                const std::size_t global = w + (base + v) * connections;
+                const auto& seq = sequences[global % sequences.size()];
+                client.SendStep(++rid, ids[base + v],
+                                seq[round % seq.size()]);
+              }
+              client.Flush();
+              for (std::size_t v = 0; v < n; ++v) {
+                net::Reply reply;
+                if (!client.ReadReply(reply)) {
+                  throw std::runtime_error("server closed the connection");
+                }
+                res.latency_us.push_back(
+                    std::chrono::duration<double, std::micro>(Clock::now() -
+                                                              scheduled)
+                        .count());
+                if (reply.status == net::Status::kOk) {
+                  ++res.ok;
+                } else if (reply.status == net::Status::kBusy) {
+                  ++res.busy;
+                } else {
+                  ++res.errors;
+                }
+              }
+            }
+          }
+          // Pipelined close of the whole population.
+          for (std::size_t base = 0; base < ids.size(); base += kChunk) {
+            const std::size_t n = std::min(kChunk, ids.size() - base);
+            for (std::size_t v = 0; v < n; ++v) {
+              client.SendClose(++rid, ids[base + v]);
+            }
+            client.Flush();
+            for (std::size_t v = 0; v < n; ++v) {
+              net::Reply reply;
+              if (!client.ReadReply(reply)) {
+                throw std::runtime_error("server closed during closes");
+              }
+              if (reply.status != net::Status::kOk) ++res.errors;
+            }
+          }
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "osap_client: %s\n", e.what());
+          ++res.errors;
+        }
+        return;
+      }
+
+      // --- default mode: one real environment per session --------------
       abr::AbrEnvironmentConfig env_cfg;
       std::vector<Viewer> viewers;
       viewers.reserve(local_count);
@@ -170,6 +342,7 @@ int main(int argc, char** argv) {
         res.errors += local_count * rounds;
         return;
       }
+      res.open_sessions = viewers.size();
       res.latency_us.reserve(local_count * rounds);
       std::vector<std::uint64_t> request_of(viewers.size());
       try {
@@ -243,6 +416,7 @@ int main(int argc, char** argv) {
   std::uint64_t busy = 0;
   std::uint64_t errors = 0;
   std::uint64_t completed = 0;
+  std::uint64_t opened = 0;
   for (const WorkerResult& res : results) {
     latency.insert(latency.end(), res.latency_us.begin(),
                    res.latency_us.end());
@@ -250,6 +424,7 @@ int main(int argc, char** argv) {
     busy += res.busy;
     errors += res.errors;
     completed += res.completed_sessions;
+    opened += res.open_sessions;
   }
   if (latency.empty()) {
     std::fprintf(stderr, "osap_client: no replies received\n");
@@ -257,16 +432,24 @@ int main(int argc, char** argv) {
   }
   std::sort(latency.begin(), latency.end());
   std::printf("\n%llu ok, %llu busy, %llu protocol errors, "
-              "%llu sessions completed in %.1f s "
+              "%llu sessions open%s, %llu completed in %.1f s "
               "(%.0f decisions/s achieved)\n",
               static_cast<unsigned long long>(ok),
               static_cast<unsigned long long>(busy),
               static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(opened),
+              replay > 0 ? " (replay)" : "",
               static_cast<unsigned long long>(completed), wall_s,
               static_cast<double>(ok) / wall_s);
   std::printf("latency from scheduled send: p50 %.0f us  p99 %.0f us  "
               "p999 %.0f us  max %.0f us\n",
               Quantile(latency, 0.50), Quantile(latency, 0.99),
               Quantile(latency, 0.999), latency.back());
+  // The client's own footprint matters in replay mode: 1M sessions must
+  // fit beside the server on one host (the latency sample buffer
+  // dominates - sessions themselves are 8 bytes each).
+  const std::size_t rss_now = util::CurrentRssBytes();
+  std::printf("client RSS: %.1f MiB\n",
+              static_cast<double>(rss_now) / (1024.0 * 1024.0));
   return errors == 0 ? 0 : 1;
 }

@@ -13,8 +13,9 @@
 //   osap_serve <us|upi|uv> [sessions] [rounds] [shards]
 //              [--sessions N] [--rounds N] [--shards N]
 //              [--open-loop RATE] [--revocable]
-//   osap_serve <us|upi|uv> --listen PORT [--shards N] [--revocable]
-//              [--max-in-flight N] [--lane-high-water N] [--max-sessions N]
+//   osap_serve <us|upi|uv> --listen PORT [--shards N] [--edge-threads N]
+//              [--revocable] [--max-in-flight N] [--lane-high-water N]
+//              [--max-sessions N]
 //
 // Defaults: 1000 sessions, 2000 rounds, 4 shards, permanent defaulting,
 // closed-loop (rounds issue back to back). With --open-loop RATE the tool
@@ -29,7 +30,10 @@
 // With --listen PORT the tool is instead the network-edge server
 // (DESIGN.md §10): it binds the port (0 picks an ephemeral one, printed
 // on stdout), serves the binary protocol until SIGINT/SIGTERM, then
-// prints the edge counters. Drive it with tools/osap_client.
+// prints the edge counters and the process RSS. --edge-threads N runs N
+// independent SO_REUSEPORT event loops, each owning a contiguous group
+// of the service's shards (requires shards >= N). Drive it with
+// tools/osap_client.
 //
 // Reports aggregate decisions/sec, round latency percentiles
 // (p50/p99/p999), the service's exact per-session byte accounting, the
@@ -160,6 +164,7 @@ int main(int argc, char** argv) {
   std::size_t max_in_flight = 64 * 1024;
   std::size_t lane_high_water = 16 * 1024;
   std::size_t max_sessions = 1 << 20;
+  std::size_t edge_threads = 1;
 
   util::ArgParser parser(
       "osap_serve",
@@ -194,6 +199,10 @@ int main(int argc, char** argv) {
                    &lane_high_water);
   parser.AddOption("--max-sessions", "N",
                    "server mode: FULL past N open sessions", &max_sessions);
+  parser.AddOption("--edge-threads", "N",
+                   "server mode: independent SO_REUSEPORT event-loop "
+                   "threads, each owning shards/N lanes (default 1)",
+                   &edge_threads);
   if (!parser.Parse(argc, argv)) parser.ExitWithError();
   if (parser.HelpRequested()) parser.ExitWithHelp();
   const core::Scheme scheme = ParseSignal(signal_name, parser);
@@ -206,6 +215,12 @@ int main(int argc, char** argv) {
   }
   if (listen_port != kNoListen && listen_port > 65535) {
     std::fprintf(stderr, "osap_serve: --listen PORT must be <= 65535\n");
+    return 2;
+  }
+  if (edge_threads == 0 || edge_threads > shards) {
+    std::fprintf(stderr,
+                 "osap_serve: need 1 <= --edge-threads <= --shards "
+                 "(one shard lane per edge minimum)\n");
     return 2;
   }
 
@@ -224,25 +239,33 @@ int main(int argc, char** argv) {
     net_cfg.max_in_flight = max_in_flight;
     net_cfg.lane_high_water = lane_high_water;
     net_cfg.max_sessions = max_sessions;
+    net_cfg.edge_threads = edge_threads;
     net_cfg.service.shard_count = shards;
     net::NetServer server(model, net_cfg);
     server.Start();
     g_server = &server;
     std::signal(SIGINT, HandleSignal);
     std::signal(SIGTERM, HandleSignal);
-    std::printf("osap_serve: %s, %zu shard(s), listening on port %u\n",
-                signal_name.c_str(), shards, server.Port());
+    std::printf("osap_serve: %s, %zu shard(s), %zu edge(s), "
+                "listening on port %u\n",
+                signal_name.c_str(), shards, edge_threads, server.Port());
     std::fflush(stdout);
     server.Run();
     g_server = nullptr;
     const net::ServerStats s = server.Stats();
     std::printf("\nshutdown: %llu decided, %llu busy, %llu rejected opens, "
-                "%llu epochs, %llu sessions open\n",
+                "%llu errors, %llu epochs, %llu sessions open\n",
                 static_cast<unsigned long long>(s.decided),
                 static_cast<unsigned long long>(s.busy),
                 static_cast<unsigned long long>(s.rejected_opens),
+                static_cast<unsigned long long>(s.errors),
                 static_cast<unsigned long long>(s.epochs),
                 static_cast<unsigned long long>(s.open_sessions));
+    const std::size_t rss_now = util::CurrentRssBytes();
+    const std::size_t rss_peak = std::max(rss_now, util::PeakRssBytes());
+    std::printf("process RSS: %.1f MiB now, %.1f MiB peak\n",
+                static_cast<double>(rss_now) / (1024.0 * 1024.0),
+                static_cast<double>(rss_peak) / (1024.0 * 1024.0));
     return 0;
   }
 
