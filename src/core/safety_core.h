@@ -76,21 +76,34 @@ inline std::size_t SafetyRingDoubles(const SafeAgentConfig& config) {
              : 0;
 }
 
-/// One decision step of the defaulting state machine: feeds `score`
-/// through the trigger (DefaultTrigger::Update semantics, with the
-/// sliding window living in `ring`) and the defaulting/revocation logic.
-/// `ring` must hold SafetyRingDoubles(config) doubles (may be null for
-/// the binary trigger). Returns true when this step's action must come
-/// from the default policy. `config` must be validated.
-inline bool SafetyObserve(const SafeAgentConfig& config, SafetyState& state,
-                          SafetyCold& cold, double* ring, double score) {
+/// One decision step of the defaulting state machine with an explicit
+/// trigger threshold: feeds `score` through the trigger
+/// (DefaultTrigger::Update semantics, with the sliding window living in
+/// `ring`) and the defaulting/revocation logic, comparing against
+/// `alpha` instead of the threshold baked into `config` (for the binary
+/// trigger, `alpha` replaces the fixed 0.5 score cut). When
+/// `statistic_out` is non-null, the trigger statistic actually compared
+/// this step (the full-window variance, or the raw score for the binary
+/// trigger) is written to it; it is left untouched on warm-up steps
+/// whose window is not yet full. This is the online-calibration entry
+/// point: the serving path reads `alpha` from an atomic snapshot and
+/// feeds `*statistic_out` to its per-shard quantile sketch
+/// (DESIGN.md §11). `ring` must hold SafetyRingDoubles(config) doubles
+/// (may be null for the binary trigger). Returns true when this step's
+/// action must come from the default policy. `config` must be
+/// validated.
+inline bool SafetyObserveLive(const SafeAgentConfig& config,
+                              SafetyState& state, SafetyCold& cold,
+                              double* ring, double score, double alpha,
+                              double* statistic_out) {
   // Trigger half: replicates DefaultTrigger::Update (and the
   // SlidingWindowStats push/variance arithmetic it wraps) operation for
   // operation - the float story must match the sequential path exactly.
   bool uncertain = false;
   switch (config.trigger.mode) {
     case TriggerMode::kBinary:
-      uncertain = score >= 0.5;
+      uncertain = score >= alpha;
+      if (statistic_out != nullptr) *statistic_out = score;
       break;
     case TriggerMode::kWindowVariance: {
       const auto k = static_cast<std::uint32_t>(config.trigger.k);
@@ -112,7 +125,8 @@ inline bool SafetyObserve(const SafeAgentConfig& config, SafetyState& state,
         const double m = state.win_sum / n;
         // Guard against tiny negative values from cancellation.
         const double variance = std::max(0.0, state.win_sq / n - m * m);
-        uncertain = variance > config.trigger.alpha;
+        uncertain = variance > alpha;
+        if (statistic_out != nullptr) *statistic_out = variance;
       }
       break;
     }
@@ -147,6 +161,18 @@ inline bool SafetyObserve(const SafeAgentConfig& config, SafetyState& state,
     return true;
   }
   return false;
+}
+
+/// One decision step at the config's own threshold (the fixed 0.5 score
+/// cut for the binary trigger, `config.trigger.alpha` for the variance
+/// trigger). The bit-pinned reference arm every equivalence test runs.
+inline bool SafetyObserve(const SafeAgentConfig& config, SafetyState& state,
+                          SafetyCold& cold, double* ring, double score) {
+  return SafetyObserveLive(
+      config, state, cold, ring, score,
+      config.trigger.mode == TriggerMode::kBinary ? 0.5
+                                                  : config.trigger.alpha,
+      nullptr);
 }
 
 class SafetyCore {

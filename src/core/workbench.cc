@@ -1,10 +1,12 @@
 #include "core/workbench.h"
 
+#include <algorithm>
 #include <fstream>
 #include <limits>
 #include <optional>
 #include <sstream>
 
+#include "core/conformal.h"
 #include "core/normalization.h"
 #include "core/replay_calibration.h"
 #include "mdp/rollout.h"
@@ -134,6 +136,12 @@ std::string Workbench::CacheKey() const {
     os << "|rpu" << config_.a2c.rollouts_per_update;
   }
   if (config_.value_train.parallel_collection) os << "|pvc1";
+  // Conformal threshold selection changes the cached alphas, so it keys
+  // the bundle; the bisection default keeps its pre-existing key.
+  if (config_.conformal_calibration) {
+    os << "|conf" << config_.conformal_miscoverage << ':'
+       << config_.conformal_refine_radius;
+  }
   std::ostringstream key;
   key << std::hex << Fnv1a(os.str());
   return key.str();
@@ -532,16 +540,48 @@ void Workbench::CalibrateOrLoadThresholds(TrainedBundle& bundle) {
       -> double {
     if (replay.has_value()) {
       replay->ScoreWith(make_estimator);
-      const double hi = replay->MaxFullWindowVariance();
-      if (hi <= 0.0) return 0.0;  // signal never varies: any alpha works
       const auto qoe_at = [&](double alpha) {
         return replay->MeanQoeAt(alpha);
       };
+      if (config_.conformal_calibration) {
+        // Conformal-batch selection (DESIGN.md §11): one scan for the
+        // per-session never-trigger scores, one order statistic, and at
+        // most 2 * refine_radius + 1 QoE probes against the ND target —
+        // no bisection.
+        std::vector<double> scores = SessionNonconformities(
+            replay->Sessions(), config_.trigger_k, config_.trigger_l);
+        const double n1 = static_cast<double>(scores.size() + 1);
+        ConformalConfig conformal;
+        conformal.refine_radius = config_.conformal_refine_radius;
+        // Same stop rule as the bisection: quit refining once a probe
+        // matches the ND target within the calibration tolerance.
+        conformal.tolerance = config_.calibration.tolerance;
+        conformal.miscoverage = std::clamp(
+            config_.conformal_miscoverage > 0.0
+                ? config_.conformal_miscoverage
+                : BinaryTriggerRate(replay->Sessions(), config_.trigger_l),
+            1.0 / n1, 1.0 - 1.0 / n1);
+        const ConformalResult result =
+            conformal.refine_radius == 0
+                ? ConformalAlpha(std::move(scores), conformal)
+                : ConformalAlphaMatchingQoe(std::move(scores), conformal,
+                                            qoe_at, bundle.nd_in_dist_qoe);
+        OSAP_LOG(kInfo) << "[" << traces::DatasetName(bundle.id)
+                        << "] conformal alpha " << result.alpha << " (rank "
+                        << result.rank << "/" << result.sessions
+                        << ", miscoverage " << result.miscoverage << ", "
+                        << result.evaluations << " QoE probes)";
+        return result.alpha;
+      }
+      const double hi = replay->MaxFullWindowVariance();
+      if (hi <= 0.0) return 0.0;  // signal never varies: any alpha works
       const CalibrationResult result = CalibrateAlpha(
           qoe_at, bundle.nd_in_dist_qoe, 0.0, hi * 1.25,
           config_.calibration);
       return result.alpha;
     }
+    OSAP_CHECK_MSG(!config_.conformal_calibration,
+                   "conformal calibration requires calibration_replay");
     auto estimator = make_estimator();
     auto driver = MakeGreedyPensieve(bundle);
     const double hi = MaxWindowVariance(*estimator, *driver, env, validation,

@@ -54,6 +54,10 @@ void AppendReplyFrame(std::vector<std::uint8_t>& out, const Reply& reply,
     PutU64(out, stats->epochs);
     PutU64(out, stats->connections);
     PutU64(out, stats->errors);
+    PutU64(out, stats->calibration_active);
+    PutU64(out, stats->calibration_alpha_bits);
+    PutU64(out, stats->calibration_observed);
+    PutU64(out, stats->calibration_exceeded);
   }
 }
 
@@ -123,6 +127,10 @@ DecodeResult DecodeReply(std::span<const std::uint8_t> body, Reply& out,
     stats->epochs = GetU64(s + 48);
     stats->connections = GetU64(s + 56);
     stats->errors = GetU64(s + 64);
+    stats->calibration_active = GetU64(s + 72);
+    stats->calibration_alpha_bits = GetU64(s + 80);
+    stats->calibration_observed = GetU64(s + 88);
+    stats->calibration_exceeded = GetU64(s + 96);
   }
   return DecodeResult::kOk;
 }

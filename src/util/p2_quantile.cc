@@ -1,0 +1,236 @@
+#include "util/p2_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace osap::util {
+
+namespace {
+
+/// Linear-interpolated quantile of a sorted prefix xs[0..n), matching
+/// osap::Quantile's convention (pos = q * (n - 1)).
+double SortedQuantile(const double* xs, std::size_t n, double q) {
+  if (n == 0) return 0.0;
+  if (n == 1) return xs[0];
+  const double pos = q * static_cast<double>(n - 1);
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(pos), n - 2);
+  const double frac = pos - static_cast<double>(idx);
+  // Same expression as osap::Quantile, so the exact phase is
+  // bit-identical to the reference arm, not just algebraically equal.
+  return xs[idx] * (1.0 - frac) + xs[idx + 1] * frac;
+}
+
+}  // namespace
+
+P2Quantile::P2Quantile(double q) { Reset(q); }
+
+void P2Quantile::Reset() { Reset(q_); }
+
+void P2Quantile::Reset(double q) {
+  OSAP_REQUIRE(q > 0.0 && q < 1.0, "P2Quantile: q must be in (0, 1)");
+  q_ = q;
+  count_ = 0;
+  for (int i = 0; i < 5; ++i) {
+    heights_[i] = 0.0;
+    positions_[i] = static_cast<double>(i + 1);
+  }
+  // Ideal marker ranks at n = 5 and their per-observation increments:
+  // n'_i = 1 + (n - 1) * d_i with d = {0, q/2, q, (1+q)/2, 1}.
+  desired_rate_[0] = 0.0;
+  desired_rate_[1] = q / 2.0;
+  desired_rate_[2] = q;
+  desired_rate_[3] = (1.0 + q) / 2.0;
+  desired_rate_[4] = 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] = 1.0 + 4.0 * desired_rate_[i];
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    // Exact phase: keep the first five observations sorted in place.
+    std::size_t i = count_;
+    while (i > 0 && heights_[i - 1] > x) {
+      heights_[i] = heights_[i - 1];
+      --i;
+    }
+    heights_[i] = x;
+    ++count_;
+    return;
+  }
+
+  // Locate the marker cell containing x, extending the extremes.
+  int cell;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    cell = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && x >= heights_[cell + 1]) ++cell;
+  }
+
+  for (int i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += desired_rate_[i];
+  ++count_;
+
+  // Nudge the three interior markers towards their ideal ranks with
+  // piecewise-parabolic (P²) height prediction, falling back to linear
+  // when the parabola would break marker monotonicity.
+  for (int i = 1; i <= 3; ++i) {
+    const double delta = desired_[i] - positions_[i];
+    const double ahead = positions_[i + 1] - positions_[i];
+    const double behind = positions_[i - 1] - positions_[i];
+    if ((delta >= 1.0 && ahead > 1.0) || (delta <= -1.0 && behind < -1.0)) {
+      const double d = delta >= 1.0 ? 1.0 : -1.0;
+      const double span = positions_[i + 1] - positions_[i - 1];
+      const double parabolic =
+          heights_[i] +
+          d / span *
+              ((positions_[i] - positions_[i - 1] + d) *
+                   (heights_[i + 1] - heights_[i]) / ahead +
+               (positions_[i + 1] - positions_[i] - d) *
+                   (heights_[i] - heights_[i - 1]) / -behind);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = i + static_cast<int>(d);
+        heights_[i] += d * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += d;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ <= 5) return SortedQuantile(heights_, count_, q_);
+  return heights_[2];
+}
+
+double P2Quantile::Max() const {
+  if (count_ == 0) return 0.0;
+  return count_ <= 5 ? heights_[count_ - 1] : heights_[4];
+}
+
+double P2Quantile::MergedQuantile(
+    std::span<const P2Quantile* const> sketches, double q) {
+  // Each sketch contributes its marker CDF as (value, 1-based rank)
+  // points: the exact sorted samples while count <= 5, the five markers
+  // afterwards (positions_[4] == count by construction). The union CDF
+  // is the sum of the per-sketch piecewise-linear CDFs; the q-quantile
+  // is its inverse at rank 1 + q * (N - 1), evaluated by scanning the
+  // merged breakpoints.
+  struct Arm {
+    const double* values;
+    const double* ranks;     // nullptr => ranks are 1..n (exact phase)
+    std::size_t n;
+  };
+  std::vector<Arm> arms;
+  std::size_t total = 0;
+  std::vector<double> breakpoints;
+  for (const P2Quantile* sketch : sketches) {
+    if (sketch == nullptr || sketch->count_ == 0) continue;
+    const std::size_t n = std::min<std::size_t>(sketch->count_, 5);
+    arms.push_back({sketch->heights_,
+                    sketch->count_ <= 5 ? nullptr : sketch->positions_, n});
+    total += sketch->count_;
+    breakpoints.insert(breakpoints.end(), sketch->heights_,
+                       sketch->heights_ + n);
+  }
+  if (arms.empty()) return 0.0;
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
+                    breakpoints.end());
+
+  // Rank of value v within one arm: 0 below its min, its count at or
+  // above its max, linear between adjacent markers.
+  const auto rank_at = [](const Arm& arm, double v) -> double {
+    if (v < arm.values[0]) return 0.0;
+    const auto marker_rank = [&](std::size_t i) {
+      return arm.ranks == nullptr ? static_cast<double>(i + 1)
+                                  : arm.ranks[i];
+    };
+    if (v >= arm.values[arm.n - 1]) return marker_rank(arm.n - 1);
+    std::size_t i = 0;
+    while (i + 1 < arm.n && v >= arm.values[i + 1]) ++i;
+    const double lo = arm.values[i];
+    const double hi = arm.values[i + 1];
+    const double frac = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+    return marker_rank(i) + frac * (marker_rank(i + 1) - marker_rank(i));
+  };
+  // Summing in sorted order keeps the merge independent of arm order
+  // (double addition is not associative); this is the cold calibration
+  // path, so the per-breakpoint sort over a handful of arms is free.
+  std::vector<double> arm_ranks(arms.size());
+  const auto total_rank = [&](double v) {
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      arm_ranks[i] = rank_at(arms[i], v);
+    }
+    std::sort(arm_ranks.begin(), arm_ranks.end());
+    double r = 0.0;
+    for (const double rk : arm_ranks) r += rk;
+    return r;
+  };
+
+  const double target = 1.0 + q * static_cast<double>(total - 1);
+  double prev_v = breakpoints.front();
+  double prev_r = total_rank(prev_v);
+  if (target <= prev_r) return prev_v;
+  for (std::size_t i = 1; i < breakpoints.size(); ++i) {
+    const double v = breakpoints[i];
+    const double r = total_rank(v);
+    if (target <= r) {
+      const double frac = r > prev_r ? (target - prev_r) / (r - prev_r) : 1.0;
+      return prev_v + frac * (v - prev_v);
+    }
+    prev_v = v;
+    prev_r = r;
+  }
+  return breakpoints.back();
+}
+
+WindowedP2Quantile::WindowedP2Quantile(double q, std::size_t window)
+    : current_(q), previous_(q), window_(window) {
+  OSAP_REQUIRE(window > 0, "WindowedP2Quantile: window must be > 0");
+}
+
+void WindowedP2Quantile::Add(double x) {
+  current_.Add(x);
+  ++total_;
+  if (current_.Count() >= window_) {
+    previous_ = current_;
+    has_previous_ = true;
+    current_.Reset();
+  }
+}
+
+double WindowedP2Quantile::Value() const {
+  if (!has_previous_) return current_.Value();
+  if (current_.Count() == 0) return previous_.Value();
+  const P2Quantile* arms[2] = {&previous_, &current_};
+  return P2Quantile::MergedQuantile(arms, current_.Target());
+}
+
+std::size_t WindowedP2Quantile::Count() const {
+  return current_.Count() + (has_previous_ ? previous_.Count() : 0);
+}
+
+void WindowedP2Quantile::CollectArms(
+    std::vector<const P2Quantile*>& out) const {
+  if (has_previous_ && previous_.Count() > 0) out.push_back(&previous_);
+  if (current_.Count() > 0) out.push_back(&current_);
+}
+
+void WindowedP2Quantile::Reset() {
+  current_.Reset();
+  previous_.Reset();
+  has_previous_ = false;
+  total_ = 0;
+}
+
+}  // namespace osap::util

@@ -1,0 +1,135 @@
+// Streaming quantile estimation for online threshold calibration
+// (DESIGN.md §11).
+//
+// P2Quantile is the classic P² estimator (Jain & Chlamtac, CACM 1985):
+// five markers track the min, the q/2, q, (1+q)/2 quantiles and the max
+// of everything observed so far, adjusted towards their ideal positions
+// with piecewise-parabolic interpolation. O(1) time and 40 bytes of
+// state per observation, no stored samples. The first five observations
+// are held exactly (sorted), so small streams are exact.
+//
+// WindowedP2Quantile layers drift tracking on top: two P² sketches
+// rotate every `window` observations, and queries read the merge of the
+// previous (full) generation and the current (partial) one — so the
+// estimate always reflects between `window` and `2*window` of the most
+// recent observations and forgets anything older. Rotation keeps the
+// estimator O(1) per observation and fixed-size, unlike an exact
+// sliding window.
+//
+// Merging (P2Quantile::MergedQuantile) interpolates the target rank
+// across the union of the sketches' marker CDFs: each sketch
+// contributes its markers as (value, cumulative-count) points, the
+// union is sorted by value, and the target rank q * total_count is
+// interpolated linearly between the bracketing points. Deterministic,
+// O(sketches) — this is also how the serving path combines per-shard
+// sketches into one global threshold at epoch boundaries
+// (serve::DecisionService online calibration).
+//
+// The exact reference arm for tests is osap::Quantile (util/stats.h):
+// sort-based, linear-interpolated, same q convention.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace osap::util {
+
+/// P² streaming estimator of the q-quantile. Exact (sorted buffer) for
+/// the first 5 observations, O(1) marker updates afterwards.
+class P2Quantile {
+ public:
+  /// Targets the q-quantile, q in (0, 1).
+  explicit P2Quantile(double q);
+
+  /// Default-constructs targeting the median; Reset(q) to retarget.
+  P2Quantile() : P2Quantile(0.5) {}
+
+  /// Adds one observation. O(1).
+  void Add(double x);
+
+  /// Current estimate of the q-quantile; 0 when empty. Exact while
+  /// Count() <= 5 (linear-interpolated order statistic, matching
+  /// osap::Quantile's convention).
+  double Value() const;
+
+  /// Observations absorbed so far.
+  std::size_t Count() const { return count_; }
+
+  /// Smallest / largest observation so far; 0 when empty.
+  double Min() const { return count_ == 0 ? 0.0 : heights_[0]; }
+  double Max() const;
+
+  /// Target quantile.
+  double Target() const { return q_; }
+
+  /// Forgets all observations; optionally retargets.
+  void Reset();
+  void Reset(double q);
+
+  /// Estimate of the q-quantile over the UNION of the given sketches'
+  /// observations, by rank interpolation across their merged marker
+  /// CDFs (empty sketches contribute nothing; 0 when all are empty).
+  /// The sketches may target different quantiles; `q` names the rank
+  /// being interpolated. Deterministic in the sketch contents and
+  /// order-insensitive.
+  static double MergedQuantile(std::span<const P2Quantile* const> sketches,
+                               double q);
+
+ private:
+  double q_ = 0.5;
+  // Marker heights (values) and integer positions (1-based ranks), plus
+  // the ideal (desired) positions. heights_[0..4] sorted ascending once
+  // count_ >= 5.
+  double heights_[5] = {0, 0, 0, 0, 0};
+  double positions_[5] = {1, 2, 3, 4, 5};
+  double desired_[5] = {1, 2, 3, 4, 5};
+  double desired_rate_[5] = {0, 0, 0, 0, 0};
+  std::size_t count_ = 0;
+};
+
+/// Drift-tracking variant: two rotating P² generations over a fixed
+/// observation window. Value() reflects the last `window` to
+/// `2*window` observations only.
+class WindowedP2Quantile {
+ public:
+  /// Targets the q-quantile; rotates generations every `window`
+  /// observations (window must be > 0).
+  WindowedP2Quantile(double q, std::size_t window);
+
+  WindowedP2Quantile() : WindowedP2Quantile(0.5, 1024) {}
+
+  /// Adds one observation, rotating generations when the current one
+  /// fills. O(1).
+  void Add(double x);
+
+  /// Estimate over the previous + current generations (the most recent
+  /// window..2*window observations); 0 when empty.
+  double Value() const;
+
+  /// Observations in the live generations (what Value() reflects).
+  std::size_t Count() const;
+
+  /// Total observations ever absorbed (including rotated-out ones).
+  std::size_t TotalCount() const { return total_; }
+
+  double Target() const { return current_.Target(); }
+  std::size_t Window() const { return window_; }
+
+  void Reset();
+
+  /// Appends the live generations' sketches (previous full generation,
+  /// then the current partial one; empty ones skipped) to `out` — the
+  /// hook cross-instance merges use: collect every shard's arms, then
+  /// P2Quantile::MergedQuantile over the union.
+  void CollectArms(std::vector<const P2Quantile*>& out) const;
+
+ private:
+  P2Quantile current_;
+  P2Quantile previous_;
+  std::size_t window_ = 1024;
+  std::size_t total_ = 0;
+  bool has_previous_ = false;
+};
+
+}  // namespace osap::util

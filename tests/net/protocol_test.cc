@@ -134,6 +134,11 @@ TEST(Protocol, StatsReplyRoundTripCarriesPayload) {
   stats.rejected_opens = 6;
   stats.epochs = 7;
   stats.connections = 8;
+  stats.errors = 9;
+  stats.calibration_active = 1;
+  stats.SetCalibrationAlpha(0.0375);
+  stats.calibration_observed = 4000;
+  stats.calibration_exceeded = 200;
   std::vector<std::uint8_t> frame;
   AppendReplyFrame(frame, reply, &stats);
   const auto body = Body(frame);
@@ -149,6 +154,13 @@ TEST(Protocol, StatsReplyRoundTripCarriesPayload) {
   EXPECT_EQ(back_stats.rejected_opens, 6u);
   EXPECT_EQ(back_stats.epochs, 7u);
   EXPECT_EQ(back_stats.connections, 8u);
+  EXPECT_EQ(back_stats.errors, 9u);
+  EXPECT_EQ(back_stats.calibration_active, 1u);
+  // The live threshold travels as its exact IEEE-754 bits.
+  EXPECT_EQ(back_stats.CalibrationAlpha(), 0.0375);
+  EXPECT_EQ(back_stats.calibration_observed, 4000u);
+  EXPECT_EQ(back_stats.calibration_exceeded, 200u);
+  EXPECT_DOUBLE_EQ(back_stats.EmpiricalMiscoverage(), 0.05);
 }
 
 // The exact bytes of a STEP request are pinned here so an accidental

@@ -1,0 +1,237 @@
+// P² streaming quantile vs the exact sort-based reference arm
+// (osap::Quantile): accuracy on randomized streams, exactness below five
+// observations, adversarial monotone / constant / regime-switch streams,
+// windowed drift tracking, and merge-of-sketches equivalence. Rides the
+// sanitize suite (small, allocation-light, deterministic).
+#include "util/p2_quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace osap::util {
+namespace {
+
+/// |estimate - exact| relative to the sample spread (the natural scale:
+/// P² error bounds are quoted against the distribution's range).
+double SpreadError(double estimate, std::vector<double> xs, double q) {
+  const double exact = Quantile(xs, q);
+  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  const double spread = *hi - *lo;
+  return spread == 0.0 ? std::abs(estimate - exact)
+                       : std::abs(estimate - exact) / spread;
+}
+
+TEST(P2Quantile, ExactUpToFiveObservations) {
+  // The first five observations are held in a sorted buffer, so the
+  // estimate must EQUAL the reference quantile, not just approximate it.
+  const std::vector<double> stream = {3.0, -1.0, 7.5, 0.25, 2.0};
+  for (const double q : {0.1, 0.25, 0.5, 0.9, 0.95}) {
+    P2Quantile sketch(q);
+    std::vector<double> seen;
+    for (const double x : stream) {
+      sketch.Add(x);
+      seen.push_back(x);
+      EXPECT_EQ(sketch.Value(), Quantile(seen, q))
+          << "q=" << q << " after " << seen.size();
+    }
+    EXPECT_EQ(sketch.Min(), -1.0);
+    EXPECT_EQ(sketch.Max(), 7.5);
+  }
+}
+
+TEST(P2Quantile, EmptyAndResetAreZero) {
+  P2Quantile sketch(0.9);
+  EXPECT_EQ(sketch.Value(), 0.0);
+  EXPECT_EQ(sketch.Count(), 0u);
+  sketch.Add(42.0);
+  EXPECT_EQ(sketch.Value(), 42.0);
+  sketch.Reset();
+  EXPECT_EQ(sketch.Value(), 0.0);
+  EXPECT_EQ(sketch.Count(), 0u);
+  sketch.Reset(0.5);
+  EXPECT_EQ(sketch.Target(), 0.5);
+}
+
+TEST(P2Quantile, TracksRandomizedStreamsAgainstSortReference) {
+  // Uniform, heavy-ish tail (exp of normal), and bimodal streams across
+  // the quantiles the calibrator actually uses. P² is an estimator;
+  // 2.5% of the spread is well inside its published accuracy for n=4096
+  // and fails loudly if a marker update regresses.
+  Rng rng(1234);
+  const std::size_t n = 4096;
+  for (int dist = 0; dist < 3; ++dist) {
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (dist) {
+        case 0: xs.push_back(rng.Uniform(-5.0, 5.0)); break;
+        case 1: xs.push_back(std::exp(rng.Normal())); break;
+        default:
+          xs.push_back(rng.Uniform() < 0.7 ? rng.Normal()
+                                           : 10.0 + rng.Normal());
+      }
+    }
+    for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+      P2Quantile sketch(q);
+      for (const double x : xs) sketch.Add(x);
+      EXPECT_EQ(sketch.Count(), n);
+      EXPECT_LT(SpreadError(sketch.Value(), xs, q), 0.025)
+          << "dist=" << dist << " q=" << q;
+    }
+  }
+}
+
+TEST(P2Quantile, AdversarialMonotoneAndConstantStreams) {
+  // Monotone streams are the classic P² stressor (every observation
+  // lands in the outermost cell); constants must collapse every marker.
+  const std::size_t n = 2000;
+  for (const double q : {0.5, 0.9, 0.95}) {
+    P2Quantile increasing(q);
+    P2Quantile decreasing(q);
+    std::vector<double> xs;
+    for (std::size_t i = 0; i < n; ++i) {
+      xs.push_back(static_cast<double>(i));
+      increasing.Add(static_cast<double>(i));
+      decreasing.Add(static_cast<double>(n - 1 - i));
+    }
+    EXPECT_LT(SpreadError(increasing.Value(), xs, q), 0.05) << q;
+    EXPECT_LT(SpreadError(decreasing.Value(), xs, q), 0.05) << q;
+
+    P2Quantile constant(q);
+    for (std::size_t i = 0; i < n; ++i) constant.Add(3.25);
+    EXPECT_EQ(constant.Value(), 3.25);
+    EXPECT_EQ(constant.Min(), 3.25);
+    EXPECT_EQ(constant.Max(), 3.25);
+  }
+}
+
+TEST(P2Quantile, RegimeSwitchEventuallyDominatedByNewRegime) {
+  // An unwindowed sketch never forgets, but after 9x more post-switch
+  // mass the estimate must sit in the new regime's range.
+  Rng rng(7);
+  P2Quantile sketch(0.9);
+  for (std::size_t i = 0; i < 500; ++i) sketch.Add(rng.Uniform(0.0, 1.0));
+  for (std::size_t i = 0; i < 4500; ++i) {
+    sketch.Add(rng.Uniform(100.0, 101.0));
+  }
+  EXPECT_GT(sketch.Value(), 99.0);
+  EXPECT_LT(sketch.Value(), 101.0);
+}
+
+TEST(WindowedP2Quantile, ReflectsOnlyRecentGenerations) {
+  // After a regime switch, once 2*window post-switch observations have
+  // arrived the old regime is fully rotated out, so the estimate lies in
+  // the NEW regime's support - the property the unwindowed sketch above
+  // only approaches asymptotically.
+  Rng rng(99);
+  const std::size_t window = 256;
+  WindowedP2Quantile sketch(0.9, window);
+  for (std::size_t i = 0; i < 4 * window; ++i) {
+    sketch.Add(rng.Uniform(0.0, 1.0));
+  }
+  EXPECT_LE(sketch.Value(), 1.0);
+  for (std::size_t i = 0; i < 2 * window; ++i) {
+    sketch.Add(rng.Uniform(100.0, 101.0));
+  }
+  EXPECT_GE(sketch.Value(), 100.0);
+  EXPECT_LE(sketch.Value(), 101.0);
+  // The live generations hold between window and 2*window observations.
+  EXPECT_GE(sketch.Count(), window);
+  EXPECT_LE(sketch.Count(), 2 * window);
+  EXPECT_EQ(sketch.TotalCount(), 6 * window);
+}
+
+TEST(WindowedP2Quantile, MatchesUnwindowedBelowOneWindow) {
+  // Until the first rotation there is one generation: the windowed
+  // estimate must equal the plain sketch fed the same stream.
+  Rng rng(5);
+  WindowedP2Quantile windowed(0.75, 1024);
+  P2Quantile plain(0.75);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const double x = rng.Normal();
+    windowed.Add(x);
+    plain.Add(x);
+    EXPECT_EQ(windowed.Value(), plain.Value()) << i;
+  }
+}
+
+TEST(MergedQuantile, SingleSketchMatchesItsOwnEstimate) {
+  Rng rng(11);
+  P2Quantile sketch(0.9);
+  for (std::size_t i = 0; i < 512; ++i) sketch.Add(rng.Normal());
+  const P2Quantile* arms[] = {&sketch};
+  // One small (exact) sketch merges to exactly the reference quantile.
+  P2Quantile small(0.9);
+  std::vector<double> seen;
+  for (const double x : {4.0, 1.0, 3.0, 2.0}) {
+    small.Add(x);
+    seen.push_back(x);
+  }
+  const P2Quantile* small_arms[] = {&small};
+  EXPECT_EQ(P2Quantile::MergedQuantile(small_arms, 0.9),
+            Quantile(seen, 0.9));
+  // A large sketch merges close to its own marker estimate (the merge
+  // interpolates the same marker CDF it would read directly).
+  const double merged = P2Quantile::MergedQuantile(arms, 0.9);
+  EXPECT_NEAR(merged, sketch.Value(), 0.35);
+}
+
+TEST(MergedQuantile, ShardedStreamsMatchTheUnshardedQuantile) {
+  // The serving-path contract: round-robin one stream over S per-shard
+  // sketches, merge, and land near the exact quantile of the whole
+  // stream - independent of shard count and of arm order.
+  Rng rng(2024);
+  const std::size_t n = 8192;
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(rng.Uniform() < 0.8 ? rng.Normal()
+                                     : 5.0 + 2.0 * rng.Normal());
+  }
+  for (const std::size_t shards : {1u, 3u, 8u}) {
+    std::vector<P2Quantile> sketches(shards, P2Quantile(0.95));
+    for (std::size_t i = 0; i < n; ++i) sketches[i % shards].Add(xs[i]);
+    std::vector<const P2Quantile*> arms;
+    for (const P2Quantile& s : sketches) arms.push_back(&s);
+    const double merged = P2Quantile::MergedQuantile(arms, 0.95);
+    EXPECT_LT(SpreadError(merged, xs, 0.95), 0.03) << shards << " shards";
+    // Order-insensitive: reversing the arms changes nothing.
+    std::reverse(arms.begin(), arms.end());
+    EXPECT_EQ(P2Quantile::MergedQuantile(arms, 0.95), merged);
+  }
+}
+
+TEST(MergedQuantile, EmptyArmsContributeNothing) {
+  P2Quantile empty(0.5);
+  P2Quantile full(0.5);
+  std::vector<double> seen;
+  for (const double x : {1.0, 2.0, 3.0}) {
+    full.Add(x);
+    seen.push_back(x);
+  }
+  const P2Quantile* arms[] = {&empty, &full, &empty};
+  EXPECT_EQ(P2Quantile::MergedQuantile(arms, 0.5), Quantile(seen, 0.5));
+  const P2Quantile* none[] = {&empty};
+  EXPECT_EQ(P2Quantile::MergedQuantile(none, 0.5), 0.0);
+}
+
+TEST(WindowedP2Quantile, CollectArmsMergeMatchesValue) {
+  // Value() is DEFINED as the merge of the live generations; the
+  // CollectArms + MergedQuantile path the service uses must agree.
+  Rng rng(31);
+  WindowedP2Quantile sketch(0.9, 128);
+  for (std::size_t i = 0; i < 300; ++i) sketch.Add(rng.Normal());
+  std::vector<const P2Quantile*> arms;
+  sketch.CollectArms(arms);
+  EXPECT_EQ(arms.size(), 2u);  // previous full + current partial
+  EXPECT_EQ(P2Quantile::MergedQuantile(arms, 0.9), sketch.Value());
+}
+
+}  // namespace
+}  // namespace osap::util

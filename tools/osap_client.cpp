@@ -39,13 +39,28 @@
 // status or transport failure counts as a protocol error. Exit status is
 // nonzero when any protocol error occurred.
 //
+// With --affinity (pairs with the server's --edge-threads) each worker
+// PINS its connection to one edge: session ids are edge-affine on the
+// server (id % shards -> lane -> contiguous group -> edge), so a session
+// must be stepped on a connection owned by its edge, and which edge a
+// fresh connection lands on is the kernel's 4-tuple hash. The worker
+// dials, opens a throwaway probe session, derives the edge from the
+// granted id, and redials until it holds a connection on its target edge
+// (worker w -> edge w % edges, a coupon-collector loop). Every session
+// the worker then opens is granted BY that edge, so its OPEN/STEP/CLOSE
+// traffic is edge-affine by construction and every edge carries load
+// even when the hash would have piled all connections onto one listener.
+// Requires --shards and --edges to match the server.
+//
 // Usage:
 //   osap_client <host> <port> [--threads N | --connections N]
 //               [--sessions N] [--rate RATE] [--rounds N] [--replay K]
+//               [--affinity --shards N --edges N]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -121,6 +136,43 @@ std::vector<std::vector<mdp::State>> RecordSequences(
   return sequences;
 }
 
+/// The edge owning `shard` under the service's contiguous group split
+/// (sizes differ by at most one, wider groups first; mirrors
+/// DecisionService::GroupBegin).
+std::size_t EdgeOfShard(std::size_t shard, std::size_t shards,
+                        std::size_t edges) {
+  const std::size_t base = shards / edges;
+  const std::size_t rem = shards % edges;
+  const std::size_t wide = rem * (base + 1);  // shards in base+1 groups
+  return shard < wide ? shard / (base + 1)
+                      : rem + (shard - wide) / base;
+}
+
+/// Redials until `client` holds a connection on `target_edge`, detected
+/// by opening a throwaway probe session and deriving the edge from the
+/// granted id (ids are edge-affine: id % shards lands in the opening
+/// edge's group). Each redial gets a fresh ephemeral port, so the
+/// kernel's 4-tuple hash re-rolls - a coupon-collector loop that needs
+/// ~edges * ln(edges) attempts in expectation. Throws after `attempts`
+/// misses.
+void AcquireEdge(net::Client& client, const std::string& host,
+                 std::uint16_t port, std::size_t target_edge,
+                 std::size_t shards, std::size_t edges,
+                 std::size_t attempts = 512) {
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (!client.Connected()) client.Connect(host, port);
+    const std::uint64_t probe = client.OpenSession();
+    const std::size_t edge =
+        EdgeOfShard(static_cast<std::size_t>(probe % shards), shards, edges);
+    client.CloseSession(probe);
+    if (edge == target_edge) return;
+    client.Close();  // reconnect re-rolls the 4-tuple hash
+  }
+  throw std::runtime_error(
+      "edge affinity: target edge not reached (do --shards/--edges match "
+      "the server?)");
+}
+
 /// Pipelined burst of OPEN_SESSIONs; non-OK opens count as errors and
 /// leave the population smaller. Returns the granted session ids.
 std::vector<std::uint64_t> OpenBurst(net::Client& client, std::size_t count,
@@ -161,6 +213,9 @@ int main(int argc, char** argv) {
   double rate = 1000.0;  // aggregate decisions/s over the population
   std::size_t rounds = 200;
   std::size_t replay = 0;  // 0 = full per-session environments
+  bool affinity = false;
+  std::size_t shards = 0;  // server shard count (required with --affinity)
+  std::size_t edges = 0;   // server edge count (required with --affinity)
 
   util::ArgParser parser(
       "osap_client",
@@ -190,6 +245,18 @@ int main(int argc, char** argv) {
                    "instead of one environment per session (the 100k-1M "
                    "session mode); 0 = full environments (default)",
                    &replay);
+  parser.AddFlag("--affinity",
+                 "pin worker w's connection to edge w %% edges by probe-"
+                 "and-redial (multi-edge servers; needs --shards/--edges "
+                 "matching the server)",
+                 &affinity);
+  parser.AddOption("--shards", "N",
+                   "server's shard count (required with --affinity)",
+                   &shards);
+  parser.AddOption("--edges", "N",
+                   "server's --edge-threads count (required with "
+                   "--affinity)",
+                   &edges);
   if (!parser.Parse(argc, argv)) parser.ExitWithError();
   if (parser.HelpRequested()) parser.ExitWithHelp();
   if (port == 0 || port > 65535) {
@@ -201,6 +268,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "osap_client: need connections >= 1, sessions >= "
                  "connections, rounds >= 1, rate > 0\n");
+    return 2;
+  }
+  if (affinity && (shards == 0 || edges == 0 || shards < edges)) {
+    std::fprintf(stderr,
+                 "osap_client: --affinity needs --shards >= --edges >= 1 "
+                 "matching the server\n");
     return 2;
   }
 
@@ -230,6 +303,11 @@ int main(int argc, char** argv) {
               sessions, connections, host.c_str(), port, rounds, rate,
               round_interval_s * 1e3,
               replay > 0 ? ", replay mode" : "");
+  if (affinity) {
+    std::printf("edge affinity: worker w -> edge w %% %zu over %zu "
+                "shards\n",
+                edges, shards);
+  }
 
   std::vector<WorkerResult> results(connections);
   const auto t0 = Clock::now() + std::chrono::milliseconds(50);
@@ -245,6 +323,13 @@ int main(int argc, char** argv) {
       net::Client client;
       try {
         client.Connect(host, static_cast<std::uint16_t>(port));
+        if (affinity) {
+          // Sessions are edge-affine on the server; pin this worker's
+          // connection to its target edge so the sessions it opens (and
+          // every STEP/CLOSE they send) belong there by construction.
+          AcquireEdge(client, host, static_cast<std::uint16_t>(port),
+                      w % edges, shards, edges);
+        }
       } catch (const std::exception& e) {
         std::fprintf(stderr, "osap_client: %s\n", e.what());
         res.errors += local_count * rounds;

@@ -165,6 +165,13 @@ int main(int argc, char** argv) {
   std::size_t lane_high_water = 16 * 1024;
   std::size_t max_sessions = 1 << 20;
   std::size_t edge_threads = 1;
+  bool online_calibration = false;
+  double miscoverage = 0.05;
+  std::size_t calibration_window = 4096;
+  std::size_t calibration_refresh = 16;
+  bool conformal_calibration = false;
+  double conformal_miscoverage = -1.0;  // < 0 derives from the ND rate
+  std::size_t conformal_radius = 1;
 
   util::ArgParser parser(
       "osap_serve",
@@ -203,6 +210,36 @@ int main(int argc, char** argv) {
                    "server mode: independent SO_REUSEPORT event-loop "
                    "threads, each owning shards/N lanes (default 1)",
                    &edge_threads);
+  parser.AddFlag("--online-calibration",
+                 "maintain the variance threshold online from streaming "
+                 "quantile sketches (upi/uv only; DESIGN.md §11)",
+                 &online_calibration);
+  parser.AddOption("--miscoverage", "EPS",
+                   "online calibration: target per-decision miscoverage "
+                   "(default 0.05)",
+                   &miscoverage);
+  parser.AddOption("--calibration-window", "N",
+                   "online calibration: observations per sketch generation "
+                   "(default 4096)",
+                   &calibration_window);
+  parser.AddOption("--calibration-refresh", "N",
+                   "online calibration: lane epochs between threshold "
+                   "refreshes (default 16)",
+                   &calibration_refresh);
+  parser.AddFlag("--conformal-calibration",
+                 "select the bundle's frozen alphas with conformal-batch "
+                 "order statistics instead of the bisection sweep "
+                 "(DESIGN.md §11; caches separately from bisection)",
+                 &conformal_calibration);
+  parser.AddOption("--conformal-miscoverage", "EPS",
+                   "conformal-batch: target miscoverage (default: derive "
+                   "from the ND trigger rate)",
+                   &conformal_miscoverage);
+  parser.AddOption("--conformal-radius", "N",
+                   "conformal-batch: rank-refinement radius around the "
+                   "conformal order statistic (default 1; 0 = pure "
+                   "conformal, no QoE probes)",
+                   &conformal_radius);
   if (!parser.Parse(argc, argv)) parser.ExitWithError();
   if (parser.HelpRequested()) parser.ExitWithHelp();
   const core::Scheme scheme = ParseSignal(signal_name, parser);
@@ -223,10 +260,31 @@ int main(int argc, char** argv) {
                  "(one shard lane per edge minimum)\n");
     return 2;
   }
+  if (online_calibration &&
+      scheme == core::Scheme::kNoveltyDetection) {
+    std::fprintf(stderr,
+                 "osap_serve: --online-calibration needs the "
+                 "window-variance trigger (upi or uv); us serves the "
+                 "paper's fixed binary threshold\n");
+    return 2;
+  }
+  if (online_calibration && (miscoverage <= 0.0 || miscoverage >= 1.0)) {
+    std::fprintf(stderr, "osap_serve: --miscoverage must be in (0, 1)\n");
+    return 2;
+  }
+  if (conformal_miscoverage >= 1.0) {
+    std::fprintf(stderr,
+                 "osap_serve: --conformal-miscoverage must be < 1 "
+                 "(negative derives it from the ND trigger rate)\n");
+    return 2;
+  }
 
   core::WorkbenchConfig cfg;
   cfg.use_cache = true;
   cfg.cache_dir = "osap_cache";
+  cfg.conformal_calibration = conformal_calibration;
+  cfg.conformal_miscoverage = conformal_miscoverage;
+  cfg.conformal_refine_radius = conformal_radius;
   core::Workbench bench(cfg);
   constexpr auto kTrain = traces::DatasetId::kGamma22;
   const core::TrainedBundle& bundle = bench.BundleFor(kTrain);
@@ -241,6 +299,10 @@ int main(int argc, char** argv) {
     net_cfg.max_sessions = max_sessions;
     net_cfg.edge_threads = edge_threads;
     net_cfg.service.shard_count = shards;
+    net_cfg.service.online_calibration = online_calibration;
+    net_cfg.service.calibration_miscoverage = miscoverage;
+    net_cfg.service.calibration_window = calibration_window;
+    net_cfg.service.calibration_refresh_epochs = calibration_refresh;
     net::NetServer server(model, net_cfg);
     server.Start();
     g_server = &server;
@@ -261,6 +323,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.errors),
                 static_cast<unsigned long long>(s.epochs),
                 static_cast<unsigned long long>(s.open_sessions));
+    if (s.calibration_active != 0) {
+      std::printf("online calibration: live alpha %.6g, %llu statistics "
+                  "observed, %.2f%% above threshold (target %.2f%%)\n",
+                  s.CalibrationAlpha(),
+                  static_cast<unsigned long long>(s.calibration_observed),
+                  100.0 * s.EmpiricalMiscoverage(), 100.0 * miscoverage);
+    }
     const std::size_t rss_now = util::CurrentRssBytes();
     const std::size_t rss_peak = std::max(rss_now, util::PeakRssBytes());
     std::printf("process RSS: %.1f MiB now, %.1f MiB peak\n",
@@ -271,6 +340,10 @@ int main(int argc, char** argv) {
 
   serve::DecisionServiceConfig service_cfg;
   service_cfg.shard_count = shards;
+  service_cfg.online_calibration = online_calibration;
+  service_cfg.calibration_miscoverage = miscoverage;
+  service_cfg.calibration_window = calibration_window;
+  service_cfg.calibration_refresh_epochs = calibration_refresh;
   serve::DecisionService service(model, service_cfg);
 
   const std::vector<traces::DatasetId> datasets = traces::AllDatasetIds();
@@ -394,6 +467,20 @@ int main(int argc, char** argv) {
         Quantile(round_us, 0.50) * per_decision,
         Quantile(round_us, 0.99) * per_decision,
         round_us.back() * per_decision);
+  }
+
+  if (service.OnlineCalibration()) {
+    const std::uint64_t observed = service.CalibrationObservations();
+    const std::uint64_t exceeded = service.CalibrationExceedances();
+    std::printf("\nonline calibration: frozen alpha %.6g -> live alpha "
+                "%.6g, %llu statistics observed, %.2f%% above threshold "
+                "(target %.2f%%)\n",
+                safety.trigger.alpha, service.LiveAlpha(),
+                static_cast<unsigned long long>(observed),
+                observed == 0 ? 0.0
+                              : 100.0 * static_cast<double>(exceeded) /
+                                    static_cast<double>(observed),
+                100.0 * miscoverage);
   }
 
   // Exact accounting of the service's own memory next to the process-level

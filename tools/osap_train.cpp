@@ -7,12 +7,20 @@
 // Trains on the dataset's training split (full-length 240-chunk sessions)
 // and reports progress every 10% of episodes. The weight file is the
 // library's OSAPNN01 format (nn/serialize.h).
+//
+// With --calibrate the tool follows training with the deploy pipeline's
+// threshold-calibration step: it trains/loads the Workbench bundle for
+// the dataset (shared ./osap_cache artifacts, exactly like osap_serve)
+// and prints the calibrated alpha_pi / alpha_v next to the ND target.
+// --conformal switches that step from the bisection sweep to
+// conformal-batch order statistics (DESIGN.md §11; implies --calibrate).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "core/evaluation.h"
+#include "core/workbench.h"
 #include "nn/serialize.h"
 #include "policies/buffer_based.h"
 #include "policies/pensieve_net.h"
@@ -43,6 +51,10 @@ int main(int argc, char** argv) {
   // > 1 switches onto the batched-update parallel trainer (episodes within
   // an update are collected concurrently on the shared pool).
   std::size_t rollouts_per_update = 1;
+  bool calibrate = false;
+  bool conformal = false;
+  double conformal_miscoverage = -1.0;  // < 0 derives from the ND rate
+  std::size_t conformal_radius = 1;
 
   util::ArgParser parser("osap_train",
                          "Train a Pensieve actor-critic on a dataset's "
@@ -57,8 +69,33 @@ int main(int argc, char** argv) {
       "rollouts_per_update",
       "episodes collected in parallel per update (default 1 = serial)",
       &rollouts_per_update);
+  parser.AddFlag("--calibrate",
+                 "after training, run the deploy pipeline's threshold "
+                 "calibration for the dataset (Workbench bundle via the "
+                 "shared ./osap_cache) and print alpha_pi / alpha_v",
+                 &calibrate);
+  parser.AddFlag("--conformal",
+                 "calibrate thresholds with conformal-batch order "
+                 "statistics instead of the bisection sweep (implies "
+                 "--calibrate; DESIGN.md §11)",
+                 &conformal);
+  parser.AddOption("--conformal-miscoverage", "EPS",
+                   "conformal: target miscoverage (default: derive from "
+                   "the ND trigger rate)",
+                   &conformal_miscoverage);
+  parser.AddOption("--conformal-radius", "N",
+                   "conformal: rank-refinement radius around the conformal "
+                   "order statistic (default 1; 0 = no QoE probes)",
+                   &conformal_radius);
   if (!parser.Parse(argc, argv)) parser.ExitWithError();
   if (parser.HelpRequested()) parser.ExitWithHelp();
+  if (conformal) calibrate = true;
+  if (conformal_miscoverage >= 1.0) {
+    std::fprintf(stderr,
+                 "osap_train: --conformal-miscoverage must be < 1 "
+                 "(negative derives it from the ND trigger rate)\n");
+    return 2;
+  }
 
   const traces::DatasetId id = ParseDataset(dataset);
   const std::filesystem::path out = out_path;
@@ -128,5 +165,24 @@ int main(int argc, char** argv) {
   const double b = core::EvaluatePolicy(bb, eval_env, ds.test).MeanQoe();
   std::printf("test-split QoE: pensieve %.1f vs buffer_based %.1f (%s)\n",
               p, b, p >= b ? "pensieve wins" : "BB wins");
+
+  if (calibrate) {
+    // The deploy pipeline's threshold step: train/load the Workbench
+    // bundle for this dataset (ensemble + detectors + calibrated alphas)
+    // from the shared cache, exactly as osap_serve would before serving.
+    core::WorkbenchConfig bench_cfg;
+    bench_cfg.use_cache = true;
+    bench_cfg.cache_dir = "osap_cache";
+    bench_cfg.conformal_calibration = conformal;
+    bench_cfg.conformal_miscoverage = conformal_miscoverage;
+    bench_cfg.conformal_refine_radius = conformal_radius;
+    core::Workbench bench(bench_cfg);
+    const core::TrainedBundle& bundle = bench.BundleFor(id);
+    std::printf("calibrated thresholds (%s) for %s:\n",
+                conformal ? "conformal-batch" : "bisection sweep",
+                traces::DatasetLabel(id).c_str());
+    std::printf("  ND target QoE %.2f  alpha_pi %.6g  alpha_v %.6g\n",
+                bundle.nd_in_dist_qoe, bundle.alpha_pi, bundle.alpha_v);
+  }
   return 0;
 }
