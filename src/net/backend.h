@@ -1,0 +1,100 @@
+// net::Backend: the readiness/IO abstraction behind NetServer's edge
+// loops (DESIGN.md §10.5). One Backend instance per edge thread, two
+// arms:
+//
+//   - EpollBackend: the original edge-triggered epoll loop - one
+//     epoll_wait per round, recv-until-EAGAIN per readable socket,
+//     writev per flushable connection. Unchanged semantics; the
+//     bit-identical reference.
+//   - UringBackend: io_uring over the vendored util::IoUring wrapper -
+//     multishot accept, buffered multishot recv through a provided
+//     buffer ring, one SENDMSG SQE per connection flush, so a steady
+//     round costs one io_uring_enter instead of one syscall per socket.
+//
+// The split line: backends own readiness objects and move bytes;
+// NetServer owns sockets, framing, admission, batching, sessions and
+// the drain. Both arms dispatch into the same server paths
+// (AdmitConnection / ParseBuffered / CloseConnection / ConsumeOutput),
+// so the wire bytes and decision stream are backend-invariant - the
+// loopback bit-identity pins run under both.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+namespace osap::net {
+
+class NetServer;
+struct Edge;
+
+enum class BackendKind { kEpoll, kUring };
+
+/// "epoll" / "uring" - flag values, test-parameter names, summary lines.
+const char* BackendKindName(BackendKind kind);
+/// Parses a --backend flag value; false (out untouched) on junk.
+bool ParseBackendKind(std::string_view name, BackendKind& out);
+
+/// True when this kernel can run the uring arm (cached util::IoUring
+/// probe: io_uring_setup permitted, provided-buffer rings, multishot
+/// ops). When false, NetServer falls back to epoll and tests/benches
+/// skip the uring axis visibly.
+bool UringBackendAvailable();
+/// Why UringBackendAvailable() is false ("" when it is true).
+const char* UringUnavailableReason();
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual BackendKind Kind() const = 0;
+
+  /// Creates the edge's readiness objects (epoll instance / ring +
+  /// registered buffers) and starts watching the already-created
+  /// listener and wake eventfd. Throws on failure - the epoll fallback
+  /// decision happens at NetServer construction, never here.
+  virtual void Init() = 0;
+
+  /// One gather-and-dispatch round: accepts, reads (parsed into pending
+  /// steps through the shared server paths), write continuations, wake
+  /// drains. Waits for new IO only when `block`; otherwise collects
+  /// whatever is already ready and returns.
+  virtual void Pump(bool block) = 0;
+
+  /// Pushes queued IO toward the kernel NOW (uring: publish + submit the
+  /// round's SQEs so replies leave before the next decision round). The
+  /// syscall-per-op arm has nothing queued - default no-op.
+  virtual void Kick() {}
+
+  /// A freshly admitted connection: start watching its fd. False means
+  /// the backend cannot track it and the server undoes the admission.
+  virtual bool OnConnectionOpened(std::size_t slot) = 0;
+
+  /// The connection is being torn down (fd still open): forget or
+  /// cancel every in-flight op for the slot so nothing dangles past the
+  /// upcoming close. Reply frames still referenced by in-flight sends
+  /// must be kept alive by the backend until those ops settle.
+  virtual void OnConnectionClosing(std::size_t slot) = 0;
+
+  /// Reads resume after TCP-pushback pause: deliver the slot's data
+  /// again, INCLUDING bytes the readiness mechanism will not re-announce
+  /// (epoll: explicit edge-triggered drain; uring: re-arm the multishot
+  /// recv). The caller has already parsed what was buffered.
+  virtual void OnReadsResumed(std::size_t slot) = 0;
+
+  /// Moves the slot's queued replies toward the socket without blocking
+  /// and arranges its own continuation (EPOLLOUT / send CQE).
+  virtual void FlushWrites(std::size_t slot) = 0;
+
+  /// Stop() has been observed: quiesce - cancel and reap every in-flight
+  /// op. Afterwards the shared drain path owns the raw sockets and
+  /// flushes them with direct blocking writes.
+  virtual void PrepareDrain() = 0;
+};
+
+/// Factory used by NetServer::StartEdge. `kind` has already survived the
+/// availability check / fallback decision.
+std::unique_ptr<Backend> MakeBackend(BackendKind kind, NetServer& server,
+                                     Edge& edge);
+
+}  // namespace osap::net

@@ -1,0 +1,127 @@
+// The batched-syscall arm: io_uring over the vendored util::IoUring
+// wrapper (DESIGN.md §10.5). Where the epoll arm pays one syscall per
+// socket per operation, this arm keeps standing multishot ops in the
+// kernel and pays ONE io_uring_enter per service round:
+//
+//   - multishot ACCEPT on the listener (one SQE ever, a CQE per peer),
+//   - multishot RECV per connection through a provided-buffer ring
+//     (buffers are recycled back to the kernel as soon as each CQE's
+//     bytes are appended to the connection's own slab buffer - the
+//     parse/admission path upstairs never sees a difference),
+//   - one SENDMSG SQE per connection flush, gathering up to kMaxIov
+//     reply frames - the send-CQE handler advances the shared
+//     partial-write continuation and resubmits while frames remain,
+//   - multishot POLL on the wake eventfd.
+//
+// Slot recycling is guarded by a per-slot generation stamped into every
+// user_data: ops canceled at close are canceled BY user_data (cancel by
+// fd would race fd reuse), and any CQE carrying a stale generation is
+// dropped - except in-flight sends, whose reply frames a zombie list
+// keeps alive until the kernel lets go of the iovecs.
+//
+// Stop(): PrepareDrain cancels everything in flight
+// (IORING_ASYNC_CANCEL_ANY), reaps until the op counter hits zero, and
+// hands the raw sockets to the shared blocking drain path.
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/backend.h"
+#include "util/io_uring.h"
+
+namespace osap::net {
+
+class UringBackend final : public Backend {
+ public:
+  UringBackend(NetServer& server, Edge& edge)
+      : server_(server), edge_(edge) {}
+
+  BackendKind Kind() const override { return BackendKind::kUring; }
+  void Init() override;
+  void Pump(bool block) override;
+  void Kick() override;
+  bool OnConnectionOpened(std::size_t slot) override;
+  void OnConnectionClosing(std::size_t slot) override;
+  void OnReadsResumed(std::size_t slot) override;
+  void FlushWrites(std::size_t slot) override;
+  void PrepareDrain() override;
+
+ private:
+  enum class Op : std::uint8_t {
+    kAccept = 1,
+    kRecv = 2,
+    kSend = 3,
+    kWake = 4,
+    kCancel = 5,
+  };
+
+  /// Per-slot IO state, parallel to Edge::connections. `gen` is bumped
+  /// on every close so CQEs of a previous tenant of the slot are
+  /// recognizably stale.
+  struct SlotIo {
+    std::uint32_t gen = 0;      // 24 bits ride in user_data[55:32]
+    bool recv_armed = false;    // a multishot recv stands in the kernel
+    bool send_inflight = false;  // exactly one SENDMSG may be in flight
+    bool cancel_pending = false;  // pause-cancel awaiting completion
+    std::vector<iovec> iov;     // SENDMSG gather list (stable storage)
+    msghdr msg{};
+  };
+
+  /// Reply frames of a connection that closed while its SENDMSG was in
+  /// flight: the kernel still reads the iovec targets, so the frames
+  /// stay here until the stale send CQE arrives, then recycle.
+  struct ZombieSend {
+    std::uint32_t slot;
+    std::uint32_t gen;
+    std::vector<std::vector<std::uint8_t>> frames;
+  };
+
+  void HandleCqe(const io_uring_cqe& cqe);
+  void OnAcceptCqe(int res, bool terminal);
+  void OnWakeCqe(bool terminal);
+  void OnRecvCqe(std::uint32_t slot, std::uint32_t gen,
+                 const io_uring_cqe& cqe, bool terminal);
+  void OnSendCqe(std::uint32_t slot, std::uint32_t gen, int res);
+  void OnCancelCqe(std::uint32_t slot, std::uint32_t gen);
+
+  void ArmAccept();
+  void ArmWake();
+  void ArmRecv(std::size_t slot);
+  /// Arms a recv only when the slot actually wants one (open, unpaused,
+  /// nothing armed or being canceled) - every re-arm path funnels here
+  /// so a slot can never carry two standing recvs.
+  void MaybeRearmRecv(std::size_t slot);
+  /// Queues one SENDMSG SQE gathering the slot's unsent frames.
+  void StartSend(std::size_t slot);
+  /// Queues an ASYNC_CANCEL for `target` user_data; the cancel's own
+  /// CQE is tagged (tag_slot, tag_gen) - kNoConn when nobody cares.
+  void SubmitCancel(std::uint64_t target, std::uint32_t tag_slot,
+                    std::uint32_t tag_gen);
+  void DrainCqes();
+  void ProcessRearms();
+  /// Folds the ring's io_uring_enter count into the edge's syscall
+  /// counter (the wrapper may flush inside GetSqe, so we diff).
+  void SyncSyscalls();
+
+  NetServer& server_;
+  Edge& edge_;
+  util::IoUring ring_;
+  std::vector<SlotIo> slot_io_;
+  std::vector<ZombieSend> zombie_sends_;
+  /// Slots whose multishot recv died of ENOBUFS this round; re-armed at
+  /// the end of Pump, after the round's CQEs recycled their buffers.
+  std::vector<std::uint32_t> rearm_recv_;
+  /// Armed op instances (multishot counts 1 until its final CQE). The
+  /// drain loop runs until this reaches zero.
+  std::size_t ops_in_flight_ = 0;
+  std::uint64_t last_enter_calls_ = 0;
+  bool draining_ = false;  // PrepareDrain started: stop parsing/arming
+  bool drained_ = false;   // quiesced: FlushWrites -> blocking DirectFlush
+};
+
+}  // namespace osap::net

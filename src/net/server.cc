@@ -1,10 +1,8 @@
 #include "net/server.h"
 
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
-#include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
@@ -12,6 +10,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <exception>
 #include <limits>
@@ -19,17 +18,15 @@
 #include <string>
 #include <utility>
 
+#include "net/backend_epoll.h"
+#include "net/backend_uring.h"
+#include "net/edge.h"
 #include "util/check.h"
 
 namespace osap::net {
 
 namespace {
 
-constexpr std::uint64_t kListenTag = std::numeric_limits<std::uint64_t>::max();
-constexpr std::uint64_t kWakeTag = kListenTag - 1;
-constexpr std::size_t kReadChunk = 64 * 1024;
-/// writev gathers at most this many reply frames per call.
-constexpr int kMaxIov = 64;
 /// Compact the input buffer once this many consumed bytes accumulate.
 constexpr std::size_t kCompactAbove = 64 * 1024;
 /// Refresh the cached ServiceMemoryStats session-bytes gate every this
@@ -39,6 +36,8 @@ constexpr std::size_t kBytesGateRefresh = 64;
 /// flushing for at most this long before closing its connections.
 constexpr std::chrono::seconds kDrainDeadline{5};
 
+constexpr std::uint32_t kNoOwner = 0xffffffffu;
+
 [[noreturn]] void ThrowErrno(const char* what) {
   throw std::runtime_error(std::string(what) + ": " +
                            std::strerror(errno));
@@ -46,103 +45,29 @@ constexpr std::chrono::seconds kDrainDeadline{5};
 
 }  // namespace
 
-/// Per-connection state. Objects are recycled through a free list - the
-/// input buffer, output frame queue and session list keep their capacity
-/// across connections, so steady-state accept/close churn touches no
-/// allocator (the frame buffers themselves recycle through the edge's
-/// spare-frame pool).
-struct NetServer::Connection {
-  int fd = -1;
-  bool open = false;
-  /// Reads deferred (TCP pushback): this connection's admitted backlog
-  /// crossed pause_reads_above; bytes stay in the kernel receive buffer
-  /// until the backlog halves.
-  bool paused = false;
-  bool want_write = false;  // EPOLLOUT armed (partial write pending)
-  bool dirty = false;       // queued replies awaiting a flush this round
-  std::uint32_t in_flight = 0;  // admitted STEPs not yet answered
+const char* BackendKindName(BackendKind kind) {
+  return kind == BackendKind::kUring ? "uring" : "epoll";
+}
 
-  std::vector<std::uint8_t> in;  // unparsed bytes live at [in_off, size)
-  std::size_t in_off = 0;
+bool ParseBackendKind(std::string_view name, BackendKind& out) {
+  if (name == "epoll") {
+    out = BackendKind::kEpoll;
+    return true;
+  }
+  if (name == "uring" || name == "io_uring") {
+    out = BackendKind::kUring;
+    return true;
+  }
+  return false;
+}
 
-  std::vector<std::vector<std::uint8_t>> out_q;  // encoded reply frames
-  std::size_t out_head = 0;      // first not-fully-written frame
-  std::size_t out_head_off = 0;  // bytes of out_q[out_head] already sent
-
-  std::vector<std::uint64_t> sessions;  // session ids this peer owns
-};
-
-/// One edge thread's whole world: its SO_REUSEPORT listener, epoll, wake
-/// eventfd, connection slab, pending queue and per-session bookkeeping.
-/// Everything here is touched by exactly one thread (the edge's loop);
-/// only the trailing atomics are read cross-edge, for STATS aggregation.
-struct NetServer::Edge {
-  /// One admitted STEP awaiting its decision round.
-  struct PendingStep {
-    std::uint32_t conn = 0;
-    std::uint64_t request_id = 0;
-    std::uint64_t session = 0;
-    std::size_t dense = 0;  // edge-local bookkeeping index of `session`
-    mdp::State state;       // decoded off the wire; storage recycled
-  };
-
-  std::size_t index = 0;        // == submitter group in the service
-  std::size_t group_begin = 0;  // first service shard this edge owns
-  std::size_t group_width = 0;  // shards [begin, begin + width)
-
-  int epoll_fd = -1;
-  int listen_fd = -1;
-  int wake_fd = -1;  // eventfd: Stop() -> loop wakeup
-  std::exception_ptr failure;
-
-  std::vector<std::unique_ptr<Connection>> connections;
-  std::vector<std::uint32_t> free_conn_slots;
-  /// Slots closed during the current epoll iteration; they join
-  /// free_conn_slots only once the event array is fully processed, so a
-  /// stale event for a dead fd can never alias a freshly accepted one.
-  std::vector<std::uint32_t> pending_free_slots_swap;
-
-  std::vector<PendingStep> pending;
-  std::vector<std::size_t> shard_pending;  // admitted per owned lane
-  std::vector<mdp::State> state_pool;      // recycled PendingStep storage
-  /// Recycled reply-frame buffers (the slab behind the output queues).
-  std::vector<std::vector<std::uint8_t>> spare_frames;
-  std::vector<std::uint32_t> dirty;     // connections with queued replies
-  std::vector<std::uint32_t> unpaused;  // resumed this batch: drain them
-
-  // Per-session edge bookkeeping, indexed by the DENSE edge-local index
-  // (local_slot * group_width + lane; the session id itself for a
-  // single-edge server). owner_of[d] is the connection slot (or
-  // kNoOwner), pending_of[d] counts that session's entries in pending,
-  // batch_stamp[d] marks "already in this round" (a session decides at
-  // most once per DecideBatch; duplicates defer to the next round).
-  std::vector<std::uint32_t> owner_of;
-  std::vector<std::uint32_t> pending_of;
-  std::vector<std::uint64_t> batch_stamp;
-  std::uint64_t batch_round = 0;
-  std::size_t open_cursor = 0;  // round-robin lane for multi-edge opens
-
-  // Round scratch (persists across batches; steady state allocates
-  // nothing).
-  std::vector<serve::DecisionService::Request> round_requests;
-  std::vector<mdp::Action> round_actions;
-  std::vector<std::size_t> round_pending_idx;
-
-  std::size_t opens_since_measure = 0;
-
-  // Published counters: written by this edge (relaxed), summed by any
-  // edge answering STATS and by NetServer::Stats().
-  std::atomic<std::uint64_t> decided{0};
-  std::atomic<std::uint64_t> busy{0};
-  std::atomic<std::uint64_t> rejected_opens{0};
-  std::atomic<std::uint64_t> epochs{0};
-  std::atomic<std::uint64_t> errors{0};
-  std::atomic<std::uint64_t> session_bytes{0};  // cached group bytes
-};
-
-namespace {
-constexpr std::uint32_t kNoOwner = 0xffffffffu;
-}  // namespace
+std::unique_ptr<Backend> MakeBackend(BackendKind kind, NetServer& server,
+                                     Edge& edge) {
+  if (kind == BackendKind::kUring) {
+    return std::make_unique<UringBackend>(server, edge);
+  }
+  return std::make_unique<EpollBackend>(server, edge);
+}
 
 NetServer::NetServer(std::shared_ptr<const serve::ServingModel> model,
                      NetServerConfig config)
@@ -171,6 +96,16 @@ NetServer::NetServer(std::shared_ptr<const serve::ServingModel> model,
             }
             return svc;
           }()) {
+  backend_kind_ = config_.backend;
+  if (backend_kind_ == BackendKind::kUring && !UringBackendAvailable()) {
+    // Runtime fallback (sandboxed CI, old kernels): the server still
+    // comes up, on the reference arm, and says so once.
+    std::fprintf(stderr,
+                 "NetServer: io_uring unavailable (%s); falling back to "
+                 "epoll\n",
+                 UringUnavailableReason());
+    backend_kind_ = BackendKind::kEpoll;
+  }
   edges_.reserve(config_.edge_threads);
   for (std::size_t e = 0; e < config_.edge_threads; ++e) {
     auto edge = std::make_unique<Edge>();
@@ -189,7 +124,6 @@ NetServer::~NetServer() {
     }
     if (edge->listen_fd >= 0) ::close(edge->listen_fd);
     if (edge->wake_fd >= 0) ::close(edge->wake_fd);
-    if (edge->epoll_fd >= 0) ::close(edge->epoll_fd);
   }
 }
 
@@ -231,21 +165,11 @@ void NetServer::StartEdge(std::size_t e) {
     ThrowErrno("NetServer: listen");
   }
 
-  edge.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
-  if (edge.epoll_fd < 0) ThrowErrno("NetServer: epoll_create1");
   edge.wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (edge.wake_fd < 0) ThrowErrno("NetServer: eventfd");
 
-  epoll_event ev{};
-  ev.events = EPOLLIN;  // level-triggered: accept until EAGAIN anyway
-  ev.data.u64 = kListenTag;
-  if (::epoll_ctl(edge.epoll_fd, EPOLL_CTL_ADD, edge.listen_fd, &ev) < 0) {
-    ThrowErrno("NetServer: epoll_ctl(listen)");
-  }
-  ev.data.u64 = kWakeTag;
-  if (::epoll_ctl(edge.epoll_fd, EPOLL_CTL_ADD, edge.wake_fd, &ev) < 0) {
-    ThrowErrno("NetServer: epoll_ctl(wake)");
-  }
+  edge.backend = MakeBackend(backend_kind_, *this, edge);
+  edge.backend->Init();
 }
 
 void NetServer::Start() {
@@ -265,7 +189,8 @@ void NetServer::Stop() {
 }
 
 void NetServer::Run() {
-  OSAP_REQUIRE(edges_[0]->epoll_fd >= 0, "NetServer::Run: call Start() first");
+  OSAP_REQUIRE(edges_[0]->backend != nullptr,
+               "NetServer::Run: call Start() first");
   edge_runners_.clear();
   edge_runners_.reserve(edges_.size() - 1);
   for (std::size_t e = 1; e < edges_.size(); ++e) {
@@ -297,52 +222,18 @@ void NetServer::Run() {
 }
 
 void NetServer::RunEdge(Edge& edge) {
-  std::vector<epoll_event> events(256);
   while (!stop_.load(std::memory_order_acquire)) {
-    // Block only when idle; with admitted work pending, poll (gathering
-    // whatever arrived during the previous round) and run a batch.
-    const int timeout = edge.pending.empty() ? -1 : 0;
-    const int n = ::epoll_wait(edge.epoll_fd, events.data(),
-                               static_cast<int>(events.size()), timeout);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ThrowErrno("NetServer: epoll_wait");
-    }
     edge.pending_free_slots_swap.clear();
-    for (int i = 0; i < n; ++i) {
-      const std::uint64_t tag = events[i].data.u64;
-      if (tag == kListenTag) {
-        Accept(edge);
-        continue;
-      }
-      if (tag == kWakeTag) {
-        std::uint64_t drained = 0;
-        [[maybe_unused]] const ssize_t r =
-            ::read(edge.wake_fd, &drained, sizeof drained);
-        continue;
-      }
-      const auto slot = static_cast<std::size_t>(tag);
-      Connection& conn = *edge.connections[slot];
-      // A peer closed earlier in this same event array: its slot is not
-      // recycled until the end of the iteration, so stale events are
-      // recognizable and ignored here.
-      if (!conn.open) continue;
-      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
-        CloseConnection(edge, slot);
-        continue;
-      }
-      if ((events[i].events & EPOLLOUT) != 0) FlushWrites(edge, slot);
-      if (!conn.open) continue;
-      if ((events[i].events & EPOLLIN) != 0) {
-        if (!ReadAndParse(edge, slot)) CloseConnection(edge, slot);
-      }
-    }
+    // Block only when idle; with admitted work pending, gather whatever
+    // arrived during the previous round and run a batch.
+    edge.backend->Pump(edge.pending.empty());
     // Flush admission replies (BUSY / FULL / opens) before the decision
     // round so rejected clients hear back without waiting on compute.
     FlushDirty(edge);
     if (!edge.pending.empty()) RunBatch(edge);
     FlushDirty(edge);
-    // Slots freed this iteration become reusable only now (see above).
+    // Slots freed this iteration become reusable only now (stale events
+    // for a dead fd must never alias a fresh connection).
     for (const std::uint32_t slot : edge.pending_free_slots_swap) {
       edge.free_conn_slots.push_back(slot);
     }
@@ -358,6 +249,9 @@ void NetServer::DrainOnStop(Edge& edge) {
   // new is read or accepted once the stop flag is up.
   using Clock = std::chrono::steady_clock;
   const Clock::time_point deadline = Clock::now() + kDrainDeadline;
+  // Quiesce the backend first: cancel and reap every in-flight op so the
+  // direct blocking flush below is the only writer left on the sockets.
+  edge.backend->PrepareDrain();
   // Pipelined duplicates defer one round each, so loop batches until the
   // admitted backlog is empty.
   while (!edge.pending.empty() && Clock::now() < deadline) {
@@ -374,8 +268,11 @@ void NetServer::DrainOnStop(Edge& edge) {
       pollfd pfd{};
       pfd.fd = conn->fd;
       pfd.events = POLLOUT;
-      if (::poll(&pfd, 1, static_cast<int>(left.count())) <= 0) break;
-      FlushWrites(edge, slot);  // may close the connection on error
+      const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      edge.io_syscalls.fetch_add(1, std::memory_order_relaxed);
+      if (pr < 0 && errno == EINTR) continue;  // deadline still bounds us
+      if (pr <= 0) break;
+      DirectFlush(edge, slot);  // may close the connection on error
     }
   }
   for (std::size_t slot = 0; slot < edge.connections.size(); ++slot) {
@@ -384,72 +281,36 @@ void NetServer::DrainOnStop(Edge& edge) {
   }
 }
 
-void NetServer::Accept(Edge& edge) {
-  for (;;) {
-    const int fd =
-        ::accept4(edge.listen_fd, nullptr, nullptr,
-                  SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // EAGAIN, or transient accept failure: try next event
-    }
-    // The connection cap is shared across edges: reserve, verify, undo.
-    if (open_connections_.fetch_add(1, std::memory_order_relaxed) >=
-        config_.max_connections) {
-      open_connections_.fetch_sub(1, std::memory_order_relaxed);
-      ::close(fd);  // hard admission: no fd budget to even say BUSY
-      continue;
-    }
-    // Small pipelined frames must not wait out Nagle on the reply path.
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-
-    std::uint32_t slot;
-    if (!edge.free_conn_slots.empty()) {
-      slot = edge.free_conn_slots.back();
-      edge.free_conn_slots.pop_back();
-    } else {
-      slot = static_cast<std::uint32_t>(edge.connections.size());
-      edge.connections.push_back(std::make_unique<Connection>());
-    }
-    Connection& conn = *edge.connections[slot];
-    conn.fd = fd;
-    conn.open = true;
-
-    epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLET;
-    ev.data.u64 = slot;
-    if (::epoll_ctl(edge.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      ::close(fd);
-      conn.fd = -1;
-      conn.open = false;
-      edge.free_conn_slots.push_back(slot);
-      open_connections_.fetch_sub(1, std::memory_order_relaxed);
-      continue;
-    }
+void NetServer::AdmitConnection(Edge& edge, int fd) {
+  // The connection cap is shared across edges: reserve, verify, undo.
+  if (open_connections_.fetch_add(1, std::memory_order_relaxed) >=
+      config_.max_connections) {
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
+    ::close(fd);  // hard admission: no fd budget to even say BUSY
+    return;
   }
-}
+  // Small pipelined frames must not wait out Nagle on the reply path.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
-bool NetServer::ReadAndParse(Edge& edge, std::size_t slot) {
+  std::uint32_t slot;
+  if (!edge.free_conn_slots.empty()) {
+    slot = edge.free_conn_slots.back();
+    edge.free_conn_slots.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(edge.connections.size());
+    edge.connections.push_back(std::make_unique<Connection>());
+  }
   Connection& conn = *edge.connections[slot];
-  // Edge-triggered: drain until EAGAIN, or stop early on pause (the
-  // unread bytes close the TCP window - that IS the backpressure).
-  while (!conn.paused) {
-    const std::size_t old = conn.in.size();
-    conn.in.resize(old + kReadChunk);
-    const ssize_t r = ::recv(conn.fd, conn.in.data() + old, kReadChunk, 0);
-    if (r > 0) {
-      conn.in.resize(old + static_cast<std::size_t>(r));
-      if (!ParseBuffered(edge, slot)) return false;
-      continue;
-    }
-    conn.in.resize(old);
-    if (r == 0) return false;  // EOF
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-    if (errno == EINTR) continue;
-    return false;
+  conn.fd = fd;
+  conn.open = true;
+  if (!edge.backend->OnConnectionOpened(slot)) {
+    ::close(fd);
+    conn.fd = -1;
+    conn.open = false;
+    edge.free_conn_slots.push_back(slot);
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
   }
-  return true;
 }
 
 bool NetServer::ParseBuffered(Edge& edge, std::size_t slot) {
@@ -729,17 +590,21 @@ void NetServer::RunBatch(Edge& edge) {
   edge.pending.resize(write);
 
   // Resume paused connections whose backlog drained: parse what their
-  // buffers already hold, then drain the socket explicitly (paused
-  // edge-triggered fds owe us no further events for old data). Skipped
-  // once stopping - the drain path answers what is queued but reads
-  // nothing new.
+  // buffers already hold, then have the backend deliver reads again
+  // (paused edge-triggered fds / cancelled multishot recvs owe us no
+  // further events for old data). Skipped once stopping - the drain
+  // path answers what is queued but reads nothing new.
   if (!stop_.load(std::memory_order_acquire)) {
     for (const std::uint32_t slot : edge.unpaused) {
       Connection& conn = *edge.connections[slot];
       if (!conn.open || conn.paused) continue;
-      if (!ParseBuffered(edge, slot) || !ReadAndParse(edge, slot)) {
+      if (!ParseBuffered(edge, slot)) {
         CloseConnection(edge, slot);
+        continue;
       }
+      // Parsing buffered frames may re-pause; only a still-unpaused
+      // connection gets its read path re-armed.
+      if (conn.open && !conn.paused) edge.backend->OnReadsResumed(slot);
     }
   }
   edge.unpaused.clear();
@@ -812,7 +677,10 @@ void NetServer::CloseConnection(Edge& edge, std::size_t slot) {
   }
   conn.sessions.clear();
 
-  ::epoll_ctl(edge.epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+  // The backend forgets / cancels the slot's in-flight IO before the fd
+  // goes away; frames an in-flight send still references are kept alive
+  // by the backend, so recycling the queue below is safe.
+  edge.backend->OnConnectionClosing(slot);
   ::close(conn.fd);
   conn.fd = -1;
   conn.open = false;
@@ -830,9 +698,9 @@ void NetServer::CloseConnection(Edge& edge, std::size_t slot) {
   conn.out_head = 0;
   conn.out_head_off = 0;
   open_connections_.fetch_sub(1, std::memory_order_relaxed);
-  // Recycle the slot only after the current epoll event array is fully
-  // processed (RunEdge moves these into free_conn_slots), so stale
-  // events for the old fd cannot alias a fresh connection.
+  // Recycle the slot only after the current IO round is fully processed
+  // (RunEdge moves these into free_conn_slots), so stale events for the
+  // old fd cannot alias a fresh connection.
   edge.pending_free_slots_swap.push_back(static_cast<std::uint32_t>(slot));
 }
 
@@ -856,12 +724,15 @@ void NetServer::FlushDirty(Edge& edge) {
   for (const std::uint32_t slot : edge.dirty) {
     Connection& conn = *edge.connections[slot];
     conn.dirty = false;
-    if (conn.open) FlushWrites(edge, slot);
+    if (conn.open) edge.backend->FlushWrites(slot);
   }
   edge.dirty.clear();
+  // The uring arm queues SENDMSG SQEs above; submit them now so replies
+  // leave the process before (not after) the next decision round.
+  edge.backend->Kick();
 }
 
-void NetServer::FlushWrites(Edge& edge, std::size_t slot) {
+void NetServer::DirectFlush(Edge& edge, std::size_t slot) {
   Connection& conn = *edge.connections[slot];
   while (conn.out_head < conn.out_q.size()) {
     iovec iov[kMaxIov];
@@ -874,29 +745,41 @@ void NetServer::FlushWrites(Edge& edge, std::size_t slot) {
       iov[iov_count].iov_len = conn.out_q[i].size() - off;
       ++iov_count;
     }
-    const ssize_t wrote = ::writev(conn.fd, iov, iov_count);
+    // sendmsg, not writev: MSG_NOSIGNAL turns a peer reset mid-reply
+    // into EPIPE instead of a process-fatal SIGPIPE.
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iov_count);
+    const ssize_t wrote = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+    edge.io_syscalls.fetch_add(1, std::memory_order_relaxed);
     if (wrote < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       CloseConnection(edge, slot);
       return;
     }
-    // Partial-write continuation: advance (frame, offset) through the
-    // queue; an unfinished head frame resumes at out_head_off.
-    std::size_t remaining = static_cast<std::size_t>(wrote);
-    while (remaining > 0) {
-      std::vector<std::uint8_t>& head = conn.out_q[conn.out_head];
-      const std::size_t left = head.size() - conn.out_head_off;
-      if (remaining >= left) {
-        remaining -= left;
-        head.clear();
-        edge.spare_frames.push_back(std::move(head));
-        ++conn.out_head;
-        conn.out_head_off = 0;
-      } else {
-        conn.out_head_off += remaining;
-        remaining = 0;
-      }
+    ConsumeOutput(edge, slot, static_cast<std::size_t>(wrote));
+  }
+}
+
+void NetServer::ConsumeOutput(Edge& edge, std::size_t slot,
+                              std::size_t wrote) {
+  Connection& conn = *edge.connections[slot];
+  // Partial-write continuation: advance (frame, offset) through the
+  // queue; an unfinished head frame resumes at out_head_off.
+  std::size_t remaining = wrote;
+  while (remaining > 0) {
+    std::vector<std::uint8_t>& head = conn.out_q[conn.out_head];
+    const std::size_t left = head.size() - conn.out_head_off;
+    if (remaining >= left) {
+      remaining -= left;
+      head.clear();
+      edge.spare_frames.push_back(std::move(head));
+      ++conn.out_head;
+      conn.out_head_off = 0;
+    } else {
+      conn.out_head_off += remaining;
+      remaining = 0;
     }
   }
   if (conn.out_head == conn.out_q.size()) {
@@ -904,19 +787,6 @@ void NetServer::FlushWrites(Edge& edge, std::size_t slot) {
     conn.out_head = 0;
     conn.out_head_off = 0;
   }
-  const bool want_write = conn.out_head < conn.out_q.size();
-  if (want_write != conn.want_write) {
-    conn.want_write = want_write;
-    UpdateEpollInterest(edge, slot);
-  }
-}
-
-void NetServer::UpdateEpollInterest(Edge& edge, std::size_t slot) {
-  Connection& conn = *edge.connections[slot];
-  epoll_event ev{};
-  ev.events = EPOLLIN | EPOLLET | (conn.want_write ? EPOLLOUT : 0u);
-  ev.data.u64 = slot;
-  ::epoll_ctl(edge.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
 }
 
 ServerStats NetServer::BuildStats(Edge& edge) {
@@ -945,6 +815,14 @@ ServerStats NetServer::Stats() const {
   stats.calibration_observed = service_.CalibrationObservations();
   stats.calibration_exceeded = service_.CalibrationExceedances();
   return stats;
+}
+
+std::uint64_t NetServer::IoSyscalls() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) {
+    total += e->io_syscalls.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace osap::net

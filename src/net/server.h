@@ -1,5 +1,5 @@
-// NetServer: the epoll-based binary-protocol front-end of the serving
-// path (DESIGN.md §10).
+// NetServer: the binary-protocol front-end of the serving path
+// (DESIGN.md §10).
 //
 // A thin, dumb edge in front of serve::DecisionService, shaped like a
 // control/data-plane split: the edge owns sockets, framing and admission;
@@ -9,8 +9,10 @@
 //
 //   - its OWN SO_REUSEPORT listener on the shared port (the kernel
 //     shards incoming connections across the listeners by 4-tuple hash),
-//   - its own epoll instance, wake eventfd, and slab-recycled connection
-//     buffers / pending queues / reply-frame pools,
+//   - its own IO backend (net::Backend - the epoll/ET loop or the
+//     io_uring ring, NetServerConfig::backend), wake eventfd, and
+//     slab-recycled connection buffers / pending queues / reply-frame
+//     pools,
 //   - a contiguous GROUP of the service's shard lanes (submitter group e
 //     of DecisionServiceConfig::submitter_count = edge_threads): the
 //     edge opens its sessions round-robin over its own shards and
@@ -23,17 +25,19 @@
 // counters summed on STATS). Each edge runs the same loop the
 // single-threaded server ran:
 //
-//   epoll_wait -> accept / drain readable sockets (edge-triggered,
-//   non-blocking) -> parse frames, admit or reject each request ->
-//   when admitted STEPs are pending, ONE DecideBatchGroup over all of
-//   them (micro-batching across connections and sessions) -> encode
-//   replies into per-connection output queues -> flush with vectored
-//   writes, partial writes continue under EPOLLOUT.
+//   backend->Pump (epoll_wait or io_uring_enter; accept / drain readable
+//   sockets) -> parse frames, admit or reject each request -> when
+//   admitted STEPs are pending, ONE DecideBatchGroup over all of them
+//   (micro-batching across connections and sessions) -> encode replies
+//   into per-connection output queues -> flush with vectored writes,
+//   partial writes continue under EPOLLOUT / send CQEs.
 //
 // edge_threads = 1 is bit-identical to the classic single-loop server:
 // one group = every shard, the global id allocator, the same admission
 // arithmetic (the shared budget sees exactly one edge), the same wire
-// bytes.
+// bytes. The backend choice never changes the decision stream either -
+// framing, per-round dedup, batching, admission and drain are shared
+// above the Backend interface.
 //
 // Admission control and backpressure (all per NetServerConfig):
 //   - max_in_flight caps admitted-but-unanswered STEPs process-wide via
@@ -60,11 +64,11 @@
 // silently dropped while a connection lives.
 //
 // Shutdown is graceful: Stop() (thread-safe, one eventfd write per edge)
-// makes every edge stop reading, run decision rounds until its admitted
-// backlog is answered, flush every queued reply (blocking-poll bounded
-// by kDrainDeadline), and only then close its connections - a client
-// that stops sending sees every request it managed to send answered
-// before EOF.
+// makes every edge stop reading, quiesce its backend, run decision
+// rounds until its admitted backlog is answered, flush every queued
+// reply (blocking-poll bounded by kDrainDeadline), and only then close
+// its connections - a client that stops sending sees every request it
+// managed to send answered before EOF.
 //
 // Threading: Start() binds and listens (all edges); Run() blocks running
 // edge 0's loop on the calling thread and the other edges on internal
@@ -80,11 +84,15 @@
 #include <vector>
 
 #include "mdp/types.h"
+#include "net/backend.h"
 #include "net/protocol.h"
 #include "serve/decision_service.h"
 #include "serve/serving_model.h"
 
 namespace osap::net {
+
+struct Connection;
+struct Edge;
 
 struct NetServerConfig {
   /// TCP port to listen on; 0 picks an ephemeral port (see Port()).
@@ -94,6 +102,10 @@ struct NetServerConfig {
   /// be >= 1; service.shard_count must be >= edge_threads (one lane per
   /// edge minimum). 1 = the classic single-loop server.
   std::size_t edge_threads = 1;
+  /// Per-edge IO driver. kUring silently falls back to kEpoll (with one
+  /// stderr notice) when the kernel denies io_uring - backend_kind()
+  /// reports what actually runs.
+  BackendKind backend = BackendKind::kEpoll;
   int listen_backlog = 128;
   /// Cap on concurrently accepted connections, shared across edges.
   std::size_t max_connections = 4096;
@@ -151,27 +163,34 @@ class NetServer {
 
   std::size_t EdgeCount() const { return edges_.size(); }
 
+  /// The backend actually running (after any epoll fallback).
+  BackendKind backend_kind() const { return backend_kind_; }
+  const char* BackendName() const { return BackendKindName(backend_kind_); }
+
+  /// Total IO syscalls issued by the edge loops so far (epoll_wait,
+  /// recv, sendmsg, accept4, io_uring_enter, ...). Relaxed sum; the
+  /// denominator for syscalls-per-decision is Stats().decided.
+  std::uint64_t IoSyscalls() const;
+
   const serve::DecisionService& service() const { return service_; }
 
  private:
-  struct Connection;
-  /// All per-edge state (sockets, connection slabs, pending queue, shard
-  /// bookkeeping, published counters). Defined in server.cc.
-  struct Edge;
+  friend class EpollBackend;
+  friend class UringBackend;
 
-  /// Creates edge e's listener / epoll / eventfd (edge 0 resolves the
-  /// shared port; the rest bind it via SO_REUSEPORT).
+  /// Creates edge e's listener / wake eventfd / backend (edge 0 resolves
+  /// the shared port; the rest bind it via SO_REUSEPORT).
   void StartEdge(std::size_t e);
   /// Edge e's event loop: runs until stop_, then drains gracefully.
   void RunEdge(Edge& edge);
-  /// Post-stop drain: answer every admitted STEP, flush every queued
-  /// reply (bounded blocking), then close the edge's connections.
+  /// Post-stop drain: quiesce the backend, answer every admitted STEP,
+  /// flush every queued reply (bounded blocking), then close the edge's
+  /// connections.
   void DrainOnStop(Edge& edge);
-  void Accept(Edge& edge);
-  /// Drains `slot` until EAGAIN, parsing complete frames as they land.
-  /// Returns false when the connection died (EOF / error / protocol
-  /// violation) and must be torn down.
-  bool ReadAndParse(Edge& edge, std::size_t slot);
+  /// One freshly accepted fd: admission cap, TCP_NODELAY, slot
+  /// assignment, then backend->OnConnectionOpened. Called by both arms'
+  /// accept paths (accept4 loop / multishot-accept CQEs).
+  void AdmitConnection(Edge& edge, int fd);
   /// Parses every complete frame in the connection's input buffer
   /// (stops early when the connection pauses). False on protocol error.
   bool ParseBuffered(Edge& edge, std::size_t slot);
@@ -184,12 +203,18 @@ class NetServer {
   void CloseConnection(Edge& edge, std::size_t slot);
   void QueueReply(Edge& edge, std::size_t slot, const Reply& reply,
                   const ServerStats* stats = nullptr);
-  /// Flushes every connection QueueReply marked dirty this iteration.
+  /// Flushes every connection QueueReply marked dirty this iteration
+  /// through the backend, then kicks queued submissions.
   void FlushDirty(Edge& edge);
-  /// writev as much of the connection's output queue as the socket
-  /// accepts; arms/disarms EPOLLOUT around partial writes.
-  void FlushWrites(Edge& edge, std::size_t slot);
-  void UpdateEpollInterest(Edge& edge, std::size_t slot);
+  /// Sends as much of the connection's output queue as the socket
+  /// accepts right now (sendmsg + MSG_NOSIGNAL, EAGAIN stops). The
+  /// epoll arm's flush and both arms' drain path; the uring arm's
+  /// steady-state flush goes through SENDMSG SQEs instead.
+  void DirectFlush(Edge& edge, std::size_t slot);
+  /// Partial-write continuation: advances (out_head, out_head_off) by
+  /// `wrote` bytes, recycling fully sent frames; resets the queue when
+  /// drained. Shared by DirectFlush and the uring send-CQE path.
+  void ConsumeOutput(Edge& edge, std::size_t slot, std::size_t wrote);
   /// Refreshes edge's session-bytes cache and sums every edge's
   /// published counters (the STATS reply payload).
   ServerStats BuildStats(Edge& edge);
@@ -202,8 +227,11 @@ class NetServer {
   /// including the global id free list).
   std::size_t GroupSessionBytes(const Edge& edge) const;
 
+  bool stopping() const { return stop_.load(std::memory_order_acquire); }
+
   std::shared_ptr<const serve::ServingModel> model_;
   NetServerConfig config_;
+  BackendKind backend_kind_ = BackendKind::kEpoll;  // post-fallback
   serve::DecisionService service_;
 
   std::vector<std::unique_ptr<Edge>> edges_;

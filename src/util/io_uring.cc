@@ -1,0 +1,300 @@
+#include "util/io_uring.h"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace osap::util {
+
+namespace {
+
+int SysSetup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int SysEnter(int fd, unsigned to_submit, unsigned min_complete,
+             unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+int SysRegister(int fd, unsigned opcode, void* arg, unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+// The ring head/tail words are shared with the kernel; the ABI wants
+// acquire loads on the side the kernel writes and release stores on the
+// side we write.
+unsigned LoadAcquire(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+void StoreRelease(unsigned* p, unsigned v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+}  // namespace
+
+IoUring::~IoUring() { Close(); }
+
+void IoUring::Close() {
+  if (buf_ring_ != nullptr) {
+    ::munmap(buf_ring_, buf_ring_bytes_);
+    buf_ring_ = nullptr;
+  }
+  if (buf_mem_ != nullptr) {
+    ::munmap(buf_mem_, buf_mem_bytes_);
+    buf_mem_ = nullptr;
+  }
+  if (sqes_ != nullptr) {
+    ::munmap(sqes_, sqes_bytes_);
+    sqes_ = nullptr;
+  }
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+    ::munmap(cq_ring_, cq_ring_bytes_);
+  }
+  cq_ring_ = nullptr;
+  if (sq_ring_ != nullptr) {
+    ::munmap(sq_ring_, sq_ring_bytes_);
+    sq_ring_ = nullptr;
+  }
+  if (ring_fd_ >= 0) {
+    ::close(ring_fd_);
+    ring_fd_ = -1;
+  }
+}
+
+bool IoUring::Init(unsigned sq_entries, unsigned cq_entries) {
+  io_uring_params params{};
+  params.flags = IORING_SETUP_CLAMP;
+  if (cq_entries > 0) {
+    params.flags |= IORING_SETUP_CQSIZE;
+    params.cq_entries = cq_entries;
+  }
+  ring_fd_ = SysSetup(sq_entries, &params);
+  if (ring_fd_ < 0) {
+    ring_fd_ = -1;
+    return false;
+  }
+  features_ = params.features;
+
+  sq_ring_bytes_ =
+      params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ =
+      params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  if ((features_ & IORING_FEAT_SINGLE_MMAP) != 0) {
+    sq_ring_bytes_ = cq_ring_bytes_ =
+        sq_ring_bytes_ > cq_ring_bytes_ ? sq_ring_bytes_ : cq_ring_bytes_;
+  }
+  sq_ring_ = static_cast<std::uint8_t*>(
+      ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING));
+  if (sq_ring_ == MAP_FAILED) {
+    sq_ring_ = nullptr;
+    Close();
+    return false;
+  }
+  if ((features_ & IORING_FEAT_SINGLE_MMAP) != 0) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = static_cast<std::uint8_t*>(
+        ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING));
+    if (cq_ring_ == MAP_FAILED) {
+      cq_ring_ = nullptr;
+      Close();
+      return false;
+    }
+  }
+  sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = static_cast<io_uring_sqe*>(
+      ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+  if (sqes_ == MAP_FAILED) {
+    sqes_ = nullptr;
+    Close();
+    return false;
+  }
+
+  sq_khead_ = reinterpret_cast<unsigned*>(sq_ring_ + params.sq_off.head);
+  sq_ktail_ = reinterpret_cast<unsigned*>(sq_ring_ + params.sq_off.tail);
+  sq_kflags_ = reinterpret_cast<unsigned*>(sq_ring_ + params.sq_off.flags);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sq_ring_ + params.sq_off.ring_mask);
+  sq_entries_ = params.sq_entries;
+  sq_local_tail_ = *sq_ktail_;
+  // Identity sq_array, written once: slot i of the indirection ring
+  // always names SQE i, so publishing the tail is the whole submit.
+  unsigned* sq_array =
+      reinterpret_cast<unsigned*>(sq_ring_ + params.sq_off.array);
+  for (unsigned i = 0; i < params.sq_entries; ++i) sq_array[i] = i;
+
+  cq_khead_ = reinterpret_cast<unsigned*>(cq_ring_ + params.cq_off.head);
+  cq_ktail_ = reinterpret_cast<unsigned*>(cq_ring_ + params.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cq_ring_ + params.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<io_uring_cqe*>(cq_ring_ + params.cq_off.cqes);
+  return true;
+}
+
+io_uring_sqe* IoUring::GetSqe() {
+  if (sq_local_tail_ - LoadAcquire(sq_khead_) >= sq_entries_) {
+    Submit();  // non-SQPOLL: enter consumes the whole queue synchronously
+    if (sq_local_tail_ - LoadAcquire(sq_khead_) >= sq_entries_) {
+      throw std::runtime_error("IoUring: submission queue stuck full");
+    }
+  }
+  io_uring_sqe* sqe = &sqes_[sq_local_tail_ & sq_mask_];
+  ++sq_local_tail_;
+  std::memset(sqe, 0, sizeof *sqe);
+  return sqe;
+}
+
+unsigned IoUring::Submit(unsigned wait_nr) {
+  StoreRelease(sq_ktail_, sq_local_tail_);
+  const unsigned to_submit = sq_local_tail_ - LoadAcquire(sq_khead_);
+  const bool overflow =
+      (LoadAcquire(sq_kflags_) & IORING_SQ_CQ_OVERFLOW) != 0;
+  if (to_submit == 0 && wait_nr == 0 && !overflow) return 0;
+  for (;;) {
+    const int ret =
+        SysEnter(ring_fd_, to_submit, wait_nr, IORING_ENTER_GETEVENTS);
+    ++enter_calls_;
+    if (ret >= 0) return static_cast<unsigned>(ret);
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("IoUring: io_uring_enter: ") +
+                             std::strerror(errno));
+  }
+}
+
+io_uring_cqe* IoUring::PeekCqe() {
+  const unsigned head = *cq_khead_;  // we are the only consumer
+  if (head == LoadAcquire(cq_ktail_)) return nullptr;
+  return &cqes_[head & cq_mask_];
+}
+
+void IoUring::AdvanceCqe(unsigned n) {
+  StoreRelease(cq_khead_, *cq_khead_ + n);
+}
+
+bool IoUring::RegisterBufRing(std::uint16_t bgid, std::uint32_t count,
+                              std::uint32_t size) {
+  if (count == 0 || (count & (count - 1)) != 0) return false;
+  // MAP_SHARED is load-bearing: the kernel pins the ring pages at
+  // registration time, BEFORE we write the first descriptor. A private
+  // anonymous mapping would pin the CoW zero page and our later writes
+  // would fault in a fresh page the kernel never looks at - every
+  // buffer-select op then fails ENOBUFS against a forever-empty ring.
+  buf_ring_bytes_ = count * sizeof(io_uring_buf);
+  buf_ring_ = static_cast<io_uring_buf_ring*>(
+      ::mmap(nullptr, buf_ring_bytes_, PROT_READ | PROT_WRITE,
+             MAP_ANONYMOUS | MAP_SHARED, -1, 0));
+  if (buf_ring_ == MAP_FAILED) {
+    buf_ring_ = nullptr;
+    return false;
+  }
+  buf_mem_bytes_ = static_cast<std::size_t>(count) * size;
+  buf_mem_ = static_cast<std::uint8_t*>(
+      ::mmap(nullptr, buf_mem_bytes_, PROT_READ | PROT_WRITE,
+             MAP_ANONYMOUS | MAP_PRIVATE, -1, 0));
+  if (buf_mem_ == MAP_FAILED) {
+    buf_mem_ = nullptr;
+    ::munmap(buf_ring_, buf_ring_bytes_);
+    buf_ring_ = nullptr;
+    return false;
+  }
+  io_uring_buf_reg reg{};
+  reg.ring_addr = reinterpret_cast<std::uint64_t>(buf_ring_);
+  reg.ring_entries = count;
+  reg.bgid = bgid;
+  if (SysRegister(ring_fd_, IORING_REGISTER_PBUF_RING, &reg, 1) < 0) {
+    ::munmap(buf_mem_, buf_mem_bytes_);
+    buf_mem_ = nullptr;
+    ::munmap(buf_ring_, buf_ring_bytes_);
+    buf_ring_ = nullptr;
+    return false;
+  }
+  buf_bgid_ = bgid;
+  buf_count_ = count;
+  buf_size_ = size;
+  buf_mask_ = static_cast<std::uint16_t>(count - 1);
+  buf_local_tail_ = 0;
+  for (std::uint32_t bid = 0; bid < count; ++bid) {
+    RecycleBuffer(static_cast<std::uint16_t>(bid));
+  }
+  return true;
+}
+
+void IoUring::RecycleBuffer(std::uint16_t bid) {
+  // NOT buf_ring_->bufs[...]: __DECLARE_FLEX_ARRAY pads the flex member
+  // with a one-byte struct under C++, shifting bufs[] to offset 8. The
+  // kernel ABI puts descriptor 0 at offset 0, so index the ring base
+  // directly (tail, on the union's other side, is unaffected).
+  io_uring_buf* entries = reinterpret_cast<io_uring_buf*>(buf_ring_);
+  io_uring_buf* entry = &entries[buf_local_tail_ & buf_mask_];
+  entry->addr = reinterpret_cast<std::uint64_t>(
+      buf_mem_ + static_cast<std::size_t>(bid) * buf_size_);
+  entry->len = buf_size_;
+  entry->bid = bid;
+  ++buf_local_tail_;
+  __atomic_store_n(&buf_ring_->tail, buf_local_tail_, __ATOMIC_RELEASE);
+}
+
+namespace {
+
+const char* g_unsupported_reason = "";
+
+bool ProbeOnce() {
+  IoUring ring;
+  if (!ring.Init(8)) {
+    g_unsupported_reason = (errno == ENOSYS || errno == EPERM ||
+                            errno == EACCES)
+                               ? "io_uring_setup denied (ENOSYS/EPERM)"
+                               : "io_uring_setup failed";
+    return false;
+  }
+  if (!ring.RegisterBufRing(0, 8, 4096)) {
+    g_unsupported_reason = "provided-buffer rings unsupported (< 5.19)";
+    return false;
+  }
+  // Op-table version check: multishot accept/recv landed by 6.0, the
+  // same release as IORING_OP_SEND_ZC - an op the probe CAN see.
+  alignas(io_uring_probe) std::uint8_t
+      probe_mem[sizeof(io_uring_probe) + 256 * sizeof(io_uring_probe_op)] = {};
+  auto* probe = reinterpret_cast<io_uring_probe*>(probe_mem);
+  if (::syscall(__NR_io_uring_register, ring.ring_fd(), IORING_REGISTER_PROBE,
+                probe, 256) < 0 ||
+      probe->last_op < IORING_OP_SEND_ZC) {
+    g_unsupported_reason = "kernel predates multishot recv (< 6.0)";
+    return false;
+  }
+  // One NOP round trip proves submit + reap end to end.
+  io_uring_sqe* sqe = ring.GetSqe();
+  sqe->opcode = IORING_OP_NOP;
+  sqe->user_data = 42;
+  ring.Submit(1);
+  io_uring_cqe* cqe = ring.PeekCqe();
+  if (cqe == nullptr || cqe->user_data != 42) {
+    g_unsupported_reason = "NOP round trip failed";
+    return false;
+  }
+  ring.AdvanceCqe();
+  return true;
+}
+
+}  // namespace
+
+bool IoUring::KernelSupported() {
+  static const bool supported = ProbeOnce();
+  return supported;
+}
+
+const char* IoUring::UnsupportedReason() {
+  return KernelSupported() ? "" : g_unsupported_reason;
+}
+
+}  // namespace osap::util

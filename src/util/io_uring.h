@@ -1,0 +1,126 @@
+// Minimal io_uring wrapper over the raw syscalls - the host ships
+// <linux/io_uring.h> but no liburing, so the ring setup, mmap layout and
+// memory-ordering rules live here (DESIGN.md §10.5). Scope is exactly
+// what the net edge's uring backend needs:
+//
+//   - io_uring_setup + the SQ/CQ mmaps (IORING_FEAT_SINGLE_MMAP aware),
+//     identity sq_array filled once at Init,
+//   - SQE acquisition with automatic flush when the ring is full,
+//   - one Submit() wrapping io_uring_enter(GETEVENTS): submits every
+//     queued SQE and optionally blocks for completions; reaping CQEs
+//     afterwards is pure shared-memory reads (no syscall),
+//   - a provided-buffer ring (IORING_REGISTER_PBUF_RING) for multishot
+//     recv: fixed-size buffers handed to the kernel, recycled by id,
+//   - a cached KernelSupported() probe so callers can fall back to
+//     epoll when the kernel denies io_uring_setup (ENOSYS/EPERM - e.g.
+//     sandboxed CI) or predates multishot recv.
+//
+// Single-threaded by design: one ring belongs to one edge loop. The
+// kernel is the only other party touching the mapped rings, synchronized
+// with acquire/release on the head/tail words exactly as the io_uring
+// ABI specifies.
+#pragma once
+
+#include <linux/io_uring.h>
+#include <sys/socket.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace osap::util {
+
+class IoUring {
+ public:
+  IoUring() = default;
+  ~IoUring();
+
+  IoUring(const IoUring&) = delete;
+  IoUring& operator=(const IoUring&) = delete;
+
+  /// Creates and maps the ring (cq_entries 0 = kernel default, 2x SQ).
+  /// False with errno intact when the kernel refuses - callers decide
+  /// whether that means fallback (ENOSYS/EPERM) or a hard error.
+  bool Init(unsigned sq_entries, unsigned cq_entries = 0);
+  bool ok() const { return ring_fd_ >= 0; }
+  int ring_fd() const { return ring_fd_; }
+
+  /// Next free SQE, zeroed. Flushes the queue with Submit() first when
+  /// the SQ is full (the kernel consumes submitted SQEs synchronously,
+  /// so a flush always frees the ring).
+  io_uring_sqe* GetSqe();
+
+  /// Publishes every queued SQE and calls io_uring_enter once, waiting
+  /// for at least `wait_nr` completions. Skips the syscall entirely when
+  /// there is nothing to submit, nothing to wait for, and no kernel-side
+  /// CQ overflow to flush. EINTR is retried. Returns the number of SQEs
+  /// the kernel consumed; throws std::runtime_error on fatal errno.
+  unsigned Submit(unsigned wait_nr = 0);
+
+  /// Oldest unseen CQE, or nullptr (shared-memory read, no syscall).
+  io_uring_cqe* PeekCqe();
+  /// Marks the oldest `n` CQEs consumed.
+  void AdvanceCqe(unsigned n = 1);
+
+  /// Registers a provided-buffer ring: `count` (power of two) buffers of
+  /// `size` bytes under group `bgid`, all initially owned by the kernel.
+  bool RegisterBufRing(std::uint16_t bgid, std::uint32_t count,
+                       std::uint32_t size);
+  /// Returns buffer `bid` to the kernel after consuming a CQE that
+  /// carried it (IORING_CQE_F_BUFFER).
+  void RecycleBuffer(std::uint16_t bid);
+  const std::uint8_t* BufferData(std::uint16_t bid) const {
+    return buf_mem_ + static_cast<std::size_t>(bid) * buf_size_;
+  }
+  std::uint32_t buffer_size() const { return buf_size_; }
+
+  /// io_uring_enter invocations so far (the edge's syscall budget).
+  std::uint64_t enter_calls() const { return enter_calls_; }
+
+  /// One cached process-wide probe: io_uring_setup succeeds, provided
+  /// buffer rings register, and the op table is new enough for multishot
+  /// accept/recv (>= IORING_OP_SEND_ZC, i.e. kernel >= 6.0).
+  static bool KernelSupported();
+  /// Human-readable reason when KernelSupported() is false, else "".
+  static const char* UnsupportedReason();
+
+ private:
+  void Close();
+
+  int ring_fd_ = -1;
+  unsigned features_ = 0;
+
+  // SQ/CQ mappings (cq_ring_ aliases sq_ring_ under SINGLE_MMAP).
+  std::uint8_t* sq_ring_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  std::uint8_t* cq_ring_ = nullptr;
+  std::size_t cq_ring_bytes_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqes_bytes_ = 0;
+
+  unsigned* sq_khead_ = nullptr;  // kernel-written consumer index
+  unsigned* sq_ktail_ = nullptr;  // ours, release-published on Submit
+  unsigned* sq_kflags_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned sq_local_tail_ = 0;  // SQEs handed out, not yet published
+
+  unsigned* cq_khead_ = nullptr;  // ours, release-published on Advance
+  unsigned* cq_ktail_ = nullptr;  // kernel-written producer index
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  // Provided-buffer ring + the buffer slab behind it.
+  io_uring_buf_ring* buf_ring_ = nullptr;
+  std::size_t buf_ring_bytes_ = 0;
+  std::uint8_t* buf_mem_ = nullptr;
+  std::size_t buf_mem_bytes_ = 0;
+  std::uint16_t buf_bgid_ = 0;
+  std::uint32_t buf_count_ = 0;
+  std::uint32_t buf_size_ = 0;
+  std::uint16_t buf_mask_ = 0;
+  std::uint16_t buf_local_tail_ = 0;
+
+  std::uint64_t enter_calls_ = 0;
+};
+
+}  // namespace osap::util

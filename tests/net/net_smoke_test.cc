@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <latch>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -27,11 +28,37 @@ using testing::NetWorld;
 using testing::ServerRunner;
 using testing::SharedNetWorld;
 
-TEST(NetSmoke, ConcurrentClientsWithSessionChurn) {
+/// The TSan-checked churn smokes run under both IO backends; the uring
+/// arm skips visibly where the kernel denies io_uring.
+class NetSmoke : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == BackendKind::kUring && !UringBackendAvailable()) {
+      GTEST_SKIP() << "io_uring denied by this kernel ("
+                   << UringUnavailableReason()
+                   << "); uring backend arm skipped";
+    }
+  }
+
+  NetServerConfig Cfg() const {
+    NetServerConfig cfg;
+    cfg.backend = GetParam();
+    return cfg;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, NetSmoke,
+    ::testing::Values(BackendKind::kEpoll, BackendKind::kUring),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return std::string(BackendKindName(info.param));
+    });
+
+TEST_P(NetSmoke, ConcurrentClientsWithSessionChurn) {
   const NetWorld& w = SharedNetWorld();
   const auto model = NetModelFor(w, serve::Signal::kAgentEnsemble,
                                  core::DefaultingMode::kRevocable);
-  NetServerConfig cfg;
+  NetServerConfig cfg = Cfg();
   // Small caps so the churn also exercises the BUSY path under load.
   cfg.max_in_flight = 16;
   cfg.lane_high_water = 8;
@@ -104,11 +131,11 @@ TEST(NetSmoke, ConcurrentClientsWithSessionChurn) {
 
 // Abrupt disconnects mid-session: the server must reap the connection's
 // sessions and keep serving everyone else.
-TEST(NetSmoke, AbruptDisconnectReapsSessions) {
+TEST_P(NetSmoke, AbruptDisconnectReapsSessions) {
   const NetWorld& w = SharedNetWorld();
   const auto model = NetModelFor(w, serve::Signal::kNovelty,
                                  core::DefaultingMode::kPermanent);
-  NetServerConfig cfg;
+  NetServerConfig cfg = Cfg();
   cfg.service.shard_workers = false;
   ServerRunner server(model, cfg);
 
@@ -143,11 +170,11 @@ TEST(NetSmoke, AbruptDisconnectReapsSessions) {
 // per-edge counters match the client-side tallies exactly. The
 // accounting invariant is the point: ok + busy + full + error ==
 // requests sent, nothing dropped, nothing double-counted, across edges.
-TEST(NetSmoke, MultiEdgeFloodAccountsEveryReply) {
+TEST_P(NetSmoke, MultiEdgeFloodAccountsEveryReply) {
   const NetWorld& w = SharedNetWorld();
   const auto model = NetModelFor(w, serve::Signal::kAgentEnsemble,
                                  core::DefaultingMode::kRevocable);
-  NetServerConfig cfg;
+  NetServerConfig cfg = Cfg();
   cfg.edge_threads = 4;
   cfg.max_sessions = 8;
   cfg.lane_high_water = 2;

@@ -16,10 +16,12 @@
 #include "net/server.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "abr/abr_environment.h"
@@ -34,6 +36,35 @@ using testing::NetModelFor;
 using testing::NetWorld;
 using testing::ServerRunner;
 using testing::SharedNetWorld;
+
+/// Every loopback property runs under both IO backends: the epoll
+/// reference arm and the io_uring arm must produce the same wire bytes
+/// and the same decision stream. The uring arm skips (visibly) where
+/// the kernel denies io_uring.
+class NetServerLoopback : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == BackendKind::kUring && !UringBackendAvailable()) {
+      GTEST_SKIP() << "io_uring denied by this kernel ("
+                   << UringUnavailableReason()
+                   << "); uring backend arm skipped";
+    }
+  }
+
+  /// Config preloaded with the arm under test.
+  NetServerConfig Cfg() const {
+    NetServerConfig cfg;
+    cfg.backend = GetParam();
+    return cfg;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, NetServerLoopback,
+    ::testing::Values(BackendKind::kEpoll, BackendKind::kUring),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      return std::string(BackendKindName(info.param));
+    });
 
 struct SessionRun {
   std::vector<mdp::Action> actions;
@@ -131,7 +162,7 @@ std::vector<SessionRun> RunOverWire(const NetWorld& w, std::uint16_t port) {
   return runs;
 }
 
-TEST(NetServerLoopback, DecisionsAreBitIdenticalToInProcessService) {
+TEST_P(NetServerLoopback, DecisionsAreBitIdenticalToInProcessService) {
   const NetWorld& w = SharedNetWorld();
   for (serve::Signal signal :
        {serve::Signal::kNovelty, serve::Signal::kAgentEnsemble}) {
@@ -139,7 +170,7 @@ TEST(NetServerLoopback, DecisionsAreBitIdenticalToInProcessService) {
         NetModelFor(w, signal, core::DefaultingMode::kPermanent);
     const std::vector<SessionRun> reference = RunInProcess(w, model);
 
-    NetServerConfig cfg;
+    NetServerConfig cfg = Cfg();
     cfg.service.shard_count = 2;
     cfg.service.shard_workers = false;  // single-core test host
     ServerRunner server(model, cfg);
@@ -162,11 +193,11 @@ TEST(NetServerLoopback, DecisionsAreBitIdenticalToInProcessService) {
   }
 }
 
-TEST(NetServerLoopback, ReplyEpochsAreMonotonic) {
+TEST_P(NetServerLoopback, ReplyEpochsAreMonotonic) {
   const NetWorld& w = SharedNetWorld();
   const auto model = NetModelFor(w, serve::Signal::kAgentEnsemble,
                                  core::DefaultingMode::kPermanent);
-  NetServerConfig cfg;
+  NetServerConfig cfg = Cfg();
   cfg.service.shard_workers = false;
   ServerRunner server(model, cfg);
   Client client;
@@ -190,11 +221,11 @@ TEST(NetServerLoopback, ReplyEpochsAreMonotonic) {
 // Acceptance criterion: with the in-flight cap set low, a flooding client
 // gets BUSY replies, lane depth stays <= the high-water mark, and no
 // request is silently dropped (replies exactly match requests sent).
-TEST(NetServerLoopback, FloodPastInFlightCapGetsBusyNotDropped) {
+TEST_P(NetServerLoopback, FloodPastInFlightCapGetsBusyNotDropped) {
   const NetWorld& w = SharedNetWorld();
   const auto model = NetModelFor(w, serve::Signal::kAgentEnsemble,
                                  core::DefaultingMode::kPermanent);
-  NetServerConfig cfg;
+  NetServerConfig cfg = Cfg();
   cfg.max_in_flight = 4;
   cfg.lane_high_water = 4;  // rings bounded to 4: deeper = loud abort
   cfg.pause_reads_above = 0;  // keep reading so BUSY is immediate
@@ -250,11 +281,11 @@ TEST(NetServerLoopback, FloodPastInFlightCapGetsBusyNotDropped) {
 // The per-lane high-water mark rejects independently of the global cap:
 // sessions hash to shard id % 2, so flooding only even sessions fills one
 // lane while the global cap stays distant.
-TEST(NetServerLoopback, LaneHighWaterMarkRejectsPerShard) {
+TEST_P(NetServerLoopback, LaneHighWaterMarkRejectsPerShard) {
   const NetWorld& w = SharedNetWorld();
   const auto model = NetModelFor(w, serve::Signal::kAgentEnsemble,
                                  core::DefaultingMode::kPermanent);
-  NetServerConfig cfg;
+  NetServerConfig cfg = Cfg();
   cfg.max_in_flight = 1000;  // global cap out of the way
   cfg.lane_high_water = 2;
   cfg.pause_reads_above = 0;
@@ -291,11 +322,11 @@ TEST(NetServerLoopback, LaneHighWaterMarkRejectsPerShard) {
   for (std::uint64_t session : sessions) client.CloseSession(session);
 }
 
-TEST(NetServerLoopback, OpenPastMaxSessionsGetsFull) {
+TEST_P(NetServerLoopback, OpenPastMaxSessionsGetsFull) {
   const NetWorld& w = SharedNetWorld();
   const auto model = NetModelFor(w, serve::Signal::kNovelty,
                                  core::DefaultingMode::kPermanent);
-  NetServerConfig cfg;
+  NetServerConfig cfg = Cfg();
   cfg.max_sessions = 3;
   cfg.service.shard_workers = false;
   ServerRunner server(model, cfg);
@@ -317,11 +348,11 @@ TEST(NetServerLoopback, OpenPastMaxSessionsGetsFull) {
   for (std::uint64_t session : sessions) client.CloseSession(session);
 }
 
-TEST(NetServerLoopback, BogusRequestsGetErrorRepliesNotSilence) {
+TEST_P(NetServerLoopback, BogusRequestsGetErrorRepliesNotSilence) {
   const NetWorld& w = SharedNetWorld();
   const auto model = NetModelFor(w, serve::Signal::kNovelty,
                                  core::DefaultingMode::kPermanent);
-  NetServerConfig cfg;
+  NetServerConfig cfg = Cfg();
   cfg.service.shard_workers = false;
   ServerRunner server(model, cfg);
 
@@ -355,11 +386,11 @@ TEST(NetServerLoopback, BogusRequestsGetErrorRepliesNotSilence) {
 // STEP still gets a reply (kOk if it made a decision round before the
 // CLOSE was parsed, kError if the CLOSE failed it) - never silence - and
 // a STEP after the CLOSE is kError.
-TEST(NetServerLoopback, CloseOvertakingPipelinedStepsAnswersEverything) {
+TEST_P(NetServerLoopback, CloseOvertakingPipelinedStepsAnswersEverything) {
   const NetWorld& w = SharedNetWorld();
   const auto model = NetModelFor(w, serve::Signal::kNovelty,
                                  core::DefaultingMode::kPermanent);
-  NetServerConfig cfg;
+  NetServerConfig cfg = Cfg();
   cfg.service.shard_workers = false;
   ServerRunner server(model, cfg);
 
@@ -400,11 +431,11 @@ TEST(NetServerLoopback, CloseOvertakingPipelinedStepsAnswersEverything) {
   EXPECT_EQ(answered, 5u);
 }
 
-TEST(NetServerLoopback, StatsReflectServiceState) {
+TEST_P(NetServerLoopback, StatsReflectServiceState) {
   const NetWorld& w = SharedNetWorld();
   const auto model = NetModelFor(w, serve::Signal::kNovelty,
                                  core::DefaultingMode::kPermanent);
-  NetServerConfig cfg;
+  NetServerConfig cfg = Cfg();
   cfg.service.shard_workers = false;
   ServerRunner server(model, cfg);
 
@@ -431,6 +462,86 @@ TEST(NetServerLoopback, StatsReflectServiceState) {
   client.CloseSession(b);
   const ServerStats after = client.Stats();
   EXPECT_EQ(after.open_sessions, 0u);
+}
+
+// Satellite regression for the send-path signal audit: a peer that
+// RSTs (SO_LINGER abort) with replies still queued must cost the server
+// at most that one connection - never a SIGPIPE (the flush path uses
+// sendmsg + MSG_NOSIGNAL / in-kernel sends) and never a wedged loop.
+TEST_P(NetServerLoopback, PeerResetMidReplyDoesNotKillServer) {
+  const NetWorld& w = SharedNetWorld();
+  const auto model = NetModelFor(w, serve::Signal::kNovelty,
+                                 core::DefaultingMode::kPermanent);
+  NetServerConfig cfg = Cfg();
+  cfg.service.shard_workers = false;
+  ServerRunner server(model, cfg);
+
+  std::vector<double> state(model->InputSize(), 0.4);
+  for (int round = 0; round < 3; ++round) {
+    Client rude;
+    rude.Connect("127.0.0.1", server.Port());
+    const auto session = rude.OpenSession();
+    // Pipeline a burst the server will be answering when the reset
+    // lands, then abort: SO_LINGER{on, 0} turns close() into RST, so
+    // the server's queued replies hit a dead socket mid-flush.
+    for (std::uint64_t rid = 1; rid <= 32; ++rid) {
+      rude.SendStep(rid, session, state);
+    }
+    rude.Flush();
+    struct linger hard {};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;
+    ASSERT_EQ(::setsockopt(rude.fd(), SOL_SOCKET, SO_LINGER, &hard,
+                           sizeof hard),
+              0);
+    rude.Close();
+  }
+
+  // The server is still alive and consistent: a polite client gets
+  // decisions, and the aborted connections' sessions were reaped.
+  Client polite;
+  polite.Connect("127.0.0.1", server.Port());
+  const auto session = polite.OpenSession();
+  const Reply reply = polite.Step(session, state);
+  EXPECT_EQ(reply.status, Status::kOk);
+  const ServerStats stats = polite.Stats();
+  EXPECT_EQ(stats.open_sessions, 1u);
+  EXPECT_EQ(stats.connections, 1u);
+  polite.CloseSession(session);
+}
+
+// Requesting the uring arm never fails the server: where the kernel
+// denies io_uring it comes up on epoll and says which arm actually runs.
+TEST(NetServerBackend, UringRequestFallsBackWhenUnavailable) {
+  const NetWorld& w = SharedNetWorld();
+  const auto model = NetModelFor(w, serve::Signal::kNovelty,
+                                 core::DefaultingMode::kPermanent);
+  NetServerConfig cfg;
+  cfg.backend = BackendKind::kUring;
+  cfg.service.shard_workers = false;
+  ServerRunner server(model, cfg);
+  const BackendKind expected = UringBackendAvailable()
+                                   ? BackendKind::kUring
+                                   : BackendKind::kEpoll;
+  EXPECT_EQ(server.server().backend_kind(), expected);
+  Client client;
+  client.Connect("127.0.0.1", server.Port());
+  const auto session = client.OpenSession();
+  std::vector<double> state(model->InputSize(), 0.3);
+  EXPECT_EQ(client.Step(session, state).status, Status::kOk);
+  client.CloseSession(session);
+}
+
+TEST(NetServerBackend, ParseBackendKindRoundTrips) {
+  BackendKind kind = BackendKind::kEpoll;
+  EXPECT_TRUE(ParseBackendKind("uring", kind));
+  EXPECT_EQ(kind, BackendKind::kUring);
+  EXPECT_TRUE(ParseBackendKind("epoll", kind));
+  EXPECT_EQ(kind, BackendKind::kEpoll);
+  EXPECT_FALSE(ParseBackendKind("kqueue", kind));
+  EXPECT_EQ(kind, BackendKind::kEpoll) << "junk leaves the value alone";
+  EXPECT_STREQ(BackendKindName(BackendKind::kEpoll), "epoll");
+  EXPECT_STREQ(BackendKindName(BackendKind::kUring), "uring");
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+// util::IoUring wrapper tests: ring setup, NOP round trips, submission
+// batching (one enter per Submit regardless of queued SQEs), and the
+// provided-buffer ring recycle path. All skip visibly where the kernel
+// denies io_uring - the probe itself is pinned to be consistent either
+// way.
+#include "util/io_uring.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <set>
+
+namespace osap::util {
+namespace {
+
+class IoUringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!IoUring::KernelSupported()) {
+      GTEST_SKIP() << "io_uring unavailable: "
+                   << IoUring::UnsupportedReason();
+    }
+  }
+};
+
+TEST(IoUringProbe, ReasonIsConsistentWithAvailability) {
+  if (IoUring::KernelSupported()) {
+    EXPECT_STREQ(IoUring::UnsupportedReason(), "");
+  } else {
+    EXPECT_GT(std::strlen(IoUring::UnsupportedReason()), 0u)
+        << "an unavailable ring must say why";
+  }
+  // The probe is cached: asking twice answers the same.
+  EXPECT_EQ(IoUring::KernelSupported(), IoUring::KernelSupported());
+}
+
+TEST_F(IoUringTest, NopRoundTrip) {
+  IoUring ring;
+  ASSERT_TRUE(ring.Init(8));
+  io_uring_sqe* sqe = ring.GetSqe();
+  sqe->opcode = IORING_OP_NOP;
+  sqe->user_data = 77;
+  EXPECT_EQ(ring.Submit(1), 1u);
+  io_uring_cqe* cqe = ring.PeekCqe();
+  ASSERT_NE(cqe, nullptr);
+  EXPECT_EQ(cqe->user_data, 77u);
+  EXPECT_EQ(cqe->res, 0);
+  ring.AdvanceCqe();
+  EXPECT_EQ(ring.PeekCqe(), nullptr);
+}
+
+TEST_F(IoUringTest, BatchedSubmitIsOneEnterCall) {
+  IoUring ring;
+  ASSERT_TRUE(ring.Init(16));
+  const std::uint64_t before = ring.enter_calls();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    io_uring_sqe* sqe = ring.GetSqe();
+    sqe->opcode = IORING_OP_NOP;
+    sqe->user_data = i;
+  }
+  // The point of the backend: ten queued ops, ONE syscall.
+  EXPECT_EQ(ring.Submit(10), 10u);
+  EXPECT_EQ(ring.enter_calls(), before + 1);
+  std::set<std::uint64_t> seen;
+  io_uring_cqe* cqe;
+  while ((cqe = ring.PeekCqe()) != nullptr) {
+    seen.insert(cqe->user_data);
+    ring.AdvanceCqe();
+  }
+  EXPECT_EQ(seen.size(), 10u) << "every NOP completed";
+}
+
+TEST_F(IoUringTest, GetSqeFlushesWhenRingFills) {
+  IoUring ring;
+  ASSERT_TRUE(ring.Init(4));
+  // 9 SQEs through a 4-deep ring: GetSqe must flush under our feet
+  // instead of handing out an overwritten slot.
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    io_uring_sqe* sqe = ring.GetSqe();
+    sqe->opcode = IORING_OP_NOP;
+    sqe->user_data = 100 + i;
+  }
+  ring.Submit();
+  std::size_t completed = 0;
+  // CQ is 2x SQ by default (8 here): the 9th completion overflows into
+  // the kernel-side stash and only surfaces on a flushing re-enter, so
+  // drain in a reap/Submit loop exactly like the backend's Pump does.
+  for (int spins = 0; spins < 10 && completed < 9; ++spins) {
+    io_uring_cqe* cqe;
+    while ((cqe = ring.PeekCqe()) != nullptr) {
+      ++completed;
+      ring.AdvanceCqe();
+    }
+    if (completed < 9) ring.Submit();
+  }
+  EXPECT_EQ(completed, 9u);
+}
+
+TEST_F(IoUringTest, ProvidedBufferRecycleRoundTrip) {
+  IoUring ring;
+  ASSERT_TRUE(ring.Init(8));
+  ASSERT_TRUE(ring.RegisterBufRing(3, 8, 4096));
+  EXPECT_EQ(ring.buffer_size(), 4096u);
+
+  // Kernel-picked buffer on a read: write through a pipe and let a
+  // buffer-select READ land in one of the registered buffers.
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  const char msg[] = "ring recycle";
+  ASSERT_EQ(::write(pipe_fds[1], msg, sizeof msg),
+            static_cast<ssize_t>(sizeof msg));
+
+  for (int round = 0; round < 3; ++round) {
+    io_uring_sqe* sqe = ring.GetSqe();
+    sqe->opcode = IORING_OP_READ;
+    sqe->fd = pipe_fds[0];
+    sqe->len = 0;  // the buffer ring decides
+    sqe->flags = IOSQE_BUFFER_SELECT;
+    sqe->buf_group = 3;
+    sqe->user_data = 7;
+    ASSERT_EQ(ring.Submit(1), 1u);
+    io_uring_cqe* cqe = ring.PeekCqe();
+    ASSERT_NE(cqe, nullptr);
+    ASSERT_EQ(cqe->res, static_cast<int>(sizeof msg)) << "round " << round;
+    ASSERT_NE(cqe->flags & IORING_CQE_F_BUFFER, 0u);
+    const auto bid =
+        static_cast<std::uint16_t>(cqe->flags >> IORING_CQE_BUFFER_SHIFT);
+    EXPECT_STREQ(reinterpret_cast<const char*>(ring.BufferData(bid)), msg);
+    ring.AdvanceCqe();
+    // Recycle and refill: if the recycle were broken, 8 buffers would
+    // run dry after 8 rounds; 3 rounds with a re-write each proves the
+    // same ids cycle back.
+    ring.RecycleBuffer(bid);
+    ASSERT_EQ(::write(pipe_fds[1], msg, sizeof msg),
+              static_cast<ssize_t>(sizeof msg));
+  }
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
+}
+
+}  // namespace
+}  // namespace osap::util

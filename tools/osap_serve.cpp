@@ -14,8 +14,8 @@
 //              [--sessions N] [--rounds N] [--shards N]
 //              [--open-loop RATE] [--revocable]
 //   osap_serve <us|upi|uv> --listen PORT [--shards N] [--edge-threads N]
-//              [--revocable] [--max-in-flight N] [--lane-high-water N]
-//              [--max-sessions N]
+//              [--backend epoll|uring] [--revocable] [--max-in-flight N]
+//              [--lane-high-water N] [--max-sessions N]
 //
 // Defaults: 1000 sessions, 2000 rounds, 4 shards, permanent defaulting,
 // closed-loop (rounds issue back to back). With --open-loop RATE the tool
@@ -41,6 +41,8 @@
 // sessions, defaulted share, and mean QoE - the OOD rows defaulting while
 // the ID rows stay learned is the paper's safety story showing up under
 // serving load.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -165,6 +167,7 @@ int main(int argc, char** argv) {
   std::size_t lane_high_water = 16 * 1024;
   std::size_t max_sessions = 1 << 20;
   std::size_t edge_threads = 1;
+  std::string backend_name = "epoll";
   bool online_calibration = false;
   double miscoverage = 0.05;
   std::size_t calibration_window = 4096;
@@ -210,6 +213,11 @@ int main(int argc, char** argv) {
                    "server mode: independent SO_REUSEPORT event-loop "
                    "threads, each owning shards/N lanes (default 1)",
                    &edge_threads);
+  parser.AddOption("--backend", "NAME",
+                   "server mode: IO backend, epoll | uring (io_uring "
+                   "falls back to epoll with a notice when the kernel "
+                   "denies it; default epoll)",
+                   &backend_name);
   parser.AddFlag("--online-calibration",
                  "maintain the variance threshold online from streaming "
                  "quantile sketches (upi/uv only; DESIGN.md §11)",
@@ -252,6 +260,13 @@ int main(int argc, char** argv) {
   }
   if (listen_port != kNoListen && listen_port > 65535) {
     std::fprintf(stderr, "osap_serve: --listen PORT must be <= 65535\n");
+    return 2;
+  }
+  net::BackendKind backend_kind = net::BackendKind::kEpoll;
+  if (!net::ParseBackendKind(backend_name, backend_kind)) {
+    std::fprintf(stderr,
+                 "osap_serve: unknown --backend '%s' (epoll | uring)\n",
+                 backend_name.c_str());
     return 2;
   }
   if (edge_threads == 0 || edge_threads > shards) {
@@ -298,6 +313,7 @@ int main(int argc, char** argv) {
     net_cfg.lane_high_water = lane_high_water;
     net_cfg.max_sessions = max_sessions;
     net_cfg.edge_threads = edge_threads;
+    net_cfg.backend = backend_kind;
     net_cfg.service.shard_count = shards;
     net_cfg.service.online_calibration = online_calibration;
     net_cfg.service.calibration_miscoverage = miscoverage;
@@ -308,12 +324,17 @@ int main(int argc, char** argv) {
     g_server = &server;
     std::signal(SIGINT, HandleSignal);
     std::signal(SIGTERM, HandleSignal);
-    std::printf("osap_serve: %s, %zu shard(s), %zu edge(s), "
+    std::printf("osap_serve: %s, %zu shard(s), %zu edge(s), %s backend, "
                 "listening on port %u\n",
-                signal_name.c_str(), shards, edge_threads, server.Port());
+                signal_name.c_str(), shards, edge_threads,
+                server.BackendName(), server.Port());
     std::fflush(stdout);
+    struct rusage ru_before {};
+    getrusage(RUSAGE_SELF, &ru_before);
     server.Run();
     g_server = nullptr;
+    struct rusage ru_after {};
+    getrusage(RUSAGE_SELF, &ru_after);
     const net::ServerStats s = server.Stats();
     std::printf("\nshutdown: %llu decided, %llu busy, %llu rejected opens, "
                 "%llu errors, %llu epochs, %llu sessions open\n",
@@ -323,6 +344,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.errors),
                 static_cast<unsigned long long>(s.epochs),
                 static_cast<unsigned long long>(s.open_sessions));
+    // The edge's syscall budget: the io_uring backend's whole point is
+    // driving this ratio down versus epoll at the same decision count.
+    const std::uint64_t syscalls = server.IoSyscalls();
+    const long vcsw = ru_after.ru_nvcsw - ru_before.ru_nvcsw;
+    const long ivcsw = ru_after.ru_nivcsw - ru_before.ru_nivcsw;
+    std::printf("io: %s backend, %llu syscalls (%.2f per decision), "
+                "%ld voluntary + %ld involuntary context switches\n",
+                server.BackendName(),
+                static_cast<unsigned long long>(syscalls),
+                s.decided == 0 ? 0.0
+                               : static_cast<double>(syscalls) /
+                                     static_cast<double>(s.decided),
+                vcsw, ivcsw);
     if (s.calibration_active != 0) {
       std::printf("online calibration: live alpha %.6g, %llu statistics "
                   "observed, %.2f%% above threshold (target %.2f%%)\n",
